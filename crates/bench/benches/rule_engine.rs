@@ -1,0 +1,55 @@
+//! The OPS5-vs-C ablation (§2.3 footnote 2): interpreted rule-DSL program
+//! vs the hand-recoded native theory, on the same record-pair stream. The
+//! paper recoded its rules in C because the interpreter was "simply too
+//! slow"; this bench quantifies our equivalent gap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_rules::{employee_program, EquationalTheory, NativeEmployeeTheory};
+
+fn bench_theories(c: &mut Criterion) {
+    let db = DatabaseGenerator::new(
+        GeneratorConfig::new(500)
+            .duplicate_fraction(0.5)
+            .seed(1234),
+    )
+    .generate();
+    // Window-shaped pair stream: each record against its 9 predecessors.
+    let mut pairs = Vec::new();
+    for i in 1..db.records.len() {
+        for j in i.saturating_sub(9)..i {
+            pairs.push((j, i));
+        }
+    }
+
+    let dsl = employee_program();
+    let native = NativeEmployeeTheory::new();
+
+    let mut g = c.benchmark_group("rule_engine");
+    g.bench_function("dsl_interpreter", |b| {
+        b.iter(|| {
+            let mut matched = 0usize;
+            for &(i, j) in &pairs {
+                if dsl.matches(black_box(&db.records[i]), black_box(&db.records[j])) {
+                    matched += 1;
+                }
+            }
+            black_box(matched)
+        });
+    });
+    g.bench_function("native_recoded", |b| {
+        b.iter(|| {
+            let mut matched = 0usize;
+            for &(i, j) in &pairs {
+                if native.matches(black_box(&db.records[i]), black_box(&db.records[j])) {
+                    matched += 1;
+                }
+            }
+            black_box(matched)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_theories);
+criterion_main!(benches);

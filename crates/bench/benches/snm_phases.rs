@@ -1,0 +1,65 @@
+//! Per-phase costs of the sorted-neighborhood method, isolating the §3.5
+//! constants: key creation (O(N)), sorting (O(N log N), cheap comparisons),
+//! and window scanning (O(wN), expensive equational-theory comparisons,
+//! α ≈ 6× the sort comparison cost in the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use merge_purge::{window_scan, KeySpec, SortedNeighborhood};
+use mp_closure::PairSet;
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_rules::NativeEmployeeTheory;
+
+fn bench_phases(c: &mut Criterion) {
+    let db = DatabaseGenerator::new(
+        GeneratorConfig::new(3_000)
+            .duplicate_fraction(0.5)
+            .seed(77),
+    )
+    .generate();
+    let key = KeySpec::last_name_key();
+    let theory = NativeEmployeeTheory::new();
+
+    let mut g = c.benchmark_group("snm_phases");
+
+    g.bench_function("create_keys", |b| {
+        b.iter(|| {
+            let mut buf = String::new();
+            let mut total = 0usize;
+            for r in &db.records {
+                key.extract_into(black_box(r), &mut buf);
+                total += buf.len();
+            }
+            black_box(total)
+        });
+    });
+
+    let keys: Vec<String> = db.records.iter().map(|r| key.extract(r)).collect();
+    g.bench_function("sort", |b| {
+        b.iter(|| {
+            let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+            order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+            black_box(order.len())
+        });
+    });
+
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    for w in [5usize, 10, 20] {
+        g.bench_function(format!("window_scan_w{w}"), |b| {
+            b.iter(|| {
+                let mut pairs = PairSet::new();
+                black_box(window_scan(&db.records, &order, w, &theory, &mut pairs))
+            });
+        });
+    }
+
+    g.bench_function("full_pass_w10", |b| {
+        let snm = SortedNeighborhood::new(key.clone(), 10);
+        b.iter(|| black_box(snm.run(&db.records, &theory).pairs.len()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

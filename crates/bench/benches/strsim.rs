@@ -1,0 +1,98 @@
+//! Microbenchmarks of the distance-function library (§2.3 evaluated edit,
+//! phonetic, and typewriter distances; their relative cost is the main
+//! constant inside the window-scan phase).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mp_strsim::{
+    damerau_levenshtein, jaro_winkler, keyboard_distance, levenshtein, levenshtein_bounded,
+    normalized_levenshtein, nysiis, soundex, trigram_similarity, EditBuffer,
+};
+
+/// Representative name pairs: equal, one typo, and unrelated.
+const PAIRS: [(&str, &str); 6] = [
+    ("HERNANDEZ", "HERNANDEZ"),
+    ("HERNANDEZ", "HERNANDES"),
+    ("HERNANDEZ", "FERNANDEZ"),
+    ("WASHINGTON", "WASHINGTEN"),
+    ("SMITH", "GUTIERREZ"),
+    ("AMSTERDAM AVENUE", "AMSTERDAM AVE"),
+];
+
+fn bench_distances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strsim");
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(levenshtein(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("levenshtein_bounded_2", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(levenshtein_bounded(black_box(x), black_box(y), 2));
+            }
+        });
+    });
+    g.bench_function("edit_buffer_reused", |b| {
+        let mut buf = EditBuffer::new();
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(buf.distance(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("normalized_levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(normalized_levenshtein(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("damerau", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(damerau_levenshtein(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(jaro_winkler(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("keyboard_distance", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(keyboard_distance(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.bench_function("soundex", |b| {
+        b.iter(|| {
+            for (x, _) in PAIRS {
+                black_box(soundex(black_box(x)));
+            }
+        });
+    });
+    g.bench_function("nysiis", |b| {
+        b.iter(|| {
+            for (x, _) in PAIRS {
+                black_box(nysiis(black_box(x)));
+            }
+        });
+    });
+    g.bench_function("trigram", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(trigram_similarity(black_box(x), black_box(y)));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

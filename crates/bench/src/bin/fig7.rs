@@ -1,0 +1,113 @@
+//! Figure 7: scale-up — time vs database size at three duplication rates.
+//!
+//! Paper setup: four no-duplicate base sizes (0.5, 1, 1.5, 2 ×10⁶ records),
+//! each with 10%, 30%, and 50% of tuples selected for duplication (12
+//! databases); three concurrent independent runs (4 processors each) plus
+//! the closure, for both methods. Expected result: time grows linearly with
+//! database size at every duplication factor. The paper then extrapolates
+//! to 10⁹ records: ~10 days (SNM) and ~7 days (clustering).
+//!
+//! Defaults scale sizes by 1/20 (25k/50k/75k/100k originals); use
+//! `--scale-div 1` for paper sizes.
+//!
+//! Usage: `cargo run --release -p mp-bench --bin fig7 [--scale-div D] [--procs P]`
+
+use merge_purge::{ClusteringConfig, KeySpec};
+use mp_bench::{header, row, sec_cell, secs, Args};
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_parallel::{parallel_multipass, ParallelClustering, ParallelPass, ParallelSnm};
+use mp_rules::NativeEmployeeTheory;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let div: usize = args.get("scale-div", 20);
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let procs: usize = args.get("procs", hw.min(4));
+    let w: usize = args.get("window", 10);
+    let seed: u64 = args.get("seed", 7);
+
+    let base_sizes: Vec<usize> = [500_000usize, 1_000_000, 1_500_000, 2_000_000]
+        .iter()
+        .map(|s| s / div)
+        .collect();
+    let dup_rates = [0.1f64, 0.3, 0.5];
+    let theory = NativeEmployeeTheory::new();
+
+    println!(
+        "# Figure 7 — scale-up, sizes {base_sizes:?} originals x duplication {{10%,30%,50%}}, \
+         3 concurrent runs x {procs} procs each, w = {w}"
+    );
+
+    let mut extrapolation: Vec<(String, usize, f64)> = Vec::new();
+    for (label, clustered) in [("sorted-neighborhood", false), ("clustering", true)] {
+        println!("\n## {label} method");
+        header(&["originals", "total records", "10% dup", "30% dup", "50% dup"]);
+        for &size in &base_sizes {
+            let mut cells = vec![size.to_string(), String::new()];
+            let mut total_records = 0usize;
+            for (di, &rate) in dup_rates.iter().enumerate() {
+                let mut db = DatabaseGenerator::new(
+                    GeneratorConfig::new(size)
+                        .duplicate_fraction(rate)
+                        .max_duplicates_per_record(5)
+                        .seed(seed + di as u64),
+                )
+                .generate();
+                mp_record::normalize::condition_all(
+                    &mut db.records,
+                    &mp_record::NicknameTable::standard(),
+                );
+                total_records = db.records.len();
+                let passes: Vec<ParallelPass> = KeySpec::standard_three()
+                    .into_iter()
+                    .map(|k| {
+                        if clustered {
+                            ParallelPass::Clustering(ParallelClustering::new(
+                                k,
+                                ClusteringConfig {
+                                    clusters: 100,
+                                    histogram_prefix: 3,
+                                    cluster_key_len: 6,
+                                    window: w,
+                                },
+                                procs,
+                            ))
+                        } else {
+                            ParallelPass::Snm(ParallelSnm::new(k, w, procs))
+                        }
+                    })
+                    .collect();
+                // Best of two runs: on hosts with fewer cores than worker
+                // threads, scheduler noise dominates a single sample.
+                let mut elapsed = f64::INFINITY;
+                for _ in 0..2 {
+                    let t0 = Instant::now();
+                    let result = parallel_multipass(&passes, &db.records, &theory);
+                    elapsed = elapsed.min(secs(t0.elapsed()));
+                    drop(result);
+                }
+                if (rate - 0.3).abs() < 1e-9 && size == *base_sizes.last().unwrap() {
+                    extrapolation.push((label.to_string(), total_records, elapsed));
+                }
+                cells.push(sec_cell(elapsed));
+            }
+            cells[1] = format!("(up to {total_records})");
+            row(&cells);
+        }
+    }
+
+    println!("\n## Billion-record extrapolation (paper: ~10 days SNM, ~7 days clustering)");
+    for (label, records, elapsed) in extrapolation {
+        let projected = 1e9 * elapsed / records as f64;
+        println!(
+            "- {label}: {records} records in {elapsed:.1}s → 10^9 records in ~{:.1} hours ({:.2} days)",
+            projected / 3600.0,
+            projected / 86400.0
+        );
+    }
+    println!(
+        "\nPaper shape check: rows grow linearly with size for every duplication \
+         factor, and clustering stays below sorted-neighborhood."
+    );
+}

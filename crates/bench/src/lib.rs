@@ -1,0 +1,155 @@
+//! Shared workload construction, flag parsing, and table printing for the
+//! figure-regeneration binaries.
+//!
+//! Each binary regenerates one figure of the paper (see DESIGN.md §4 for
+//! the experiment index). Default workload sizes are scaled down from the
+//! paper's so every figure reproduces on a laptop in minutes; pass
+//! `--scale 1.0` (or a specific `--records N`) to approach paper sizes.
+
+use mp_datagen::{DatabaseGenerator, GeneratedDatabase, GeneratorConfig};
+use std::time::Duration;
+
+/// Tiny `--flag value` / `--flag` parser for the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit list (tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value fails to parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        match self.raw.iter().position(|a| a == &flag) {
+            Some(i) => match self.raw.get(i + 1) {
+                Some(v) => v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("invalid value {v:?} for {flag}")),
+                None => panic!("{flag} requires a value"),
+            },
+            None => default,
+        }
+    }
+
+    /// True when the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+}
+
+/// Generates the figure-2 style database: `originals` records with ~50%
+/// selected for duplication and up to 5 duplicates each, mirroring the
+/// 1,000,000 + 1,423,644 ratio of the paper at reduced scale.
+pub fn fig2_database(originals: usize, seed: u64) -> GeneratedDatabase {
+    DatabaseGenerator::new(
+        GeneratorConfig::new(originals)
+            .duplicate_fraction(0.5)
+            .max_duplicates_per_record(5)
+            .seed(seed),
+    )
+    .generate()
+}
+
+/// Generates the figure-3 style database: 35% of records selected, up to 5
+/// duplicates (paper: 250,000 originals → 468,730 records).
+pub fn fig3_database(originals: usize, seed: u64) -> GeneratedDatabase {
+    DatabaseGenerator::new(
+        GeneratorConfig::new(originals)
+            .duplicate_fraction(0.35)
+            .max_duplicates_per_record(5)
+            .seed(seed),
+    )
+    .generate()
+}
+
+/// Generates the §3.5 memory-resident database: 7,500 originals, 50%
+/// duplication, ≤ 5 duplicates — the paper's run produced 13,751 records.
+pub fn fig4_database(seed: u64) -> GeneratedDatabase {
+    DatabaseGenerator::new(
+        GeneratorConfig::new(7_500)
+            .duplicate_fraction(0.5)
+            .max_duplicates_per_record(5)
+            .seed(seed),
+    )
+    .generate()
+}
+
+/// Seconds with millisecond resolution, for table cells.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown-style header and separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Formats a percentage cell.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Formats a small percentage cell (false-positive rates are well under
+/// 1%, so three decimals are needed to see the Fig. 2(b) trend).
+pub fn pct3(x: f64) -> String {
+    format!("{x:.3}%")
+}
+
+/// Formats a seconds cell.
+pub fn sec_cell(x: f64) -> String {
+    format!("{x:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::from_vec(vec![
+            "--records".into(),
+            "123".into(),
+            "--spell-correct".into(),
+        ]);
+        assert_eq!(a.get("records", 7usize), 123);
+        assert_eq!(a.get("window", 10usize), 10);
+        assert!(a.has("spell-correct"));
+        assert!(!a.has("full"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_value_panics() {
+        Args::from_vec(vec!["--n".into(), "xyz".into()]).get("n", 1usize);
+    }
+
+    #[test]
+    fn databases_have_expected_shape() {
+        let db = fig4_database(1);
+        // Paper: 13,751 records from 7,500 originals at 50% x <=5.
+        assert!(db.records.len() > 12_000 && db.records.len() < 23_000,
+                "got {}", db.records.len());
+    }
+}

@@ -1,0 +1,214 @@
+//! Wait-free-read concurrent union-find for the parallel engines.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// A concurrent disjoint-set forest shared by worker threads.
+///
+/// Workers in the parallel window-scan phase (§4.1) stream discovered pairs
+/// straight into the closure instead of shipping pair lists back to the
+/// coordinator. The structure uses the classic atomic parent array with
+/// *union by index* — a root may only ever point at a smaller id — so the
+/// forest is acyclic by construction and `union` is a simple CAS loop; path
+/// compression is applied opportunistically during `find`.
+///
+/// ```
+/// use mp_closure::ConcurrentUnionFind;
+/// let uf = ConcurrentUnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+    merges: AtomicUsize,
+}
+
+impl ConcurrentUnionFind {
+    /// `n` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` exceeds `u32::MAX` elements.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "id space exceeds u32");
+        ConcurrentUnionFind {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+            merges: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of elements in the id space.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the id space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining (exact once all unions finished).
+    pub fn set_count(&self) -> usize {
+        self.parent.len() - self.merges.load(Ordering::Acquire)
+    }
+
+    /// Current representative of `x`, with best-effort path compression.
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp != p {
+                // Halve the path; failure just means someone else advanced it.
+                let _ = self.parent[x as usize].compare_exchange_weak(
+                    p,
+                    gp,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            x = p;
+        }
+    }
+
+    /// Joins the sets of `a` and `b`; returns `true` when this call
+    /// performed the merge.
+    pub fn union(&self, a: u32, b: u32) -> bool {
+        let mut a = a;
+        let mut b = b;
+        loop {
+            a = self.find(a);
+            b = self.find(b);
+            if a == b {
+                return false;
+            }
+            // Attach the larger root under the smaller: parents only ever
+            // decrease, which rules out cycles under concurrency.
+            let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+            if self.parent[hi as usize]
+                .compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.merges.fetch_add(1, Ordering::AcqRel);
+                return true;
+            }
+            // Lost the race: hi is no longer a root; retry from its new set.
+        }
+    }
+
+    /// True when `a` and `b` are currently in the same set.
+    pub fn connected(&self, a: u32, b: u32) -> bool {
+        // Standard double-check: a root observed stale invalidates the test.
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            if self.parent[ra as usize].load(Ordering::Acquire) == ra {
+                return false;
+            }
+        }
+    }
+
+    /// Converts into a sequential [`crate::UnionFind`] for class extraction
+    /// once parallel insertion has finished.
+    pub fn into_sequential(self) -> crate::UnionFind {
+        let n = self.parent.len();
+        let mut uf = crate::UnionFind::new(n);
+        for x in 0..n as u32 {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p != x {
+                uf.union(x, p);
+            }
+        }
+        uf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_semantics() {
+        let uf = ConcurrentUnionFind::new(6);
+        assert!(uf.union(0, 5));
+        assert!(uf.union(5, 3));
+        assert!(!uf.union(3, 0));
+        assert!(uf.connected(0, 3));
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_count(), 4);
+    }
+
+    #[test]
+    fn into_sequential_preserves_classes() {
+        let uf = ConcurrentUnionFind::new(8);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        uf.union(6, 7);
+        let mut seq = uf.into_sequential();
+        assert_eq!(seq.classes(), vec![vec![1, 2, 3], vec![6, 7]]);
+    }
+
+    #[test]
+    fn concurrent_chain_union_converges() {
+        const N: usize = 2_000;
+        const THREADS: usize = 8;
+        let uf = ConcurrentUnionFind::new(N);
+        crossbeam::thread::scope(|s| {
+            for t in 0..THREADS {
+                let uf = &uf;
+                s.spawn(move |_| {
+                    // All threads union overlapping chains; interleavings
+                    // must still produce one component.
+                    for i in (t..N - 1).step_by(THREADS) {
+                        uf.union(i as u32, (i + 1) as u32);
+                    }
+                    for i in 0..N - 1 {
+                        uf.union(i as u32, (i + 1) as u32);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(uf.set_count(), 1);
+        for i in 1..N as u32 {
+            assert!(uf.connected(0, i));
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_blocks_stay_disjoint() {
+        const N: usize = 1_024;
+        let uf = ConcurrentUnionFind::new(N);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let uf = &uf;
+                s.spawn(move |_| {
+                    let base = t * (N / 4);
+                    for i in base..base + N / 4 - 1 {
+                        uf.union(i as u32, (i + 1) as u32);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(uf.set_count(), 4);
+        assert!(!uf.connected(0, (N / 4) as u32));
+        let mut seq = uf.into_sequential();
+        assert_eq!(seq.classes().len(), 4);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let uf = ConcurrentUnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

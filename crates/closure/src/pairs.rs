@@ -1,0 +1,143 @@
+//! Deduplicating accumulator for undirected match pairs.
+
+use std::collections::HashSet;
+
+/// A set of undirected record-id pairs.
+///
+/// Window scans emit the same pair repeatedly (once per window that contains
+/// both records, and once per pass in the multi-pass approach); this
+/// canonicalizes to `(min, max)` and deduplicates. The paper stores exactly
+/// this — pair lists per independent run, unioned before the closure.
+///
+/// ```
+/// use mp_closure::PairSet;
+/// let mut ps = PairSet::new();
+/// assert!(ps.insert(3, 1));
+/// assert!(!ps.insert(1, 3)); // same undirected pair
+/// assert!(!ps.insert(2, 2)); // self-pairs are ignored
+/// assert_eq!(ps.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PairSet {
+    set: HashSet<(u32, u32)>,
+}
+
+impl PairSet {
+    /// An empty pair set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty pair set with room for `cap` pairs.
+    pub fn with_capacity(cap: usize) -> Self {
+        PairSet {
+            set: HashSet::with_capacity(cap),
+        }
+    }
+
+    /// Inserts the undirected pair `{a, b}`. Returns `true` when it was new;
+    /// self-pairs are ignored and return `false`.
+    #[inline]
+    pub fn insert(&mut self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        self.set.insert((a.min(b), a.max(b)))
+    }
+
+    /// True when the undirected pair is present.
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        self.set.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Number of distinct pairs.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when no pairs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Unions another pair set into this one (the multi-pass merge step).
+    pub fn merge(&mut self, other: &PairSet) {
+        self.set.extend(&other.set);
+    }
+
+    /// Iterates over pairs in unspecified order, each as `(low, high)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Pairs sorted ascending — deterministic output for reports and tests.
+    pub fn sorted(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<_> = self.set.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Extend<(u32, u32)> for PairSet {
+    fn extend<T: IntoIterator<Item = (u32, u32)>>(&mut self, iter: T) {
+        for (a, b) in iter {
+            self.insert(a, b);
+        }
+    }
+}
+
+impl FromIterator<(u32, u32)> for PairSet {
+    fn from_iter<T: IntoIterator<Item = (u32, u32)>>(iter: T) -> Self {
+        let mut ps = PairSet::new();
+        ps.extend(iter);
+        ps
+    }
+}
+
+impl<'a> IntoIterator for &'a PairSet {
+    type Item = (u32, u32);
+    type IntoIter = std::iter::Copied<std::collections::hash_set::Iter<'a, (u32, u32)>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.set.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_direction() {
+        let mut ps = PairSet::new();
+        assert!(ps.insert(7, 2));
+        assert!(ps.contains(2, 7));
+        assert!(ps.contains(7, 2));
+        assert_eq!(ps.sorted(), vec![(2, 7)]);
+    }
+
+    #[test]
+    fn merge_unions_without_duplicates() {
+        let a: PairSet = [(1, 2), (3, 4)].into_iter().collect();
+        let b: PairSet = [(2, 1), (5, 6)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.sorted(), vec![(1, 2), (3, 4), (5, 6)]);
+    }
+
+    #[test]
+    fn self_pairs_rejected_via_all_paths() {
+        let mut ps = PairSet::new();
+        ps.extend([(4, 4), (1, 1)]);
+        assert!(ps.is_empty());
+        let from: PairSet = [(9, 9)].into_iter().collect();
+        assert_eq!(from.len(), 0);
+    }
+
+    #[test]
+    fn iteration_matches_len() {
+        let ps: PairSet = [(1, 2), (2, 3), (3, 1)].into_iter().collect();
+        assert_eq!(ps.iter().count(), 3);
+        assert_eq!((&ps).into_iter().count(), ps.len());
+    }
+}

@@ -1,0 +1,247 @@
+//! Sequential disjoint-set forest.
+
+/// Union-find over the dense id space `0..n` with path halving and union by
+/// rank — effectively linear in the number of operations.
+///
+/// Ids are `u32` because the paper's closure operates on "pairs of tuple
+/// id's, each at most 30 bits" (§3.3); four billion records is comfortably
+/// beyond the billion-record scenario of §4.3.
+///
+/// ```
+/// use mp_closure::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.set_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `{0}, {1}, ..., {n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` exceeds `u32::MAX` elements.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "id space exceeds u32");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements in the id space.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the id space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `x`'s set, compressing the path by halving.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Joins the sets of `a` and `b`; returns `true` when they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Equal => {
+                self.rank[ra as usize] += 1;
+                (ra, rb)
+            }
+        };
+        self.parent[lo as usize] = hi;
+        self.sets -= 1;
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Every equivalence class with at least two members: members sorted
+    /// ascending, classes ordered by smallest member.
+    pub fn classes(&mut self) -> Vec<Vec<u32>> {
+        let n = self.parent.len();
+        // Map root -> slot, first-seen (= smallest member) order.
+        let mut slot_of_root = vec![u32::MAX; n];
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for x in 0..n as u32 {
+            let r = self.find(x) as usize;
+            let slot = slot_of_root[r];
+            if slot == u32::MAX {
+                slot_of_root[r] = classes.len() as u32;
+                classes.push(vec![x]);
+            } else {
+                classes[slot as usize].push(x);
+            }
+        }
+        classes.retain(|c| c.len() > 1);
+        classes
+    }
+
+    /// All pairs `(a, b)`, `a < b`, implied by the closure — every pair of
+    /// records in the same class. The multi-pass evaluation compares this
+    /// set against ground truth.
+    ///
+    /// The output size is quadratic in class sizes; real duplicate classes
+    /// are tiny (the generator caps duplicates per record), so this stays
+    /// close to linear in practice.
+    pub fn closed_pairs(&mut self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for class in self.classes() {
+            for i in 0..class.len() {
+                for j in i + 1..class.len() {
+                    out.push((class[i], class[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Count of [`UnionFind::closed_pairs`] without materializing them.
+    pub fn closed_pair_count(&mut self) -> u64 {
+        self.classes()
+            .iter()
+            .map(|c| {
+                let k = c.len() as u64;
+                k * (k - 1) / 2
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_is_all_singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.classes().is_empty());
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_reduces_set_count_once_per_merge() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.set_count(), 2);
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.set_count(), 1);
+        assert!(!uf.union(1, 2));
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn classes_sorted_and_deterministic() {
+        let mut uf = UnionFind::new(7);
+        uf.union(5, 3);
+        uf.union(3, 6);
+        uf.union(0, 2);
+        assert_eq!(uf.classes(), vec![vec![0, 2], vec![3, 5, 6]]);
+    }
+
+    #[test]
+    fn closed_pairs_quadratic_expansion() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.closed_pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(uf.closed_pair_count(), 3);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+        assert!(uf.classes().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn connectivity_matches_naive_model(
+            n in 1usize..40,
+            unions in proptest::collection::vec((0u32..40, 0u32..40), 0..80),
+        ) {
+            let mut uf = UnionFind::new(n);
+            // Naive model: component label per element, relabel on union.
+            let mut label: Vec<usize> = (0..n).collect();
+            for (a, b) in unions {
+                let (a, b) = (a % n as u32, b % n as u32);
+                uf.union(a, b);
+                let (la, lb) = (label[a as usize], label[b as usize]);
+                if la != lb {
+                    for l in &mut label {
+                        if *l == lb {
+                            *l = la;
+                        }
+                    }
+                }
+            }
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    prop_assert_eq!(
+                        uf.connected(a, b),
+                        label[a as usize] == label[b as usize]
+                    );
+                }
+            }
+            let distinct: std::collections::HashSet<usize> = label.iter().copied().collect();
+            prop_assert_eq!(uf.set_count(), distinct.len());
+        }
+
+        #[test]
+        fn closed_pair_count_matches_materialized(
+            n in 1usize..30,
+            unions in proptest::collection::vec((0u32..30, 0u32..30), 0..40),
+        ) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in unions {
+                uf.union(a % n as u32, b % n as u32);
+            }
+            prop_assert_eq!(uf.closed_pair_count() as usize, uf.closed_pairs().len());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Key-space clustering substrate for the clustering method (§2.2.1, §4.2).
+//!
+//! The clustering method avoids a full sort of the database: it maps each
+//! record's key into one of `C` clusters chosen so every cluster receives
+//! roughly `1/C` of the records, then sorts and window-scans each cluster
+//! independently (and in parallel). Balance comes from a frequency
+//! histogram over the key domain: "given a frequency distribution histogram
+//! with B bins for that field (C ≤ B), we want to divide those B bins ...
+//! into C subranges" with "the sum of the frequencies over the subrange ...
+//! close to 1/C."
+//!
+//! * [`KeyHistogram`] — B-bin histogram over fixed-length key prefixes
+//!   (the paper's 27×27×27 space for three letters), built from a full scan
+//!   or a random sample;
+//! * [`RangePartition`] — balanced division of the bins into `C` contiguous
+//!   subranges with `log B` lookup;
+//! * [`lpt_assign`] — Graham's longest-processing-time-first rule for
+//!   re-balancing clusters across processors (§4.2).
+
+pub mod balance;
+pub mod histogram;
+pub mod partition;
+
+pub use balance::{lpt_assign, Assignment};
+pub use histogram::KeyHistogram;
+pub use partition::RangePartition;

@@ -1,0 +1,150 @@
+//! The §3.5 analytical cost model.
+//!
+//! Serial, memory-resident complexity of the two approaches:
+//!
+//! ```text
+//! T_mp = c·r·N·log2(N) + α·c·r·w·N + T_cl_mp        (multi-pass, r passes)
+//! T_sp = c·N·log2(N)   + α·c·W·N   + T_cl_sp        (single pass)
+//! ```
+//!
+//! where `c` is the per-comparison sorting cost and `α·c` the (much larger)
+//! per-comparison window-scan cost — the paper measures α ≈ 6 and
+//! c ≈ 1.2×10⁻⁵ s. Solving `T_sp > T_mp` for the single-pass window:
+//!
+//! ```text
+//! W > (r−1)/α · log2(N) + r·w + (T_cl_mp − T_cl_sp) / (α·c·N)
+//! ```
+//!
+//! For the paper's N = 13,751, r = 3, w = 10 this gives W > 41: a single
+//! pass needs a window of 41+ records to merely match multi-pass *time*,
+//! while its accuracy at that window is far below multi-pass accuracy.
+
+/// Fitted constants of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-comparison cost of the sort phase, in seconds.
+    pub c: f64,
+    /// Window-scan cost multiplier (`c_wscan = α·c`).
+    pub alpha: f64,
+    /// Closure time for the multi-pass run, seconds.
+    pub t_cl_mp: f64,
+    /// Closure time for the single-pass run, seconds.
+    pub t_cl_sp: f64,
+}
+
+impl CostModel {
+    /// The constants measured in the paper's §3.5 experiment.
+    pub fn paper() -> Self {
+        CostModel {
+            c: 1.2e-5,
+            alpha: 6.0,
+            t_cl_mp: 7.0,
+            t_cl_sp: 1.2,
+        }
+    }
+
+    /// Fits `c` from a measured sort time (`t_sort ≈ c·N·log2 N`) and `α`
+    /// from a measured window-scan time (`t_scan ≈ α·c·w·N`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 2` or `w == 0` or non-positive timings are given.
+    pub fn fit(n: usize, w: usize, t_sort: f64, t_scan: f64, t_cl_sp: f64, t_cl_mp: f64) -> Self {
+        assert!(n >= 2 && w >= 1, "need n >= 2 and w >= 1");
+        assert!(t_sort > 0.0 && t_scan > 0.0, "timings must be positive");
+        let nf = n as f64;
+        let c = t_sort / (nf * nf.log2());
+        let alpha = t_scan / (c * w as f64 * nf);
+        CostModel {
+            c,
+            alpha,
+            t_cl_mp,
+            t_cl_sp,
+        }
+    }
+
+    /// Predicted single-pass time with window `w_single` over `n` records.
+    pub fn single_pass_time(&self, n: usize, w_single: usize) -> f64 {
+        let nf = n as f64;
+        self.c * nf * nf.log2() + self.alpha * self.c * w_single as f64 * nf + self.t_cl_sp
+    }
+
+    /// Predicted multi-pass time with `r` passes of window `w` over `n`
+    /// records.
+    pub fn multi_pass_time(&self, n: usize, r: usize, w: usize) -> f64 {
+        let nf = n as f64;
+        let r = r as f64;
+        self.c * r * nf * nf.log2() + self.alpha * self.c * r * w as f64 * nf + self.t_cl_mp
+    }
+
+    /// The crossover bound: the single-pass window `W` above which a single
+    /// pass is slower than `r` passes of window `w`
+    /// (`W > (r−1)/α·log2 N + r·w + (T_cl_mp − T_cl_sp)/(α·c·N)`).
+    pub fn crossover_window(&self, n: usize, r: usize, w: usize) -> f64 {
+        let nf = n as f64;
+        (r as f64 - 1.0) / self.alpha * nf.log2()
+            + (r * w) as f64
+            + (self.t_cl_mp - self.t_cl_sp) / (self.alpha * self.c * nf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_crossover_reproduced() {
+        // §3.5: "the multi-pass approach dominates the single sort approach
+        // for these datasets when W > 41" (N = 13751, r = 3, w = 10).
+        let m = CostModel::paper();
+        let w = m.crossover_window(13_751, 3, 10);
+        assert!(
+            (w - 41.0).abs() < 2.0,
+            "crossover {w:.1} not near the paper's 41"
+        );
+    }
+
+    #[test]
+    fn crossover_is_consistent_with_time_curves() {
+        let m = CostModel::paper();
+        let n = 13_751;
+        let cross = m.crossover_window(n, 3, 10);
+        let below = m.single_pass_time(n, cross as usize - 2);
+        let above = m.single_pass_time(n, cross as usize + 2);
+        let multi = m.multi_pass_time(n, 3, 10);
+        assert!(below < multi, "below crossover single-pass should be faster");
+        assert!(above > multi, "above crossover single-pass should be slower");
+    }
+
+    #[test]
+    fn fit_roundtrips_constants() {
+        let truth = CostModel {
+            c: 2.0e-5,
+            alpha: 5.0,
+            t_cl_mp: 3.0,
+            t_cl_sp: 0.5,
+        };
+        let n = 50_000;
+        let w = 12;
+        let nf = n as f64;
+        let t_sort = truth.c * nf * nf.log2();
+        let t_scan = truth.alpha * truth.c * w as f64 * nf;
+        let fitted = CostModel::fit(n, w, t_sort, t_scan, truth.t_cl_sp, truth.t_cl_mp);
+        assert!((fitted.c - truth.c).abs() / truth.c < 1e-9);
+        assert!((fitted.alpha - truth.alpha).abs() / truth.alpha < 1e-9);
+    }
+
+    #[test]
+    fn multi_pass_time_scales_linearly_in_r() {
+        let m = CostModel::paper();
+        let t1 = m.multi_pass_time(10_000, 1, 10) - m.t_cl_mp;
+        let t3 = m.multi_pass_time(10_000, 3, 10) - m.t_cl_mp;
+        assert!((t3 / t1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "timings must be positive")]
+    fn fit_rejects_zero_timing() {
+        CostModel::fit(100, 5, 0.0, 1.0, 0.0, 0.0);
+    }
+}

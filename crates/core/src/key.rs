@@ -1,0 +1,263 @@
+//! Sort-key specification and extraction.
+//!
+//! §2.4: "A key is defined to be a sequence of a subset of attributes, or
+//! substrings within the attributes, chosen from the record. ... Attributes
+//! that appear first in the key have a higher priority than those appearing
+//! after them." Key extraction is knowledge-intensive and error-prone by
+//! design — keys inherit the corruption of the fields they are built from,
+//! which is exactly why no single key suffices and the multi-pass approach
+//! wins.
+
+use mp_record::{Field, Record};
+
+/// One component of a key, applied to a field in priority order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyPart {
+    /// The entire field value.
+    Full(Field),
+    /// The first `n` characters of the field.
+    Prefix(Field, usize),
+    /// The first non-blank character of the field (the paper's example uses
+    /// "the first non blank character of the first name sub-field"). Note
+    /// that a character whose uppercase form expands (e.g. 'ᾼ' → "ΑΙ")
+    /// contributes every expanded character.
+    FirstNonBlank(Field),
+    /// The first `n` decimal digits found in the field ("the first six
+    /// digits of the social security field").
+    Digits(Field, usize),
+}
+
+impl KeyPart {
+    /// Appends this part's contribution for `record` to `out`, upper-cased,
+    /// with non-alphanumerics dropped so punctuation noise cannot reorder
+    /// the sort.
+    pub fn append(&self, record: &Record, out: &mut String) {
+        match *self {
+            KeyPart::Full(f) => push_clean(record.field(f), usize::MAX, out),
+            KeyPart::Prefix(f, n) => push_clean(record.field(f), n, out),
+            KeyPart::FirstNonBlank(f) => {
+                if let Some(c) = record.field(f).chars().find(|c| !c.is_whitespace()) {
+                    for u in c.to_uppercase() {
+                        out.push(u);
+                    }
+                }
+            }
+            KeyPart::Digits(f, n) => {
+                out.extend(record.field(f).chars().filter(char::is_ascii_digit).take(n));
+            }
+        }
+    }
+}
+
+fn push_clean(s: &str, limit: usize, out: &mut String) {
+    out.extend(
+        s.chars()
+            .filter(|c| c.is_alphanumeric())
+            .flat_map(char::to_uppercase)
+            .take(limit),
+    );
+}
+
+/// An ordered sequence of [`KeyPart`]s, named for reports.
+///
+/// ```
+/// use merge_purge::KeySpec;
+/// use mp_record::{Record, RecordId};
+/// let mut r = Record::empty(RecordId(0));
+/// r.last_name = "O'BRIEN".into();
+/// r.first_name = " MAURICIO".into();
+/// r.ssn = "123-45-6789".into();
+/// assert_eq!(KeySpec::last_name_key().extract(&r), "OBRIENM123456");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySpec {
+    name: String,
+    parts: Vec<KeyPart>,
+}
+
+impl KeySpec {
+    /// A key from explicit parts.
+    pub fn new(name: impl Into<String>, parts: Vec<KeyPart>) -> Self {
+        KeySpec {
+            name: name.into(),
+            parts,
+        }
+    }
+
+    /// Display name of the key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The component parts.
+    pub fn parts(&self) -> &[KeyPart] {
+        &self.parts
+    }
+
+    /// Extracts the key for one record into a fresh string.
+    pub fn extract(&self, record: &Record) -> String {
+        let mut out = String::with_capacity(24);
+        self.extract_into(record, &mut out);
+        out
+    }
+
+    /// Extracts the key, appending into a caller-provided buffer (cleared
+    /// first). The create-keys phase runs this for every record; reusing the
+    /// buffer keeps it allocation-free.
+    pub fn extract_into(&self, record: &Record, out: &mut String) {
+        out.clear();
+        for part in &self.parts {
+            part.append(record, out);
+        }
+    }
+
+    /// Paper run 1: last name principal, then first initial, then the first
+    /// six SSN digits.
+    pub fn last_name_key() -> Self {
+        KeySpec::new(
+            "last-name",
+            vec![
+                KeyPart::Full(Field::LastName),
+                KeyPart::FirstNonBlank(Field::FirstName),
+                KeyPart::Digits(Field::Ssn, 6),
+            ],
+        )
+    }
+
+    /// Paper run 2: first name principal.
+    pub fn first_name_key() -> Self {
+        KeySpec::new(
+            "first-name",
+            vec![
+                KeyPart::Full(Field::FirstName),
+                KeyPart::FirstNonBlank(Field::LastName),
+                KeyPart::Digits(Field::Ssn, 6),
+            ],
+        )
+    }
+
+    /// Paper run 3: street address principal (street name, then number,
+    /// then city prefix).
+    pub fn address_key() -> Self {
+        KeySpec::new(
+            "address",
+            vec![
+                KeyPart::Full(Field::StreetName),
+                KeyPart::Digits(Field::StreetNumber, 6),
+                KeyPart::Prefix(Field::City, 4),
+            ],
+        )
+    }
+
+    /// An SSN-principal key (the §2.4 example of a *bad* principal field
+    /// when digits transpose).
+    pub fn ssn_key() -> Self {
+        KeySpec::new(
+            "ssn",
+            vec![
+                KeyPart::Digits(Field::Ssn, 9),
+                KeyPart::Prefix(Field::LastName, 4),
+            ],
+        )
+    }
+
+    /// The three standard paper keys, in the order used for the figures.
+    pub fn standard_three() -> Vec<KeySpec> {
+        vec![
+            KeySpec::last_name_key(),
+            KeySpec::first_name_key(),
+            KeySpec::address_key(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_record::RecordId;
+
+    fn sample() -> Record {
+        let mut r = Record::empty(RecordId(0));
+        r.ssn = "123456789".into();
+        r.first_name = "MAURICIO".into();
+        r.last_name = "HERNANDEZ".into();
+        r.street_number = "500".into();
+        r.street_name = "WEST 120TH STREET".into();
+        r.city = "NEW YORK".into();
+        r
+    }
+
+    #[test]
+    fn paper_key_shapes() {
+        let r = sample();
+        assert_eq!(KeySpec::last_name_key().extract(&r), "HERNANDEZM123456");
+        assert_eq!(KeySpec::first_name_key().extract(&r), "MAURICIOH123456");
+        assert_eq!(KeySpec::address_key().extract(&r), "WEST120THSTREET500NEWY");
+        assert_eq!(KeySpec::ssn_key().extract(&r), "123456789HERN");
+    }
+
+    #[test]
+    fn punctuation_and_case_insensitive() {
+        let mut a = sample();
+        a.last_name = "o'brien-SMITH".into();
+        let mut b = sample();
+        b.last_name = "OBRIENSMITH".into();
+        let k = KeySpec::new("t", vec![KeyPart::Full(Field::LastName)]);
+        assert_eq!(k.extract(&a), k.extract(&b));
+    }
+
+    #[test]
+    fn prefix_and_digit_truncation() {
+        let r = sample();
+        let k = KeySpec::new(
+            "t",
+            vec![
+                KeyPart::Prefix(Field::City, 3),
+                KeyPart::Digits(Field::Ssn, 2),
+            ],
+        );
+        // "NEW YORK" -> alphanumerics "NEWYORK" -> prefix 3 "NEW".
+        assert_eq!(k.extract(&r), "NEW12");
+    }
+
+    #[test]
+    fn first_non_blank_of_empty_contributes_nothing() {
+        let mut r = sample();
+        r.first_name = "   ".into();
+        let k = KeySpec::new("t", vec![KeyPart::FirstNonBlank(Field::FirstName)]);
+        assert_eq!(k.extract(&r), "");
+        r.first_name = "  joe".into();
+        assert_eq!(k.extract(&r), "J");
+    }
+
+    #[test]
+    fn extract_into_reuses_buffer() {
+        let r = sample();
+        let k = KeySpec::last_name_key();
+        let mut buf = String::from("STALE");
+        k.extract_into(&r, &mut buf);
+        assert_eq!(buf, "HERNANDEZM123456");
+    }
+
+    #[test]
+    fn corrupted_principal_field_corrupts_key_head() {
+        // §2.4: errors in the principal field move records far apart.
+        let a = sample();
+        let mut b = sample();
+        b.last_name = "GERNANDEZ".into(); // typo in first character
+        let k = KeySpec::last_name_key();
+        assert_ne!(k.extract(&a).as_bytes()[0], k.extract(&b).as_bytes()[0]);
+        // But the head of the first-name key (the full first name) is
+        // unaffected; only the trailing last-initial component changes.
+        let k2 = KeySpec::first_name_key();
+        assert_eq!(k2.extract(&a)[..8], k2.extract(&b)[..8]);
+    }
+
+    #[test]
+    fn standard_three_distinct_names() {
+        let keys = KeySpec::standard_three();
+        assert_eq!(keys.len(), 3);
+        let names: std::collections::HashSet<&str> = keys.iter().map(KeySpec::name).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

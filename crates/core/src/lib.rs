@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! The merge/purge library: sorted-neighborhood, clustering, and multi-pass
+//! duplicate detection over large record lists.
+//!
+//! This is a reproduction of Hernández & Stolfo, *The Merge/Purge Problem
+//! for Large Databases* (SIGMOD 1995). The three solution methods:
+//!
+//! * [`SortedNeighborhood`] (§2.2) — create a key per record, sort on the
+//!   key, slide a `w`-record window applying an equational theory to every
+//!   pair inside it;
+//! * [`ClusteringMethod`] (§2.2.1) — histogram-partition the key space into
+//!   `C` balanced clusters, then run the sorted-neighborhood method inside
+//!   each cluster independently;
+//! * [`MultiPass`] (§2.4) — several independent passes with *different keys*
+//!   and *small windows*, unioned by transitive closure. The paper's
+//!   headline result: this dominates any single pass with a large window.
+//!
+//! [`Evaluation`] scores results against generated ground truth the way the
+//! paper's figures do, and [`costmodel`] implements the §3.5 analytical
+//! model including the single-pass/multi-pass crossover window.
+//!
+//! # Quick start
+//!
+//! ```
+//! use merge_purge::{KeySpec, MergePurge};
+//! use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+//! use mp_rules::NativeEmployeeTheory;
+//!
+//! let mut db = DatabaseGenerator::new(GeneratorConfig::new(500).seed(7)).generate();
+//! let theory = NativeEmployeeTheory::new();
+//! let result = MergePurge::new(&theory)
+//!     .pass(KeySpec::last_name_key(), 10)
+//!     .pass(KeySpec::first_name_key(), 10)
+//!     .pass(KeySpec::address_key(), 10)
+//!     .run(&mut db.records);
+//! let eval = merge_purge::Evaluation::score(&result.closed_pairs, &db.truth);
+//! assert!(eval.percent_detected > 50.0);
+//! ```
+
+pub mod clustering;
+pub mod costmodel;
+pub mod eval;
+pub mod incremental;
+pub mod key;
+pub mod mergescan;
+pub mod multipass;
+pub mod pipeline;
+pub mod purge;
+pub mod snm;
+pub mod window;
+
+pub use clustering::{ClusteringConfig, ClusteringMethod};
+pub use costmodel::CostModel;
+pub use eval::Evaluation;
+pub use incremental::IncrementalMergePurge;
+pub use key::{KeyPart, KeySpec};
+pub use mergescan::MergeScanSnm;
+pub use multipass::{MultiPass, MultiPassResult, PassConfig};
+pub use pipeline::{MergePurge, MergePurgeResult};
+pub use purge::Purger;
+pub use snm::{PassResult, PassStats, SortedNeighborhood};
+pub use window::window_scan;

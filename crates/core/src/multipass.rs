@@ -1,0 +1,274 @@
+//! The multi-pass approach (§2.4): independent runs with different keys and
+//! small windows, unioned by transitive closure.
+
+use crate::clustering::{ClusteringConfig, ClusteringMethod};
+use crate::key::KeySpec;
+use crate::snm::{PassResult, SortedNeighborhood};
+use mp_closure::{PairSet, UnionFind};
+use mp_record::Record;
+use mp_rules::EquationalTheory;
+use std::time::{Duration, Instant};
+
+/// How one pass of a multi-pass run executes.
+#[derive(Debug, Clone)]
+pub enum PassConfig {
+    /// A global-sort sorted-neighborhood pass.
+    Sorted {
+        /// Sort key.
+        key: KeySpec,
+        /// Window size.
+        window: usize,
+    },
+    /// A clustering-method pass.
+    Clustered {
+        /// Sort key.
+        key: KeySpec,
+        /// Clustering configuration (cluster count, prefix, window).
+        config: ClusteringConfig,
+    },
+}
+
+impl PassConfig {
+    fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+        match self {
+            PassConfig::Sorted { key, window } => {
+                SortedNeighborhood::new(key.clone(), *window).run(records, theory)
+            }
+            PassConfig::Clustered { key, config } => {
+                ClusteringMethod::new(key.clone(), config.clone()).run(records, theory)
+            }
+        }
+    }
+}
+
+/// Result of a multi-pass run.
+#[derive(Debug, Clone)]
+pub struct MultiPassResult {
+    /// Per-pass results, in configuration order.
+    pub passes: Vec<PassResult>,
+    /// Union of all pass pairs *plus* transitively inferred pairs.
+    pub closed_pairs: PairSet,
+    /// Equivalence classes (each a sorted list of record ids, ≥ 2 members).
+    pub classes: Vec<Vec<u32>>,
+    /// Time spent computing the transitive closure.
+    pub closure_time: Duration,
+}
+
+impl MultiPassResult {
+    /// Total wall-clock across passes plus closure.
+    pub fn total_time(&self) -> Duration {
+        self.passes
+            .iter()
+            .map(|p| p.stats.total())
+            .sum::<Duration>()
+            + self.closure_time
+    }
+
+    /// Runs the purge phase over this result's classes: each duplicate
+    /// group collapses to one survivor under `purger`, everything else
+    /// passes through, ids renumbered.
+    pub fn purge(&self, records: &[Record], purger: &crate::purge::Purger) -> Vec<Record> {
+        purger.purge(records, &self.classes)
+    }
+
+    /// Pairs found by at least one pass, before the closure added inferred
+    /// pairs.
+    pub fn union_pair_count(&self) -> usize {
+        let mut union = PairSet::new();
+        for p in &self.passes {
+            union.merge(&p.pairs);
+        }
+        union.len()
+    }
+}
+
+/// A configured multi-pass run.
+///
+/// "Execute several independent runs of the sorted neighborhood method,
+/// each time using a different key and a relatively small window ... then
+/// apply the transitive closure to those pairs of records" (§2.4).
+///
+/// ```
+/// use merge_purge::{KeySpec, MultiPass};
+/// use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+/// use mp_rules::NativeEmployeeTheory;
+///
+/// let db = DatabaseGenerator::new(GeneratorConfig::new(300).seed(9)).generate();
+/// let mp = MultiPass::standard_three(10);
+/// let result = mp.run(&db.records, &NativeEmployeeTheory::new());
+/// assert!(result.closed_pairs.len() >= result.union_pair_count());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiPass {
+    passes: Vec<PassConfig>,
+}
+
+impl MultiPass {
+    /// An empty multi-pass run; add passes with [`MultiPass::add`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pass.
+    #[allow(clippy::should_implement_trait)] // builder `add`, not ops::Add
+    pub fn add(mut self, pass: PassConfig) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Adds a sorted-neighborhood pass.
+    pub fn sorted(self, key: KeySpec, window: usize) -> Self {
+        self.add(PassConfig::Sorted { key, window })
+    }
+
+    /// Adds a clustering pass.
+    pub fn clustered(self, key: KeySpec, config: ClusteringConfig) -> Self {
+        self.add(PassConfig::Clustered { key, config })
+    }
+
+    /// The paper's three standard passes (last name, first name, address)
+    /// with a common window size.
+    pub fn standard_three(window: usize) -> Self {
+        let mut mp = MultiPass::new();
+        for key in KeySpec::standard_three() {
+            mp = mp.sorted(key, window);
+        }
+        mp
+    }
+
+    /// Number of configured passes `r`.
+    pub fn pass_count(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Runs every pass serially, then computes the transitive closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no passes are configured.
+    pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> MultiPassResult {
+        assert!(!self.passes.is_empty(), "multi-pass run needs at least one pass");
+        let passes: Vec<PassResult> = self
+            .passes
+            .iter()
+            .map(|p| p.run(records, theory))
+            .collect();
+        Self::close(records.len(), passes)
+    }
+
+    /// Computes the closure over already-executed passes (used by the
+    /// parallel engine, which runs passes concurrently).
+    pub fn close(universe: usize, passes: Vec<PassResult>) -> MultiPassResult {
+        let t0 = Instant::now();
+        let mut uf = UnionFind::new(universe);
+        for p in &passes {
+            for (a, b) in p.pairs.iter() {
+                uf.union(a, b);
+            }
+        }
+        let classes = uf.classes();
+        let mut closed_pairs = PairSet::with_capacity(passes.iter().map(|p| p.pairs.len()).sum());
+        for class in &classes {
+            for i in 0..class.len() {
+                for j in i + 1..class.len() {
+                    closed_pairs.insert(class[i], class[j]);
+                }
+            }
+        }
+        let closure_time = t0.elapsed();
+        MultiPassResult {
+            passes,
+            closed_pairs,
+            classes,
+            closure_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+    use mp_rules::NativeEmployeeTheory;
+
+    fn db(n: usize, seed: u64) -> mp_datagen::GeneratedDatabase {
+        DatabaseGenerator::new(
+            GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed),
+        )
+        .generate()
+    }
+
+    fn count_true(pairs: &PairSet, db: &mp_datagen::GeneratedDatabase) -> usize {
+        pairs
+            .iter()
+            .filter(|&(a, b)| {
+                db.truth
+                    .same_entity(&db.records[a as usize], &db.records[b as usize])
+            })
+            .count()
+    }
+
+    #[test]
+    fn multipass_beats_every_single_pass() {
+        // The paper's core claim, at small scale.
+        let db = db(800, 51);
+        let theory = NativeEmployeeTheory::new();
+        let result = MultiPass::standard_three(10).run(&db.records, &theory);
+        let multi_true = count_true(&result.closed_pairs, &db);
+        for pass in &result.passes {
+            let single_true = count_true(&pass.pairs, &db);
+            assert!(
+                multi_true >= single_true,
+                "multi {multi_true} < single {single_true} ({})",
+                pass.key_name
+            );
+        }
+        assert!(multi_true > 0);
+    }
+
+    #[test]
+    fn closure_adds_inferred_pairs() {
+        let db = db(600, 52);
+        let theory = NativeEmployeeTheory::new();
+        let result = MultiPass::standard_three(10).run(&db.records, &theory);
+        assert!(result.closed_pairs.len() >= result.union_pair_count());
+        // Classes expand to exactly the closed pairs.
+        let from_classes: usize = result
+            .classes
+            .iter()
+            .map(|c| c.len() * (c.len() - 1) / 2)
+            .sum();
+        assert_eq!(from_classes, result.closed_pairs.len());
+    }
+
+    #[test]
+    fn mixed_sorted_and_clustered_passes() {
+        let db = db(300, 53);
+        let theory = NativeEmployeeTheory::new();
+        let result = MultiPass::new()
+            .sorted(KeySpec::last_name_key(), 8)
+            .clustered(
+                KeySpec::first_name_key(),
+                ClusteringConfig::paper_serial(8),
+            )
+            .run(&db.records, &theory);
+        assert_eq!(result.passes.len(), 2);
+        assert!(!result.closed_pairs.is_empty());
+    }
+
+    #[test]
+    fn single_pass_multipass_equals_that_pass_closed() {
+        let db = db(200, 54);
+        let theory = NativeEmployeeTheory::new();
+        let mp = MultiPass::new().sorted(KeySpec::last_name_key(), 6);
+        let result = mp.run(&db.records, &theory);
+        // Closure can only add pairs within classes found by the one pass.
+        assert!(result.closed_pairs.len() >= result.passes[0].pairs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn empty_multipass_rejected() {
+        MultiPass::new().run(&[], &NativeEmployeeTheory::new());
+    }
+}

@@ -1,0 +1,218 @@
+//! The sorted-neighborhood method (§2.2): create keys → sort → window scan.
+
+use crate::key::KeySpec;
+use crate::window::window_scan;
+use mp_closure::PairSet;
+use mp_record::Record;
+use mp_rules::EquationalTheory;
+use std::time::{Duration, Instant};
+
+/// Phase timings and counters for one pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassStats {
+    /// Time to extract keys (the paper folds this into sorting; we track it
+    /// separately and report the sum where the paper reports one number).
+    pub create_keys: Duration,
+    /// Time to sort the (key, record) list.
+    pub sort: Duration,
+    /// Time for the window-scan merge phase.
+    pub window_scan: Duration,
+    /// Pair comparisons performed by the theory.
+    pub comparisons: u64,
+    /// Matching pairs emitted (before closure, deduplicated).
+    pub matches: usize,
+}
+
+impl PassStats {
+    /// Total wall-clock of the pass.
+    pub fn total(&self) -> Duration {
+        self.create_keys + self.sort + self.window_scan
+    }
+}
+
+/// Result of one sorted-neighborhood pass.
+#[derive(Debug, Clone)]
+pub struct PassResult {
+    /// Key used for the pass.
+    pub key_name: String,
+    /// Window size used.
+    pub window: usize,
+    /// Deduplicated matching pairs found in the window scan.
+    pub pairs: PairSet,
+    /// Phase timings.
+    pub stats: PassStats,
+    /// Pair comparisons per worker (one entry for serial passes). The
+    /// shared-nothing simulation uses the max/total ratio of this vector as
+    /// the parallel scan makespan.
+    pub worker_comparisons: Vec<u64>,
+}
+
+/// One configured sorted-neighborhood pass.
+///
+/// ```
+/// use merge_purge::{KeySpec, SortedNeighborhood};
+/// use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+/// use mp_rules::NativeEmployeeTheory;
+///
+/// let db = DatabaseGenerator::new(GeneratorConfig::new(300).seed(3)).generate();
+/// let snm = SortedNeighborhood::new(KeySpec::last_name_key(), 10);
+/// let result = snm.run(&db.records, &NativeEmployeeTheory::new());
+/// assert!(result.pairs.len() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedNeighborhood {
+    key: KeySpec,
+    window: usize,
+}
+
+impl SortedNeighborhood {
+    /// A pass sorting on `key` and scanning with a `window`-record window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window < 2`.
+    pub fn new(key: KeySpec, window: usize) -> Self {
+        assert!(window >= 2, "window must hold at least two records");
+        SortedNeighborhood { key, window }
+    }
+
+    /// The key specification.
+    pub fn key(&self) -> &KeySpec {
+        &self.key
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Runs the three phases over `records` and returns the matched pairs.
+    pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+        let mut stats = PassStats::default();
+
+        // Phase 1: create keys.
+        let t0 = Instant::now();
+        let keys = extract_keys(&self.key, records);
+        stats.create_keys = t0.elapsed();
+
+        // Phase 2: sort (indices by key; stable so equal keys keep input
+        // order, making runs deterministic).
+        let t1 = Instant::now();
+        let order = sorted_order(&keys);
+        stats.sort = t1.elapsed();
+
+        // Phase 3: merge via window scan.
+        let t2 = Instant::now();
+        let mut pairs = PairSet::new();
+        stats.comparisons = window_scan(records, &order, self.window, theory, &mut pairs);
+        stats.window_scan = t2.elapsed();
+        stats.matches = pairs.len();
+
+        PassResult {
+            key_name: self.key.name().to_string(),
+            window: self.window,
+            pairs,
+            stats,
+            worker_comparisons: vec![stats.comparisons],
+        }
+    }
+}
+
+/// Extracts `key` for every record (exposed for the clustering and parallel
+/// engines, which reuse the same keys across phases).
+pub(crate) fn extract_keys(key: &KeySpec, records: &[Record]) -> Vec<String> {
+    let mut keys = Vec::with_capacity(records.len());
+    let mut buf = String::new();
+    for r in records {
+        key.extract_into(r, &mut buf);
+        keys.push(buf.clone());
+    }
+    keys
+}
+
+/// Returns record indices sorted by their key (stable).
+pub(crate) fn sorted_order(keys: &[String]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+    use mp_record::RecordId;
+    use mp_rules::NativeEmployeeTheory;
+
+    #[test]
+    fn finds_duplicates_in_generated_data() {
+        let db = DatabaseGenerator::new(
+            GeneratorConfig::new(400).duplicate_fraction(0.5).seed(31),
+        )
+        .generate();
+        let theory = NativeEmployeeTheory::new();
+        let result = SortedNeighborhood::new(KeySpec::last_name_key(), 10).run(&db.records, &theory);
+        // Some but not all true pairs are found by one pass (50-70% in the
+        // paper; loose bounds here for a small DB).
+        let truth = db.truth.true_pair_count();
+        assert!(truth > 0);
+        assert!(!result.pairs.is_empty(), "no pairs found");
+        assert!(result.stats.comparisons > 0);
+        assert_eq!(result.stats.matches, result.pairs.len());
+        assert_eq!(result.key_name, "last-name");
+    }
+
+    #[test]
+    fn wider_window_finds_at_least_as_much() {
+        let db = DatabaseGenerator::new(
+            GeneratorConfig::new(300).duplicate_fraction(0.5).seed(32),
+        )
+        .generate();
+        let theory = NativeEmployeeTheory::new();
+        let narrow = SortedNeighborhood::new(KeySpec::last_name_key(), 3).run(&db.records, &theory);
+        let wide = SortedNeighborhood::new(KeySpec::last_name_key(), 20).run(&db.records, &theory);
+        assert!(wide.pairs.len() >= narrow.pairs.len());
+        // Every narrow pair is also found by the wide window.
+        for (a, b) in narrow.pairs.iter() {
+            assert!(wide.pairs.contains(a, b));
+        }
+        assert!(wide.stats.comparisons > narrow.stats.comparisons);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let db = DatabaseGenerator::new(GeneratorConfig::new(200).seed(33)).generate();
+        let theory = NativeEmployeeTheory::new();
+        let snm = SortedNeighborhood::new(KeySpec::first_name_key(), 5);
+        let a = snm.run(&db.records, &theory);
+        let b = snm.run(&db.records, &theory);
+        assert_eq!(a.pairs.sorted(), b.pairs.sorted());
+        assert_eq!(a.stats.comparisons, b.stats.comparisons);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let theory = NativeEmployeeTheory::new();
+        let result = SortedNeighborhood::new(KeySpec::last_name_key(), 4).run(&[], &theory);
+        assert!(result.pairs.is_empty());
+        assert_eq!(result.stats.comparisons, 0);
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        let mut records = Vec::new();
+        for i in 0..5u32 {
+            let mut r = Record::empty(RecordId(i));
+            r.last_name = "SAME".into();
+            records.push(r);
+        }
+        let keys = extract_keys(&KeySpec::last_name_key(), &records);
+        assert_eq!(sorted_order(&keys), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_window_rejected() {
+        SortedNeighborhood::new(KeySpec::last_name_key(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! The merge phase: fixed-size window scanning over a sorted record order.
+
+use mp_closure::PairSet;
+use mp_record::Record;
+use mp_rules::EquationalTheory;
+
+/// Slides a `window`-record window over `order` (indices into `records`,
+/// already sorted by key) and applies `theory` to every pair inside the
+/// window, accumulating matches into `pairs`.
+///
+/// "If the size of the window is w records, then every new record entering
+/// the window is compared with the previous w − 1 records to find 'matching'
+/// records" (§2.2). Returns the number of pair comparisons performed —
+/// `(N − w/2 ish) · (w − 1)` — which the cost model and benches consume.
+///
+/// # Panics
+///
+/// Panics when `window < 2` (a window of one record can compare nothing).
+pub fn window_scan(
+    records: &[Record],
+    order: &[u32],
+    window: usize,
+    theory: &dyn EquationalTheory,
+    pairs: &mut PairSet,
+) -> u64 {
+    assert!(window >= 2, "window must hold at least two records");
+    let mut comparisons = 0u64;
+    for i in 1..order.len() {
+        let lo = i.saturating_sub(window - 1);
+        let new = &records[order[i] as usize];
+        for &prev in &order[lo..i] {
+            comparisons += 1;
+            let old = &records[prev as usize];
+            if theory.matches(old, new) {
+                pairs.insert(old.id.0, new.id.0);
+            }
+        }
+    }
+    comparisons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_record::RecordId;
+
+    /// Theory matching records with equal last names.
+    struct SameLast;
+    impl EquationalTheory for SameLast {
+        fn matches(&self, a: &Record, b: &Record) -> bool {
+            !a.last_name.is_empty() && a.last_name == b.last_name
+        }
+        fn name(&self) -> &str {
+            "same-last"
+        }
+    }
+
+    fn records(lasts: &[&str]) -> Vec<Record> {
+        lasts
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let mut r = Record::empty(RecordId(i as u32));
+                r.last_name = (*l).to_string();
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adjacent_matches_found_with_minimal_window() {
+        let recs = records(&["A", "A", "B", "C", "C"]);
+        let order: Vec<u32> = (0..recs.len() as u32).collect();
+        let mut pairs = PairSet::new();
+        window_scan(&recs, &order, 2, &SameLast, &mut pairs);
+        assert_eq!(pairs.sorted(), vec![(0, 1), (3, 4)]);
+    }
+
+    #[test]
+    fn matches_beyond_window_are_missed() {
+        // The fundamental SNM limitation the multi-pass approach fixes.
+        let recs = records(&["A", "B", "C", "A"]);
+        let order: Vec<u32> = (0..4).collect();
+        let mut pairs = PairSet::new();
+        window_scan(&recs, &order, 3, &SameLast, &mut pairs);
+        assert!(pairs.is_empty());
+        let mut pairs = PairSet::new();
+        window_scan(&recs, &order, 4, &SameLast, &mut pairs);
+        assert_eq!(pairs.sorted(), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn comparison_count_matches_formula() {
+        let recs = records(&["A"; 10]);
+        let order: Vec<u32> = (0..10).collect();
+        let mut pairs = PairSet::new();
+        let w = 4;
+        let c = window_scan(&recs, &order, w, &SameLast, &mut pairs);
+        // First w-1 entries compare with fewer: sum_{i=1}^{N-1} min(i, w-1).
+        let expected: u64 = (1..10u64).map(|i| i.min(w as u64 - 1)).sum();
+        assert_eq!(c, expected);
+        // All 45 pairs of equal records within distance 3 match.
+        assert_eq!(pairs.len() as u64, expected);
+    }
+
+    #[test]
+    fn order_indirection_respected() {
+        // Records sorted differently from their id order.
+        let recs = records(&["Z", "A", "Z"]);
+        let order = vec![1u32, 0, 2]; // A, Z, Z
+        let mut pairs = PairSet::new();
+        window_scan(&recs, &order, 2, &SameLast, &mut pairs);
+        assert_eq!(pairs.sorted(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn window_larger_than_list_is_fine() {
+        let recs = records(&["A", "A"]);
+        let order = vec![0u32, 1];
+        let mut pairs = PairSet::new();
+        let c = window_scan(&recs, &order, 100, &SameLast, &mut pairs);
+        assert_eq!(c, 1);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let recs = records(&[]);
+        let mut pairs = PairSet::new();
+        assert_eq!(window_scan(&recs, &[], 2, &SameLast, &mut pairs), 0);
+        let recs = records(&["A"]);
+        assert_eq!(window_scan(&recs, &[0], 2, &SameLast, &mut pairs), 0);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn window_of_one_rejected() {
+        let recs = records(&["A"]);
+        let mut pairs = PairSet::new();
+        window_scan(&recs, &[0], 1, &SameLast, &mut pairs);
+    }
+}

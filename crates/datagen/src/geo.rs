@@ -1,0 +1,199 @@
+//! Geographic corpora: cities, states, zip ranges, and street names.
+//!
+//! The paper uses publicly available U.S. lists (18,670 city names for the
+//! spell-correction corpus). We embed a seed of real cities with their
+//! states and representative zip prefixes, expand synthetically to the
+//! paper's corpus size for the spell corrector, and compose street names
+//! from common patterns. City, state, and zip are generated *consistently*
+//! (a record's zip matches its city's range), which the equational theory's
+//! address rules rely on.
+
+use rand::Rng;
+
+/// (city, state, zip prefix) seed — real U.S. cities.
+const CITY_SEEDS: [(&str, &str, &str); 80] = [
+    ("NEW YORK", "NY", "100"), ("LOS ANGELES", "CA", "900"), ("CHICAGO", "IL", "606"),
+    ("HOUSTON", "TX", "770"), ("PHOENIX", "AZ", "850"), ("PHILADELPHIA", "PA", "191"),
+    ("SAN ANTONIO", "TX", "782"), ("SAN DIEGO", "CA", "921"), ("DALLAS", "TX", "752"),
+    ("SAN JOSE", "CA", "951"), ("AUSTIN", "TX", "787"), ("JACKSONVILLE", "FL", "322"),
+    ("FORT WORTH", "TX", "761"), ("COLUMBUS", "OH", "432"), ("CHARLOTTE", "NC", "282"),
+    ("INDIANAPOLIS", "IN", "462"), ("SAN FRANCISCO", "CA", "941"), ("SEATTLE", "WA", "981"),
+    ("DENVER", "CO", "802"), ("WASHINGTON", "DC", "200"), ("BOSTON", "MA", "021"),
+    ("EL PASO", "TX", "799"), ("NASHVILLE", "TN", "372"), ("DETROIT", "MI", "482"),
+    ("OKLAHOMA CITY", "OK", "731"), ("PORTLAND", "OR", "972"), ("LAS VEGAS", "NV", "891"),
+    ("MEMPHIS", "TN", "381"), ("LOUISVILLE", "KY", "402"), ("BALTIMORE", "MD", "212"),
+    ("MILWAUKEE", "WI", "532"), ("ALBUQUERQUE", "NM", "871"), ("TUCSON", "AZ", "857"),
+    ("FRESNO", "CA", "937"), ("SACRAMENTO", "CA", "958"), ("MESA", "AZ", "852"),
+    ("KANSAS CITY", "MO", "641"), ("ATLANTA", "GA", "303"), ("OMAHA", "NE", "681"),
+    ("COLORADO SPRINGS", "CO", "809"), ("RALEIGH", "NC", "276"), ("MIAMI", "FL", "331"),
+    ("LONG BEACH", "CA", "908"), ("VIRGINIA BEACH", "VA", "234"), ("OAKLAND", "CA", "946"),
+    ("MINNEAPOLIS", "MN", "554"), ("TULSA", "OK", "741"), ("ARLINGTON", "TX", "760"),
+    ("TAMPA", "FL", "336"), ("NEW ORLEANS", "LA", "701"), ("WICHITA", "KS", "672"),
+    ("CLEVELAND", "OH", "441"), ("BAKERSFIELD", "CA", "933"), ("AURORA", "CO", "800"),
+    ("ANAHEIM", "CA", "928"), ("HONOLULU", "HI", "968"), ("SANTA ANA", "CA", "927"),
+    ("RIVERSIDE", "CA", "925"), ("CORPUS CHRISTI", "TX", "784"), ("LEXINGTON", "KY", "405"),
+    ("STOCKTON", "CA", "952"), ("HENDERSON", "NV", "890"), ("SAINT PAUL", "MN", "551"),
+    ("ST LOUIS", "MO", "631"), ("CINCINNATI", "OH", "452"), ("PITTSBURGH", "PA", "152"),
+    ("GREENSBORO", "NC", "274"), ("ANCHORAGE", "AK", "995"), ("PLANO", "TX", "750"),
+    ("LINCOLN", "NE", "685"), ("ORLANDO", "FL", "328"), ("IRVINE", "CA", "926"),
+    ("NEWARK", "NJ", "071"), ("TOLEDO", "OH", "436"), ("DURHAM", "NC", "277"),
+    ("CHULA VISTA", "CA", "919"), ("FORT WAYNE", "IN", "468"), ("JERSEY CITY", "NJ", "073"),
+    ("ST PETERSBURG", "FL", "337"), ("LAREDO", "TX", "780"),
+];
+
+/// Name stems for synthetic small towns (corpus expansion).
+const TOWN_STEMS: [&str; 40] = [
+    "SPRING", "OAK", "MAPLE", "CEDAR", "PINE", "ELM", "RIVER", "LAKE", "HILL",
+    "GREEN", "FAIR", "CLEAR", "MILL", "STONE", "BROOK", "GLEN", "WEST", "EAST",
+    "NORTH", "SOUTH", "GRAND", "UNION", "LIBERTY", "FRANKLIN", "MADISON", "CLINTON",
+    "SALEM", "GEORGE", "MARION", "CHESTER", "BRISTOL", "DOVER", "CAMDEN", "ASH",
+    "BIRCH", "WALNUT", "HAZEL", "SUNSET", "HARBOR", "MEADOW",
+];
+
+/// Suffixes for synthetic small towns.
+const TOWN_SUFFIXES: [&str; 18] = [
+    "FIELD", "VILLE", "TOWN", "BURG", "PORT", "FORD", "HAVEN", " CITY", " FALLS",
+    " SPRINGS", " HEIGHTS", " JUNCTION", " GROVE", " PARK", " RIDGE", " VALLEY",
+    "WOOD", "DALE",
+];
+
+/// Street base names for address generation.
+const STREET_NAMES: [&str; 40] = [
+    "MAIN", "OAK", "PARK", "ELM", "MAPLE", "WASHINGTON", "LAKE", "HILL", "WALNUT",
+    "SPRING", "CHURCH", "BROADWAY", "CENTER", "HIGHLAND", "MILL", "RIVER", "FRANKLIN",
+    "JEFFERSON", "MADISON", "JACKSON", "LINCOLN", "CHESTNUT", "PLEASANT", "CEDAR",
+    "PROSPECT", "COLLEGE", "FOREST", "GARDEN", "SUNSET", "MEADOW", "VALLEY", "UNION",
+    "SECOND", "THIRD", "FOURTH", "FIFTH", "AMSTERDAM", "COLUMBUS", "RIVERSIDE", "GRANT",
+];
+
+/// Street types paired with the expansions used by record conditioning.
+const STREET_TYPES: [&str; 8] = [
+    "STREET", "AVENUE", "ROAD", "DRIVE", "LANE", "BOULEVARD", "COURT", "PLACE",
+];
+
+/// One city with its state and zip prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// Two-letter state code.
+    pub state: &'static str,
+    /// Three-digit zip prefix; full zips append two random digits.
+    pub zip_prefix: &'static str,
+}
+
+/// Uniformly samples a real seed city.
+pub fn random_city<R: Rng>(rng: &mut R) -> City {
+    let (name, state, zip_prefix) = CITY_SEEDS[rng.gen_range(0..CITY_SEEDS.len())];
+    City { name, state, zip_prefix }
+}
+
+/// A full, consistent zip code for `city`.
+pub fn random_zip<R: Rng>(city: City, rng: &mut R) -> String {
+    format!("{}{:02}", city.zip_prefix, rng.gen_range(0..100))
+}
+
+/// A random street address as `(number, street name)`.
+pub fn random_street<R: Rng>(rng: &mut R) -> (String, String) {
+    let number = rng.gen_range(1..10_000).to_string();
+    // Street names are skewed like personal names: every town has a MAIN
+    // STREET, few have a RIVERSIDE BOULEVARD.
+    let name = STREET_NAMES[crate::names::zipf_index(STREET_NAMES.len(), 2.0, rng)];
+    let ty = STREET_TYPES[rng.gen_range(0..STREET_TYPES.len())];
+    (number, format!("{name} {ty}"))
+}
+
+/// A random apartment designator, empty ~60% of the time.
+pub fn random_apartment<R: Rng>(rng: &mut R) -> String {
+    if rng.gen_bool(0.6) {
+        String::new()
+    } else {
+        format!("APT {}{}", rng.gen_range(1..30), (b'A' + rng.gen_range(0..6)) as char)
+    }
+}
+
+/// The spell-correction corpus: every seed city plus synthetic towns up to
+/// `size` distinct names (the paper's corpus held 18,670).
+pub fn city_corpus(size: usize) -> Vec<String> {
+    let mut corpus: Vec<String> = CITY_SEEDS
+        .iter()
+        .take(size)
+        .map(|(n, _, _)| (*n).to_string())
+        .collect();
+    let mut n = 0usize;
+    while corpus.len() < size {
+        let stem = TOWN_STEMS[n % TOWN_STEMS.len()];
+        let suffix = TOWN_SUFFIXES[(n / TOWN_STEMS.len()) % TOWN_SUFFIXES.len()];
+        let round = n / (TOWN_STEMS.len() * TOWN_SUFFIXES.len());
+        n += 1;
+        let name = if round == 0 {
+            format!("{stem}{suffix}")
+        } else {
+            // Disambiguate further rounds with a directional prefix cycle.
+            let dir = ["NEW ", "OLD ", "UPPER ", "LOWER ", "PORT ", "FORT ", "MOUNT ", "LAKE "]
+                [round % 8];
+            if round < 8 {
+                format!("{dir}{stem}{suffix}")
+            } else {
+                format!("{dir}{stem}{suffix} {}", round / 8)
+            }
+        };
+        if !corpus.contains(&name) {
+            corpus.push(name);
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn corpus_reaches_paper_size_distinct() {
+        let corpus = city_corpus(18_670);
+        assert_eq!(corpus.len(), 18_670);
+        let set: HashSet<&String> = corpus.iter().collect();
+        assert_eq!(set.len(), corpus.len());
+    }
+
+    #[test]
+    fn corpus_small_sizes() {
+        assert_eq!(city_corpus(0).len(), 0);
+        assert_eq!(city_corpus(1), vec!["NEW YORK".to_string()]);
+        assert_eq!(city_corpus(80).len(), 80);
+    }
+
+    #[test]
+    fn zip_matches_city_prefix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let city = random_city(&mut rng);
+            let zip = random_zip(city, &mut rng);
+            assert_eq!(zip.len(), 5);
+            assert!(zip.starts_with(city.zip_prefix));
+            assert!(zip.bytes().all(|b| b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn streets_have_number_and_typed_name() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let (num, name) = random_street(&mut rng);
+            assert!(num.parse::<u32>().is_ok());
+            assert!(STREET_TYPES.iter().any(|t| name.ends_with(t)), "{name}");
+        }
+    }
+
+    #[test]
+    fn apartments_sometimes_empty_sometimes_not() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let apts: Vec<String> = (0..200).map(|_| random_apartment(&mut rng)).collect();
+        assert!(apts.iter().any(String::is_empty));
+        assert!(apts.iter().any(|a| a.starts_with("APT ")));
+    }
+}

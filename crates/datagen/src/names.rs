@@ -1,0 +1,379 @@
+//! Name corpora.
+//!
+//! The paper draws names "randomly from a list of 63000 real names". We have
+//! no such proprietary list, so (per DESIGN.md §5) we substitute a
+//! deterministic pool: a seed list of frequent American surnames extended by
+//! syllable composition to any requested size. Composition preserves the
+//! skewed first-letter/prefix distribution that the clustering method's
+//! histogram partitioner must cope with, which is the property the
+//! experiments actually exercise.
+
+use rand::Rng;
+
+/// Frequent American surnames used verbatim and as composition stems.
+const SURNAME_SEEDS: [&str; 96] = [
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER", "DAVIS",
+    "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ", "WILSON", "ANDERSON",
+    "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON",
+    "WHITE", "HARRIS", "SANCHEZ", "CLARK", "RAMIREZ", "LEWIS", "ROBINSON", "WALKER",
+    "YOUNG", "ALLEN", "KING", "WRIGHT", "SCOTT", "TORRES", "NGUYEN", "HILL", "FLORES",
+    "GREEN", "ADAMS", "NELSON", "BAKER", "HALL", "RIVERA", "CAMPBELL", "MITCHELL",
+    "CARTER", "ROBERTS", "GOMEZ", "PHILLIPS", "EVANS", "TURNER", "DIAZ", "PARKER",
+    "CRUZ", "EDWARDS", "COLLINS", "REYES", "STEWART", "MORRIS", "MORALES", "MURPHY",
+    "COOK", "ROGERS", "GUTIERREZ", "ORTIZ", "MORGAN", "COOPER", "PETERSON", "BAILEY",
+    "REED", "KELLY", "HOWARD", "RAMOS", "KIM", "COX", "WARD", "RICHARDSON", "WATSON",
+    "BROOKS", "CHAVEZ", "WOOD", "JAMES", "BENNETT", "GRAY", "MENDOZA", "RUIZ",
+    "HUGHES", "PRICE", "ALVAREZ", "CASTILLO", "SANDERS", "PATEL", "MYERS",
+];
+
+/// Onset syllables for composed surnames, weighted by rough letter-frequency
+/// of American surnames (more entries under common initials).
+const ONSETS: [&str; 48] = [
+    "BAR", "BEL", "BEN", "BER", "BOW", "BRAN", "CAL", "CAR", "CAS", "CHAM", "DAL",
+    "DAV", "DEL", "DON", "FAIR", "FER", "GAL", "GAR", "GRAN", "HAL", "HAM", "HAR",
+    "HEN", "HOL", "KEN", "KIR", "LAM", "LAN", "LIN", "MAC", "MAR", "MCAL", "MER",
+    "MON", "MOR", "NOR", "PAR", "PEM", "RAN", "ROS", "SAL", "SHER", "STAN", "TAL",
+    "VAN", "WAL", "WES", "WIN",
+];
+
+/// Middle syllables.
+const MIDDLES: [&str; 16] = [
+    "", "BER", "DER", "DING", "FIELD", "GER", "LAN", "LEY", "LING", "MAN", "MER",
+    "NER", "RING", "TER", "THER", "VER",
+];
+
+/// Coda syllables.
+const CODAS: [&str; 24] = [
+    "SON", "TON", "MAN", "BERG", "FORD", "WELL", "WOOD", "LAND", "FIELD", "WORTH",
+    "BROOK", "SHAW", "DALE", "GATE", "HURST", "COMB", "WICK", "STEIN", "HOLM",
+    "STROM", "MONT", "VALE", "MORE", "BY",
+];
+
+/// Common first (given) names used by the generator; aligned with the
+/// nickname classes in `mp-record` so nickname corruption is realistic.
+const FIRST_NAMES: [&str; 64] = [
+    "ROBERT", "WILLIAM", "JOSEPH", "JOHN", "MICHAEL", "JAMES", "RICHARD", "CHARLES",
+    "THOMAS", "CHRISTOPHER", "DANIEL", "MATTHEW", "ANTHONY", "STEVEN", "EDWARD",
+    "HENRY", "ALEXANDER", "FRANCIS", "LAWRENCE", "PETER", "ELIZABETH", "MARGARET",
+    "KATHERINE", "MARY", "PATRICIA", "JENNIFER", "SUSAN", "BARBARA", "DOROTHY",
+    "REBECCA", "DEBORAH", "VICTORIA", "LINDA", "CAROL", "SANDRA", "DONNA", "SHARON",
+    "MICHELLE", "LAURA", "SARAH", "KIMBERLY", "JESSICA", "NANCY", "KAREN", "BETTY",
+    "HELEN", "AMANDA", "MELISSA", "BRIAN", "KEVIN", "JASON", "JEFFREY", "RYAN",
+    "GARY", "NICHOLAS", "ERIC", "JONATHAN", "STEPHEN", "LARRY", "JUSTIN", "SCOTT",
+    "BRANDON", "BENJAMIN", "SAMUEL",
+];
+
+/// A deterministic pool of `size` distinct surnames.
+///
+/// Index `i` always yields the same name for the same pool size, so
+/// generated databases are reproducible across runs and machines.
+///
+/// ```
+/// use mp_datagen::names::SurnamePool;
+/// let pool = SurnamePool::new(63_000);
+/// assert_eq!(pool.len(), 63_000);
+/// assert_eq!(pool.get(0), pool.get(0));
+/// assert_ne!(pool.get(0), pool.get(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurnamePool {
+    names: Vec<String>,
+}
+
+impl SurnamePool {
+    /// Builds a pool of exactly `size` distinct surnames.
+    pub fn new(size: usize) -> Self {
+        let mut names: Vec<String> = Vec::with_capacity(size);
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for seed in SURNAME_SEEDS.iter().take(size) {
+            seen.insert((*seed).to_string());
+            names.push((*seed).to_string());
+        }
+        // Compose ONSET x MIDDLE x CODA, interleaved so consecutive indices
+        // differ in prefix (keeps the pool's prefix distribution stable
+        // under truncation); beyond one full cycle, a letter tag
+        // disambiguates repeats. Cross-combination string collisions (e.g.
+        // a middle/coda pair spelling another combination) are dropped by
+        // the `seen` check.
+        let cycle = ONSETS.len() * MIDDLES.len() * CODAS.len();
+        let mut n = 0usize;
+        while names.len() < size {
+            let onset = ONSETS[n % ONSETS.len()];
+            let m = MIDDLES[(n / ONSETS.len()) % MIDDLES.len()];
+            let c = CODAS[(n / (ONSETS.len() * MIDDLES.len())) % CODAS.len()];
+            let round = n / cycle;
+            n += 1;
+            let candidate = if round == 0 {
+                format!("{onset}{m}{c}")
+            } else {
+                format!("{onset}{m}{c}{}", alpha_tag(round - 1))
+            };
+            if seen.insert(candidate.clone()) {
+                names.push(candidate);
+            }
+        }
+        debug_assert_eq!(names.len(), size);
+        SurnamePool { names }
+    }
+
+    /// Number of names in the pool.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The `i`-th surname.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn get(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// A uniformly random surname.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &str {
+        self.get(rng.gen_range(0..self.names.len()))
+    }
+
+    /// A surname drawn with realistic Zipf-like skew (common names — the
+    /// seed list — dominate; see [`zipf_index`]).
+    pub fn sample_skewed<R: Rng>(&self, rng: &mut R) -> &str {
+        self.get(zipf_index(self.names.len(), 3.0, rng))
+    }
+}
+
+/// Draws a skewed (Zipf-like) index in `0..n`: real name frequencies are
+/// heavily concentrated on a few common names (SMITH alone covers ~1% of
+/// the U.S. population), and that skew is what produces the paper's small
+/// but non-zero false-positive rates — distinct people sharing a name.
+///
+/// `u^exponent` for uniform `u` concentrates mass near index 0; exponent 3
+/// puts ~5% of draws on the first ten of 63,000 surnames, matching census
+/// data to first order.
+pub fn zipf_index<R: Rng>(n: usize, exponent: f64, rng: &mut R) -> usize {
+    assert!(n > 0, "empty pool");
+    let u: f64 = rng.gen();
+    ((n as f64 * u.powf(exponent)) as usize).min(n - 1)
+}
+
+fn alpha_tag(mut n: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'A' + (n % 26) as u8) as char);
+        n /= 26;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// A uniformly random first name from the built-in list.
+pub fn random_first_name<R: Rng>(rng: &mut R) -> &'static str {
+    FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())]
+}
+
+/// Onset syllables for composed given names.
+const FIRST_ONSETS: [&str; 24] = [
+    "AD", "AL", "AN", "AR", "BEL", "BER", "CAR", "CEL", "DAR", "EL", "FER", "GER",
+    "HAR", "IS", "JOR", "KAR", "LEN", "MAR", "NOR", "OR", "ROS", "SAL", "TER", "VAL",
+];
+
+/// Coda syllables for composed given names.
+const FIRST_CODAS: [&str; 20] = [
+    "A", "AN", "ANA", "ELLE", "EN", "ENA", "ETTE", "IA", "IAN", "ICE", "INA", "INE",
+    "IO", "IS", "ITA", "MUND", "ON", "OS", "TON", "WIN",
+];
+
+/// A deterministic pool of distinct given names: the canonical list (which
+/// the nickname table covers) extended by syllable composition.
+///
+/// A realistic population draws from a few thousand distinct given names;
+/// with only the canonical 64, the first-name sort key would have far less
+/// discriminating power than the paper's real-name data.
+#[derive(Debug, Clone)]
+pub struct FirstNamePool {
+    names: Vec<String>,
+}
+
+impl FirstNamePool {
+    /// Builds a pool of exactly `size` distinct given names, starting with
+    /// the canonical nickname-covered list.
+    pub fn new(size: usize) -> Self {
+        let mut names: Vec<String> = Vec::with_capacity(size);
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for n in FIRST_NAMES.iter().take(size) {
+            seen.insert((*n).to_string());
+            names.push((*n).to_string());
+        }
+        let cycle = FIRST_ONSETS.len() * FIRST_CODAS.len();
+        let mut n = 0usize;
+        while names.len() < size {
+            let onset = FIRST_ONSETS[n % FIRST_ONSETS.len()];
+            let coda = FIRST_CODAS[(n / FIRST_ONSETS.len()) % FIRST_CODAS.len()];
+            let round = n / cycle;
+            n += 1;
+            let candidate = if round == 0 {
+                format!("{onset}{coda}")
+            } else {
+                format!("{onset}{coda}{}", alpha_tag(round - 1))
+            };
+            if seen.insert(candidate.clone()) {
+                names.push(candidate);
+            }
+        }
+        FirstNamePool { names }
+    }
+
+    /// Number of names in the pool.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The `i`-th name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn get(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// A uniformly random given name from the pool.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> &str {
+        self.get(rng.gen_range(0..self.names.len()))
+    }
+
+    /// A given name drawn with realistic Zipf-like skew (given names are
+    /// even more concentrated than surnames; see [`zipf_index`]).
+    pub fn sample_skewed<R: Rng>(&self, rng: &mut R) -> &str {
+        self.get(zipf_index(self.names.len(), 3.0, rng))
+    }
+}
+
+/// A random nickname/variant for `name` drawn from the standard equivalence
+/// classes, or `None` when the name has no known variants.
+pub fn random_variant<R: Rng>(name: &str, rng: &mut R) -> Option<&'static str> {
+    for class in mp_record::nickname::standard_classes() {
+        if class.contains(&name) {
+            let others: Vec<&str> = class.iter().copied().filter(|&n| n != name).collect();
+            if others.is_empty() {
+                return None;
+            }
+            return Some(others[rng.gen_range(0..others.len())]);
+        }
+    }
+    None
+}
+
+/// All built-in first names (used by tests and the quickstart example).
+pub fn first_names() -> &'static [&'static str] {
+    &FIRST_NAMES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pool_of_paper_size_is_distinct() {
+        let pool = SurnamePool::new(63_000);
+        assert_eq!(pool.len(), 63_000);
+        let set: HashSet<&str> = (0..pool.len()).map(|i| pool.get(i)).collect();
+        assert_eq!(set.len(), 63_000, "pool contains duplicates");
+    }
+
+    #[test]
+    fn pool_names_alphabetic_uppercase() {
+        let pool = SurnamePool::new(10_000);
+        for i in 0..pool.len() {
+            let n = pool.get(i);
+            assert!(!n.is_empty());
+            assert!(n.bytes().all(|b| b.is_ascii_uppercase()), "bad name {n}");
+        }
+    }
+
+    #[test]
+    fn pool_deterministic_and_prefix_stable() {
+        let a = SurnamePool::new(5_000);
+        let b = SurnamePool::new(5_000);
+        for i in 0..5_000 {
+            assert_eq!(a.get(i), b.get(i));
+        }
+        // Truncation keeps a prefix: first 1000 of a larger pool match.
+        let big = SurnamePool::new(20_000);
+        for i in 0..5_000 {
+            assert_eq!(a.get(i), big.get(i));
+        }
+    }
+
+    #[test]
+    fn first_letter_distribution_is_skewed_not_uniform() {
+        // The histogram partitioner needs realistic skew; verify the pool
+        // does not degenerate to a uniform first-letter distribution.
+        let pool = SurnamePool::new(63_000);
+        let mut counts = [0usize; 26];
+        for i in 0..pool.len() {
+            counts[(pool.get(i).as_bytes()[0] - b'A') as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let nonzero_min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
+        assert!(max > nonzero_min * 2, "distribution suspiciously flat");
+    }
+
+    #[test]
+    fn small_pools() {
+        assert_eq!(SurnamePool::new(1).len(), 1);
+        assert!(SurnamePool::new(0).is_empty());
+    }
+
+    #[test]
+    fn variants_stay_in_class() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = random_variant("ROBERT", &mut rng).unwrap();
+            assert_ne!(v, "ROBERT");
+            let t = mp_record::NicknameTable::standard();
+            assert!(t.equivalent(v, "ROBERT"), "{v} not equivalent");
+        }
+        assert_eq!(random_variant("XQZ", &mut rng), None);
+    }
+
+    #[test]
+    fn first_name_pool_distinct_and_seeded() {
+        let pool = FirstNamePool::new(1_200);
+        assert_eq!(pool.len(), 1_200);
+        let set: HashSet<&str> = (0..pool.len()).map(|i| pool.get(i)).collect();
+        assert_eq!(set.len(), 1_200);
+        // Canonical names lead the pool so nickname corruption stays live.
+        assert_eq!(pool.get(0), "ROBERT");
+        for i in 0..pool.len() {
+            assert!(pool.get(i).bytes().all(|b| b.is_ascii_uppercase()), "{}", pool.get(i));
+        }
+    }
+
+    #[test]
+    fn sampling_in_range() {
+        let pool = SurnamePool::new(100);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let n = pool.sample(&mut rng);
+            assert!((0..100).any(|i| pool.get(i) == n));
+        }
+        let f = random_first_name(&mut rng);
+        assert!(first_names().contains(&f));
+    }
+}

@@ -1,0 +1,299 @@
+//! Single-character typographical error model.
+//!
+//! §3.1: "When setting the parameters for the kind of typographical errors,
+//! we used known frequencies from studies in spelling correction
+//! algorithms [Kukich 92]." Kukich's survey reports four dominant error
+//! classes — substitution, deletion, insertion, and adjacent transposition —
+//! with most misspelled words containing exactly one error. Substituted and
+//! inserted characters are biased toward QWERTY-adjacent keys, the dominant
+//! mechanical cause.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+
+/// The four Kukich error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypoKind {
+    /// One character replaced by another.
+    Substitution,
+    /// One character removed.
+    Deletion,
+    /// One character added.
+    Insertion,
+    /// Two adjacent characters swapped.
+    Transposition,
+}
+
+/// Relative frequencies of the error classes. Damerau's classic analysis
+/// (as summarized by Kukich) puts single-error misspellings at roughly
+/// 19% insertion, 34% deletion, 27% substitution, 20% transposition for
+/// typed text; we use those as defaults.
+#[derive(Debug, Clone)]
+pub struct TypoModel {
+    weights: [f64; 4],
+}
+
+impl Default for TypoModel {
+    fn default() -> Self {
+        TypoModel {
+            // [substitution, deletion, insertion, transposition]
+            weights: [0.27, 0.34, 0.19, 0.20],
+        }
+    }
+}
+
+/// QWERTY neighbour table for biased substitutions/insertions.
+const QWERTY_NEIGHBOURS: [(&str, char); 26] = [
+    ("QWSZ", 'A'), ("VGHN", 'B'), ("XDFV", 'C'), ("SERFCX", 'D'), ("WSDR", 'E'),
+    ("DRTGVC", 'F'), ("FTYHBV", 'G'), ("GYUJNB", 'H'), ("UJKO", 'I'), ("HUIKMN", 'J'),
+    ("JIOLM", 'K'), ("KOP", 'L'), ("NJK", 'M'), ("BHJM", 'N'), ("IKLP", 'O'),
+    ("OL", 'P'), ("WA", 'Q'), ("EDFT", 'R'), ("AWEDXZ", 'S'), ("RFGY", 'T'),
+    ("YHJI", 'U'), ("CFGB", 'V'), ("QASE", 'W'), ("ZSDC", 'X'), ("TGHU", 'Y'),
+    ("ASX", 'Z'),
+];
+
+fn neighbours_of(c: char) -> &'static str {
+    let u = c.to_ascii_uppercase();
+    QWERTY_NEIGHBOURS
+        .iter()
+        .find(|(_, k)| *k == u)
+        .map_or("", |(n, _)| n)
+}
+
+impl TypoModel {
+    /// A model with custom class weights
+    /// `[substitution, deletion, insertion, transposition]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all weights are zero or any is negative.
+    pub fn with_weights(weights: [f64; 4]) -> Self {
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(weights.iter().sum::<f64>() > 0.0, "weights must not all be zero");
+        TypoModel { weights }
+    }
+
+    /// Draws an error class according to the model's weights.
+    pub fn sample_kind<R: Rng>(&self, rng: &mut R) -> TypoKind {
+        let dist = WeightedIndex::new(self.weights).expect("validated in constructor");
+        match dist.sample(rng) {
+            0 => TypoKind::Substitution,
+            1 => TypoKind::Deletion,
+            2 => TypoKind::Insertion,
+            _ => TypoKind::Transposition,
+        }
+    }
+
+    /// Applies one random typo to `s`, returning `true` when the string
+    /// changed. Empty strings only accept insertions; single-character
+    /// strings cannot be transposed (another class is retried).
+    pub fn apply_one<R: Rng>(&self, s: &mut String, rng: &mut R) -> bool {
+        let chars: Vec<char> = s.chars().collect();
+        // Retry a few times in case the drawn class is inapplicable.
+        for _ in 0..8 {
+            let kind = self.sample_kind(rng);
+            match kind {
+                TypoKind::Substitution if !chars.is_empty() => {
+                    let i = rng.gen_range(0..chars.len());
+                    let new = random_replacement(chars[i], rng);
+                    if new != chars[i] {
+                        let mut out = chars.clone();
+                        out[i] = new;
+                        *s = out.into_iter().collect();
+                        return true;
+                    }
+                }
+                TypoKind::Deletion if !chars.is_empty() => {
+                    let i = rng.gen_range(0..chars.len());
+                    let mut out = chars.clone();
+                    out.remove(i);
+                    *s = out.into_iter().collect();
+                    return true;
+                }
+                TypoKind::Insertion => {
+                    let i = rng.gen_range(0..=chars.len());
+                    // Inserted char: neighbour of an adjacent char when
+                    // possible (fat finger), else random letter.
+                    let basis = chars
+                        .get(i.saturating_sub(1))
+                        .or_else(|| chars.get(i))
+                        .copied();
+                    let c = match basis {
+                        Some(b) => random_insertion(b, rng),
+                        None => random_letter(rng),
+                    };
+                    let mut out = chars.clone();
+                    out.insert(i, c);
+                    *s = out.into_iter().collect();
+                    return true;
+                }
+                TypoKind::Transposition if chars.len() >= 2 => {
+                    let i = rng.gen_range(0..chars.len() - 1);
+                    if chars[i] != chars[i + 1] {
+                        let mut out = chars.clone();
+                        out.swap(i, i + 1);
+                        *s = out.into_iter().collect();
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Applies a geometric number of typos with mean `expected` (at least
+    /// one when `expected > 0` and the field is corruptible). Returns the
+    /// number of typos applied.
+    pub fn apply_noise<R: Rng>(&self, s: &mut String, expected: f64, rng: &mut R) -> usize {
+        if expected <= 0.0 {
+            return 0;
+        }
+        let mut applied = 0;
+        // First error always attempted; each further error with probability
+        // p chosen so the mean count is `expected` (geometric on 1..).
+        let p_more = 1.0 - 1.0 / expected.max(1.0);
+        loop {
+            if !self.apply_one(s, rng) {
+                break;
+            }
+            applied += 1;
+            if !rng.gen_bool(p_more) {
+                break;
+            }
+        }
+        applied
+    }
+}
+
+fn random_letter<R: Rng>(rng: &mut R) -> char {
+    (b'A' + rng.gen_range(0..26)) as char
+}
+
+/// Replacement biased 70/30 toward QWERTY neighbours of the original.
+fn random_replacement<R: Rng>(original: char, rng: &mut R) -> char {
+    let n = neighbours_of(original);
+    if !n.is_empty() && rng.gen_bool(0.7) {
+        let bytes = n.as_bytes();
+        bytes[rng.gen_range(0..bytes.len())] as char
+    } else if original.is_ascii_digit() {
+        (b'0' + rng.gen_range(0..10)) as char
+    } else {
+        random_letter(rng)
+    }
+}
+
+/// Inserted character biased toward neighbours of the adjacent key.
+fn random_insertion<R: Rng>(adjacent: char, rng: &mut R) -> char {
+    if adjacent.is_ascii_digit() {
+        return (b'0' + rng.gen_range(0..10)) as char;
+    }
+    random_replacement(adjacent, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn apply_one_changes_string() {
+        let mut r = rng();
+        let model = TypoModel::default();
+        for _ in 0..200 {
+            let mut s = String::from("HERNANDEZ");
+            assert!(model.apply_one(&mut s, &mut r));
+            assert_ne!(s, "HERNANDEZ");
+        }
+    }
+
+    #[test]
+    fn empty_string_only_insertions() {
+        let mut r = rng();
+        let model = TypoModel::default();
+        for _ in 0..50 {
+            let mut s = String::new();
+            if model.apply_one(&mut s, &mut r) {
+                assert_eq!(s.chars().count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_typo_stays_within_damerau_distance_one() {
+        use std::collections::HashSet;
+        let mut r = rng();
+        let model = TypoModel::default();
+        let original = "EXAMPLE";
+        let mut lens = HashSet::new();
+        for _ in 0..200 {
+            let mut s = String::from(original);
+            model.apply_one(&mut s, &mut r);
+            lens.insert(s.len());
+            // one typo => length differs by at most one
+            assert!((s.len() as i64 - original.len() as i64).abs() <= 1);
+        }
+        // All three length outcomes (del/ins/same) should appear.
+        assert_eq!(lens.len(), 3);
+    }
+
+    #[test]
+    fn class_frequencies_roughly_match_weights() {
+        let mut r = rng();
+        let model = TypoModel::default();
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            match model.sample_kind(&mut r) {
+                TypoKind::Substitution => counts[0] += 1,
+                TypoKind::Deletion => counts[1] += 1,
+                TypoKind::Insertion => counts[2] += 1,
+                TypoKind::Transposition => counts[3] += 1,
+            }
+        }
+        let expected = [0.27, 0.34, 0.19, 0.20];
+        for (c, e) in counts.iter().zip(expected) {
+            let freq = *c as f64 / 20_000.0;
+            assert!((freq - e).abs() < 0.02, "freq {freq} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn noise_mean_tracks_expected() {
+        let mut r = rng();
+        let model = TypoModel::default();
+        let mut total = 0usize;
+        let runs = 2_000;
+        for _ in 0..runs {
+            let mut s = String::from("REPRESENTATIVE");
+            total += model.apply_noise(&mut s, 2.0, &mut r);
+        }
+        let mean = total as f64 / runs as f64;
+        assert!((mean - 2.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_expected_noise_is_noop() {
+        let mut r = rng();
+        let model = TypoModel::default();
+        let mut s = String::from("UNCHANGED");
+        assert_eq!(model.apply_noise(&mut s, 0.0, &mut r), 0);
+        assert_eq!(s, "UNCHANGED");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        TypoModel::with_weights([-1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        TypoModel::with_weights([0.0; 4]);
+    }
+}

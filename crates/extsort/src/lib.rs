@@ -1,0 +1,101 @@
+#![warn(missing_docs)]
+
+//! External-memory (disk-resident) merge/purge with I/O pass accounting.
+//!
+//! §2.2 and §3.5 analyze the case where "the dominant cost will be disk
+//! I/O, i.e., the number of passes over the data set":
+//!
+//! * the **sorted-neighborhood method** needs "at least three passes: one
+//!   pass for conditioning the data and preparing keys, at least a second
+//!   pass, likely more, for a high speed sort ..., and a final pass for
+//!   window processing" — with an F-way external merge sort that is
+//!   `2 + ceil(log_F(N/M))` data passes;
+//! * the **clustering method** needs "approximately only 2 passes": one to
+//!   assign records to clusters, and one where each cluster is processed
+//!   in memory.
+//!
+//! This crate implements both over flat record files (the `mp-record` line
+//! format), with a hard in-memory budget of `M` records and exact
+//! [`IoStats`] so the pass-count analysis can be *measured* rather than
+//! asserted. Results are bit-identical to the in-memory engines (tested):
+//! the same pairs come out whether the data fits in RAM or not.
+//!
+//! ```no_run
+//! use mp_extsort::{ExternalConfig, ExternalSnm};
+//! use merge_purge::KeySpec;
+//! use mp_rules::NativeEmployeeTheory;
+//! use std::path::Path;
+//!
+//! let config = ExternalConfig { memory_records: 10_000, fan_in: 16 };
+//! let snm = ExternalSnm::new(KeySpec::last_name_key(), 10, config);
+//! let theory = NativeEmployeeTheory::new();
+//! let outcome = snm.run(Path::new("db.mp"), Path::new("/tmp/work"), &theory).unwrap();
+//! println!("{} pairs in {} passes", outcome.pairs.len(), outcome.io.data_passes());
+//! ```
+
+pub mod clustering;
+pub mod runfile;
+pub mod snm;
+pub mod sorter;
+
+pub use clustering::ExternalClustering;
+pub use snm::ExternalSnm;
+pub use sorter::ExternalSorter;
+
+use mp_closure::PairSet;
+
+/// Resource limits for external processing.
+#[derive(Debug, Clone, Copy)]
+pub struct ExternalConfig {
+    /// Maximum records held in memory at once (`M`). Run formation sorts
+    /// chunks of this size; the clustering method requires every cluster to
+    /// fit within it.
+    pub memory_records: usize,
+    /// Merge fan-in `F` (the paper's experiments "used merge sort ... which
+    /// used a 16-way merge algorithm").
+    pub fan_in: usize,
+}
+
+impl Default for ExternalConfig {
+    fn default() -> Self {
+        ExternalConfig {
+            memory_records: 100_000,
+            fan_in: 16,
+        }
+    }
+}
+
+/// Exact I/O accounting for one external run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Records read from disk (input + intermediate runs).
+    pub records_read: u64,
+    /// Records written to disk (runs + merge levels + cluster files).
+    pub records_written: u64,
+    /// Number of full sweeps over the data set (the §3.5 unit of cost):
+    /// each sweep reads every live record once.
+    pub sweeps: u32,
+}
+
+impl IoStats {
+    /// Total data passes, the quantity §3.5 compares across methods.
+    pub fn data_passes(&self) -> u32 {
+        self.sweeps
+    }
+
+    fn add_sweep(&mut self) {
+        self.sweeps += 1;
+    }
+}
+
+/// Result of an external merge/purge pass.
+#[derive(Debug)]
+pub struct ExternalOutcome {
+    /// Deduplicated matching pairs (same semantics as the in-memory
+    /// engines).
+    pub pairs: PairSet,
+    /// Measured I/O accounting.
+    pub io: IoStats,
+    /// Number of records processed.
+    pub records: usize,
+}

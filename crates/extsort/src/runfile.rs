@@ -1,0 +1,140 @@
+//! Keyed run files: `key|id|<record columns>` per line.
+//!
+//! Key extraction happens once, during run formation ("the creation of the
+//! keys was integrated into the sorting phase", §3.5); merge levels and the
+//! final window scan read the key back instead of recomputing it. The
+//! record's tuple id is stored explicitly because the base flat format
+//! assigns ids positionally and runs permute the order.
+
+use mp_record::{io as rio, Record, RecordId};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes `(key, record)` lines to a run file.
+pub struct RunWriter {
+    out: BufWriter<File>,
+    written: u64,
+}
+
+impl RunWriter {
+    /// Creates (truncates) the run file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(RunWriter {
+            out: BufWriter::new(File::create(path)?),
+            written: 0,
+        })
+    }
+
+    /// Appends one keyed record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the key contains the column separator or a newline (keys
+    /// are produced by `KeySpec`, which strips non-alphanumerics, so this
+    /// indicates a programming error).
+    pub fn write(&mut self, key: &str, record: &Record) -> io::Result<()> {
+        assert!(!key.contains(['|', '\n']), "key may not contain separators");
+        write!(self.out, "{key}|{}|", record.id.0)?;
+        let mut line = Vec::new();
+        rio::write_records(&mut line, std::slice::from_ref(record))?;
+        self.out.write_all(&line)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns how many records were written.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// Streams `(key, record)` lines back from a run file.
+pub struct RunReader {
+    lines: std::io::Lines<BufReader<File>>,
+}
+
+impl RunReader {
+    /// Opens the run file at `path`.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(RunReader {
+            lines: BufReader::new(File::open(path)?).lines(),
+        })
+    }
+
+    /// Reads the next keyed record, or `None` at end of file.
+    pub fn next_entry(&mut self) -> io::Result<Option<(String, Record)>> {
+        let Some(line) = self.lines.next() else {
+            return Ok(None);
+        };
+        let line = line?;
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let (key, rest) = line.split_once('|').ok_or_else(|| bad("missing key column"))?;
+        let (id, rest) = rest.split_once('|').ok_or_else(|| bad("missing id column"))?;
+        let id: u32 = id.parse().map_err(|_| bad("invalid id column"))?;
+        let mut records = rio::read_records(rest.as_bytes())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut record = records.pop().ok_or_else(|| bad("empty record line"))?;
+        record.id = RecordId(id);
+        Ok(Some((key.to_string(), record)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_record::EntityId;
+
+    fn work_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mp-extsort-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_key_id_and_fields() {
+        let path = work_path("roundtrip.run");
+        let mut r = Record::empty(RecordId(4242));
+        r.entity = Some(EntityId(7));
+        r.last_name = "HERNANDEZ".into();
+        r.city = "NEW YORK".into();
+
+        let mut w = RunWriter::create(&path).unwrap();
+        w.write("HERNANDEZM123456", &r).unwrap();
+        w.write("ZKEY", &r).unwrap();
+        assert_eq!(w.finish().unwrap(), 2);
+
+        let mut reader = RunReader::open(&path).unwrap();
+        let (k1, r1) = reader.next_entry().unwrap().unwrap();
+        assert_eq!(k1, "HERNANDEZM123456");
+        assert_eq!(r1, r);
+        let (k2, _) = reader.next_entry().unwrap().unwrap();
+        assert_eq!(k2, "ZKEY");
+        assert!(reader.next_entry().unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_key_roundtrips() {
+        let path = work_path("empty-key.run");
+        let r = Record::empty(RecordId(1));
+        let mut w = RunWriter::create(&path).unwrap();
+        w.write("", &r).unwrap();
+        w.finish().unwrap();
+        let mut reader = RunReader::open(&path).unwrap();
+        let (k, back) = reader.next_entry().unwrap().unwrap();
+        assert_eq!(k, "");
+        assert_eq!(back.id, RecordId(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "separators")]
+    fn key_with_separator_panics() {
+        let path = work_path("bad-key.run");
+        let r = Record::empty(RecordId(0));
+        let mut w = RunWriter::create(&path).unwrap();
+        let _ = w.write("A|B", &r);
+    }
+}

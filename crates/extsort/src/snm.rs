@@ -1,0 +1,161 @@
+//! Disk-resident sorted-neighborhood method.
+
+use crate::runfile::RunReader;
+use crate::sorter::ExternalSorter;
+use crate::{ExternalConfig, ExternalOutcome};
+use merge_purge::KeySpec;
+use mp_closure::PairSet;
+use mp_record::Record;
+use mp_rules::EquationalTheory;
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+
+/// External sorted-neighborhood pass: external merge sort (key creation and
+/// conditioning fused into run formation), then a streaming window scan
+/// holding only `w` records in memory.
+///
+/// Total data passes: `1 (runs) + ceil(log_F(N/M)) (merges) + 1 (scan)` —
+/// the paper's "2 + log N passes" (§3.5) with the log taken base-F over
+/// runs.
+#[derive(Debug, Clone)]
+pub struct ExternalSnm {
+    sorter: ExternalSorter,
+    window: usize,
+}
+
+impl ExternalSnm {
+    /// An external SNM pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window < 2` or the config is degenerate.
+    pub fn new(key: KeySpec, window: usize, config: ExternalConfig) -> Self {
+        assert!(window >= 2, "window must hold at least two records");
+        ExternalSnm {
+            sorter: ExternalSorter::new(key, config),
+            window,
+        }
+    }
+
+    /// Runs over the flat record file at `input`, with temporaries under
+    /// `work_dir`. Conditioning is applied during run formation.
+    pub fn run(
+        &self,
+        input: &Path,
+        work_dir: &Path,
+        theory: &dyn EquationalTheory,
+    ) -> io::Result<ExternalOutcome> {
+        let sorted = self.sorter.sort(input, work_dir, true)?;
+        let mut io_stats = sorted.io;
+
+        // Final pass: streaming window scan over the sorted run.
+        io_stats.sweeps += 1;
+        let mut reader = RunReader::open(&sorted.path)?;
+        let mut window: VecDeque<Record> = VecDeque::with_capacity(self.window);
+        let mut pairs = PairSet::new();
+        while let Some((_, new)) = reader.next_entry()? {
+            io_stats.records_read += 1;
+            for old in &window {
+                if theory.matches(old, &new) {
+                    pairs.insert(old.id.0, new.id.0);
+                }
+            }
+            if window.len() == self.window - 1 {
+                window.pop_front();
+            }
+            window.push_back(new);
+        }
+
+        let records = sorted.records;
+        sorted.cleanup();
+        Ok(ExternalOutcome {
+            pairs,
+            io: io_stats,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merge_purge::SortedNeighborhood;
+    use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+    use mp_record::io as rio;
+    use mp_rules::NativeEmployeeTheory;
+    use std::path::PathBuf;
+
+    fn work_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mp-xsnm-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn external_snm_matches_in_memory_snm() {
+        let dir = work_dir("match");
+        let mut db = DatabaseGenerator::new(
+            GeneratorConfig::new(400).duplicate_fraction(0.5).seed(6001),
+        )
+        .generate();
+        let input = dir.join("db.mp");
+        rio::write_records(std::fs::File::create(&input).unwrap(), &db.records).unwrap();
+
+        // In-memory reference over *conditioned* records (external path
+        // conditions during run formation).
+        mp_record::normalize::condition_all(
+            &mut db.records,
+            &mp_record::NicknameTable::standard(),
+        );
+        let theory = NativeEmployeeTheory::new();
+        let reference =
+            SortedNeighborhood::new(KeySpec::last_name_key(), 9).run(&db.records, &theory);
+
+        for memory in [50usize, 128, 10_000] {
+            let xsnm = ExternalSnm::new(
+                KeySpec::last_name_key(),
+                9,
+                ExternalConfig { memory_records: memory, fan_in: 3 },
+            );
+            let outcome = xsnm.run(&input, &dir, &theory).unwrap();
+            assert_eq!(
+                outcome.pairs.sorted(),
+                reference.pairs.sorted(),
+                "memory = {memory}"
+            );
+            assert_eq!(outcome.records, db.records.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pass_count_is_two_plus_merge_levels() {
+        let dir = work_dir("passes");
+        let db = DatabaseGenerator::new(GeneratorConfig::new(300).seed(6002)).generate();
+        let input = dir.join("db.mp");
+        rio::write_records(std::fs::File::create(&input).unwrap(), &db.records).unwrap();
+        let n = db.records.len();
+        let theory = NativeEmployeeTheory::new();
+
+        // Everything fits: 1 run, no merges: 2 passes total.
+        let fits = ExternalSnm::new(
+            KeySpec::last_name_key(),
+            5,
+            ExternalConfig { memory_records: n + 1, fan_in: 16 },
+        );
+        assert_eq!(fits.run(&input, &dir, &theory).unwrap().io.data_passes(), 2);
+
+        // Tiny memory, fan-in 2: 2 + ceil(log2(runs)) passes.
+        let m = 20;
+        let runs = n.div_ceil(m);
+        let tiny = ExternalSnm::new(
+            KeySpec::last_name_key(),
+            5,
+            ExternalConfig { memory_records: m, fan_in: 2 },
+        );
+        let expect = 2 + (runs as f64).log2().ceil() as u32;
+        assert_eq!(tiny.run(&input, &dir, &theory).unwrap().io.data_passes(), expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

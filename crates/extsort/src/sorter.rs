@@ -1,0 +1,337 @@
+//! External merge sort over keyed run files.
+
+use crate::runfile::{RunReader, RunWriter};
+use crate::{ExternalConfig, IoStats};
+use merge_purge::KeySpec;
+use mp_record::{io as rio, Record};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+
+/// External merge sort: run formation (fused with key extraction and
+/// optional conditioning) followed by F-way merge levels.
+///
+/// Sorting is stable with respect to record ids on equal keys, which makes
+/// the final order identical to the in-memory engines' stable sort — and
+/// therefore the window scan results identical too.
+#[derive(Debug, Clone)]
+pub struct ExternalSorter {
+    key: KeySpec,
+    config: ExternalConfig,
+}
+
+/// A fully sorted run on disk plus the accounting that produced it.
+pub struct SortedRun {
+    /// Path of the final sorted run file.
+    pub path: PathBuf,
+    /// Number of records.
+    pub records: usize,
+    /// I/O accounting so far (run formation + merge levels).
+    pub io: IoStats,
+    /// Intermediate files created (caller removes them with
+    /// [`SortedRun::cleanup`]).
+    pub temp_files: Vec<PathBuf>,
+}
+
+impl SortedRun {
+    /// Removes the final run and any leftover temporaries.
+    pub fn cleanup(self) {
+        for f in self.temp_files {
+            let _ = std::fs::remove_file(f);
+        }
+        let _ = std::fs::remove_file(self.path);
+    }
+}
+
+impl ExternalSorter {
+    /// A sorter for the given key and resource limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the memory budget is zero or the fan-in is below 2.
+    pub fn new(key: KeySpec, config: ExternalConfig) -> Self {
+        assert!(config.memory_records >= 1, "memory budget must be positive");
+        assert!(config.fan_in >= 2, "fan-in must be at least 2");
+        ExternalSorter { key, config }
+    }
+
+    /// Sorts the flat record file at `input` into a single keyed run under
+    /// `work_dir`. `condition` applies §3.2 conditioning during run
+    /// formation (the paper folds conditioning and key creation into one
+    /// pass).
+    pub fn sort(
+        &self,
+        input: &Path,
+        work_dir: &Path,
+        condition: bool,
+    ) -> io::Result<SortedRun> {
+        std::fs::create_dir_all(work_dir)?;
+        let mut io_stats = IoStats::default();
+        let mut temp_files = Vec::new();
+
+        // Pass 1: run formation. Stream M records at a time, condition,
+        // extract keys, sort in memory, write a run. At no point do more
+        // than M records live in memory.
+        let nicknames = mp_record::NicknameTable::standard();
+        let mut stream = rio::RecordStream::new(BufReader::new(File::open(input)?));
+        io_stats.add_sweep();
+
+        let mut total = 0usize;
+        let mut runs: Vec<PathBuf> = Vec::new();
+        let mut buf = String::new();
+        let mut chunk: Vec<Record> = Vec::with_capacity(self.config.memory_records);
+        let mut done = false;
+        while !done {
+            chunk.clear();
+            while chunk.len() < self.config.memory_records {
+                match stream.next() {
+                    Some(Ok(r)) => chunk.push(r),
+                    Some(Err(e)) => {
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                    }
+                    None => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            total += chunk.len();
+            io_stats.records_read += chunk.len() as u64;
+            if condition {
+                mp_record::normalize::condition_all(&mut chunk, &nicknames);
+            }
+            let mut keyed: Vec<(String, usize)> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    self.key.extract_into(r, &mut buf);
+                    (buf.clone(), i)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+            let path = work_dir.join(format!("run-{}-{}.tmp", runs.len(), std::process::id()));
+            let mut w = RunWriter::create(&path)?;
+            for (key, i) in &keyed {
+                w.write(key, &chunk[*i])?;
+            }
+            io_stats.records_written += w.finish()?;
+            runs.push(path);
+        }
+
+        // Merge levels: F runs at a time until one remains.
+        let mut level = 0usize;
+        while runs.len() > 1 {
+            io_stats.add_sweep();
+            let mut next: Vec<PathBuf> = Vec::new();
+            for (g, group) in runs.chunks(self.config.fan_in).enumerate() {
+                let path =
+                    work_dir.join(format!("merge-{level}-{g}-{}.tmp", std::process::id()));
+                let (read, written) = merge_group(group, &path)?;
+                io_stats.records_read += read;
+                io_stats.records_written += written;
+                next.push(path);
+            }
+            temp_files.extend(runs);
+            level += 1;
+            runs = next;
+        }
+
+        let path = runs.pop().unwrap_or_else(|| {
+            // Empty input: produce an empty run file for uniformity.
+            let p = work_dir.join(format!("run-empty-{}.tmp", std::process::id()));
+            let _ = RunWriter::create(&p).and_then(RunWriter::finish);
+            p
+        });
+        Ok(SortedRun {
+            path,
+            records: total,
+            io: io_stats,
+            temp_files,
+        })
+    }
+
+    /// The configured key.
+    pub fn key(&self) -> &KeySpec {
+        &self.key
+    }
+}
+
+struct HeapEntry {
+    key: String,
+    id: u32,
+    record: Record,
+    source: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: reverse. Ties by record id keep the order identical to
+        // the in-memory stable sort (ids are positional in the input).
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+fn merge_group(group: &[PathBuf], out: &Path) -> io::Result<(u64, u64)> {
+    let mut readers: Vec<RunReader> = group
+        .iter()
+        .map(|p| RunReader::open(p))
+        .collect::<io::Result<_>>()?;
+    let mut heap = BinaryHeap::with_capacity(readers.len());
+    let mut read = 0u64;
+    for (i, r) in readers.iter_mut().enumerate() {
+        if let Some((key, record)) = r.next_entry()? {
+            read += 1;
+            heap.push(HeapEntry {
+                key,
+                id: record.id.0,
+                record,
+                source: i,
+            });
+        }
+    }
+    let mut w = RunWriter::create(out)?;
+    while let Some(top) = heap.pop() {
+        w.write(&top.key, &top.record)?;
+        if let Some((key, record)) = readers[top.source].next_entry()? {
+            read += 1;
+            heap.push(HeapEntry {
+                key,
+                id: record.id.0,
+                record,
+                source: top.source,
+            });
+        }
+    }
+    let written = w.finish()?;
+    Ok((read, written))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+
+    fn work_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mp-extsort-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_db(n: usize, seed: u64, dir: &Path) -> (PathBuf, mp_datagen::GeneratedDatabase) {
+        let db = DatabaseGenerator::new(
+            GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed),
+        )
+        .generate();
+        let path = dir.join("input.mp");
+        let mut f = std::fs::File::create(&path).unwrap();
+        rio::write_records(&mut f, &db.records).unwrap();
+        (path, db)
+    }
+
+    #[test]
+    fn external_sort_order_matches_in_memory_stable_sort() {
+        let dir = work_dir("order");
+        let (input, db) = write_db(500, 5001, &dir);
+        let key = KeySpec::last_name_key();
+        let sorter = ExternalSorter::new(
+            key.clone(),
+            ExternalConfig { memory_records: 64, fan_in: 4 },
+        );
+        let sorted = sorter.sort(&input, &dir, false).unwrap();
+
+        // In-memory reference order.
+        let keys: Vec<String> = db.records.iter().map(|r| key.extract(r)).collect();
+        let mut expect: Vec<u32> = (0..db.records.len() as u32).collect();
+        expect.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+
+        let mut reader = RunReader::open(&sorted.path).unwrap();
+        let mut got = Vec::new();
+        while let Some((_, r)) = reader.next_entry().unwrap() {
+            got.push(r.id.0);
+        }
+        assert_eq!(got, expect);
+        sorted.cleanup();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pass_count_matches_formula() {
+        let dir = work_dir("passes");
+        let (input, db) = write_db(400, 5002, &dir);
+        let n = db.records.len();
+        for (m, f) in [(50usize, 2usize), (100, 4), (1_000, 16)] {
+            let sorter = ExternalSorter::new(
+                KeySpec::last_name_key(),
+                ExternalConfig { memory_records: m, fan_in: f },
+            );
+            let sorted = sorter.sort(&input, &dir, false).unwrap();
+            let runs = n.div_ceil(m).max(1);
+            let merge_levels = if runs <= 1 {
+                0
+            } else {
+                (runs as f64).log(f as f64).ceil() as u32
+            };
+            assert_eq!(
+                sorted.io.data_passes(),
+                1 + merge_levels,
+                "m={m} f={f} runs={runs}"
+            );
+            sorted.cleanup();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_input_sorts_to_empty_run() {
+        let dir = work_dir("empty");
+        let input = dir.join("empty.mp");
+        std::fs::write(&input, "").unwrap();
+        let sorter = ExternalSorter::new(KeySpec::last_name_key(), ExternalConfig::default());
+        let sorted = sorter.sort(&input, &dir, false).unwrap();
+        assert_eq!(sorted.records, 0);
+        let mut reader = RunReader::open(&sorted.path).unwrap();
+        assert!(reader.next_entry().unwrap().is_none());
+        sorted.cleanup();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conditioning_during_run_formation() {
+        let dir = work_dir("cond");
+        let mut r = Record::empty(mp_record::RecordId(0));
+        r.first_name = "mr. bob".into();
+        r.last_name = "smith jr".into();
+        let input = dir.join("one.mp");
+        let mut f = std::fs::File::create(&input).unwrap();
+        rio::write_records(&mut f, &[r]).unwrap();
+
+        let sorter = ExternalSorter::new(KeySpec::last_name_key(), ExternalConfig::default());
+        let sorted = sorter.sort(&input, &dir, true).unwrap();
+        let mut reader = RunReader::open(&sorted.path).unwrap();
+        let (_, rec) = reader.next_entry().unwrap().unwrap();
+        assert_eq!(rec.first_name, "ROBERT");
+        assert_eq!(rec.last_name, "SMITH");
+        sorted.cleanup();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

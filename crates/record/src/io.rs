@@ -1,0 +1,264 @@
+//! Flat-file persistence for record lists.
+//!
+//! One record per line, fields separated by `|` (which never occurs in
+//! generated data and is rejected on write). The ground-truth entity id is
+//! stored first so evaluation can reload it; production exports simply leave
+//! the column empty.
+
+use crate::record::{EntityId, Record, RecordId};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Number of `|`-separated columns per line: the entity column plus the ten
+/// data fields.
+const COLUMNS: usize = 1 + crate::field::Field::ALL.len();
+
+/// Error produced while reading a record file.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line did not have exactly the expected number of columns (the
+    /// entity column plus the ten data fields).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Number of columns found.
+        columns: usize,
+    },
+    /// The entity column held something other than an integer or blank.
+    BadEntity {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Malformed { line, columns } => {
+                write!(f, "line {line}: expected {COLUMNS} columns, found {columns}")
+            }
+            ReadError::BadEntity { line } => write!(f, "line {line}: invalid entity id"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Writes records in the flat format; field values containing `|` or a
+/// newline are rejected with `InvalidData`.
+pub fn write_records<W: Write>(mut w: W, records: &[Record]) -> io::Result<()> {
+    let mut line = String::new();
+    for r in records {
+        line.clear();
+        if let Some(EntityId(e)) = r.entity { line.push_str(&e.to_string()) }
+        for f in crate::field::Field::ALL {
+            let v = r.field(f);
+            if v.contains(['|', '\n']) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("field {f} of {} contains a separator", r.id),
+                ));
+            }
+            line.push('|');
+            line.push_str(v);
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads records written by [`write_records`], assigning sequential
+/// [`RecordId`]s from zero (the id is positional, exactly as in the
+/// concatenated list the paper sorts).
+pub fn read_records<R: BufRead>(r: R) -> Result<Vec<Record>, ReadError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(&line, i + 1, out.len() as u32)?);
+    }
+    Ok(out)
+}
+
+/// Streams records from a flat file one at a time, assigning positional
+/// ids — the memory-bounded counterpart of [`read_records`] used by the
+/// external-memory engines.
+pub struct RecordStream<R: BufRead> {
+    lines: std::io::Lines<R>,
+    line_no: usize,
+    next_id: u32,
+}
+
+impl<R: BufRead> RecordStream<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        RecordStream {
+            lines: reader.lines(),
+            line_no: 0,
+            next_id: 0,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for RecordStream<R> {
+    type Item = Result<Record, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line_no += 1;
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(ReadError::Io(e))),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let parsed = parse_line(&line, self.line_no, self.next_id);
+            if parsed.is_ok() {
+                self.next_id += 1;
+            }
+            return Some(parsed);
+        }
+    }
+}
+
+fn parse_line(line: &str, line_no: usize, id: u32) -> Result<Record, ReadError> {
+    let cols: Vec<&str> = line.split('|').collect();
+    if cols.len() != COLUMNS {
+        return Err(ReadError::Malformed {
+            line: line_no,
+            columns: cols.len(),
+        });
+    }
+    let entity = if cols[0].is_empty() {
+        None
+    } else {
+        Some(EntityId(cols[0].parse().map_err(|_| ReadError::BadEntity { line: line_no })?))
+    };
+    let mut rec = Record::empty(RecordId(id));
+    rec.entity = entity;
+    for (field, value) in crate::field::Field::ALL.iter().zip(&cols[1..]) {
+        *rec.field_mut(*field) = (*value).to_string();
+    }
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+
+    fn sample(n: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let mut r = Record::empty(RecordId(i));
+                r.entity = (i % 2 == 0).then_some(EntityId(i * 10));
+                r.first_name = format!("FIRST{i}");
+                r.last_name = format!("LAST{i}");
+                r.zip = "10027".into();
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let records = sample(5);
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records).unwrap();
+        let back = read_records(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_fields_and_missing_entity_roundtrip() {
+        let mut r = Record::empty(RecordId(0));
+        r.city = "AUSTIN".into();
+        let mut buf = Vec::new();
+        write_records(&mut buf, &[r.clone()]).unwrap();
+        let back = read_records(buf.as_slice()).unwrap();
+        assert_eq!(back, vec![r]);
+    }
+
+    #[test]
+    fn separator_in_field_rejected() {
+        let mut r = Record::empty(RecordId(0));
+        r.city = "BAD|CITY".into();
+        let err = write_records(Vec::new(), &[r]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = read_records("a|b|c\n".as_bytes()).unwrap_err();
+        match err {
+            ReadError::Malformed { line, columns } => {
+                assert_eq!(line, 1);
+                assert_eq!(columns, 3);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_entity_reported() {
+        let line = format!("xx{}\n", "|".repeat(COLUMNS - 1));
+        let err = read_records(line.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntity { line: 1 }));
+    }
+
+    #[test]
+    fn stream_matches_batch_reader() {
+        let records = sample(6);
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records).unwrap();
+        let streamed: Vec<Record> = RecordStream::new(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, records);
+    }
+
+    #[test]
+    fn stream_reports_errors_with_line_numbers() {
+        let text = "a|b|c\n";
+        let mut stream = RecordStream::new(text.as_bytes());
+        match stream.next().unwrap() {
+            Err(ReadError::Malformed { line, .. }) => assert_eq!(line, 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_ids_positional() {
+        let records = sample(3);
+        let mut buf = Vec::new();
+        write_records(&mut buf, &records).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.insert(0, '\n');
+        let back = read_records(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+        for (i, r) in back.iter().enumerate() {
+            assert_eq!(r.id, RecordId(i as u32));
+            assert_eq!(r.field(Field::FirstName), format!("FIRST{i}"));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Record model and data conditioning for the merge/purge pipeline.
+//!
+//! The paper's idealized "employee" database (§2.1): each record carries a
+//! social security number, a name (first, middle initial, last), and an
+//! address (street, apartment, city, state, zip). Records arrive from many
+//! sources, typically inconsistent and often incorrect, so before any
+//! matching runs the pipeline *conditions* the data (§3.2):
+//!
+//! * [`normalize`] — canonical upper-case form, collapsed whitespace,
+//!   stripped salutations/suffixes, expanded street abbreviations;
+//! * [`nickname`] — a name-equivalence table assigning a common form to
+//!   known nicknames (Joseph/Giuseppe, Bob/Robert, ...);
+//! * [`spell`] — a corpus-based spelling corrector in the style of
+//!   Bickel (CACM 1987) applied to the city field;
+//! * [`io`] — a simple pipe-separated flat-file format for persisting
+//!   generated databases.
+//!
+//! [`Record`] is deliberately a plain owned struct: the sorted-neighborhood
+//! method sorts multi-hundred-megabyte lists of them, and flat ownership
+//! keeps sort keys and comparisons cache-friendly.
+
+pub mod field;
+pub mod io;
+pub mod nickname;
+pub mod normalize;
+pub mod record;
+pub mod spell;
+
+pub use field::Field;
+pub use nickname::NicknameTable;
+pub use record::{EntityId, Record, RecordId};
+pub use io::RecordStream;
+pub use spell::SpellCorrector;

@@ -1,0 +1,172 @@
+//! Name-equivalence ("nicknames") table.
+//!
+//! §3.2: "A nicknames database or name equivalence database is used to assign
+//! a common name to records containing identified nicknames" — e.g. Joseph
+//! and Giuseppe are the same name in English and Italian but match in only
+//! three characters.
+
+use std::collections::HashMap;
+
+/// Built-in equivalence classes: the first entry of each class is the common
+/// form assigned to every member.
+const STANDARD_CLASSES: &[&[&str]] = &[
+    &["ROBERT", "BOB", "BOBBY", "ROB", "ROBBIE", "RUPERT", "ROBERTO"],
+    &["WILLIAM", "BILL", "BILLY", "WILL", "WILLIE", "LIAM", "GUILLERMO", "WILHELM"],
+    &["JOSEPH", "JOE", "JOEY", "JOS", "GIUSEPPE", "JOSE", "PEPE"],
+    &["JOHN", "JACK", "JOHNNY", "JON", "JUAN", "GIOVANNI", "JOHANN", "IAN", "SEAN"],
+    &["MICHAEL", "MIKE", "MICKEY", "MICK", "MIGUEL", "MICHEL", "MIKHAIL"],
+    &["JAMES", "JIM", "JIMMY", "JAMIE", "DIEGO", "SEAMUS"],
+    &["RICHARD", "RICK", "RICKY", "DICK", "RICH", "RICARDO"],
+    &["CHARLES", "CHUCK", "CHARLIE", "CARLOS", "CARL", "KARL", "CARLO"],
+    &["THOMAS", "TOM", "TOMMY", "TOMAS"],
+    &["CHRISTOPHER", "CHRIS", "KIT", "CRISTOBAL", "CHRISTOPH"],
+    &["DANIEL", "DAN", "DANNY", "DANILO"],
+    &["MATTHEW", "MATT", "MATEO", "MATTEO", "MATTHIAS"],
+    &["ANTHONY", "TONY", "ANTONIO", "ANTON", "ANTOINE"],
+    &["STEVEN", "STEVE", "STEPHEN", "ESTEBAN", "STEFAN", "STEFANO"],
+    &["EDWARD", "ED", "EDDIE", "TED", "TEDDY", "NED", "EDUARDO"],
+    &["HENRY", "HANK", "HARRY", "ENRIQUE", "HEINRICH", "ENRICO"],
+    &["ALEXANDER", "ALEX", "SASHA", "ALEJANDRO", "ALESSANDRO", "SANDY"],
+    &["FRANCIS", "FRANK", "FRANKIE", "FRANCISCO", "FRANCESCO", "PACO"],
+    &["LAWRENCE", "LARRY", "LORENZO", "LAURENT"],
+    &["PETER", "PETE", "PEDRO", "PIETRO", "PIERRE", "PIOTR"],
+    &["ELIZABETH", "LIZ", "BETH", "BETTY", "BETSY", "LISA", "ELISA", "ISABEL"],
+    &["MARGARET", "PEGGY", "MEG", "MAGGIE", "MARGE", "MARGARITA", "GRETA"],
+    &["KATHERINE", "KATE", "KATHY", "KATIE", "KAY", "CATALINA", "KATARINA", "CATHERINE"],
+    &["MARY", "MARIA", "MARIE", "MOLLY", "POLLY", "MIRIAM"],
+    &["PATRICIA", "PAT", "PATTY", "TRICIA", "TRISH"],
+    &["JENNIFER", "JEN", "JENNY", "JENNA"],
+    &["SUSAN", "SUE", "SUZY", "SUSANNA", "SUSANA", "SUZANNE"],
+    &["BARBARA", "BARB", "BARBIE", "BABS"],
+    &["DOROTHY", "DOT", "DOTTIE", "DOLLY", "DOROTEA"],
+    &["REBECCA", "BECKY", "BECCA"],
+    &["DEBORAH", "DEB", "DEBBIE", "DEBRA"],
+    &["VICTORIA", "VICKY", "TORI", "VITTORIA"],
+];
+
+/// The built-in equivalence classes behind [`NicknameTable::standard`]; the
+/// first entry of each class is the common form. Exposed so the database
+/// generator can inject realistic nickname substitutions that the standard
+/// table will later recognize.
+pub fn standard_classes() -> &'static [&'static [&'static str]] {
+    STANDARD_CLASSES
+}
+
+/// Maps nicknames and foreign variants to a canonical common form.
+///
+/// ```
+/// use mp_record::NicknameTable;
+/// let t = NicknameTable::standard();
+/// assert_eq!(t.common_form("GIUSEPPE"), Some("JOSEPH"));
+/// assert_eq!(t.common_form("BOB"), Some("ROBERT"));
+/// assert_eq!(t.common_form("ZELDA"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NicknameTable {
+    map: HashMap<String, String>,
+}
+
+impl NicknameTable {
+    /// An empty table (no substitutions ever apply).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The built-in table covering common English nicknames and a sample of
+    /// cross-language variants.
+    pub fn standard() -> Self {
+        let mut t = Self::default();
+        for class in STANDARD_CLASSES {
+            t.add_class(class);
+        }
+        t
+    }
+
+    /// Registers an equivalence class; the first name is the common form the
+    /// others map to. Names are stored upper-cased.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class is empty.
+    pub fn add_class(&mut self, class: &[&str]) {
+        let common = class
+            .first()
+            .expect("nickname class must not be empty")
+            .to_uppercase();
+        for &variant in &class[1..] {
+            self.map.insert(variant.to_uppercase(), common.clone());
+        }
+    }
+
+    /// The common form for `name`, if it is a known variant. The common form
+    /// itself maps to `None` (it is already canonical).
+    pub fn common_form(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Resolves a name to its canonical form, returning the input when it is
+    /// not a known variant.
+    pub fn resolve<'a>(&'a self, name: &'a str) -> &'a str {
+        self.common_form(name).unwrap_or(name)
+    }
+
+    /// True when two names share a canonical form (either directly equal or
+    /// equivalent through the table).
+    pub fn equivalent(&self, a: &str, b: &str) -> bool {
+        self.resolve(a) == self.resolve(b)
+    }
+
+    /// Number of variant → common-form entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_joseph_giuseppe() {
+        let t = NicknameTable::standard();
+        assert!(t.equivalent("JOSEPH", "GIUSEPPE"));
+        assert!(t.equivalent("JOE", "JOSE"));
+    }
+
+    #[test]
+    fn common_form_is_fixed_point() {
+        let t = NicknameTable::standard();
+        assert_eq!(t.common_form("ROBERT"), None);
+        assert_eq!(t.resolve("ROBERT"), "ROBERT");
+        assert_eq!(t.resolve("BOBBY"), "ROBERT");
+    }
+
+    #[test]
+    fn unknown_names_pass_through() {
+        let t = NicknameTable::standard();
+        assert_eq!(t.resolve("XAVIERA"), "XAVIERA");
+        assert!(!t.equivalent("XAVIERA", "ROBERT"));
+        assert!(t.equivalent("SAME", "SAME"));
+    }
+
+    #[test]
+    fn custom_class_and_case_insensitivity() {
+        let mut t = NicknameTable::empty();
+        assert!(t.is_empty());
+        t.add_class(&["Aleksandra", "sasha", "OLA"]);
+        assert_eq!(t.common_form("SASHA"), Some("ALEKSANDRA"));
+        assert_eq!(t.common_form("OLA"), Some("ALEKSANDRA"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_class_panics() {
+        NicknameTable::empty().add_class(&[]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Record conditioning: the cheap, purely syntactic cleanup pass run over
+//! every record before keys are extracted (§2.2 "after conditioning the
+//! records" / §3.2 pre-processing).
+
+use crate::nickname::NicknameTable;
+use crate::record::Record;
+
+/// Honorifics stripped from name fields.
+const SALUTATIONS: [&str; 8] = ["MR", "MRS", "MS", "DR", "MISS", "PROF", "REV", "HON"];
+
+/// Generational suffixes stripped from last-name fields.
+const SUFFIXES: [&str; 7] = ["JR", "SR", "II", "III", "IV", "ESQ", "PHD"];
+
+/// Street-type abbreviations expanded to a canonical long form, so that
+/// "MAIN ST" and "MAIN STREET" compare equal before any fuzzy matching.
+const STREET_ABBREVS: [(&str, &str); 12] = [
+    ("ST", "STREET"),
+    ("AVE", "AVENUE"),
+    ("AV", "AVENUE"),
+    ("BLVD", "BOULEVARD"),
+    ("RD", "ROAD"),
+    ("DR", "DRIVE"),
+    ("LN", "LANE"),
+    ("CT", "COURT"),
+    ("PL", "PLACE"),
+    ("SQ", "SQUARE"),
+    ("HWY", "HIGHWAY"),
+    ("PKWY", "PARKWAY"),
+];
+
+/// Upper-cases, trims, and collapses internal whitespace runs to single
+/// spaces; also drops periods and commas (common punctuation noise).
+///
+/// ```
+/// use mp_record::normalize::canonical;
+/// assert_eq!(canonical("  j.  smith, "), "J SMITH");
+/// ```
+pub fn canonical(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            pending_space = !out.is_empty();
+            continue;
+        }
+        if c == '.' || c == ',' {
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        for u in c.to_uppercase() {
+            out.push(u);
+        }
+    }
+    out
+}
+
+/// Removes a leading salutation token ("MR", "DR", ...) from a name.
+pub fn strip_salutation(name: &str) -> &str {
+    for sal in SALUTATIONS {
+        if let Some(rest) = name.strip_prefix(sal) {
+            if let Some(rest) = rest.strip_prefix(' ') {
+                return rest;
+            }
+        }
+    }
+    name
+}
+
+/// Removes a trailing generational suffix ("JR", "III", ...) from a name.
+pub fn strip_suffix(name: &str) -> &str {
+    for suf in SUFFIXES {
+        if let Some(rest) = name.strip_suffix(suf) {
+            if let Some(rest) = rest.strip_suffix(' ') {
+                return rest;
+            }
+        }
+    }
+    name
+}
+
+/// Expands trailing street-type abbreviations ("ST" → "STREET").
+///
+/// Only the final token is considered, which is where street types appear;
+/// expanding interior tokens would corrupt names like "ST JOHNS AVENUE".
+pub fn expand_street(street: &str) -> String {
+    match street.rsplit_once(' ') {
+        Some((head, last)) => {
+            for (abbr, long) in STREET_ABBREVS {
+                if last == abbr {
+                    return format!("{head} {long}");
+                }
+            }
+            street.to_string()
+        }
+        None => street.to_string(),
+    }
+}
+
+/// Conditions one record in place: canonical form for every field, name
+/// cleanup, street expansion, and nickname substitution on the first name.
+///
+/// This is the paper's "create keys / conditioning" O(N) pass, minus key
+/// extraction (which the core crate fuses into its sort phase).
+pub fn condition(record: &mut Record, nicknames: &NicknameTable) {
+    record.ssn = record.ssn.chars().filter(char::is_ascii_digit).collect();
+    record.first_name = canonical(&record.first_name);
+    record.first_name = strip_salutation(&record.first_name).to_string();
+    if let Some(common) = nicknames.common_form(&record.first_name) {
+        record.first_name = common.to_string();
+    }
+    record.middle_initial = canonical(&record.middle_initial);
+    record.middle_initial.truncate(
+        record
+            .middle_initial
+            .char_indices()
+            .nth(1)
+            .map_or(record.middle_initial.len(), |(i, _)| i),
+    );
+    record.last_name = canonical(&record.last_name);
+    record.last_name = strip_suffix(&record.last_name).to_string();
+    record.street_number = canonical(&record.street_number);
+    record.street_name = expand_street(&canonical(&record.street_name));
+    record.apartment = canonical(&record.apartment);
+    record.city = canonical(&record.city);
+    record.state = canonical(&record.state);
+    record.zip = record.zip.chars().filter(char::is_ascii_digit).collect();
+}
+
+/// Conditions a whole list of records.
+pub fn condition_all(records: &mut [Record], nicknames: &NicknameTable) {
+    for r in records {
+        condition(r, nicknames);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordId;
+
+    #[test]
+    fn canonical_uppercases_and_collapses() {
+        assert_eq!(canonical("  two   words "), "TWO WORDS");
+        assert_eq!(canonical("a.b,c"), "ABC");
+        assert_eq!(canonical(""), "");
+        assert_eq!(canonical("   "), "");
+    }
+
+    #[test]
+    fn salutations_stripped_only_as_leading_token() {
+        assert_eq!(strip_salutation("MR JONES"), "JONES");
+        assert_eq!(strip_salutation("DR DRE"), "DRE");
+        // "DREW" starts with "DR" but is not a salutation token.
+        assert_eq!(strip_salutation("DREW"), "DREW");
+        assert_eq!(strip_salutation("MRS"), "MRS");
+    }
+
+    #[test]
+    fn suffixes_stripped_only_as_trailing_token() {
+        assert_eq!(strip_suffix("SMITH JR"), "SMITH");
+        assert_eq!(strip_suffix("KING III"), "KING");
+        // "NAJR" ends with "JR" but is not a suffix token.
+        assert_eq!(strip_suffix("NAJR"), "NAJR");
+    }
+
+    #[test]
+    fn street_expansion_final_token_only() {
+        assert_eq!(expand_street("MAIN ST"), "MAIN STREET");
+        assert_eq!(expand_street("AMSTERDAM AVE"), "AMSTERDAM AVENUE");
+        assert_eq!(expand_street("ST JOHNS AVE"), "ST JOHNS AVENUE");
+        assert_eq!(expand_street("BROADWAY"), "BROADWAY");
+        assert_eq!(expand_street(""), "");
+    }
+
+    #[test]
+    fn condition_full_record() {
+        let mut r = Record::empty(RecordId(0));
+        r.ssn = "123-45-6789".into();
+        r.first_name = "mr. bob".into();
+        r.middle_initial = "ja".into();
+        r.last_name = "o'neill jr".into();
+        r.street_name = "w 120th st".into();
+        r.city = "new  york".into();
+        r.zip = "10027-1234".into();
+        let nicks = NicknameTable::standard();
+        condition(&mut r, &nicks);
+        assert_eq!(r.ssn, "123456789");
+        assert_eq!(r.first_name, "ROBERT"); // BOB -> ROBERT via nickname table
+        assert_eq!(r.middle_initial, "J");
+        assert_eq!(r.last_name, "O'NEILL");
+        assert_eq!(r.street_name, "W 120TH STREET");
+        assert_eq!(r.city, "NEW YORK");
+        assert_eq!(r.zip, "100271234");
+    }
+
+    #[test]
+    fn condition_is_idempotent() {
+        let mut r = Record::empty(RecordId(0));
+        r.first_name = "Mr. Joe".into();
+        r.last_name = "Smith Jr".into();
+        r.street_name = "Main St".into();
+        let nicks = NicknameTable::standard();
+        condition(&mut r, &nicks);
+        let once = r.clone();
+        condition(&mut r, &nicks);
+        assert_eq!(r, once);
+    }
+}

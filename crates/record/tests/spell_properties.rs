@@ -1,0 +1,73 @@
+//! Property tests for the spelling corrector: corrections are always
+//! corpus members within the distance bound, exact members are fixed
+//! points, and correction is deterministic.
+
+use mp_record::SpellCorrector;
+use mp_strsim::levenshtein;
+use proptest::prelude::*;
+
+fn corpus() -> Vec<String> {
+    mp_datagen::geo::city_corpus(400)
+}
+
+proptest! {
+    /// Any correction returned is a corpus word within max_distance.
+    #[test]
+    fn corrections_are_close_corpus_members(
+        word in "[A-Z ]{1,16}",
+        max in 1usize..4,
+    ) {
+        let corpus = corpus();
+        let sc = SpellCorrector::new(corpus.clone(), max);
+        if let Some(fixed) = sc.correct(&word) {
+            prop_assert!(corpus.iter().any(|c| c == fixed), "{fixed} not in corpus");
+            prop_assert!(
+                levenshtein(&word, fixed) <= max,
+                "{word} -> {fixed} exceeds bound {max}"
+            );
+        }
+    }
+
+    /// Corpus members are fixed points at any bound.
+    #[test]
+    fn corpus_members_are_fixed_points(idx in 0usize..400, max in 0usize..4) {
+        let corpus = corpus();
+        let word = corpus[idx % corpus.len()].clone();
+        let sc = SpellCorrector::new(corpus, max.max(1));
+        prop_assert_eq!(sc.correct(&word), Some(word.as_str()));
+    }
+
+    /// Correction is deterministic and idempotent.
+    #[test]
+    fn correction_deterministic_and_idempotent(word in "[A-Z]{1,12}") {
+        let sc = SpellCorrector::new(corpus(), 2);
+        let once = sc.correct(&word).map(str::to_string);
+        let twice = sc.correct(&word).map(str::to_string);
+        prop_assert_eq!(&once, &twice);
+        if let Some(fixed) = once {
+            // Correcting a correction changes nothing.
+            prop_assert_eq!(sc.correct(&fixed), Some(fixed.as_str()));
+        }
+    }
+
+    /// A single random typo over a corpus word is always repaired back to
+    /// *some* corpus word at distance <= 2 (usually the original).
+    #[test]
+    fn single_typos_always_repairable(
+        idx in 0usize..400,
+        pos in 0usize..32,
+        sub in b'A'..=b'Z',
+    ) {
+        let corpus = corpus();
+        let word = &corpus[idx % corpus.len()];
+        let mut chars: Vec<char> = word.chars().collect();
+        let p = pos % chars.len();
+        if chars[p] != sub as char {
+            chars[p] = sub as char;
+            let typo: String = chars.into_iter().collect();
+            let sc = SpellCorrector::new(corpus.clone(), 2);
+            let fixed = sc.correct(&typo);
+            prop_assert!(fixed.is_some(), "typo {typo} of {word} not repaired");
+        }
+    }
+}

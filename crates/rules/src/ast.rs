@@ -1,0 +1,163 @@
+//! Abstract syntax for rule programs.
+
+use crate::token::Pos;
+use mp_record::Field;
+
+/// Which of the two records a field reference addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordRef {
+    /// The first record of the pair (`r1`).
+    R1,
+    /// The second record of the pair (`r2`).
+    R2,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+}
+
+impl CmpOp {
+    /// Operator spelling, for error messages.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+        }
+    }
+}
+
+/// An expression node. Every node carries the source position of its head
+/// token so type errors point at the offending construct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Disjunction of two or more subexpressions.
+    Or(Vec<Expr>, Pos),
+    /// Conjunction of two or more subexpressions.
+    And(Vec<Expr>, Pos),
+    /// Logical negation.
+    Not(Box<Expr>, Pos),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>, Pos),
+    /// Builtin function call.
+    Call(String, Vec<Expr>, Pos),
+    /// Field access `r1.x` / `r2.x`.
+    FieldRef(RecordRef, Field, Pos),
+    /// Numeric literal.
+    Num(f64, Pos),
+    /// String literal.
+    Str(String, Pos),
+    /// Boolean literal.
+    Bool(bool, Pos),
+}
+
+impl Expr {
+    /// Source position of this expression's head.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Or(_, p)
+            | Expr::And(_, p)
+            | Expr::Not(_, p)
+            | Expr::Cmp(_, _, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::FieldRef(_, _, p)
+            | Expr::Num(_, p)
+            | Expr::Str(_, p)
+            | Expr::Bool(_, p) => *p,
+        }
+    }
+}
+
+/// One named rule: `rule NAME { when EXPR then match }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule name (unique within a program).
+    pub name: String,
+    /// The condition; the rule fires when it evaluates to true.
+    pub condition: Expr,
+    /// Position of the `rule` keyword.
+    pub pos: Pos,
+}
+
+/// Field-survivorship strategies for the purge phase (§5: the rule base's
+/// consequents "can be programmed to specify selective extraction, purging,
+/// and even deduction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Survivorship {
+    /// Value of the earliest record in the class (input order).
+    First,
+    /// First non-empty value in input order.
+    FirstNonEmpty,
+    /// Longest value (most complete); ties resolve to the earliest.
+    Longest,
+    /// Most frequent value among the class; ties resolve to the earliest
+    /// occurrence. Empty values do not vote.
+    MostFrequent,
+}
+
+impl Survivorship {
+    /// Strategy name as written in rule source.
+    pub fn name(self) -> &'static str {
+        match self {
+            Survivorship::First => "first",
+            Survivorship::FirstNonEmpty => "first_non_empty",
+            Survivorship::Longest => "longest",
+            Survivorship::MostFrequent => "most_frequent",
+        }
+    }
+
+    /// Parses a strategy name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "first" => Some(Survivorship::First),
+            "first_non_empty" => Some(Survivorship::FirstNonEmpty),
+            "longest" => Some(Survivorship::Longest),
+            "most_frequent" => Some(Survivorship::MostFrequent),
+            _ => None,
+        }
+    }
+}
+
+/// The optional `purge { field <- strategy ... }` block of a program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PurgeSpec {
+    /// Per-field survivorship assignments, in source order.
+    pub assignments: Vec<(Field, Survivorship)>,
+}
+
+impl PurgeSpec {
+    /// The strategy assigned to `field`, if any.
+    pub fn strategy(&self, field: Field) -> Option<Survivorship> {
+        self.assignments
+            .iter()
+            .rev() // later assignments win
+            .find(|(f, _)| *f == field)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// A complete rule program — the equational theory is the disjunction of
+/// its rules, plus an optional purge specification.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The rules, in source order (evaluation short-circuits on first fire).
+    pub rules: Vec<Rule>,
+    /// Survivorship spec from the `purge { ... }` block, if present.
+    pub purge: Option<PurgeSpec>,
+}

@@ -1,0 +1,273 @@
+//! Hand-rolled lexer for the rule language.
+
+use crate::parser::ParseError;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Tokenizes rule-program source. Comments run from `//` or `#` to end of
+/// line. Identifiers are `[A-Za-z_][A-Za-z0-9_]*`; `r1`/`r2` and keywords
+/// are recognized case-sensitively.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    while let Some(&(_, c)) = chars.peek() {
+        let start = pos!();
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some(&(_, '/')) => {
+                        for (_, c) in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                col = 1;
+                                break;
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(ParseError::bad_char('/', start));
+                    }
+                }
+            }
+            '#' => {
+                for (_, c) in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        col = 1;
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                col += 1;
+                out.push(Spanned { tok: Tok::LBrace, pos: start });
+            }
+            '}' => {
+                chars.next();
+                col += 1;
+                out.push(Spanned { tok: Tok::RBrace, pos: start });
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                out.push(Spanned { tok: Tok::LParen, pos: start });
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                out.push(Spanned { tok: Tok::RParen, pos: start });
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                out.push(Spanned { tok: Tok::Comma, pos: start });
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                out.push(Spanned { tok: Tok::Dot, pos: start });
+            }
+            '=' | '!' | '<' | '>' => {
+                chars.next();
+                col += 1;
+                if c == '<' && matches!(chars.peek(), Some(&(_, '-'))) {
+                    chars.next();
+                    col += 1;
+                    out.push(Spanned { tok: Tok::Arrow, pos: start });
+                    continue;
+                }
+                let followed_eq = matches!(chars.peek(), Some(&(_, '=')));
+                if followed_eq {
+                    chars.next();
+                    col += 1;
+                }
+                let tok = match (c, followed_eq) {
+                    ('=', true) => Tok::EqEq,
+                    ('!', true) => Tok::NotEq,
+                    ('<', true) => Tok::Le,
+                    ('>', true) => Tok::Ge,
+                    ('<', false) => Tok::Lt,
+                    ('>', false) => Tok::Gt,
+                    _ => return Err(ParseError::bad_char(c, start)),
+                };
+                out.push(Spanned { tok, pos: start });
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                for (_, c) in chars.by_ref() {
+                    col += 1;
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(ParseError::unterminated_string(start));
+                }
+                out.push(Spanned { tok: Tok::Str(s), pos: start });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        text.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::bad_number(text.clone(), start))?;
+                out.push(Spanned { tok: Tok::Number(n), pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match text.as_str() {
+                    "rule" => Tok::Rule,
+                    "when" => Tok::When,
+                    "then" => Tok::Then,
+                    "match" => Tok::Match,
+                    "purge" => Tok::Purge,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "r1" => Tok::R1,
+                    "r2" => Tok::R2,
+                    _ => Tok::Ident(text),
+                };
+                out.push(Spanned { tok, pos: start });
+            }
+            other => return Err(ParseError::bad_char(other, start)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_symbols() {
+        assert_eq!(
+            toks("rule x { when r1.a == r2.b then match }"),
+            vec![
+                Tok::Rule,
+                Tok::Ident("x".into()),
+                Tok::LBrace,
+                Tok::When,
+                Tok::R1,
+                Tok::Dot,
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::R2,
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Then,
+                Tok::Match,
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks(">= <= > < == !="),
+            vec![Tok::Ge, Tok::Le, Tok::Gt, Tok::Lt, Tok::EqEq, Tok::NotEq]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            toks(r#"0.25 42 "hello world""#),
+            vec![
+                Tok::Number(0.25),
+                Tok::Number(42.0),
+                Tok::Str("hello world".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("and // a comment\n# another\nor"),
+            vec![Tok::And, Tok::Or]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = lex("rule\n  name").unwrap();
+        assert_eq!(spanned[0].pos.line, 1);
+        assert_eq!(spanned[0].pos.col, 1);
+        assert_eq!(spanned[1].pos.line, 2);
+        assert_eq!(spanned[1].pos.col, 3);
+    }
+
+    #[test]
+    fn bad_chars_rejected_with_position() {
+        let err = lex("rule @").unwrap_err();
+        assert!(err.to_string().contains("1:6"), "{err}");
+        assert!(lex("= x").is_err());
+        assert!(lex("! x").is_err());
+        assert!(lex("/ x").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        assert!(lex("1.2.3").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+#![warn(missing_docs)]
+
+//! A declarative rule language for merge/purge equational theories.
+//!
+//! §2.3: "a natural approach to specifying an equational theory and making
+//! it practical would be the use of a declarative rule language." The paper
+//! wrote its 26-rule employee theory in OPS5, then recoded it in C for
+//! speed. This crate provides the same split:
+//!
+//! * a small rule DSL — lexer → parser → type checker → tree-walking
+//!   evaluator — for experimentation ([`RuleProgram`]);
+//! * a hand-coded native Rust implementation of the identical theory for
+//!   production throughput ([`native::NativeEmployeeTheory`]);
+//! * the [`EquationalTheory`] trait both implement, which the window-scan
+//!   phase calls for every candidate pair.
+//!
+//! # The language
+//!
+//! ```text
+//! rule same-name-address {
+//!     when last_name equal
+//!      and first_name differ_slightly(0.25)
+//!      and address equal
+//!     then match
+//! }
+//! ```
+//!
+//! is sugar-free in this implementation; the real grammar is expression
+//! based:
+//!
+//! ```text
+//! rule same_name_address {
+//!     when r1.last_name == r2.last_name
+//!      and differ_slightly(r1.first_name, r2.first_name, 0.25)
+//!      and r1.street_number == r2.street_number
+//!      and edit_sim(r1.street_name, r2.street_name) >= 0.75
+//!     then match
+//! }
+//! ```
+//!
+//! A program is a disjunction of rules: two records are equivalent when any
+//! rule fires. See [`builtins`] for the predicate library (edit, phonetic,
+//! typewriter distances, nickname equivalence, and friends).
+//!
+//! # Example
+//!
+//! ```
+//! use mp_rules::{EquationalTheory, RuleProgram};
+//! use mp_record::{Record, RecordId};
+//!
+//! let program = RuleProgram::compile(r#"
+//!     rule same_person {
+//!         when r1.ssn == r2.ssn
+//!          and differ_slightly(r1.last_name, r2.last_name, 0.3)
+//!         then match
+//!     }
+//! "#).unwrap();
+//!
+//! let mut a = Record::empty(RecordId(0));
+//! a.ssn = "123456789".into();
+//! a.last_name = "HERNANDEZ".into();
+//! let mut b = a.clone();
+//! b.id = RecordId(1);
+//! b.last_name = "HERNANDES".into();
+//! assert!(program.matches(&a, &b));
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod display;
+pub mod employee;
+pub mod eval;
+pub mod lexer;
+pub mod native;
+pub mod parser;
+pub mod semantic;
+pub mod token;
+pub mod value;
+
+pub use ast::{Expr, Program, PurgeSpec, Rule, Survivorship};
+pub use display::{print_program, programs_equivalent};
+pub use employee::{employee_program, EMPLOYEE_RULES_SRC};
+pub use eval::RuleProgram;
+pub use native::NativeEmployeeTheory;
+pub use parser::ParseError;
+pub use semantic::TypeError;
+
+use mp_record::Record;
+
+/// The equational theory interface: decides whether two records describe
+/// the same real-world entity.
+///
+/// Implementations must be pure functions of the two records (the window
+/// scan may evaluate a pair in any order and from any thread).
+pub trait EquationalTheory: Sync {
+    /// `true` when the theory declares `a` and `b` equivalent.
+    fn matches(&self, a: &Record, b: &Record) -> bool;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Errors surfaced when compiling a rule program.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// The program parsed but is ill-typed.
+    Type(TypeError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<TypeError> for CompileError {
+    fn from(e: TypeError) -> Self {
+        CompileError::Type(e)
+    }
+}

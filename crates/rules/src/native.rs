@@ -1,0 +1,398 @@
+//! Hand-coded native implementation of the employee theory.
+//!
+//! The paper recoded its OPS5 rules "directly in C to obtain speed-up over
+//! the OPS5 implementation" (§2.3, footnote 2). This module is that step:
+//! the same 26 rules as [`crate::employee::EMPLOYEE_RULES_SRC`], written as
+//! straight-line Rust with cheap equality tests first and expensive distance
+//! functions last. A test in this module asserts pair-for-pair agreement
+//! with the interpreted DSL program on generated noisy data, so the two can
+//! never drift apart silently.
+
+use crate::builtins::shared::{digits_transposed, initials_match, nysiis_eq};
+use crate::EquationalTheory;
+use mp_record::{NicknameTable, Record};
+use mp_strsim::{
+    differ_slightly, jaro_winkler, keyboard_distance, levenshtein, normalized_levenshtein,
+    soundex_eq, trigram_similarity,
+};
+
+/// The natively compiled employee theory.
+///
+/// ```
+/// use mp_rules::{EquationalTheory, NativeEmployeeTheory};
+/// use mp_record::{Record, RecordId};
+/// let theory = NativeEmployeeTheory::new();
+/// let mut a = Record::empty(RecordId(0));
+/// a.ssn = "123456789".into();
+/// a.last_name = "SMITH".into();
+/// let mut b = a.clone();
+/// b.last_name = "SMYTH".into();
+/// assert!(theory.matches(&a, &b)); // exact_ssn_close_last
+/// ```
+#[derive(Debug, Default)]
+pub struct NativeEmployeeTheory {
+    nicknames: NicknameTable,
+}
+
+impl NativeEmployeeTheory {
+    /// Theory with the standard nickname table.
+    pub fn new() -> Self {
+        NativeEmployeeTheory {
+            nicknames: NicknameTable::standard(),
+        }
+    }
+
+    /// Theory with a custom nickname table (must mirror the table compiled
+    /// into the DSL program for the two to agree).
+    pub fn with_nicknames(nicknames: NicknameTable) -> Self {
+        NativeEmployeeTheory { nicknames }
+    }
+}
+
+/// `edit_sim(a, b) >= threshold` exactly as the DSL computes it.
+#[inline]
+fn edit_sim_ge(a: &str, b: &str, threshold: f64) -> bool {
+    normalized_levenshtein(a, b) >= threshold
+}
+
+#[inline]
+fn eq_nonempty(a: &str, b: &str) -> bool {
+    !a.is_empty() && a == b
+}
+
+impl EquationalTheory for NativeEmployeeTheory {
+    #[allow(clippy::too_many_lines)] // one block per rule, mirroring the DSL
+    fn matches(&self, r1: &Record, r2: &Record) -> bool {
+        // Precompute the cheap equalities most rules consult.
+        let same_ssn = eq_nonempty(&r1.ssn, &r2.ssn);
+        let same_last = eq_nonempty(&r1.last_name, &r2.last_name);
+        let same_first = r1.first_name == r2.first_name;
+        let same_street_no = r1.street_number == r2.street_number;
+        let same_zip = eq_nonempty(&r1.zip, &r2.zip);
+
+        // -- Group A: SSN-anchored ------------------------------------------
+        // exact_ssn_close_last
+        if same_ssn && differ_slightly(&r1.last_name, &r2.last_name, 0.4) {
+            return true;
+        }
+        // exact_ssn_close_first
+        if same_ssn && differ_slightly(&r1.first_name, &r2.first_name, 0.4) {
+            return true;
+        }
+        // exact_ssn_same_zip
+        if same_ssn && same_zip {
+            return true;
+        }
+        // ssn_transposed_close_names
+        if digits_transposed(&r1.ssn, &r2.ssn)
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.3)
+            && (differ_slightly(&r1.first_name, &r2.first_name, 0.3)
+                || initials_match(&r1.first_name, &r2.first_name)
+                || self.nicknames.equivalent(&r1.first_name, &r2.first_name))
+        {
+            return true;
+        }
+        // ssn_one_digit_off_same_address
+        if same_street_no
+            && !r1.street_number.is_empty()
+            && levenshtein(&r1.ssn, &r2.ssn) <= 1
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+        {
+            return true;
+        }
+
+        // -- Group B: name + address ----------------------------------------
+        // same_last_close_first_same_address (the paper's worked example)
+        if same_last
+            && same_street_no
+            && differ_slightly(&r1.first_name, &r2.first_name, 0.3)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+        {
+            return true;
+        }
+        // close_last_same_first_same_address
+        if same_first
+            && !r1.first_name.is_empty()
+            && same_street_no
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.25)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+        {
+            return true;
+        }
+        // close_names_same_address_and_zip
+        if !r1.last_name.is_empty()
+            && !r1.zip.is_empty()
+            && same_street_no
+            && r1.zip == r2.zip
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.25)
+            && differ_slightly(&r1.first_name, &r2.first_name, 0.25)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.7)
+        {
+            return true;
+        }
+        // nickname_same_last_same_zip
+        if same_last
+            && same_zip
+            && self.nicknames.equivalent(&r1.first_name, &r2.first_name)
+        {
+            return true;
+        }
+        // nickname_same_last_same_address
+        if same_last
+            && same_street_no
+            && self.nicknames.equivalent(&r1.first_name, &r2.first_name)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+        {
+            return true;
+        }
+        // initials_same_last_same_address
+        if same_last
+            && same_street_no
+            && initials_match(&r1.first_name, &r2.first_name)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.85)
+        {
+            return true;
+        }
+
+        // -- Group C: phonetic ----------------------------------------------
+        // soundex_last_same_first_same_address
+        if same_first
+            && !r1.first_name.is_empty()
+            && same_street_no
+            && soundex_eq(&r1.last_name, &r2.last_name)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+        {
+            return true;
+        }
+        // nysiis_last_initials_same_zip_street
+        if same_zip
+            && same_street_no
+            && initials_match(&r1.first_name, &r2.first_name)
+            && nysiis_eq(&r1.last_name, &r2.last_name)
+        {
+            return true;
+        }
+        // soundex_both_names_same_city_street
+        if eq_nonempty(&r1.city, &r2.city)
+            && same_street_no
+            && soundex_eq(&r1.last_name, &r2.last_name)
+            && soundex_eq(&r1.first_name, &r2.first_name)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.75)
+        {
+            return true;
+        }
+
+        // -- Group D: typewriter / jaro / q-gram -----------------------------
+        // keyboard_last_same_first_same_city
+        if same_first
+            && !r1.first_name.is_empty()
+            && r1.city == r2.city
+            && same_street_no
+            && keyboard_distance(&r1.last_name, &r2.last_name) <= 1.0
+        {
+            return true;
+        }
+        // jaro_names_same_address
+        if same_street_no
+            && !r1.street_number.is_empty()
+            && jaro_winkler(&r1.last_name, &r2.last_name) >= 0.92
+            && jaro_winkler(&r1.first_name, &r2.first_name) >= 0.9
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.7)
+        {
+            return true;
+        }
+        // trigram_street_same_names
+        if same_last
+            && same_street_no
+            && (same_first || initials_match(&r1.first_name, &r2.first_name))
+            && trigram_similarity(&r1.street_name, &r2.street_name) >= 0.75
+        {
+            return true;
+        }
+
+        // -- Group E: moved person -------------------------------------------
+        // moved_same_name_similar_ssn
+        if same_last
+            && same_first
+            && !r1.first_name.is_empty()
+            && levenshtein(&r1.ssn, &r2.ssn) <= 2
+        {
+            return true;
+        }
+        // moved_same_full_name_with_middle
+        if same_last
+            && same_first
+            && !r1.first_name.is_empty()
+            && eq_nonempty(&r1.middle_initial, &r2.middle_initial)
+            && levenshtein(&r1.ssn, &r2.ssn) <= 3
+        {
+            return true;
+        }
+
+        // -- Group F: city / zip / state errors --------------------------------
+        // city_typo_same_rest
+        if same_last
+            && same_first
+            && same_street_no
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+            && differ_slightly(&r1.city, &r2.city, 0.35)
+        {
+            return true;
+        }
+        // zip_error_same_rest
+        if same_last
+            && same_first
+            && same_street_no
+            && levenshtein(&r1.zip, &r2.zip) <= 2
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+        {
+            return true;
+        }
+        // same_full_name_same_city (the loosest rule; FP source, see DSL)
+        if same_last
+            && same_first
+            && !r1.first_name.is_empty()
+            && (r1.middle_initial == r2.middle_initial
+                || r1.middle_initial.is_empty()
+                || r2.middle_initial.is_empty())
+            && eq_nonempty(&r1.city, &r2.city)
+        {
+            return true;
+        }
+
+        // -- Group G: missing fields / swapped names ---------------------------
+        // empty_first_same_ssn_last
+        if (r1.first_name.is_empty() || r2.first_name.is_empty()) && same_last && same_ssn {
+            return true;
+        }
+        // empty_street_same_ssn_city
+        if (r1.street_name.is_empty() || r2.street_name.is_empty())
+            && same_ssn
+            && eq_nonempty(&r1.city, &r2.city)
+        {
+            return true;
+        }
+        // apartment_anchor_close_names
+        if eq_nonempty(&r1.apartment, &r2.apartment)
+            && same_street_no
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.3)
+            && (initials_match(&r1.first_name, &r2.first_name)
+                || differ_slightly(&r1.first_name, &r2.first_name, 0.3))
+        {
+            return true;
+        }
+        // swapped_first_and_middle
+        if r1.first_name == r2.middle_initial
+            && r1.middle_initial == r2.first_name
+            && !r1.first_name.is_empty()
+            && !r1.middle_initial.is_empty()
+            && r1.last_name == r2.last_name
+            && (r1.ssn == r2.ssn || r1.zip == r2.zip)
+        {
+            return true;
+        }
+
+        false
+    }
+
+    fn name(&self) -> &str {
+        "native-employee"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_program;
+    use mp_datagen::{DatabaseGenerator, ErrorProfile, GeneratorConfig};
+    use mp_record::RecordId;
+
+    /// The load-bearing test: interpreted DSL and native Rust must agree on
+    /// every pair of a noisy generated database.
+    #[test]
+    fn native_agrees_with_dsl_on_generated_pairs() {
+        let dsl = employee_program();
+        let native = NativeEmployeeTheory::new();
+        for (seed, profile) in [
+            (101, ErrorProfile::light()),
+            (102, ErrorProfile::default()),
+            (103, ErrorProfile::heavy()),
+        ] {
+            let db = DatabaseGenerator::new(
+                GeneratorConfig::new(60)
+                    .duplicate_fraction(0.6)
+                    .max_duplicates_per_record(3)
+                    .errors(profile)
+                    .seed(seed),
+            )
+            .generate();
+            let records = &db.records;
+            for i in 0..records.len() {
+                // Dense window: all pairs within distance 8, plus same-entity
+                // pairs anywhere.
+                for j in i + 1..records.len().min(i + 9) {
+                    let (a, b) = (&records[i], &records[j]);
+                    assert_eq!(
+                        dsl.matches(a, b),
+                        native.matches(a, b),
+                        "disagreement (seed {seed}) on {:?} vs {:?}",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_is_symmetric_on_generated_pairs() {
+        let native = NativeEmployeeTheory::new();
+        let db = DatabaseGenerator::new(
+            GeneratorConfig::new(80)
+                .duplicate_fraction(0.8)
+                .errors(ErrorProfile::heavy())
+                .seed(104),
+        )
+        .generate();
+        for w in db.records.windows(2) {
+            assert_eq!(native.matches(&w[0], &w[1]), native.matches(&w[1], &w[0]));
+        }
+    }
+
+    #[test]
+    fn spot_checks() {
+        let t = NativeEmployeeTheory::new();
+        let mut a = Record::empty(RecordId(0));
+        a.ssn = "123456789".into();
+        a.first_name = "WILLIAM".into();
+        a.last_name = "TURNER".into();
+        a.street_number = "9".into();
+        a.street_name = "ELM STREET".into();
+        a.zip = "10001".into();
+
+        // nickname + same last + same zip
+        let mut b = a.clone();
+        b.ssn = "000000000".into();
+        b.first_name = "BILL".into();
+        assert!(t.matches(&a, &b));
+
+        // swapped first/middle with same ssn
+        let mut c = a.clone();
+        c.middle_initial = "WILLIAM".into();
+        c.first_name = "Q".into();
+        let mut a2 = a.clone();
+        a2.middle_initial = "Q".into();
+        assert!(t.matches(&a2, &c));
+
+        // unrelated
+        let mut z = Record::empty(RecordId(1));
+        z.ssn = "555555555".into();
+        z.first_name = "AGATHA".into();
+        z.last_name = "VILLANUEVA".into();
+        z.street_number = "777".into();
+        z.street_name = "OCEAN PARKWAY".into();
+        z.zip = "90210".into();
+        assert!(!t.matches(&a, &z));
+        assert_eq!(t.name(), "native-employee");
+    }
+}

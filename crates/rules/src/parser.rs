@@ -1,0 +1,458 @@
+//! Recursive-descent parser for the rule language.
+
+use crate::ast::{CmpOp, Expr, Program, PurgeSpec, RecordRef, Rule, Survivorship};
+use crate::lexer::lex;
+use crate::token::{Pos, Spanned, Tok};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Parse/lex failure with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    msg: String,
+    pos: Option<Pos>,
+}
+
+impl ParseError {
+    pub(crate) fn bad_char(c: char, pos: Pos) -> Self {
+        ParseError {
+            msg: format!("unexpected character {c:?}"),
+            pos: Some(pos),
+        }
+    }
+
+    pub(crate) fn unterminated_string(pos: Pos) -> Self {
+        ParseError {
+            msg: "unterminated string literal".into(),
+            pos: Some(pos),
+        }
+    }
+
+    pub(crate) fn bad_number(text: String, pos: Pos) -> Self {
+        ParseError {
+            msg: format!("invalid number {text:?}"),
+            pos: Some(pos),
+        }
+    }
+
+    fn at(msg: impl Into<String>, pos: Pos) -> Self {
+        ParseError {
+            msg: msg.into(),
+            pos: Some(pos),
+        }
+    }
+
+    fn eof(msg: impl Into<String>) -> Self {
+        ParseError {
+            msg: msg.into(),
+            pos: None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{} at {p}", self.msg),
+            None => write!(f, "{} at end of input", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full rule program from source text.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let mut rules = Vec::new();
+    let mut names = HashSet::new();
+    let mut purge: Option<PurgeSpec> = None;
+    while !p.done() {
+        if let Some(Spanned { tok: Tok::Purge, pos }) = p.peek().cloned() {
+            if purge.is_some() {
+                return Err(ParseError::at("duplicate purge block", pos));
+            }
+            purge = Some(p.purge_block()?);
+            continue;
+        }
+        let rule = p.rule()?;
+        if !names.insert(rule.name.clone()) {
+            return Err(ParseError::at(
+                format!("duplicate rule name {:?}", rule.name),
+                rule.pos,
+            ));
+        }
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err(ParseError::eof("program contains no rules"));
+    }
+    Ok(Program { rules, purge })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn done(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.i).cloned();
+        self.i += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Pos, ParseError> {
+        match self.next() {
+            Some(s) if &s.tok == want => Ok(s.pos),
+            Some(s) => Err(ParseError::at(
+                format!("expected {what}, found `{}`", s.tok),
+                s.pos,
+            )),
+            None => Err(ParseError::eof(format!("expected {what}"))),
+        }
+    }
+
+    /// `purge { field <- strategy ... }`
+    fn purge_block(&mut self) -> Result<PurgeSpec, ParseError> {
+        self.expect(&Tok::Purge, "`purge`")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut assignments = Vec::new();
+        loop {
+            match self.next() {
+                Some(Spanned { tok: Tok::RBrace, .. }) => break,
+                Some(Spanned { tok: Tok::Ident(fname), pos }) => {
+                    let field = fname
+                        .parse()
+                        .map_err(|_| ParseError::at(format!("unknown field {fname:?}"), pos))?;
+                    self.expect(&Tok::Arrow, "`<-`")?;
+                    match self.next() {
+                        Some(Spanned { tok: Tok::Ident(sname), pos }) => {
+                            let strategy = Survivorship::parse(&sname).ok_or_else(|| {
+                                ParseError::at(
+                                    format!(
+                                        "unknown survivorship strategy {sname:?} \
+                                         (expected first, first_non_empty, longest, \
+                                         or most_frequent)"
+                                    ),
+                                    pos,
+                                )
+                            })?;
+                            assignments.push((field, strategy));
+                        }
+                        Some(s) => {
+                            return Err(ParseError::at(
+                                format!("expected strategy name, found `{}`", s.tok),
+                                s.pos,
+                            ))
+                        }
+                        None => return Err(ParseError::eof("expected strategy name")),
+                    }
+                }
+                Some(s) => {
+                    return Err(ParseError::at(
+                        format!("expected field name or `}}`, found `{}`", s.tok),
+                        s.pos,
+                    ))
+                }
+                None => return Err(ParseError::eof("unterminated purge block")),
+            }
+        }
+        Ok(PurgeSpec { assignments })
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let pos = self.expect(&Tok::Rule, "`rule`")?;
+        let name = match self.next() {
+            Some(Spanned { tok: Tok::Ident(n), .. }) => n,
+            Some(s) => {
+                return Err(ParseError::at(
+                    format!("expected rule name, found `{}`", s.tok),
+                    s.pos,
+                ))
+            }
+            None => return Err(ParseError::eof("expected rule name")),
+        };
+        self.expect(&Tok::LBrace, "`{`")?;
+        self.expect(&Tok::When, "`when`")?;
+        let condition = self.or_expr()?;
+        self.expect(&Tok::Then, "`then`")?;
+        self.expect(&Tok::Match, "`match`")?;
+        self.expect(&Tok::RBrace, "`}`")?;
+        Ok(Rule { name, condition, pos })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.and_expr()?;
+        let pos = first.pos();
+        let mut parts = vec![first];
+        while matches!(self.peek(), Some(Spanned { tok: Tok::Or, .. })) {
+            self.next();
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Expr::Or(parts, pos)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.not_expr()?;
+        let pos = first.pos();
+        let mut parts = vec![first];
+        while matches!(self.peek(), Some(Spanned { tok: Tok::And, .. })) {
+            self.next();
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Expr::And(parts, pos)
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if let Some(Spanned { tok: Tok::Not, pos }) = self.peek().cloned() {
+            self.next();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner), pos));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.primary()?;
+        let op = match self.peek().map(|s| &s.tok) {
+            Some(Tok::EqEq) => Some(CmpOp::Eq),
+            Some(Tok::NotEq) => Some(CmpOp::Ne),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let pos = self.next().expect("peeked").pos;
+            let rhs = self.primary()?;
+            return Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs), pos));
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::LParen, .. }) => {
+                let e = self.or_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Spanned { tok: Tok::True, pos }) => Ok(Expr::Bool(true, pos)),
+            Some(Spanned { tok: Tok::False, pos }) => Ok(Expr::Bool(false, pos)),
+            Some(Spanned { tok: Tok::Number(n), pos }) => Ok(Expr::Num(n, pos)),
+            Some(Spanned { tok: Tok::Str(s), pos }) => Ok(Expr::Str(s, pos)),
+            Some(Spanned { tok: Tok::R1, pos }) => self.field_ref(RecordRef::R1, pos),
+            Some(Spanned { tok: Tok::R2, pos }) => self.field_ref(RecordRef::R2, pos),
+            Some(Spanned { tok: Tok::Ident(name), pos }) => {
+                self.expect(&Tok::LParen, "`(` after function name")?;
+                let mut args = Vec::new();
+                if !matches!(self.peek(), Some(Spanned { tok: Tok::RParen, .. })) {
+                    loop {
+                        args.push(self.or_expr()?);
+                        match self.peek().map(|s| &s.tok) {
+                            Some(Tok::Comma) => {
+                                self.next();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Expr::Call(name, args, pos))
+            }
+            Some(s) => Err(ParseError::at(
+                format!("expected expression, found `{}`", s.tok),
+                s.pos,
+            )),
+            None => Err(ParseError::eof("expected expression")),
+        }
+    }
+
+    fn field_ref(&mut self, rec: RecordRef, pos: Pos) -> Result<Expr, ParseError> {
+        self.expect(&Tok::Dot, "`.` after record designator")?;
+        match self.next() {
+            Some(Spanned { tok: Tok::Ident(name), pos: fpos }) => {
+                let field = name.parse().map_err(|_| {
+                    ParseError::at(format!("unknown field {name:?}"), fpos)
+                })?;
+                Ok(Expr::FieldRef(rec, field, pos))
+            }
+            Some(s) => Err(ParseError::at(
+                format!("expected field name, found `{}`", s.tok),
+                s.pos,
+            )),
+            None => Err(ParseError::eof("expected field name")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_record::Field;
+
+    #[test]
+    fn minimal_rule_parses() {
+        let p = parse("rule r { when true then match }").unwrap();
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].name, "r");
+        assert!(matches!(p.rules[0].condition, Expr::Bool(true, _)));
+    }
+
+    #[test]
+    fn field_comparison_parses() {
+        let p = parse("rule r { when r1.last_name == r2.last_name then match }").unwrap();
+        match &p.rules[0].condition {
+            Expr::Cmp(CmpOp::Eq, lhs, rhs, _) => {
+                assert!(matches!(**lhs, Expr::FieldRef(RecordRef::R1, Field::LastName, _)));
+                assert!(matches!(**rhs, Expr::FieldRef(RecordRef::R2, Field::LastName, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_or_binds_looser_than_and() {
+        let p = parse("rule r { when true and false or true then match }").unwrap();
+        match &p.rules[0].condition {
+            Expr::Or(parts, _) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Expr::And(_, _)));
+                assert!(matches!(parts[1], Expr::Bool(true, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let p = parse("rule r { when true and (false or true) then match }").unwrap();
+        match &p.rules[0].condition {
+            Expr::And(parts, _) => {
+                assert!(matches!(parts[1], Expr::Or(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_is_prefix_and_nests() {
+        let p = parse("rule r { when not not is_empty(r1.apartment) then match }").unwrap();
+        match &p.rules[0].condition {
+            Expr::Not(inner, _) => assert!(matches!(**inner, Expr::Not(_, _))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_with_args_parses() {
+        let p =
+            parse(r#"rule r { when differ_slightly(r1.city, "BOSTON", 0.2) then match }"#)
+                .unwrap();
+        match &p.rules[0].condition {
+            Expr::Call(name, args, _) => {
+                assert_eq!(name, "differ_slightly");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_rules_and_duplicates_rejected() {
+        let src = "rule a { when true then match } rule b { when false then match }";
+        assert_eq!(parse(src).unwrap().rules.len(), 2);
+        let dup = "rule a { when true then match } rule a { when false then match }";
+        let err = parse(dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let err = parse("rule r { when r1.salary == 3 then match }").unwrap_err();
+        assert!(err.to_string().contains("unknown field"), "{err}");
+        let err = parse("rule r { when then match }").unwrap_err();
+        assert!(err.to_string().contains("expected expression"), "{err}");
+        let err = parse("rule { when true then match }").unwrap_err();
+        assert!(err.to_string().contains("rule name"), "{err}");
+        let err = parse("").unwrap_err();
+        assert!(err.to_string().contains("no rules"), "{err}");
+        let err = parse("rule r { when true then match").unwrap_err();
+        assert!(err.to_string().contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn purge_block_parses() {
+        use mp_record::Field;
+        let p = parse(
+            "rule r { when true then match }\n\
+             purge { first_name <- longest middle_initial <- most_frequent }",
+        )
+        .unwrap();
+        let spec = p.purge.unwrap();
+        assert_eq!(spec.assignments.len(), 2);
+        assert_eq!(spec.strategy(Field::FirstName), Some(Survivorship::Longest));
+        assert_eq!(
+            spec.strategy(Field::MiddleInitial),
+            Some(Survivorship::MostFrequent)
+        );
+        assert_eq!(spec.strategy(Field::City), None);
+    }
+
+    #[test]
+    fn purge_block_before_rules_and_empty_are_fine() {
+        let p = parse("purge { } rule r { when true then match }").unwrap();
+        assert!(p.purge.unwrap().assignments.is_empty());
+    }
+
+    #[test]
+    fn later_purge_assignment_wins() {
+        use mp_record::Field;
+        let p = parse(
+            "rule r { when true then match } purge { zip <- first zip <- longest }",
+        )
+        .unwrap();
+        assert_eq!(p.purge.unwrap().strategy(Field::Zip), Some(Survivorship::Longest));
+    }
+
+    #[test]
+    fn purge_errors_reported() {
+        let err =
+            parse("rule r { when true then match } purge { salary <- first }").unwrap_err();
+        assert!(err.to_string().contains("unknown field"), "{err}");
+        let err =
+            parse("rule r { when true then match } purge { zip <- weirdest }").unwrap_err();
+        assert!(err.to_string().contains("unknown survivorship"), "{err}");
+        let err = parse("rule r { when true then match } purge { zip <- first")
+            .unwrap_err();
+        assert!(err.to_string().contains("unterminated purge"), "{err}");
+        let err = parse("purge {} purge {} rule r { when true then match }").unwrap_err();
+        assert!(err.to_string().contains("duplicate purge"), "{err}");
+        let err = parse("rule r { when true then match } purge { zip first }").unwrap_err();
+        assert!(err.to_string().contains("`<-`"), "{err}");
+    }
+
+    #[test]
+    fn bare_identifier_requires_call_parens() {
+        assert!(parse("rule r { when last_name then match }").is_err());
+    }
+}

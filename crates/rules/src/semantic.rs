@@ -1,0 +1,193 @@
+//! Static type checking of rule programs.
+
+use crate::ast::{CmpOp, Expr, Program};
+use crate::builtins::lookup;
+use crate::token::Pos;
+use crate::value::Type;
+use std::fmt;
+
+/// A type error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    msg: String,
+    pos: Pos,
+}
+
+impl TypeError {
+    fn new(msg: impl Into<String>, pos: Pos) -> Self {
+        TypeError { msg: msg.into(), pos }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Checks that every rule condition is boolean and every subexpression is
+/// well-typed.
+pub fn check(program: &Program) -> Result<(), TypeError> {
+    for rule in &program.rules {
+        let t = infer(&rule.condition)?;
+        if t != Type::Bool {
+            return Err(TypeError::new(
+                format!("rule {:?} condition has type {t}, expected bool", rule.name),
+                rule.condition.pos(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Infers the type of an expression, failing on any inconsistency.
+pub fn infer(expr: &Expr) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Bool(_, _) => Ok(Type::Bool),
+        Expr::Num(_, _) => Ok(Type::Num),
+        Expr::Str(_, _) => Ok(Type::Str),
+        Expr::FieldRef(_, _, _) => Ok(Type::Str),
+        Expr::Not(inner, pos) => {
+            let t = infer(inner)?;
+            if t != Type::Bool {
+                return Err(TypeError::new(format!("`not` applied to {t}"), *pos));
+            }
+            Ok(Type::Bool)
+        }
+        Expr::And(parts, _) | Expr::Or(parts, _) => {
+            for p in parts {
+                let t = infer(p)?;
+                if t != Type::Bool {
+                    return Err(TypeError::new(
+                        format!("logical operand has type {t}, expected bool"),
+                        p.pos(),
+                    ));
+                }
+            }
+            Ok(Type::Bool)
+        }
+        Expr::Cmp(op, lhs, rhs, pos) => {
+            let lt = infer(lhs)?;
+            let rt = infer(rhs)?;
+            if lt != rt {
+                return Err(TypeError::new(
+                    format!("cannot compare {lt} {} {rt}", op.symbol()),
+                    *pos,
+                ));
+            }
+            match op {
+                CmpOp::Eq | CmpOp::Ne => Ok(Type::Bool),
+                _ if lt == Type::Num => Ok(Type::Bool),
+                _ => Err(TypeError::new(
+                    format!("ordering comparison {} requires numbers, got {lt}", op.symbol()),
+                    *pos,
+                )),
+            }
+        }
+        Expr::Call(name, args, pos) => {
+            let b = lookup(name)
+                .ok_or_else(|| TypeError::new(format!("unknown function {name:?}"), *pos))?;
+            if args.len() != b.params.len() {
+                return Err(TypeError::new(
+                    format!(
+                        "{name} expects {} argument(s), got {}",
+                        b.params.len(),
+                        args.len()
+                    ),
+                    *pos,
+                ));
+            }
+            for (i, (arg, want)) in args.iter().zip(b.params).enumerate() {
+                let got = infer(arg)?;
+                if got != *want {
+                    return Err(TypeError::new(
+                        format!("argument {} of {name} has type {got}, expected {want}", i + 1),
+                        arg.pos(),
+                    ));
+                }
+            }
+            Ok(b.ret)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), TypeError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn well_typed_program_passes() {
+        check_src(
+            r#"rule r {
+                when r1.last_name == r2.last_name
+                 and edit_sim(r1.first_name, r2.first_name) >= 0.75
+                 and not is_empty(r1.city)
+                then match
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn non_bool_condition_rejected() {
+        let err = check_src("rule r { when len(r1.city) then match }").unwrap_err();
+        assert!(err.to_string().contains("expected bool"), "{err}");
+    }
+
+    #[test]
+    fn mixed_comparison_rejected() {
+        let err = check_src("rule r { when r1.city == 3 then match }").unwrap_err();
+        assert!(err.to_string().contains("cannot compare"), "{err}");
+    }
+
+    #[test]
+    fn string_ordering_rejected() {
+        let err = check_src("rule r { when r1.city < r2.city then match }").unwrap_err();
+        assert!(err.to_string().contains("requires numbers"), "{err}");
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = check_src("rule r { when frobnicate(r1.city) then match }").unwrap_err();
+        assert!(err.to_string().contains("unknown function"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = check_src("rule r { when is_empty(r1.city, r2.city) then match }").unwrap_err();
+        assert!(err.to_string().contains("expects 1 argument"), "{err}");
+    }
+
+    #[test]
+    fn argument_type_mismatch_rejected() {
+        let err = check_src("rule r { when is_empty(3) then match }").unwrap_err();
+        assert!(err.to_string().contains("argument 1"), "{err}");
+    }
+
+    #[test]
+    fn not_of_non_bool_rejected() {
+        // `not` applies to a full comparison, so this is fine...
+        check_src("rule r { when not len(r1.city) > 1 then match }").unwrap();
+        // ...but `not` over a string-typed expression is an error.
+        let err = check_src("rule r { when not prefix(r1.city, 1) then match }").unwrap_err();
+        assert!(err.to_string().contains("`not` applied to string"), "{err}");
+    }
+
+    #[test]
+    fn logical_operand_must_be_bool() {
+        let err = check_src("rule r { when true and len(r1.city) then match }").unwrap_err();
+        assert!(err.to_string().contains("logical operand"), "{err}");
+    }
+
+    #[test]
+    fn bool_equality_allowed() {
+        check_src("rule r { when is_empty(r1.city) == is_empty(r2.city) then match }").unwrap();
+    }
+}

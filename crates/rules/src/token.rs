@@ -1,0 +1,123 @@
+//! Token definitions for the rule language.
+
+use std::fmt;
+
+/// Source position (1-based line and column) for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword `rule`.
+    Rule,
+    /// Keyword `when`.
+    When,
+    /// Keyword `then`.
+    Then,
+    /// Keyword `match`.
+    Match,
+    /// Keyword `purge`.
+    Purge,
+    /// Arrow `<-` (purge assignment).
+    Arrow,
+    /// Keyword `and`.
+    And,
+    /// Keyword `or`.
+    Or,
+    /// Keyword `not`.
+    Not,
+    /// Keyword `true`.
+    True,
+    /// Keyword `false`.
+    False,
+    /// Record designator `r1`.
+    R1,
+    /// Record designator `r2`.
+    R2,
+    /// Identifier (rule name, function, or field).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Rule => write!(f, "rule"),
+            Tok::When => write!(f, "when"),
+            Tok::Then => write!(f, "then"),
+            Tok::Match => write!(f, "match"),
+            Tok::Purge => write!(f, "purge"),
+            Tok::Arrow => write!(f, "<-"),
+            Tok::And => write!(f, "and"),
+            Tok::Or => write!(f, "or"),
+            Tok::Not => write!(f, "not"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+            Tok::R1 => write!(f, "r1"),
+            Tok::R2 => write!(f, "r2"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Ge => write!(f, ">="),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Lt => write!(f, "<"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}

@@ -1,0 +1,123 @@
+//! Runtime values and static types of the rule language.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Static type of an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// String values (record fields, literals, `prefix(...)` results).
+    Str,
+    /// Numeric values (distances, thresholds, lengths).
+    Num,
+    /// Boolean values (predicates, comparisons).
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Str => write!(f, "string"),
+            Type::Num => write!(f, "number"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A runtime value. Strings borrow from the records under comparison when
+/// possible (field references) and own only derived strings (`prefix`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value<'a> {
+    /// String value.
+    Str(Cow<'a, str>),
+    /// Numeric value.
+    Num(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl<'a> Value<'a> {
+    /// The value's type.
+    pub fn ty(&self) -> Type {
+        match self {
+            Value::Str(_) => Type::Str,
+            Value::Num(_) => Type::Num,
+            Value::Bool(_) => Type::Bool,
+        }
+    }
+
+    /// The string payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not a string (the type checker rules this
+    /// out for compiled programs).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected string, got {}", other.ty()),
+        }
+    }
+
+    /// The numeric payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not a number.
+    pub fn as_num(&self) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            other => panic!("expected number, got {}", other.ty()),
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not a boolean.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, got {}", other.ty()),
+        }
+    }
+
+    /// A borrowed string value.
+    pub fn str(s: &'a str) -> Self {
+        Value::Str(Cow::Borrowed(s))
+    }
+
+    /// An owned string value.
+    pub fn owned_str(s: String) -> Self {
+        Value::Str(Cow::Owned(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_and_accessors() {
+        assert_eq!(Value::str("x").ty(), Type::Str);
+        assert_eq!(Value::Num(1.5).ty(), Type::Num);
+        assert_eq!(Value::Bool(true).ty(), Type::Bool);
+        assert_eq!(Value::owned_str("y".into()).as_str(), "y");
+        assert_eq!(Value::Num(2.0).as_num(), 2.0);
+        assert!(Value::Bool(true).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected string")]
+    fn wrong_accessor_panics() {
+        Value::Num(1.0).as_str();
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Str.to_string(), "string");
+        assert_eq!(Type::Num.to_string(), "number");
+        assert_eq!(Type::Bool.to_string(), "bool");
+    }
+}

@@ -1,0 +1,77 @@
+//! Robustness properties of the rule-language front end: the lexer,
+//! parser, and type checker must reject garbage with an error — never
+//! panic — and accepted programs must evaluate without panicking.
+
+use mp_rules::{EquationalTheory, RuleProgram};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup never panics the compiler pipeline.
+    #[test]
+    fn compile_never_panics_on_arbitrary_input(src in "\\PC*") {
+        let _ = RuleProgram::compile(&src);
+    }
+
+    /// Arbitrary *token-shaped* soup never panics either (denser coverage
+    /// of parser states than raw bytes).
+    #[test]
+    fn compile_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("rule".to_string()),
+                Just("when".to_string()),
+                Just("then".to_string()),
+                Just("match".to_string()),
+                Just("purge".to_string()),
+                Just("and".to_string()),
+                Just("or".to_string()),
+                Just("not".to_string()),
+                Just("r1".to_string()),
+                Just("r2".to_string()),
+                Just(".".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(",".to_string()),
+                Just("==".to_string()),
+                Just("<-".to_string()),
+                Just(">=".to_string()),
+                Just("last_name".to_string()),
+                Just("is_empty".to_string()),
+                Just("longest".to_string()),
+                Just("0.5".to_string()),
+                Just("\"str\"".to_string()),
+                Just("true".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = RuleProgram::compile(&src);
+    }
+
+    /// Programs built from a tiny well-formed template always compile and
+    /// evaluate on arbitrary record contents without panicking.
+    #[test]
+    fn wellformed_programs_evaluate_safely(
+        threshold in 0.0f64..1.0,
+        field in prop_oneof![
+            Just("last_name"), Just("first_name"), Just("city"), Just("ssn")
+        ],
+        a in "\\PC{0,24}",
+        b in "\\PC{0,24}",
+    ) {
+        let src = format!(
+            "rule t {{ when differ_slightly(r1.{field}, r2.{field}, {threshold}) \
+             or soundex_eq(r1.{field}, r2.{field}) then match }}"
+        );
+        let program = RuleProgram::compile(&src).expect("template compiles");
+        let mut r1 = mp_record::Record::empty(mp_record::RecordId(0));
+        let mut r2 = mp_record::Record::empty(mp_record::RecordId(1));
+        *r1.field_mut(field.parse().unwrap()) = a;
+        *r2.field_mut(field.parse().unwrap()) = b;
+        // Must not panic, and must be symmetric for symmetric predicates.
+        prop_assert_eq!(program.matches(&r1, &r2), program.matches(&r2, &r1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Optimal-string-alignment (restricted Damerau-Levenshtein) distance.
+
+/// Edit distance where an adjacent transposition (`AB` → `BA`) counts as one
+/// operation.
+///
+/// This is the *optimal string alignment* variant: each substring may be
+/// edited at most once, which is the standard model for single typing errors
+/// (Kukich's survey reports transpositions as one of the four dominant error
+/// classes, and the paper's generator transposes SSN digits).
+///
+/// ```
+/// use mp_strsim::damerau_levenshtein;
+/// assert_eq!(damerau_levenshtein("AB", "BA"), 1);
+/// assert_eq!(damerau_levenshtein("193456782", "913456782"), 1);
+/// ```
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let w = b.len() + 1;
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2: Vec<usize> = vec![0; w];
+    let mut prev: Vec<usize> = (0..w).collect();
+    let mut cur: Vec<usize> = vec![0; w];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(prev2[j - 2] + 1);
+            }
+            cur[j] = d;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein;
+
+    #[test]
+    fn transposition_is_one_edit() {
+        assert_eq!(damerau_levenshtein("CA", "AC"), 1);
+        assert_eq!(damerau_levenshtein("SMIHT", "SMITH"), 1);
+    }
+
+    #[test]
+    fn never_exceeds_levenshtein() {
+        let pairs = [
+            ("KITTEN", "SITTING"),
+            ("AB", "BA"),
+            ("", "XYZ"),
+            ("HERNANDEZ", "HERNADNEZ"),
+            ("A", "A"),
+        ];
+        for (a, b) in pairs {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_and_equal() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("ABC", ""), 3);
+        assert_eq!(damerau_levenshtein("", "ABC"), 3);
+        assert_eq!(damerau_levenshtein("SAME", "SAME"), 0);
+    }
+
+    #[test]
+    fn osa_restriction_holds() {
+        // OSA cannot reuse an edited substring: "CA" -> "ABC" is 3 under OSA
+        // (true Damerau-Levenshtein would give 2).
+        assert_eq!(damerau_levenshtein("CA", "ABC"), 3);
+    }
+
+    #[test]
+    fn ssn_transposition_example_from_paper() {
+        // §2.4: the first two digits transposed.
+        assert_eq!(damerau_levenshtein("193456782", "913456782"), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Jaro and Jaro-Winkler similarity, standard metrics for short name fields.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Counts characters that match within a sliding half-length window and the
+/// number of transpositions among them. `1.0` means identical, `0.0` means no
+/// matching characters.
+///
+/// ```
+/// use mp_strsim::jaro;
+/// assert!((jaro("MARTHA", "MARHTA") - 0.944).abs() < 0.001);
+/// assert_eq!(jaro("", ""), 1.0);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(&c, &used)| used.then_some(c))
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted for a shared prefix of up to four
+/// characters (scaling factor 0.1), matching Winkler's original constants.
+///
+/// ```
+/// use mp_strsim::{jaro, jaro_winkler};
+/// assert!(jaro_winkler("MICHELLE", "MICHAELA") >= jaro("MICHELLE", "MICHAELA"));
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(x: f64, y: f64) -> bool {
+        (x - y).abs() < 1e-3
+    }
+
+    #[test]
+    fn classic_reference_values() {
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.9444));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.7667));
+        assert!(close(jaro("DWAYNE", "DUANE"), 0.8222));
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        assert_eq!(jaro("SMITH", "SMITH"), 1.0);
+        assert_eq!(jaro("ABC", "XYZ"), 0.0);
+        assert_eq!(jaro("", "X"), 0.0);
+    }
+
+    #[test]
+    fn winkler_reference_value() {
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.9611));
+    }
+
+    #[test]
+    fn winkler_prefix_boost_capped_at_four() {
+        // Shared prefix of 6, but only 4 count toward the boost.
+        let j = jaro("PREFIXAB", "PREFIXBA");
+        let jw = jaro_winkler("PREFIXAB", "PREFIXBA");
+        assert!(close(jw, j + 0.4 * (1.0 - j)));
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("DIXON", "DICKSONX"), ("", "A")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)));
+        }
+    }
+}

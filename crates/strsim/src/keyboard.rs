@@ -1,0 +1,133 @@
+//! The paper's "typewriter" distance: a weighted edit distance in which
+//! substituting physically adjacent QWERTY keys is cheaper than substituting
+//! distant ones, modeling fat-finger typing errors.
+
+/// Row-major QWERTY layout used to derive key coordinates.
+const ROWS: [&[u8]; 4] = [b"1234567890", b"QWERTYUIOP", b"ASDFGHJKL", b"ZXCVBNM"];
+
+/// Horizontal offset of each row on a physical keyboard, in key-widths.
+const ROW_OFFSET: [f64; 4] = [0.0, 0.5, 0.75, 1.25];
+
+fn key_pos(c: char) -> Option<(f64, f64)> {
+    let c = c.to_ascii_uppercase();
+    for (r, row) in ROWS.iter().enumerate() {
+        if let Some(col) = row.iter().position(|&k| k as char == c) {
+            return Some((r as f64, ROW_OFFSET[r] + col as f64));
+        }
+    }
+    None
+}
+
+/// Substitution cost between two characters based on QWERTY key geometry.
+///
+/// Returns `0.0` for identical characters, `0.5` for keys within Euclidean
+/// distance ~1.5 (immediate neighbours, including diagonals), and `1.0`
+/// otherwise (or when either character is not a QWERTY key).
+///
+/// ```
+/// use mp_strsim::keyboard_substitution_cost;
+/// assert_eq!(keyboard_substitution_cost('A', 'A'), 0.0);
+/// assert_eq!(keyboard_substitution_cost('A', 'S'), 0.5); // adjacent
+/// assert_eq!(keyboard_substitution_cost('A', 'P'), 1.0); // distant
+/// ```
+pub fn keyboard_substitution_cost(a: char, b: char) -> f64 {
+    if a.eq_ignore_ascii_case(&b) {
+        return 0.0;
+    }
+    match (key_pos(a), key_pos(b)) {
+        (Some((r1, c1)), Some((r2, c2))) => {
+            let d2 = (r1 - r2).powi(2) + (c1 - c2).powi(2);
+            if d2 <= 2.25 {
+                0.5
+            } else {
+                1.0
+            }
+        }
+        _ => 1.0,
+    }
+}
+
+/// Weighted edit distance using [`keyboard_substitution_cost`] for
+/// substitutions and unit cost for insertions and deletions.
+///
+/// A string mistyped with adjacent-key slips scores roughly half the plain
+/// edit distance, so a threshold tuned for edit distance becomes more
+/// permissive for plausible typing errors and stays strict for arbitrary
+/// character changes.
+///
+/// ```
+/// use mp_strsim::keyboard_distance;
+/// // 'N' for 'M' is an adjacent-key slip:
+/// assert_eq!(keyboard_distance("SMITH", "SNITH"), 0.5);
+/// // 'X' for 'M' is not:
+/// assert_eq!(keyboard_distance("SMITH", "SXITH"), 1.0);
+/// ```
+pub fn keyboard_distance(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len() as f64;
+    }
+    if b.is_empty() {
+        return a.len() as f64;
+    }
+    let w = b.len() + 1;
+    let mut prev: Vec<f64> = (0..w).map(|j| j as f64).collect();
+    let mut cur = vec![0.0f64; w];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = (i + 1) as f64;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + keyboard_substitution_cost(ca, cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1.0).min(cur[j] + 1.0);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein;
+
+    #[test]
+    fn identical_strings_cost_zero() {
+        assert_eq!(keyboard_distance("QWERTY", "QWERTY"), 0.0);
+    }
+
+    #[test]
+    fn adjacency_examples() {
+        assert_eq!(keyboard_substitution_cost('Q', 'W'), 0.5);
+        assert_eq!(keyboard_substitution_cost('G', 'H'), 0.5);
+        assert_eq!(keyboard_substitution_cost('G', 'T'), 0.5); // diagonal up
+        assert_eq!(keyboard_substitution_cost('G', 'B'), 0.5); // diagonal down
+        assert_eq!(keyboard_substitution_cost('Q', 'P'), 1.0);
+        assert_eq!(keyboard_substitution_cost('Z', '1'), 1.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(keyboard_substitution_cost('a', 'S'), 0.5);
+        assert_eq!(keyboard_distance("smith", "SMITH"), 0.0);
+    }
+
+    #[test]
+    fn never_exceeds_plain_edit_distance() {
+        for (a, b) in [("KITTEN", "SITTING"), ("SMITH", "SNITH"), ("", "AB")] {
+            assert!(keyboard_distance(a, b) <= levenshtein(a, b) as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_keyboard_chars_cost_full() {
+        assert_eq!(keyboard_substitution_cost('A', 'é'), 1.0);
+        assert_eq!(keyboard_substitution_cost('-', '_'), 1.0);
+    }
+
+    #[test]
+    fn insertion_deletion_unit_cost() {
+        assert_eq!(keyboard_distance("AB", "ABC"), 1.0);
+        assert_eq!(keyboard_distance("ABC", "AB"), 1.0);
+        assert_eq!(keyboard_distance("", "XYZ"), 3.0);
+    }
+}

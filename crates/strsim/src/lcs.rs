@@ -1,0 +1,92 @@
+//! Longest common subsequence, used by rule predicates that tolerate
+//! scattered character drops (e.g. heavily abbreviated street names).
+
+/// Length of the longest common subsequence of `a` and `b`.
+///
+/// ```
+/// use mp_strsim::lcs_length;
+/// assert_eq!(lcs_length("MAIN STREET", "MN ST"), 5);
+/// assert_eq!(lcs_length("ABC", "ABC"), 3);
+/// ```
+pub fn lcs_length(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// LCS similarity in `[0, 1]`: `lcs / max(|a|, |b|)`.
+///
+/// High when one string is an abbreviation or subsequence of the other.
+///
+/// ```
+/// use mp_strsim::lcs_similarity;
+/// assert_eq!(lcs_similarity("ABCD", "ABCD"), 1.0);
+/// assert_eq!(lcs_similarity("", ""), 1.0);
+/// ```
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        1.0
+    } else {
+        lcs_length(a, b) as f64 / max as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values() {
+        assert_eq!(lcs_length("ABCBDAB", "BDCAB"), 4); // BCAB or BDAB
+        assert_eq!(lcs_length("AGGTAB", "GXTXAYB"), 4); // GTAB
+    }
+
+    #[test]
+    fn empty_and_disjoint() {
+        assert_eq!(lcs_length("", "ANY"), 0);
+        assert_eq!(lcs_length("ANY", ""), 0);
+        assert_eq!(lcs_length("ABC", "XYZ"), 0);
+    }
+
+    #[test]
+    fn subsequence_detection() {
+        assert_eq!(lcs_length("MN ST", "MAIN STREET"), 5);
+        assert!(lcs_similarity("MN ST", "MAIN STREET") < 0.5);
+        // The abbreviation fully embeds, so LCS == |abbrev|.
+        assert_eq!(lcs_length("MNST", "MAIN STREET"), 4);
+    }
+
+    #[test]
+    fn bounded_by_shorter_string() {
+        for (a, b) in [("ABC", "ABCDEF"), ("XYZ", "X"), ("", "")] {
+            let bound = a.chars().count().min(b.chars().count());
+            assert!(lcs_length(a, b) <= bound);
+        }
+    }
+
+    #[test]
+    fn similarity_range() {
+        for (a, b) in [("ABCD", "ABDC"), ("A", "B"), ("LONG", "LONGER")] {
+            let s = lcs_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

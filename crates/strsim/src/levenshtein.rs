@@ -1,0 +1,215 @@
+//! Classic edit distance with a reusable work buffer, a bounded variant with
+//! early termination, and a normalized similarity.
+
+/// Reusable scratch space for repeated edit-distance computations.
+///
+/// The window-scan phase of the sorted-neighborhood method computes edit
+/// distance for every pair inside every window; allocating two DP rows per
+/// call would dominate the constant factor the paper calls `c_wscan`. Keep
+/// one `EditBuffer` per worker and reuse it.
+///
+/// ```
+/// use mp_strsim::EditBuffer;
+/// let mut buf = EditBuffer::new();
+/// assert_eq!(buf.distance("KITTEN", "SITTING"), 3);
+/// assert_eq!(buf.distance("", "ABC"), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct EditBuffer {
+    row: Vec<usize>,
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+}
+
+impl EditBuffer {
+    /// Creates an empty buffer; it grows on first use and is then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Levenshtein distance between `a` and `b`, reusing internal storage.
+    pub fn distance(&mut self, a: &str, b: &str) -> usize {
+        self.a_chars.clear();
+        self.a_chars.extend(a.chars());
+        self.b_chars.clear();
+        self.b_chars.extend(b.chars());
+        distance_impl(&self.a_chars, &self.b_chars, &mut self.row)
+    }
+
+    /// Normalized similarity in `[0, 1]`; `1.0` means equal strings.
+    pub fn similarity(&mut self, a: &str, b: &str) -> f64 {
+        let d = self.distance(a, b);
+        normalize(d, self.a_chars.len(), self.b_chars.len())
+    }
+}
+
+fn normalize(distance: usize, a_len: usize, b_len: usize) -> f64 {
+    let max = a_len.max(b_len);
+    if max == 0 {
+        1.0
+    } else {
+        1.0 - distance as f64 / max as f64
+    }
+}
+
+/// Single-row DP over char slices. `row` is caller-provided scratch.
+fn distance_impl(a: &[char], b: &[char], row: &mut Vec<usize>) -> usize {
+    // Iterate over the shorter string in the inner dimension to minimize the
+    // row we keep live.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    row.clear();
+    row.extend(0..=short.len());
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Levenshtein (edit) distance: the minimum number of single-character
+/// insertions, deletions, and substitutions transforming `a` into `b`.
+///
+/// ```
+/// use mp_strsim::levenshtein;
+/// assert_eq!(levenshtein("FLAW", "LAWN"), 2);
+/// assert_eq!(levenshtein("", ""), 0);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row = Vec::new();
+    distance_impl(&a, &b, &mut row)
+}
+
+/// Levenshtein distance with an upper bound: returns `None` as soon as the
+/// distance provably exceeds `max`, which lets rule predicates bail out of
+/// hopeless comparisons early.
+///
+/// ```
+/// use mp_strsim::levenshtein_bounded;
+/// assert_eq!(levenshtein_bounded("SMITH", "SMYTH", 1), Some(1));
+/// assert_eq!(levenshtein_bounded("SMITH", "GARCIA", 2), None);
+/// ```
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    // The distance is at least the length difference.
+    if long.len() - short.len() > max {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        let mut row_min = row[0];
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+            row_min = row_min.min(next);
+        }
+        if row_min > max {
+            return None;
+        }
+    }
+    let d = row[short.len()];
+    (d <= max).then_some(d)
+}
+
+/// Length-normalized edit similarity in `[0, 1]`.
+///
+/// Defined as `1 - d(a, b) / max(|a|, |b|)`; two empty strings are perfectly
+/// similar.
+///
+/// ```
+/// use mp_strsim::normalized_levenshtein;
+/// assert_eq!(normalized_levenshtein("AAAA", "AAAA"), 1.0);
+/// assert_eq!(normalized_levenshtein("AAAA", "BBBB"), 0.0);
+/// ```
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let ac = a.chars().count();
+    let bc = b.chars().count();
+    normalize(levenshtein(a, b), ac, bc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("KITTEN", "SITTING"), 3);
+        assert_eq!(levenshtein("SATURDAY", "SUNDAY"), 3);
+        assert_eq!(levenshtein("ABC", "ABC"), 0);
+        assert_eq!(levenshtein("", "ABC"), 3);
+        assert_eq!(levenshtein("ABC", ""), 3);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn single_char_operations() {
+        assert_eq!(levenshtein("A", "B"), 1); // substitution
+        assert_eq!(levenshtein("A", "AB"), 1); // insertion
+        assert_eq!(levenshtein("AB", "A"), 1); // deletion
+    }
+
+    #[test]
+    fn transposition_costs_two_without_damerau() {
+        assert_eq!(levenshtein("AB", "BA"), 2);
+    }
+
+    #[test]
+    fn unicode_chars_count_as_one() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn bounded_matches_exact_within_limit() {
+        let pairs = [("KITTEN", "SITTING"), ("SMITH", "SMYTHE"), ("A", "")];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            assert_eq!(levenshtein_bounded(a, b, d), Some(d));
+            assert_eq!(levenshtein_bounded(a, b, d + 5), Some(d));
+            if d > 0 {
+                assert_eq!(levenshtein_bounded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_on_length_gap() {
+        assert_eq!(levenshtein_bounded("AB", "ABCDEFGH", 3), None);
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("", "XYZ"), 0.0);
+        let s = normalized_levenshtein("JOHNSON", "JOHNSTON");
+        assert!(s > 0.8 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn buffer_reuse_is_consistent() {
+        let mut buf = EditBuffer::new();
+        assert_eq!(buf.distance("KITTEN", "SITTING"), 3);
+        assert_eq!(buf.distance("", ""), 0);
+        assert_eq!(buf.distance("LONGERSTRING", "SHORT"), levenshtein("LONGERSTRING", "SHORT"));
+        assert!((buf.similarity("AAAA", "AABA") - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+#![warn(missing_docs)]
+
+//! String similarity and phonetic-coding primitives for the merge/purge
+//! equational theory.
+//!
+//! The paper (§2.3) evaluates several distance functions for detecting
+//! typographical errors — "distances based upon edit distance, phonetic
+//! distance and 'typewriter' distance" — and settles on edit distance for the
+//! reported results. This crate implements all of them from scratch:
+//!
+//! * [`levenshtein`] / [`levenshtein_bounded`] / [`normalized_levenshtein`] —
+//!   classic edit distance, a bounded variant with early exit, and a
+//!   length-normalized similarity in `[0, 1]`.
+//! * [`damerau_levenshtein`] — optimal-string-alignment variant counting
+//!   adjacent transpositions (the most common typing error class).
+//! * [`jaro`] / [`jaro_winkler`] — token-free similarity favouring common
+//!   prefixes, useful for name matching.
+//! * [`soundex`] / [`nysiis`] — phonetic codes; two names "sound alike" when
+//!   their codes are equal.
+//! * [`keyboard_distance`] — the paper's "typewriter" distance: a weighted
+//!   edit distance where substituting adjacent QWERTY keys is cheaper.
+//! * [`ngram_similarity`] — q-gram overlap (Dice coefficient over bigrams by
+//!   default), robust to block transpositions.
+//! * [`lcs_length`] / [`lcs_similarity`] — longest common subsequence.
+//!
+//! All functions operate on `&str` and are Unicode-correct at the `char`
+//! level; the merge/purge pipeline upper-cases ASCII data before matching, so
+//! the hot paths are effectively ASCII.
+//!
+//! # Example
+//!
+//! ```
+//! use mp_strsim::{levenshtein, normalized_levenshtein, soundex};
+//!
+//! assert_eq!(levenshtein("SMITH", "SMYTH"), 1);
+//! assert!(normalized_levenshtein("MICHAEL", "MICHELE") > 0.7);
+//! assert_eq!(soundex("ROBERT"), soundex("RUPERT"));
+//! ```
+
+mod damerau;
+mod jaro;
+mod keyboard;
+mod lcs;
+mod levenshtein;
+mod ngram;
+mod nysiis;
+mod soundex;
+
+pub use damerau::damerau_levenshtein;
+pub use jaro::{jaro, jaro_winkler};
+pub use keyboard::{keyboard_distance, keyboard_substitution_cost};
+pub use lcs::{lcs_length, lcs_similarity};
+pub use levenshtein::{levenshtein, levenshtein_bounded, normalized_levenshtein, EditBuffer};
+pub use ngram::{ngram_similarity, trigram_similarity};
+pub use nysiis::nysiis;
+pub use soundex::{soundex, soundex_eq};
+
+/// Returns `true` when two strings are within the given normalized edit
+/// similarity threshold — the "differ slightly" predicate from the paper's
+/// example rule.
+///
+/// `threshold` is the maximum allowed *dissimilarity*: `0.0` demands
+/// equality, `0.3` tolerates roughly one error per three characters.
+///
+/// ```
+/// use mp_strsim::differ_slightly;
+/// assert!(differ_slightly("MICHAEL", "MICHAEL", 0.0));
+/// assert!(differ_slightly("JOHNSON", "JOHNSTON", 0.25));
+/// assert!(!differ_slightly("SMITH", "GARCIA", 0.25));
+/// ```
+pub fn differ_slightly(a: &str, b: &str, threshold: f64) -> bool {
+    normalized_levenshtein(a, b) >= 1.0 - threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differ_slightly_exact_match_zero_threshold() {
+        assert!(differ_slightly("ABC", "ABC", 0.0));
+        assert!(!differ_slightly("ABC", "ABD", 0.0));
+    }
+
+    #[test]
+    fn differ_slightly_tolerates_single_typo() {
+        assert!(differ_slightly("HERNANDEZ", "HERNANDES", 0.15));
+    }
+}

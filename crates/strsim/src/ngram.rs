@@ -1,0 +1,102 @@
+//! Q-gram (n-gram) overlap similarity, robust to block transpositions such
+//! as swapped name parts ("MARIA LUISA" vs "LUISA MARIA").
+
+/// Dice-coefficient similarity over character n-grams with boundary padding.
+///
+/// Each string is padded with `n - 1` sentinel characters on both sides so
+/// that leading/trailing characters contribute full n-grams. Returns a value
+/// in `[0, 1]`; two empty strings are perfectly similar, an empty and a
+/// non-empty string score `0`.
+///
+/// ```
+/// use mp_strsim::ngram_similarity;
+/// assert_eq!(ngram_similarity("NIGHT", "NIGHT", 2), 1.0);
+/// assert!(ngram_similarity("NIGHT", "NACHT", 2) > 0.3);
+/// assert_eq!(ngram_similarity("ABC", "XYZ", 2), 0.0);
+/// ```
+pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ga = grams(a, n);
+    let gb = grams(b, n);
+    let mut gb_remaining = gb.clone();
+    let mut shared = 0usize;
+    for g in &ga {
+        if let Some(pos) = gb_remaining.iter().position(|h| h == g) {
+            gb_remaining.swap_remove(pos);
+            shared += 1;
+        }
+    }
+    2.0 * shared as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// [`ngram_similarity`] with `n = 3`, the usual choice for city/street names.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    ngram_similarity(a, b, 3)
+}
+
+fn grams(s: &str, n: usize) -> Vec<Vec<char>> {
+    let pad = n - 1;
+    let mut chars: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * pad);
+    chars.extend(std::iter::repeat_n('\u{1}', pad));
+    chars.extend(s.chars());
+    chars.extend(std::iter::repeat_n('\u{2}', pad));
+    chars.windows(n).map(<[char]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(ngram_similarity("HELLO", "HELLO", 2), 1.0);
+        assert_eq!(trigram_similarity("WORLD", "WORLD"), 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(ngram_similarity("", "", 2), 1.0);
+        assert_eq!(ngram_similarity("", "A", 2), 0.0);
+        assert_eq!(ngram_similarity("A", "", 2), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("NIGHT", "NACHT"), ("MAIN ST", "MAIN STREET"), ("A", "AB")] {
+            let d = (ngram_similarity(a, b, 2) - ngram_similarity(b, a, 2)).abs();
+            assert!(d < 1e-12);
+        }
+    }
+
+    #[test]
+    fn swapped_tokens_keep_high_overlap() {
+        // Block transpositions defeat edit distance but not q-grams.
+        let s = ngram_similarity("MARIA LUISA", "LUISA MARIA", 2);
+        assert!(s > 0.6, "got {s}");
+    }
+
+    #[test]
+    fn multiset_semantics_not_set() {
+        // "AAA" vs "AA": padded bigrams are {^A, AA, AA, A$} vs {^A, AA, A$};
+        // multiset counting shares 3 of them -> 2*3/7.
+        let s = ngram_similarity("AAA", "AA", 2);
+        assert!((s - 6.0 / 7.0).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn unigram_mode_works() {
+        assert_eq!(ngram_similarity("AB", "BA", 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_gram_panics() {
+        ngram_similarity("A", "B", 0);
+    }
+}

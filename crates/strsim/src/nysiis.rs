@@ -1,0 +1,182 @@
+//! NYSIIS (New York State Identification and Intelligence System) phonetic
+//! coding — a finer-grained alternative to Soundex for surname matching.
+
+/// Encodes a name with the original NYSIIS algorithm, truncated to the
+/// conventional six characters.
+///
+/// ```
+/// use mp_strsim::nysiis;
+/// assert_eq!(nysiis("MACINTOSH"), "MCANT");
+/// assert_eq!(nysiis("PHILLIPSON"), "FALAPS");
+/// ```
+pub fn nysiis(name: &str) -> String {
+    let mut w: Vec<u8> = name
+        .bytes()
+        .filter(u8::is_ascii_alphabetic)
+        .map(|b| b.to_ascii_uppercase())
+        .collect();
+    if w.is_empty() {
+        return String::new();
+    }
+
+    // 1. Initial-prefix translations.
+    replace_prefix(&mut w, b"MAC", b"MCC");
+    replace_prefix(&mut w, b"KN", b"NN");
+    replace_prefix(&mut w, b"K", b"C");
+    replace_prefix(&mut w, b"PH", b"FF");
+    replace_prefix(&mut w, b"PF", b"FF");
+    replace_prefix(&mut w, b"SCH", b"SSS");
+
+    // 2. Terminal-suffix translations.
+    replace_suffix(&mut w, b"EE", b"Y");
+    replace_suffix(&mut w, b"IE", b"Y");
+    for s in [b"DT".as_slice(), b"RT", b"RD", b"NT", b"ND"] {
+        if replace_suffix(&mut w, s, b"D") {
+            break;
+        }
+    }
+
+    // 3. First character of the code is the (translated) first letter.
+    let mut code = Vec::with_capacity(w.len());
+    code.push(w[0]);
+
+    // 4. Scan the rest, applying contextual translations.
+    let mut i = 1;
+    while i < w.len() {
+        let c = w[i];
+        let translated: &[u8] = match c {
+            b'E' if i + 1 < w.len() && w[i + 1] == b'V' => {
+                i += 1; // consume the V as well
+                b"AF"
+            }
+            b'A' | b'E' | b'I' | b'O' | b'U' => b"A",
+            b'Q' => b"G",
+            b'Z' => b"S",
+            b'M' => b"N",
+            b'K' => {
+                if i + 1 < w.len() && w[i + 1] == b'N' {
+                    i += 1;
+                    b"NN"
+                } else {
+                    b"C"
+                }
+            }
+            b'S' if w[i..].starts_with(b"SCH") => {
+                i += 2;
+                b"SSS"
+            }
+            b'P' if i + 1 < w.len() && w[i + 1] == b'H' => {
+                i += 1;
+                b"FF"
+            }
+            b'H' => {
+                let prev_vowel = is_vowel(w[i - 1]);
+                let next_vowel = i + 1 < w.len() && is_vowel(w[i + 1]);
+                if !prev_vowel || !next_vowel {
+                    // Silent H collapses into the previous code character.
+                    i += 1;
+                    continue;
+                }
+                b"H"
+            }
+            b'W' if is_vowel(w[i - 1]) => {
+                // W after a vowel collapses into the previous code character.
+                i += 1;
+                continue;
+            }
+            other => {
+                // Borrow trick: store single char via slice of w.
+                debug_assert!(other.is_ascii_uppercase());
+                &w[i..i + 1]
+            }
+        };
+        // 5. Append only if it differs from the last code character.
+        let translated = translated.to_vec();
+        for t in translated {
+            if code.last() != Some(&t) {
+                code.push(t);
+            }
+        }
+        i += 1;
+    }
+
+    // 6. Trim terminal S, translate terminal AY -> Y, trim terminal A.
+    if code.len() > 1 && code.last() == Some(&b'S') {
+        code.pop();
+    }
+    if code.ends_with(b"AY") {
+        let n = code.len();
+        code.remove(n - 2);
+    }
+    if code.len() > 1 && code.last() == Some(&b'A') {
+        code.pop();
+    }
+
+    code.truncate(6);
+    String::from_utf8(code).expect("ASCII by construction")
+}
+
+fn is_vowel(c: u8) -> bool {
+    matches!(c, b'A' | b'E' | b'I' | b'O' | b'U')
+}
+
+fn replace_prefix(w: &mut Vec<u8>, from: &[u8], to: &[u8]) -> bool {
+    if w.starts_with(from) {
+        w.splice(0..from.len(), to.iter().copied());
+        true
+    } else {
+        false
+    }
+}
+
+fn replace_suffix(w: &mut Vec<u8>, from: &[u8], to: &[u8]) -> bool {
+    if w.len() > from.len() && w.ends_with(from) {
+        let start = w.len() - from.len();
+        w.splice(start.., to.iter().copied());
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_codes() {
+        assert_eq!(nysiis("MACINTOSH"), "MCANT");
+        assert_eq!(nysiis("KNUTH"), "NAT");
+        assert_eq!(nysiis("PHILLIPSON"), "FALAPS");
+        assert_eq!(nysiis("SCHMIDT"), "SNAD");
+    }
+
+    #[test]
+    fn sound_alike_surnames_collide() {
+        assert_eq!(nysiis("JOHNSON"), nysiis("JOHNSEN"));
+        assert_eq!(nysiis("PETERSON"), nysiis("PETERSEN"));
+        assert_eq!(nysiis("BROWN"), nysiis("BRAUN"));
+    }
+
+    #[test]
+    fn distinct_surnames_do_not_collide() {
+        assert_ne!(nysiis("SMITH"), nysiis("GARCIA"));
+        assert_ne!(nysiis("WASHINGTON"), nysiis("JEFFERSON"));
+    }
+
+    #[test]
+    fn empty_and_non_alpha() {
+        assert_eq!(nysiis(""), "");
+        assert_eq!(nysiis("123"), "");
+        assert_eq!(nysiis("  o'neil "), nysiis("ONEIL"));
+    }
+
+    #[test]
+    fn code_is_at_most_six_chars_and_ascii() {
+        for name in ["WOLFESCHLEGELSTEINHAUSEN", "A", "BB", "MCCARTHY-SMITH"] {
+            let c = nysiis(name);
+            assert!(c.len() <= 6);
+            assert!(c.bytes().all(|b| b.is_ascii_uppercase()));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! American Soundex phonetic coding.
+
+/// Encodes a name as its 4-character American Soundex code
+/// (letter + three digits, zero-padded).
+///
+/// Non-alphabetic characters are ignored; an input with no letters encodes
+/// as `"0000"` so that two garbage fields never spuriously "sound alike"
+/// with a real name.
+///
+/// ```
+/// use mp_strsim::soundex;
+/// assert_eq!(soundex("Robert"), "R163");
+/// assert_eq!(soundex("Rupert"), "R163");
+/// assert_eq!(soundex("Tymczak"), "T522");
+/// ```
+pub fn soundex(name: &str) -> String {
+    let letters: Vec<u8> = name
+        .bytes()
+        .filter(u8::is_ascii_alphabetic)
+        .map(|b| b.to_ascii_uppercase())
+        .collect();
+    let Some((&first, rest)) = letters.split_first() else {
+        return "0000".to_string();
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first as char);
+    let mut last_digit = digit(first);
+    for &c in rest {
+        let d = digit(c);
+        if d == 0 {
+            // H and W are transparent: they do not reset the run; vowels
+            // (and Y) do.
+            if c != b'H' && c != b'W' {
+                last_digit = 0;
+            }
+        } else if d != last_digit {
+            code.push((b'0' + d) as char);
+            if code.len() == 4 {
+                return code;
+            }
+            last_digit = d;
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+/// `true` when both names have identical Soundex codes and at least one
+/// letter each.
+pub fn soundex_eq(a: &str, b: &str) -> bool {
+    let ca = soundex(a);
+    ca != "0000" && ca == soundex(b)
+}
+
+fn digit(c: u8) -> u8 {
+    match c {
+        b'B' | b'F' | b'P' | b'V' => 1,
+        b'C' | b'G' | b'J' | b'K' | b'Q' | b'S' | b'X' | b'Z' => 2,
+        b'D' | b'T' => 3,
+        b'L' => 4,
+        b'M' | b'N' => 5,
+        b'R' => 6,
+        _ => 0, // vowels, H, W, Y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nara_reference_codes() {
+        // Examples from the U.S. National Archives Soundex specification.
+        assert_eq!(soundex("Washington"), "W252");
+        assert_eq!(soundex("Lee"), "L000");
+        assert_eq!(soundex("Gutierrez"), "G362");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Jackson"), "J250");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Ashcraft"), "A261");
+    }
+
+    #[test]
+    fn hw_transparent_vowel_resets() {
+        // 'H' between same-coded letters does not split the run...
+        assert_eq!(soundex("Ashcraft"), soundex("Ashcroft"));
+        // ...but a vowel does: "Tymczak" keeps the 2 after the vowel A.
+        assert_eq!(soundex("Tymczak"), "T522");
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        assert_eq!(soundex("o'brien"), soundex("OBRIEN"));
+        assert_eq!(soundex("McDonald"), soundex("MCDONALD"));
+    }
+
+    #[test]
+    fn empty_and_non_alpha() {
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("12345"), "0000");
+        assert!(!soundex_eq("", ""));
+        assert!(!soundex_eq("123", "456"));
+    }
+
+    #[test]
+    fn sound_alike_names() {
+        assert!(soundex_eq("Robert", "Rupert"));
+        assert!(soundex_eq("Smith", "Smyth"));
+        assert!(!soundex_eq("Smith", "Garcia"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Writing a custom equational theory in the rule DSL.
+//!
+//! The paper (§2.3) argues for a declarative rule language so that domain
+//! experts can experiment with matching criteria without recompiling. This
+//! example builds a small theory for a products-catalog flavored domain
+//! (reusing the employee schema's fields as generic text columns), shows
+//! compile-time error reporting, and uses `matching_rule` to explain *why*
+//! two records merged.
+//!
+//! Run with: `cargo run --release --example custom_rules`
+
+use merge_purge::{KeySpec, MergePurge};
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_rules::RuleProgram;
+
+const MY_RULES: &str = r#"
+// Strict: same SSN and phonetically identical surname.
+rule ssn_and_phonetic_last {
+    when not is_empty(r1.ssn)
+     and r1.ssn == r2.ssn
+     and soundex_eq(r1.last_name, r2.last_name)
+    then match
+}
+
+// Tolerant name matching anchored on the address.
+rule fuzzy_name_same_address {
+    when jaro_winkler(r1.last_name, r2.last_name) >= 0.9
+     and (nickname_eq(r1.first_name, r2.first_name)
+          or differ_slightly(r1.first_name, r2.first_name, 0.3))
+     and r1.street_number == r2.street_number
+     and trigram_sim(r1.street_name, r2.street_name) >= 0.7
+    then match
+}
+
+// Catch swapped digits in the SSN when everything else looks close.
+rule transposed_ssn {
+    when digits_transposed(r1.ssn, r2.ssn)
+     and edit_sim(r1.last_name, r2.last_name) >= 0.75
+    then match
+}
+"#;
+
+fn main() {
+    // Compile-time diagnostics: a typo in a field or function name is
+    // reported with its source position, not discovered at run time.
+    let broken = "rule oops { when r1.salery == r2.salery then match }";
+    match RuleProgram::compile(broken) {
+        Err(e) => println!("as expected, bad program rejected: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    let program = RuleProgram::compile(MY_RULES).expect("rules compile");
+    println!(
+        "compiled custom theory with {} rules\n",
+        program.rule_count()
+    );
+
+    // Run the pipeline with the custom theory.
+    let mut db = DatabaseGenerator::new(
+        GeneratorConfig::new(2_000).duplicate_fraction(0.5).seed(7),
+    )
+    .generate();
+    let result = MergePurge::new(&program)
+        .pass(KeySpec::last_name_key(), 10)
+        .pass(KeySpec::address_key(), 10)
+        .run(&mut db.records);
+    println!(
+        "custom theory found {} duplicate groups ({} closed pairs)",
+        result.classes.len(),
+        result.closed_pairs.len()
+    );
+
+    // Explain a few matches: which rule fired first for the pair?
+    println!("\nwhy did these records merge?");
+    let mut shown = 0;
+    for (a, b) in result.closed_pairs.sorted() {
+        let (ra, rb) = (&db.records[a as usize], &db.records[b as usize]);
+        if let Some(rule) = program.matching_rule(ra, rb) {
+            println!(
+                "  {} {} / {} {}  <-  rule `{rule}`",
+                ra.first_name, ra.last_name, rb.first_name, rb.last_name
+            );
+            shown += 1;
+            if shown == 5 {
+                break;
+            }
+        }
+    }
+    println!(
+        "\n(pairs without a firing rule were inferred by transitive closure \
+         across passes — the multi-pass effect of §2.4)"
+    );
+}

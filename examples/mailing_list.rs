@@ -1,0 +1,91 @@
+//! The paper's motivating scenario (§1): a direct-marketing house buys
+//! several subscription databases each month and must merge/purge them
+//! before a mailing — every undetected duplicate is a wasted piece of mail.
+//!
+//! This example simulates three purchased "lists" with overlapping,
+//! inconsistently-entered subscribers, concatenates them (with the flat-file
+//! round trip a real pipeline would use), merges, and reports the postage
+//! saved.
+//!
+//! Run with: `cargo run --release --example mailing_list`
+
+use merge_purge::{Evaluation, KeySpec, MergePurge};
+use mp_datagen::{geo, DatabaseGenerator, ErrorProfile, GeneratorConfig};
+use mp_record::{io, Record, RecordId, SpellCorrector};
+use mp_rules::NativeEmployeeTheory;
+
+const COST_PER_PIECE_CENTS: u64 = 55;
+
+fn main() {
+    // Three sources with different noise levels: a clean in-house list, a
+    // typical purchased list, and a badly keyed legacy list. They overlap
+    // because they were generated from the same entity space (same seed
+    // for selection, different corruption).
+    let sources: Vec<(&str, ErrorProfile)> = vec![
+        ("in-house", ErrorProfile::light()),
+        ("vendor-a", ErrorProfile::default()),
+        ("legacy", ErrorProfile::heavy()),
+    ];
+    // All sources share one *population* seed, hence one underlying set of
+    // people (entity id e is the same person in every list, so the ground
+    // truth across the concatenation is exact) — while each vendor's noise
+    // is independent.
+    let mut all: Vec<Record> = Vec::new();
+    for (i, (name, profile)) in sources.iter().enumerate() {
+        let db = DatabaseGenerator::new(
+            GeneratorConfig::new(4_000)
+                .duplicate_fraction(0.35)
+                .max_duplicates_per_record(2)
+                .errors(profile.clone())
+                .population_seed(100)
+                .seed(200 + i as u64),
+        )
+        .generate();
+        println!("source {:>9}: {} records", name, db.records.len());
+        all.extend(db.records);
+    }
+    // Re-number positionally, as the concatenation step of §2.2 requires.
+    for (i, r) in all.iter_mut().enumerate() {
+        r.id = RecordId(i as u32);
+    }
+
+    // A real pipeline lands on disk between acquisition and merge; exercise
+    // the flat-file round trip.
+    let mut file = Vec::new();
+    io::write_records(&mut file, &all).expect("serialize");
+    let mut records = io::read_records(file.as_slice()).expect("parse");
+    println!("concatenated mailing file: {} records\n", records.len());
+
+    // Merge/purge with conditioning + city spell correction (§3.2).
+    let theory = NativeEmployeeTheory::new();
+    let result = MergePurge::new(&theory)
+        .pass(KeySpec::last_name_key(), 10)
+        .pass(KeySpec::first_name_key(), 10)
+        .pass(KeySpec::address_key(), 10)
+        .spell_correct_cities(SpellCorrector::new(geo::city_corpus(18_670), 2))
+        .run(&mut records);
+
+    let duplicates_removed: usize = result.classes.iter().map(|c| c.len() - 1).sum();
+    let unique = records.len() - duplicates_removed;
+    println!(
+        "merge found {} duplicate households; mailing shrinks {} -> {}",
+        duplicates_removed,
+        records.len(),
+        unique
+    );
+    let saved = duplicates_removed as u64 * COST_PER_PIECE_CENTS;
+    println!(
+        "postage saved this cycle: ${}.{:02}",
+        saved / 100,
+        saved % 100
+    );
+
+    // We still have ground truth (entity ids survived the file round trip),
+    // so report how much junk mail *remains* due to missed duplicates.
+    let truth = mp_datagen::GroundTruth::from_records(&records);
+    let eval = Evaluation::score(&result.closed_pairs, &truth);
+    println!(
+        "({:.1}% of true duplicate pairs caught; {:.3}% of merges were wrong)",
+        eval.percent_detected, eval.percent_false_positive
+    );
+}

@@ -1,0 +1,80 @@
+//! The monthly business cycle (§1): new subscription lists arrive every
+//! month and must be merged against an ever-growing base "within a small
+//! portion of a month". This example compares the incremental engine
+//! against naive monthly reruns over six cycles.
+//!
+//! Run with: `cargo run --release --example monthly_cycle`
+
+use merge_purge::{incremental::IncrementalMergePurge, KeySpec, SortedNeighborhood};
+use mp_datagen::{DatabaseGenerator, ErrorProfile, GeneratorConfig};
+use mp_record::{Record, RecordId};
+use mp_rules::NativeEmployeeTheory;
+use std::time::Instant;
+
+const MONTHS: usize = 6;
+const PER_MONTH: usize = 4_000;
+
+fn month_batch(month: usize) -> Vec<Record> {
+    // Each month's list draws from the same underlying population (same
+    // seed ⇒ same entities), with its own duplication noise — so cross-month
+    // duplicates are real and the base keeps growing.
+    DatabaseGenerator::new(
+        GeneratorConfig::new(PER_MONTH)
+            .duplicate_fraction(0.25)
+            .max_duplicates_per_record(2)
+            .errors(if month.is_multiple_of(2) {
+                ErrorProfile::default()
+            } else {
+                ErrorProfile::light()
+            })
+            .population_seed(500) // one underlying population of people
+            .seed(600 + month as u64), // fresh noise every month
+    )
+    .generate()
+    .records
+}
+
+fn main() {
+    let theory = NativeEmployeeTheory::new();
+    let w = 10;
+
+    let mut inc = IncrementalMergePurge::new()
+        .pass(KeySpec::last_name_key(), w)
+        .pass(KeySpec::first_name_key(), w);
+
+    let mut base: Vec<Record> = Vec::new();
+    println!("month | base size | incremental time | full-rerun time | groups");
+    println!("------|-----------|------------------|-----------------|-------");
+    for month in 0..MONTHS {
+        let batch = month_batch(month);
+
+        let t0 = Instant::now();
+        inc.add_batch(batch.clone(), &theory);
+        let groups = inc.classes().len();
+        let inc_time = t0.elapsed();
+
+        // The naive alternative: concatenate and rerun both passes.
+        base.extend(batch);
+        for (i, r) in base.iter_mut().enumerate() {
+            r.id = RecordId(i as u32);
+        }
+        let t1 = Instant::now();
+        for key in [KeySpec::last_name_key(), KeySpec::first_name_key()] {
+            let _ = SortedNeighborhood::new(key, w).run(&base, &theory);
+        }
+        let rerun_time = t1.elapsed();
+
+        println!(
+            "{month:>5} | {:>9} | {:>16.1?} | {:>15.1?} | {groups}",
+            base.len(),
+            inc_time,
+            rerun_time
+        );
+    }
+    println!(
+        "\ntotal incremental comparisons: {} (a full rerun each month repeats \
+         all old-vs-old work; incremental touches only pairs involving the \
+         new batch and is provably a superset of the rerun's matches)",
+        inc.comparisons()
+    );
+}

@@ -1,0 +1,98 @@
+//! The purge phase (§5): after the merge finds duplicate groups, collapse
+//! each group into one consolidated "survivor" record using per-field
+//! survivorship strategies declared in the rule program itself — the
+//! paper's point that "the rule base comes in handy here as well".
+//!
+//! Run with: `cargo run --release --example purge_survivors`
+
+use merge_purge::{KeySpec, MergePurge, Purger};
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_rules::{RuleProgram, Survivorship};
+
+/// Matching rules *and* the purge policy live in one declarative program.
+const PROGRAM: &str = r#"
+rule same_ssn {
+    when not is_empty(r1.ssn) and r1.ssn == r2.ssn
+    then match
+}
+
+rule same_name_and_address {
+    when r1.last_name == r2.last_name
+     and not is_empty(r1.last_name)
+     and differ_slightly(r1.first_name, r2.first_name, 0.3)
+     and r1.street_number == r2.street_number
+     and edit_sim(r1.street_name, r2.street_name) >= 0.8
+    then match
+}
+
+rule nickname_same_last_zip {
+    when nickname_eq(r1.first_name, r2.first_name)
+     and r1.last_name == r2.last_name
+     and r1.zip == r2.zip
+    then match
+}
+
+purge {
+    first_name     <- longest         // prefer ROBERT over BOB
+    middle_initial <- first_non_empty
+    last_name      <- most_frequent
+    street_name    <- longest         // prefer the unabbreviated form
+    apartment      <- first_non_empty
+    city           <- most_frequent
+    state          <- most_frequent
+    zip            <- most_frequent
+}
+"#;
+
+fn main() {
+    let program = RuleProgram::compile(PROGRAM).expect("program compiles");
+    let mut db = DatabaseGenerator::new(
+        GeneratorConfig::new(3_000).duplicate_fraction(0.5).seed(77),
+    )
+    .generate();
+    let before = db.records.len();
+
+    let result = MergePurge::new(&program)
+        .pass(KeySpec::last_name_key(), 10)
+        .pass(KeySpec::first_name_key(), 10)
+        .run(&mut db.records);
+    println!(
+        "merge: {} records -> {} duplicate groups",
+        before,
+        result.classes.len()
+    );
+
+    // Build the purger from the program's own purge block; unmentioned
+    // fields fall back to `longest`.
+    let purger = Purger::from_spec(
+        program.purge_spec().expect("program declares purge"),
+        Survivorship::Longest,
+    );
+    let purged = result.purge(&db.records, &purger);
+    println!(
+        "purge: {} records remain ({} duplicates removed)",
+        purged.len(),
+        before - purged.len()
+    );
+
+    // Show one consolidation: the group's raw members vs its survivor.
+    if let Some(class) = result.classes.iter().find(|c| c.len() >= 3) {
+        println!("\nraw group:");
+        for &id in class {
+            let r = &db.records[id as usize];
+            println!(
+                "  {} {} {} | {} | {}, {} {}",
+                r.first_name, r.middle_initial, r.last_name,
+                r.full_address(), r.city, r.state, r.zip
+            );
+        }
+        let members: Vec<&mp_record::Record> =
+            class.iter().map(|&i| &db.records[i as usize]).collect();
+        let survivor = purger.consolidate(&members);
+        println!(
+            "survivor:\n  {} {} {} | {} | {}, {} {}",
+            survivor.first_name, survivor.middle_initial, survivor.last_name,
+            survivor.full_address(), survivor.city, survivor.state, survivor.zip
+        );
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the merge/purge reproduction: re-exports every
+//! subsystem crate so examples and integration tests have a single import
+//! root.
+
+pub use merge_purge as core;
+pub use mp_closure as closure;
+pub use mp_cluster as cluster;
+pub use mp_datagen as datagen;
+pub use mp_extsort as extsort;
+pub use mp_parallel as parallel;
+pub use mp_record as record;
+pub use mp_rules as rules;
+pub use mp_strsim as strsim;
