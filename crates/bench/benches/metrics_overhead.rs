@@ -1,0 +1,49 @@
+//! Observer overhead smoke benchmark: a sorted-neighborhood pass driven
+//! through the [`NoopObserver`] must cost the same as the plain `run` path
+//! (observers report in bulk per phase, never inside the scan loop), and a
+//! live [`MetricsRecorder`] must add only a handful of atomic adds per pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use merge_purge::{KeySpec, SortedNeighborhood};
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_metrics::{MetricsRecorder, NoopObserver};
+use mp_rules::NativeEmployeeTheory;
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let db = DatabaseGenerator::new(GeneratorConfig::new(3_000).duplicate_fraction(0.5).seed(78))
+        .generate();
+    let theory = NativeEmployeeTheory::new();
+    let snm = SortedNeighborhood::new(KeySpec::last_name_key(), 10);
+
+    let mut g = c.benchmark_group("metrics_overhead");
+
+    g.bench_function("unobserved", |b| {
+        b.iter(|| black_box(snm.run(&db.records, &theory).pairs.len()));
+    });
+
+    g.bench_function("noop_observer", |b| {
+        b.iter(|| {
+            black_box(
+                snm.run_observed(&db.records, &theory, &NoopObserver)
+                    .pairs
+                    .len(),
+            )
+        });
+    });
+
+    let recorder = MetricsRecorder::new();
+    g.bench_function("metrics_recorder", |b| {
+        b.iter(|| {
+            black_box(
+                snm.run_observed(&db.records, &theory, &recorder)
+                    .pairs
+                    .len(),
+            )
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_observer_overhead);
+criterion_main!(benches);

@@ -8,12 +8,8 @@ use mp_datagen::{DatabaseGenerator, GeneratorConfig};
 use mp_rules::{employee_program, EquationalTheory, NativeEmployeeTheory};
 
 fn bench_theories(c: &mut Criterion) {
-    let db = DatabaseGenerator::new(
-        GeneratorConfig::new(500)
-            .duplicate_fraction(0.5)
-            .seed(1234),
-    )
-    .generate();
+    let db = DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.5).seed(1234))
+        .generate();
     // Window-shaped pair stream: each record against its 9 predecessors.
     let mut pairs = Vec::new();
     for i in 1..db.records.len() {

@@ -10,12 +10,8 @@ use mp_datagen::{DatabaseGenerator, GeneratorConfig};
 use mp_rules::NativeEmployeeTheory;
 
 fn bench_phases(c: &mut Criterion) {
-    let db = DatabaseGenerator::new(
-        GeneratorConfig::new(3_000)
-            .duplicate_fraction(0.5)
-            .seed(77),
-    )
-    .generate();
+    let db = DatabaseGenerator::new(GeneratorConfig::new(3_000).duplicate_fraction(0.5).seed(77))
+        .generate();
     let key = KeySpec::last_name_key();
     let theory = NativeEmployeeTheory::new();
 

@@ -43,10 +43,7 @@ fn main() {
     ];
     for key in &keys {
         let pass = SortedNeighborhood::new(key.clone(), w).run(&db.records, &theory);
-        let eval = Evaluation::score(
-            &MultiPass::close(n, vec![pass]).closed_pairs,
-            &db.truth,
-        );
+        let eval = Evaluation::score(&MultiPass::close(n, vec![pass]).closed_pairs, &db.truth);
         row(&[
             key.name().to_string(),
             pct(eval.percent_detected),
@@ -64,8 +61,7 @@ fn main() {
     header(&["cluster key chars", "% detected", "gap vs full-key SNM"]);
     let snm_acc = {
         let pass = SortedNeighborhood::new(KeySpec::last_name_key(), w).run(&db.records, &theory);
-        Evaluation::score(&MultiPass::close(n, vec![pass]).closed_pairs, &db.truth)
-            .percent_detected
+        Evaluation::score(&MultiPass::close(n, vec![pass]).closed_pairs, &db.truth).percent_detected
     };
     for len in [4usize, 6, 9, 12, 16, 24] {
         let cm = ClusteringMethod::new(

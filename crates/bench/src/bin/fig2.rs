@@ -55,7 +55,13 @@ fn main() {
     let keys = KeySpec::standard_three();
 
     println!("\n## (a) Percent of correctly detected duplicated pairs");
-    header(&["window", "last-name key", "first-name key", "address key", "multi-pass closure"]);
+    header(&[
+        "window",
+        "last-name key",
+        "first-name key",
+        "address key",
+        "multi-pass closure",
+    ]);
     let mut fp_rows: Vec<Vec<String>> = Vec::new();
     for &w in &windows {
         let mut cells = vec![w.to_string()];
@@ -79,7 +85,13 @@ fn main() {
     }
 
     println!("\n## (b) Percent of incorrectly detected duplicated pairs (false positives)");
-    header(&["window", "last-name key", "first-name key", "address key", "multi-pass closure"]);
+    header(&[
+        "window",
+        "last-name key",
+        "first-name key",
+        "address key",
+        "multi-pass closure",
+    ]);
     for cells in fp_rows {
         row(&cells);
     }

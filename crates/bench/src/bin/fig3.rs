@@ -57,11 +57,7 @@ fn main() {
             );
         }
         let avg = |passes: &[merge_purge::PassResult]| {
-            passes
-                .iter()
-                .map(|p| secs(p.stats.total()))
-                .sum::<f64>()
-                / passes.len() as f64
+            passes.iter().map(|p| secs(p.stats.total())).sum::<f64>() / passes.len() as f64
         };
         let snm_avg = avg(&snm_passes);
         let cl_avg = avg(&cl_passes);
@@ -109,8 +105,7 @@ fn main() {
             sec_cell(cl_multi_time),
         ]);
 
-        let snm_multi_acc =
-            Evaluation::score(&snm_multi.closed_pairs, &db.truth).percent_detected;
+        let snm_multi_acc = Evaluation::score(&snm_multi.closed_pairs, &db.truth).percent_detected;
         let cl_multi_acc = Evaluation::score(&cl_multi.closed_pairs, &db.truth).percent_detected;
         acc_rows.push(vec![
             w.to_string(),

@@ -91,9 +91,7 @@ fn main() {
     let mut db = fig2_database(originals, seed);
     mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
     let n = db.records.len();
-    println!(
-        "# Figure 6 — {n} records, w = {w}, processors 1..{max_procs} (host cores: {hw})"
-    );
+    println!("# Figure 6 — {n} records, w = {w}, processors 1..{max_procs} (host cores: {hw})");
 
     let theory = NativeEmployeeTheory::new();
     let keys = KeySpec::standard_three();

@@ -42,7 +42,13 @@ fn main() {
     let mut extrapolation: Vec<(String, usize, f64)> = Vec::new();
     for (label, clustered) in [("sorted-neighborhood", false), ("clustering", true)] {
         println!("\n## {label} method");
-        header(&["originals", "total records", "10% dup", "30% dup", "50% dup"]);
+        header(&[
+            "originals",
+            "total records",
+            "10% dup",
+            "30% dup",
+            "50% dup",
+        ]);
         for &size in &base_sizes {
             let mut cells = vec![size.to_string(), String::new()];
             let mut total_records = 0usize;

@@ -74,12 +74,21 @@ fn main() {
         .iter()
         .map(|f| ((crossover * f) as usize).max(2))
         .collect();
-    header(&["single-pass W", "measured T_sp", "model T_sp", "vs measured T_mp"]);
+    header(&[
+        "single-pass W",
+        "measured T_sp",
+        "model T_sp",
+        "vs measured T_mp",
+    ]);
     for &wp in &probe_windows {
         let run = SortedNeighborhood::new(KeySpec::last_name_key(), wp).run(&db.records, &theory);
         let t_sp = secs(run.stats.total()) + t_cl_sp;
         let t_sp_model = model.single_pass_time(n, wp);
-        let verdict = if t_sp > t_mp_measured { "slower (multi-pass wins)" } else { "faster" };
+        let verdict = if t_sp > t_mp_measured {
+            "slower (multi-pass wins)"
+        } else {
+            "faster"
+        };
         row(&[
             wp.to_string(),
             sec_cell(t_sp),

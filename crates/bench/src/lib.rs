@@ -103,7 +103,10 @@ pub fn row(cells: &[String]) {
 /// Prints a Markdown-style header and separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Formats a percentage cell.
@@ -149,7 +152,10 @@ mod tests {
     fn databases_have_expected_shape() {
         let db = fig4_database(1);
         // Paper: 13,751 records from 7,500 originals at 50% x <=5.
-        assert!(db.records.len() > 12_000 && db.records.len() < 23_000,
-                "got {}", db.records.len());
+        assert!(
+            db.records.len() > 12_000 && db.records.len() < 23_000,
+            "got {}",
+            db.records.len()
+        );
     }
 }

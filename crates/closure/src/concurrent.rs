@@ -161,10 +161,10 @@ mod tests {
         const N: usize = 2_000;
         const THREADS: usize = 8;
         let uf = ConcurrentUnionFind::new(N);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..THREADS {
                 let uf = &uf;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // All threads union overlapping chains; interleavings
                     // must still produce one component.
                     for i in (t..N - 1).step_by(THREADS) {
@@ -175,8 +175,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(uf.set_count(), 1);
         for i in 1..N as u32 {
             assert!(uf.connected(0, i));
@@ -187,18 +186,17 @@ mod tests {
     fn concurrent_disjoint_blocks_stay_disjoint() {
         const N: usize = 1_024;
         let uf = ConcurrentUnionFind::new(N);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let uf = &uf;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let base = t * (N / 4);
                     for i in base..base + N / 4 - 1 {
                         uf.union(i as u32, (i + 1) as u32);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(uf.set_count(), 4);
         assert!(!uf.connected(0, (N / 4) as u32));
         let mut seq = uf.into_sequential();

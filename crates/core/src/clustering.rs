@@ -6,6 +6,7 @@ use crate::snm::{extract_keys, PassResult, PassStats};
 use crate::window::window_scan;
 use mp_closure::PairSet;
 use mp_cluster::{KeyHistogram, RangePartition};
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -94,22 +95,36 @@ impl ClusteringMethod {
     /// construction; `sort` covers the per-cluster sorts; `window_scan` the
     /// per-cluster scans.
     pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+        self.run_observed(records, theory, &NoopObserver)
+    }
+
+    /// Like [`ClusteringMethod::run`], reporting counters and phase timings
+    /// to `observer` (in bulk, once per phase).
+    pub fn run_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         let mut stats = PassStats::default();
 
         // Phase 1: extract keys, build histogram, partition, assign.
         let t0 = Instant::now();
         let keys = extract_keys(&self.key, records);
-        let truncated: Vec<&str> = keys.iter().map(|k| truncate(k, self.config.cluster_key_len)).collect();
-        let histogram = KeyHistogram::from_keys(
-            truncated.iter().copied(),
-            self.config.histogram_prefix,
-        );
+        let truncated: Vec<&str> = keys
+            .iter()
+            .map(|k| truncate(k, self.config.cluster_key_len))
+            .collect();
+        let histogram =
+            KeyHistogram::from_keys(truncated.iter().copied(), self.config.histogram_prefix);
         let partition = RangePartition::build(&histogram, self.config.clusters);
         let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); self.config.clusters];
         for (i, t) in truncated.iter().enumerate() {
             clusters[partition.cluster_of(t)].push(i as u32);
         }
         stats.create_keys = t0.elapsed();
+        observer.add(Counter::RecordsKeyed, records.len() as u64);
+        observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
 
         // Phase 2+3: per-cluster sort on the fixed-size key, then scan.
         let mut pairs = PairSet::new();
@@ -124,6 +139,11 @@ impl ClusteringMethod {
             stats.window_scan += t2.elapsed();
         }
         stats.matches = pairs.len();
+        observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
+        observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
+        observer.add(Counter::Comparisons, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::Matches, stats.matches as u64);
 
         PassResult {
             key_name: self.key.name().to_string(),
@@ -150,19 +170,15 @@ mod tests {
     use mp_rules::NativeEmployeeTheory;
 
     fn db(n: usize, seed: u64) -> mp_datagen::GeneratedDatabase {
-        DatabaseGenerator::new(
-            GeneratorConfig::new(n).duplicate_fraction(0.4).seed(seed),
-        )
-        .generate()
+        DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.4).seed(seed))
+            .generate()
     }
 
     #[test]
     fn finds_duplicates() {
         let db = db(400, 41);
-        let cm = ClusteringMethod::new(
-            KeySpec::last_name_key(),
-            ClusteringConfig::paper_serial(10),
-        );
+        let cm =
+            ClusteringMethod::new(KeySpec::last_name_key(), ClusteringConfig::paper_serial(10));
         let r = cm.run(&db.records, &NativeEmployeeTheory::new());
         assert!(!r.pairs.is_empty());
         assert!(r.stats.comparisons > 0);
@@ -180,11 +196,8 @@ mod tests {
         let theory = NativeEmployeeTheory::new();
         let w = 10;
         let snm = SortedNeighborhood::new(KeySpec::last_name_key(), w).run(&db.records, &theory);
-        let cm = ClusteringMethod::new(
-            KeySpec::last_name_key(),
-            ClusteringConfig::paper_serial(w),
-        )
-        .run(&db.records, &theory);
+        let cm = ClusteringMethod::new(KeySpec::last_name_key(), ClusteringConfig::paper_serial(w))
+            .run(&db.records, &theory);
         let snm_true = count_true(&snm.pairs, &db);
         let cm_true = count_true(&cm.pairs, &db);
         assert!(
@@ -212,11 +225,8 @@ mod tests {
         let theory = NativeEmployeeTheory::new();
         let w = 8;
         let snm = SortedNeighborhood::new(KeySpec::last_name_key(), w).run(&db.records, &theory);
-        let cm = ClusteringMethod::new(
-            KeySpec::last_name_key(),
-            ClusteringConfig::paper_serial(w),
-        )
-        .run(&db.records, &theory);
+        let cm = ClusteringMethod::new(KeySpec::last_name_key(), ClusteringConfig::paper_serial(w))
+            .run(&db.records, &theory);
         assert!(cm.stats.comparisons <= snm.stats.comparisons);
     }
 
@@ -241,10 +251,7 @@ mod tests {
     fn deterministic() {
         let db = db(150, 45);
         let theory = NativeEmployeeTheory::new();
-        let cm = ClusteringMethod::new(
-            KeySpec::address_key(),
-            ClusteringConfig::paper_serial(5),
-        );
+        let cm = ClusteringMethod::new(KeySpec::address_key(), ClusteringConfig::paper_serial(5));
         assert_eq!(
             cm.run(&db.records, &theory).pairs.sorted(),
             cm.run(&db.records, &theory).pairs.sorted()
@@ -253,10 +260,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let cm = ClusteringMethod::new(
-            KeySpec::last_name_key(),
-            ClusteringConfig::paper_serial(4),
-        );
+        let cm = ClusteringMethod::new(KeySpec::last_name_key(), ClusteringConfig::paper_serial(4));
         let r = cm.run(&[], &NativeEmployeeTheory::new());
         assert!(r.pairs.is_empty());
     }

@@ -112,8 +112,14 @@ mod tests {
         let below = m.single_pass_time(n, cross as usize - 2);
         let above = m.single_pass_time(n, cross as usize + 2);
         let multi = m.multi_pass_time(n, 3, 10);
-        assert!(below < multi, "below crossover single-pass should be faster");
-        assert!(above > multi, "above crossover single-pass should be slower");
+        assert!(
+            below < multi,
+            "below crossover single-pass should be faster"
+        );
+        assert!(
+            above > multi,
+            "above crossover single-pass should be slower"
+        );
     }
 
     #[test]

@@ -28,8 +28,7 @@ pub struct Evaluation {
 impl Evaluation {
     /// Scores `found` (typically closure output) against `truth`.
     pub fn score(found: &PairSet, truth: &GroundTruth) -> Self {
-        let mut truth_set: std::collections::HashSet<(u32, u32)> =
-            std::collections::HashSet::new();
+        let mut truth_set: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
         for p in truth.true_pairs() {
             truth_set.insert(p);
         }

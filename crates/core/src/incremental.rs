@@ -121,7 +121,10 @@ impl IncrementalMergePurge {
     ///
     /// Panics when no passes are configured.
     pub fn add_batch(&mut self, mut batch: Vec<Record>, theory: &dyn EquationalTheory) {
-        assert!(!self.passes.is_empty(), "configure passes before adding batches");
+        assert!(
+            !self.passes.is_empty(),
+            "configure passes before adding batches"
+        );
         let old_len = self.records.len() as u32;
         for (i, r) in batch.iter_mut().enumerate() {
             r.id = RecordId(old_len + i as u32);
@@ -205,10 +208,8 @@ mod tests {
     use mp_rules::NativeEmployeeTheory;
 
     fn batches(seed: u64, n: usize, parts: usize) -> Vec<Vec<Record>> {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed))
+            .generate();
         let chunk = db.records.len().div_ceil(parts);
         db.records.chunks(chunk).map(<[Record]>::to_vec).collect()
     }
@@ -256,10 +257,9 @@ mod tests {
     fn single_batch_equals_from_scratch_exactly() {
         let theory = NativeEmployeeTheory::new();
         let w = 10;
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(400).duplicate_fraction(0.5).seed(9002),
-        )
-        .generate();
+        let db =
+            DatabaseGenerator::new(GeneratorConfig::new(400).duplicate_fraction(0.5).seed(9002))
+                .generate();
         let mut inc = IncrementalMergePurge::new()
             .pass(KeySpec::last_name_key(), w)
             .pass(KeySpec::first_name_key(), w);
@@ -284,8 +284,8 @@ mod tests {
             for (i, r) in all.iter_mut().enumerate() {
                 r.id = RecordId(i as u32);
             }
-            let full = crate::snm::SortedNeighborhood::new(KeySpec::last_name_key(), w)
-                .run(&all, &theory);
+            let full =
+                crate::snm::SortedNeighborhood::new(KeySpec::last_name_key(), w).run(&all, &theory);
             rerun_comparisons += full.stats.comparisons;
         }
         assert!(

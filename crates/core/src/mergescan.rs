@@ -19,6 +19,7 @@
 use crate::key::KeySpec;
 use crate::snm::{PassResult, PassStats};
 use mp_closure::PairSet;
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -72,6 +73,18 @@ impl MergeScanSnm {
 
     /// Runs the fused sort+scan over `records`.
     pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+        self.run_observed(records, theory, &NoopObserver)
+    }
+
+    /// Like [`MergeScanSnm::run`], reporting counters and phase timings to
+    /// `observer`. The fused sort+scan reports as [`Phase::WindowScan`]
+    /// (its sorting work is inseparable from its scanning).
+    pub fn run_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         let mut stats = PassStats::default();
 
         // Phase 1: keys.
@@ -85,6 +98,8 @@ impl MergeScanSnm {
             })
             .collect();
         stats.create_keys = t0.elapsed();
+        observer.add(Counter::RecordsKeyed, records.len() as u64);
+        observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
 
         // Phase 2+3 fused: bottom-up merge sort; every merge level scans
         // its output with the window.
@@ -121,6 +136,10 @@ impl MergeScanSnm {
         }
         stats.window_scan = t1.elapsed();
         stats.matches = pairs.len();
+        observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
+        observer.add(Counter::Comparisons, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::Matches, stats.matches as u64);
 
         PassResult {
             key_name: self.key.name().to_string(),
@@ -169,10 +188,8 @@ mod tests {
     use mp_rules::NativeEmployeeTheory;
 
     fn db(n: usize, seed: u64) -> mp_datagen::GeneratedDatabase {
-        DatabaseGenerator::new(
-            GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed),
-        )
-        .generate()
+        DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed))
+            .generate()
     }
 
     #[test]
@@ -229,7 +246,11 @@ mod tests {
         let theory = NativeEmployeeTheory::new();
         let fused = MergeScanSnm::new(KeySpec::last_name_key(), 4).run(&[], &theory);
         assert!(fused.pairs.is_empty());
-        let one = db(1, 8804);
+        // Exactly one record (no duplication) must produce zero comparisons.
+        let one =
+            DatabaseGenerator::new(GeneratorConfig::new(1).duplicate_fraction(0.0).seed(8804))
+                .generate();
+        assert_eq!(one.records.len(), 1);
         let fused = MergeScanSnm::new(KeySpec::last_name_key(), 4).run(&one.records, &theory);
         assert_eq!(fused.stats.comparisons, 0);
     }

@@ -5,6 +5,7 @@ use crate::clustering::{ClusteringConfig, ClusteringMethod};
 use crate::key::KeySpec;
 use crate::snm::{PassResult, SortedNeighborhood};
 use mp_closure::{PairSet, UnionFind};
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::{Duration, Instant};
@@ -29,13 +30,18 @@ pub enum PassConfig {
 }
 
 impl PassConfig {
-    fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+    fn run(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         match self {
-            PassConfig::Sorted { key, window } => {
-                SortedNeighborhood::new(key.clone(), *window).run(records, theory)
-            }
+            PassConfig::Sorted { key, window } => SortedNeighborhood::new(key.clone(), *window)
+                .run_observed(records, theory, observer),
             PassConfig::Clustered { key, config } => {
-                ClusteringMethod::new(key.clone(), config.clone()).run(records, theory)
+                ClusteringMethod::new(key.clone(), config.clone())
+                    .run_observed(records, theory, observer)
             }
         }
     }
@@ -147,23 +153,58 @@ impl MultiPass {
     ///
     /// Panics when no passes are configured.
     pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> MultiPassResult {
-        assert!(!self.passes.is_empty(), "multi-pass run needs at least one pass");
+        self.run_observed(records, theory, &NoopObserver)
+    }
+
+    /// Like [`MultiPass::run`], reporting per-pass counters, phase timings,
+    /// and closure statistics to `observer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no passes are configured.
+    pub fn run_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> MultiPassResult {
+        assert!(
+            !self.passes.is_empty(),
+            "multi-pass run needs at least one pass"
+        );
         let passes: Vec<PassResult> = self
             .passes
             .iter()
-            .map(|p| p.run(records, theory))
+            .map(|p| p.run(records, theory, observer))
             .collect();
-        Self::close(records.len(), passes)
+        Self::close_observed(records.len(), passes, observer)
     }
 
     /// Computes the closure over already-executed passes (used by the
     /// parallel engine, which runs passes concurrently).
     pub fn close(universe: usize, passes: Vec<PassResult>) -> MultiPassResult {
+        Self::close_observed(universe, passes, &NoopObserver)
+    }
+
+    /// Like [`MultiPass::close`], reporting closure statistics: input pair
+    /// instances, pairs discarded as redundant (already connected — the
+    /// cross-pass duplicates and transitively implied pairs), the closed
+    /// pair count, and closure time.
+    pub fn close_observed(
+        universe: usize,
+        passes: Vec<PassResult>,
+        observer: &dyn PipelineObserver,
+    ) -> MultiPassResult {
         let t0 = Instant::now();
         let mut uf = UnionFind::new(universe);
+        let mut input_pairs = 0u64;
+        let mut redundant_pairs = 0u64;
         for p in &passes {
             for (a, b) in p.pairs.iter() {
-                uf.union(a, b);
+                input_pairs += 1;
+                if !uf.union(a, b) {
+                    redundant_pairs += 1;
+                }
             }
         }
         let classes = uf.classes();
@@ -176,6 +217,10 @@ impl MultiPass {
             }
         }
         let closure_time = t0.elapsed();
+        observer.add(Counter::ClosureInputPairs, input_pairs);
+        observer.add(Counter::ClosureDedupedPairs, redundant_pairs);
+        observer.add(Counter::ClosedPairs, closed_pairs.len() as u64);
+        observer.phase_ns(Phase::Closure, closure_time.as_nanos() as u64);
         MultiPassResult {
             passes,
             closed_pairs,
@@ -192,10 +237,8 @@ mod tests {
     use mp_rules::NativeEmployeeTheory;
 
     fn db(n: usize, seed: u64) -> mp_datagen::GeneratedDatabase {
-        DatabaseGenerator::new(
-            GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed),
-        )
-        .generate()
+        DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed))
+            .generate()
     }
 
     fn count_true(pairs: &PairSet, db: &mp_datagen::GeneratedDatabase) -> usize {
@@ -247,10 +290,7 @@ mod tests {
         let theory = NativeEmployeeTheory::new();
         let result = MultiPass::new()
             .sorted(KeySpec::last_name_key(), 8)
-            .clustered(
-                KeySpec::first_name_key(),
-                ClusteringConfig::paper_serial(8),
-            )
+            .clustered(KeySpec::first_name_key(), ClusteringConfig::paper_serial(8))
             .run(&db.records, &theory);
         assert_eq!(result.passes.len(), 2);
         assert!(!result.closed_pairs.is_empty());

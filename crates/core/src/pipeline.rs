@@ -1,8 +1,9 @@
 //! High-level merge/purge pipeline: condition → passes → closure.
 
+use crate::clustering::ClusteringConfig;
 use crate::key::KeySpec;
 use crate::multipass::{MultiPass, MultiPassResult, PassConfig};
-use crate::clustering::ClusteringConfig;
+use mp_metrics::{NoopObserver, Phase, PipelineObserver};
 use mp_record::{normalize, NicknameTable, Record, SpellCorrector};
 use mp_rules::EquationalTheory;
 
@@ -91,6 +92,23 @@ impl<'t> MergePurge<'t> {
     ///
     /// Panics when no passes were configured.
     pub fn run(self, records: &mut [Record]) -> MergePurgeResult {
+        self.run_observed(records, &NoopObserver)
+    }
+
+    /// Like [`MergePurge::run`], reporting conditioning time, per-pass
+    /// counters and timings, and closure statistics to `observer` (the
+    /// CLI's `--stats` flag drives this with a
+    /// [`mp_metrics::MetricsRecorder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no passes were configured.
+    pub fn run_observed(
+        self,
+        records: &mut [Record],
+        observer: &dyn PipelineObserver,
+    ) -> MergePurgeResult {
+        let t0 = std::time::Instant::now();
         if self.condition {
             normalize::condition_all(records, &self.nicknames);
         }
@@ -99,7 +117,8 @@ impl<'t> MergePurge<'t> {
                 corrector.correct_in_place(&mut r.city);
             }
         }
-        self.passes.run(records, self.theory)
+        observer.phase_ns(Phase::Condition, t0.elapsed().as_nanos() as u64);
+        self.passes.run_observed(records, self.theory, observer)
     }
 }
 

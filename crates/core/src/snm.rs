@@ -3,6 +3,7 @@
 use crate::key::KeySpec;
 use crate::window::window_scan;
 use mp_closure::PairSet;
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::{Duration, Instant};
@@ -88,18 +89,33 @@ impl SortedNeighborhood {
 
     /// Runs the three phases over `records` and returns the matched pairs.
     pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+        self.run_observed(records, theory, &NoopObserver)
+    }
+
+    /// Like [`SortedNeighborhood::run`], reporting counters and phase
+    /// timings to `observer`. Counters are reported in bulk per phase, so
+    /// observation adds no per-comparison work.
+    pub fn run_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         let mut stats = PassStats::default();
 
         // Phase 1: create keys.
         let t0 = Instant::now();
         let keys = extract_keys(&self.key, records);
         stats.create_keys = t0.elapsed();
+        observer.add(Counter::RecordsKeyed, records.len() as u64);
+        observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
 
         // Phase 2: sort (indices by key; stable so equal keys keep input
         // order, making runs deterministic).
         let t1 = Instant::now();
         let order = sorted_order(&keys);
         stats.sort = t1.elapsed();
+        observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
 
         // Phase 3: merge via window scan.
         let t2 = Instant::now();
@@ -107,6 +123,10 @@ impl SortedNeighborhood {
         stats.comparisons = window_scan(records, &order, self.window, theory, &mut pairs);
         stats.window_scan = t2.elapsed();
         stats.matches = pairs.len();
+        observer.add(Counter::Comparisons, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::Matches, stats.matches as u64);
+        observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
 
         PassResult {
             key_name: self.key.name().to_string(),
@@ -146,12 +166,11 @@ mod tests {
 
     #[test]
     fn finds_duplicates_in_generated_data() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(400).duplicate_fraction(0.5).seed(31),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(400).duplicate_fraction(0.5).seed(31))
+            .generate();
         let theory = NativeEmployeeTheory::new();
-        let result = SortedNeighborhood::new(KeySpec::last_name_key(), 10).run(&db.records, &theory);
+        let result =
+            SortedNeighborhood::new(KeySpec::last_name_key(), 10).run(&db.records, &theory);
         // Some but not all true pairs are found by one pass (50-70% in the
         // paper; loose bounds here for a small DB).
         let truth = db.truth.true_pair_count();
@@ -164,10 +183,8 @@ mod tests {
 
     #[test]
     fn wider_window_finds_at_least_as_much() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(300).duplicate_fraction(0.5).seed(32),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(300).duplicate_fraction(0.5).seed(32))
+            .generate();
         let theory = NativeEmployeeTheory::new();
         let narrow = SortedNeighborhood::new(KeySpec::last_name_key(), 3).run(&db.records, &theory);
         let wide = SortedNeighborhood::new(KeySpec::last_name_key(), 20).run(&db.records, &theory);

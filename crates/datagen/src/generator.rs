@@ -2,10 +2,10 @@
 
 use crate::config::GeneratorConfig;
 use crate::corrupt::corrupt;
+use crate::geo;
 use crate::names::{FirstNamePool, SurnamePool};
 use crate::truth::GroundTruth;
 use crate::typo::TypoModel;
-use crate::geo;
 use mp_record::{EntityId, Record, RecordId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -168,8 +168,11 @@ mod tests {
         assert_eq!(db.records.len(), 500 + db.duplicate_count);
         assert_eq!(db.truth.total_records(), db.records.len());
         // Expected duplicates: 500 * 0.4 * E[1..=3] = 500 * 0.4 * 2 = 400.
-        assert!(db.duplicate_count > 250 && db.duplicate_count < 560,
-                "duplicate count {} outside plausible range", db.duplicate_count);
+        assert!(
+            db.duplicate_count > 250 && db.duplicate_count < 560,
+            "duplicate count {} outside plausible range",
+            db.duplicate_count
+        );
     }
 
     #[test]
@@ -199,10 +202,8 @@ mod tests {
 
     #[test]
     fn zero_duplication_yields_no_pairs() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(100).duplicate_fraction(0.0).seed(24),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(100).duplicate_fraction(0.0).seed(24))
+            .generate();
         assert_eq!(db.duplicate_count, 0);
         assert_eq!(db.truth.true_pair_count(), 0);
         assert_eq!(db.records.len(), 100);
@@ -231,8 +232,7 @@ mod tests {
         // Without shuffling, originals are 0..200, duplicates 200...
         let mut identical = 0;
         for dup in &db.records[200..] {
-            let orig = db
-                .records[..200]
+            let orig = db.records[..200]
                 .iter()
                 .find(|o| o.entity == dup.entity)
                 .unwrap();
@@ -245,7 +245,11 @@ mod tests {
             }
         }
         let frac = identical as f64 / db.duplicate_count as f64;
-        assert!(frac < 0.3, "{identical} of {} duplicates unchanged", db.duplicate_count);
+        assert!(
+            frac < 0.3,
+            "{identical} of {} duplicates unchanged",
+            db.duplicate_count
+        );
     }
 
     #[test]
@@ -270,9 +274,9 @@ mod tests {
             .iter()
             .filter(|r| {
                 // an original keeps its clean fields: find the matching a-record
-                a.records.iter().any(|o| {
-                    o.entity == r.entity && o.ssn == r.ssn && o.last_name == r.last_name
-                })
+                a.records
+                    .iter()
+                    .any(|o| o.entity == r.entity && o.ssn == r.ssn && o.last_name == r.last_name)
             })
             .collect();
         assert!(

@@ -12,63 +12,172 @@ use rand::Rng;
 
 /// (city, state, zip prefix) seed — real U.S. cities.
 const CITY_SEEDS: [(&str, &str, &str); 80] = [
-    ("NEW YORK", "NY", "100"), ("LOS ANGELES", "CA", "900"), ("CHICAGO", "IL", "606"),
-    ("HOUSTON", "TX", "770"), ("PHOENIX", "AZ", "850"), ("PHILADELPHIA", "PA", "191"),
-    ("SAN ANTONIO", "TX", "782"), ("SAN DIEGO", "CA", "921"), ("DALLAS", "TX", "752"),
-    ("SAN JOSE", "CA", "951"), ("AUSTIN", "TX", "787"), ("JACKSONVILLE", "FL", "322"),
-    ("FORT WORTH", "TX", "761"), ("COLUMBUS", "OH", "432"), ("CHARLOTTE", "NC", "282"),
-    ("INDIANAPOLIS", "IN", "462"), ("SAN FRANCISCO", "CA", "941"), ("SEATTLE", "WA", "981"),
-    ("DENVER", "CO", "802"), ("WASHINGTON", "DC", "200"), ("BOSTON", "MA", "021"),
-    ("EL PASO", "TX", "799"), ("NASHVILLE", "TN", "372"), ("DETROIT", "MI", "482"),
-    ("OKLAHOMA CITY", "OK", "731"), ("PORTLAND", "OR", "972"), ("LAS VEGAS", "NV", "891"),
-    ("MEMPHIS", "TN", "381"), ("LOUISVILLE", "KY", "402"), ("BALTIMORE", "MD", "212"),
-    ("MILWAUKEE", "WI", "532"), ("ALBUQUERQUE", "NM", "871"), ("TUCSON", "AZ", "857"),
-    ("FRESNO", "CA", "937"), ("SACRAMENTO", "CA", "958"), ("MESA", "AZ", "852"),
-    ("KANSAS CITY", "MO", "641"), ("ATLANTA", "GA", "303"), ("OMAHA", "NE", "681"),
-    ("COLORADO SPRINGS", "CO", "809"), ("RALEIGH", "NC", "276"), ("MIAMI", "FL", "331"),
-    ("LONG BEACH", "CA", "908"), ("VIRGINIA BEACH", "VA", "234"), ("OAKLAND", "CA", "946"),
-    ("MINNEAPOLIS", "MN", "554"), ("TULSA", "OK", "741"), ("ARLINGTON", "TX", "760"),
-    ("TAMPA", "FL", "336"), ("NEW ORLEANS", "LA", "701"), ("WICHITA", "KS", "672"),
-    ("CLEVELAND", "OH", "441"), ("BAKERSFIELD", "CA", "933"), ("AURORA", "CO", "800"),
-    ("ANAHEIM", "CA", "928"), ("HONOLULU", "HI", "968"), ("SANTA ANA", "CA", "927"),
-    ("RIVERSIDE", "CA", "925"), ("CORPUS CHRISTI", "TX", "784"), ("LEXINGTON", "KY", "405"),
-    ("STOCKTON", "CA", "952"), ("HENDERSON", "NV", "890"), ("SAINT PAUL", "MN", "551"),
-    ("ST LOUIS", "MO", "631"), ("CINCINNATI", "OH", "452"), ("PITTSBURGH", "PA", "152"),
-    ("GREENSBORO", "NC", "274"), ("ANCHORAGE", "AK", "995"), ("PLANO", "TX", "750"),
-    ("LINCOLN", "NE", "685"), ("ORLANDO", "FL", "328"), ("IRVINE", "CA", "926"),
-    ("NEWARK", "NJ", "071"), ("TOLEDO", "OH", "436"), ("DURHAM", "NC", "277"),
-    ("CHULA VISTA", "CA", "919"), ("FORT WAYNE", "IN", "468"), ("JERSEY CITY", "NJ", "073"),
-    ("ST PETERSBURG", "FL", "337"), ("LAREDO", "TX", "780"),
+    ("NEW YORK", "NY", "100"),
+    ("LOS ANGELES", "CA", "900"),
+    ("CHICAGO", "IL", "606"),
+    ("HOUSTON", "TX", "770"),
+    ("PHOENIX", "AZ", "850"),
+    ("PHILADELPHIA", "PA", "191"),
+    ("SAN ANTONIO", "TX", "782"),
+    ("SAN DIEGO", "CA", "921"),
+    ("DALLAS", "TX", "752"),
+    ("SAN JOSE", "CA", "951"),
+    ("AUSTIN", "TX", "787"),
+    ("JACKSONVILLE", "FL", "322"),
+    ("FORT WORTH", "TX", "761"),
+    ("COLUMBUS", "OH", "432"),
+    ("CHARLOTTE", "NC", "282"),
+    ("INDIANAPOLIS", "IN", "462"),
+    ("SAN FRANCISCO", "CA", "941"),
+    ("SEATTLE", "WA", "981"),
+    ("DENVER", "CO", "802"),
+    ("WASHINGTON", "DC", "200"),
+    ("BOSTON", "MA", "021"),
+    ("EL PASO", "TX", "799"),
+    ("NASHVILLE", "TN", "372"),
+    ("DETROIT", "MI", "482"),
+    ("OKLAHOMA CITY", "OK", "731"),
+    ("PORTLAND", "OR", "972"),
+    ("LAS VEGAS", "NV", "891"),
+    ("MEMPHIS", "TN", "381"),
+    ("LOUISVILLE", "KY", "402"),
+    ("BALTIMORE", "MD", "212"),
+    ("MILWAUKEE", "WI", "532"),
+    ("ALBUQUERQUE", "NM", "871"),
+    ("TUCSON", "AZ", "857"),
+    ("FRESNO", "CA", "937"),
+    ("SACRAMENTO", "CA", "958"),
+    ("MESA", "AZ", "852"),
+    ("KANSAS CITY", "MO", "641"),
+    ("ATLANTA", "GA", "303"),
+    ("OMAHA", "NE", "681"),
+    ("COLORADO SPRINGS", "CO", "809"),
+    ("RALEIGH", "NC", "276"),
+    ("MIAMI", "FL", "331"),
+    ("LONG BEACH", "CA", "908"),
+    ("VIRGINIA BEACH", "VA", "234"),
+    ("OAKLAND", "CA", "946"),
+    ("MINNEAPOLIS", "MN", "554"),
+    ("TULSA", "OK", "741"),
+    ("ARLINGTON", "TX", "760"),
+    ("TAMPA", "FL", "336"),
+    ("NEW ORLEANS", "LA", "701"),
+    ("WICHITA", "KS", "672"),
+    ("CLEVELAND", "OH", "441"),
+    ("BAKERSFIELD", "CA", "933"),
+    ("AURORA", "CO", "800"),
+    ("ANAHEIM", "CA", "928"),
+    ("HONOLULU", "HI", "968"),
+    ("SANTA ANA", "CA", "927"),
+    ("RIVERSIDE", "CA", "925"),
+    ("CORPUS CHRISTI", "TX", "784"),
+    ("LEXINGTON", "KY", "405"),
+    ("STOCKTON", "CA", "952"),
+    ("HENDERSON", "NV", "890"),
+    ("SAINT PAUL", "MN", "551"),
+    ("ST LOUIS", "MO", "631"),
+    ("CINCINNATI", "OH", "452"),
+    ("PITTSBURGH", "PA", "152"),
+    ("GREENSBORO", "NC", "274"),
+    ("ANCHORAGE", "AK", "995"),
+    ("PLANO", "TX", "750"),
+    ("LINCOLN", "NE", "685"),
+    ("ORLANDO", "FL", "328"),
+    ("IRVINE", "CA", "926"),
+    ("NEWARK", "NJ", "071"),
+    ("TOLEDO", "OH", "436"),
+    ("DURHAM", "NC", "277"),
+    ("CHULA VISTA", "CA", "919"),
+    ("FORT WAYNE", "IN", "468"),
+    ("JERSEY CITY", "NJ", "073"),
+    ("ST PETERSBURG", "FL", "337"),
+    ("LAREDO", "TX", "780"),
 ];
 
 /// Name stems for synthetic small towns (corpus expansion).
 const TOWN_STEMS: [&str; 40] = [
-    "SPRING", "OAK", "MAPLE", "CEDAR", "PINE", "ELM", "RIVER", "LAKE", "HILL",
-    "GREEN", "FAIR", "CLEAR", "MILL", "STONE", "BROOK", "GLEN", "WEST", "EAST",
-    "NORTH", "SOUTH", "GRAND", "UNION", "LIBERTY", "FRANKLIN", "MADISON", "CLINTON",
-    "SALEM", "GEORGE", "MARION", "CHESTER", "BRISTOL", "DOVER", "CAMDEN", "ASH",
-    "BIRCH", "WALNUT", "HAZEL", "SUNSET", "HARBOR", "MEADOW",
+    "SPRING", "OAK", "MAPLE", "CEDAR", "PINE", "ELM", "RIVER", "LAKE", "HILL", "GREEN", "FAIR",
+    "CLEAR", "MILL", "STONE", "BROOK", "GLEN", "WEST", "EAST", "NORTH", "SOUTH", "GRAND", "UNION",
+    "LIBERTY", "FRANKLIN", "MADISON", "CLINTON", "SALEM", "GEORGE", "MARION", "CHESTER", "BRISTOL",
+    "DOVER", "CAMDEN", "ASH", "BIRCH", "WALNUT", "HAZEL", "SUNSET", "HARBOR", "MEADOW",
 ];
 
 /// Suffixes for synthetic small towns.
 const TOWN_SUFFIXES: [&str; 18] = [
-    "FIELD", "VILLE", "TOWN", "BURG", "PORT", "FORD", "HAVEN", " CITY", " FALLS",
-    " SPRINGS", " HEIGHTS", " JUNCTION", " GROVE", " PARK", " RIDGE", " VALLEY",
-    "WOOD", "DALE",
+    "FIELD",
+    "VILLE",
+    "TOWN",
+    "BURG",
+    "PORT",
+    "FORD",
+    "HAVEN",
+    " CITY",
+    " FALLS",
+    " SPRINGS",
+    " HEIGHTS",
+    " JUNCTION",
+    " GROVE",
+    " PARK",
+    " RIDGE",
+    " VALLEY",
+    "WOOD",
+    "DALE",
 ];
 
 /// Street base names for address generation.
 const STREET_NAMES: [&str; 40] = [
-    "MAIN", "OAK", "PARK", "ELM", "MAPLE", "WASHINGTON", "LAKE", "HILL", "WALNUT",
-    "SPRING", "CHURCH", "BROADWAY", "CENTER", "HIGHLAND", "MILL", "RIVER", "FRANKLIN",
-    "JEFFERSON", "MADISON", "JACKSON", "LINCOLN", "CHESTNUT", "PLEASANT", "CEDAR",
-    "PROSPECT", "COLLEGE", "FOREST", "GARDEN", "SUNSET", "MEADOW", "VALLEY", "UNION",
-    "SECOND", "THIRD", "FOURTH", "FIFTH", "AMSTERDAM", "COLUMBUS", "RIVERSIDE", "GRANT",
+    "MAIN",
+    "OAK",
+    "PARK",
+    "ELM",
+    "MAPLE",
+    "WASHINGTON",
+    "LAKE",
+    "HILL",
+    "WALNUT",
+    "SPRING",
+    "CHURCH",
+    "BROADWAY",
+    "CENTER",
+    "HIGHLAND",
+    "MILL",
+    "RIVER",
+    "FRANKLIN",
+    "JEFFERSON",
+    "MADISON",
+    "JACKSON",
+    "LINCOLN",
+    "CHESTNUT",
+    "PLEASANT",
+    "CEDAR",
+    "PROSPECT",
+    "COLLEGE",
+    "FOREST",
+    "GARDEN",
+    "SUNSET",
+    "MEADOW",
+    "VALLEY",
+    "UNION",
+    "SECOND",
+    "THIRD",
+    "FOURTH",
+    "FIFTH",
+    "AMSTERDAM",
+    "COLUMBUS",
+    "RIVERSIDE",
+    "GRANT",
 ];
 
 /// Street types paired with the expansions used by record conditioning.
 const STREET_TYPES: [&str; 8] = [
-    "STREET", "AVENUE", "ROAD", "DRIVE", "LANE", "BOULEVARD", "COURT", "PLACE",
+    "STREET",
+    "AVENUE",
+    "ROAD",
+    "DRIVE",
+    "LANE",
+    "BOULEVARD",
+    "COURT",
+    "PLACE",
 ];
 
 /// One city with its state and zip prefix.
@@ -85,7 +194,11 @@ pub struct City {
 /// Uniformly samples a real seed city.
 pub fn random_city<R: Rng>(rng: &mut R) -> City {
     let (name, state, zip_prefix) = CITY_SEEDS[rng.gen_range(0..CITY_SEEDS.len())];
-    City { name, state, zip_prefix }
+    City {
+        name,
+        state,
+        zip_prefix,
+    }
 }
 
 /// A full, consistent zip code for `city`.
@@ -108,7 +221,11 @@ pub fn random_apartment<R: Rng>(rng: &mut R) -> String {
     if rng.gen_bool(0.6) {
         String::new()
     } else {
-        format!("APT {}{}", rng.gen_range(1..30), (b'A' + rng.gen_range(0..6)) as char)
+        format!(
+            "APT {}{}",
+            rng.gen_range(1..30),
+            (b'A' + rng.gen_range(0..6)) as char
+        )
     }
 }
 
@@ -130,8 +247,9 @@ pub fn city_corpus(size: usize) -> Vec<String> {
             format!("{stem}{suffix}")
         } else {
             // Disambiguate further rounds with a directional prefix cycle.
-            let dir = ["NEW ", "OLD ", "UPPER ", "LOWER ", "PORT ", "FORT ", "MOUNT ", "LAKE "]
-                [round % 8];
+            let dir = [
+                "NEW ", "OLD ", "UPPER ", "LOWER ", "PORT ", "FORT ", "MOUNT ", "LAKE ",
+            ][round % 8];
             if round < 8 {
                 format!("{dir}{stem}{suffix}")
             } else {

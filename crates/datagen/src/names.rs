@@ -12,55 +12,193 @@ use rand::Rng;
 
 /// Frequent American surnames used verbatim and as composition stems.
 const SURNAME_SEEDS: [&str; 96] = [
-    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER", "DAVIS",
-    "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ", "WILSON", "ANDERSON",
-    "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON",
-    "WHITE", "HARRIS", "SANCHEZ", "CLARK", "RAMIREZ", "LEWIS", "ROBINSON", "WALKER",
-    "YOUNG", "ALLEN", "KING", "WRIGHT", "SCOTT", "TORRES", "NGUYEN", "HILL", "FLORES",
-    "GREEN", "ADAMS", "NELSON", "BAKER", "HALL", "RIVERA", "CAMPBELL", "MITCHELL",
-    "CARTER", "ROBERTS", "GOMEZ", "PHILLIPS", "EVANS", "TURNER", "DIAZ", "PARKER",
-    "CRUZ", "EDWARDS", "COLLINS", "REYES", "STEWART", "MORRIS", "MORALES", "MURPHY",
-    "COOK", "ROGERS", "GUTIERREZ", "ORTIZ", "MORGAN", "COOPER", "PETERSON", "BAILEY",
-    "REED", "KELLY", "HOWARD", "RAMOS", "KIM", "COX", "WARD", "RICHARDSON", "WATSON",
-    "BROOKS", "CHAVEZ", "WOOD", "JAMES", "BENNETT", "GRAY", "MENDOZA", "RUIZ",
-    "HUGHES", "PRICE", "ALVAREZ", "CASTILLO", "SANDERS", "PATEL", "MYERS",
+    "SMITH",
+    "JOHNSON",
+    "WILLIAMS",
+    "BROWN",
+    "JONES",
+    "GARCIA",
+    "MILLER",
+    "DAVIS",
+    "RODRIGUEZ",
+    "MARTINEZ",
+    "HERNANDEZ",
+    "LOPEZ",
+    "GONZALEZ",
+    "WILSON",
+    "ANDERSON",
+    "THOMAS",
+    "TAYLOR",
+    "MOORE",
+    "JACKSON",
+    "MARTIN",
+    "LEE",
+    "PEREZ",
+    "THOMPSON",
+    "WHITE",
+    "HARRIS",
+    "SANCHEZ",
+    "CLARK",
+    "RAMIREZ",
+    "LEWIS",
+    "ROBINSON",
+    "WALKER",
+    "YOUNG",
+    "ALLEN",
+    "KING",
+    "WRIGHT",
+    "SCOTT",
+    "TORRES",
+    "NGUYEN",
+    "HILL",
+    "FLORES",
+    "GREEN",
+    "ADAMS",
+    "NELSON",
+    "BAKER",
+    "HALL",
+    "RIVERA",
+    "CAMPBELL",
+    "MITCHELL",
+    "CARTER",
+    "ROBERTS",
+    "GOMEZ",
+    "PHILLIPS",
+    "EVANS",
+    "TURNER",
+    "DIAZ",
+    "PARKER",
+    "CRUZ",
+    "EDWARDS",
+    "COLLINS",
+    "REYES",
+    "STEWART",
+    "MORRIS",
+    "MORALES",
+    "MURPHY",
+    "COOK",
+    "ROGERS",
+    "GUTIERREZ",
+    "ORTIZ",
+    "MORGAN",
+    "COOPER",
+    "PETERSON",
+    "BAILEY",
+    "REED",
+    "KELLY",
+    "HOWARD",
+    "RAMOS",
+    "KIM",
+    "COX",
+    "WARD",
+    "RICHARDSON",
+    "WATSON",
+    "BROOKS",
+    "CHAVEZ",
+    "WOOD",
+    "JAMES",
+    "BENNETT",
+    "GRAY",
+    "MENDOZA",
+    "RUIZ",
+    "HUGHES",
+    "PRICE",
+    "ALVAREZ",
+    "CASTILLO",
+    "SANDERS",
+    "PATEL",
+    "MYERS",
 ];
 
 /// Onset syllables for composed surnames, weighted by rough letter-frequency
 /// of American surnames (more entries under common initials).
 const ONSETS: [&str; 48] = [
-    "BAR", "BEL", "BEN", "BER", "BOW", "BRAN", "CAL", "CAR", "CAS", "CHAM", "DAL",
-    "DAV", "DEL", "DON", "FAIR", "FER", "GAL", "GAR", "GRAN", "HAL", "HAM", "HAR",
-    "HEN", "HOL", "KEN", "KIR", "LAM", "LAN", "LIN", "MAC", "MAR", "MCAL", "MER",
-    "MON", "MOR", "NOR", "PAR", "PEM", "RAN", "ROS", "SAL", "SHER", "STAN", "TAL",
-    "VAN", "WAL", "WES", "WIN",
+    "BAR", "BEL", "BEN", "BER", "BOW", "BRAN", "CAL", "CAR", "CAS", "CHAM", "DAL", "DAV", "DEL",
+    "DON", "FAIR", "FER", "GAL", "GAR", "GRAN", "HAL", "HAM", "HAR", "HEN", "HOL", "KEN", "KIR",
+    "LAM", "LAN", "LIN", "MAC", "MAR", "MCAL", "MER", "MON", "MOR", "NOR", "PAR", "PEM", "RAN",
+    "ROS", "SAL", "SHER", "STAN", "TAL", "VAN", "WAL", "WES", "WIN",
 ];
 
 /// Middle syllables.
 const MIDDLES: [&str; 16] = [
-    "", "BER", "DER", "DING", "FIELD", "GER", "LAN", "LEY", "LING", "MAN", "MER",
-    "NER", "RING", "TER", "THER", "VER",
+    "", "BER", "DER", "DING", "FIELD", "GER", "LAN", "LEY", "LING", "MAN", "MER", "NER", "RING",
+    "TER", "THER", "VER",
 ];
 
 /// Coda syllables.
 const CODAS: [&str; 24] = [
-    "SON", "TON", "MAN", "BERG", "FORD", "WELL", "WOOD", "LAND", "FIELD", "WORTH",
-    "BROOK", "SHAW", "DALE", "GATE", "HURST", "COMB", "WICK", "STEIN", "HOLM",
-    "STROM", "MONT", "VALE", "MORE", "BY",
+    "SON", "TON", "MAN", "BERG", "FORD", "WELL", "WOOD", "LAND", "FIELD", "WORTH", "BROOK", "SHAW",
+    "DALE", "GATE", "HURST", "COMB", "WICK", "STEIN", "HOLM", "STROM", "MONT", "VALE", "MORE",
+    "BY",
 ];
 
 /// Common first (given) names used by the generator; aligned with the
 /// nickname classes in `mp-record` so nickname corruption is realistic.
 const FIRST_NAMES: [&str; 64] = [
-    "ROBERT", "WILLIAM", "JOSEPH", "JOHN", "MICHAEL", "JAMES", "RICHARD", "CHARLES",
-    "THOMAS", "CHRISTOPHER", "DANIEL", "MATTHEW", "ANTHONY", "STEVEN", "EDWARD",
-    "HENRY", "ALEXANDER", "FRANCIS", "LAWRENCE", "PETER", "ELIZABETH", "MARGARET",
-    "KATHERINE", "MARY", "PATRICIA", "JENNIFER", "SUSAN", "BARBARA", "DOROTHY",
-    "REBECCA", "DEBORAH", "VICTORIA", "LINDA", "CAROL", "SANDRA", "DONNA", "SHARON",
-    "MICHELLE", "LAURA", "SARAH", "KIMBERLY", "JESSICA", "NANCY", "KAREN", "BETTY",
-    "HELEN", "AMANDA", "MELISSA", "BRIAN", "KEVIN", "JASON", "JEFFREY", "RYAN",
-    "GARY", "NICHOLAS", "ERIC", "JONATHAN", "STEPHEN", "LARRY", "JUSTIN", "SCOTT",
-    "BRANDON", "BENJAMIN", "SAMUEL",
+    "ROBERT",
+    "WILLIAM",
+    "JOSEPH",
+    "JOHN",
+    "MICHAEL",
+    "JAMES",
+    "RICHARD",
+    "CHARLES",
+    "THOMAS",
+    "CHRISTOPHER",
+    "DANIEL",
+    "MATTHEW",
+    "ANTHONY",
+    "STEVEN",
+    "EDWARD",
+    "HENRY",
+    "ALEXANDER",
+    "FRANCIS",
+    "LAWRENCE",
+    "PETER",
+    "ELIZABETH",
+    "MARGARET",
+    "KATHERINE",
+    "MARY",
+    "PATRICIA",
+    "JENNIFER",
+    "SUSAN",
+    "BARBARA",
+    "DOROTHY",
+    "REBECCA",
+    "DEBORAH",
+    "VICTORIA",
+    "LINDA",
+    "CAROL",
+    "SANDRA",
+    "DONNA",
+    "SHARON",
+    "MICHELLE",
+    "LAURA",
+    "SARAH",
+    "KIMBERLY",
+    "JESSICA",
+    "NANCY",
+    "KAREN",
+    "BETTY",
+    "HELEN",
+    "AMANDA",
+    "MELISSA",
+    "BRIAN",
+    "KEVIN",
+    "JASON",
+    "JEFFREY",
+    "RYAN",
+    "GARY",
+    "NICHOLAS",
+    "ERIC",
+    "JONATHAN",
+    "STEPHEN",
+    "LARRY",
+    "JUSTIN",
+    "SCOTT",
+    "BRANDON",
+    "BENJAMIN",
+    "SAMUEL",
 ];
 
 /// A deterministic pool of `size` distinct surnames.
@@ -180,14 +318,14 @@ pub fn random_first_name<R: Rng>(rng: &mut R) -> &'static str {
 
 /// Onset syllables for composed given names.
 const FIRST_ONSETS: [&str; 24] = [
-    "AD", "AL", "AN", "AR", "BEL", "BER", "CAR", "CEL", "DAR", "EL", "FER", "GER",
-    "HAR", "IS", "JOR", "KAR", "LEN", "MAR", "NOR", "OR", "ROS", "SAL", "TER", "VAL",
+    "AD", "AL", "AN", "AR", "BEL", "BER", "CAR", "CEL", "DAR", "EL", "FER", "GER", "HAR", "IS",
+    "JOR", "KAR", "LEN", "MAR", "NOR", "OR", "ROS", "SAL", "TER", "VAL",
 ];
 
 /// Coda syllables for composed given names.
 const FIRST_CODAS: [&str; 20] = [
-    "A", "AN", "ANA", "ELLE", "EN", "ENA", "ETTE", "IA", "IAN", "ICE", "INA", "INE",
-    "IO", "IS", "ITA", "MUND", "ON", "OS", "TON", "WIN",
+    "A", "AN", "ANA", "ELLE", "EN", "ENA", "ETTE", "IA", "IAN", "ICE", "INA", "INE", "IO", "IS",
+    "ITA", "MUND", "ON", "OS", "TON", "WIN",
 ];
 
 /// A deterministic pool of distinct given names: the canonical list (which
@@ -361,7 +499,11 @@ mod tests {
         // Canonical names lead the pool so nickname corruption stays live.
         assert_eq!(pool.get(0), "ROBERT");
         for i in 0..pool.len() {
-            assert!(pool.get(i).bytes().all(|b| b.is_ascii_uppercase()), "{}", pool.get(i));
+            assert!(
+                pool.get(i).bytes().all(|b| b.is_ascii_uppercase()),
+                "{}",
+                pool.get(i)
+            );
         }
     }
 

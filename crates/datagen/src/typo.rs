@@ -44,11 +44,31 @@ impl Default for TypoModel {
 
 /// QWERTY neighbour table for biased substitutions/insertions.
 const QWERTY_NEIGHBOURS: [(&str, char); 26] = [
-    ("QWSZ", 'A'), ("VGHN", 'B'), ("XDFV", 'C'), ("SERFCX", 'D'), ("WSDR", 'E'),
-    ("DRTGVC", 'F'), ("FTYHBV", 'G'), ("GYUJNB", 'H'), ("UJKO", 'I'), ("HUIKMN", 'J'),
-    ("JIOLM", 'K'), ("KOP", 'L'), ("NJK", 'M'), ("BHJM", 'N'), ("IKLP", 'O'),
-    ("OL", 'P'), ("WA", 'Q'), ("EDFT", 'R'), ("AWEDXZ", 'S'), ("RFGY", 'T'),
-    ("YHJI", 'U'), ("CFGB", 'V'), ("QASE", 'W'), ("ZSDC", 'X'), ("TGHU", 'Y'),
+    ("QWSZ", 'A'),
+    ("VGHN", 'B'),
+    ("XDFV", 'C'),
+    ("SERFCX", 'D'),
+    ("WSDR", 'E'),
+    ("DRTGVC", 'F'),
+    ("FTYHBV", 'G'),
+    ("GYUJNB", 'H'),
+    ("UJKO", 'I'),
+    ("HUIKMN", 'J'),
+    ("JIOLM", 'K'),
+    ("KOP", 'L'),
+    ("NJK", 'M'),
+    ("BHJM", 'N'),
+    ("IKLP", 'O'),
+    ("OL", 'P'),
+    ("WA", 'Q'),
+    ("EDFT", 'R'),
+    ("AWEDXZ", 'S'),
+    ("RFGY", 'T'),
+    ("YHJI", 'U'),
+    ("CFGB", 'V'),
+    ("QASE", 'W'),
+    ("ZSDC", 'X'),
+    ("TGHU", 'Y'),
     ("ASX", 'Z'),
 ];
 
@@ -68,8 +88,14 @@ impl TypoModel {
     ///
     /// Panics when all weights are zero or any is negative.
     pub fn with_weights(weights: [f64; 4]) -> Self {
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
-        assert!(weights.iter().sum::<f64>() > 0.0, "weights must not all be zero");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "weights must not all be zero"
+        );
         TypoModel { weights }
     }
 

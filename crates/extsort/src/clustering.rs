@@ -184,10 +184,8 @@ mod tests {
     }
 
     fn write_db(n: usize, seed: u64, dir: &Path) -> (PathBuf, mp_datagen::GeneratedDatabase) {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed))
+            .generate();
         let input = dir.join("db.mp");
         rio::write_records(std::fs::File::create(&input).unwrap(), &db.records).unwrap();
         (input, db)
@@ -203,7 +201,10 @@ mod tests {
                 KeySpec::last_name_key(),
                 clusters,
                 8,
-                ExternalConfig { memory_records: 1_000, fan_in: 16 },
+                ExternalConfig {
+                    memory_records: 1_000,
+                    fan_in: 16,
+                },
             );
             let outcome = xc.run(&input, &dir, &theory).unwrap();
             assert_eq!(outcome.io.data_passes(), 2, "clusters = {clusters}");
@@ -220,10 +221,7 @@ mod tests {
         // method; require ≥ 95% agreement on found pairs.
         let dir = work_dir("agree");
         let (input, mut db) = write_db(600, 7002, &dir);
-        mp_record::normalize::condition_all(
-            &mut db.records,
-            &mp_record::NicknameTable::standard(),
-        );
+        mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
         let theory = NativeEmployeeTheory::new();
         let mem = merge_purge::ClusteringMethod::new(
             KeySpec::last_name_key(),
@@ -239,7 +237,10 @@ mod tests {
             KeySpec::last_name_key(),
             16,
             8,
-            ExternalConfig { memory_records: 5_000, fan_in: 16 },
+            ExternalConfig {
+                memory_records: 5_000,
+                fan_in: 16,
+            },
         )
         .run(&input, &dir, &theory)
         .unwrap();
@@ -262,7 +263,10 @@ mod tests {
             KeySpec::last_name_key(),
             2, // two clusters of ~300 records...
             4,
-            ExternalConfig { memory_records: 50, fan_in: 16 }, // ...but only 50 fit
+            ExternalConfig {
+                memory_records: 50,
+                fan_in: 16,
+            }, // ...but only 50 fit
         );
         let err = xc.run(&input, &dir, &theory).unwrap_err();
         assert!(err.to_string().contains("memory budget"), "{err}");

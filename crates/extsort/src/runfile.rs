@@ -70,8 +70,12 @@ impl RunReader {
         };
         let line = line?;
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-        let (key, rest) = line.split_once('|').ok_or_else(|| bad("missing key column"))?;
-        let (id, rest) = rest.split_once('|').ok_or_else(|| bad("missing id column"))?;
+        let (key, rest) = line
+            .split_once('|')
+            .ok_or_else(|| bad("missing key column"))?;
+        let (id, rest) = rest
+            .split_once('|')
+            .ok_or_else(|| bad("missing id column"))?;
         let id: u32 = id.parse().map_err(|_| bad("invalid id column"))?;
         let mut records = rio::read_records(rest.as_bytes())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;

@@ -5,11 +5,13 @@ use crate::sorter::ExternalSorter;
 use crate::{ExternalConfig, ExternalOutcome};
 use merge_purge::KeySpec;
 use mp_closure::PairSet;
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::collections::VecDeque;
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
 /// External sorted-neighborhood pass: external merge sort (key creation and
 /// conditioning fused into run formation), then a streaming window scan
@@ -46,17 +48,34 @@ impl ExternalSnm {
         work_dir: &Path,
         theory: &dyn EquationalTheory,
     ) -> io::Result<ExternalOutcome> {
-        let sorted = self.sorter.sort(input, work_dir, true)?;
+        self.run_observed(input, work_dir, theory, &NoopObserver)
+    }
+
+    /// Like [`ExternalSnm::run`], reporting external-sort statistics (run
+    /// counts, bytes spilled, merge fan-in) and window-scan counters to
+    /// `observer`.
+    pub fn run_observed(
+        &self,
+        input: &Path,
+        work_dir: &Path,
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> io::Result<ExternalOutcome> {
+        let sorted = self.sorter.sort_observed(input, work_dir, true, observer)?;
         let mut io_stats = sorted.io;
+        observer.add(Counter::RecordsKeyed, sorted.records as u64);
 
         // Final pass: streaming window scan over the sorted run.
         io_stats.sweeps += 1;
+        let t_scan = Instant::now();
         let mut reader = RunReader::open(&sorted.path)?;
         let mut window: VecDeque<Record> = VecDeque::with_capacity(self.window);
         let mut pairs = PairSet::new();
+        let mut comparisons = 0u64;
         while let Some((_, new)) = reader.next_entry()? {
             io_stats.records_read += 1;
             for old in &window {
+                comparisons += 1;
                 if theory.matches(old, &new) {
                     pairs.insert(old.id.0, new.id.0);
                 }
@@ -66,6 +85,10 @@ impl ExternalSnm {
             }
             window.push_back(new);
         }
+        observer.phase_ns(Phase::WindowScan, t_scan.elapsed().as_nanos() as u64);
+        observer.add(Counter::Comparisons, comparisons);
+        observer.add(Counter::RuleInvocations, comparisons);
+        observer.add(Counter::Matches, pairs.len() as u64);
 
         let records = sorted.records;
         sorted.cleanup();
@@ -95,19 +118,15 @@ mod tests {
     #[test]
     fn external_snm_matches_in_memory_snm() {
         let dir = work_dir("match");
-        let mut db = DatabaseGenerator::new(
-            GeneratorConfig::new(400).duplicate_fraction(0.5).seed(6001),
-        )
-        .generate();
+        let mut db =
+            DatabaseGenerator::new(GeneratorConfig::new(400).duplicate_fraction(0.5).seed(6001))
+                .generate();
         let input = dir.join("db.mp");
         rio::write_records(std::fs::File::create(&input).unwrap(), &db.records).unwrap();
 
         // In-memory reference over *conditioned* records (external path
         // conditions during run formation).
-        mp_record::normalize::condition_all(
-            &mut db.records,
-            &mp_record::NicknameTable::standard(),
-        );
+        mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
         let theory = NativeEmployeeTheory::new();
         let reference =
             SortedNeighborhood::new(KeySpec::last_name_key(), 9).run(&db.records, &theory);
@@ -116,7 +135,10 @@ mod tests {
             let xsnm = ExternalSnm::new(
                 KeySpec::last_name_key(),
                 9,
-                ExternalConfig { memory_records: memory, fan_in: 3 },
+                ExternalConfig {
+                    memory_records: memory,
+                    fan_in: 3,
+                },
             );
             let outcome = xsnm.run(&input, &dir, &theory).unwrap();
             assert_eq!(
@@ -142,7 +164,10 @@ mod tests {
         let fits = ExternalSnm::new(
             KeySpec::last_name_key(),
             5,
-            ExternalConfig { memory_records: n + 1, fan_in: 16 },
+            ExternalConfig {
+                memory_records: n + 1,
+                fan_in: 16,
+            },
         );
         assert_eq!(fits.run(&input, &dir, &theory).unwrap().io.data_passes(), 2);
 
@@ -152,10 +177,16 @@ mod tests {
         let tiny = ExternalSnm::new(
             KeySpec::last_name_key(),
             5,
-            ExternalConfig { memory_records: m, fan_in: 2 },
+            ExternalConfig {
+                memory_records: m,
+                fan_in: 2,
+            },
         );
         let expect = 2 + (runs as f64).log2().ceil() as u32;
-        assert_eq!(tiny.run(&input, &dir, &theory).unwrap().io.data_passes(), expect);
+        assert_eq!(
+            tiny.run(&input, &dir, &theory).unwrap().io.data_passes(),
+            expect
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

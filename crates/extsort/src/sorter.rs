@@ -3,12 +3,14 @@
 use crate::runfile::{RunReader, RunWriter};
 use crate::{ExternalConfig, IoStats};
 use merge_purge::KeySpec;
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::{io as rio, Record};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fs::File;
 use std::io::{self, BufReader};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// External merge sort: run formation (fused with key extraction and
 /// optional conditioning) followed by F-way merge levels.
@@ -61,11 +63,21 @@ impl ExternalSorter {
     /// `work_dir`. `condition` applies §3.2 conditioning during run
     /// formation (the paper folds conditioning and key creation into one
     /// pass).
-    pub fn sort(
+    pub fn sort(&self, input: &Path, work_dir: &Path, condition: bool) -> io::Result<SortedRun> {
+        self.sort_observed(input, work_dir, condition, &NoopObserver)
+    }
+
+    /// Like [`ExternalSorter::sort`], reporting external-sort statistics to
+    /// `observer`: initial run count ([`Counter::SortRuns`]), bytes written
+    /// to run and merge files ([`Counter::BytesSpilled`]), total runs fed
+    /// into merge steps ([`Counter::MergeFanIn`]), and run-formation /
+    /// run-merge phase times.
+    pub fn sort_observed(
         &self,
         input: &Path,
         work_dir: &Path,
         condition: bool,
+        observer: &dyn PipelineObserver,
     ) -> io::Result<SortedRun> {
         std::fs::create_dir_all(work_dir)?;
         let mut io_stats = IoStats::default();
@@ -78,6 +90,8 @@ impl ExternalSorter {
         let mut stream = rio::RecordStream::new(BufReader::new(File::open(input)?));
         io_stats.add_sweep();
 
+        let t_runs = Instant::now();
+        let mut bytes_spilled = 0u64;
         let mut total = 0usize;
         let mut runs: Vec<PathBuf> = Vec::new();
         let mut buf = String::new();
@@ -121,26 +135,35 @@ impl ExternalSorter {
                 w.write(key, &chunk[*i])?;
             }
             io_stats.records_written += w.finish()?;
+            bytes_spilled += std::fs::metadata(&path)?.len();
             runs.push(path);
         }
+        observer.add(Counter::SortRuns, runs.len() as u64);
+        observer.phase_ns(Phase::RunFormation, t_runs.elapsed().as_nanos() as u64);
 
         // Merge levels: F runs at a time until one remains.
+        let t_merge = Instant::now();
+        let mut merge_inputs = 0u64;
         let mut level = 0usize;
         while runs.len() > 1 {
             io_stats.add_sweep();
             let mut next: Vec<PathBuf> = Vec::new();
             for (g, group) in runs.chunks(self.config.fan_in).enumerate() {
-                let path =
-                    work_dir.join(format!("merge-{level}-{g}-{}.tmp", std::process::id()));
+                let path = work_dir.join(format!("merge-{level}-{g}-{}.tmp", std::process::id()));
                 let (read, written) = merge_group(group, &path)?;
+                merge_inputs += group.len() as u64;
                 io_stats.records_read += read;
                 io_stats.records_written += written;
+                bytes_spilled += std::fs::metadata(&path)?.len();
                 next.push(path);
             }
             temp_files.extend(runs);
             level += 1;
             runs = next;
         }
+        observer.add(Counter::MergeFanIn, merge_inputs);
+        observer.add(Counter::BytesSpilled, bytes_spilled);
+        observer.phase_ns(Phase::RunMerge, t_merge.elapsed().as_nanos() as u64);
 
         let path = runs.pop().unwrap_or_else(|| {
             // Empty input: produce an empty run file for uniformity.
@@ -238,10 +261,8 @@ mod tests {
     }
 
     fn write_db(n: usize, seed: u64, dir: &Path) -> (PathBuf, mp_datagen::GeneratedDatabase) {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed))
+            .generate();
         let path = dir.join("input.mp");
         let mut f = std::fs::File::create(&path).unwrap();
         rio::write_records(&mut f, &db.records).unwrap();
@@ -255,7 +276,10 @@ mod tests {
         let key = KeySpec::last_name_key();
         let sorter = ExternalSorter::new(
             key.clone(),
-            ExternalConfig { memory_records: 64, fan_in: 4 },
+            ExternalConfig {
+                memory_records: 64,
+                fan_in: 4,
+            },
         );
         let sorted = sorter.sort(&input, &dir, false).unwrap();
 
@@ -282,7 +306,10 @@ mod tests {
         for (m, f) in [(50usize, 2usize), (100, 4), (1_000, 16)] {
             let sorter = ExternalSorter::new(
                 KeySpec::last_name_key(),
-                ExternalConfig { memory_records: m, fan_in: f },
+                ExternalConfig {
+                    memory_records: m,
+                    fan_in: f,
+                },
             );
             let sorted = sorter.sort(&input, &dir, false).unwrap();
             let runs = n.div_ceil(m).max(1);

@@ -14,10 +14,8 @@ fn work_dir(tag: &str) -> PathBuf {
 }
 
 fn write_valid_db(dir: &Path, n: usize) -> PathBuf {
-    let db = mp_datagen::DatabaseGenerator::new(
-        mp_datagen::GeneratorConfig::new(n).seed(42),
-    )
-    .generate();
+    let db =
+        mp_datagen::DatabaseGenerator::new(mp_datagen::GeneratorConfig::new(n).seed(42)).generate();
     let path = dir.join("db.mp");
     mp_record::io::write_records(std::fs::File::create(&path).unwrap(), &db.records).unwrap();
     path
@@ -50,12 +48,7 @@ fn corrupt_line_reports_invalid_data_with_position() {
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     assert!(err.to_string().contains("columns"), "{err}");
 
-    let cl = ExternalClustering::new(
-        KeySpec::last_name_key(),
-        8,
-        5,
-        ExternalConfig::default(),
-    );
+    let cl = ExternalClustering::new(KeySpec::last_name_key(), 8, 5, ExternalConfig::default());
     let err = cl.run(&input, &dir, &theory).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     let _ = std::fs::remove_dir_all(&dir);
@@ -75,7 +68,10 @@ fn corruption_beyond_first_chunk_still_detected() {
     let snm = ExternalSnm::new(
         KeySpec::last_name_key(),
         5,
-        ExternalConfig { memory_records: 32, fan_in: 2 },
+        ExternalConfig {
+            memory_records: 32,
+            fan_in: 2,
+        },
     );
     assert!(snm.run(&input, &dir, &theory).is_err());
     let _ = std::fs::remove_dir_all(&dir);
@@ -120,7 +116,10 @@ fn temporaries_are_cleaned_up_after_success() {
     let snm = ExternalSnm::new(
         KeySpec::last_name_key(),
         4,
-        ExternalConfig { memory_records: 16, fan_in: 2 },
+        ExternalConfig {
+            memory_records: 16,
+            fan_in: 2,
+        },
     );
     let _ = snm.run(&input, &work, &theory).unwrap();
     let leftovers: Vec<_> = std::fs::read_dir(&work)
@@ -128,6 +127,9 @@ fn temporaries_are_cleaned_up_after_success() {
         .filter_map(Result::ok)
         .map(|e| e.file_name())
         .collect();
-    assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,460 @@
+#![warn(missing_docs)]
+
+//! Pipeline observability for the merge/purge engines.
+//!
+//! Every engine hot path (key creation, sort, window scan, closure, the
+//! parallel workers, external sorting) reports progress through a
+//! [`PipelineObserver`]. The trait's methods default to no-ops and
+//! [`NoopObserver`] is a zero-sized implementation, so un-instrumented runs
+//! pay only a dead-branch per phase — counters are accumulated *in bulk*
+//! (one `add` per phase, not per comparison), never inside inner loops.
+//!
+//! [`MetricsRecorder`] is the default real observer: lock-free atomic
+//! counters plus per-phase monotonic nanosecond totals, aggregated into a
+//! serializable [`PipelineReport`] (the CLI's `--stats` output).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Monotonic event counters the engines report.
+///
+/// Counters are additive across passes and workers: a three-pass run
+/// reports the *sum* of its passes' comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Sort keys extracted (one per record per pass).
+    RecordsKeyed,
+    /// Record-pair comparisons attempted by window scans.
+    Comparisons,
+    /// Equational-theory (rule engine) invocations. Equals
+    /// [`Counter::Comparisons`] for window scans, but purge/merge phases may
+    /// invoke the theory outside a scan.
+    RuleInvocations,
+    /// Matching pairs emitted by passes (deduplicated within a pass).
+    Matches,
+    /// Pair instances fed to the transitive closure (pass-pair multiset).
+    ClosureInputPairs,
+    /// Input pairs the closure discarded as redundant — already connected
+    /// when processed, i.e. deduplicated across passes or transitively
+    /// implied by earlier pairs.
+    ClosureDedupedPairs,
+    /// Pairs in the closed (transitive-closure-expanded) result.
+    ClosedPairs,
+    /// Sorted runs formed by the external sorter.
+    SortRuns,
+    /// Bytes spilled to run files by the external sorter.
+    BytesSpilled,
+    /// Total inputs across external merge steps (sum of each merge's
+    /// fan-in; divide by the number of merges for the mean fan-in).
+    MergeFanIn,
+    /// Worker fragments spawned by the parallel engines.
+    WorkerFragments,
+    /// Comparisons crossing a fragment boundary in the band-replicated
+    /// parallel window scan (the overlap work replication costs).
+    BandOverlapComparisons,
+}
+
+impl Counter {
+    /// Every counter, in stable report order.
+    pub const ALL: [Counter; 12] = [
+        Counter::RecordsKeyed,
+        Counter::Comparisons,
+        Counter::RuleInvocations,
+        Counter::Matches,
+        Counter::ClosureInputPairs,
+        Counter::ClosureDedupedPairs,
+        Counter::ClosedPairs,
+        Counter::SortRuns,
+        Counter::BytesSpilled,
+        Counter::MergeFanIn,
+        Counter::WorkerFragments,
+        Counter::BandOverlapComparisons,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RecordsKeyed => "records_keyed",
+            Counter::Comparisons => "comparisons",
+            Counter::RuleInvocations => "rule_invocations",
+            Counter::Matches => "matches",
+            Counter::ClosureInputPairs => "closure_input_pairs",
+            Counter::ClosureDedupedPairs => "closure_deduped_pairs",
+            Counter::ClosedPairs => "closed_pairs",
+            Counter::SortRuns => "sort_runs",
+            Counter::BytesSpilled => "bytes_spilled",
+            Counter::MergeFanIn => "merge_fan_in",
+            Counter::WorkerFragments => "worker_fragments",
+            Counter::BandOverlapComparisons => "band_overlap_comparisons",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Pipeline phases whose wall-clock time the engines report.
+///
+/// Times are monotonic nanosecond totals: concurrent workers' phase times
+/// sum, so a phase total can exceed wall-clock on multi-threaded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Record conditioning (normalization, nicknames, spell correction).
+    Condition,
+    /// Sort-key extraction.
+    CreateKeys,
+    /// Sorting (or per-cluster sorting for the clustering method).
+    Sort,
+    /// The window-scan merge phase.
+    WindowScan,
+    /// Transitive closure over pass pairs.
+    Closure,
+    /// Coordinator-side merging of parallel workers' partial results.
+    CoordinatorMerge,
+    /// External sort: forming sorted runs.
+    RunFormation,
+    /// External sort: merging runs.
+    RunMerge,
+}
+
+impl Phase {
+    /// Every phase, in stable report order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Condition,
+        Phase::CreateKeys,
+        Phase::Sort,
+        Phase::WindowScan,
+        Phase::Closure,
+        Phase::CoordinatorMerge,
+        Phase::RunFormation,
+        Phase::RunMerge,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Condition => "condition",
+            Phase::CreateKeys => "create_keys",
+            Phase::Sort => "sort",
+            Phase::WindowScan => "window_scan",
+            Phase::Closure => "closure",
+            Phase::CoordinatorMerge => "coordinator_merge",
+            Phase::RunFormation => "run_formation",
+            Phase::RunMerge => "run_merge",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Observer of engine progress. All methods default to no-ops so
+/// implementations opt into exactly what they need; implementations must be
+/// thread-safe because parallel workers report concurrently.
+pub trait PipelineObserver: Send + Sync {
+    /// Adds `n` to `counter`.
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Adds `ns` nanoseconds to `phase`'s total.
+    #[inline]
+    fn phase_ns(&self, phase: Phase, ns: u64) {
+        let _ = (phase, ns);
+    }
+}
+
+/// Zero-cost observer for un-instrumented runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {}
+
+/// The default real observer: lock-free atomic counters and per-phase
+/// nanosecond totals.
+///
+/// ```
+/// use mp_metrics::{Counter, MetricsRecorder, PipelineObserver};
+/// let m = MetricsRecorder::new();
+/// m.add(Counter::Comparisons, 10);
+/// m.add(Counter::Comparisons, 5);
+/// assert_eq!(m.get(Counter::Comparisons), 15);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    counters: [AtomicU64; Counter::ALL.len()],
+    phases: [AtomicU64; Phase::ALL.len()],
+}
+
+impl MetricsRecorder {
+    /// A recorder with all counters and phase totals at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds recorded for `phase`.
+    pub fn phase_total_ns(&self, phase: Phase) -> u64 {
+        self.phases[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter and phase total to zero.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for p in &self.phases {
+            p.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of all counters and phase totals.
+    pub fn report(&self) -> PipelineReport {
+        PipelineReport {
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| CounterValue {
+                    name: c.name(),
+                    value: self.get(c),
+                })
+                .collect(),
+            phases: Phase::ALL
+                .iter()
+                .map(|&p| PhaseTime {
+                    name: p.name(),
+                    ns: self.phase_total_ns(p),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl PipelineObserver for MetricsRecorder {
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn phase_ns(&self, phase: Phase, ns: u64) {
+        self.phases[phase.index()].fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// Times a phase and reports it to an observer when dropped.
+///
+/// ```
+/// use mp_metrics::{MetricsRecorder, Phase, Stopwatch};
+/// let m = MetricsRecorder::new();
+/// {
+///     let _t = Stopwatch::start(&m, Phase::Sort);
+///     // ... sorting work ...
+/// }
+/// // Drop reported the elapsed time.
+/// let _ = m.phase_total_ns(Phase::Sort);
+/// ```
+pub struct Stopwatch<'a> {
+    observer: &'a dyn PipelineObserver,
+    phase: Phase,
+    start: Instant,
+}
+
+impl<'a> Stopwatch<'a> {
+    /// Starts timing `phase`.
+    pub fn start(observer: &'a dyn PipelineObserver, phase: Phase) -> Self {
+        Stopwatch {
+            observer,
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Stopwatch<'_> {
+    fn drop(&mut self) {
+        self.observer
+            .phase_ns(self.phase, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// One named counter value in a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CounterValue {
+    /// Stable counter name ([`Counter::name`]).
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One named phase total in a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PhaseTime {
+    /// Stable phase name ([`Phase::name`]).
+    pub name: &'static str,
+    /// Accumulated nanoseconds.
+    pub ns: u64,
+}
+
+/// Aggregated snapshot of a [`MetricsRecorder`], in stable order.
+///
+/// Counter values are deterministic for a fixed seed and configuration;
+/// phase times are wall-clock and vary run to run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PipelineReport {
+    /// All counters, in [`Counter::ALL`] order.
+    pub counters: Vec<CounterValue>,
+    /// All phase totals, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseTime>,
+}
+
+impl PipelineReport {
+    /// Value of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    ///
+    /// Serialization is hand-rolled: the vendored offline `serde` shim has
+    /// no serializer backend (names and values contain nothing needing
+    /// escaping), and a fixed field order keeps the counter section
+    /// byte-stable across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {\n");
+        for (i, c) in self.counters.iter().enumerate() {
+            let sep = if i + 1 == self.counters.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    \"{}\": {}{sep}\n", c.name, c.value));
+        }
+        out.push_str("  },\n  \"phases_ns\": {\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let sep = if i + 1 == self.phases.len() { "" } else { "," };
+            out.push_str(&format!("    \"{}\": {}{sep}\n", p.name, p.ns));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRecorder::new();
+        m.add(Counter::Comparisons, 7);
+        m.add(Counter::Comparisons, 3);
+        m.add(Counter::Matches, 1);
+        assert_eq!(m.get(Counter::Comparisons), 10);
+        assert_eq!(m.get(Counter::Matches), 1);
+        assert_eq!(m.get(Counter::ClosedPairs), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = MetricsRecorder::new();
+        m.add(Counter::SortRuns, 4);
+        m.phase_ns(Phase::Sort, 123);
+        m.reset();
+        assert_eq!(m.get(Counter::SortRuns), 0);
+        assert_eq!(m.phase_total_ns(Phase::Sort), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let m = MetricsRecorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        m.add(Counter::Comparisons, 1);
+                        m.phase_ns(Phase::WindowScan, 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.get(Counter::Comparisons), THREADS * PER_THREAD);
+        assert_eq!(
+            m.phase_total_ns(Phase::WindowScan),
+            2 * THREADS * PER_THREAD
+        );
+    }
+
+    #[test]
+    fn concurrent_mixed_counters_do_not_interfere() {
+        let m = MetricsRecorder::new();
+        std::thread::scope(|s| {
+            for (i, &c) in Counter::ALL.iter().enumerate() {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        m.add(c, (i + 1) as u64);
+                    }
+                });
+            }
+        });
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(m.get(c), 1_000 * (i + 1) as u64, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn stopwatch_reports_on_drop() {
+        let m = MetricsRecorder::new();
+        {
+            let _t = Stopwatch::start(&m, Phase::Closure);
+            std::hint::black_box(0u64);
+        }
+        // Monotonic clocks can legally report 0ns for a tiny span; the drop
+        // itself must have fired exactly once and never panic.
+        let first = m.phase_total_ns(Phase::Closure);
+        {
+            let _t = Stopwatch::start(&m, Phase::Closure);
+        }
+        assert!(m.phase_total_ns(Phase::Closure) >= first);
+    }
+
+    #[test]
+    fn report_names_are_stable_and_json_wellformed() {
+        let m = MetricsRecorder::new();
+        m.add(Counter::Comparisons, 42);
+        m.phase_ns(Phase::Sort, 9);
+        let report = m.report();
+        assert_eq!(report.counter("comparisons"), Some(42));
+        assert_eq!(report.counter("nonexistent"), None);
+        let json = report.to_json();
+        assert!(json.contains("\"comparisons\": 42"));
+        assert!(json.contains("\"sort\": 9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Identical recorder state must render byte-identical JSON.
+        assert_eq!(json, m.report().to_json());
+    }
+
+    #[test]
+    fn noop_observer_ignores_everything() {
+        let n = NoopObserver;
+        n.add(Counter::Comparisons, u64::MAX);
+        n.phase_ns(Phase::Sort, u64::MAX);
+    }
+}

@@ -4,6 +4,7 @@ use crate::parallel_extract_keys;
 use merge_purge::{ClusteringConfig, KeySpec, PassResult, PassStats};
 use mp_closure::PairSet;
 use mp_cluster::{lpt_assign, KeyHistogram, RangePartition};
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -45,7 +46,10 @@ impl ParallelClustering {
     /// Panics when `window < 2`, `clusters == 0`, or `processors == 0`.
     pub fn new(key: KeySpec, config: ClusteringConfig, processors: usize) -> Self {
         assert!(config.window >= 2, "window must hold at least two records");
-        assert!(config.clusters >= 1, "need at least one cluster per processor");
+        assert!(
+            config.clusters >= 1,
+            "need at least one cluster per processor"
+        );
         assert!(processors >= 1, "need at least one processor");
         ParallelClustering {
             key,
@@ -66,6 +70,19 @@ impl ParallelClustering {
 
     /// Runs the parallel clustering method.
     pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+        self.run_observed(records, theory, &NoopObserver)
+    }
+
+    /// Like [`ParallelClustering::run`], reporting counters and phase
+    /// timings to `observer`: per-worker fragment counts, comparisons, and
+    /// the coordinator's partial-result merge time. Workers report in bulk
+    /// after joining, so observation adds no synchronization to the scan.
+    pub fn run_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         let mut stats = PassStats::default();
         let p = self.processors;
         let total_clusters = self.total_clusters();
@@ -89,12 +106,14 @@ impl ParallelClustering {
         let sizes: Vec<u64> = clusters.iter().map(|c| c.len() as u64).collect();
         let assignment = lpt_assign(&sizes, p);
         stats.create_keys = t0.elapsed();
+        observer.add(Counter::RecordsKeyed, records.len() as u64);
+        observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
 
         // Workers: sort + scan their clusters.
         let t1 = Instant::now();
         let w = self.config.window;
         let mut partials: Vec<(PairSet, u64)> = Vec::with_capacity(p);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..p)
                 .map(|proc| {
                     let my_clusters: Vec<Vec<u32>> = assignment
@@ -103,13 +122,12 @@ impl ParallelClustering {
                         .map(|j| clusters[j].clone())
                         .collect();
                     let truncated = &truncated;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut local = PairSet::new();
                         let mut comparisons = 0u64;
                         for mut cluster in my_clusters {
-                            cluster.sort_by(|&a, &b| {
-                                truncated[a as usize].cmp(truncated[b as usize])
-                            });
+                            cluster
+                                .sort_by(|&a, &b| truncated[a as usize].cmp(truncated[b as usize]));
                             for i in 1..cluster.len() {
                                 let lo = i.saturating_sub(w - 1);
                                 let new = &records[cluster[i] as usize];
@@ -129,8 +147,9 @@ impl ParallelClustering {
             for h in handles {
                 partials.push(h.join().expect("cluster worker panicked"));
             }
-        })
-        .expect("worker thread panicked");
+        });
+        observer.add(Counter::WorkerFragments, partials.len() as u64);
+        let t_merge = Instant::now();
         let mut pairs = PairSet::new();
         let mut worker_comparisons = Vec::with_capacity(p);
         for (local, comparisons) in partials {
@@ -138,8 +157,13 @@ impl ParallelClustering {
             stats.comparisons += comparisons;
             worker_comparisons.push(comparisons);
         }
+        observer.phase_ns(Phase::CoordinatorMerge, t_merge.elapsed().as_nanos() as u64);
         stats.window_scan = t1.elapsed();
         stats.matches = pairs.len();
+        observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
+        observer.add(Counter::Comparisons, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::Matches, stats.matches as u64);
 
         PassResult {
             key_name: self.key.name().to_string(),
@@ -167,10 +191,8 @@ mod tests {
 
     #[test]
     fn matches_serial_clustering_with_same_total_clusters() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(500).duplicate_fraction(0.5).seed(91),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.5).seed(91))
+            .generate();
         let theory = NativeEmployeeTheory::new();
         // Serial with C = 24 total == parallel with 8 per proc x 3 procs,
         // because cluster contents and per-cluster scans are identical
@@ -202,10 +224,8 @@ mod tests {
 
     #[test]
     fn processor_count_does_not_change_results() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(300).duplicate_fraction(0.4).seed(92),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(300).duplicate_fraction(0.4).seed(92))
+            .generate();
         let theory = NativeEmployeeTheory::new();
         // Keep total clusters fixed at 24 while varying P.
         let mut baseline: Option<Vec<(u32, u32)>> = None;

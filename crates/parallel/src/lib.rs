@@ -27,7 +27,9 @@ pub mod psort;
 pub mod snm;
 
 pub use clustering::ParallelClustering;
-pub use multipass::{parallel_multipass, parallel_multipass_streaming, ParallelPass};
+pub use multipass::{
+    parallel_multipass, parallel_multipass_observed, parallel_multipass_streaming, ParallelPass,
+};
 pub use psort::parallel_sorted_order;
 pub use snm::ParallelSnm;
 
@@ -46,9 +48,9 @@ pub(crate) fn parallel_extract_keys(
     }
     let chunk = records.len().div_ceil(procs);
     let mut keys: Vec<String> = vec![String::new(); records.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (recs, outs) in records.chunks(chunk).zip(keys.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut buf = String::new();
                 for (r, o) in recs.iter().zip(outs.iter_mut()) {
                     key.extract_into(r, &mut buf);
@@ -56,8 +58,7 @@ pub(crate) fn parallel_extract_keys(
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     keys
 }
 

@@ -8,6 +8,7 @@
 
 use merge_purge::{MultiPass, MultiPassResult, PassResult};
 use mp_closure::ConcurrentUnionFind;
+use mp_metrics::{NoopObserver, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 
@@ -21,10 +22,15 @@ pub enum ParallelPass {
 }
 
 impl ParallelPass {
-    fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+    fn run(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         match self {
-            ParallelPass::Snm(p) => p.run(records, theory),
-            ParallelPass::Clustering(p) => p.run(records, theory),
+            ParallelPass::Snm(p) => p.run_observed(records, theory, observer),
+            ParallelPass::Clustering(p) => p.run_observed(records, theory, observer),
         }
     }
 }
@@ -40,20 +46,36 @@ pub fn parallel_multipass(
     records: &[Record],
     theory: &dyn EquationalTheory,
 ) -> MultiPassResult {
+    parallel_multipass_observed(passes, records, theory, &NoopObserver)
+}
+
+/// Like [`parallel_multipass`], reporting counters and phase timings to
+/// `observer`. Passes run concurrently, so phase times accumulated across
+/// passes can exceed wall-clock time; counters (comparisons, matches,
+/// worker fragments) are exact sums across all passes.
+///
+/// # Panics
+///
+/// Panics when `passes` is empty.
+pub fn parallel_multipass_observed(
+    passes: &[ParallelPass],
+    records: &[Record],
+    theory: &dyn EquationalTheory,
+    observer: &dyn PipelineObserver,
+) -> MultiPassResult {
     assert!(!passes.is_empty(), "need at least one pass");
     let mut results: Vec<Option<PassResult>> = (0..passes.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = passes
             .iter()
-            .map(|p| s.spawn(move |_| p.run(records, theory)))
+            .map(|p| s.spawn(move || p.run(records, theory, observer)))
             .collect();
         for (slot, h) in results.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("pass thread panicked"));
         }
-    })
-    .expect("worker thread panicked");
+    });
     let results: Vec<PassResult> = results.into_iter().map(|r| r.expect("filled")).collect();
-    MultiPass::close(records.len(), results)
+    MultiPass::close_observed(records.len(), results, observer)
 }
 
 /// Runs all passes concurrently, streaming every discovered pair straight
@@ -75,18 +97,17 @@ pub fn parallel_multipass_streaming(
 ) -> Vec<Vec<u32>> {
     assert!(!passes.is_empty(), "need at least one pass");
     let uf = ConcurrentUnionFind::new(records.len());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for p in passes {
             let uf = &uf;
-            s.spawn(move |_| {
-                let result = p.run(records, theory);
+            s.spawn(move || {
+                let result = p.run(records, theory, &NoopObserver);
                 for (a, b) in result.pairs.iter() {
                     uf.union(a, b);
                 }
             });
         }
-    })
-    .expect("pass thread panicked");
+    });
     uf.into_sequential().classes()
 }
 
@@ -100,10 +121,8 @@ mod tests {
 
     #[test]
     fn concurrent_multipass_equals_serial_multipass() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(400).duplicate_fraction(0.5).seed(95),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(400).duplicate_fraction(0.5).seed(95))
+            .generate();
         let theory = NativeEmployeeTheory::new();
         let serial = MultiPass::standard_three(8).run(&db.records, &theory);
         let passes: Vec<ParallelPass> = KeySpec::standard_three()
@@ -111,10 +130,7 @@ mod tests {
             .map(|k| ParallelPass::Snm(ParallelSnm::new(k, 8, 2)))
             .collect();
         let parallel = parallel_multipass(&passes, &db.records, &theory);
-        assert_eq!(
-            parallel.closed_pairs.sorted(),
-            serial.closed_pairs.sorted()
-        );
+        assert_eq!(parallel.closed_pairs.sorted(), serial.closed_pairs.sorted());
         assert_eq!(parallel.classes, serial.classes);
     }
 
@@ -142,10 +158,8 @@ mod tests {
 
     #[test]
     fn streaming_closure_matches_pair_set_closure() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(500).duplicate_fraction(0.5).seed(97),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.5).seed(97))
+            .generate();
         let theory = NativeEmployeeTheory::new();
         let passes: Vec<ParallelPass> = KeySpec::standard_three()
             .into_iter()

@@ -3,6 +3,7 @@
 use crate::{parallel_extract_keys, psort::parallel_sorted_order};
 use merge_purge::{KeySpec, PassResult, PassStats};
 use mp_closure::PairSet;
+use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -58,31 +59,49 @@ impl ParallelSnm {
     /// scan. The result is bit-identical to the serial
     /// [`merge_purge::SortedNeighborhood`] with the same key and window.
     pub fn run(&self, records: &[Record], theory: &dyn EquationalTheory) -> PassResult {
+        self.run_observed(records, theory, &NoopObserver)
+    }
+
+    /// Like [`ParallelSnm::run`], reporting counters and phase timings to
+    /// `observer`: per-worker fragment count, comparisons against records
+    /// replicated from the previous fragment's band, and the coordinator's
+    /// partial-result merge time. Workers report in bulk after joining, so
+    /// observation adds no synchronization to the scan.
+    pub fn run_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         let mut stats = PassStats::default();
         let p = self.processors;
 
         let t0 = Instant::now();
         let keys = parallel_extract_keys(&self.key, records, p);
         stats.create_keys = t0.elapsed();
+        observer.add(Counter::RecordsKeyed, records.len() as u64);
+        observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
 
         let t1 = Instant::now();
         let order = parallel_sorted_order(&keys, p);
         stats.sort = t1.elapsed();
+        observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
 
         let t2 = Instant::now();
         let n = order.len();
         let w = self.window;
         let mut pairs = PairSet::new();
         let mut worker_comparisons = Vec::with_capacity(p);
+        let mut band_comparisons = 0u64;
         if n > 0 {
             let chunk = n.div_ceil(p);
-            let mut partials: Vec<(PairSet, u64)> = Vec::with_capacity(p);
-            crossbeam::thread::scope(|s| {
+            let mut partials: Vec<(PairSet, u64, u64)> = Vec::with_capacity(p);
+            std::thread::scope(|s| {
                 let handles: Vec<_> = (0..n)
                     .step_by(chunk)
                     .map(|start| {
                         let order = &order;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             // Band: each fragment sees the previous w-1
                             // entries so records entering the window at the
                             // fragment head still meet their predecessors.
@@ -90,8 +109,12 @@ impl ParallelSnm {
                             let end = (start + chunk).min(n);
                             let mut local = PairSet::new();
                             let mut comparisons = 0u64;
+                            let mut band = 0u64;
                             for i in start.max(1)..end {
                                 let lo = i.saturating_sub(w - 1).max(band_start);
+                                if lo < start {
+                                    band += (start - lo) as u64;
+                                }
                                 let new = &records[order[i] as usize];
                                 for &prev in &order[lo..i] {
                                     comparisons += 1;
@@ -101,23 +124,31 @@ impl ParallelSnm {
                                     }
                                 }
                             }
-                            (local, comparisons)
+                            (local, comparisons, band)
                         })
                     })
                     .collect();
                 for h in handles {
                     partials.push(h.join().expect("scan worker panicked"));
                 }
-            })
-            .expect("worker thread panicked");
-            for (local, comparisons) in partials {
+            });
+            observer.add(Counter::WorkerFragments, partials.len() as u64);
+            let t_merge = Instant::now();
+            for (local, comparisons, band) in partials {
                 pairs.merge(&local);
                 stats.comparisons += comparisons;
+                band_comparisons += band;
                 worker_comparisons.push(comparisons);
             }
+            observer.phase_ns(Phase::CoordinatorMerge, t_merge.elapsed().as_nanos() as u64);
         }
         stats.window_scan = t2.elapsed();
         stats.matches = pairs.len();
+        observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
+        observer.add(Counter::Comparisons, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::Matches, stats.matches as u64);
+        observer.add(Counter::BandOverlapComparisons, band_comparisons);
 
         PassResult {
             key_name: self.key.name().to_string(),
@@ -138,14 +169,11 @@ mod tests {
 
     #[test]
     fn identical_to_serial_for_any_processor_count() {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(500).duplicate_fraction(0.5).seed(81),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.5).seed(81))
+            .generate();
         let theory = NativeEmployeeTheory::new();
         let w = 7;
-        let serial = SortedNeighborhood::new(KeySpec::last_name_key(), w)
-            .run(&db.records, &theory);
+        let serial = SortedNeighborhood::new(KeySpec::last_name_key(), w).run(&db.records, &theory);
         for procs in [1, 2, 3, 5, 8] {
             let parallel =
                 ParallelSnm::new(KeySpec::last_name_key(), w, procs).run(&db.records, &theory);
@@ -162,16 +190,13 @@ mod tests {
     #[test]
     fn window_larger_than_fragment_still_correct() {
         // Fragments smaller than the window stress the band logic.
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(60).duplicate_fraction(0.8).seed(82),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(60).duplicate_fraction(0.8).seed(82))
+            .generate();
         let theory = NativeEmployeeTheory::new();
         let w = 25;
         let serial =
             SortedNeighborhood::new(KeySpec::first_name_key(), w).run(&db.records, &theory);
-        let parallel =
-            ParallelSnm::new(KeySpec::first_name_key(), w, 8).run(&db.records, &theory);
+        let parallel = ParallelSnm::new(KeySpec::first_name_key(), w, 8).run(&db.records, &theory);
         assert_eq!(parallel.pairs.sorted(), serial.pairs.sorted());
     }
 

@@ -38,7 +38,10 @@ impl fmt::Display for ReadError {
         match self {
             ReadError::Io(e) => write!(f, "i/o error: {e}"),
             ReadError::Malformed { line, columns } => {
-                write!(f, "line {line}: expected {COLUMNS} columns, found {columns}")
+                write!(
+                    f,
+                    "line {line}: expected {COLUMNS} columns, found {columns}"
+                )
             }
             ReadError::BadEntity { line } => write!(f, "line {line}: invalid entity id"),
         }
@@ -66,7 +69,9 @@ pub fn write_records<W: Write>(mut w: W, records: &[Record]) -> io::Result<()> {
     let mut line = String::new();
     for r in records {
         line.clear();
-        if let Some(EntityId(e)) = r.entity { line.push_str(&e.to_string()) }
+        if let Some(EntityId(e)) = r.entity {
+            line.push_str(&e.to_string())
+        }
         for f in crate::field::Field::ALL {
             let v = r.field(f);
             if v.contains(['|', '\n']) {
@@ -152,7 +157,11 @@ fn parse_line(line: &str, line_no: usize, id: u32) -> Result<Record, ReadError> 
     let entity = if cols[0].is_empty() {
         None
     } else {
-        Some(EntityId(cols[0].parse().map_err(|_| ReadError::BadEntity { line: line_no })?))
+        Some(EntityId(
+            cols[0]
+                .parse()
+                .map_err(|_| ReadError::BadEntity { line: line_no })?,
+        ))
     };
     let mut rec = Record::empty(RecordId(id));
     rec.entity = entity;

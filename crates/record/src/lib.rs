@@ -29,7 +29,7 @@ pub mod record;
 pub mod spell;
 
 pub use field::Field;
+pub use io::RecordStream;
 pub use nickname::NicknameTable;
 pub use record::{EntityId, Record, RecordId};
-pub use io::RecordStream;
 pub use spell::SpellCorrector;

@@ -10,14 +10,31 @@ use std::collections::HashMap;
 /// Built-in equivalence classes: the first entry of each class is the common
 /// form assigned to every member.
 const STANDARD_CLASSES: &[&[&str]] = &[
-    &["ROBERT", "BOB", "BOBBY", "ROB", "ROBBIE", "RUPERT", "ROBERTO"],
-    &["WILLIAM", "BILL", "BILLY", "WILL", "WILLIE", "LIAM", "GUILLERMO", "WILHELM"],
+    &[
+        "ROBERT", "BOB", "BOBBY", "ROB", "ROBBIE", "RUPERT", "ROBERTO",
+    ],
+    &[
+        "WILLIAM",
+        "BILL",
+        "BILLY",
+        "WILL",
+        "WILLIE",
+        "LIAM",
+        "GUILLERMO",
+        "WILHELM",
+    ],
     &["JOSEPH", "JOE", "JOEY", "JOS", "GIUSEPPE", "JOSE", "PEPE"],
-    &["JOHN", "JACK", "JOHNNY", "JON", "JUAN", "GIOVANNI", "JOHANN", "IAN", "SEAN"],
-    &["MICHAEL", "MIKE", "MICKEY", "MICK", "MIGUEL", "MICHEL", "MIKHAIL"],
+    &[
+        "JOHN", "JACK", "JOHNNY", "JON", "JUAN", "GIOVANNI", "JOHANN", "IAN", "SEAN",
+    ],
+    &[
+        "MICHAEL", "MIKE", "MICKEY", "MICK", "MIGUEL", "MICHEL", "MIKHAIL",
+    ],
     &["JAMES", "JIM", "JIMMY", "JAMIE", "DIEGO", "SEAMUS"],
     &["RICHARD", "RICK", "RICKY", "DICK", "RICH", "RICARDO"],
-    &["CHARLES", "CHUCK", "CHARLIE", "CARLOS", "CARL", "KARL", "CARLO"],
+    &[
+        "CHARLES", "CHUCK", "CHARLIE", "CARLOS", "CARL", "KARL", "CARLO",
+    ],
     &["THOMAS", "TOM", "TOMMY", "TOMAS"],
     &["CHRISTOPHER", "CHRIS", "KIT", "CRISTOBAL", "CHRISTOPH"],
     &["DANIEL", "DAN", "DANNY", "DANILO"],
@@ -26,13 +43,53 @@ const STANDARD_CLASSES: &[&[&str]] = &[
     &["STEVEN", "STEVE", "STEPHEN", "ESTEBAN", "STEFAN", "STEFANO"],
     &["EDWARD", "ED", "EDDIE", "TED", "TEDDY", "NED", "EDUARDO"],
     &["HENRY", "HANK", "HARRY", "ENRIQUE", "HEINRICH", "ENRICO"],
-    &["ALEXANDER", "ALEX", "SASHA", "ALEJANDRO", "ALESSANDRO", "SANDY"],
-    &["FRANCIS", "FRANK", "FRANKIE", "FRANCISCO", "FRANCESCO", "PACO"],
+    &[
+        "ALEXANDER",
+        "ALEX",
+        "SASHA",
+        "ALEJANDRO",
+        "ALESSANDRO",
+        "SANDY",
+    ],
+    &[
+        "FRANCIS",
+        "FRANK",
+        "FRANKIE",
+        "FRANCISCO",
+        "FRANCESCO",
+        "PACO",
+    ],
     &["LAWRENCE", "LARRY", "LORENZO", "LAURENT"],
     &["PETER", "PETE", "PEDRO", "PIETRO", "PIERRE", "PIOTR"],
-    &["ELIZABETH", "LIZ", "BETH", "BETTY", "BETSY", "LISA", "ELISA", "ISABEL"],
-    &["MARGARET", "PEGGY", "MEG", "MAGGIE", "MARGE", "MARGARITA", "GRETA"],
-    &["KATHERINE", "KATE", "KATHY", "KATIE", "KAY", "CATALINA", "KATARINA", "CATHERINE"],
+    &[
+        "ELIZABETH",
+        "LIZ",
+        "BETH",
+        "BETTY",
+        "BETSY",
+        "LISA",
+        "ELISA",
+        "ISABEL",
+    ],
+    &[
+        "MARGARET",
+        "PEGGY",
+        "MEG",
+        "MAGGIE",
+        "MARGE",
+        "MARGARITA",
+        "GRETA",
+    ],
+    &[
+        "KATHERINE",
+        "KATE",
+        "KATHY",
+        "KATIE",
+        "KAY",
+        "CATALINA",
+        "KATARINA",
+        "CATHERINE",
+    ],
     &["MARY", "MARIA", "MARIE", "MOLLY", "POLLY", "MIRIAM"],
     &["PATRICIA", "PAT", "PATTY", "TRICIA", "TRISH"],
     &["JENNIFER", "JEN", "JENNY", "JENNA"],

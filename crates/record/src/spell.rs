@@ -50,10 +50,7 @@ impl SpellCorrector {
             if word.is_empty() || !set.insert(word.clone()) {
                 continue;
             }
-            index
-                .entry(sim_key(&word))
-                .or_default()
-                .push(word);
+            index.entry(sim_key(&word)).or_default().push(word);
         }
         SpellCorrector {
             corpus: set,
@@ -118,7 +115,12 @@ impl SpellCorrector {
         }
     }
 
-    fn scan_bucket<'a>(&'a self, key: (u8, usize), word: &str, best: &mut Option<(&'a str, usize)>) {
+    fn scan_bucket<'a>(
+        &'a self,
+        key: (u8, usize),
+        word: &str,
+        best: &mut Option<(&'a str, usize)>,
+    ) {
         let Some(bucket) = self.index.get(&key) else {
             return;
         };

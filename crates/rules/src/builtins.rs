@@ -155,7 +155,11 @@ pub const BUILTINS: &[Builtin] = &[
         params: &[Type::Str, Type::Str, Type::Num],
         ret: Type::Bool,
         eval: |a, _| {
-            Value::Bool(ss::differ_slightly(a[0].as_str(), a[1].as_str(), a[2].as_num()))
+            Value::Bool(ss::differ_slightly(
+                a[0].as_str(),
+                a[1].as_str(),
+                a[2].as_num(),
+            ))
         },
     },
     Builtin {
@@ -273,18 +277,42 @@ mod tests {
 
     #[test]
     fn distance_builtins() {
-        assert_eq!(call("edit_distance", &[Value::str("AB"), Value::str("AC")]).as_num(), 1.0);
-        assert_eq!(call("damerau", &[Value::str("AB"), Value::str("BA")]).as_num(), 1.0);
+        assert_eq!(
+            call("edit_distance", &[Value::str("AB"), Value::str("AC")]).as_num(),
+            1.0
+        );
+        assert_eq!(
+            call("damerau", &[Value::str("AB"), Value::str("BA")]).as_num(),
+            1.0
+        );
         assert!(call("edit_sim", &[Value::str("AAAA"), Value::str("AAAB")]).as_num() > 0.7);
         assert!(call("jaro", &[Value::str("MARTHA"), Value::str("MARHTA")]).as_num() > 0.9);
         assert!(
-            call("jaro_winkler", &[Value::str("MARTHA"), Value::str("MARHTA")]).as_num() > 0.95
+            call(
+                "jaro_winkler",
+                &[Value::str("MARTHA"), Value::str("MARHTA")]
+            )
+            .as_num()
+                > 0.95
         );
-        assert_eq!(call("keyboard_dist", &[Value::str("A"), Value::str("S")]).as_num(), 0.5);
-        assert_eq!(call("lcs_sim", &[Value::str("ABC"), Value::str("ABC")]).as_num(), 1.0);
-        assert_eq!(call("trigram_sim", &[Value::str("X"), Value::str("X")]).as_num(), 1.0);
         assert_eq!(
-            call("ngram_sim", &[Value::str("X"), Value::str("X"), Value::Num(2.0)]).as_num(),
+            call("keyboard_dist", &[Value::str("A"), Value::str("S")]).as_num(),
+            0.5
+        );
+        assert_eq!(
+            call("lcs_sim", &[Value::str("ABC"), Value::str("ABC")]).as_num(),
+            1.0
+        );
+        assert_eq!(
+            call("trigram_sim", &[Value::str("X"), Value::str("X")]).as_num(),
+            1.0
+        );
+        assert_eq!(
+            call(
+                "ngram_sim",
+                &[Value::str("X"), Value::str("X"), Value::Num(2.0)]
+            )
+            .as_num(),
             1.0
         );
     }
@@ -323,9 +351,18 @@ mod tests {
 
     #[test]
     fn string_utilities() {
-        assert_eq!(call("prefix", &[Value::str("HERNANDEZ"), Value::Num(3.0)]).as_str(), "HER");
-        assert_eq!(call("prefix", &[Value::str("AB"), Value::Num(9.0)]).as_str(), "AB");
-        assert_eq!(call("suffix", &[Value::str("HERNANDEZ"), Value::Num(3.0)]).as_str(), "DEZ");
+        assert_eq!(
+            call("prefix", &[Value::str("HERNANDEZ"), Value::Num(3.0)]).as_str(),
+            "HER"
+        );
+        assert_eq!(
+            call("prefix", &[Value::str("AB"), Value::Num(9.0)]).as_str(),
+            "AB"
+        );
+        assert_eq!(
+            call("suffix", &[Value::str("HERNANDEZ"), Value::Num(3.0)]).as_str(),
+            "DEZ"
+        );
         assert_eq!(call("len", &[Value::str("ABCD")]).as_num(), 4.0);
         assert!(call("is_empty", &[Value::str("")]).as_bool());
         assert!(call("contains", &[Value::str("MAIN STREET"), Value::str("MAIN")]).as_bool());

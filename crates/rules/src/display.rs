@@ -160,9 +160,8 @@ mod tests {
     fn roundtrips(src: &str) {
         let original = parse(src).unwrap();
         let printed = print_program(&original);
-        let reparsed = parse(&printed).unwrap_or_else(|e| {
-            panic!("printed program failed to parse: {e}\n---\n{printed}")
-        });
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n---\n{printed}"));
         assert!(
             programs_equivalent(&original, &reparsed),
             "round trip changed the program:\n---original src---\n{src}\n---printed---\n{printed}"
@@ -185,7 +184,9 @@ mod tests {
 
     #[test]
     fn literals_and_calls_roundtrip() {
-        roundtrips(r#"rule r { when contains(r1.city, "NEW YORK") and len(r1.zip) == 5 then match }"#);
+        roundtrips(
+            r#"rule r { when contains(r1.city, "NEW YORK") and len(r1.zip) == 5 then match }"#,
+        );
         roundtrips("rule r { when differ_slightly(prefix(r1.last_name, 4), suffix(r2.last_name, 4), 0.25) then match }");
     }
 
@@ -204,10 +205,8 @@ mod tests {
         let original = RuleProgram::compile(EMPLOYEE_RULES_SRC).unwrap();
         let printed_src = print_program(original.ast());
         let reprinted = RuleProgram::compile(&printed_src).unwrap();
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(80).duplicate_fraction(0.6).seed(42),
-        )
-        .generate();
+        let db = DatabaseGenerator::new(GeneratorConfig::new(80).duplicate_fraction(0.6).seed(42))
+            .generate();
         for w in db.records.windows(2) {
             assert_eq!(
                 original.matches(&w[0], &w[1]),

@@ -127,12 +127,8 @@ fn eval<'a>(e: &'a CExpr, r1: &'a Record, r2: &'a Record, ctx: &Ctx) -> Value<'a
         CExpr::FieldRef(RecordRef::R1, f) => Value::str(r1.field(*f)),
         CExpr::FieldRef(RecordRef::R2, f) => Value::str(r2.field(*f)),
         CExpr::Not(inner) => Value::Bool(!eval(inner, r1, r2, ctx).as_bool()),
-        CExpr::And(parts) => {
-            Value::Bool(parts.iter().all(|p| eval(p, r1, r2, ctx).as_bool()))
-        }
-        CExpr::Or(parts) => {
-            Value::Bool(parts.iter().any(|p| eval(p, r1, r2, ctx).as_bool()))
-        }
+        CExpr::And(parts) => Value::Bool(parts.iter().all(|p| eval(p, r1, r2, ctx).as_bool())),
+        CExpr::Or(parts) => Value::Bool(parts.iter().any(|p| eval(p, r1, r2, ctx).as_bool())),
         CExpr::Cmp(op, l, r) => {
             let lv = eval(l, r1, r2, ctx);
             let rv = eval(r, r1, r2, ctx);

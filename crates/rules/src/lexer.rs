@@ -60,32 +60,50 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             '{' => {
                 chars.next();
                 col += 1;
-                out.push(Spanned { tok: Tok::LBrace, pos: start });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    pos: start,
+                });
             }
             '}' => {
                 chars.next();
                 col += 1;
-                out.push(Spanned { tok: Tok::RBrace, pos: start });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    pos: start,
+                });
             }
             '(' => {
                 chars.next();
                 col += 1;
-                out.push(Spanned { tok: Tok::LParen, pos: start });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos: start,
+                });
             }
             ')' => {
                 chars.next();
                 col += 1;
-                out.push(Spanned { tok: Tok::RParen, pos: start });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos: start,
+                });
             }
             ',' => {
                 chars.next();
                 col += 1;
-                out.push(Spanned { tok: Tok::Comma, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos: start,
+                });
             }
             '.' => {
                 chars.next();
                 col += 1;
-                out.push(Spanned { tok: Tok::Dot, pos: start });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    pos: start,
+                });
             }
             '=' | '!' | '<' | '>' => {
                 chars.next();
@@ -93,7 +111,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 if c == '<' && matches!(chars.peek(), Some(&(_, '-'))) {
                     chars.next();
                     col += 1;
-                    out.push(Spanned { tok: Tok::Arrow, pos: start });
+                    out.push(Spanned {
+                        tok: Tok::Arrow,
+                        pos: start,
+                    });
                     continue;
                 }
                 let followed_eq = matches!(chars.peek(), Some(&(_, '=')));
@@ -131,7 +152,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 if !closed {
                     return Err(ParseError::unterminated_string(start));
                 }
-                out.push(Spanned { tok: Tok::Str(s), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -147,7 +171,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 let n: f64 = text
                     .parse()
                     .map_err(|_| ParseError::bad_number(text.clone(), start))?;
-                out.push(Spanned { tok: Tok::Number(n), pos: start });
+                out.push(Spanned {
+                    tok: Tok::Number(n),
+                    pos: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut text = String::new();

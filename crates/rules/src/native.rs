@@ -131,10 +131,7 @@ impl EquationalTheory for NativeEmployeeTheory {
             return true;
         }
         // nickname_same_last_same_zip
-        if same_last
-            && same_zip
-            && self.nicknames.equivalent(&r1.first_name, &r2.first_name)
-        {
+        if same_last && same_zip && self.nicknames.equivalent(&r1.first_name, &r2.first_name) {
             return true;
         }
         // nickname_same_last_same_address

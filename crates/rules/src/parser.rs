@@ -69,7 +69,11 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     let mut names = HashSet::new();
     let mut purge: Option<PurgeSpec> = None;
     while !p.done() {
-        if let Some(Spanned { tok: Tok::Purge, pos }) = p.peek().cloned() {
+        if let Some(Spanned {
+            tok: Tok::Purge,
+            pos,
+        }) = p.peek().cloned()
+        {
             if purge.is_some() {
                 return Err(ParseError::at("duplicate purge block", pos));
             }
@@ -129,14 +133,22 @@ impl Parser {
         let mut assignments = Vec::new();
         loop {
             match self.next() {
-                Some(Spanned { tok: Tok::RBrace, .. }) => break,
-                Some(Spanned { tok: Tok::Ident(fname), pos }) => {
+                Some(Spanned {
+                    tok: Tok::RBrace, ..
+                }) => break,
+                Some(Spanned {
+                    tok: Tok::Ident(fname),
+                    pos,
+                }) => {
                     let field = fname
                         .parse()
                         .map_err(|_| ParseError::at(format!("unknown field {fname:?}"), pos))?;
                     self.expect(&Tok::Arrow, "`<-`")?;
                     match self.next() {
-                        Some(Spanned { tok: Tok::Ident(sname), pos }) => {
+                        Some(Spanned {
+                            tok: Tok::Ident(sname),
+                            pos,
+                        }) => {
                             let strategy = Survivorship::parse(&sname).ok_or_else(|| {
                                 ParseError::at(
                                     format!(
@@ -173,7 +185,9 @@ impl Parser {
     fn rule(&mut self) -> Result<Rule, ParseError> {
         let pos = self.expect(&Tok::Rule, "`rule`")?;
         let name = match self.next() {
-            Some(Spanned { tok: Tok::Ident(n), .. }) => n,
+            Some(Spanned {
+                tok: Tok::Ident(n), ..
+            }) => n,
             Some(s) => {
                 return Err(ParseError::at(
                     format!("expected rule name, found `{}`", s.tok),
@@ -188,7 +202,11 @@ impl Parser {
         self.expect(&Tok::Then, "`then`")?;
         self.expect(&Tok::Match, "`match`")?;
         self.expect(&Tok::RBrace, "`}`")?;
-        Ok(Rule { name, condition, pos })
+        Ok(Rule {
+            name,
+            condition,
+            pos,
+        })
     }
 
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
@@ -251,21 +269,44 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
         match self.next() {
-            Some(Spanned { tok: Tok::LParen, .. }) => {
+            Some(Spanned {
+                tok: Tok::LParen, ..
+            }) => {
                 let e = self.or_expr()?;
                 self.expect(&Tok::RParen, "`)`")?;
                 Ok(e)
             }
-            Some(Spanned { tok: Tok::True, pos }) => Ok(Expr::Bool(true, pos)),
-            Some(Spanned { tok: Tok::False, pos }) => Ok(Expr::Bool(false, pos)),
-            Some(Spanned { tok: Tok::Number(n), pos }) => Ok(Expr::Num(n, pos)),
-            Some(Spanned { tok: Tok::Str(s), pos }) => Ok(Expr::Str(s, pos)),
+            Some(Spanned {
+                tok: Tok::True,
+                pos,
+            }) => Ok(Expr::Bool(true, pos)),
+            Some(Spanned {
+                tok: Tok::False,
+                pos,
+            }) => Ok(Expr::Bool(false, pos)),
+            Some(Spanned {
+                tok: Tok::Number(n),
+                pos,
+            }) => Ok(Expr::Num(n, pos)),
+            Some(Spanned {
+                tok: Tok::Str(s),
+                pos,
+            }) => Ok(Expr::Str(s, pos)),
             Some(Spanned { tok: Tok::R1, pos }) => self.field_ref(RecordRef::R1, pos),
             Some(Spanned { tok: Tok::R2, pos }) => self.field_ref(RecordRef::R2, pos),
-            Some(Spanned { tok: Tok::Ident(name), pos }) => {
+            Some(Spanned {
+                tok: Tok::Ident(name),
+                pos,
+            }) => {
                 self.expect(&Tok::LParen, "`(` after function name")?;
                 let mut args = Vec::new();
-                if !matches!(self.peek(), Some(Spanned { tok: Tok::RParen, .. })) {
+                if !matches!(
+                    self.peek(),
+                    Some(Spanned {
+                        tok: Tok::RParen,
+                        ..
+                    })
+                ) {
                     loop {
                         args.push(self.or_expr()?);
                         match self.peek().map(|s| &s.tok) {
@@ -290,10 +331,13 @@ impl Parser {
     fn field_ref(&mut self, rec: RecordRef, pos: Pos) -> Result<Expr, ParseError> {
         self.expect(&Tok::Dot, "`.` after record designator")?;
         match self.next() {
-            Some(Spanned { tok: Tok::Ident(name), pos: fpos }) => {
-                let field = name.parse().map_err(|_| {
-                    ParseError::at(format!("unknown field {name:?}"), fpos)
-                })?;
+            Some(Spanned {
+                tok: Tok::Ident(name),
+                pos: fpos,
+            }) => {
+                let field = name
+                    .parse()
+                    .map_err(|_| ParseError::at(format!("unknown field {name:?}"), fpos))?;
                 Ok(Expr::FieldRef(rec, field, pos))
             }
             Some(s) => Err(ParseError::at(
@@ -323,8 +367,14 @@ mod tests {
         let p = parse("rule r { when r1.last_name == r2.last_name then match }").unwrap();
         match &p.rules[0].condition {
             Expr::Cmp(CmpOp::Eq, lhs, rhs, _) => {
-                assert!(matches!(**lhs, Expr::FieldRef(RecordRef::R1, Field::LastName, _)));
-                assert!(matches!(**rhs, Expr::FieldRef(RecordRef::R2, Field::LastName, _)));
+                assert!(matches!(
+                    **lhs,
+                    Expr::FieldRef(RecordRef::R1, Field::LastName, _)
+                ));
+                assert!(matches!(
+                    **rhs,
+                    Expr::FieldRef(RecordRef::R2, Field::LastName, _)
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -366,8 +416,7 @@ mod tests {
     #[test]
     fn call_with_args_parses() {
         let p =
-            parse(r#"rule r { when differ_slightly(r1.city, "BOSTON", 0.2) then match }"#)
-                .unwrap();
+            parse(r#"rule r { when differ_slightly(r1.city, "BOSTON", 0.2) then match }"#).unwrap();
         match &p.rules[0].condition {
             Expr::Call(name, args, _) => {
                 assert_eq!(name, "differ_slightly");
@@ -427,23 +476,21 @@ mod tests {
     #[test]
     fn later_purge_assignment_wins() {
         use mp_record::Field;
-        let p = parse(
-            "rule r { when true then match } purge { zip <- first zip <- longest }",
-        )
-        .unwrap();
-        assert_eq!(p.purge.unwrap().strategy(Field::Zip), Some(Survivorship::Longest));
+        let p =
+            parse("rule r { when true then match } purge { zip <- first zip <- longest }").unwrap();
+        assert_eq!(
+            p.purge.unwrap().strategy(Field::Zip),
+            Some(Survivorship::Longest)
+        );
     }
 
     #[test]
     fn purge_errors_reported() {
-        let err =
-            parse("rule r { when true then match } purge { salary <- first }").unwrap_err();
+        let err = parse("rule r { when true then match } purge { salary <- first }").unwrap_err();
         assert!(err.to_string().contains("unknown field"), "{err}");
-        let err =
-            parse("rule r { when true then match } purge { zip <- weirdest }").unwrap_err();
+        let err = parse("rule r { when true then match } purge { zip <- weirdest }").unwrap_err();
         assert!(err.to_string().contains("unknown survivorship"), "{err}");
-        let err = parse("rule r { when true then match } purge { zip <- first")
-            .unwrap_err();
+        let err = parse("rule r { when true then match } purge { zip <- first").unwrap_err();
         assert!(err.to_string().contains("unterminated purge"), "{err}");
         let err = parse("purge {} purge {} rule r { when true then match }").unwrap_err();
         assert!(err.to_string().contains("duplicate purge"), "{err}");

@@ -15,7 +15,10 @@ pub struct TypeError {
 
 impl TypeError {
     fn new(msg: impl Into<String>, pos: Pos) -> Self {
-        TypeError { msg: msg.into(), pos }
+        TypeError {
+            msg: msg.into(),
+            pos,
+        }
     }
 }
 
@@ -81,7 +84,10 @@ pub fn infer(expr: &Expr) -> Result<Type, TypeError> {
                 CmpOp::Eq | CmpOp::Ne => Ok(Type::Bool),
                 _ if lt == Type::Num => Ok(Type::Bool),
                 _ => Err(TypeError::new(
-                    format!("ordering comparison {} requires numbers, got {lt}", op.symbol()),
+                    format!(
+                        "ordering comparison {} requires numbers, got {lt}",
+                        op.symbol()
+                    ),
                     *pos,
                 )),
             }
@@ -103,7 +109,10 @@ pub fn infer(expr: &Expr) -> Result<Type, TypeError> {
                 let got = infer(arg)?;
                 if got != *want {
                     return Err(TypeError::new(
-                        format!("argument {} of {name} has type {got}, expected {want}", i + 1),
+                        format!(
+                            "argument {} of {name} has type {got}, expected {want}",
+                            i + 1
+                        ),
                         arg.pos(),
                     ));
                 }

@@ -102,7 +102,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     // The distance is at least the length difference.
     if long.len() - short.len() > max {
         return None;
@@ -209,7 +213,10 @@ mod tests {
         let mut buf = EditBuffer::new();
         assert_eq!(buf.distance("KITTEN", "SITTING"), 3);
         assert_eq!(buf.distance("", ""), 0);
-        assert_eq!(buf.distance("LONGERSTRING", "SHORT"), levenshtein("LONGERSTRING", "SHORT"));
+        assert_eq!(
+            buf.distance("LONGERSTRING", "SHORT"),
+            levenshtein("LONGERSTRING", "SHORT")
+        );
         assert!((buf.similarity("AAAA", "AABA") - 0.75).abs() < 1e-12);
     }
 }

@@ -56,10 +56,9 @@ fn main() {
     );
 
     // Run the pipeline with the custom theory.
-    let mut db = DatabaseGenerator::new(
-        GeneratorConfig::new(2_000).duplicate_fraction(0.5).seed(7),
-    )
-    .generate();
+    let mut db =
+        DatabaseGenerator::new(GeneratorConfig::new(2_000).duplicate_fraction(0.5).seed(7))
+            .generate();
     let result = MergePurge::new(&program)
         .pass(KeySpec::last_name_key(), 10)
         .pass(KeySpec::address_key(), 10)

@@ -46,10 +46,9 @@ purge {
 
 fn main() {
     let program = RuleProgram::compile(PROGRAM).expect("program compiles");
-    let mut db = DatabaseGenerator::new(
-        GeneratorConfig::new(3_000).duplicate_fraction(0.5).seed(77),
-    )
-    .generate();
+    let mut db =
+        DatabaseGenerator::new(GeneratorConfig::new(3_000).duplicate_fraction(0.5).seed(77))
+            .generate();
     let before = db.records.len();
 
     let result = MergePurge::new(&program)
@@ -82,8 +81,13 @@ fn main() {
             let r = &db.records[id as usize];
             println!(
                 "  {} {} {} | {} | {}, {} {}",
-                r.first_name, r.middle_initial, r.last_name,
-                r.full_address(), r.city, r.state, r.zip
+                r.first_name,
+                r.middle_initial,
+                r.last_name,
+                r.full_address(),
+                r.city,
+                r.state,
+                r.zip
             );
         }
         let members: Vec<&mp_record::Record> =
@@ -91,8 +95,13 @@ fn main() {
         let survivor = purger.consolidate(&members);
         println!(
             "survivor:\n  {} {} {} | {} | {}, {} {}",
-            survivor.first_name, survivor.middle_initial, survivor.last_name,
-            survivor.full_address(), survivor.city, survivor.state, survivor.zip
+            survivor.first_name,
+            survivor.middle_initial,
+            survivor.last_name,
+            survivor.full_address(),
+            survivor.city,
+            survivor.state,
+            survivor.zip
         );
     }
 }

@@ -1,0 +1,157 @@
+#![warn(missing_docs)]
+
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Runs each benchmark a handful of times and prints the best wall-clock
+//! time — no statistics, warm-up schedules, or reports. This keeps
+//! `cargo test` (which executes `harness = false` bench targets) and
+//! `cargo bench` fast while preserving the criterion API surface the
+//! workspace's benches use.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many timed executions each benchmark gets.
+const RUNS: u32 = 3;
+
+/// Top-level handle mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into(), f);
+    }
+}
+
+/// A named benchmark group (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&format!("{}/{}", self.name, id.into()), f);
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a parameter (`BenchmarkId::new("x", n)`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id shown as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    best_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` [`RUNS`] times (plus one untimed warm-up) and
+    /// records the best run.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            black_box(routine());
+            let ns = start.elapsed().as_nanos();
+            self.best_ns = self.best_ns.min(ns);
+        }
+    }
+}
+
+fn run_one(id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { best_ns: u128::MAX };
+    f(&mut b);
+    if b.best_ns == u128::MAX {
+        println!("bench {id}: no measurement");
+    } else {
+        println!("bench {id}: {} ns/iter (best of {RUNS})", b.best_ns);
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_and_times_it() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 1 + RUNS);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let data = vec![1u32, 2, 3];
+        let mut sum = 0u32;
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| {
+                sum = d.iter().sum();
+                sum
+            })
+        });
+        g.finish();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,194 @@
+//! Tiny regex-shaped string generator backing `&str` strategies.
+//!
+//! Supports the subset the workspace's tests use: literal characters,
+//! character classes with ranges and escapes (`[A-Z0-9 '\-]`), the
+//! printable-character class `\PC`, and the quantifiers `{n}`, `{m,n}`,
+//! `*`, and `+`.
+
+use crate::TestRng;
+
+/// Pool for `\PC`: printable ASCII plus a spread of multi-byte characters,
+/// including ones whose uppercase form expands ('ß' → "SS", 'ᾼ' → "ΑΙ") so
+/// key-extraction properties see the interesting Unicode cases.
+const PRINTABLE_EXTRAS: &[char] = &['ß', 'ᾼ', 'é', 'ñ', 'ü', 'æ', 'Ω', 'λ', 'Д', '中', '・', '†'];
+
+/// One repeatable unit of a pattern.
+enum Atom {
+    /// Choose uniformly from an explicit set.
+    Class(Vec<char>),
+    /// Choose a printable character (`\PC`).
+    Printable,
+}
+
+/// A parsed pattern: atoms with repetition bounds.
+pub struct Pattern {
+    atoms: Vec<(Atom, usize, usize)>,
+}
+
+impl Pattern {
+    /// Parses the supported regex subset; panics on anything else so an
+    /// unsupported pattern fails loudly rather than generating garbage.
+    pub fn parse(src: &str) -> Pattern {
+        let chars: Vec<char> = src.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // Range like `A-Z` (a trailing `-` is a literal).
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            set.extend((c..=hi).filter(|x| *x <= hi));
+                            i += 3;
+                        } else {
+                            set.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {src:?}");
+                    i += 1; // consume ']'
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        Atom::Printable
+                    } else {
+                        i += 2;
+                        Atom::Class(vec![chars[i - 1]])
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![c])
+                }
+            };
+            // Optional quantifier.
+            let (lo, hi) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 16)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 16)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {src:?}"));
+                    let body: String = chars[i + 1..i + close].iter().collect();
+                    i += close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.parse().expect("quantifier lower bound"),
+                            n.parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n: usize = body.parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            assert!(lo <= hi, "inverted quantifier in {src:?}");
+            atoms.push((atom, lo, hi));
+        }
+        Pattern { atoms }
+    }
+
+    /// Draws one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in &self.atoms {
+            let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..reps {
+                match atom {
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty character class");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Printable => {
+                        // 1/8 of draws come from the non-ASCII extras.
+                        if rng.below(8) == 0 {
+                            let i = rng.below(PRINTABLE_EXTRAS.len() as u64) as usize;
+                            out.push(PRINTABLE_EXTRAS[i]);
+                        } else {
+                            out.push((0x20 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    fn gen(pat: &str, case: u64) -> String {
+        Pattern::parse(pat).generate(&mut TestRng::new(pat, case))
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        for case in 0..200 {
+            let s = gen("[A-Z0-9 '\\-]{0,16}", case);
+            assert!(s.chars().count() <= 16);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || " '-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn bounded_repetition_hits_bounds() {
+        let (mut saw_min, mut saw_max) = (false, false);
+        for case in 0..400 {
+            let s = gen("[A-D]{1,3}", case);
+            let n = s.chars().count();
+            assert!((1..=3).contains(&n));
+            saw_min |= n == 1;
+            saw_max |= n == 3;
+        }
+        assert!(saw_min && saw_max);
+    }
+
+    #[test]
+    fn exact_repetition() {
+        for case in 0..50 {
+            assert_eq!(gen("[A-C]{4}", case).chars().count(), 4);
+        }
+    }
+
+    #[test]
+    fn printable_star_is_printable_and_varied() {
+        let mut saw_unicode = false;
+        for case in 0..400 {
+            let s = gen("\\PC*", case);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_unicode |= !s.is_ascii();
+        }
+        assert!(saw_unicode, "expected some non-ASCII draws");
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(gen("AB{2}C", 0), "ABBC");
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The workspace annotates a few types with `#[derive(Serialize,
+//! Deserialize)]` but performs no serde serialization anywhere (report
+//! emission in `mp-metrics` is hand-rolled JSON). These marker traits keep
+//! those annotations compiling without network access to crates.io.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+// The derive macros live in the macro namespace, the traits in the type
+// namespace, so both can be exported under the same names — exactly the
+// layout real serde uses with its `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,65 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of concrete
+//! (non-generic) types but never invokes serde serialization — there is no
+//! `serde_json` in the tree, and report emission is hand-rolled in
+//! `mp-metrics`. These derives therefore emit empty marker impls of the
+//! shim traits in the sibling `serde` package.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive was applied to.
+///
+/// Good enough for the concrete types this workspace derives on; generic
+/// types would need real parsing and are rejected with a compile error.
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        // Reject generics: the marker impl below would not
+                        // compile for `Foo<T>` and silently-wrong output is
+                        // worse than a clear error.
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "shim serde_derive does not support generic type {name}"
+                                ));
+                            }
+                        }
+                        return Ok(name);
+                    }
+                    _ => return Err("expected type name after struct/enum".into()),
+                }
+            }
+        }
+    }
+    Err("no struct or enum found in derive input".into())
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("generated error parses"),
+    }
+}
+
+/// Derives the shim `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the shim `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

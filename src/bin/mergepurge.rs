@@ -13,6 +13,7 @@
 
 use merge_purge::{Evaluation, KeySpec, MergePurge, MergePurgeResult, Purger};
 use mp_datagen::{DatabaseGenerator, GeneratorConfig, GroundTruth};
+use mp_metrics::MetricsRecorder;
 use mp_record::{io as rio, Record};
 use mp_rules::{EquationalTheory, NativeEmployeeTheory, RuleProgram, Survivorship};
 use std::fs::File;
@@ -52,9 +53,14 @@ mergepurge — sorted-neighborhood merge/purge (Hernandez & Stolfo, SIGMOD 1995)
 commands:
   generate  --out FILE [--records N] [--duplicates F] [--max-dups K] [--seed S]
   dedupe    --input FILE [--rules FILE] [--window W] [--keys a,b,c]
-            [--pairs-out FILE] [--classes-out FILE] [--eval]
+            [--pairs-out FILE] [--classes-out FILE] [--eval] [--stats FILE]
   purge     --input FILE --out FILE [--rules FILE] [--window W] [--keys a,b,c]
+            [--stats FILE]
   explain   --input FILE --a ID --b ID [--rules FILE]
+
+--stats FILE writes a JSON pipeline report (comparison, match, and closure
+counters plus per-phase nanosecond timings) collected by mp-metrics. The
+counter section is deterministic for a fixed input and configuration.
 
 keys: comma-separated from {last_name, first_name, address, ssn};
       default last_name,first_name,address (the paper's three runs).
@@ -81,7 +87,9 @@ impl Flags {
     fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid --{name} value {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid --{name} value {v:?}")),
         }
     }
 
@@ -91,7 +99,8 @@ impl Flags {
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 }
 
@@ -152,8 +161,7 @@ impl Theory {
         match flags.get("rules") {
             None => Ok(Theory::Native(NativeEmployeeTheory::new())),
             Some(path) => {
-                let src =
-                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let src = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
                 let program = RuleProgram::compile(&src).map_err(|e| format!("{path}: {e}"))?;
                 Ok(Theory::Program(program))
             }
@@ -181,6 +189,7 @@ impl Theory {
 fn run_passes(
     flags: &Flags,
     records: &mut [Record],
+    recorder: &MetricsRecorder,
 ) -> Result<(MergePurgeResult, Theory), String> {
     let window: usize = flags.get_parsed("window", 10)?;
     if window < 2 {
@@ -192,13 +201,20 @@ fn run_passes(
     for key in keys {
         pipeline = pipeline.pass(key, window);
     }
-    let result = pipeline.run(records);
+    let result = pipeline.run_observed(records, recorder);
     Ok((result, theory))
 }
 
 fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
     let mut records = load_records(flags)?;
-    let (result, theory) = run_passes(flags, &mut records)?;
+    let recorder = MetricsRecorder::new();
+    let (result, theory) = run_passes(flags, &mut records, &recorder)?;
+
+    if let Some(path) = flags.get("stats") {
+        let json = recorder.report().to_json();
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote pipeline stats to {path}");
+    }
 
     let found: usize = result.classes.iter().map(|c| c.len() - 1).sum();
     println!(
@@ -267,7 +283,10 @@ fn explain(flags: &Flags) -> Result<(), String> {
     let a: usize = flags.require("a")?.parse().map_err(|_| "invalid --a id")?;
     let b: usize = flags.require("b")?.parse().map_err(|_| "invalid --b id")?;
     if a >= records.len() || b >= records.len() {
-        return Err(format!("record ids out of range (file has {})", records.len()));
+        return Err(format!(
+            "record ids out of range (file has {})",
+            records.len()
+        ));
     }
     mp_record::normalize::condition_all(&mut records, &mp_record::NicknameTable::standard());
     let theory = Theory::load(flags)?;

@@ -9,6 +9,7 @@ pub use mp_closure as closure;
 pub use mp_cluster as cluster;
 pub use mp_datagen as datagen;
 pub use mp_extsort as extsort;
+pub use mp_metrics as metrics;
 pub use mp_parallel as parallel;
 pub use mp_record as record;
 pub use mp_rules as rules;

@@ -25,7 +25,11 @@ fn generate_dedupe_purge_pipeline() {
         .args(["--records", "800", "--duplicates", "0.5", "--seed", "3"])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("true pairs"), "{stdout}");
 
@@ -34,7 +38,11 @@ fn generate_dedupe_purge_pipeline() {
         .args(["--classes-out", groups.to_str().unwrap()])
         .output()
         .expect("run dedupe");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("accuracy:"), "{stdout}");
     assert!(groups.exists());
@@ -42,10 +50,20 @@ fn generate_dedupe_purge_pipeline() {
     assert!(group_lines.lines().count() > 10);
 
     let out = bin()
-        .args(["purge", "--input", db.to_str().unwrap(), "--out", clean.to_str().unwrap()])
+        .args([
+            "purge",
+            "--input",
+            db.to_str().unwrap(),
+            "--out",
+            clean.to_str().unwrap(),
+        ])
         .output()
         .expect("run purge");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The purged file must parse and be smaller than the input.
     let before = std::fs::read_to_string(&db).unwrap().lines().count();
     let after = std::fs::read_to_string(&clean).unwrap().lines().count();
@@ -67,20 +85,47 @@ fn dedupe_with_custom_rules_and_explain() {
     .unwrap();
 
     assert!(bin()
-        .args(["generate", "--out", db.to_str().unwrap(), "--records", "300", "--seed", "9"])
+        .args([
+            "generate",
+            "--out",
+            db.to_str().unwrap(),
+            "--records",
+            "300",
+            "--seed",
+            "9"
+        ])
         .status()
         .unwrap()
         .success());
 
     let out = bin()
         .args(["dedupe", "--input", db.to_str().unwrap()])
-        .args(["--rules", rules.to_str().unwrap(), "--keys", "ssn", "--window", "4"])
+        .args([
+            "--rules",
+            rules.to_str().unwrap(),
+            "--keys",
+            "ssn",
+            "--window",
+            "4",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
-        .args(["explain", "--input", db.to_str().unwrap(), "--a", "0", "--b", "1"])
+        .args([
+            "explain",
+            "--input",
+            db.to_str().unwrap(),
+            "--a",
+            "0",
+            "--b",
+            "1",
+        ])
         .args(["--rules", rules.to_str().unwrap()])
         .output()
         .unwrap();
@@ -123,7 +168,13 @@ fn helpful_errors() {
         .unwrap()
         .success());
     let out = bin()
-        .args(["dedupe", "--input", db.to_str().unwrap(), "--rules", bad.to_str().unwrap()])
+        .args([
+            "dedupe",
+            "--input",
+            db.to_str().unwrap(),
+            "--rules",
+            bad.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

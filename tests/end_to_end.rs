@@ -137,10 +137,7 @@ fn noisier_data_means_lower_single_pass_accuracy() {
                 .seed(1005 + i as u64),
         )
         .generate();
-        mp_record::normalize::condition_all(
-            &mut db.records,
-            &mp_record::NicknameTable::standard(),
-        );
+        mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
         let pass = SortedNeighborhood::new(KeySpec::last_name_key(), 10).run(&db.records, &theory);
         let eval = Evaluation::score(
             &MultiPass::close(db.records.len(), vec![pass]).closed_pairs,

@@ -124,10 +124,9 @@ fn transposed_ssn_recovered_by_name_pass_not_ssn_pass() {
     use mp_record::{Record, RecordId};
     let theory = NativeEmployeeTheory::new();
     // A tiny crafted database: 100 filler records plus the §2.4 pair.
-    let mut db = DatabaseGenerator::new(
-        GeneratorConfig::new(100).duplicate_fraction(0.0).seed(3004),
-    )
-    .generate();
+    let mut db =
+        DatabaseGenerator::new(GeneratorConfig::new(100).duplicate_fraction(0.0).seed(3004))
+            .generate();
     let mut a = Record::empty(RecordId(0));
     a.ssn = "193456782".into();
     a.first_name = "KATHERINE".into();
@@ -145,8 +144,7 @@ fn transposed_ssn_recovered_by_name_pass_not_ssn_pass() {
     db.records.push(b);
 
     let ssn_pass = SortedNeighborhood::new(KeySpec::ssn_key(), 5).run(&db.records, &theory);
-    let name_pass =
-        SortedNeighborhood::new(KeySpec::last_name_key(), 5).run(&db.records, &theory);
+    let name_pass = SortedNeighborhood::new(KeySpec::last_name_key(), 5).run(&db.records, &theory);
     assert!(
         !ssn_pass.pairs.contains(n, n + 1),
         "ssn-principal key should miss the transposed pair at small w"

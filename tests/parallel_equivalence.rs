@@ -10,7 +10,9 @@ use mp_rules::NativeEmployeeTheory;
 #[test]
 fn parallel_multipass_equals_serial_for_many_processor_counts() {
     let mut db = DatabaseGenerator::new(
-        GeneratorConfig::new(1_200).duplicate_fraction(0.5).seed(4001),
+        GeneratorConfig::new(1_200)
+            .duplicate_fraction(0.5)
+            .seed(4001),
     )
     .generate();
     mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
@@ -33,7 +35,9 @@ fn parallel_multipass_equals_serial_for_many_processor_counts() {
 #[test]
 fn parallel_clustering_invariant_under_processor_count_with_fixed_total_clusters() {
     let mut db = DatabaseGenerator::new(
-        GeneratorConfig::new(1_000).duplicate_fraction(0.4).seed(4002),
+        GeneratorConfig::new(1_000)
+            .duplicate_fraction(0.4)
+            .seed(4002),
     )
     .generate();
     mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
@@ -59,10 +63,8 @@ fn parallel_clustering_invariant_under_processor_count_with_fixed_total_clusters
 
 #[test]
 fn worker_comparisons_sum_to_total() {
-    let db = DatabaseGenerator::new(
-        GeneratorConfig::new(800).duplicate_fraction(0.5).seed(4003),
-    )
-    .generate();
+    let db = DatabaseGenerator::new(GeneratorConfig::new(800).duplicate_fraction(0.5).seed(4003))
+        .generate();
     let theory = NativeEmployeeTheory::new();
     for procs in [1usize, 3, 5] {
         let r = ParallelSnm::new(KeySpec::last_name_key(), 11, procs).run(&db.records, &theory);

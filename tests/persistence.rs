@@ -9,7 +9,9 @@ use mp_rules::NativeEmployeeTheory;
 #[test]
 fn file_round_trip_preserves_pipeline_results() {
     let db = DatabaseGenerator::new(
-        GeneratorConfig::new(1_000).duplicate_fraction(0.5).seed(2001),
+        GeneratorConfig::new(1_000)
+            .duplicate_fraction(0.5)
+            .seed(2001),
     )
     .generate();
 
@@ -27,10 +29,8 @@ fn file_round_trip_preserves_pipeline_results() {
 
 #[test]
 fn ground_truth_survives_round_trip() {
-    let db = DatabaseGenerator::new(
-        GeneratorConfig::new(500).duplicate_fraction(0.4).seed(2002),
-    )
-    .generate();
+    let db = DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.4).seed(2002))
+        .generate();
     let mut buf = Vec::new();
     io::write_records(&mut buf, &db.records).unwrap();
     let reloaded = io::read_records(buf.as_slice()).unwrap();
@@ -56,10 +56,9 @@ fn pipeline_results_reproducible_across_processes() {
     // Same seed, fresh generator objects: byte-identical outputs. This is
     // the property EXPERIMENTS.md relies on when quoting numbers.
     let run = || {
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(800).duplicate_fraction(0.5).seed(2004),
-        )
-        .generate();
+        let db =
+            DatabaseGenerator::new(GeneratorConfig::new(800).duplicate_fraction(0.5).seed(2004))
+                .generate();
         let theory = NativeEmployeeTheory::new();
         let result = MultiPass::new()
             .sorted(KeySpec::last_name_key(), 6)
