@@ -53,6 +53,16 @@ impl UnionFind {
         self.sets
     }
 
+    /// True when `x` has never been merged with another element.
+    ///
+    /// Singletons are exactly the rank-0 roots (a root that ever won a
+    /// union has rank ≥ 1, and a merged loser is no longer a root), so this
+    /// is two array loads with no find walk — cheap enough to gate a full
+    /// [`Self::connected`] query in hot scans.
+    pub fn is_singleton(&self, x: u32) -> bool {
+        self.parent[x as usize] == x && self.rank[x as usize] == 0
+    }
+
     /// Representative of `x`'s set, compressing the path by halving.
     pub fn find(&mut self, x: u32) -> u32 {
         let mut x = x;

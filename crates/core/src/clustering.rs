@@ -1,10 +1,10 @@
 //! The clustering method (§2.2.1): histogram-partition the key space, then
 //! run the sorted-neighborhood method inside each cluster.
 
-use crate::key::KeySpec;
-use crate::snm::{extract_keys, PassResult, PassStats};
-use crate::window::window_scan;
-use mp_closure::PairSet;
+use crate::key::{KeyArena, KeySpec};
+use crate::snm::{PassResult, PassStats};
+use crate::window::{window_scan, window_scan_pruned};
+use mp_closure::{PairSet, UnionFind};
 use mp_cluster::{KeyHistogram, RangePartition};
 use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
@@ -106,11 +106,34 @@ impl ClusteringMethod {
         theory: &dyn EquationalTheory,
         observer: &dyn PipelineObserver,
     ) -> PassResult {
+        self.run_inner(records, theory, None, observer)
+    }
+
+    /// Like [`ClusteringMethod::run_observed`], with closure-aware pruning:
+    /// per-cluster window pairs already connected in `uf` skip rule
+    /// evaluation, and every match found is unioned into `uf`.
+    pub fn run_pruned_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        uf: &mut UnionFind,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
+        self.run_inner(records, theory, Some(uf), observer)
+    }
+
+    fn run_inner(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        mut uf: Option<&mut UnionFind>,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         let mut stats = PassStats::default();
 
         // Phase 1: extract keys, build histogram, partition, assign.
         let t0 = Instant::now();
-        let keys = extract_keys(&self.key, records);
+        let keys = KeyArena::extract(&self.key, records);
         let truncated: Vec<&str> = keys
             .iter()
             .map(|k| truncate(k, self.config.cluster_key_len))
@@ -134,15 +157,34 @@ impl ClusteringMethod {
             stats.sort += t1.elapsed();
 
             let t2 = Instant::now();
-            stats.comparisons +=
-                window_scan(records, cluster, self.config.window, theory, &mut pairs);
+            match uf.as_deref_mut() {
+                Some(uf) => {
+                    let counts = window_scan_pruned(
+                        records,
+                        cluster,
+                        self.config.window,
+                        theory,
+                        uf,
+                        &mut pairs,
+                    );
+                    stats.comparisons += counts.comparisons;
+                    stats.rule_evaluations += counts.rule_evaluations;
+                    stats.pairs_pruned += counts.pairs_pruned;
+                }
+                None => {
+                    let c = window_scan(records, cluster, self.config.window, theory, &mut pairs);
+                    stats.comparisons += c;
+                    stats.rule_evaluations += c;
+                }
+            }
             stats.window_scan += t2.elapsed();
         }
         stats.matches = pairs.len();
         observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
         observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
         observer.add(Counter::Comparisons, stats.comparisons);
-        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.rule_evaluations);
+        observer.add(Counter::PairsPruned, stats.pairs_pruned);
         observer.add(Counter::Matches, stats.matches as u64);
 
         PassResult {

@@ -50,6 +50,17 @@ impl KeyPart {
 }
 
 fn push_clean(s: &str, limit: usize, out: &mut String) {
+    // Conditioned records are pure ASCII, so the common case avoids the
+    // unicode uppercase machinery and runs byte-at-a-time.
+    if s.is_ascii() {
+        out.extend(
+            s.bytes()
+                .filter(u8::is_ascii_alphanumeric)
+                .map(|b| b.to_ascii_uppercase() as char)
+                .take(limit),
+        );
+        return;
+    }
     out.extend(
         s.chars()
             .filter(|c| c.is_alphanumeric())
@@ -106,6 +117,13 @@ impl KeySpec {
     /// buffer keeps it allocation-free.
     pub fn extract_into(&self, record: &Record, out: &mut String) {
         out.clear();
+        self.extract_into_append(record, out);
+    }
+
+    /// Extracts the key, appending to `out` *without* clearing it first —
+    /// the building block [`KeyArena`] uses to pack every key of a pass
+    /// into one buffer.
+    pub fn extract_into_append(&self, record: &Record, out: &mut String) {
         for part in &self.parts {
             part.append(record, out);
         }
@@ -168,6 +186,121 @@ impl KeySpec {
             KeySpec::first_name_key(),
             KeySpec::address_key(),
         ]
+    }
+}
+
+/// Arena of extracted sort keys: one shared byte buffer plus
+/// `(offset, len)` spans, indexed by record position.
+///
+/// The create-keys phase used to build one heap `String` per record per
+/// pass; for a three-pass run over a million records that is three million
+/// allocations before any comparison happens. The arena stores every key
+/// contiguously in a single buffer and hands out `&str` slices, so a pass
+/// performs O(1) allocations (amortized growth of two vectors) regardless
+/// of record count.
+///
+/// ```
+/// use merge_purge::{KeyArena, KeySpec};
+/// use mp_record::{Record, RecordId};
+///
+/// let mut r = Record::empty(RecordId(0));
+/// r.last_name = "HERNANDEZ".into();
+/// let arena = KeyArena::extract(&KeySpec::last_name_key(), std::slice::from_ref(&r));
+/// assert_eq!(arena.len(), 1);
+/// assert_eq!(arena.get(0), "HERNANDEZ");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyArena {
+    buf: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl KeyArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena pre-sized for `records` keys of ~`avg_key_len` bytes.
+    pub fn with_capacity(records: usize, avg_key_len: usize) -> Self {
+        KeyArena {
+            buf: String::with_capacity(records * avg_key_len),
+            spans: Vec::with_capacity(records),
+        }
+    }
+
+    /// Extracts `key` for every record into a fresh arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total key bytes exceed `u32::MAX` (≈4 GiB of key
+    /// text; beyond that the external-sort path is the right tool).
+    pub fn extract(key: &KeySpec, records: &[Record]) -> Self {
+        let mut arena = KeyArena::with_capacity(records.len(), 20);
+        for r in records {
+            arena.push_with(|buf| key.extract_into_append(r, buf));
+        }
+        arena
+    }
+
+    /// Appends one key produced by `fill`, which appends bytes to the
+    /// arena's buffer (and must not touch what is already there).
+    pub fn push_with(&mut self, fill: impl FnOnce(&mut String)) {
+        let start = self.buf.len();
+        fill(&mut self.buf);
+        let len = self.buf.len() - start;
+        assert!(
+            self.buf.len() <= u32::MAX as usize,
+            "key arena exceeds 4 GiB"
+        );
+        self.spans.push((start as u32, len as u32));
+    }
+
+    /// Appends a ready-made key string.
+    pub fn push_str(&mut self, key: &str) {
+        self.push_with(|buf| buf.push_str(key));
+    }
+
+    /// Key of record `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let (start, len) = self.spans[i];
+        &self.buf[start as usize..(start + len) as usize]
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the arena holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterates over the keys in record order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> + '_ {
+        self.spans
+            .iter()
+            .map(|&(start, len)| &self.buf[start as usize..(start + len) as usize])
+    }
+
+    /// Appends every key of `other`, renumbering them after this arena's
+    /// keys (the parallel engines build one arena per worker chunk and
+    /// concatenate — a straight memcpy, not a per-key reallocation).
+    pub fn append(&mut self, other: &KeyArena) {
+        let base = self.buf.len();
+        assert!(
+            base + other.buf.len() <= u32::MAX as usize,
+            "key arena exceeds 4 GiB"
+        );
+        self.buf.push_str(&other.buf);
+        self.spans.extend(
+            other
+                .spans
+                .iter()
+                .map(|&(start, len)| (start + base as u32, len)),
+        );
     }
 }
 
@@ -251,6 +384,49 @@ mod tests {
         // unaffected; only the trailing last-initial component changes.
         let k2 = KeySpec::first_name_key();
         assert_eq!(k2.extract(&a)[..8], k2.extract(&b)[..8]);
+    }
+
+    #[test]
+    fn arena_matches_per_record_extraction() {
+        let records: Vec<Record> = (0..5u32)
+            .map(|i| {
+                let mut r = sample();
+                r.id = RecordId(i);
+                r.last_name = format!("NAME{i}");
+                r
+            })
+            .collect();
+        let key = KeySpec::last_name_key();
+        let arena = KeyArena::extract(&key, &records);
+        assert_eq!(arena.len(), 5);
+        assert!(!arena.is_empty());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(arena.get(i), key.extract(r));
+        }
+        let collected: Vec<&str> = arena.iter().collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[3], arena.get(3));
+    }
+
+    #[test]
+    fn arena_append_renumbers_spans() {
+        let mut a = KeyArena::new();
+        a.push_str("ALPHA");
+        a.push_str("");
+        let mut b = KeyArena::new();
+        b.push_str("BETA");
+        a.append(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(0), "ALPHA");
+        assert_eq!(a.get(1), "");
+        assert_eq!(a.get(2), "BETA");
+    }
+
+    #[test]
+    fn arena_empty_input() {
+        let arena = KeyArena::extract(&KeySpec::last_name_key(), &[]);
+        assert!(arena.is_empty());
+        assert_eq!(arena.len(), 0);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use clustering::{ClusteringConfig, ClusteringMethod};
 pub use costmodel::CostModel;
 pub use eval::Evaluation;
 pub use incremental::IncrementalMergePurge;
-pub use key::{KeyPart, KeySpec};
+pub use key::{KeyArena, KeyPart, KeySpec};
 pub use mergescan::MergeScanSnm;
 pub use multipass::{MultiPass, MultiPassResult, PassConfig};
 pub use pipeline::{MergePurge, MergePurgeResult};

@@ -1,6 +1,6 @@
 //! The merge-phase-fused variant of the sorted-neighborhood method.
 //!
-//! §2.2: "In [9], we describe the sorted-neighborhood method as a
+//! §2.2: "In \[9\], we describe the sorted-neighborhood method as a
 //! generalization of band joins and provide an alternative algorithm ...
 //! based on the *duplicate elimination* algorithm described in [Bitton &
 //! DeWitt 83]. This duplicate elimination algorithm takes advantage of the
@@ -16,7 +16,7 @@
 //! window), so the union strictly dominates the classic method's recall at
 //! equal window size — at the cost of extra comparisons per level.
 
-use crate::key::KeySpec;
+use crate::key::{KeyArena, KeySpec};
 use crate::snm::{PassResult, PassStats};
 use mp_closure::PairSet;
 use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
@@ -89,14 +89,7 @@ impl MergeScanSnm {
 
         // Phase 1: keys.
         let t0 = Instant::now();
-        let mut buf = String::new();
-        let keys: Vec<String> = records
-            .iter()
-            .map(|r| {
-                self.key.extract_into(r, &mut buf);
-                buf.clone()
-            })
-            .collect();
+        let keys = KeyArena::extract(&self.key, records);
         stats.create_keys = t0.elapsed();
         observer.add(Counter::RecordsKeyed, records.len() as u64);
         observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
@@ -111,7 +104,7 @@ impl MergeScanSnm {
             .map(|start| {
                 let end = (start + self.run_length).min(n);
                 let mut run: Vec<u32> = (start as u32..end as u32).collect();
-                run.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+                run.sort_by(|&a, &b| keys.get(a as usize).cmp(keys.get(b as usize)));
                 // Scan the initial run too (it is the first "merge output").
                 stats.comparisons += scan(records, &run, self.window, theory, &mut pairs);
                 run
@@ -135,10 +128,11 @@ impl MergeScanSnm {
             runs = next;
         }
         stats.window_scan = t1.elapsed();
+        stats.rule_evaluations = stats.comparisons;
         stats.matches = pairs.len();
         observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
         observer.add(Counter::Comparisons, stats.comparisons);
-        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.rule_evaluations);
         observer.add(Counter::Matches, stats.matches as u64);
 
         PassResult {
@@ -151,13 +145,13 @@ impl MergeScanSnm {
     }
 }
 
-fn merge(keys: &[String], a: &[u32], b: &[u32]) -> Vec<u32> {
+fn merge(keys: &KeyArena, a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         // Stable: runs are formed left-to-right, so `a`'s ids precede
         // `b`'s; ties prefer `a`.
-        if keys[a[i] as usize] <= keys[b[j] as usize] {
+        if keys.get(a[i] as usize) <= keys.get(b[j] as usize) {
             out.push(a[i]);
             i += 1;
         } else {

@@ -34,14 +34,25 @@ impl PassConfig {
         &self,
         records: &[Record],
         theory: &dyn EquationalTheory,
+        uf: Option<&mut UnionFind>,
         observer: &dyn PipelineObserver,
     ) -> PassResult {
-        match self {
-            PassConfig::Sorted { key, window } => SortedNeighborhood::new(key.clone(), *window)
-                .run_observed(records, theory, observer),
-            PassConfig::Clustered { key, config } => {
+        match (self, uf) {
+            (PassConfig::Sorted { key, window }, None) => {
+                SortedNeighborhood::new(key.clone(), *window)
+                    .run_observed(records, theory, observer)
+            }
+            (PassConfig::Sorted { key, window }, Some(uf)) => {
+                SortedNeighborhood::new(key.clone(), *window)
+                    .run_pruned_observed(records, theory, uf, observer)
+            }
+            (PassConfig::Clustered { key, config }, None) => {
                 ClusteringMethod::new(key.clone(), config.clone())
                     .run_observed(records, theory, observer)
+            }
+            (PassConfig::Clustered { key, config }, Some(uf)) => {
+                ClusteringMethod::new(key.clone(), config.clone())
+                    .run_pruned_observed(records, theory, uf, observer)
             }
         }
     }
@@ -107,12 +118,37 @@ impl MultiPassResult {
 #[derive(Debug, Clone, Default)]
 pub struct MultiPass {
     passes: Vec<PassConfig>,
+    prune: bool,
 }
 
 impl MultiPass {
     /// An empty multi-pass run; add passes with [`MultiPass::add`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables closure-aware pruning: one union-find is threaded through
+    /// every pass in order, so window pairs whose records are already in
+    /// the same equivalence class — whether connected earlier in the same
+    /// pass or by any previous pass — skip rule evaluation entirely.
+    ///
+    /// Pruning changes no closed pair (the closure over emitted matches is
+    /// identical — the pruned pairs' endpoints are already connected via
+    /// previously emitted matches). Per-pass `pairs`/`matches` counts
+    /// shrink, [`mp_metrics::Counter::RuleInvocations`] drops, and the
+    /// skipped work is reported as [`mp_metrics::Counter::PairsPruned`].
+    /// [`mp_metrics::Counter::Comparisons`] still counts every window
+    /// candidate, keeping the §3.5 closed form exact.
+    ///
+    /// Off by default; the [`crate::MergePurge`] pipeline turns it on.
+    pub fn with_pruning(mut self) -> Self {
+        self.prune = true;
+        self
+    }
+
+    /// Whether closure-aware pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        self.prune
     }
 
     /// Adds a pass.
@@ -172,10 +208,11 @@ impl MultiPass {
             !self.passes.is_empty(),
             "multi-pass run needs at least one pass"
         );
+        let mut uf = self.prune.then(|| UnionFind::new(records.len()));
         let passes: Vec<PassResult> = self
             .passes
             .iter()
-            .map(|p| p.run(records, theory, observer))
+            .map(|p| p.run(records, theory, uf.as_mut(), observer))
             .collect();
         Self::close_observed(records.len(), passes, observer)
     }
@@ -310,5 +347,50 @@ mod tests {
     #[should_panic(expected = "at least one pass")]
     fn empty_multipass_rejected() {
         MultiPass::new().run(&[], &NativeEmployeeTheory::new());
+    }
+
+    #[test]
+    fn pruned_multipass_same_closure_fewer_evaluations() {
+        let db = db(700, 55);
+        let theory = NativeEmployeeTheory::new();
+        let plain = MultiPass::standard_three(10).run(&db.records, &theory);
+        let pruned = MultiPass::standard_three(10)
+            .with_pruning()
+            .run(&db.records, &theory);
+
+        // Identical candidate work and identical final answer.
+        let sum = |r: &MultiPassResult, f: fn(&crate::PassStats) -> u64| -> u64 {
+            r.passes.iter().map(|p| f(&p.stats)).sum()
+        };
+        assert_eq!(
+            sum(&plain, |s| s.comparisons),
+            sum(&pruned, |s| s.comparisons)
+        );
+        assert_eq!(plain.closed_pairs.sorted(), pruned.closed_pairs.sorted());
+        assert_eq!(plain.classes, pruned.classes);
+
+        // Strictly less rule work: cross-pass rediscoveries alone guarantee
+        // pruning on a 50%-duplicate database.
+        let pruned_evals = sum(&pruned, |s| s.rule_evaluations);
+        let pruned_skips = sum(&pruned, |s| s.pairs_pruned);
+        assert!(pruned_skips > 0, "expected cross-pass pruning");
+        assert!(pruned_evals < sum(&plain, |s| s.rule_evaluations));
+        assert_eq!(pruned_evals + pruned_skips, sum(&pruned, |s| s.comparisons));
+    }
+
+    #[test]
+    fn pruned_clustered_passes_also_agree() {
+        let db = db(400, 56);
+        let theory = NativeEmployeeTheory::new();
+        let build = || {
+            MultiPass::new()
+                .sorted(KeySpec::last_name_key(), 8)
+                .clustered(KeySpec::first_name_key(), ClusteringConfig::paper_serial(8))
+        };
+        let plain = build().run(&db.records, &theory);
+        let pruned = build().with_pruning().run(&db.records, &theory);
+        assert_eq!(plain.closed_pairs.sorted(), pruned.closed_pairs.sorted());
+        let skips: u64 = pruned.passes.iter().map(|p| p.stats.pairs_pruned).sum();
+        assert!(skips > 0);
     }
 }

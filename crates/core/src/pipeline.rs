@@ -31,18 +31,21 @@ pub struct MergePurge<'t> {
     theory: &'t dyn EquationalTheory,
     passes: MultiPass,
     condition: bool,
+    prune: bool,
     nicknames: NicknameTable,
     spell: Option<SpellCorrector>,
 }
 
 impl<'t> MergePurge<'t> {
     /// A pipeline using `theory` for record matching; conditioning with the
-    /// standard nickname table is on by default.
+    /// standard nickname table and closure-aware pruning (see
+    /// [`MultiPass::with_pruning`]) are on by default.
     pub fn new(theory: &'t dyn EquationalTheory) -> Self {
         MergePurge {
             theory,
             passes: MultiPass::new(),
             condition: true,
+            prune: true,
             nicknames: NicknameTable::standard(),
             spell: None,
         }
@@ -69,6 +72,16 @@ impl<'t> MergePurge<'t> {
     /// Disables the conditioning step (records are assumed pre-conditioned).
     pub fn without_conditioning(mut self) -> Self {
         self.condition = false;
+        self
+    }
+
+    /// Disables closure-aware pruning, so every window candidate pair is
+    /// handed to the equational theory. The closed pairs are identical
+    /// either way (pruning only skips pairs whose connection is already
+    /// known); disabling is useful for timing comparisons and for per-pass
+    /// `pairs` counts that match the unpruned single-pass runs.
+    pub fn without_pruning(mut self) -> Self {
+        self.prune = false;
         self
     }
 
@@ -118,7 +131,12 @@ impl<'t> MergePurge<'t> {
             }
         }
         observer.phase_ns(Phase::Condition, t0.elapsed().as_nanos() as u64);
-        self.passes.run_observed(records, self.theory, observer)
+        let passes = if self.prune {
+            self.passes.with_pruning()
+        } else {
+            self.passes
+        };
+        passes.run_observed(records, self.theory, observer)
     }
 }
 
@@ -190,6 +208,35 @@ mod tests {
             .spell_correct_cities(corrector)
             .run(&mut db.records);
         assert_eq!(db.records[0].city, "CHICAGO");
+    }
+
+    #[test]
+    fn pruning_default_matches_unpruned_closed_pairs() {
+        let theory = NativeEmployeeTheory::new();
+        let mut db =
+            DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.5).seed(65))
+                .generate();
+        let mut db2 = db.clone();
+        let build = |t| {
+            MergePurge::new(t)
+                .pass(KeySpec::last_name_key(), 10)
+                .pass(KeySpec::first_name_key(), 10)
+                .pass(KeySpec::address_key(), 10)
+        };
+        let pruned = build(&theory).run(&mut db.records);
+        let plain = build(&theory).without_pruning().run(&mut db2.records);
+        assert_eq!(pruned.closed_pairs.sorted(), plain.closed_pairs.sorted());
+        assert_eq!(pruned.classes, plain.classes);
+        let skips: u64 = pruned.passes.iter().map(|p| p.stats.pairs_pruned).sum();
+        assert!(skips > 0, "default pipeline should prune");
+        assert_eq!(
+            plain
+                .passes
+                .iter()
+                .map(|p| p.stats.pairs_pruned)
+                .sum::<u64>(),
+            0
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The sorted-neighborhood method (§2.2): create keys → sort → window scan.
 
-use crate::key::KeySpec;
-use crate::window::window_scan;
-use mp_closure::PairSet;
+use crate::key::{KeyArena, KeySpec};
+use crate::window::{window_scan, window_scan_pruned};
+use mp_closure::{PairSet, UnionFind};
 use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
@@ -18,8 +18,16 @@ pub struct PassStats {
     pub sort: Duration,
     /// Time for the window-scan merge phase.
     pub window_scan: Duration,
-    /// Pair comparisons performed by the theory.
+    /// Candidate pair comparisons produced by the window scan (the §3.5
+    /// `(w−1)(N − w/2)` quantity; unaffected by pruning).
     pub comparisons: u64,
+    /// Pairs actually evaluated by the equational theory. Equals
+    /// [`PassStats::comparisons`] on unpruned runs; lower when
+    /// closure-aware pruning skipped already-connected pairs.
+    pub rule_evaluations: u64,
+    /// Candidate pairs skipped by closure-aware pruning (zero when the
+    /// pass ran unpruned).
+    pub pairs_pruned: u64,
     /// Matching pairs emitted (before closure, deduplicated).
     pub matches: usize,
 }
@@ -101,11 +109,41 @@ impl SortedNeighborhood {
         theory: &dyn EquationalTheory,
         observer: &dyn PipelineObserver,
     ) -> PassResult {
+        self.run_inner(records, theory, None, observer)
+    }
+
+    /// Like [`SortedNeighborhood::run_observed`], with closure-aware
+    /// pruning: window pairs whose records are already connected in `uf`
+    /// skip rule evaluation, and every match found is unioned into `uf`.
+    ///
+    /// Passing the same union-find across successive passes (as
+    /// [`crate::MultiPass`] does when pruning is enabled) also prunes
+    /// pairs rediscovered by a later pass. Candidate comparisons are
+    /// counted identically to the unpruned run; only
+    /// [`Counter::RuleInvocations`] shrinks, with the difference reported
+    /// as [`Counter::PairsPruned`].
+    pub fn run_pruned_observed(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        uf: &mut UnionFind,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
+        self.run_inner(records, theory, Some(uf), observer)
+    }
+
+    fn run_inner(
+        &self,
+        records: &[Record],
+        theory: &dyn EquationalTheory,
+        uf: Option<&mut UnionFind>,
+        observer: &dyn PipelineObserver,
+    ) -> PassResult {
         let mut stats = PassStats::default();
 
         // Phase 1: create keys.
         let t0 = Instant::now();
-        let keys = extract_keys(&self.key, records);
+        let keys = KeyArena::extract(&self.key, records);
         stats.create_keys = t0.elapsed();
         observer.add(Counter::RecordsKeyed, records.len() as u64);
         observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
@@ -117,14 +155,28 @@ impl SortedNeighborhood {
         stats.sort = t1.elapsed();
         observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
 
-        // Phase 3: merge via window scan.
+        // Phase 3: merge via window scan, pruned when a union-find was
+        // provided.
         let t2 = Instant::now();
         let mut pairs = PairSet::new();
-        stats.comparisons = window_scan(records, &order, self.window, theory, &mut pairs);
+        match uf {
+            Some(uf) => {
+                let counts =
+                    window_scan_pruned(records, &order, self.window, theory, uf, &mut pairs);
+                stats.comparisons = counts.comparisons;
+                stats.rule_evaluations = counts.rule_evaluations;
+                stats.pairs_pruned = counts.pairs_pruned;
+            }
+            None => {
+                stats.comparisons = window_scan(records, &order, self.window, theory, &mut pairs);
+                stats.rule_evaluations = stats.comparisons;
+            }
+        }
         stats.window_scan = t2.elapsed();
         stats.matches = pairs.len();
         observer.add(Counter::Comparisons, stats.comparisons);
-        observer.add(Counter::RuleInvocations, stats.comparisons);
+        observer.add(Counter::RuleInvocations, stats.rule_evaluations);
+        observer.add(Counter::PairsPruned, stats.pairs_pruned);
         observer.add(Counter::Matches, stats.matches as u64);
         observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);
 
@@ -138,22 +190,10 @@ impl SortedNeighborhood {
     }
 }
 
-/// Extracts `key` for every record (exposed for the clustering and parallel
-/// engines, which reuse the same keys across phases).
-pub(crate) fn extract_keys(key: &KeySpec, records: &[Record]) -> Vec<String> {
-    let mut keys = Vec::with_capacity(records.len());
-    let mut buf = String::new();
-    for r in records {
-        key.extract_into(r, &mut buf);
-        keys.push(buf.clone());
-    }
-    keys
-}
-
 /// Returns record indices sorted by their key (stable).
-pub(crate) fn sorted_order(keys: &[String]) -> Vec<u32> {
+pub(crate) fn sorted_order(keys: &KeyArena) -> Vec<u32> {
     let mut order: Vec<u32> = (0..keys.len() as u32).collect();
-    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    order.sort_by(|&a, &b| keys.get(a as usize).cmp(keys.get(b as usize)));
     order
 }
 
@@ -223,7 +263,7 @@ mod tests {
             r.last_name = "SAME".into();
             records.push(r);
         }
-        let keys = extract_keys(&KeySpec::last_name_key(), &records);
+        let keys = KeyArena::extract(&KeySpec::last_name_key(), &records);
         assert_eq!(sorted_order(&keys), vec![0, 1, 2, 3, 4]);
     }
 
@@ -231,5 +271,33 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn tiny_window_rejected() {
         SortedNeighborhood::new(KeySpec::last_name_key(), 1);
+    }
+
+    #[test]
+    fn pruned_pass_same_closure_fewer_evaluations() {
+        let db = DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.6).seed(34))
+            .generate();
+        let theory = NativeEmployeeTheory::new();
+        let snm = SortedNeighborhood::new(KeySpec::last_name_key(), 12);
+        let plain = snm.run(&db.records, &theory);
+
+        let mut uf = UnionFind::new(db.records.len());
+        let pruned = snm.run_pruned_observed(&db.records, &theory, &mut uf, &NoopObserver);
+
+        // Candidate comparisons identical; evaluations strictly fewer once
+        // any window holds three mutually matching records.
+        assert_eq!(pruned.stats.comparisons, plain.stats.comparisons);
+        assert_eq!(
+            pruned.stats.comparisons,
+            pruned.stats.rule_evaluations + pruned.stats.pairs_pruned
+        );
+        assert!(pruned.stats.pairs_pruned > 0, "no pruning on a 60%-dup DB?");
+
+        // The closure over emitted pairs is identical.
+        let mut uf_plain = UnionFind::new(db.records.len());
+        for (a, b) in plain.pairs.iter() {
+            uf_plain.union(a, b);
+        }
+        assert_eq!(uf.classes(), uf_plain.classes());
     }
 }

@@ -1,8 +1,21 @@
 //! The merge phase: fixed-size window scanning over a sorted record order.
 
-use mp_closure::PairSet;
+use mp_closure::{PairSet, UnionFind};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
+
+/// Work accounting of one pruned window scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCounts {
+    /// Candidate pairs the window produced (the §3.5 `(w−1)(N − w/2)`
+    /// quantity — identical whether or not pruning is enabled).
+    pub comparisons: u64,
+    /// Pairs actually handed to the equational theory.
+    pub rule_evaluations: u64,
+    /// Pairs skipped because both records were already in the same
+    /// equivalence class. `comparisons == rule_evaluations + pairs_pruned`.
+    pub pairs_pruned: u64,
+}
 
 /// Slides a `window`-record window over `order` (indices into `records`,
 /// already sorted by key) and applies `theory` to every pair inside the
@@ -37,6 +50,65 @@ pub fn window_scan(
         }
     }
     comparisons
+}
+
+/// Like [`window_scan`], but skips rule evaluation for pairs whose records
+/// are already connected in `uf`, and unions every match into `uf` as it is
+/// found.
+///
+/// This applies the paper's §3.3 transitive-closure insight *inside* the
+/// scan rather than only after it: once `a≡b` and `b≡c` are known, the
+/// window pair `(a, c)` needs no rule evaluation — connectivity already
+/// implies it contributes nothing new to the closure. Kejriwal & Miranker
+/// ("On the Complexity of Sorted Neighborhood") show such redundant
+/// re-checks dominate the comparison budget as windows grow; pruning them
+/// changes no closed pair (the closure over emitted matches is identical —
+/// tested) while skipping the expensive equational theory for them.
+///
+/// `uf` must span every record id that can appear (ids are used as
+/// union-find elements). Passing a union-find carried over from previous
+/// passes prunes cross-pass duplicates too — the multi-pass engine does
+/// exactly that.
+///
+/// # Panics
+///
+/// Panics when `window < 2`.
+pub fn window_scan_pruned(
+    records: &[Record],
+    order: &[u32],
+    window: usize,
+    theory: &dyn EquationalTheory,
+    uf: &mut UnionFind,
+    pairs: &mut PairSet,
+) -> ScanCounts {
+    assert!(window >= 2, "window must hold at least two records");
+    let mut counts = ScanCounts::default();
+    // `connected` can only hold between records that have each been merged
+    // at least once, so gate the union-find walk behind one byte load per
+    // endpoint — with sparse duplicates almost every candidate pair
+    // short-circuits here.
+    let mut linked: Vec<bool> = (0..uf.len() as u32).map(|x| !uf.is_singleton(x)).collect();
+    for i in 1..order.len() {
+        let lo = i.saturating_sub(window - 1);
+        let new = &records[order[i] as usize];
+        for &prev in &order[lo..i] {
+            counts.comparisons += 1;
+            let old = &records[prev as usize];
+            let (a, b) = (old.id.0, new.id.0);
+            if linked[a as usize] && linked[b as usize] && uf.connected(a, b) {
+                counts.pairs_pruned += 1;
+                continue;
+            }
+            counts.rule_evaluations += 1;
+            if theory.matches(old, new) {
+                pairs.insert(a, b);
+                uf.union(a, b);
+                linked[a as usize] = true;
+                linked[b as usize] = true;
+            }
+        }
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -139,5 +211,65 @@ mod tests {
         let recs = records(&["A"]);
         let mut pairs = PairSet::new();
         window_scan(&recs, &[0], 1, &SameLast, &mut pairs);
+    }
+
+    #[test]
+    fn pruned_scan_skips_transitively_implied_pairs() {
+        // Three equal records in one window: after 0-1 and 0-2 match, the
+        // 1-2 pair is implied by transitivity and must be pruned.
+        let recs = records(&["A", "A", "A"]);
+        let order: Vec<u32> = (0..3).collect();
+        let mut uf = UnionFind::new(3);
+        let mut pairs = PairSet::new();
+        let counts = window_scan_pruned(&recs, &order, 3, &SameLast, &mut uf, &mut pairs);
+        assert_eq!(counts.comparisons, 3);
+        assert_eq!(counts.rule_evaluations, 2);
+        assert_eq!(counts.pairs_pruned, 1);
+        assert_eq!(
+            counts.comparisons,
+            counts.rule_evaluations + counts.pairs_pruned
+        );
+        // The emitted pairs close to the same classes as the unpruned scan.
+        assert_eq!(uf.classes(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn pruned_scan_same_candidate_count_and_closure_as_unpruned() {
+        let lasts: Vec<&str> = ["A", "B", "A", "C", "B", "A", "C", "C", "B", "A"].to_vec();
+        let recs = records(&lasts);
+        let order: Vec<u32> = (0..recs.len() as u32).collect();
+        for w in [2usize, 4, 8] {
+            let mut plain_pairs = PairSet::new();
+            let plain = window_scan(&recs, &order, w, &SameLast, &mut plain_pairs);
+
+            let mut uf = UnionFind::new(recs.len());
+            let mut pruned_pairs = PairSet::new();
+            let counts =
+                window_scan_pruned(&recs, &order, w, &SameLast, &mut uf, &mut pruned_pairs);
+            assert_eq!(counts.comparisons, plain, "w={w}");
+            assert!(counts.rule_evaluations <= plain);
+
+            // Same closure: union the unpruned pairs and compare classes.
+            let mut uf_plain = UnionFind::new(recs.len());
+            for (a, b) in plain_pairs.iter() {
+                uf_plain.union(a, b);
+            }
+            assert_eq!(uf.classes(), uf_plain.classes(), "w={w}");
+        }
+    }
+
+    #[test]
+    fn pruned_scan_with_preconnected_union_find_prunes_cross_pass() {
+        // Simulates a second pass: the union-find already knows 0≡1.
+        let recs = records(&["A", "A"]);
+        let order = vec![0u32, 1];
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        let mut pairs = PairSet::new();
+        let counts = window_scan_pruned(&recs, &order, 2, &SameLast, &mut uf, &mut pairs);
+        assert_eq!(counts.comparisons, 1);
+        assert_eq!(counts.rule_evaluations, 0);
+        assert_eq!(counts.pairs_pruned, 1);
+        assert!(pairs.is_empty());
     }
 }

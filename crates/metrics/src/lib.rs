@@ -12,6 +12,35 @@
 //! [`MetricsRecorder`] is the default real observer: lock-free atomic
 //! counters plus per-phase monotonic nanosecond totals, aggregated into a
 //! serializable [`PipelineReport`] (the CLI's `--stats` output).
+//!
+//! # The §3.5 cost model, in counters
+//!
+//! The paper's analysis says a `w`-record window sliding over `N` sorted
+//! records performs `Σ_{i=1}^{N−1} min(i, w−1) = (w−1)(N − w/2)` pair
+//! comparisons per pass (for `N ≥ w`). [`Counter::Comparisons`] counts
+//! exactly those candidate pairs, so the closed form is checkable against a
+//! live recorder:
+//!
+//! ```
+//! use mp_metrics::{Counter, MetricsRecorder, PipelineObserver};
+//!
+//! // The window-scan loop reports one comparison per candidate pair; here
+//! // we replay the §3.5 formula the engines produce organically.
+//! let (n, w) = (1_000u64, 10u64);
+//! let comparisons: u64 = (1..n).map(|i| i.min(w - 1)).sum();
+//! assert_eq!(comparisons, (w - 1) * n - (w - 1) * w / 2); // (w−1)(N − w/2)
+//!
+//! let m = MetricsRecorder::new();
+//! m.add(Counter::Comparisons, comparisons);
+//! assert_eq!(m.get(Counter::Comparisons), 8_955);
+//! ```
+//!
+//! With closure-aware pruning, [`Counter::Comparisons`] still counts every
+//! candidate pair the window produces (the formula above holds), while
+//! [`Counter::RuleInvocations`] counts only the pairs actually handed to
+//! the equational theory and [`Counter::PairsPruned`] the pairs skipped
+//! because their records were already in the same equivalence class:
+//! `comparisons == rule_invocations + pairs_pruned` on pruned scans.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -32,6 +61,12 @@ pub enum Counter {
     /// [`Counter::Comparisons`] for window scans, but purge/merge phases may
     /// invoke the theory outside a scan.
     RuleInvocations,
+    /// Candidate pairs skipped by closure-aware pruning: the window
+    /// produced the pair, but its two records were already known to be in
+    /// the same equivalence class, so the (expensive) rule evaluation was
+    /// skipped. Always zero on unpruned scans; on pruned scans
+    /// `comparisons == rule_invocations + pairs_pruned`.
+    PairsPruned,
     /// Matching pairs emitted by passes (deduplicated within a pass).
     Matches,
     /// Pair instances fed to the transitive closure (pass-pair multiset).
@@ -58,10 +93,11 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 13] = [
         Counter::RecordsKeyed,
         Counter::Comparisons,
         Counter::RuleInvocations,
+        Counter::PairsPruned,
         Counter::Matches,
         Counter::ClosureInputPairs,
         Counter::ClosureDedupedPairs,
@@ -79,6 +115,7 @@ impl Counter {
             Counter::RecordsKeyed => "records_keyed",
             Counter::Comparisons => "comparisons",
             Counter::RuleInvocations => "rule_invocations",
+            Counter::PairsPruned => "pairs_pruned",
             Counter::Matches => "matches",
             Counter::ClosureInputPairs => "closure_input_pairs",
             Counter::ClosureDedupedPairs => "closure_deduped_pairs",

@@ -33,30 +33,29 @@ pub use multipass::{
 pub use psort::parallel_sorted_order;
 pub use snm::ParallelSnm;
 
-use merge_purge::KeySpec;
+use merge_purge::{KeyArena, KeySpec};
 use mp_record::Record;
 
 /// Extracts `key` for every record across `procs` worker threads.
-pub(crate) fn parallel_extract_keys(
-    key: &KeySpec,
-    records: &[Record],
-    procs: usize,
-) -> Vec<String> {
+///
+/// Each worker builds a [`KeyArena`] for its contiguous record chunk — one
+/// string buffer plus one span list, no per-record `String` — and the
+/// coordinator concatenates the chunk arenas in fragment order, so the
+/// result is identical to a serial [`KeyArena::extract`].
+pub(crate) fn parallel_extract_keys(key: &KeySpec, records: &[Record], procs: usize) -> KeyArena {
     assert!(procs >= 1, "need at least one processor");
     if records.is_empty() {
-        return Vec::new();
+        return KeyArena::new();
     }
     let chunk = records.len().div_ceil(procs);
-    let mut keys: Vec<String> = vec![String::new(); records.len()];
+    let mut keys = KeyArena::with_capacity(records.len(), 16);
     std::thread::scope(|s| {
-        for (recs, outs) in records.chunks(chunk).zip(keys.chunks_mut(chunk)) {
-            s.spawn(move || {
-                let mut buf = String::new();
-                for (r, o) in recs.iter().zip(outs.iter_mut()) {
-                    key.extract_into(r, &mut buf);
-                    o.push_str(&buf);
-                }
-            });
+        let handles: Vec<_> = records
+            .chunks(chunk)
+            .map(|recs| s.spawn(move || KeyArena::extract(key, recs)))
+            .collect();
+        for h in handles {
+            keys.append(&h.join().expect("key worker panicked"));
         }
     });
     keys
@@ -74,7 +73,10 @@ mod tests {
         let serial: Vec<String> = db.records.iter().map(|r| key.extract(r)).collect();
         for procs in [1, 2, 3, 8] {
             let parallel = parallel_extract_keys(&key, &db.records, procs);
-            assert_eq!(parallel, serial, "procs = {procs}");
+            assert_eq!(parallel.len(), serial.len(), "procs = {procs}");
+            for (i, k) in serial.iter().enumerate() {
+                assert_eq!(parallel.get(i), k, "procs = {procs}, record {i}");
+            }
         }
     }
 

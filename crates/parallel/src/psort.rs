@@ -7,6 +7,7 @@
 //! contiguous chunks rather than round-robin — equivalent work, better
 //! locality on shared memory.
 
+use merge_purge::KeyArena;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -17,7 +18,7 @@ use std::collections::BinaryHeap;
 /// # Panics
 ///
 /// Panics when `procs` is zero.
-pub fn parallel_sorted_order(keys: &[String], procs: usize) -> Vec<u32> {
+pub fn parallel_sorted_order(keys: &KeyArena, procs: usize) -> Vec<u32> {
     assert!(procs >= 1, "need at least one processor");
     let n = keys.len();
     if n == 0 {
@@ -36,7 +37,7 @@ pub fn parallel_sorted_order(keys: &[String], procs: usize) -> Vec<u32> {
                     let mut run: Vec<u32> = (start as u32..end as u32).collect();
                     // Stable within the run; cross-run stability comes from
                     // the merge preferring the lower fragment on ties.
-                    run.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+                    run.sort_by(|&a, &b| keys.get(a as usize).cmp(keys.get(b as usize)));
                     run
                 })
             })
@@ -80,13 +81,13 @@ impl Ord for HeapEntry<'_> {
 
 /// The coordinator's P-way merge ("16-way merge algorithm" in the paper's
 /// footnote; the fan-in here is exactly the number of runs).
-fn merge_runs(keys: &[String], runs: Vec<Vec<u32>>) -> Vec<u32> {
+fn merge_runs(keys: &KeyArena, runs: Vec<Vec<u32>>) -> Vec<u32> {
     let total: usize = runs.iter().map(Vec::len).sum();
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(runs.len());
     for (r, run) in runs.iter().enumerate() {
         if let Some(&idx) = run.first() {
             heap.push(HeapEntry {
-                key: &keys[idx as usize],
+                key: keys.get(idx as usize),
                 index: idx,
                 run: r,
                 pos: 0,
@@ -99,7 +100,7 @@ fn merge_runs(keys: &[String], runs: Vec<Vec<u32>>) -> Vec<u32> {
         let next_pos = top.pos + 1;
         if let Some(&idx) = runs[top.run].get(next_pos) {
             heap.push(HeapEntry {
-                key: &keys[idx as usize],
+                key: keys.get(idx as usize),
                 index: idx,
                 run: top.run,
                 pos: next_pos,
@@ -114,18 +115,23 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn serial_order(keys: &[String]) -> Vec<u32> {
+    fn arena(keys: &[&str]) -> KeyArena {
+        let mut a = KeyArena::new();
+        for k in keys {
+            a.push_str(k);
+        }
+        a
+    }
+
+    fn serial_order(keys: &KeyArena) -> Vec<u32> {
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
-        order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+        order.sort_by(|&a, &b| keys.get(a as usize).cmp(keys.get(b as usize)));
         order
     }
 
     #[test]
     fn matches_serial_sort() {
-        let keys: Vec<String> = ["PEAR", "APPLE", "MANGO", "APPLE", "FIG", "DATE"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let keys = arena(&["PEAR", "APPLE", "MANGO", "APPLE", "FIG", "DATE"]);
         for procs in [1, 2, 3, 4, 6, 9] {
             assert_eq!(parallel_sorted_order(&keys, procs), serial_order(&keys));
         }
@@ -133,21 +139,21 @@ mod tests {
 
     #[test]
     fn stability_on_equal_keys() {
-        let keys: Vec<String> = vec!["X".into(); 50];
+        let keys = arena(&["X"; 50]);
         let order = parallel_sorted_order(&keys, 4);
         assert_eq!(order, (0..50).collect::<Vec<u32>>());
     }
 
     #[test]
     fn empty_and_singleton() {
-        assert!(parallel_sorted_order(&[], 4).is_empty());
-        assert_eq!(parallel_sorted_order(&["A".to_string()], 4), vec![0]);
+        assert!(parallel_sorted_order(&KeyArena::new(), 4).is_empty());
+        assert_eq!(parallel_sorted_order(&arena(&["A"]), 4), vec![0]);
     }
 
     #[test]
     #[should_panic(expected = "at least one processor")]
     fn zero_procs_rejected() {
-        parallel_sorted_order(&[], 0);
+        parallel_sorted_order(&KeyArena::new(), 0);
     }
 
     proptest! {
@@ -156,6 +162,7 @@ mod tests {
             keys in proptest::collection::vec("[A-D]{0,4}", 0..200),
             procs in 1usize..8,
         ) {
+            let keys = arena(&keys.iter().map(String::as_str).collect::<Vec<_>>());
             prop_assert_eq!(
                 parallel_sorted_order(&keys, procs),
                 serial_order(&keys)

@@ -1,65 +1,48 @@
-//! Hand-coded native implementation of the employee theory.
+//! The pre-optimization employee theory, frozen as a benchmark baseline.
 //!
-//! The paper recoded its OPS5 rules "directly in C to obtain speed-up over
-//! the OPS5 implementation" (§2.3, footnote 2). This module is that step:
-//! the same 26 rules as [`crate::employee::EMPLOYEE_RULES_SRC`], written as
-//! straight-line Rust with cheap equality tests first and expensive distance
-//! functions last. A test in this module asserts pair-for-pair agreement
-//! with the interpreted DSL program on generated noisy data, so the two can
-//! never drift apart silently.
+//! [`AllocatingEmployeeTheory`] is the original hand-coded implementation of
+//! the 26-rule employee theory, exactly as it existed before
+//! [`mp_strsim::ScratchBuffers`] was introduced: every distance predicate
+//! calls the free `mp_strsim` functions, which allocate their working
+//! buffers (char vectors, DP rows, match tables) on every invocation. It is
+//! kept so the `pruning` benchmark in `mp-bench` can measure what the
+//! allocation-free hot path saves against a faithful "before" — not a
+//! synthetic strawman.
+//!
+//! Do not use this theory outside benchmarks; [`crate::NativeEmployeeTheory`]
+//! decides identically (a test below keeps the two from drifting apart) and
+//! is strictly faster.
 
 use crate::builtins::shared::{digits_transposed, initials_match, nysiis_eq};
 use crate::EquationalTheory;
 use mp_record::{NicknameTable, Record};
-use mp_strsim::{keyboard_distance, soundex_eq, trigram_similarity, ScratchBuffers};
-use std::cell::RefCell;
+use mp_strsim::{
+    differ_slightly, jaro_winkler, keyboard_distance, levenshtein, normalized_levenshtein,
+    soundex_eq, trigram_similarity,
+};
 
-thread_local! {
-    /// Per-thread distance-kernel scratch. [`EquationalTheory::matches`]
-    /// takes `&self`, so the buffers cannot live in the theory; a
-    /// thread-local gives every worker of the parallel engine (one OS
-    /// thread per pass) its own buffers with no locking and no per-call
-    /// allocation.
-    static SCRATCH: RefCell<ScratchBuffers> = RefCell::new(ScratchBuffers::new());
-}
-
-/// The natively compiled employee theory.
+/// The employee theory with per-call allocating distance kernels.
 ///
-/// ```
-/// use mp_rules::{EquationalTheory, NativeEmployeeTheory};
-/// use mp_record::{Record, RecordId};
-/// let theory = NativeEmployeeTheory::new();
-/// let mut a = Record::empty(RecordId(0));
-/// a.ssn = "123456789".into();
-/// a.last_name = "SMITH".into();
-/// let mut b = a.clone();
-/// b.last_name = "SMYTH".into();
-/// assert!(theory.matches(&a, &b)); // exact_ssn_close_last
-/// ```
+/// Decision-identical to [`crate::NativeEmployeeTheory`]; exists only as the
+/// "before" side of the multi-pass hot-path benchmark.
 #[derive(Debug, Default)]
-pub struct NativeEmployeeTheory {
+pub struct AllocatingEmployeeTheory {
     nicknames: NicknameTable,
 }
 
-impl NativeEmployeeTheory {
-    /// Theory with the standard nickname table.
+impl AllocatingEmployeeTheory {
+    /// Baseline theory with the standard nickname table.
     pub fn new() -> Self {
-        NativeEmployeeTheory {
+        AllocatingEmployeeTheory {
             nicknames: NicknameTable::standard(),
         }
-    }
-
-    /// Theory with a custom nickname table (must mirror the table compiled
-    /// into the DSL program for the two to agree).
-    pub fn with_nicknames(nicknames: NicknameTable) -> Self {
-        NativeEmployeeTheory { nicknames }
     }
 }
 
 /// `edit_sim(a, b) >= threshold` exactly as the DSL computes it.
 #[inline]
-fn edit_sim_ge(s: &mut ScratchBuffers, a: &str, b: &str, threshold: f64) -> bool {
-    s.normalized_levenshtein(a, b) >= threshold
+fn edit_sim_ge(a: &str, b: &str, threshold: f64) -> bool {
+    normalized_levenshtein(a, b) >= threshold
 }
 
 #[inline]
@@ -67,19 +50,9 @@ fn eq_nonempty(a: &str, b: &str) -> bool {
     !a.is_empty() && a == b
 }
 
-impl EquationalTheory for NativeEmployeeTheory {
-    fn matches(&self, r1: &Record, r2: &Record) -> bool {
-        SCRATCH.with(|s| self.matches_with(r1, r2, &mut s.borrow_mut()))
-    }
-
-    fn name(&self) -> &str {
-        "native-employee"
-    }
-}
-
-impl NativeEmployeeTheory {
+impl EquationalTheory for AllocatingEmployeeTheory {
     #[allow(clippy::too_many_lines)] // one block per rule, mirroring the DSL
-    fn matches_with(&self, r1: &Record, r2: &Record, s: &mut ScratchBuffers) -> bool {
+    fn matches(&self, r1: &Record, r2: &Record) -> bool {
         // Precompute the cheap equalities most rules consult.
         let same_ssn = eq_nonempty(&r1.ssn, &r2.ssn);
         let same_last = eq_nonempty(&r1.last_name, &r2.last_name);
@@ -89,11 +62,11 @@ impl NativeEmployeeTheory {
 
         // -- Group A: SSN-anchored ------------------------------------------
         // exact_ssn_close_last
-        if same_ssn && s.differ_slightly(&r1.last_name, &r2.last_name, 0.4) {
+        if same_ssn && differ_slightly(&r1.last_name, &r2.last_name, 0.4) {
             return true;
         }
         // exact_ssn_close_first
-        if same_ssn && s.differ_slightly(&r1.first_name, &r2.first_name, 0.4) {
+        if same_ssn && differ_slightly(&r1.first_name, &r2.first_name, 0.4) {
             return true;
         }
         // exact_ssn_same_zip
@@ -102,8 +75,8 @@ impl NativeEmployeeTheory {
         }
         // ssn_transposed_close_names
         if digits_transposed(&r1.ssn, &r2.ssn)
-            && s.differ_slightly(&r1.last_name, &r2.last_name, 0.3)
-            && (s.differ_slightly(&r1.first_name, &r2.first_name, 0.3)
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.3)
+            && (differ_slightly(&r1.first_name, &r2.first_name, 0.3)
                 || initials_match(&r1.first_name, &r2.first_name)
                 || self.nicknames.equivalent(&r1.first_name, &r2.first_name))
         {
@@ -112,8 +85,8 @@ impl NativeEmployeeTheory {
         // ssn_one_digit_off_same_address
         if same_street_no
             && !r1.street_number.is_empty()
-            && s.levenshtein(&r1.ssn, &r2.ssn) <= 1
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
+            && levenshtein(&r1.ssn, &r2.ssn) <= 1
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
         {
             return true;
         }
@@ -122,8 +95,8 @@ impl NativeEmployeeTheory {
         // same_last_close_first_same_address (the paper's worked example)
         if same_last
             && same_street_no
-            && s.differ_slightly(&r1.first_name, &r2.first_name, 0.3)
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
+            && differ_slightly(&r1.first_name, &r2.first_name, 0.3)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
         {
             return true;
         }
@@ -131,8 +104,8 @@ impl NativeEmployeeTheory {
         if same_first
             && !r1.first_name.is_empty()
             && same_street_no
-            && s.differ_slightly(&r1.last_name, &r2.last_name, 0.25)
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.25)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
         {
             return true;
         }
@@ -141,9 +114,9 @@ impl NativeEmployeeTheory {
             && !r1.zip.is_empty()
             && same_street_no
             && r1.zip == r2.zip
-            && s.differ_slightly(&r1.last_name, &r2.last_name, 0.25)
-            && s.differ_slightly(&r1.first_name, &r2.first_name, 0.25)
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.7)
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.25)
+            && differ_slightly(&r1.first_name, &r2.first_name, 0.25)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.7)
         {
             return true;
         }
@@ -155,7 +128,7 @@ impl NativeEmployeeTheory {
         if same_last
             && same_street_no
             && self.nicknames.equivalent(&r1.first_name, &r2.first_name)
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
         {
             return true;
         }
@@ -163,7 +136,7 @@ impl NativeEmployeeTheory {
         if same_last
             && same_street_no
             && initials_match(&r1.first_name, &r2.first_name)
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.85)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.85)
         {
             return true;
         }
@@ -174,7 +147,7 @@ impl NativeEmployeeTheory {
             && !r1.first_name.is_empty()
             && same_street_no
             && soundex_eq(&r1.last_name, &r2.last_name)
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
         {
             return true;
         }
@@ -191,7 +164,7 @@ impl NativeEmployeeTheory {
             && same_street_no
             && soundex_eq(&r1.last_name, &r2.last_name)
             && soundex_eq(&r1.first_name, &r2.first_name)
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.75)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.75)
         {
             return true;
         }
@@ -209,9 +182,9 @@ impl NativeEmployeeTheory {
         // jaro_names_same_address
         if same_street_no
             && !r1.street_number.is_empty()
-            && s.jaro_winkler(&r1.last_name, &r2.last_name) >= 0.92
-            && s.jaro_winkler(&r1.first_name, &r2.first_name) >= 0.9
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.7)
+            && jaro_winkler(&r1.last_name, &r2.last_name) >= 0.92
+            && jaro_winkler(&r1.first_name, &r2.first_name) >= 0.9
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.7)
         {
             return true;
         }
@@ -229,7 +202,7 @@ impl NativeEmployeeTheory {
         if same_last
             && same_first
             && !r1.first_name.is_empty()
-            && s.levenshtein(&r1.ssn, &r2.ssn) <= 2
+            && levenshtein(&r1.ssn, &r2.ssn) <= 2
         {
             return true;
         }
@@ -238,7 +211,7 @@ impl NativeEmployeeTheory {
             && same_first
             && !r1.first_name.is_empty()
             && eq_nonempty(&r1.middle_initial, &r2.middle_initial)
-            && s.levenshtein(&r1.ssn, &r2.ssn) <= 3
+            && levenshtein(&r1.ssn, &r2.ssn) <= 3
         {
             return true;
         }
@@ -248,8 +221,8 @@ impl NativeEmployeeTheory {
         if same_last
             && same_first
             && same_street_no
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
-            && s.differ_slightly(&r1.city, &r2.city, 0.35)
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
+            && differ_slightly(&r1.city, &r2.city, 0.35)
         {
             return true;
         }
@@ -257,8 +230,8 @@ impl NativeEmployeeTheory {
         if same_last
             && same_first
             && same_street_no
-            && s.levenshtein(&r1.zip, &r2.zip) <= 2
-            && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
+            && levenshtein(&r1.zip, &r2.zip) <= 2
+            && edit_sim_ge(&r1.street_name, &r2.street_name, 0.8)
         {
             return true;
         }
@@ -289,9 +262,9 @@ impl NativeEmployeeTheory {
         // apartment_anchor_close_names
         if eq_nonempty(&r1.apartment, &r2.apartment)
             && same_street_no
-            && s.differ_slightly(&r1.last_name, &r2.last_name, 0.3)
+            && differ_slightly(&r1.last_name, &r2.last_name, 0.3)
             && (initials_match(&r1.first_name, &r2.first_name)
-                || s.differ_slightly(&r1.first_name, &r2.first_name, 0.3))
+                || differ_slightly(&r1.first_name, &r2.first_name, 0.3))
         {
             return true;
         }
@@ -308,25 +281,28 @@ impl NativeEmployeeTheory {
 
         false
     }
+
+    fn name(&self) -> &str {
+        "native-employee-allocating"
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::employee::employee_program;
+    use crate::NativeEmployeeTheory;
     use mp_datagen::{DatabaseGenerator, ErrorProfile, GeneratorConfig};
-    use mp_record::RecordId;
 
-    /// The load-bearing test: interpreted DSL and native Rust must agree on
-    /// every pair of a noisy generated database.
+    /// The baseline must never drift from the optimized theory: both must
+    /// decide every pair of a noisy generated database identically.
     #[test]
-    fn native_agrees_with_dsl_on_generated_pairs() {
-        let dsl = employee_program();
+    fn baseline_agrees_with_scratch_theory_on_generated_pairs() {
+        let baseline = AllocatingEmployeeTheory::new();
         let native = NativeEmployeeTheory::new();
         for (seed, profile) in [
-            (101, ErrorProfile::light()),
-            (102, ErrorProfile::default()),
-            (103, ErrorProfile::heavy()),
+            (201, ErrorProfile::light()),
+            (202, ErrorProfile::default()),
+            (203, ErrorProfile::heavy()),
         ] {
             let db = DatabaseGenerator::new(
                 GeneratorConfig::new(60)
@@ -338,71 +314,15 @@ mod tests {
             .generate();
             let records = &db.records;
             for i in 0..records.len() {
-                // Dense window: all pairs within distance 8, plus same-entity
-                // pairs anywhere.
                 for j in i + 1..records.len().min(i + 9) {
                     let (a, b) = (&records[i], &records[j]);
                     assert_eq!(
-                        dsl.matches(a, b),
+                        baseline.matches(a, b),
                         native.matches(a, b),
-                        "disagreement (seed {seed}) on {:?} vs {:?}",
-                        a,
-                        b
+                        "baseline drifted from native theory (seed {seed}) on {a:?} vs {b:?}"
                     );
                 }
             }
         }
-    }
-
-    #[test]
-    fn native_is_symmetric_on_generated_pairs() {
-        let native = NativeEmployeeTheory::new();
-        let db = DatabaseGenerator::new(
-            GeneratorConfig::new(80)
-                .duplicate_fraction(0.8)
-                .errors(ErrorProfile::heavy())
-                .seed(104),
-        )
-        .generate();
-        for w in db.records.windows(2) {
-            assert_eq!(native.matches(&w[0], &w[1]), native.matches(&w[1], &w[0]));
-        }
-    }
-
-    #[test]
-    fn spot_checks() {
-        let t = NativeEmployeeTheory::new();
-        let mut a = Record::empty(RecordId(0));
-        a.ssn = "123456789".into();
-        a.first_name = "WILLIAM".into();
-        a.last_name = "TURNER".into();
-        a.street_number = "9".into();
-        a.street_name = "ELM STREET".into();
-        a.zip = "10001".into();
-
-        // nickname + same last + same zip
-        let mut b = a.clone();
-        b.ssn = "000000000".into();
-        b.first_name = "BILL".into();
-        assert!(t.matches(&a, &b));
-
-        // swapped first/middle with same ssn
-        let mut c = a.clone();
-        c.middle_initial = "WILLIAM".into();
-        c.first_name = "Q".into();
-        let mut a2 = a.clone();
-        a2.middle_initial = "Q".into();
-        assert!(t.matches(&a2, &c));
-
-        // unrelated
-        let mut z = Record::empty(RecordId(1));
-        z.ssn = "555555555".into();
-        z.first_name = "AGATHA".into();
-        z.last_name = "VILLANUEVA".into();
-        z.street_number = "777".into();
-        z.street_name = "OCEAN PARKWAY".into();
-        z.zip = "90210".into();
-        assert!(!t.matches(&a, &z));
-        assert_eq!(t.name(), "native-employee");
     }
 }

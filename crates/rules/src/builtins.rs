@@ -46,15 +46,25 @@ fn initials_match(a: &str, b: &str) -> bool {
 /// Returns `true` when the two strings are permutations of each other at
 /// Damerau distance exactly 1 — i.e. a single adjacent transposition, the
 /// §2.4 SSN error.
+///
+/// Equivalently: the strings differ in exactly one pair of adjacent
+/// positions, and that pair is swapped. This runs on every window pair (it
+/// anchors the SSN-transposition rule), so it is written as a single
+/// allocation-free scan rather than the sort-and-damerau definition.
 fn digits_transposed(a: &str, b: &str) -> bool {
     if a == b || a.len() != b.len() {
         return false;
     }
-    let mut ca: Vec<char> = a.chars().collect();
-    let mut cb: Vec<char> = b.chars().collect();
-    ca.sort_unstable();
-    cb.sort_unstable();
-    ca == cb && ss::damerau_levenshtein(a, b) == 1
+    let mut pairs = a.chars().zip(b.chars());
+    while let Some((x, y)) = pairs.next() {
+        if x != y {
+            return match pairs.next() {
+                Some((x2, y2)) => x2 == y && y2 == x && pairs.all(|(p, q)| p == q),
+                None => false,
+            };
+        }
+    }
+    false
 }
 
 fn char_prefix(s: &str, n: usize) -> &str {

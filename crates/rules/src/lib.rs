@@ -66,6 +66,7 @@
 //! ```
 
 pub mod ast;
+pub mod baseline;
 pub mod builtins;
 pub mod display;
 pub mod employee;
@@ -78,6 +79,7 @@ pub mod token;
 pub mod value;
 
 pub use ast::{Expr, Program, PurgeSpec, Rule, Survivorship};
+pub use baseline::AllocatingEmployeeTheory;
 pub use display::{print_program, programs_equivalent};
 pub use employee::{employee_program, EMPLOYEE_RULES_SRC};
 pub use eval::RuleProgram;

@@ -16,6 +16,24 @@
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    let w = b.len() + 1;
+    damerau_impl(
+        &a,
+        &b,
+        &mut Vec::with_capacity(w),
+        &mut Vec::with_capacity(w),
+        &mut Vec::with_capacity(w),
+    )
+}
+
+/// Three-rolling-row DP over char slices; the rows are caller scratch.
+pub(crate) fn damerau_impl(
+    a: &[char],
+    b: &[char],
+    prev2: &mut Vec<usize>,
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -24,9 +42,12 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     }
     let w = b.len() + 1;
     // Three rolling rows: i-2, i-1, i.
-    let mut prev2: Vec<usize> = vec![0; w];
-    let mut prev: Vec<usize> = (0..w).collect();
-    let mut cur: Vec<usize> = vec![0; w];
+    prev2.clear();
+    prev2.resize(w, 0);
+    prev.clear();
+    prev.extend(0..w);
+    cur.clear();
+    cur.resize(w, 0);
     for i in 1..=a.len() {
         cur[0] = i;
         for j in 1..=b.len() {
@@ -37,8 +58,8 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
             }
             cur[j] = d;
         }
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, cur);
     }
     prev[b.len()]
 }

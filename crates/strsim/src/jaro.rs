@@ -14,6 +14,18 @@
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    jaro_impl(&a, &b, &mut Vec::new(), &mut Vec::new(), &mut Vec::new())
+}
+
+/// Jaro over char slices; `b_used`, `matches_a`, `matches_b` are caller
+/// scratch.
+pub(crate) fn jaro_impl(
+    a: &[char],
+    b: &[char],
+    b_used: &mut Vec<bool>,
+    matches_a: &mut Vec<char>,
+    matches_b: &mut Vec<char>,
+) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -21,8 +33,9 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
+    b_used.clear();
+    b_used.resize(b.len(), false);
+    matches_a.clear();
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
@@ -38,11 +51,12 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> = b
-        .iter()
-        .zip(b_used.iter())
-        .filter_map(|(&c, &used)| used.then_some(c))
-        .collect();
+    matches_b.clear();
+    matches_b.extend(
+        b.iter()
+            .zip(b_used.iter())
+            .filter_map(|(&c, &used)| used.then_some(c)),
+    );
     let transpositions = matches_a
         .iter()
         .zip(matches_b.iter())

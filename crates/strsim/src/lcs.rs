@@ -11,12 +11,24 @@
 pub fn lcs_length(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    lcs_impl(&a, &b, &mut Vec::new(), &mut Vec::new())
+}
+
+/// Two-row DP over char slices; `prev` and `cur` are caller scratch.
+pub(crate) fn lcs_impl(
+    a: &[char],
+    b: &[char],
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> usize {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
-    let mut prev = vec![0usize; b.len() + 1];
-    let mut cur = vec![0usize; b.len() + 1];
-    for &ca in &a {
+    prev.clear();
+    prev.resize(b.len() + 1, 0);
+    cur.clear();
+    cur.resize(b.len() + 1, 0);
+    for &ca in a {
         for (j, &cb) in b.iter().enumerate() {
             cur[j + 1] = if ca == cb {
                 prev[j] + 1
@@ -24,7 +36,7 @@ pub fn lcs_length(a: &str, b: &str) -> usize {
                 prev[j + 1].max(cur[j])
             };
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     prev[b.len()]
 }

@@ -43,7 +43,7 @@ impl EditBuffer {
     }
 }
 
-fn normalize(distance: usize, a_len: usize, b_len: usize) -> f64 {
+pub(crate) fn normalize(distance: usize, a_len: usize, b_len: usize) -> f64 {
     let max = a_len.max(b_len);
     if max == 0 {
         1.0
@@ -52,8 +52,9 @@ fn normalize(distance: usize, a_len: usize, b_len: usize) -> f64 {
     }
 }
 
-/// Single-row DP over char slices. `row` is caller-provided scratch.
-fn distance_impl(a: &[char], b: &[char], row: &mut Vec<usize>) -> usize {
+/// Single-row DP over element slices (chars, or raw bytes when both inputs
+/// are known ASCII). `row` is caller-provided scratch.
+pub(crate) fn distance_impl<T: PartialEq + Copy>(a: &[T], b: &[T], row: &mut Vec<usize>) -> usize {
     // Iterate over the shorter string in the inner dimension to minimize the
     // row we keep live.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
@@ -86,7 +87,9 @@ fn distance_impl(a: &[char], b: &[char], row: &mut Vec<usize>) -> usize {
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let mut row = Vec::new();
+    // Pre-size the DP row: `distance_impl` iterates the shorter string in
+    // the inner dimension, so the row holds `min + 1` entries.
+    let mut row = Vec::with_capacity(a.len().min(b.len()) + 1);
     distance_impl(&a, &b, &mut row)
 }
 
@@ -102,11 +105,18 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() {
-        (&a, &b)
-    } else {
-        (&b, &a)
-    };
+    let mut row = Vec::with_capacity(a.len().min(b.len()) + 1);
+    bounded_impl(&a, &b, max, &mut row)
+}
+
+/// Bounded DP over element slices with early exit. `row` is caller scratch.
+pub(crate) fn bounded_impl<T: PartialEq + Copy>(
+    a: &[T],
+    b: &[T],
+    max: usize,
+    row: &mut Vec<usize>,
+) -> Option<usize> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     // The distance is at least the length difference.
     if long.len() - short.len() > max {
         return None;
@@ -114,7 +124,8 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     if short.is_empty() {
         return Some(long.len());
     }
-    let mut row: Vec<usize> = (0..=short.len()).collect();
+    row.clear();
+    row.extend(0..=short.len());
     for (i, &lc) in long.iter().enumerate() {
         let mut prev_diag = row[0];
         row[0] = i + 1;
@@ -198,6 +209,19 @@ mod tests {
     #[test]
     fn bounded_rejects_on_length_gap() {
         assert_eq!(levenshtein_bounded("AB", "ABCDEFGH", 3), None);
+    }
+
+    #[test]
+    fn bounded_early_exit_at_max_threshold() {
+        // Equal lengths, so the length-gap check cannot reject: the
+        // row-minimum early exit must fire mid-DP.
+        assert_eq!(levenshtein_bounded("AAAAAA", "BBBBBB", 3), None);
+        // The tightest accepting threshold is max == d; one below rejects.
+        assert_eq!(levenshtein_bounded("AAAAAA", "BBBBBB", 6), Some(6));
+        assert_eq!(levenshtein_bounded("AAAAAA", "BBBBBB", 5), None);
+        // max == 0 degenerates to an equality test.
+        assert_eq!(levenshtein_bounded("SMITH", "SMITH", 0), Some(0));
+        assert_eq!(levenshtein_bounded("SMITH", "SMYTH", 0), None);
     }
 
     #[test]

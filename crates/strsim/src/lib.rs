@@ -23,6 +23,12 @@
 //!   default), robust to block transpositions.
 //! * [`lcs_length`] / [`lcs_similarity`] — longest common subsequence.
 //!
+//! The free functions above decode and allocate per call, which is fine for
+//! one-off use. Hot loops — a window scan evaluates the equational theory on
+//! millions of pairs — should hold a [`ScratchBuffers`] (one per worker
+//! thread) whose methods compute the same results allocation-free, or an
+//! [`EditBuffer`] when only edit distance is needed.
+//!
 //! All functions operate on `&str` and are Unicode-correct at the `char`
 //! level; the merge/purge pipeline upper-cases ASCII data before matching, so
 //! the hot paths are effectively ASCII.
@@ -44,6 +50,7 @@ mod lcs;
 mod levenshtein;
 mod ngram;
 mod nysiis;
+mod scratch;
 mod soundex;
 
 pub use damerau::damerau_levenshtein;
@@ -53,6 +60,7 @@ pub use lcs::{lcs_length, lcs_similarity};
 pub use levenshtein::{levenshtein, levenshtein_bounded, normalized_levenshtein, EditBuffer};
 pub use ngram::{ngram_similarity, trigram_similarity};
 pub use nysiis::nysiis;
+pub use scratch::ScratchBuffers;
 pub use soundex::{soundex, soundex_eq};
 
 /// Returns `true` when two strings are within the given normalized edit

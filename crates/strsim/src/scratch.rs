@@ -1,0 +1,254 @@
+//! Reusable scratch space making every distance kernel allocation-free.
+
+use crate::damerau::damerau_impl;
+use crate::jaro::jaro_impl;
+use crate::lcs::lcs_impl;
+use crate::levenshtein::{bounded_impl, distance_impl, normalize};
+
+/// Strips the common prefix and suffix of two slices. Edit distance is
+/// invariant under this (those positions never contribute an edit), and the
+/// conditioned records the hot loop compares are near-duplicates, so the
+/// surviving DP problem is usually tiny.
+fn trim_common<'s>(mut a: &'s [u8], mut b: &'s [u8]) -> (&'s [u8], &'s [u8]) {
+    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    a = &a[prefix..];
+    b = &b[prefix..];
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    (&a[..a.len() - suffix], &b[..b.len() - suffix])
+}
+
+/// Reusable work buffers for the whole distance-kernel family.
+///
+/// Every free function in this crate decodes its arguments into fresh
+/// `Vec<char>`s and allocates DP rows per call. Inside a window scan that
+/// evaluates the equational theory millions of times, those allocations
+/// dominate the constant factor the paper calls `c_wscan`. A
+/// `ScratchBuffers` owns one copy of every buffer the kernels need; each
+/// method clears and reuses them, so after warm-up no call allocates.
+///
+/// Keep one instance per worker thread (the rule engine keeps one per OS
+/// thread in a thread-local) — the buffers are cheap to create but are only
+/// profitable when reused.
+///
+/// Results are bit-identical to the free functions:
+///
+/// ```
+/// use mp_strsim::{jaro_winkler, levenshtein, ScratchBuffers};
+///
+/// let mut scratch = ScratchBuffers::new();
+/// assert_eq!(scratch.levenshtein("KITTEN", "SITTING"), 3);
+/// assert_eq!(scratch.levenshtein("KITTEN", "SITTING"), levenshtein("KITTEN", "SITTING"));
+/// assert_eq!(scratch.jaro_winkler("MARTHA", "MARHTA"), jaro_winkler("MARTHA", "MARHTA"));
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchBuffers {
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+    row_a: Vec<usize>,
+    row_b: Vec<usize>,
+    row_c: Vec<usize>,
+    b_used: Vec<bool>,
+    match_a: Vec<char>,
+    match_b: Vec<char>,
+}
+
+impl ScratchBuffers {
+    /// Creates empty buffers; they grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes `a` and `b` into the owned char buffers.
+    fn decode(&mut self, a: &str, b: &str) {
+        self.a_chars.clear();
+        self.a_chars.extend(a.chars());
+        self.b_chars.clear();
+        self.b_chars.extend(b.chars());
+    }
+
+    /// Allocation-free [`crate::levenshtein`].
+    pub fn levenshtein(&mut self, a: &str, b: &str) -> usize {
+        if a.is_ascii() && b.is_ascii() {
+            let (a, b) = trim_common(a.as_bytes(), b.as_bytes());
+            return distance_impl(a, b, &mut self.row_a);
+        }
+        self.decode(a, b);
+        distance_impl(&self.a_chars, &self.b_chars, &mut self.row_a)
+    }
+
+    /// Allocation-free [`crate::levenshtein_bounded`].
+    pub fn levenshtein_bounded(&mut self, a: &str, b: &str, max: usize) -> Option<usize> {
+        if a.is_ascii() && b.is_ascii() {
+            let (a, b) = trim_common(a.as_bytes(), b.as_bytes());
+            return bounded_impl(a, b, max, &mut self.row_a);
+        }
+        self.decode(a, b);
+        bounded_impl(&self.a_chars, &self.b_chars, max, &mut self.row_a)
+    }
+
+    /// Allocation-free [`crate::normalized_levenshtein`].
+    pub fn normalized_levenshtein(&mut self, a: &str, b: &str) -> f64 {
+        if a.is_ascii() && b.is_ascii() {
+            // For ASCII the byte count is the char count, so the trimmed
+            // distance normalizes against the original byte lengths.
+            let (ta, tb) = trim_common(a.as_bytes(), b.as_bytes());
+            let d = distance_impl(ta, tb, &mut self.row_a);
+            return normalize(d, a.len(), b.len());
+        }
+        self.decode(a, b);
+        let d = distance_impl(&self.a_chars, &self.b_chars, &mut self.row_a);
+        normalize(d, self.a_chars.len(), self.b_chars.len())
+    }
+
+    /// Allocation-free [`crate::differ_slightly`].
+    pub fn differ_slightly(&mut self, a: &str, b: &str, threshold: f64) -> bool {
+        self.normalized_levenshtein(a, b) >= 1.0 - threshold
+    }
+
+    /// Allocation-free [`crate::damerau_levenshtein`].
+    pub fn damerau_levenshtein(&mut self, a: &str, b: &str) -> usize {
+        self.decode(a, b);
+        damerau_impl(
+            &self.a_chars,
+            &self.b_chars,
+            &mut self.row_a,
+            &mut self.row_b,
+            &mut self.row_c,
+        )
+    }
+
+    /// Allocation-free [`crate::jaro`].
+    pub fn jaro(&mut self, a: &str, b: &str) -> f64 {
+        self.decode(a, b);
+        jaro_impl(
+            &self.a_chars,
+            &self.b_chars,
+            &mut self.b_used,
+            &mut self.match_a,
+            &mut self.match_b,
+        )
+    }
+
+    /// Allocation-free [`crate::jaro_winkler`].
+    pub fn jaro_winkler(&mut self, a: &str, b: &str) -> f64 {
+        let j = self.jaro(a, b);
+        let prefix = self
+            .a_chars
+            .iter()
+            .zip(self.b_chars.iter())
+            .take(4)
+            .take_while(|(x, y)| x == y)
+            .count();
+        j + prefix as f64 * 0.1 * (1.0 - j)
+    }
+
+    /// Allocation-free [`crate::lcs_length`].
+    pub fn lcs_length(&mut self, a: &str, b: &str) -> usize {
+        self.decode(a, b);
+        lcs_impl(
+            &self.a_chars,
+            &self.b_chars,
+            &mut self.row_a,
+            &mut self.row_b,
+        )
+    }
+
+    /// Allocation-free [`crate::lcs_similarity`].
+    pub fn lcs_similarity(&mut self, a: &str, b: &str) -> f64 {
+        let l = self.lcs_length(a, b);
+        let max = self.a_chars.len().max(self.b_chars.len());
+        if max == 0 {
+            1.0
+        } else {
+            l as f64 / max as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        damerau_levenshtein, differ_slightly, jaro, jaro_winkler, lcs_length, lcs_similarity,
+        levenshtein, levenshtein_bounded, normalized_levenshtein,
+    };
+
+    /// Name pairs spanning the interesting shapes: equal, empty, unicode,
+    /// transposed, disjoint, and length-skewed.
+    const PAIRS: &[(&str, &str)] = &[
+        ("KITTEN", "SITTING"),
+        ("MARTHA", "MARHTA"),
+        ("DIXON", "DICKSONX"),
+        ("", ""),
+        ("", "ABC"),
+        ("ABC", ""),
+        ("SAME", "SAME"),
+        ("AB", "BA"),
+        ("café", "cafe"),
+        ("MAIN STREET", "MN ST"),
+        ("HERNANDEZ", "HERNANDES"),
+        ("A", "ZZZZZZZZZZ"),
+    ];
+
+    #[test]
+    fn scratch_matches_free_functions_across_reuse() {
+        // One scratch reused across every pair — stale state from a previous
+        // call must never leak into the next result.
+        let mut s = ScratchBuffers::new();
+        for &(a, b) in PAIRS {
+            assert_eq!(s.levenshtein(a, b), levenshtein(a, b), "{a:?} {b:?}");
+            assert_eq!(
+                s.damerau_levenshtein(a, b),
+                damerau_levenshtein(a, b),
+                "{a:?} {b:?}"
+            );
+            assert_eq!(s.jaro(a, b).to_bits(), jaro(a, b).to_bits(), "{a:?} {b:?}");
+            assert_eq!(
+                s.jaro_winkler(a, b).to_bits(),
+                jaro_winkler(a, b).to_bits(),
+                "{a:?} {b:?}"
+            );
+            assert_eq!(s.lcs_length(a, b), lcs_length(a, b), "{a:?} {b:?}");
+            assert_eq!(
+                s.lcs_similarity(a, b).to_bits(),
+                lcs_similarity(a, b).to_bits(),
+                "{a:?} {b:?}"
+            );
+            assert_eq!(
+                s.normalized_levenshtein(a, b).to_bits(),
+                normalized_levenshtein(a, b).to_bits(),
+                "{a:?} {b:?}"
+            );
+            for max in 0..4 {
+                assert_eq!(
+                    s.levenshtein_bounded(a, b, max),
+                    levenshtein_bounded(a, b, max),
+                    "{a:?} {b:?} max={max}"
+                );
+            }
+            assert_eq!(
+                s.differ_slightly(a, b, 0.25),
+                differ_slightly(a, b, 0.25),
+                "{a:?} {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_inputs_do_not_reuse_stale_tail() {
+        let mut s = ScratchBuffers::new();
+        // Long pair first grows every buffer...
+        assert_eq!(s.levenshtein("ABCDEFGHIJ", "ABCDEFGHIJKLM"), 3);
+        assert_eq!(s.damerau_levenshtein("ABCDEFGHIJ", "BACDEFGHIJ"), 1);
+        // ...then short pairs must still be exact.
+        assert_eq!(s.levenshtein("A", "B"), 1);
+        assert_eq!(s.damerau_levenshtein("AB", "BA"), 1);
+        assert_eq!(s.lcs_length("A", "A"), 1);
+        assert_eq!(s.jaro("", ""), 1.0);
+    }
+}

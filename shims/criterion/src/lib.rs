@@ -76,7 +76,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine` [`RUNS`] times (plus one untimed warm-up) and
+    /// Times `routine` `RUNS` (= 3) times (plus one untimed warm-up) and
     /// records the best run.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         black_box(routine());

@@ -292,7 +292,7 @@ pub mod seq {
 pub mod distributions {
     use super::{RngCore, Standard};
 
-    /// A distribution that can be sampled with any [`Rng`].
+    /// A distribution that can be sampled with any [`crate::Rng`].
     pub trait Distribution<T> {
         /// Draws one value.
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;

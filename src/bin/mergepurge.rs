@@ -54,13 +54,20 @@ commands:
   generate  --out FILE [--records N] [--duplicates F] [--max-dups K] [--seed S]
   dedupe    --input FILE [--rules FILE] [--window W] [--keys a,b,c]
             [--pairs-out FILE] [--classes-out FILE] [--eval] [--stats FILE]
+            [--no-prune]
   purge     --input FILE --out FILE [--rules FILE] [--window W] [--keys a,b,c]
-            [--stats FILE]
+            [--stats FILE] [--no-prune]
   explain   --input FILE --a ID --b ID [--rules FILE]
 
 --stats FILE writes a JSON pipeline report (comparison, match, and closure
 counters plus per-phase nanosecond timings) collected by mp-metrics. The
-counter section is deterministic for a fixed input and configuration.
+counter section is deterministic for a fixed input and configuration. See
+docs/METRICS.md for the schema.
+
+--no-prune disables closure-aware pruning: by default window pairs already
+known to be duplicates (transitively, across passes) skip rule evaluation,
+reported as the pairs_pruned counter. Pruning never changes the closed
+pairs, so the final groups are identical either way.
 
 keys: comma-separated from {last_name, first_name, address, ssn};
       default last_name,first_name,address (the paper's three runs).
@@ -198,6 +205,9 @@ fn run_passes(
     let keys = parse_keys(flags)?;
     let theory = Theory::load(flags)?;
     let mut pipeline = MergePurge::new(theory.as_dyn());
+    if flags.has("no-prune") {
+        pipeline = pipeline.without_pruning();
+    }
     for key in keys {
         pipeline = pipeline.pass(key, window);
     }
@@ -225,11 +235,12 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
     );
     for pass in &result.passes {
         println!(
-            "  pass [{:>10}] w={:<3} {:>8} pairs, {:>10} comparisons, {:?}",
+            "  pass [{:>10}] w={:<3} {:>8} pairs, {:>10} comparisons, {:>10} pruned, {:?}",
             pass.key_name,
             pass.window,
             pass.pairs.len(),
             pass.stats.comparisons,
+            pass.stats.pairs_pruned,
             pass.stats.total()
         );
     }

@@ -237,3 +237,77 @@ fn stats_counters_byte_identical_across_cli_runs() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Extracts one counter value from a `--stats` JSON report.
+fn counter_value(json: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\": ");
+    let idx = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("counter {name} missing from report"));
+    json[idx + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn pruned_cli_run_skips_rule_work_but_matches_unpruned_pairs() {
+    let dir = std::env::temp_dir().join(format!("mp-prune-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db10k.mp");
+    let out = bin()
+        .args(["generate", "--out", db.to_str().unwrap()])
+        .args(["--records", "10000", "--duplicates", "0.3", "--seed", "7"])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut reports = Vec::new();
+    let mut pairs = Vec::new();
+    for mode in ["pruned", "plain"] {
+        let stats = dir.join(format!("stats-{mode}.json"));
+        let pairs_out = dir.join(format!("pairs-{mode}.txt"));
+        let mut cmd = bin();
+        cmd.args(["dedupe", "--input", db.to_str().unwrap()])
+            .args(["--stats", stats.to_str().unwrap()])
+            .args(["--pairs-out", pairs_out.to_str().unwrap()]);
+        if mode == "plain" {
+            cmd.arg("--no-prune");
+        }
+        let out = cmd.output().expect("run dedupe");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        reports.push(std::fs::read_to_string(&stats).unwrap());
+        pairs.push(std::fs::read(&pairs_out).unwrap());
+    }
+    let (pruned, plain) = (&reports[0], &reports[1]);
+
+    // The final answer is byte-identical; only the work differs.
+    assert_eq!(pairs[0], pairs[1], "closed pairs must not change");
+    assert_eq!(
+        counter_value(pruned, "comparisons"),
+        counter_value(plain, "comparisons"),
+        "pruning must not change the candidate pair count"
+    );
+    assert!(counter_value(pruned, "pairs_pruned") > 0);
+    assert_eq!(counter_value(plain, "pairs_pruned"), 0);
+    assert!(
+        counter_value(pruned, "rule_invocations") < counter_value(plain, "rule_invocations"),
+        "pruning must evaluate strictly fewer pairs"
+    );
+    assert_eq!(
+        counter_value(pruned, "rule_invocations") + counter_value(pruned, "pairs_pruned"),
+        counter_value(pruned, "comparisons")
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
