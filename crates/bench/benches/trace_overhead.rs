@@ -1,0 +1,70 @@
+//! Tracing overhead benchmark: the multi-pass hot path with structured
+//! tracing enabled (timed spans + sampled rule-latency histogram) must stay
+//! within a few percent of the untraced run. Spans wrap whole phases, never
+//! the inner comparison loop, and latency sampling times only every
+//! `LATENCY_SAMPLE_MASK + 1`-th rule evaluation, so the per-pair cost is a
+//! mask test plus, rarely, two `Instant::now` calls.
+//!
+//! `cargo run --release -p mp-bench --bin tracing` runs the same workload
+//! longer, asserts the <3% bound, and writes `BENCH_tracing.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use merge_purge::MultiPass;
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_metrics::{MetricsRecorder, NoopObserver};
+use mp_rules::NativeEmployeeTheory;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut db = DatabaseGenerator::new(
+        GeneratorConfig::new(10_000)
+            .duplicate_fraction(0.5)
+            .max_duplicates_per_record(5)
+            .seed(7),
+    )
+    .generate();
+    mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
+    let theory = NativeEmployeeTheory::new();
+    let passes = MultiPass::standard_three(6);
+
+    let mut g = c.benchmark_group("trace_overhead");
+
+    g.bench_function("noop_observer", |b| {
+        b.iter(|| {
+            black_box(
+                passes
+                    .run_observed(&db.records, &theory, &NoopObserver)
+                    .closed_pairs
+                    .len(),
+            )
+        });
+    });
+
+    let counters = MetricsRecorder::new();
+    g.bench_function("counters_only", |b| {
+        b.iter(|| {
+            black_box(
+                passes
+                    .run_observed(&db.records, &theory, &counters)
+                    .closed_pairs
+                    .len(),
+            )
+        });
+    });
+
+    g.bench_function("counters_spans_latency", |b| {
+        b.iter(|| {
+            let traced = MetricsRecorder::new().with_tracing();
+            let n = passes
+                .run_observed(&db.records, &theory, &traced)
+                .closed_pairs
+                .len();
+            black_box(traced.drain_spans().len());
+            black_box(n)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Tracing overhead measurement: structured tracing must cost <3% on the
+//! multi-pass hot path.
+//!
+//! Runs the paper's three standard passes over one seeded database in three
+//! observer configurations:
+//!
+//! 1. `noop`    — [`mp_metrics::NoopObserver`]: every observer hook is a
+//!    no-op; this is the plain `run` path.
+//! 2. `counters` — a live [`mp_metrics::MetricsRecorder`]: bulk atomic adds
+//!    at phase boundaries.
+//! 3. `traced`  — the recorder with tracing enabled: timed spans around
+//!    every phase plus the sampled rule-evaluation latency histogram
+//!    (every `LATENCY_SAMPLE_MASK + 1`-th evaluation is timed).
+//!
+//! The closed pairs of all three runs are asserted identical; the headline
+//! number is the noop → traced wall-clock overhead, asserted under the
+//! bound and written to `BENCH_tracing.json`.
+//!
+//! Usage: `cargo run --release -p mp-bench --bin tracing
+//!         [--records N] [--window W] [--duplicates F] [--max-dups K]
+//!         [--seed S] [--iters K] [--bound PCT] [--out FILE]`
+
+use merge_purge::{MultiPass, MultiPassResult};
+use mp_bench::Args;
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_metrics::{MetricsRecorder, NoopObserver, PipelineObserver, LATENCY_SAMPLE_MASK};
+use mp_record::Record;
+use mp_rules::NativeEmployeeTheory;
+use std::time::{Duration, Instant};
+
+/// One timed multi-pass run; span draining is included in the timed region
+/// (it is part of what a traced run pays at run end).
+fn timed(
+    passes: &MultiPass,
+    records: &[Record],
+    theory: &NativeEmployeeTheory,
+    observer: &dyn PipelineObserver,
+) -> (Duration, MultiPassResult, usize) {
+    let t = Instant::now();
+    let r = passes.run_observed(records, theory, observer);
+    let spans: usize = observer
+        .tracer()
+        .map(|tr| tr.drain().iter().map(|t| t.spans.len()).sum())
+        .unwrap_or(0);
+    (t.elapsed(), r, spans)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let originals: usize = args.get("records", 10_000);
+    let window: usize = args.get("window", 6);
+    let duplicates: f64 = args.get("duplicates", 0.5);
+    let max_dups: usize = args.get("max-dups", 5);
+    let seed: u64 = args.get("seed", 7);
+    let iters: usize = args.get("iters", 15);
+    let bound_pct: f64 = args.get("bound", 3.0);
+    let out: String = args.get("out", "BENCH_tracing.json".to_string());
+
+    let mut db = DatabaseGenerator::new(
+        GeneratorConfig::new(originals)
+            .duplicate_fraction(duplicates)
+            .max_duplicates_per_record(max_dups)
+            .seed(seed),
+    )
+    .generate();
+    mp_record::normalize::condition_all(&mut db.records, &mp_record::NicknameTable::standard());
+    println!(
+        "# tracing overhead — {} records ({} originals), window {window}, 3 passes, best of {iters}",
+        db.records.len(),
+        originals
+    );
+
+    let theory = NativeEmployeeTheory::new();
+    let passes = MultiPass::standard_three(window);
+    let counters = MetricsRecorder::new();
+
+    // Interleave the three configurations within each iteration — and
+    // rotate their order every iteration — so slow drift in machine load
+    // or clock speed hits all of them equally. The overhead estimate is
+    // the *median of per-iteration ratios*: the three legs of one
+    // iteration run back to back, so a load spike inflates numerator and
+    // denominator together and cancels, where a ratio of overall bests
+    // would compare timings taken seconds apart.
+    let mut best = [Duration::MAX; 3];
+    let mut results: [Option<MultiPassResult>; 3] = [None, None, None];
+    let mut ratios_counters = Vec::with_capacity(iters);
+    let mut ratios_traced = Vec::with_capacity(iters);
+    let mut span_count = 0usize;
+    for i in 0..iters.max(1) {
+        let mut leg_time = [Duration::ZERO; 3];
+        for leg in 0..3 {
+            let leg = (leg + i) % 3;
+            let (t, r, spans) = match leg {
+                0 => timed(&passes, &db.records, &theory, &NoopObserver),
+                1 => timed(&passes, &db.records, &theory, &counters),
+                _ => {
+                    let traced = MetricsRecorder::new().with_tracing();
+                    timed(&passes, &db.records, &theory, &traced)
+                }
+            };
+            span_count = span_count.max(spans);
+            leg_time[leg] = t;
+            best[leg] = best[leg].min(t);
+            results[leg] = Some(r);
+        }
+        ratios_counters.push(leg_time[1].as_secs_f64() / leg_time[0].as_secs_f64());
+        ratios_traced.push(leg_time[2].as_secs_f64() / leg_time[0].as_secs_f64());
+    }
+    let [best_noop, best_counters, best_traced] = best;
+    let [noop, _, traced] = results.map(|r| r.expect("at least one iteration"));
+
+    assert_eq!(
+        noop.closed_pairs.sorted(),
+        traced.closed_pairs.sorted(),
+        "tracing changed the closed pairs"
+    );
+
+    fn median(v: &mut [f64]) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        v[v.len() / 2]
+    }
+    let overhead_counters = 100.0 * (median(&mut ratios_counters) - 1.0);
+    let overhead_traced = 100.0 * (median(&mut ratios_traced) - 1.0);
+    let evaluations: u64 = traced.passes.iter().map(|p| p.stats.rule_evaluations).sum();
+    let sampled = evaluations / (LATENCY_SAMPLE_MASK + 1);
+
+    println!("noop observer:            {best_noop:>12.3?}");
+    println!("counters only:            {best_counters:>12.3?}  ({overhead_counters:+.2}%)");
+    println!(
+        "counters + spans + hist:  {best_traced:>12.3?}  ({overhead_traced:+.2}%, \
+         {span_count} spans, ~{sampled} latency samples)"
+    );
+    assert!(
+        overhead_traced < bound_pct,
+        "tracing overhead {overhead_traced:.2}% exceeds the {bound_pct}% bound"
+    );
+    println!("tracing overhead {overhead_traced:.2}% < {bound_pct}% bound");
+
+    let json = format!(
+        "{{\n  \"records\": {},\n  \"window\": {window},\n  \"passes\": 3,\n  \"iters\": {iters},\n  \
+         \"noop_best_ns\": {},\n  \"counters_best_ns\": {},\n  \"traced_best_ns\": {},\n  \
+         \"overhead_counters_pct\": {overhead_counters:.4},\n  \
+         \"overhead_traced_pct\": {overhead_traced:.4},\n  \"bound_pct\": {bound_pct},\n  \
+         \"spans_per_run\": {span_count},\n  \"rule_evaluations\": {evaluations},\n  \
+         \"latency_samples_per_run\": {sampled},\n  \"closed_pairs\": {},\n  \
+         \"closed_pairs_identical\": true\n}}\n",
+        db.records.len(),
+        best_noop.as_nanos(),
+        best_counters.as_nanos(),
+        best_traced.as_nanos(),
+        noop.closed_pairs.len(),
+    );
+    std::fs::write(&out, json).expect("write bench report");
+    println!("wrote {out}");
+}

@@ -3,10 +3,10 @@
 
 use crate::key::{KeyArena, KeySpec};
 use crate::snm::{PassResult, PassStats};
-use crate::window::{window_scan, window_scan_pruned};
+use crate::window::{window_scan_hooked, window_scan_pruned_hooked};
 use mp_closure::{PairSet, UnionFind};
 use mp_cluster::{KeyHistogram, RangePartition};
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver, ScanHooks};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -130,9 +130,14 @@ impl ClusteringMethod {
         observer: &dyn PipelineObserver,
     ) -> PassResult {
         let mut stats = PassStats::default();
+        let _pass_span = span_labeled(observer, "pass", || {
+            format!("{} w={} clustered", self.key.name(), self.config.window)
+        });
+        let hooks = ScanHooks::from_observer(observer);
 
         // Phase 1: extract keys, build histogram, partition, assign.
         let t0 = Instant::now();
+        let _key_span = span(observer, "key_build");
         let keys = KeyArena::extract(&self.key, records);
         let truncated: Vec<&str> = keys
             .iter()
@@ -145,40 +150,59 @@ impl ClusteringMethod {
         for (i, t) in truncated.iter().enumerate() {
             clusters[partition.cluster_of(t)].push(i as u32);
         }
+        drop(_key_span);
         stats.create_keys = t0.elapsed();
         observer.add(Counter::RecordsKeyed, records.len() as u64);
         observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
 
-        // Phase 2+3: per-cluster sort on the fixed-size key, then scan.
-        let mut pairs = PairSet::new();
-        for cluster in &mut clusters {
-            let t1 = Instant::now();
-            cluster.sort_by(|&a, &b| truncated[a as usize].cmp(truncated[b as usize]));
-            stats.sort += t1.elapsed();
+        // Phase 2: per-cluster sort on the fixed-size key. The sorts are
+        // independent of the scans, so they run together under one span.
+        let t1 = Instant::now();
+        {
+            let _s = span(observer, "sort");
+            for cluster in &mut clusters {
+                cluster.sort_by(|&a, &b| truncated[a as usize].cmp(truncated[b as usize]));
+            }
+        }
+        stats.sort = t1.elapsed();
 
-            let t2 = Instant::now();
+        // Phase 3: per-cluster window scans (in cluster order, so pruning
+        // sees matches from earlier clusters).
+        let mut pairs = PairSet::new();
+        let t2 = Instant::now();
+        let _scan_span = span(observer, "window_scan");
+        for cluster in &clusters {
             match uf.as_deref_mut() {
                 Some(uf) => {
-                    let counts = window_scan_pruned(
+                    let counts = window_scan_pruned_hooked(
                         records,
                         cluster,
                         self.config.window,
                         theory,
                         uf,
                         &mut pairs,
+                        &hooks,
                     );
                     stats.comparisons += counts.comparisons;
                     stats.rule_evaluations += counts.rule_evaluations;
                     stats.pairs_pruned += counts.pairs_pruned;
                 }
                 None => {
-                    let c = window_scan(records, cluster, self.config.window, theory, &mut pairs);
+                    let c = window_scan_hooked(
+                        records,
+                        cluster,
+                        self.config.window,
+                        theory,
+                        &mut pairs,
+                        &hooks,
+                    );
                     stats.comparisons += c;
                     stats.rule_evaluations += c;
                 }
             }
-            stats.window_scan += t2.elapsed();
         }
+        drop(_scan_span);
+        stats.window_scan = t2.elapsed();
         stats.matches = pairs.len();
         observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
         observer.phase_ns(Phase::WindowScan, stats.window_scan.as_nanos() as u64);

@@ -19,7 +19,7 @@
 use crate::key::{KeyArena, KeySpec};
 use crate::snm::{PassResult, PassStats};
 use mp_closure::PairSet;
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver, ScanHooks};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -86,10 +86,17 @@ impl MergeScanSnm {
         observer: &dyn PipelineObserver,
     ) -> PassResult {
         let mut stats = PassStats::default();
+        let _pass_span = span_labeled(observer, "pass", || {
+            format!("{} w={} merge-fused", self.key.name(), self.window)
+        });
+        let hooks = ScanHooks::from_observer(observer);
 
         // Phase 1: keys.
         let t0 = Instant::now();
-        let keys = KeyArena::extract(&self.key, records);
+        let keys = {
+            let _s = span(observer, "key_build");
+            KeyArena::extract(&self.key, records)
+        };
         stats.create_keys = t0.elapsed();
         observer.add(Counter::RecordsKeyed, records.len() as u64);
         observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
@@ -97,6 +104,7 @@ impl MergeScanSnm {
         // Phase 2+3 fused: bottom-up merge sort; every merge level scans
         // its output with the window.
         let t1 = Instant::now();
+        let _scan_span = span(observer, "window_scan");
         let mut pairs = PairSet::new();
         let n = records.len();
         let mut runs: Vec<Vec<u32>> = (0..n)
@@ -106,7 +114,7 @@ impl MergeScanSnm {
                 let mut run: Vec<u32> = (start as u32..end as u32).collect();
                 run.sort_by(|&a, &b| keys.get(a as usize).cmp(keys.get(b as usize)));
                 // Scan the initial run too (it is the first "merge output").
-                stats.comparisons += scan(records, &run, self.window, theory, &mut pairs);
+                stats.comparisons += scan(records, &run, self.window, theory, &mut pairs, &hooks);
                 run
             })
             .collect();
@@ -119,7 +127,7 @@ impl MergeScanSnm {
                     Some(b) => {
                         let merged = merge(&keys, &a, &b);
                         stats.comparisons +=
-                            scan(records, &merged, self.window, theory, &mut pairs);
+                            scan(records, &merged, self.window, theory, &mut pairs, &hooks);
                         next.push(merged);
                     }
                     None => next.push(a),
@@ -127,6 +135,7 @@ impl MergeScanSnm {
             }
             runs = next;
         }
+        drop(_scan_span);
         stats.window_scan = t1.elapsed();
         stats.rule_evaluations = stats.comparisons;
         stats.matches = pairs.len();
@@ -170,8 +179,9 @@ fn scan(
     window: usize,
     theory: &dyn EquationalTheory,
     pairs: &mut PairSet,
+    hooks: &ScanHooks<'_>,
 ) -> u64 {
-    crate::window::window_scan(records, order, window, theory, pairs)
+    crate::window::window_scan_hooked(records, order, window, theory, pairs, hooks)
 }
 
 #[cfg(test)]

@@ -5,9 +5,12 @@ use crate::clustering::{ClusteringConfig, ClusteringMethod};
 use crate::key::KeySpec;
 use crate::snm::{PassResult, SortedNeighborhood};
 use mp_closure::{PairSet, UnionFind};
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{
+    span, AttributionReport, Counter, NoopObserver, PassAttribution, Phase, PipelineObserver,
+};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// How one pass of a multi-pass run executes.
@@ -69,6 +72,9 @@ pub struct MultiPassResult {
     pub classes: Vec<Vec<u32>>,
     /// Time spent computing the transitive closure.
     pub closure_time: Duration,
+    /// Per-pass provenance: which pass first found each matched pair, and
+    /// how many pairs each pass contributed that no other pass found.
+    pub attribution: AttributionReport,
 }
 
 impl MultiPassResult {
@@ -214,7 +220,9 @@ impl MultiPass {
             .iter()
             .map(|p| p.run(records, theory, uf.as_mut(), observer))
             .collect();
-        Self::close_observed(records.len(), passes, observer)
+        let result = Self::close_observed(records.len(), passes, observer);
+        observer.run_complete();
+        result
     }
 
     /// Computes the closure over already-executed passes (used by the
@@ -233,15 +241,23 @@ impl MultiPass {
         observer: &dyn PipelineObserver,
     ) -> MultiPassResult {
         let t0 = Instant::now();
+        let _closure_span = span(observer, "closure_merge");
         let mut uf = UnionFind::new(universe);
         let mut input_pairs = 0u64;
         let mut redundant_pairs = 0u64;
-        for p in &passes {
+        // Provenance: for every distinct matched pair, the earliest pass
+        // that found it and how many passes found it in total.
+        let mut provenance: HashMap<u64, (u32, u32)> = HashMap::new();
+        for (pass_idx, p) in passes.iter().enumerate() {
             for (a, b) in p.pairs.iter() {
                 input_pairs += 1;
                 if !uf.union(a, b) {
                     redundant_pairs += 1;
                 }
+                let entry = provenance
+                    .entry((u64::from(a) << 32) | u64::from(b))
+                    .or_insert((pass_idx as u32, 0));
+                entry.1 += 1;
             }
         }
         let classes = uf.classes();
@@ -253,6 +269,30 @@ impl MultiPass {
                 }
             }
         }
+        let mut attribution = AttributionReport {
+            passes: passes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| PassAttribution {
+                    pass: i,
+                    key: p.key_name.clone(),
+                    window: p.window,
+                    pairs_found: p.pairs.len() as u64,
+                    pairs_first_found: 0,
+                    pairs_unique: 0,
+                })
+                .collect(),
+            distinct_matched_pairs: provenance.len() as u64,
+            closure_inferred_pairs: closed_pairs.len() as u64 - provenance.len() as u64,
+        };
+        for &(first, occurrences) in provenance.values() {
+            let pa = &mut attribution.passes[first as usize];
+            pa.pairs_first_found += 1;
+            if occurrences == 1 {
+                pa.pairs_unique += 1;
+            }
+        }
+        drop(_closure_span);
         let closure_time = t0.elapsed();
         observer.add(Counter::ClosureInputPairs, input_pairs);
         observer.add(Counter::ClosureDedupedPairs, redundant_pairs);
@@ -263,6 +303,7 @@ impl MultiPass {
             closed_pairs,
             classes,
             closure_time,
+            attribution,
         }
     }
 }
@@ -376,6 +417,58 @@ mod tests {
         assert!(pruned_skips > 0, "expected cross-pass pruning");
         assert!(pruned_evals < sum(&plain, |s| s.rule_evaluations));
         assert_eq!(pruned_evals + pruned_skips, sum(&pruned, |s| s.comparisons));
+    }
+
+    #[test]
+    fn attribution_accounts_for_every_distinct_pair() {
+        let db = db(700, 57);
+        let theory = NativeEmployeeTheory::new();
+        let result = MultiPass::standard_three(10).run(&db.records, &theory);
+        let attr = &result.attribution;
+        assert_eq!(attr.passes.len(), 3);
+        assert_eq!(attr.passes[0].key, "last-name");
+        assert_eq!(attr.passes[0].window, 10);
+
+        // First-found counts partition the distinct pair set.
+        let first_found: u64 = attr.passes.iter().map(|p| p.pairs_first_found).sum();
+        assert_eq!(first_found, attr.distinct_matched_pairs);
+        assert_eq!(
+            attr.distinct_matched_pairs,
+            result.union_pair_count() as u64
+        );
+        assert_eq!(
+            attr.closure_inferred_pairs,
+            result.closed_pairs.len() as u64 - attr.distinct_matched_pairs
+        );
+        for p in &attr.passes {
+            assert!(p.pairs_unique <= p.pairs_first_found);
+            assert!(p.pairs_first_found <= p.pairs_found);
+        }
+        // Pass 0 is first in order, so everything it found it found first.
+        assert_eq!(attr.passes[0].pairs_first_found, attr.passes[0].pairs_found);
+        // With three different keys some overlap and some unique finds are
+        // both expected on a 50%-duplicate database.
+        assert!(attr.passes.iter().any(|p| p.pairs_unique > 0));
+        assert!(attr
+            .passes
+            .iter()
+            .any(|p| p.pairs_unique < p.pairs_found || p.pairs_first_found < p.pairs_found));
+    }
+
+    #[test]
+    fn pruned_attribution_is_disjoint_by_construction() {
+        // Under pruning a pair reaching a later pass would have been pruned
+        // if any earlier pass had connected its records, so every emitted
+        // pair is first-found and unique.
+        let db = db(500, 58);
+        let theory = NativeEmployeeTheory::new();
+        let result = MultiPass::standard_three(10)
+            .with_pruning()
+            .run(&db.records, &theory);
+        for p in &result.attribution.passes {
+            assert_eq!(p.pairs_found, p.pairs_first_found);
+            assert_eq!(p.pairs_found, p.pairs_unique);
+        }
     }
 
     #[test]

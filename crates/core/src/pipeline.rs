@@ -3,7 +3,7 @@
 use crate::clustering::ClusteringConfig;
 use crate::key::KeySpec;
 use crate::multipass::{MultiPass, MultiPassResult, PassConfig};
-use mp_metrics::{NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, NoopObserver, Phase, PipelineObserver};
 use mp_record::{normalize, NicknameTable, Record, SpellCorrector};
 use mp_rules::EquationalTheory;
 
@@ -121,6 +121,7 @@ impl<'t> MergePurge<'t> {
         records: &mut [Record],
         observer: &dyn PipelineObserver,
     ) -> MergePurgeResult {
+        let _run_span = span(observer, "run");
         let t0 = std::time::Instant::now();
         if self.condition {
             normalize::condition_all(records, &self.nicknames);

@@ -1,9 +1,9 @@
 //! The sorted-neighborhood method (§2.2): create keys → sort → window scan.
 
 use crate::key::{KeyArena, KeySpec};
-use crate::window::{window_scan, window_scan_pruned};
+use crate::window::{window_scan_hooked, window_scan_pruned_hooked};
 use mp_closure::{PairSet, UnionFind};
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver, ScanHooks};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::{Duration, Instant};
@@ -140,10 +140,17 @@ impl SortedNeighborhood {
         observer: &dyn PipelineObserver,
     ) -> PassResult {
         let mut stats = PassStats::default();
+        let _pass_span = span_labeled(observer, "pass", || {
+            format!("{} w={}", self.key.name(), self.window)
+        });
+        let hooks = ScanHooks::from_observer(observer);
 
         // Phase 1: create keys.
         let t0 = Instant::now();
-        let keys = KeyArena::extract(&self.key, records);
+        let keys = {
+            let _s = span(observer, "key_build");
+            KeyArena::extract(&self.key, records)
+        };
         stats.create_keys = t0.elapsed();
         observer.add(Counter::RecordsKeyed, records.len() as u64);
         observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
@@ -151,27 +158,40 @@ impl SortedNeighborhood {
         // Phase 2: sort (indices by key; stable so equal keys keep input
         // order, making runs deterministic).
         let t1 = Instant::now();
-        let order = sorted_order(&keys);
+        let order = {
+            let _s = span(observer, "sort");
+            sorted_order(&keys)
+        };
         stats.sort = t1.elapsed();
         observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
 
         // Phase 3: merge via window scan, pruned when a union-find was
         // provided.
         let t2 = Instant::now();
+        let _scan_span = span(observer, "window_scan");
         let mut pairs = PairSet::new();
         match uf {
             Some(uf) => {
-                let counts =
-                    window_scan_pruned(records, &order, self.window, theory, uf, &mut pairs);
+                let counts = window_scan_pruned_hooked(
+                    records,
+                    &order,
+                    self.window,
+                    theory,
+                    uf,
+                    &mut pairs,
+                    &hooks,
+                );
                 stats.comparisons = counts.comparisons;
                 stats.rule_evaluations = counts.rule_evaluations;
                 stats.pairs_pruned = counts.pairs_pruned;
             }
             None => {
-                stats.comparisons = window_scan(records, &order, self.window, theory, &mut pairs);
+                stats.comparisons =
+                    window_scan_hooked(records, &order, self.window, theory, &mut pairs, &hooks);
                 stats.rule_evaluations = stats.comparisons;
             }
         }
+        drop(_scan_span);
         stats.window_scan = t2.elapsed();
         stats.matches = pairs.len();
         observer.add(Counter::Comparisons, stats.comparisons);

@@ -1,8 +1,32 @@
 //! The merge phase: fixed-size window scanning over a sorted record order.
 
 use mp_closure::{PairSet, UnionFind};
+use mp_metrics::{ScanHooks, LATENCY_SAMPLE_MASK};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
+use std::time::Instant;
+
+/// Evaluates the theory on one candidate pair, timing every
+/// [`LATENCY_SAMPLE_MASK`]`+1`-th evaluation into the latency histogram
+/// when one is hooked. `n` is the pre-increment evaluation ordinal.
+#[inline]
+fn eval_pair(
+    theory: &dyn EquationalTheory,
+    old: &Record,
+    new: &Record,
+    hooks: &ScanHooks<'_>,
+    n: u64,
+) -> bool {
+    if let Some(h) = hooks.latency {
+        if n & LATENCY_SAMPLE_MASK == 0 {
+            let t = Instant::now();
+            let matched = theory.matches(old, new);
+            h.record(t.elapsed().as_nanos() as u64);
+            return matched;
+        }
+    }
+    theory.matches(old, new)
+}
 
 /// Work accounting of one pruned window scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,17 +60,39 @@ pub fn window_scan(
     theory: &dyn EquationalTheory,
     pairs: &mut PairSet,
 ) -> u64 {
+    window_scan_hooked(records, order, window, theory, pairs, &ScanHooks::none())
+}
+
+/// [`window_scan`] with optional per-comparison instrumentation: sampled
+/// rule-evaluation latencies and progress heartbeats. With empty `hooks`
+/// the inner loop is identical to [`window_scan`]'s (two `None` branches
+/// per window position).
+///
+/// # Panics
+///
+/// Panics when `window < 2`.
+pub fn window_scan_hooked(
+    records: &[Record],
+    order: &[u32],
+    window: usize,
+    theory: &dyn EquationalTheory,
+    pairs: &mut PairSet,
+    hooks: &ScanHooks<'_>,
+) -> u64 {
     assert!(window >= 2, "window must hold at least two records");
     let mut comparisons = 0u64;
     for i in 1..order.len() {
         let lo = i.saturating_sub(window - 1);
         let new = &records[order[i] as usize];
         for &prev in &order[lo..i] {
-            comparisons += 1;
             let old = &records[prev as usize];
-            if theory.matches(old, new) {
+            if eval_pair(theory, old, new, hooks, comparisons) {
                 pairs.insert(old.id.0, new.id.0);
             }
+            comparisons += 1;
+        }
+        if let Some(p) = hooks.progress {
+            p.tick((i - lo) as u64);
         }
     }
     comparisons
@@ -81,6 +127,33 @@ pub fn window_scan_pruned(
     uf: &mut UnionFind,
     pairs: &mut PairSet,
 ) -> ScanCounts {
+    window_scan_pruned_hooked(
+        records,
+        order,
+        window,
+        theory,
+        uf,
+        pairs,
+        &ScanHooks::none(),
+    )
+}
+
+/// [`window_scan_pruned`] with optional per-comparison instrumentation
+/// (see [`window_scan_hooked`]).
+///
+/// # Panics
+///
+/// Panics when `window < 2`.
+#[allow(clippy::too_many_arguments)] // the hooked variant of an established signature
+pub fn window_scan_pruned_hooked(
+    records: &[Record],
+    order: &[u32],
+    window: usize,
+    theory: &dyn EquationalTheory,
+    uf: &mut UnionFind,
+    pairs: &mut PairSet,
+    hooks: &ScanHooks<'_>,
+) -> ScanCounts {
     assert!(window >= 2, "window must hold at least two records");
     let mut counts = ScanCounts::default();
     // `connected` can only hold between records that have each been merged
@@ -99,13 +172,16 @@ pub fn window_scan_pruned(
                 counts.pairs_pruned += 1;
                 continue;
             }
-            counts.rule_evaluations += 1;
-            if theory.matches(old, new) {
+            if eval_pair(theory, old, new, hooks, counts.rule_evaluations) {
                 pairs.insert(a, b);
                 uf.union(a, b);
                 linked[a as usize] = true;
                 linked[b as usize] = true;
             }
+            counts.rule_evaluations += 1;
+        }
+        if let Some(p) = hooks.progress {
+            p.tick((i - lo) as u64);
         }
     }
     counts

@@ -5,7 +5,7 @@ use crate::sorter::ExternalSorter;
 use crate::{ExternalConfig, ExternalOutcome};
 use merge_purge::KeySpec;
 use mp_closure::PairSet;
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::collections::VecDeque;
@@ -61,6 +61,9 @@ impl ExternalSnm {
         theory: &dyn EquationalTheory,
         observer: &dyn PipelineObserver,
     ) -> io::Result<ExternalOutcome> {
+        let _run_span = span_labeled(observer, "run", || {
+            format!("extsort {} w={}", self.sorter.key().name(), self.window)
+        });
         let sorted = self.sorter.sort_observed(input, work_dir, true, observer)?;
         let mut io_stats = sorted.io;
         observer.add(Counter::RecordsKeyed, sorted.records as u64);
@@ -68,6 +71,7 @@ impl ExternalSnm {
         // Final pass: streaming window scan over the sorted run.
         io_stats.sweeps += 1;
         let t_scan = Instant::now();
+        let _scan_span = span(observer, "window_scan");
         let mut reader = RunReader::open(&sorted.path)?;
         let mut window: VecDeque<Record> = VecDeque::with_capacity(self.window);
         let mut pairs = PairSet::new();
@@ -80,15 +84,20 @@ impl ExternalSnm {
                     pairs.insert(old.id.0, new.id.0);
                 }
             }
+            if let Some(pm) = observer.progress() {
+                pm.tick(window.len() as u64);
+            }
             if window.len() == self.window - 1 {
                 window.pop_front();
             }
             window.push_back(new);
         }
+        drop(_scan_span);
         observer.phase_ns(Phase::WindowScan, t_scan.elapsed().as_nanos() as u64);
         observer.add(Counter::Comparisons, comparisons);
         observer.add(Counter::RuleInvocations, comparisons);
         observer.add(Counter::Matches, pairs.len() as u64);
+        observer.run_complete();
 
         let records = sorted.records;
         sorted.cleanup();

@@ -3,7 +3,7 @@
 use crate::runfile::{RunReader, RunWriter};
 use crate::{ExternalConfig, IoStats};
 use merge_purge::KeySpec;
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::{io as rio, Record};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -80,6 +80,7 @@ impl ExternalSorter {
         observer: &dyn PipelineObserver,
     ) -> io::Result<SortedRun> {
         std::fs::create_dir_all(work_dir)?;
+        let _ext_span = span(observer, "extsort");
         let mut io_stats = IoStats::default();
         let mut temp_files = Vec::new();
 
@@ -98,6 +99,7 @@ impl ExternalSorter {
         let mut chunk: Vec<Record> = Vec::with_capacity(self.config.memory_records);
         let mut done = false;
         while !done {
+            let run_span = span_labeled(observer, "run_gen", || format!("run {}", runs.len()));
             chunk.clear();
             while chunk.len() < self.config.memory_records {
                 match stream.next() {
@@ -128,7 +130,9 @@ impl ExternalSorter {
                 })
                 .collect();
             keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            drop(run_span);
 
+            let _spill_span = span_labeled(observer, "spill", || format!("run {}", runs.len()));
             let path = work_dir.join(format!("run-{}-{}.tmp", runs.len(), std::process::id()));
             let mut w = RunWriter::create(&path)?;
             for (key, i) in &keyed {
@@ -143,6 +147,7 @@ impl ExternalSorter {
 
         // Merge levels: F runs at a time until one remains.
         let t_merge = Instant::now();
+        let _merge_span = span(observer, "merge");
         let mut merge_inputs = 0u64;
         let mut level = 0usize;
         while runs.len() > 1 {
@@ -161,6 +166,7 @@ impl ExternalSorter {
             level += 1;
             runs = next;
         }
+        drop(_merge_span);
         observer.add(Counter::MergeFanIn, merge_inputs);
         observer.add(Counter::BytesSpilled, bytes_spilled);
         observer.phase_ns(Phase::RunMerge, t_merge.elapsed().as_nanos() as u64);

@@ -47,6 +47,16 @@ use std::time::Instant;
 
 use serde::Serialize;
 
+pub use mp_trace::{
+    chrome_trace_json, HistogramSnapshot, LatencyHistogram, ProgressMeter, SpanGuard, SpanNode,
+    TraceCollector, TrackSpans, LATENCY_SAMPLE_MASK,
+};
+
+/// Version of the `--stats` JSON report layout. Bumped to 2 when the span
+/// tree, attribution, rule-firing, and latency sections were added (the
+/// schema-1 `counters`/`phases_ns` sections are unchanged).
+pub const REPORT_SCHEMA: u32 = 2;
+
 /// Monotonic event counters the engines report.
 ///
 /// Counters are additive across passes and workers: a three-pass run
@@ -206,6 +216,80 @@ pub trait PipelineObserver: Send + Sync {
     fn phase_ns(&self, phase: Phase, ns: u64) {
         let _ = (phase, ns);
     }
+
+    /// The span collector, when structured tracing is enabled. Engines open
+    /// spans through [`span`]/[`span_labeled`], so the disabled path costs
+    /// exactly this one `None` branch.
+    #[inline]
+    fn tracer(&self) -> Option<&TraceCollector> {
+        None
+    }
+
+    /// Histogram receiving sampled rule-evaluation latencies, when enabled.
+    #[inline]
+    fn rule_latency(&self) -> Option<&LatencyHistogram> {
+        None
+    }
+
+    /// Progress heartbeat meter, when enabled.
+    #[inline]
+    fn progress(&self) -> Option<&ProgressMeter> {
+        None
+    }
+
+    /// Called once when a pipeline run finishes, after all counters are in.
+    /// Implementations may validate cross-counter invariants here (see
+    /// [`MetricsRecorder::check_invariants`]).
+    #[inline]
+    fn run_complete(&self) {}
+}
+
+/// Opens a named span on `observer`'s collector; `None` (one branch, no
+/// allocation) when tracing is disabled.
+#[inline]
+pub fn span(observer: &dyn PipelineObserver, name: &'static str) -> Option<SpanGuard> {
+    observer.tracer().map(|t| t.span(name))
+}
+
+/// Like [`span`], with a dynamic label (key name, fragment index, …). The
+/// label closure only runs when tracing is enabled.
+#[inline]
+pub fn span_labeled(
+    observer: &dyn PipelineObserver,
+    name: &'static str,
+    label: impl FnOnce() -> String,
+) -> Option<SpanGuard> {
+    observer.tracer().map(|t| t.span_labeled(name, label()))
+}
+
+/// Optional per-comparison instrumentation threaded into window scans.
+///
+/// Bundles the (rare) hooks that must be consulted inside the scan's inner
+/// loop, so the scan signature stays stable as hooks are added. Both fields
+/// are `None` in un-instrumented runs and the whole struct is two words;
+/// checking it costs one branch per hook.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanHooks<'a> {
+    /// Sampled rule-evaluation latency histogram (sites time every
+    /// [`LATENCY_SAMPLE_MASK`]`+1`-th evaluation).
+    pub latency: Option<&'a LatencyHistogram>,
+    /// Progress meter ticked once per window position.
+    pub progress: Option<&'a ProgressMeter>,
+}
+
+impl<'a> ScanHooks<'a> {
+    /// No instrumentation (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The hooks `observer` exposes.
+    pub fn from_observer(observer: &'a dyn PipelineObserver) -> Self {
+        ScanHooks {
+            latency: observer.rule_latency(),
+            progress: observer.progress(),
+        }
+    }
 }
 
 /// Zero-cost observer for un-instrumented runs.
@@ -228,12 +312,71 @@ impl PipelineObserver for NoopObserver {}
 pub struct MetricsRecorder {
     counters: [AtomicU64; Counter::ALL.len()],
     phases: [AtomicU64; Phase::ALL.len()],
+    tracer: Option<TraceCollector>,
+    rule_latency: Option<LatencyHistogram>,
+    progress: Option<ProgressMeter>,
 }
 
 impl MetricsRecorder {
     /// A recorder with all counters and phase totals at zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables structured tracing: timed spans (drained into the report's
+    /// `span_tree` and available for Chrome-trace export) and the sampled
+    /// rule-evaluation latency histogram.
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.tracer = Some(TraceCollector::new());
+        self.rule_latency = Some(LatencyHistogram::new());
+        self
+    }
+
+    /// Enables progress heartbeat lines on stderr, expecting `total` units
+    /// of `what` (e.g. the §3.5 expected comparison count).
+    #[must_use]
+    pub fn with_progress(mut self, what: &'static str, total: u64) -> Self {
+        self.progress = Some(ProgressMeter::new(what, total));
+        self
+    }
+
+    /// Drains the span collector (empty when tracing is disabled or already
+    /// drained). Use for Chrome-trace export via [`chrome_trace_json`];
+    /// note [`MetricsRecorder::report`] also drains, so export first or
+    /// reuse the drained tracks for both.
+    pub fn drain_spans(&self) -> Vec<TrackSpans> {
+        self.tracer
+            .as_ref()
+            .map(TraceCollector::drain)
+            .unwrap_or_default()
+    }
+
+    /// Checks cross-counter invariants, notably the pruning accounting
+    /// identity `comparisons == rule_invocations + pairs_pruned` (§3.5 cost
+    /// model: every window candidate pair is either handed to the
+    /// equational theory or pruned as closure-redundant — never both,
+    /// never neither). Holds for every engine configuration: single- and
+    /// multi-pass SNM, clustering, merge-fused, parallel, and external.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let comparisons = self.get(Counter::Comparisons);
+        let evals = self.get(Counter::RuleInvocations);
+        let pruned = self.get(Counter::PairsPruned);
+        if comparisons != evals + pruned {
+            return Err(format!(
+                "counter invariant violated: comparisons ({comparisons}) != \
+                 rule_invocations ({evals}) + pairs_pruned ({pruned})"
+            ));
+        }
+        let input = self.get(Counter::ClosureInputPairs);
+        let deduped = self.get(Counter::ClosureDedupedPairs);
+        if deduped > input {
+            return Err(format!(
+                "counter invariant violated: closure_deduped_pairs ({deduped}) > \
+                 closure_input_pairs ({input})"
+            ));
+        }
+        Ok(())
     }
 
     /// Current value of `counter`.
@@ -256,9 +399,14 @@ impl MetricsRecorder {
         }
     }
 
-    /// Snapshot of all counters and phase totals.
+    /// Snapshot of all counters and phase totals, plus — when tracing is
+    /// enabled — the drained span tree and latency histogram. Draining
+    /// consumes the recorded spans, so to *also* export a Chrome trace,
+    /// call [`MetricsRecorder::drain_spans`] first and attach the tracks to
+    /// the report yourself (see the CLI).
     pub fn report(&self) -> PipelineReport {
         PipelineReport {
+            schema: REPORT_SCHEMA,
             counters: Counter::ALL
                 .iter()
                 .map(|&c| CounterValue {
@@ -266,6 +414,8 @@ impl MetricsRecorder {
                     value: self.get(c),
                 })
                 .collect(),
+            attribution: None,
+            rules: None,
             phases: Phase::ALL
                 .iter()
                 .map(|&p| PhaseTime {
@@ -273,6 +423,22 @@ impl MetricsRecorder {
                     ns: self.phase_total_ns(p),
                 })
                 .collect(),
+            latency: self
+                .rule_latency
+                .as_ref()
+                .map(|h| {
+                    vec![NamedHistogram {
+                        name: "rule_eval",
+                        hist: h.snapshot(),
+                    }]
+                })
+                .unwrap_or_default(),
+            span_tree: self
+                .drain_spans()
+                .into_iter()
+                .map(SpanTreeTrack::from)
+                .collect(),
+            kernels: Vec::new(),
         }
     }
 }
@@ -286,6 +452,31 @@ impl PipelineObserver for MetricsRecorder {
     #[inline]
     fn phase_ns(&self, phase: Phase, ns: u64) {
         self.phases[phase.index()].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn tracer(&self) -> Option<&TraceCollector> {
+        self.tracer.as_ref()
+    }
+
+    #[inline]
+    fn rule_latency(&self) -> Option<&LatencyHistogram> {
+        self.rule_latency.as_ref()
+    }
+
+    #[inline]
+    fn progress(&self) -> Option<&ProgressMeter> {
+        self.progress.as_ref()
+    }
+
+    /// Debug builds assert the counter invariants at pipeline end; release
+    /// builds skip the check (it is also covered by tests).
+    fn run_complete(&self) {
+        if cfg!(debug_assertions) {
+            if let Err(msg) = self.check_invariants() {
+                panic!("{msg}");
+            }
+        }
     }
 }
 
@@ -343,16 +534,121 @@ pub struct PhaseTime {
     pub ns: u64,
 }
 
+/// What one pass contributed to the closed result (paper §3.3: independent
+/// passes over different keys, union-closed at the end).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassAttribution {
+    /// Zero-based pass index (pass order is part of the configuration).
+    pub pass: usize,
+    /// Sort-key name of the pass.
+    pub key: String,
+    /// Window size of the pass.
+    pub window: usize,
+    /// Matching pairs the pass emitted.
+    pub pairs_found: u64,
+    /// Of those, pairs no *earlier* pass had already emitted (provenance:
+    /// the first pass to find a pair owns it).
+    pub pairs_first_found: u64,
+    /// Pairs *no other* pass emitted at all — lost if this pass is dropped
+    /// (before closure re-inference). The paper's multi-pass argument made
+    /// observable.
+    pub pairs_unique: u64,
+}
+
+/// Per-pass provenance of the final duplicate set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttributionReport {
+    /// One entry per pass, in pass order.
+    pub passes: Vec<PassAttribution>,
+    /// Distinct pairs emitted across all passes (≤ Σ `pairs_found`).
+    pub distinct_matched_pairs: u64,
+    /// Pairs present only in the transitive closure of the matched pairs —
+    /// duplicates no pass found directly, inferred via `a≡b ∧ b≡c ⇒ a≡c`.
+    pub closure_inferred_pairs: u64,
+}
+
+/// Per-rule firing counts for an ordered, first-match-wins rule list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RuleFiringReport {
+    /// Name of the equational theory the counts describe.
+    pub theory: String,
+    /// Total theory evaluations observed by the counter wrapper.
+    pub evaluations: u64,
+    /// Evaluations where no rule fired.
+    pub misses: u64,
+    /// Rule conditions never evaluated because an earlier rule in the
+    /// ordered list fired first (Σ over rules `fired[i] · (R − 1 − i)`).
+    pub conditions_short_circuited: u64,
+    /// `(rule name, times fired)` in rule order, including zero-fired rules.
+    pub fired: Vec<(String, u64)>,
+}
+
+/// A named latency histogram snapshot in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedHistogram {
+    /// What was timed (`"rule_eval"`, …).
+    pub name: &'static str,
+    /// The snapshot.
+    pub hist: HistogramSnapshot,
+}
+
+/// One string-kernel's accumulated time (see `mp-strsim` kernel timing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelTime {
+    /// Kernel name (`"levenshtein"`, `"jaro"`, …).
+    pub name: &'static str,
+    /// Calls observed.
+    pub calls: u64,
+    /// Total nanoseconds across those calls.
+    pub total_ns: u64,
+}
+
+/// The reconstructed span forest of one thread/track.
+#[derive(Debug, Clone)]
+pub struct SpanTreeTrack {
+    /// Stable per-run track index (opening thread is track 0).
+    pub track: u32,
+    /// Thread name at registration time.
+    pub thread_name: String,
+    /// Root spans in start order.
+    pub roots: Vec<SpanNode>,
+}
+
+impl From<TrackSpans> for SpanTreeTrack {
+    fn from(t: TrackSpans) -> Self {
+        SpanTreeTrack {
+            track: t.track,
+            thread_name: t.thread_name.clone(),
+            roots: t.tree(),
+        }
+    }
+}
+
 /// Aggregated snapshot of a [`MetricsRecorder`], in stable order.
 ///
-/// Counter values are deterministic for a fixed seed and configuration;
-/// phase times are wall-clock and vary run to run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+/// The **deterministic section** — everything `to_json` renders before the
+/// `"phases_ns"` key: `schema`, `counters`, `attribution`, `rules` — is
+/// byte-stable for a fixed seed and configuration. Everything from
+/// `"phases_ns"` on (`latency`, `span_tree`, `kernels`) is wall-clock and
+/// varies run to run.
+#[derive(Debug, Clone, Serialize)]
 pub struct PipelineReport {
+    /// Report layout version ([`REPORT_SCHEMA`]).
+    pub schema: u32,
     /// All counters, in [`Counter::ALL`] order.
     pub counters: Vec<CounterValue>,
+    /// Per-pass provenance of the final duplicates (multi-pass runs).
+    pub attribution: Option<AttributionReport>,
+    /// Per-rule firing counts (when the theory was wrapped in a counter).
+    pub rules: Option<RuleFiringReport>,
     /// All phase totals, in [`Phase::ALL`] order.
     pub phases: Vec<PhaseTime>,
+    /// Latency histograms (empty unless tracing was enabled).
+    pub latency: Vec<NamedHistogram>,
+    /// Timed span forest per thread (empty unless tracing was enabled).
+    pub span_tree: Vec<SpanTreeTrack>,
+    /// String-kernel timings (empty unless kernel timing was enabled).
+    pub kernels: Vec<KernelTime>,
 }
 
 impl PipelineReport {
@@ -367,11 +663,14 @@ impl PipelineReport {
     /// Renders the report as pretty-printed JSON.
     ///
     /// Serialization is hand-rolled: the vendored offline `serde` shim has
-    /// no serializer backend (names and values contain nothing needing
-    /// escaping), and a fixed field order keeps the counter section
-    /// byte-stable across runs.
+    /// no serializer backend, and a fixed field order keeps the
+    /// deterministic section (everything before `"phases_ns"`) byte-stable
+    /// across runs. Optional sections are omitted entirely when absent, so
+    /// presence is also deterministic for a fixed configuration.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"counters\": {\n");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", self.schema));
+        out.push_str("  \"counters\": {\n");
         for (i, c) in self.counters.iter().enumerate() {
             let sep = if i + 1 == self.counters.len() {
                 ""
@@ -380,14 +679,161 @@ impl PipelineReport {
             };
             out.push_str(&format!("    \"{}\": {}{sep}\n", c.name, c.value));
         }
-        out.push_str("  },\n  \"phases_ns\": {\n");
+        out.push_str("  },\n");
+        if let Some(attr) = &self.attribution {
+            out.push_str("  \"attribution\": {\n    \"passes\": [\n");
+            for (i, p) in attr.passes.iter().enumerate() {
+                let sep = if i + 1 == attr.passes.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "      {{\"pass\": {}, \"key\": {}, \"window\": {}, \
+                     \"pairs_found\": {}, \"pairs_first_found\": {}, \
+                     \"pairs_unique\": {}}}{sep}\n",
+                    p.pass,
+                    json_string(&p.key),
+                    p.window,
+                    p.pairs_found,
+                    p.pairs_first_found,
+                    p.pairs_unique
+                ));
+            }
+            out.push_str("    ],\n");
+            out.push_str(&format!(
+                "    \"distinct_matched_pairs\": {},\n",
+                attr.distinct_matched_pairs
+            ));
+            out.push_str(&format!(
+                "    \"closure_inferred_pairs\": {}\n  }},\n",
+                attr.closure_inferred_pairs
+            ));
+        }
+        if let Some(rules) = &self.rules {
+            out.push_str("  \"rules\": {\n");
+            out.push_str(&format!(
+                "    \"theory\": {},\n",
+                json_string(&rules.theory)
+            ));
+            out.push_str(&format!("    \"evaluations\": {},\n", rules.evaluations));
+            out.push_str(&format!("    \"misses\": {},\n", rules.misses));
+            out.push_str(&format!(
+                "    \"conditions_short_circuited\": {},\n",
+                rules.conditions_short_circuited
+            ));
+            out.push_str("    \"fired\": {\n");
+            for (i, (name, count)) in rules.fired.iter().enumerate() {
+                let sep = if i + 1 == rules.fired.len() { "" } else { "," };
+                out.push_str(&format!("      {}: {count}{sep}\n", json_string(name)));
+            }
+            out.push_str("    }\n  },\n");
+        }
+        out.push_str("  \"phases_ns\": {\n");
         for (i, p) in self.phases.iter().enumerate() {
             let sep = if i + 1 == self.phases.len() { "" } else { "," };
             out.push_str(&format!("    \"{}\": {}{sep}\n", p.name, p.ns));
         }
-        out.push_str("  }\n}\n");
+        out.push_str("  }");
+        if !self.latency.is_empty() {
+            out.push_str(",\n  \"latency\": {\n");
+            for (i, h) in self.latency.iter().enumerate() {
+                let sep = if i + 1 == self.latency.len() { "" } else { "," };
+                let buckets = h
+                    .hist
+                    .buckets
+                    .iter()
+                    .map(|(lo, n)| format!("[{lo}, {n}]"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "    \"{}\": {{\"samples\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+                     \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"buckets\": [{buckets}]}}{sep}\n",
+                    h.name,
+                    h.hist.count,
+                    h.hist.mean_ns(),
+                    h.hist.p50_ns,
+                    h.hist.p95_ns,
+                    h.hist.p99_ns,
+                    h.hist.max_ns
+                ));
+            }
+            out.push_str("  }");
+        }
+        if !self.span_tree.is_empty() {
+            out.push_str(",\n  \"span_tree\": [\n");
+            for (i, t) in self.span_tree.iter().enumerate() {
+                let sep = if i + 1 == self.span_tree.len() {
+                    ""
+                } else {
+                    ","
+                };
+                out.push_str(&format!(
+                    "    {{\"track\": {}, \"thread\": {}, \"spans\": [",
+                    t.track,
+                    json_string(&t.thread_name)
+                ));
+                for (j, node) in t.roots.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    push_span_node(&mut out, node);
+                }
+                out.push_str(&format!("]}}{sep}\n"));
+            }
+            out.push_str("  ]");
+        }
+        if !self.kernels.is_empty() {
+            out.push_str(",\n  \"kernels\": {\n");
+            for (i, k) in self.kernels.iter().enumerate() {
+                let sep = if i + 1 == self.kernels.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    \"{}\": {{\"calls\": {}, \"total_ns\": {}}}{sep}\n",
+                    k.name, k.calls, k.total_ns
+                ));
+            }
+            out.push_str("  }");
+        }
+        out.push_str("\n}\n");
         out
     }
+}
+
+/// Renders `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders one span node (and its children) as compact JSON.
+fn push_span_node(out: &mut String, node: &SpanNode) {
+    out.push_str(&format!(
+        "{{\"name\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}",
+        node.name, node.start_ns, node.dur_ns
+    ));
+    if let Some(label) = &node.label {
+        out.push_str(&format!(", \"label\": {}", json_string(label)));
+    }
+    if !node.children.is_empty() {
+        out.push_str(", \"children\": [");
+        for (i, c) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_span_node(out, c);
+        }
+        out.push(']');
+    }
+    out.push('}');
 }
 
 #[cfg(test)]
@@ -493,5 +939,136 @@ mod tests {
         let n = NoopObserver;
         n.add(Counter::Comparisons, u64::MAX);
         n.phase_ns(Phase::Sort, u64::MAX);
+        assert!(n.tracer().is_none());
+        assert!(n.rule_latency().is_none());
+        assert!(n.progress().is_none());
+        n.run_complete();
+    }
+
+    #[test]
+    fn span_helper_is_none_without_tracing_and_records_with_it() {
+        let plain = MetricsRecorder::new();
+        assert!(span(&plain, "run").is_none());
+        assert!(span_labeled(&plain, "pass", || unreachable!(
+            "label closure must not run"
+        ))
+        .is_none());
+
+        let traced = MetricsRecorder::new().with_tracing();
+        {
+            let _run = span(&traced, "run");
+            let _pass = span_labeled(&traced, "pass", || "key=last".into());
+        }
+        let tracks = traced.drain_spans();
+        assert_eq!(tracks.len(), 1);
+        let tree = tracks[0].tree();
+        assert_eq!(tree[0].name, "run");
+        assert_eq!(tree[0].children[0].label.as_deref(), Some("key=last"));
+    }
+
+    #[test]
+    fn invariant_check_catches_mismatch() {
+        let m = MetricsRecorder::new();
+        m.add(Counter::Comparisons, 10);
+        m.add(Counter::RuleInvocations, 7);
+        m.add(Counter::PairsPruned, 3);
+        assert!(m.check_invariants().is_ok());
+        m.run_complete();
+        m.add(Counter::PairsPruned, 1);
+        assert!(m.check_invariants().is_err());
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "run_complete only asserts in debug builds"
+    )]
+    #[should_panic(expected = "counter invariant violated")]
+    fn run_complete_panics_on_violation_in_debug() {
+        let m = MetricsRecorder::new();
+        m.add(Counter::Comparisons, 1);
+        m.run_complete();
+    }
+
+    #[test]
+    fn report_includes_tracing_sections_when_enabled() {
+        let m = MetricsRecorder::new().with_tracing();
+        {
+            let _run = span(&m, "run");
+        }
+        m.rule_latency().unwrap().record(150);
+        let json = m.report().to_json();
+        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"span_tree\""));
+        assert!(json.contains("\"name\": \"run\""));
+        // Both wall-clock sections render after the deterministic prefix.
+        let phases_at = json.find("\"phases_ns\"").unwrap();
+        assert!(json.find("\"latency\"").unwrap() > phases_at);
+        assert!(json.find("\"span_tree\"").unwrap() > phases_at);
+    }
+
+    #[test]
+    fn report_renders_attribution_rules_and_kernels() {
+        let m = MetricsRecorder::new();
+        let mut report = m.report();
+        report.attribution = Some(AttributionReport {
+            passes: vec![PassAttribution {
+                pass: 0,
+                key: "last_name".into(),
+                window: 6,
+                pairs_found: 10,
+                pairs_first_found: 10,
+                pairs_unique: 4,
+            }],
+            distinct_matched_pairs: 10,
+            closure_inferred_pairs: 2,
+        });
+        report.rules = Some(RuleFiringReport {
+            theory: "native-employee".into(),
+            evaluations: 100,
+            misses: 90,
+            conditions_short_circuited: 50,
+            fired: vec![("exact_ssn".into(), 7), ("never".into(), 0)],
+        });
+        report.kernels = vec![KernelTime {
+            name: "levenshtein",
+            calls: 3,
+            total_ns: 999,
+        }];
+        let json = report.to_json();
+        for needle in [
+            "\"attribution\"",
+            "\"pairs_unique\": 4",
+            "\"distinct_matched_pairs\": 10",
+            "\"closure_inferred_pairs\": 2",
+            "\"rules\"",
+            "\"exact_ssn\": 7",
+            "\"never\": 0",
+            "\"conditions_short_circuited\": 50",
+            "\"kernels\"",
+            "\"levenshtein\": {\"calls\": 3, \"total_ns\": 999}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Deterministic sections precede phases_ns; kernels follow it.
+        let phases_at = json.find("\"phases_ns\"").unwrap();
+        assert!(json.find("\"attribution\"").unwrap() < phases_at);
+        assert!(json.find("\"rules\"").unwrap() < phases_at);
+        assert!(json.find("\"kernels\"").unwrap() > phases_at);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn scan_hooks_from_observer_mirror_enabled_state() {
+        let plain = MetricsRecorder::new();
+        let hooks = ScanHooks::from_observer(&plain);
+        assert!(hooks.latency.is_none() && hooks.progress.is_none());
+        let traced = MetricsRecorder::new()
+            .with_tracing()
+            .with_progress("comparisons", 100);
+        let hooks = ScanHooks::from_observer(&traced);
+        assert!(hooks.latency.is_some() && hooks.progress.is_some());
     }
 }

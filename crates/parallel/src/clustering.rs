@@ -4,7 +4,7 @@ use crate::parallel_extract_keys;
 use merge_purge::{ClusteringConfig, KeySpec, PassResult, PassStats};
 use mp_closure::PairSet;
 use mp_cluster::{lpt_assign, KeyHistogram, RangePartition};
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -86,9 +86,18 @@ impl ParallelClustering {
         let mut stats = PassStats::default();
         let p = self.processors;
         let total_clusters = self.total_clusters();
+        let _pass_span = span_labeled(observer, "pass", || {
+            format!(
+                "{} w={} clustered P={}",
+                self.key.name(),
+                self.config.window,
+                p
+            )
+        });
 
         // Coordinator: keys, histogram, partition, cluster assignment.
         let t0 = Instant::now();
+        let _key_span = span(observer, "key_build");
         let keys = parallel_extract_keys(&self.key, records, p);
         let truncated: Vec<&str> = keys
             .iter()
@@ -105,6 +114,7 @@ impl ParallelClustering {
         // Static load balancing: LPT on cluster sizes (§4.2).
         let sizes: Vec<u64> = clusters.iter().map(|c| c.len() as u64).collect();
         let assignment = lpt_assign(&sizes, p);
+        drop(_key_span);
         stats.create_keys = t0.elapsed();
         observer.add(Counter::RecordsKeyed, records.len() as u64);
         observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
@@ -123,8 +133,10 @@ impl ParallelClustering {
                         .collect();
                     let truncated = &truncated;
                     s.spawn(move || {
+                        let _frag_span = span_labeled(observer, "fragment", || format!("j={proc}"));
                         let mut local = PairSet::new();
                         let mut comparisons = 0u64;
+                        let _scan_span = span(observer, "scan");
                         for mut cluster in my_clusters {
                             cluster
                                 .sort_by(|&a, &b| truncated[a as usize].cmp(truncated[b as usize]));
@@ -138,8 +150,12 @@ impl ParallelClustering {
                                         local.insert(old.id.0, new.id.0);
                                     }
                                 }
+                                if let Some(pm) = observer.progress() {
+                                    pm.tick((i - lo) as u64);
+                                }
                             }
                         }
+                        drop(_scan_span);
                         (local, comparisons)
                     })
                 })
@@ -152,10 +168,13 @@ impl ParallelClustering {
         let t_merge = Instant::now();
         let mut pairs = PairSet::new();
         let mut worker_comparisons = Vec::with_capacity(p);
-        for (local, comparisons) in partials {
-            pairs.merge(&local);
-            stats.comparisons += comparisons;
-            worker_comparisons.push(comparisons);
+        {
+            let _s = span(observer, "coordinator_merge");
+            for (local, comparisons) in partials {
+                pairs.merge(&local);
+                stats.comparisons += comparisons;
+                worker_comparisons.push(comparisons);
+            }
         }
         observer.phase_ns(Phase::CoordinatorMerge, t_merge.elapsed().as_nanos() as u64);
         stats.window_scan = t1.elapsed();

@@ -8,7 +8,7 @@
 
 use merge_purge::{MultiPass, MultiPassResult, PassResult};
 use mp_closure::ConcurrentUnionFind;
-use mp_metrics::{NoopObserver, PipelineObserver};
+use mp_metrics::{span, NoopObserver, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 
@@ -64,6 +64,7 @@ pub fn parallel_multipass_observed(
     observer: &dyn PipelineObserver,
 ) -> MultiPassResult {
     assert!(!passes.is_empty(), "need at least one pass");
+    let _run_span = span(observer, "run");
     let mut results: Vec<Option<PassResult>> = (0..passes.len()).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = passes
@@ -75,7 +76,9 @@ pub fn parallel_multipass_observed(
         }
     });
     let results: Vec<PassResult> = results.into_iter().map(|r| r.expect("filled")).collect();
-    MultiPass::close_observed(records.len(), results, observer)
+    let result = MultiPass::close_observed(records.len(), results, observer);
+    observer.run_complete();
+    result
 }
 
 /// Runs all passes concurrently, streaming every discovered pair straight

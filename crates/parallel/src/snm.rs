@@ -3,7 +3,7 @@
 use crate::{parallel_extract_keys, psort::parallel_sorted_order};
 use merge_purge::{KeySpec, PassResult, PassStats};
 use mp_closure::PairSet;
-use mp_metrics::{Counter, NoopObserver, Phase, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::Record;
 use mp_rules::EquationalTheory;
 use std::time::Instant;
@@ -75,15 +75,24 @@ impl ParallelSnm {
     ) -> PassResult {
         let mut stats = PassStats::default();
         let p = self.processors;
+        let _pass_span = span_labeled(observer, "pass", || {
+            format!("{} w={} P={}", self.key.name(), self.window, p)
+        });
 
         let t0 = Instant::now();
-        let keys = parallel_extract_keys(&self.key, records, p);
+        let keys = {
+            let _s = span(observer, "key_build");
+            parallel_extract_keys(&self.key, records, p)
+        };
         stats.create_keys = t0.elapsed();
         observer.add(Counter::RecordsKeyed, records.len() as u64);
         observer.phase_ns(Phase::CreateKeys, stats.create_keys.as_nanos() as u64);
 
         let t1 = Instant::now();
-        let order = parallel_sorted_order(&keys, p);
+        let order = {
+            let _s = span(observer, "sort");
+            parallel_sorted_order(&keys, p)
+        };
         stats.sort = t1.elapsed();
         observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);
 
@@ -102,6 +111,9 @@ impl ParallelSnm {
                     .map(|start| {
                         let order = &order;
                         s.spawn(move || {
+                            let _frag_span = span_labeled(observer, "fragment", || {
+                                format!("j={}", start / chunk)
+                            });
                             // Band: each fragment sees the previous w-1
                             // entries so records entering the window at the
                             // fragment head still meet their predecessors.
@@ -110,19 +122,37 @@ impl ParallelSnm {
                             let mut local = PairSet::new();
                             let mut comparisons = 0u64;
                             let mut band = 0u64;
-                            for i in start.max(1)..end {
-                                let lo = i.saturating_sub(w - 1).max(band_start);
-                                if lo < start {
-                                    band += (start - lo) as u64;
-                                }
-                                let new = &records[order[i] as usize];
-                                for &prev in &order[lo..i] {
-                                    comparisons += 1;
-                                    let old = &records[prev as usize];
-                                    if theory.matches(old, new) {
-                                        local.insert(old.id.0, new.id.0);
+                            let mut scan_range = |from: usize, to: usize| {
+                                for i in from..to {
+                                    let lo = i.saturating_sub(w - 1).max(band_start);
+                                    if lo < start {
+                                        band += (start - lo) as u64;
+                                    }
+                                    let new = &records[order[i] as usize];
+                                    for &prev in &order[lo..i] {
+                                        comparisons += 1;
+                                        let old = &records[prev as usize];
+                                        if theory.matches(old, new) {
+                                            local.insert(old.id.0, new.id.0);
+                                        }
+                                    }
+                                    if let Some(pm) = observer.progress() {
+                                        pm.tick((i - lo) as u64);
                                     }
                                 }
+                            };
+                            // The fragment head (first w-1 slots) is where
+                            // band-replicated records are consulted; it gets
+                            // its own child span. Fragment 0 has no band but
+                            // keeps the same span shape (truncated windows).
+                            let head_end = (start + w - 1).clamp(start.max(1), end);
+                            {
+                                let _s = span(observer, "band_overlap");
+                                scan_range(start.max(1), head_end);
+                            }
+                            {
+                                let _s = span(observer, "scan");
+                                scan_range(head_end, end);
                             }
                             (local, comparisons, band)
                         })
@@ -134,11 +164,14 @@ impl ParallelSnm {
             });
             observer.add(Counter::WorkerFragments, partials.len() as u64);
             let t_merge = Instant::now();
-            for (local, comparisons, band) in partials {
-                pairs.merge(&local);
-                stats.comparisons += comparisons;
-                band_comparisons += band;
-                worker_comparisons.push(comparisons);
+            {
+                let _s = span(observer, "coordinator_merge");
+                for (local, comparisons, band) in partials {
+                    pairs.merge(&local);
+                    stats.comparisons += comparisons;
+                    band_comparisons += band;
+                    worker_comparisons.push(comparisons);
+                }
             }
             observer.phase_ns(Phase::CoordinatorMerge, t_merge.elapsed().as_nanos() as u64);
         }

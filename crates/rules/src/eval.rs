@@ -100,6 +100,16 @@ impl EquationalTheory for RuleProgram {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn matching_rule_id(&self, a: &Record, b: &Record) -> Option<usize> {
+        self.resolved
+            .iter()
+            .position(|r| eval(&r.cond, a, b, &self.ctx).as_bool())
+    }
+
+    fn rule_names(&self) -> Vec<String> {
+        self.resolved.iter().map(|r| r.name.clone()).collect()
+    }
 }
 
 fn resolve(e: &Expr) -> CExpr {

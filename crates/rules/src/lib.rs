@@ -73,6 +73,7 @@ pub mod employee;
 pub mod eval;
 pub mod lexer;
 pub mod native;
+pub mod observe;
 pub mod parser;
 pub mod semantic;
 pub mod token;
@@ -84,6 +85,7 @@ pub use display::{print_program, programs_equivalent};
 pub use employee::{employee_program, EMPLOYEE_RULES_SRC};
 pub use eval::RuleProgram;
 pub use native::NativeEmployeeTheory;
+pub use observe::RuleFiringCounter;
 pub use parser::ParseError;
 pub use semantic::TypeError;
 
@@ -100,6 +102,40 @@ pub trait EquationalTheory: Sync {
 
     /// Human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// Index (into [`EquationalTheory::rule_names`]) of the first rule that
+    /// declares `a ≡ b`, or `None` when the pair does not match. Theories
+    /// are ordered first-match-wins disjunctions, so "first" is
+    /// well-defined; the default treats the whole theory as one anonymous
+    /// rule `0`.
+    fn matching_rule_id(&self, a: &Record, b: &Record) -> Option<usize> {
+        self.matches(a, b).then_some(0)
+    }
+
+    /// The theory's rule names, indexed by
+    /// [`EquationalTheory::matching_rule_id`]. The default single-rule view
+    /// reuses the theory name.
+    fn rule_names(&self) -> Vec<String> {
+        vec![self.name().to_string()]
+    }
+}
+
+impl<T: EquationalTheory + ?Sized> EquationalTheory for &T {
+    fn matches(&self, a: &Record, b: &Record) -> bool {
+        (**self).matches(a, b)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn matching_rule_id(&self, a: &Record, b: &Record) -> Option<usize> {
+        (**self).matching_rule_id(a, b)
+    }
+
+    fn rule_names(&self) -> Vec<String> {
+        (**self).rule_names()
+    }
 }
 
 /// Errors surfaced when compiling a rule program.

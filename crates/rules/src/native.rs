@@ -67,19 +67,67 @@ fn eq_nonempty(a: &str, b: &str) -> bool {
     !a.is_empty() && a == b
 }
 
+/// The 26 rule names, in evaluation order — identical names and order to
+/// the DSL program in [`crate::employee::EMPLOYEE_RULES_SRC`] (a test
+/// enforces this), so rule indices mean the same thing for both theories.
+pub const RULE_NAMES: [&str; 26] = [
+    "exact_ssn_close_last",
+    "exact_ssn_close_first",
+    "exact_ssn_same_zip",
+    "ssn_transposed_close_names",
+    "ssn_one_digit_off_same_address",
+    "same_last_close_first_same_address",
+    "close_last_same_first_same_address",
+    "close_names_same_address_and_zip",
+    "nickname_same_last_same_zip",
+    "nickname_same_last_same_address",
+    "initials_same_last_same_address",
+    "soundex_last_same_first_same_address",
+    "nysiis_last_initials_same_zip_street",
+    "soundex_both_names_same_city_street",
+    "keyboard_last_same_first_same_city",
+    "jaro_names_same_address",
+    "trigram_street_same_names",
+    "moved_same_name_similar_ssn",
+    "moved_same_full_name_with_middle",
+    "city_typo_same_rest",
+    "zip_error_same_rest",
+    "same_full_name_same_city",
+    "empty_first_same_ssn_last",
+    "empty_street_same_ssn_city",
+    "apartment_anchor_close_names",
+    "swapped_first_and_middle",
+];
+
 impl EquationalTheory for NativeEmployeeTheory {
     fn matches(&self, r1: &Record, r2: &Record) -> bool {
-        SCRATCH.with(|s| self.matches_with(r1, r2, &mut s.borrow_mut()))
+        SCRATCH.with(|s| {
+            self.matching_rule_with(r1, r2, &mut s.borrow_mut())
+                .is_some()
+        })
     }
 
     fn name(&self) -> &str {
         "native-employee"
     }
+
+    fn matching_rule_id(&self, r1: &Record, r2: &Record) -> Option<usize> {
+        SCRATCH.with(|s| self.matching_rule_with(r1, r2, &mut s.borrow_mut()))
+    }
+
+    fn rule_names(&self) -> Vec<String> {
+        RULE_NAMES.iter().map(|s| s.to_string()).collect()
+    }
 }
 
 impl NativeEmployeeTheory {
     #[allow(clippy::too_many_lines)] // one block per rule, mirroring the DSL
-    fn matches_with(&self, r1: &Record, r2: &Record, s: &mut ScratchBuffers) -> bool {
+    fn matching_rule_with(
+        &self,
+        r1: &Record,
+        r2: &Record,
+        s: &mut ScratchBuffers,
+    ) -> Option<usize> {
         // Precompute the cheap equalities most rules consult.
         let same_ssn = eq_nonempty(&r1.ssn, &r2.ssn);
         let same_last = eq_nonempty(&r1.last_name, &r2.last_name);
@@ -90,15 +138,15 @@ impl NativeEmployeeTheory {
         // -- Group A: SSN-anchored ------------------------------------------
         // exact_ssn_close_last
         if same_ssn && s.differ_slightly(&r1.last_name, &r2.last_name, 0.4) {
-            return true;
+            return Some(0);
         }
         // exact_ssn_close_first
         if same_ssn && s.differ_slightly(&r1.first_name, &r2.first_name, 0.4) {
-            return true;
+            return Some(1);
         }
         // exact_ssn_same_zip
         if same_ssn && same_zip {
-            return true;
+            return Some(2);
         }
         // ssn_transposed_close_names
         if digits_transposed(&r1.ssn, &r2.ssn)
@@ -107,7 +155,7 @@ impl NativeEmployeeTheory {
                 || initials_match(&r1.first_name, &r2.first_name)
                 || self.nicknames.equivalent(&r1.first_name, &r2.first_name))
         {
-            return true;
+            return Some(3);
         }
         // ssn_one_digit_off_same_address
         if same_street_no
@@ -115,7 +163,7 @@ impl NativeEmployeeTheory {
             && s.levenshtein(&r1.ssn, &r2.ssn) <= 1
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
         {
-            return true;
+            return Some(4);
         }
 
         // -- Group B: name + address ----------------------------------------
@@ -125,7 +173,7 @@ impl NativeEmployeeTheory {
             && s.differ_slightly(&r1.first_name, &r2.first_name, 0.3)
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
         {
-            return true;
+            return Some(5);
         }
         // close_last_same_first_same_address
         if same_first
@@ -134,7 +182,7 @@ impl NativeEmployeeTheory {
             && s.differ_slightly(&r1.last_name, &r2.last_name, 0.25)
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
         {
-            return true;
+            return Some(6);
         }
         // close_names_same_address_and_zip
         if !r1.last_name.is_empty()
@@ -145,11 +193,11 @@ impl NativeEmployeeTheory {
             && s.differ_slightly(&r1.first_name, &r2.first_name, 0.25)
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.7)
         {
-            return true;
+            return Some(7);
         }
         // nickname_same_last_same_zip
         if same_last && same_zip && self.nicknames.equivalent(&r1.first_name, &r2.first_name) {
-            return true;
+            return Some(8);
         }
         // nickname_same_last_same_address
         if same_last
@@ -157,7 +205,7 @@ impl NativeEmployeeTheory {
             && self.nicknames.equivalent(&r1.first_name, &r2.first_name)
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
         {
-            return true;
+            return Some(9);
         }
         // initials_same_last_same_address
         if same_last
@@ -165,7 +213,7 @@ impl NativeEmployeeTheory {
             && initials_match(&r1.first_name, &r2.first_name)
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.85)
         {
-            return true;
+            return Some(10);
         }
 
         // -- Group C: phonetic ----------------------------------------------
@@ -176,7 +224,7 @@ impl NativeEmployeeTheory {
             && soundex_eq(&r1.last_name, &r2.last_name)
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
         {
-            return true;
+            return Some(11);
         }
         // nysiis_last_initials_same_zip_street
         if same_zip
@@ -184,7 +232,7 @@ impl NativeEmployeeTheory {
             && initials_match(&r1.first_name, &r2.first_name)
             && nysiis_eq(&r1.last_name, &r2.last_name)
         {
-            return true;
+            return Some(12);
         }
         // soundex_both_names_same_city_street
         if eq_nonempty(&r1.city, &r2.city)
@@ -193,7 +241,7 @@ impl NativeEmployeeTheory {
             && soundex_eq(&r1.first_name, &r2.first_name)
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.75)
         {
-            return true;
+            return Some(13);
         }
 
         // -- Group D: typewriter / jaro / q-gram -----------------------------
@@ -204,7 +252,7 @@ impl NativeEmployeeTheory {
             && same_street_no
             && keyboard_distance(&r1.last_name, &r2.last_name) <= 1.0
         {
-            return true;
+            return Some(14);
         }
         // jaro_names_same_address
         if same_street_no
@@ -213,7 +261,7 @@ impl NativeEmployeeTheory {
             && s.jaro_winkler(&r1.first_name, &r2.first_name) >= 0.9
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.7)
         {
-            return true;
+            return Some(15);
         }
         // trigram_street_same_names
         if same_last
@@ -221,7 +269,7 @@ impl NativeEmployeeTheory {
             && (same_first || initials_match(&r1.first_name, &r2.first_name))
             && trigram_similarity(&r1.street_name, &r2.street_name) >= 0.75
         {
-            return true;
+            return Some(16);
         }
 
         // -- Group E: moved person -------------------------------------------
@@ -231,7 +279,7 @@ impl NativeEmployeeTheory {
             && !r1.first_name.is_empty()
             && s.levenshtein(&r1.ssn, &r2.ssn) <= 2
         {
-            return true;
+            return Some(17);
         }
         // moved_same_full_name_with_middle
         if same_last
@@ -240,7 +288,7 @@ impl NativeEmployeeTheory {
             && eq_nonempty(&r1.middle_initial, &r2.middle_initial)
             && s.levenshtein(&r1.ssn, &r2.ssn) <= 3
         {
-            return true;
+            return Some(18);
         }
 
         // -- Group F: city / zip / state errors --------------------------------
@@ -251,7 +299,7 @@ impl NativeEmployeeTheory {
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
             && s.differ_slightly(&r1.city, &r2.city, 0.35)
         {
-            return true;
+            return Some(19);
         }
         // zip_error_same_rest
         if same_last
@@ -260,7 +308,7 @@ impl NativeEmployeeTheory {
             && s.levenshtein(&r1.zip, &r2.zip) <= 2
             && edit_sim_ge(s, &r1.street_name, &r2.street_name, 0.8)
         {
-            return true;
+            return Some(20);
         }
         // same_full_name_same_city (the loosest rule; FP source, see DSL)
         if same_last
@@ -271,20 +319,20 @@ impl NativeEmployeeTheory {
                 || r2.middle_initial.is_empty())
             && eq_nonempty(&r1.city, &r2.city)
         {
-            return true;
+            return Some(21);
         }
 
         // -- Group G: missing fields / swapped names ---------------------------
         // empty_first_same_ssn_last
         if (r1.first_name.is_empty() || r2.first_name.is_empty()) && same_last && same_ssn {
-            return true;
+            return Some(22);
         }
         // empty_street_same_ssn_city
         if (r1.street_name.is_empty() || r2.street_name.is_empty())
             && same_ssn
             && eq_nonempty(&r1.city, &r2.city)
         {
-            return true;
+            return Some(23);
         }
         // apartment_anchor_close_names
         if eq_nonempty(&r1.apartment, &r2.apartment)
@@ -293,7 +341,7 @@ impl NativeEmployeeTheory {
             && (initials_match(&r1.first_name, &r2.first_name)
                 || s.differ_slightly(&r1.first_name, &r2.first_name, 0.3))
         {
-            return true;
+            return Some(24);
         }
         // swapped_first_and_middle
         if r1.first_name == r2.middle_initial
@@ -303,10 +351,10 @@ impl NativeEmployeeTheory {
             && r1.last_name == r2.last_name
             && (r1.ssn == r2.ssn || r1.zip == r2.zip)
         {
-            return true;
+            return Some(25);
         }
 
-        false
+        None
     }
 }
 
@@ -352,6 +400,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Rule indices must mean the same thing for the native and DSL
+    /// theories, so attribution reports are comparable across engines.
+    #[test]
+    fn rule_names_match_dsl_program_in_order() {
+        let dsl = employee_program();
+        let native = NativeEmployeeTheory::new();
+        assert_eq!(native.rule_names(), dsl.rule_names());
+        assert_eq!(native.rule_names().len(), RULE_NAMES.len());
+    }
+
+    /// First-match-wins rule attribution must agree pair-for-pair with the
+    /// DSL's `matching_rule`, not just the boolean verdict.
+    #[test]
+    fn native_rule_ids_agree_with_dsl_on_generated_pairs() {
+        let dsl = employee_program();
+        let native = NativeEmployeeTheory::new();
+        let db = DatabaseGenerator::new(
+            GeneratorConfig::new(60)
+                .duplicate_fraction(0.6)
+                .max_duplicates_per_record(3)
+                .errors(ErrorProfile::heavy())
+                .seed(105),
+        )
+        .generate();
+        let records = &db.records;
+        let mut fired = 0u32;
+        for i in 0..records.len() {
+            for j in i + 1..records.len().min(i + 9) {
+                let (a, b) = (&records[i], &records[j]);
+                assert_eq!(
+                    dsl.matching_rule_id(a, b),
+                    native.matching_rule_id(a, b),
+                    "rule-id disagreement on {a:?} vs {b:?}"
+                );
+                if native.matching_rule_id(a, b).is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        assert!(fired > 0, "test data produced no matches at all");
     }
 
     #[test]

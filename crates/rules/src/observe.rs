@@ -1,0 +1,193 @@
+//! Rule-level attribution: a wrapper theory that counts which rule fired.
+//!
+//! The paper tuned its 26-rule theory by looking at which rules actually
+//! decided equivalences (§2.3). [`RuleFiringCounter`] makes that observable
+//! in any run: it wraps an [`EquationalTheory`] and, on every evaluation,
+//! records which rule (by index) fired first — or that none did — into
+//! lock-free atomic counters shared across worker threads.
+
+use crate::EquationalTheory;
+use mp_record::Record;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps a theory and counts per-rule firings and misses.
+///
+/// The wrapped theory's `matches` becomes `matching_rule_id(..).is_some()`,
+/// so engines that only ask the boolean question still feed the counters.
+/// Because rule lists are ordered first-match-wins disjunctions, a firing
+/// of rule `i` also means rules `i+1..R` were never evaluated for that pair
+/// — [`RuleFiringCounter::conditions_short_circuited`] totals those saved
+/// evaluations.
+///
+/// ```
+/// use mp_rules::{observe::RuleFiringCounter, EquationalTheory, NativeEmployeeTheory};
+/// use mp_record::{Record, RecordId};
+///
+/// let counted = RuleFiringCounter::new(NativeEmployeeTheory::new());
+/// let mut a = Record::empty(RecordId(0));
+/// a.ssn = "123456789".into();
+/// a.last_name = "SMITH".into();
+/// let mut b = a.clone();
+/// b.last_name = "SMYTH".into();
+/// assert!(counted.matches(&a, &b)); // fires rule 0: exact_ssn_close_last
+/// assert_eq!(counted.fired()[0], 1);
+/// assert_eq!(counted.misses(), 0);
+/// ```
+pub struct RuleFiringCounter<T> {
+    inner: T,
+    fired: Vec<AtomicU64>,
+    misses: AtomicU64,
+}
+
+impl<T: EquationalTheory> RuleFiringCounter<T> {
+    /// Wraps `inner`, with one counter per rule.
+    pub fn new(inner: T) -> Self {
+        let rules = inner.rule_names().len();
+        RuleFiringCounter {
+            inner,
+            fired: (0..rules).map(|_| AtomicU64::new(0)).collect(),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped theory.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Firing counts in rule order.
+    pub fn fired(&self) -> Vec<u64> {
+        self.fired
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Evaluations where no rule fired.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total evaluations observed (firings + misses).
+    pub fn evaluations(&self) -> u64 {
+        self.fired().iter().sum::<u64>() + self.misses()
+    }
+
+    /// Rule conditions never evaluated because an earlier rule fired first:
+    /// Σ over rules `fired[i] · (R − 1 − i)`.
+    pub fn conditions_short_circuited(&self) -> u64 {
+        let r = self.fired.len() as u64;
+        self.fired()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n * (r - 1 - i as u64))
+            .sum()
+    }
+}
+
+impl<T: EquationalTheory> EquationalTheory for RuleFiringCounter<T> {
+    fn matches(&self, a: &Record, b: &Record) -> bool {
+        match self.inner.matching_rule_id(a, b) {
+            Some(i) => {
+                self.fired[i].fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn matching_rule_id(&self, a: &Record, b: &Record) -> Option<usize> {
+        let id = self.inner.matching_rule_id(a, b);
+        match id {
+            Some(i) => {
+                self.fired[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        id
+    }
+
+    fn rule_names(&self) -> Vec<String> {
+        self.inner.rule_names()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NativeEmployeeTheory;
+    use mp_record::RecordId;
+
+    fn ssn_pair() -> (Record, Record) {
+        let mut a = Record::empty(RecordId(0));
+        a.ssn = "123456789".into();
+        a.last_name = "SMITH".into();
+        let mut b = a.clone();
+        b.id = RecordId(1);
+        b.last_name = "SMYTH".into();
+        (a, b)
+    }
+
+    #[test]
+    fn counts_firings_misses_and_short_circuits() {
+        let t = RuleFiringCounter::new(NativeEmployeeTheory::new());
+        let (a, b) = ssn_pair();
+        assert!(t.matches(&a, &b));
+        assert!(t.matches(&a, &b));
+        let stranger = Record::empty(RecordId(2));
+        assert!(!t.matches(&a, &stranger));
+        let fired = t.fired();
+        assert_eq!(fired.len(), 26);
+        assert_eq!(fired[0], 2, "exact_ssn_close_last fired twice");
+        assert_eq!(fired[1..].iter().sum::<u64>(), 0);
+        assert_eq!(t.misses(), 1);
+        assert_eq!(t.evaluations(), 3);
+        // Rule 0 firing twice skips rules 1..=25 twice.
+        assert_eq!(t.conditions_short_circuited(), 2 * 25);
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        let t = RuleFiringCounter::new(NativeEmployeeTheory::new());
+        let (a, b) = ssn_pair();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (t, a, b) = (&t, &a, &b);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        assert!(t.matches(a, b));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.fired()[0], 2_000);
+        assert_eq!(t.evaluations(), 2_000);
+    }
+
+    #[test]
+    fn default_theory_view_is_single_anonymous_rule() {
+        struct AlwaysNo;
+        impl EquationalTheory for AlwaysNo {
+            fn matches(&self, _: &Record, _: &Record) -> bool {
+                false
+            }
+            fn name(&self) -> &str {
+                "always-no"
+            }
+        }
+        let t = RuleFiringCounter::new(AlwaysNo);
+        assert_eq!(t.rule_names(), vec!["always-no".to_string()]);
+        let a = Record::empty(RecordId(0));
+        assert!(!t.matches(&a, &a));
+        assert_eq!(t.misses(), 1);
+    }
+}

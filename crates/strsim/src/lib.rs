@@ -52,6 +52,7 @@ mod ngram;
 mod nysiis;
 mod scratch;
 mod soundex;
+pub mod timing;
 
 pub use damerau::damerau_levenshtein;
 pub use jaro::{jaro, jaro_winkler};

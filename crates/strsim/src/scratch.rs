@@ -4,6 +4,7 @@ use crate::damerau::damerau_impl;
 use crate::jaro::jaro_impl;
 use crate::lcs::lcs_impl;
 use crate::levenshtein::{bounded_impl, distance_impl, normalize};
+use crate::timing::{Kernel, KernelTimer};
 
 /// Strips the common prefix and suffix of two slices. Edit distance is
 /// invariant under this (those positions never contribute an edit), and the
@@ -73,6 +74,7 @@ impl ScratchBuffers {
 
     /// Allocation-free [`crate::levenshtein`].
     pub fn levenshtein(&mut self, a: &str, b: &str) -> usize {
+        let _t = KernelTimer::start(Kernel::Levenshtein);
         if a.is_ascii() && b.is_ascii() {
             let (a, b) = trim_common(a.as_bytes(), b.as_bytes());
             return distance_impl(a, b, &mut self.row_a);
@@ -83,6 +85,7 @@ impl ScratchBuffers {
 
     /// Allocation-free [`crate::levenshtein_bounded`].
     pub fn levenshtein_bounded(&mut self, a: &str, b: &str, max: usize) -> Option<usize> {
+        let _t = KernelTimer::start(Kernel::LevenshteinBounded);
         if a.is_ascii() && b.is_ascii() {
             let (a, b) = trim_common(a.as_bytes(), b.as_bytes());
             return bounded_impl(a, b, max, &mut self.row_a);
@@ -93,6 +96,7 @@ impl ScratchBuffers {
 
     /// Allocation-free [`crate::normalized_levenshtein`].
     pub fn normalized_levenshtein(&mut self, a: &str, b: &str) -> f64 {
+        let _t = KernelTimer::start(Kernel::NormalizedLevenshtein);
         if a.is_ascii() && b.is_ascii() {
             // For ASCII the byte count is the char count, so the trimmed
             // distance normalizes against the original byte lengths.
@@ -112,6 +116,7 @@ impl ScratchBuffers {
 
     /// Allocation-free [`crate::damerau_levenshtein`].
     pub fn damerau_levenshtein(&mut self, a: &str, b: &str) -> usize {
+        let _t = KernelTimer::start(Kernel::DamerauLevenshtein);
         self.decode(a, b);
         damerau_impl(
             &self.a_chars,
@@ -124,6 +129,7 @@ impl ScratchBuffers {
 
     /// Allocation-free [`crate::jaro`].
     pub fn jaro(&mut self, a: &str, b: &str) -> f64 {
+        let _t = KernelTimer::start(Kernel::Jaro);
         self.decode(a, b);
         jaro_impl(
             &self.a_chars,
@@ -136,6 +142,7 @@ impl ScratchBuffers {
 
     /// Allocation-free [`crate::jaro_winkler`].
     pub fn jaro_winkler(&mut self, a: &str, b: &str) -> f64 {
+        let _t = KernelTimer::start(Kernel::JaroWinkler);
         let j = self.jaro(a, b);
         let prefix = self
             .a_chars
@@ -149,6 +156,7 @@ impl ScratchBuffers {
 
     /// Allocation-free [`crate::lcs_length`].
     pub fn lcs_length(&mut self, a: &str, b: &str) -> usize {
+        let _t = KernelTimer::start(Kernel::Lcs);
         self.decode(a, b);
         lcs_impl(
             &self.a_chars,

@@ -1,0 +1,164 @@
+//! Opt-in global timing of the scratch distance kernels.
+//!
+//! The window scan's constant factor is dominated by the distance kernels
+//! (`c_wscan` in the paper's cost model), but phase timers only show the
+//! scan as a whole. This module attributes time to individual kernels: when
+//! enabled (CLI `--kernel-stats`), every [`crate::ScratchBuffers`] call
+//! records its wall time into process-global atomic counters, read out with
+//! [`snapshot`].
+//!
+//! Disabled (the default), each kernel call costs one relaxed atomic load.
+//! The counters are process-global — enable/reset around exactly the region
+//! you want to attribute, and expect composite kernels to count their parts
+//! too (`jaro_winkler` also records a nested `jaro`; the trimmed-down
+//! `levenshtein` inside `normalized_levenshtein` is *not* re-counted, the
+//! outer call subsumes it).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The timed kernels, one counter slot each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// [`crate::ScratchBuffers::levenshtein`]
+    Levenshtein,
+    /// [`crate::ScratchBuffers::levenshtein_bounded`]
+    LevenshteinBounded,
+    /// [`crate::ScratchBuffers::normalized_levenshtein`] (and
+    /// [`crate::ScratchBuffers::differ_slightly`], which delegates to it)
+    NormalizedLevenshtein,
+    /// [`crate::ScratchBuffers::damerau_levenshtein`]
+    DamerauLevenshtein,
+    /// [`crate::ScratchBuffers::jaro`]
+    Jaro,
+    /// [`crate::ScratchBuffers::jaro_winkler`]
+    JaroWinkler,
+    /// [`crate::ScratchBuffers::lcs_length`] /
+    /// [`crate::ScratchBuffers::lcs_similarity`]
+    Lcs,
+}
+
+impl Kernel {
+    /// Every kernel, in stable report order.
+    pub const ALL: [Kernel; 7] = [
+        Kernel::Levenshtein,
+        Kernel::LevenshteinBounded,
+        Kernel::NormalizedLevenshtein,
+        Kernel::DamerauLevenshtein,
+        Kernel::Jaro,
+        Kernel::JaroWinkler,
+        Kernel::Lcs,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Levenshtein => "levenshtein",
+            Kernel::LevenshteinBounded => "levenshtein_bounded",
+            Kernel::NormalizedLevenshtein => "normalized_levenshtein",
+            Kernel::DamerauLevenshtein => "damerau_levenshtein",
+            Kernel::Jaro => "jaro",
+            Kernel::JaroWinkler => "jaro_winkler",
+            Kernel::Lcs => "lcs",
+        }
+    }
+}
+
+const N: usize = Kernel::ALL.len();
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CALLS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
+static NANOS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
+
+/// Globally enables or disables kernel timing.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel timing is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes all kernel counters (timing enablement is unchanged).
+pub fn reset() {
+    for i in 0..N {
+        CALLS[i].store(0, Ordering::Relaxed);
+        NANOS[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// Current `(kernel name, calls, total nanoseconds)` for every kernel, in
+/// [`Kernel::ALL`] order (including zero-call kernels).
+pub fn snapshot() -> Vec<(&'static str, u64, u64)> {
+    Kernel::ALL
+        .iter()
+        .map(|&k| {
+            (
+                k.name(),
+                CALLS[k as usize].load(Ordering::Relaxed),
+                NANOS[k as usize].load(Ordering::Relaxed),
+            )
+        })
+        .collect()
+}
+
+/// RAII timer the scratch kernels open at entry; records on drop when
+/// timing is enabled, costs one atomic load when it is not.
+pub(crate) struct KernelTimer {
+    kernel: Kernel,
+    start: Option<Instant>,
+}
+
+impl KernelTimer {
+    #[inline]
+    pub(crate) fn start(kernel: Kernel) -> Self {
+        let start = enabled().then(Instant::now);
+        KernelTimer { kernel, start }
+    }
+}
+
+impl Drop for KernelTimer {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let i = self.kernel as usize;
+            CALLS[i].fetch_add(1, Ordering::Relaxed);
+            NANOS[i].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScratchBuffers;
+
+    /// The counters are process-global and other tests run concurrently, so
+    /// assertions are deltas on counters only this test's kernels touch.
+    #[test]
+    fn counts_calls_when_enabled_and_not_when_disabled() {
+        let mut s = ScratchBuffers::new();
+        let idx = Kernel::DamerauLevenshtein as usize;
+
+        let before = CALLS[idx].load(Ordering::Relaxed);
+        set_enabled(true);
+        s.damerau_levenshtein("KITTEN", "SITTING");
+        s.damerau_levenshtein("AB", "BA");
+        set_enabled(false);
+        let after = CALLS[idx].load(Ordering::Relaxed);
+        assert!(after >= before + 2, "expected ≥2 new calls recorded");
+
+        let frozen = CALLS[idx].load(Ordering::Relaxed);
+        s.damerau_levenshtein("KITTEN", "SITTING");
+        // No other test exercises damerau; disabled calls must not count.
+        assert_eq!(CALLS[idx].load(Ordering::Relaxed), frozen);
+
+        let snap = snapshot();
+        assert_eq!(snap.len(), Kernel::ALL.len());
+        assert_eq!(
+            snap[Kernel::DamerauLevenshtein as usize].0,
+            "damerau_levenshtein"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / `chrome://tracing`).
+
+use crate::span::TrackSpans;
+use std::fmt::Write;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders drained spans as Chrome trace-event JSON.
+///
+/// Each track becomes one `tid` with a `thread_name` metadata event, so a
+/// parallel run shows one horizontal track per worker fragment; every span
+/// becomes a complete (`"ph":"X"`) event with microsecond `ts`/`dur`.
+/// Open the file at <https://ui.perfetto.dev> or `chrome://tracing`.
+///
+/// ```
+/// use mp_trace::{chrome_trace_json, TraceCollector};
+///
+/// let tracer = TraceCollector::new();
+/// {
+///     let _run = tracer.span("run");
+/// }
+/// let json = chrome_trace_json(&tracer.drain());
+/// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.contains("\"name\":\"run\""));
+/// ```
+pub fn chrome_trace_json(tracks: &[TrackSpans]) -> String {
+    let mut out =
+        String::with_capacity(256 + tracks.iter().map(|t| t.spans.len() * 96).sum::<usize>());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n  ");
+    };
+    for t in tracks {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"",
+            t.track
+        );
+        escape_json(&t.thread_name, &mut out);
+        out.push_str("\"}}");
+    }
+    for t in tracks {
+        for s in &t.spans {
+            push_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"mergepurge\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{}",
+                s.name,
+                s.start_ns / 1_000,
+                s.start_ns % 1_000,
+                s.dur_ns() / 1_000,
+                s.dur_ns() % 1_000,
+                t.track
+            );
+            if let Some(label) = &s.label {
+                out.push_str(",\"args\":{\"label\":\"");
+                escape_json(label, &mut out);
+                out.push_str("\"}");
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceCollector;
+
+    #[test]
+    fn export_contains_metadata_and_complete_events() {
+        let tracer = TraceCollector::new();
+        {
+            let _run = tracer.span("run");
+            std::thread::scope(|scope| {
+                for j in 0..2 {
+                    let tracer = &tracer;
+                    scope.spawn(move || {
+                        let _f = tracer.span_labeled("fragment", format!("j={j}"));
+                    });
+                }
+            });
+        }
+        let json = chrome_trace_json(&tracer.drain());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        // One thread_name metadata event per track (main + 2 workers).
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert!(json.contains("\"name\":\"run\""));
+        assert!(json.contains("\"label\":\"j=0\""));
+        assert!(json.contains("\"label\":\"j=1\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let tracer = TraceCollector::new();
+        {
+            let _s = tracer.span_labeled("pass", "quote\" back\\slash\ttab".into());
+        }
+        let json = chrome_trace_json(&tracer.drain());
+        assert!(json.contains("quote\\\" back\\\\slash\\ttab"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_ns_fraction() {
+        let tracer = TraceCollector::new();
+        {
+            let _s = tracer.span("tick");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let tracks = tracer.drain();
+        let json = chrome_trace_json(&tracks);
+        let dur_ns = tracks[0].spans[0].dur_ns();
+        let expect = format!("\"dur\":{}.{:03}", dur_ns / 1_000, dur_ns % 1_000);
+        assert!(json.contains(&expect), "{json}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Low-overhead structured tracing for the merge/purge pipeline.
+//!
+//! The paper's evaluation (§3.3–3.5) is about *where* time and accuracy come
+//! from: per-pass contribution of each key, rule-evaluation cost versus sort
+//! and closure cost, serial-versus-parallel phase breakdowns. Flat end-of-run
+//! counters (see `mp-metrics`) answer *how much*; this crate answers *where
+//! and when*:
+//!
+//! - [`TraceCollector`] — hierarchical timed spans recorded into per-thread
+//!   buffers (one uncontended mutex per registered thread, locked only by its
+//!   owner until the run-end drain), so parallel fragments trace without
+//!   cross-thread contention. When tracing is disabled nothing is constructed
+//!   and the instrumentation sites cost a single branch on an `Option`.
+//! - [`LatencyHistogram`] — fixed log2-bucket atomic histograms for
+//!   rule-evaluation latencies; no allocation on the record path, p50/p95/p99
+//!   read out at report time.
+//! - [`chrome_trace_json`] — export of the drained spans as Chrome
+//!   trace-event JSON, loadable in Perfetto / `chrome://tracing`, with one
+//!   track (tid) per registered thread.
+//! - [`ProgressMeter`] — throttled records/s + ETA heartbeat lines for long
+//!   runs.
+//!
+//! All timing uses monotonic [`std::time::Instant`] only; wall-clock dates
+//! never enter a trace, so traces from the same workload are comparable.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod histogram;
+mod progress;
+mod span;
+
+pub use chrome::chrome_trace_json;
+pub use histogram::{HistogramSnapshot, LatencyHistogram, LATENCY_SAMPLE_MASK};
+pub use progress::ProgressMeter;
+pub use span::{SpanGuard, SpanNode, SpanRecord, TraceCollector, TrackSpans};

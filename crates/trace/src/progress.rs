@@ -1,0 +1,161 @@
+//! Throttled progress heartbeat for long runs (records/s + ETA on stderr).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Emits `progress:` heartbeat lines to stderr at most once per interval.
+///
+/// Workers call [`tick`](ProgressMeter::tick) with the units of work they
+/// just finished (comparisons, records sorted, …); the meter accumulates
+/// into an atomic counter and at most once per second (by default) one
+/// caller wins a compare-and-swap and prints a line with throughput and an
+/// ETA extrapolated from the expected total. `tick` costs one relaxed
+/// `fetch_add` plus the throttle check — safe to call from every window
+/// position on every worker thread.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    what: &'static str,
+    total: u64,
+    done: AtomicU64,
+    start: Instant,
+    last_emit_ms: AtomicU64,
+    interval_ms: u64,
+}
+
+impl ProgressMeter {
+    /// A meter expecting `total` units of `what` (e.g. `"comparisons"`).
+    pub fn new(what: &'static str, total: u64) -> Self {
+        ProgressMeter {
+            what,
+            total,
+            done: AtomicU64::new(0),
+            start: Instant::now(),
+            last_emit_ms: AtomicU64::new(0),
+            interval_ms: 1_000,
+        }
+    }
+
+    /// Overrides the minimum milliseconds between heartbeat lines.
+    #[must_use]
+    pub fn interval_ms(mut self, interval_ms: u64) -> Self {
+        self.interval_ms = interval_ms;
+        self
+    }
+
+    /// Units finished so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` finished units; prints a heartbeat if the interval has
+    /// elapsed since the last one.
+    #[inline]
+    pub fn tick(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_emit_ms.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(last) >= self.interval_ms
+            && self
+                .last_emit_ms
+                .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            eprintln!("{}", self.render(done));
+        }
+    }
+
+    /// Prints the final heartbeat unconditionally.
+    pub fn finish(&self) {
+        eprintln!("{} (done)", self.render(self.done()));
+    }
+
+    /// Renders one heartbeat line.
+    fn render(&self, done: u64) -> String {
+        let secs = self.start.elapsed().as_secs_f64();
+        render_line(self.what, done, self.total, secs)
+    }
+}
+
+/// Formats `12345678` as `12.3M`, `12345` as `12.3k`, `123` as `123`.
+fn human(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.1}G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.1}M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1}k", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
+}
+
+fn render_line(what: &str, done: u64, total: u64, elapsed_secs: f64) -> String {
+    let rate = if elapsed_secs > 0.0 {
+        done as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    let pct = if total > 0 {
+        100.0 * done as f64 / total as f64
+    } else {
+        0.0
+    };
+    let eta = if rate > 0.0 && total > done {
+        format!("{:.1}s", (total - done) as f64 / rate)
+    } else {
+        "0.0s".to_string()
+    };
+    format!(
+        "progress: {}/{} {what} ({pct:.1}%) | {}/s | eta {eta}",
+        human(done as f64),
+        human(total as f64),
+        human(rate),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_formats_rate_and_eta() {
+        let line = render_line("comparisons", 500_000, 1_000_000, 2.0);
+        assert_eq!(
+            line,
+            "progress: 500.0k/1.0M comparisons (50.0%) | 250.0k/s | eta 2.0s"
+        );
+    }
+
+    #[test]
+    fn render_handles_zero_total_and_overflow_done() {
+        let line = render_line("comparisons", 10, 0, 1.0);
+        assert!(line.contains("(0.0%)"), "{line}");
+        assert!(line.contains("eta 0.0s"), "{line}");
+        // done > total (estimate undershot): ETA clamps to zero.
+        let line = render_line("comparisons", 20, 10, 1.0);
+        assert!(line.contains("eta 0.0s"), "{line}");
+    }
+
+    #[test]
+    fn ticks_accumulate_across_threads() {
+        let m = ProgressMeter::new("comparisons", 1_000_000).interval_ms(u64::MAX);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1_000 {
+                        m.tick(7);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.done(), 4 * 1_000 * 7);
+    }
+
+    #[test]
+    fn human_scales() {
+        assert_eq!(human(12.0), "12");
+        assert_eq!(human(1_250.0), "1.2k");
+        assert_eq!(human(3_200_000.0), "3.2M");
+        assert_eq!(human(2_500_000_000.0), "2.5G");
+    }
+}

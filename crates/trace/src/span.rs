@@ -1,0 +1,392 @@
+//! Hierarchical timed spans recorded into per-thread buffers.
+//!
+//! A [`TraceCollector`] owns one epoch [`Instant`] and a registry of
+//! per-thread [`TrackSpans`] buffers. Opening a span hands back a
+//! [`SpanGuard`]; dropping the guard records `(name, depth, start, end)`
+//! into the buffer of the thread that opened it. Each buffer's mutex is
+//! only ever locked by its owner thread until the run-end [`drain`]
+//! (after all workers have joined), so recording never contends.
+//!
+//! [`drain`]: TraceCollector::drain
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Collector ids are process-global and never reused, so a stale
+/// thread-local registration from a finished run can never alias a new
+/// collector.
+static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How many `(collector, buffer)` registrations one thread keeps before
+/// evicting the oldest. Collectors are one-per-run; worker threads are
+/// scoped and die with the run, so only long-lived threads (main, test
+/// harness) ever approach the cap.
+const LOCAL_CAP: usize = 8;
+
+thread_local! {
+    static LOCAL: RefCell<Vec<(u64, Arc<TrackBuffer>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One finished span: what ran, how deep it nested, and when (nanoseconds
+/// relative to the collector's epoch).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Static span name from the taxonomy (`"run"`, `"pass"`, `"sort"`, …).
+    pub name: &'static str,
+    /// Optional dynamic qualifier (key name, fragment index, …).
+    pub label: Option<String>,
+    /// Nesting depth at open time on the recording thread (root = 0).
+    pub depth: u32,
+    /// Start offset from the collector epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the collector epoch, in nanoseconds.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Per-thread recording buffer. Only the owner thread pushes; the collector
+/// drains after the owner has finished (scoped threads join before the
+/// drain), so the mutex is uncontended on the hot path.
+#[derive(Debug)]
+pub(crate) struct TrackBuffer {
+    pub(crate) track: u32,
+    pub(crate) thread_name: String,
+    /// Current open-span depth on the owner thread. Only the owner mutates
+    /// it (atomics purely to stay `Sync`; ordering is `Relaxed`).
+    depth: AtomicU32,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// All spans recorded by one thread, in tree-build order.
+#[derive(Debug, Clone)]
+pub struct TrackSpans {
+    /// Stable per-collector track index (registration order; the run's
+    /// opening thread is track 0).
+    pub track: u32,
+    /// OS thread name at registration time, or `"thread-<track>"`.
+    pub thread_name: String,
+    /// Spans sorted by `(start_ns, depth)` — parents precede children.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Static span name.
+    pub name: &'static str,
+    /// Optional dynamic qualifier.
+    pub label: Option<String>,
+    /// Start offset from the collector epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl TrackSpans {
+    /// Reconstructs the span forest of this track from the recorded depths.
+    pub fn tree(&self) -> Vec<SpanNode> {
+        let mut roots: Vec<SpanNode> = Vec::new();
+        // Stack of (depth, node) for the currently open ancestor chain.
+        let mut stack: Vec<(u32, SpanNode)> = Vec::new();
+        for span in &self.spans {
+            while let Some((d, _)) = stack.last() {
+                if *d >= span.depth {
+                    let (_, done) = stack.pop().expect("non-empty");
+                    match stack.last_mut() {
+                        Some((_, parent)) => parent.children.push(done),
+                        None => roots.push(done),
+                    }
+                } else {
+                    break;
+                }
+            }
+            stack.push((
+                span.depth,
+                SpanNode {
+                    name: span.name,
+                    label: span.label.clone(),
+                    start_ns: span.start_ns,
+                    dur_ns: span.dur_ns(),
+                    children: Vec::new(),
+                },
+            ));
+        }
+        while let Some((_, done)) = stack.pop() {
+            match stack.last_mut() {
+                Some((_, parent)) => parent.children.push(done),
+                None => roots.push(done),
+            }
+        }
+        roots
+    }
+}
+
+/// Collects timed spans from any number of threads with per-thread buffers.
+///
+/// ```
+/// use mp_trace::TraceCollector;
+///
+/// let tracer = TraceCollector::new();
+/// {
+///     let _run = tracer.span("run");
+///     let _pass = tracer.span_labeled("pass", "key=last_name".into());
+///     // … work …
+/// } // guards drop innermost-first, closing the spans
+/// let tracks = tracer.drain();
+/// let tree = tracks[0].tree();
+/// assert_eq!(tree[0].name, "run");
+/// assert_eq!(tree[0].children[0].name, "pass");
+/// ```
+#[derive(Debug)]
+pub struct TraceCollector {
+    id: u64,
+    epoch: Instant,
+    tracks: Mutex<Vec<Arc<TrackBuffer>>>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A fresh collector; its epoch (trace time zero) is now.
+    pub fn new() -> Self {
+        TraceCollector {
+            id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            tracks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The calling thread's buffer, registering it on first use.
+    fn local_buffer(&self) -> Arc<TrackBuffer> {
+        LOCAL.with(|local| {
+            let mut local = local.borrow_mut();
+            if let Some((_, buf)) = local.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(buf);
+            }
+            let mut tracks = self.tracks.lock().expect("trace registry poisoned");
+            let track = tracks.len() as u32;
+            let thread_name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("thread-{track}"));
+            let buf = Arc::new(TrackBuffer {
+                track,
+                thread_name,
+                depth: AtomicU32::new(0),
+                spans: Mutex::new(Vec::new()),
+            });
+            tracks.push(Arc::clone(&buf));
+            if local.len() == LOCAL_CAP {
+                local.remove(0);
+            }
+            local.push((self.id, Arc::clone(&buf)));
+            buf
+        })
+    }
+
+    /// Opens a span; it closes (and is recorded) when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_inner(name, None)
+    }
+
+    /// Opens a span with a dynamic label (key name, fragment index, …).
+    pub fn span_labeled(&self, name: &'static str, label: String) -> SpanGuard {
+        self.span_inner(name, Some(label))
+    }
+
+    fn span_inner(&self, name: &'static str, label: Option<String>) -> SpanGuard {
+        let buf = self.local_buffer();
+        let depth = buf.depth.fetch_add(1, Ordering::Relaxed);
+        SpanGuard {
+            buf,
+            epoch: self.epoch,
+            name,
+            label,
+            depth,
+            start: Instant::now(),
+        }
+    }
+
+    /// Drains every thread's buffer into [`TrackSpans`], sorted by track.
+    ///
+    /// Call after all traced worker threads have joined (scoped threads
+    /// guarantee this structurally). Spans still open on the *calling*
+    /// thread are unaffected; they record when their guards drop, and a
+    /// later drain picks them up.
+    pub fn drain(&self) -> Vec<TrackSpans> {
+        let tracks = self.tracks.lock().expect("trace registry poisoned");
+        let mut out: Vec<TrackSpans> = tracks
+            .iter()
+            .map(|buf| {
+                let mut spans =
+                    std::mem::take(&mut *buf.spans.lock().expect("track buffer poisoned"));
+                spans.sort_by_key(|s| (s.start_ns, s.depth));
+                TrackSpans {
+                    track: buf.track,
+                    thread_name: buf.thread_name.clone(),
+                    spans,
+                }
+            })
+            .filter(|t| !t.spans.is_empty())
+            .collect();
+        out.sort_by_key(|t| t.track);
+        out
+    }
+}
+
+/// RAII guard for an open span; records the span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    buf: Arc<TrackBuffer>,
+    epoch: Instant,
+    name: &'static str,
+    label: Option<String>,
+    depth: u32,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end = Instant::now();
+        let start_ns = self.start.saturating_duration_since(self.epoch).as_nanos() as u64;
+        let end_ns = end.saturating_duration_since(self.epoch).as_nanos() as u64;
+        self.buf.depth.fetch_sub(1, Ordering::Relaxed);
+        self.buf
+            .spans
+            .lock()
+            .expect("track buffer poisoned")
+            .push(SpanRecord {
+                name: self.name,
+                label: self.label.take(),
+                depth: self.depth,
+                start_ns,
+                end_ns,
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_reconstructed_in_order() {
+        let tracer = TraceCollector::new();
+        {
+            let _run = tracer.span("run");
+            for i in 0..3 {
+                let _pass = tracer.span_labeled("pass", format!("i={i}"));
+                let _sort = tracer.span("sort");
+                drop(_sort);
+                let _scan = tracer.span("window_scan");
+            }
+        }
+        let tracks = tracer.drain();
+        assert_eq!(tracks.len(), 1);
+        let tree = tracks[0].tree();
+        assert_eq!(tree.len(), 1);
+        let run = &tree[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.children.len(), 3);
+        for (i, pass) in run.children.iter().enumerate() {
+            assert_eq!(pass.name, "pass");
+            assert_eq!(pass.label.as_deref(), Some(format!("i={i}").as_str()));
+            let kids: Vec<&str> = pass.children.iter().map(|c| c.name).collect();
+            assert_eq!(kids, ["sort", "window_scan"]);
+            // Children are contained in the parent's interval.
+            for c in &pass.children {
+                assert!(c.start_ns >= pass.start_ns);
+                assert!(c.start_ns + c.dur_ns <= pass.start_ns + pass.dur_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_threads_get_their_own_tracks() {
+        let tracer = TraceCollector::new();
+        {
+            let _run = tracer.span("run");
+            std::thread::scope(|scope| {
+                for j in 0..4 {
+                    let tracer = &tracer;
+                    scope.spawn(move || {
+                        let _frag = tracer.span_labeled("fragment", format!("j={j}"));
+                        let _scan = tracer.span("scan");
+                    });
+                }
+            });
+        }
+        let tracks = tracer.drain();
+        // Main thread + 4 workers.
+        assert_eq!(tracks.len(), 5);
+        assert_eq!(tracks[0].track, 0);
+        assert_eq!(tracks[0].tree()[0].name, "run");
+        let mut fragment_labels: Vec<String> = tracks[1..]
+            .iter()
+            .map(|t| {
+                let tree = t.tree();
+                assert_eq!(tree.len(), 1, "one fragment root per worker track");
+                assert_eq!(tree[0].name, "fragment");
+                assert_eq!(tree[0].children.len(), 1);
+                assert_eq!(tree[0].children[0].name, "scan");
+                tree[0].label.clone().unwrap()
+            })
+            .collect();
+        fragment_labels.sort();
+        assert_eq!(fragment_labels, ["j=0", "j=1", "j=2", "j=3"]);
+    }
+
+    #[test]
+    fn sibling_spans_keep_start_order() {
+        let tracer = TraceCollector::new();
+        {
+            let _a = tracer.span("first");
+        }
+        {
+            let _b = tracer.span("second");
+        }
+        let tracks = tracer.drain();
+        let names: Vec<&str> = tracks[0].tree().iter().map(|n| n.name).collect();
+        assert_eq!(names, ["first", "second"]);
+    }
+
+    #[test]
+    fn drain_is_empty_after_drain() {
+        let tracer = TraceCollector::new();
+        {
+            let _s = tracer.span("once");
+        }
+        assert_eq!(tracer.drain().len(), 1);
+        assert!(tracer.drain().is_empty(), "drain consumes the buffers");
+    }
+
+    #[test]
+    fn two_collectors_on_one_thread_do_not_mix() {
+        let a = TraceCollector::new();
+        let b = TraceCollector::new();
+        {
+            let _sa = a.span("only_a");
+            let _sb = b.span("only_b");
+        }
+        let ta = a.drain();
+        let tb = b.drain();
+        assert_eq!(ta[0].spans.len(), 1);
+        assert_eq!(ta[0].spans[0].name, "only_a");
+        assert_eq!(tb[0].spans.len(), 1);
+        assert_eq!(tb[0].spans[0].name, "only_b");
+    }
+}

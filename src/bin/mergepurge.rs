@@ -13,9 +13,14 @@
 
 use merge_purge::{Evaluation, KeySpec, MergePurge, MergePurgeResult, Purger};
 use mp_datagen::{DatabaseGenerator, GeneratorConfig, GroundTruth};
-use mp_metrics::MetricsRecorder;
+use mp_metrics::{
+    chrome_trace_json, KernelTime, MetricsRecorder, PipelineObserver, RuleFiringReport,
+    SpanTreeTrack,
+};
 use mp_record::{io as rio, Record};
-use mp_rules::{EquationalTheory, NativeEmployeeTheory, RuleProgram, Survivorship};
+use mp_rules::{
+    EquationalTheory, NativeEmployeeTheory, RuleFiringCounter, RuleProgram, Survivorship,
+};
 use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -53,16 +58,25 @@ mergepurge — sorted-neighborhood merge/purge (Hernandez & Stolfo, SIGMOD 1995)
 commands:
   generate  --out FILE [--records N] [--duplicates F] [--max-dups K] [--seed S]
   dedupe    --input FILE [--rules FILE] [--window W] [--keys a,b,c]
-            [--pairs-out FILE] [--classes-out FILE] [--eval] [--stats FILE]
-            [--no-prune]
+            [--pairs-out FILE] [--classes-out FILE] [--eval] [--stats FILE|-]
+            [--trace FILE] [--progress] [--kernel-stats] [--no-prune]
   purge     --input FILE --out FILE [--rules FILE] [--window W] [--keys a,b,c]
-            [--stats FILE] [--no-prune]
+            [--stats FILE|-] [--trace FILE] [--progress] [--kernel-stats]
+            [--no-prune]
   explain   --input FILE --a ID --b ID [--rules FILE]
 
 --stats FILE writes a JSON pipeline report (comparison, match, and closure
-counters plus per-phase nanosecond timings) collected by mp-metrics. The
-counter section is deterministic for a fixed input and configuration. See
-docs/METRICS.md for the schema.
+counters, per-pass attribution, per-rule firing counts, per-phase timings,
+rule-latency quantiles, and the timed span tree) collected by mp-metrics;
+`--stats -` prints the report to stdout (status lines move to stderr, so
+the output pipes cleanly into jq). The section before the
+\"phases_ns\" key is deterministic for a fixed input and configuration. See
+docs/METRICS.md for the schema and docs/TRACING.md for the tracing layer.
+
+--trace FILE writes a Chrome trace-event JSON (load it in Perfetto or
+chrome://tracing; one track per thread, so parallel fragments get their own
+rows). --progress prints a records/s + ETA heartbeat to stderr.
+--kernel-stats additionally times the string-distance kernels.
 
 --no-prune disables closure-aware pruning: by default window pairs already
 known to be duplicates (transitively, across passes) skip rule evaluation,
@@ -109,6 +123,14 @@ impl Flags {
         self.get(name)
             .ok_or_else(|| format!("--{name} is required"))
     }
+}
+
+/// Prints a human-readable status line: stdout normally, stderr when the
+/// machine-readable report owns stdout (`--stats -`).
+macro_rules! status {
+    ($to_stderr:expr, $($arg:tt)*) => {
+        if $to_stderr { eprintln!($($arg)*) } else { println!($($arg)*) }
+    };
 }
 
 fn generate(flags: &Flags) -> Result<(), String> {
@@ -197,44 +219,130 @@ fn run_passes(
     flags: &Flags,
     records: &mut [Record],
     recorder: &MetricsRecorder,
-) -> Result<(MergePurgeResult, Theory), String> {
+    count_rules: bool,
+) -> Result<(MergePurgeResult, Theory, Option<RuleFiringReport>), String> {
     let window: usize = flags.get_parsed("window", 10)?;
     if window < 2 {
         return Err("--window must be at least 2".into());
     }
     let keys = parse_keys(flags)?;
     let theory = Theory::load(flags)?;
-    let mut pipeline = MergePurge::new(theory.as_dyn());
-    if flags.has("no-prune") {
-        pipeline = pipeline.without_pruning();
-    }
-    for key in keys {
-        pipeline = pipeline.pass(key, window);
-    }
-    let result = pipeline.run_observed(records, recorder);
-    Ok((result, theory))
+    let counter = count_rules.then(|| RuleFiringCounter::new(theory.as_dyn()));
+    let run = |t: &dyn EquationalTheory| {
+        let mut pipeline = MergePurge::new(t);
+        if flags.has("no-prune") {
+            pipeline = pipeline.without_pruning();
+        }
+        for key in keys {
+            pipeline = pipeline.pass(key, window);
+        }
+        pipeline.run_observed(records, recorder)
+    };
+    let result = match &counter {
+        Some(c) => run(c),
+        None => run(theory.as_dyn()),
+    };
+    let rules = counter.map(|c| RuleFiringReport {
+        theory: c.name().to_string(),
+        evaluations: c.evaluations(),
+        misses: c.misses(),
+        conditions_short_circuited: c.conditions_short_circuited(),
+        fired: c.rule_names().into_iter().zip(c.fired()).collect(),
+    });
+    Ok((result, theory, rules))
+}
+
+/// §3.5 expected window-scan comparisons, `(w−1)(N − w/2)` per pass.
+fn expected_comparisons(n: u64, window: u64, passes: u64) -> u64 {
+    let w = window.min(n.max(1));
+    (w - 1) * (n - w / 2) * passes
 }
 
 fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
     let mut records = load_records(flags)?;
-    let recorder = MetricsRecorder::new();
-    let (result, theory) = run_passes(flags, &mut records, &recorder)?;
+    let stats_dest = flags.get("stats").map(str::to_string);
+    let trace_path = flags.get("trace").map(str::to_string);
+    let want_report = stats_dest.is_some() || trace_path.is_some();
+    // With `--stats -` the report owns stdout; everything human-readable
+    // moves to stderr so the output pipes cleanly into `jq` and friends.
+    let to_stderr = stats_dest.as_deref() == Some("-");
+    let kernel_stats = flags.has("kernel-stats");
 
-    if let Some(path) = flags.get("stats") {
-        let json = recorder.report().to_json();
-        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote pipeline stats to {path}");
+    let mut recorder = MetricsRecorder::new();
+    if want_report {
+        recorder = recorder.with_tracing();
+    }
+    if flags.has("progress") {
+        let window: u64 = flags.get_parsed("window", 10u64)?;
+        let passes = parse_keys(flags)?.len() as u64;
+        let total = expected_comparisons(records.len() as u64, window, passes);
+        recorder = recorder.with_progress("comparisons", total);
+    }
+    if kernel_stats {
+        mp_strsim::timing::reset();
+        mp_strsim::timing::set_enabled(true);
+    }
+    let (result, theory, rules) = run_passes(flags, &mut records, &recorder, want_report)?;
+    if kernel_stats {
+        mp_strsim::timing::set_enabled(false);
+    }
+    if let Some(pm) = recorder.progress() {
+        pm.finish();
+    }
+
+    if want_report {
+        // Drain once; the Chrome trace and the report share the tracks.
+        let tracks = recorder.drain_spans();
+        if let Some(path) = &trace_path {
+            let json = chrome_trace_json(&tracks);
+            std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+            status!(
+                to_stderr,
+                "wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)"
+            );
+        }
+        if let Some(dest) = &stats_dest {
+            let mut report = recorder.report();
+            report.span_tree = tracks.into_iter().map(SpanTreeTrack::from).collect();
+            report.attribution = Some(result.attribution.clone());
+            report.rules = rules;
+            if kernel_stats {
+                report.kernels = mp_strsim::timing::snapshot()
+                    .into_iter()
+                    .map(|(name, calls, total_ns)| KernelTime {
+                        name,
+                        calls,
+                        total_ns,
+                    })
+                    .collect();
+            }
+            let json = report.to_json();
+            if dest == "-" {
+                println!("{json}");
+            } else {
+                std::fs::write(dest, json).map_err(|e| format!("write {dest}: {e}"))?;
+                println!("wrote pipeline stats to {dest}");
+            }
+        }
+    } else if kernel_stats {
+        for (name, calls, total_ns) in mp_strsim::timing::snapshot() {
+            if calls > 0 {
+                println!("  kernel {name:<24} {calls:>10} calls  {total_ns:>12} ns");
+            }
+        }
     }
 
     let found: usize = result.classes.iter().map(|c| c.len() - 1).sum();
-    println!(
+    status!(
+        to_stderr,
         "{} records -> {} duplicate groups ({} records shadowed)",
         records.len(),
         result.classes.len(),
         found
     );
     for pass in &result.passes {
-        println!(
+        status!(
+            to_stderr,
             "  pass [{:>10}] w={:<3} {:>8} pairs, {:>10} comparisons, {:>10} pruned, {:?}",
             pass.key_name,
             pass.window,
@@ -248,12 +356,18 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
     if flags.has("eval") {
         let truth = GroundTruth::from_records(&records);
         if truth.true_pair_count() == 0 {
-            println!("(no ground-truth entity ids in input; --eval skipped)");
+            status!(
+                to_stderr,
+                "(no ground-truth entity ids in input; --eval skipped)"
+            );
         } else {
             let eval = Evaluation::score(&result.closed_pairs, &truth);
-            println!(
+            status!(
+                to_stderr,
                 "accuracy: {:.1}% of {} true pairs detected, {:.3}% false positives",
-                eval.percent_detected, eval.true_pairs, eval.percent_false_positive
+                eval.percent_detected,
+                eval.true_pairs,
+                eval.percent_false_positive
             );
         }
     }
@@ -263,7 +377,11 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
         for (a, b) in result.closed_pairs.sorted() {
             writeln!(f, "{a}\t{b}").map_err(|e| e.to_string())?;
         }
-        println!("wrote {} pairs to {path}", result.closed_pairs.len());
+        status!(
+            to_stderr,
+            "wrote {} pairs to {path}",
+            result.closed_pairs.len()
+        );
     }
     if let Some(path) = flags.get("classes-out") {
         let mut f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -271,7 +389,7 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
             let ids: Vec<String> = class.iter().map(u32::to_string).collect();
             writeln!(f, "{}", ids.join("\t")).map_err(|e| e.to_string())?;
         }
-        println!("wrote {} groups to {path}", result.classes.len());
+        status!(to_stderr, "wrote {} groups to {path}", result.classes.len());
     }
 
     if purge {
@@ -280,7 +398,8 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
         let survivors = result.purge(&records, &purger);
         let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
         rio::write_records(file, &survivors).map_err(|e| format!("write {out}: {e}"))?;
-        println!(
+        status!(
+            to_stderr,
             "purged: {} -> {} records written to {out}",
             records.len(),
             survivors.len()
