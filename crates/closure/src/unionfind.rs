@@ -43,6 +43,90 @@ impl UnionFind {
         self.parent.len()
     }
 
+    /// Extends the id space to `n` elements, adding `n − len` fresh
+    /// singletons; a no-op when `n ≤ len`. Existing connectivity is
+    /// untouched, so incremental pipelines can grow the forest as new
+    /// record batches arrive instead of rebuilding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` exceeds `u32::MAX` elements.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n <= u32::MAX as usize, "id space exceeds u32");
+        let old = self.parent.len();
+        if n <= old {
+            return;
+        }
+        self.parent.extend(old as u32..n as u32);
+        self.rank.resize(n, 0);
+        self.sets += n - old;
+    }
+
+    /// Serializes the forest into `out` as a little-endian byte stream
+    /// (`n`, then parents, then ranks). The encoding captures the *current*
+    /// forest shape — paths already compressed stay compressed — so
+    /// [`UnionFind::decode`] reproduces identical connectivity and identical
+    /// future behavior. Used by the durable match store (`mp-store`) to
+    /// checkpoint closure state.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(4 + self.parent.len() * 5);
+        out.extend_from_slice(&(self.parent.len() as u32).to_le_bytes());
+        for &p in &self.parent {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out.extend_from_slice(&self.rank);
+    }
+
+    /// Reconstructs a forest serialized by [`UnionFind::encode_into`].
+    /// Validates structure (every parent in range, byte length exact) and
+    /// recomputes the set count from the root count rather than trusting
+    /// the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 4 {
+            return Err("union-find blob shorter than its length header".into());
+        }
+        let n = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let want = 4 + n * 4 + n;
+        if bytes.len() != want {
+            return Err(format!(
+                "union-find blob length {} != expected {want} for n={n}",
+                bytes.len()
+            ));
+        }
+        let mut parent = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 4 + i * 4;
+            let p = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            if p as usize >= n {
+                return Err(format!("parent {p} of element {i} out of range (n={n})"));
+            }
+            parent.push(p);
+        }
+        let rank = bytes[4 + n * 4..].to_vec();
+        // Union-by-rank invariant: rank strictly increases along parent
+        // pointers (path halving only ever re-points to a higher ancestor).
+        // Checking it rules out cycles, so a corrupt blob that slipped past
+        // the store's CRCs cannot make `find` spin forever.
+        for (i, &p) in parent.iter().enumerate() {
+            if p as usize != i && rank[p as usize] <= rank[i] {
+                return Err(format!(
+                    "rank does not increase from element {i} (rank {}) to parent {p} (rank {})",
+                    rank[i], rank[p as usize]
+                ));
+            }
+        }
+        let sets = parent
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| i == p as usize)
+            .count();
+        Ok(UnionFind { parent, rank, sets })
+    }
+
     /// True when the id space is empty.
     pub fn is_empty(&self) -> bool {
         self.parent.is_empty()
@@ -199,6 +283,64 @@ mod tests {
         uf.union(1, 2);
         assert_eq!(uf.closed_pairs(), vec![(0, 1), (0, 2), (1, 2)]);
         assert_eq!(uf.closed_pair_count(), 3);
+    }
+
+    #[test]
+    fn grow_adds_singletons_and_preserves_connectivity() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 2);
+        uf.grow(6);
+        assert_eq!(uf.len(), 6);
+        assert_eq!(uf.set_count(), 5); // {0,2} {1} {3} {4} {5}
+        assert!(uf.connected(0, 2));
+        for i in 3..6 {
+            assert!(uf.is_singleton(i));
+        }
+        uf.grow(2); // shrinking request is a no-op
+        assert_eq!(uf.len(), 6);
+        assert!(uf.union(5, 1));
+        assert_eq!(uf.set_count(), 4);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_everything() {
+        let mut uf = UnionFind::new(10);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(7, 8);
+        let mut blob = Vec::new();
+        uf.encode_into(&mut blob);
+        let mut back = UnionFind::decode(&blob).unwrap();
+        assert_eq!(back.len(), uf.len());
+        assert_eq!(back.set_count(), uf.set_count());
+        assert_eq!(back.classes(), uf.classes());
+        // The decoded forest keeps working: future unions behave normally.
+        assert!(back.union(2, 7));
+        assert!(back.connected(0, 8));
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_blobs() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        let mut blob = Vec::new();
+        uf.encode_into(&mut blob);
+
+        assert!(UnionFind::decode(&blob[..3]).is_err(), "short header");
+        assert!(
+            UnionFind::decode(&blob[..blob.len() - 1]).is_err(),
+            "truncated body"
+        );
+        let mut bad_parent = blob.clone();
+        bad_parent[4] = 200; // parent out of range
+        assert!(UnionFind::decode(&bad_parent).is_err());
+        // A two-cycle (0→1, 1→0) with equal ranks violates the rank
+        // invariant and must be rejected rather than looping forever.
+        let mut cycle = Vec::new();
+        UnionFind::new(2).encode_into(&mut cycle);
+        cycle[4..8].copy_from_slice(&1u32.to_le_bytes());
+        cycle[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(UnionFind::decode(&cycle).is_err());
     }
 
     #[test]

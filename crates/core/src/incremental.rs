@@ -18,19 +18,54 @@
 //! already been found. The accumulated incremental pair set is therefore a
 //! superset of the from-scratch pair set for the same keys and window — it
 //! never misses anything a full rerun would find (a test enforces this).
+//!
+//! # Durability
+//!
+//! The in-memory engine is deliberately a pure deterministic fold over the
+//! batch sequence: `state = fold(add_batch, empty, batches)`. That makes
+//! crash recovery trivial to reason about — [`DurableIncremental`] pairs
+//! the engine with an [`mp_store::MatchStore`] so that every batch is
+//! journaled (fsync'd) *before* it is applied, and a checkpoint
+//! ([`DurableIncremental::checkpoint`]) converts the engine state into a
+//! [`mp_store::Snapshot`] written atomically. On restart the snapshot is
+//! restored and the journal's unabsorbed batches are replayed through the
+//! exact same [`IncrementalMergePurge::add_batch`] code path, so a
+//! kill/restart sequence reaches byte-identical pairs, comparisons, and
+//! closure classes as an uninterrupted run (tests enforce this too).
 
 use crate::key::KeySpec;
 use mp_closure::{PairSet, UnionFind};
+use mp_metrics::{span, Counter, PipelineObserver};
 use mp_record::{Record, RecordId};
 use mp_rules::EquationalTheory;
+use mp_store::{MatchStore, PassSnapshot, Snapshot, StoreError};
+use std::path::Path;
 
-/// State of one pass: the key list and the sorted order over all records
-/// seen so far.
+/// State of one pass: the key list, the sorted order over all records
+/// seen so far, and cumulative match attribution.
+#[derive(Debug)]
 struct PassState {
     key: KeySpec,
     window: usize,
     keys: Vec<String>,
     order: Vec<u32>,
+    /// Matching comparisons this pass produced (counts re-finds).
+    pairs_found: u64,
+    /// Matching comparisons that were *new* to the global pair set.
+    pairs_first_found: u64,
+}
+
+/// Per-pass attribution counters, in pass order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassCounters {
+    /// The pass's key name (`KeySpec::name`).
+    pub key_name: String,
+    /// The pass's window size.
+    pub window: usize,
+    /// Matching comparisons this pass produced (counts re-finds).
+    pub pairs_found: u64,
+    /// Matching comparisons that were new to the global pair set.
+    pub pairs_first_found: u64,
 }
 
 /// Accumulating multi-pass merge/purge over arriving batches.
@@ -52,12 +87,17 @@ struct PassState {
 /// let classes = inc.classes();
 /// assert!(!classes.is_empty());
 /// ```
+#[derive(Debug)]
 pub struct IncrementalMergePurge {
     passes: Vec<PassState>,
     records: Vec<Record>,
     pairs: PairSet,
+    /// Union-find closure maintained eagerly as pairs are found.
+    closure: UnionFind,
     /// Comparisons performed across all batches (for cost accounting).
     comparisons: u64,
+    /// Number of batches folded in so far.
+    batches_applied: u64,
 }
 
 impl Default for IncrementalMergePurge {
@@ -73,7 +113,9 @@ impl IncrementalMergePurge {
             passes: Vec::new(),
             records: Vec::new(),
             pairs: PairSet::new(),
+            closure: UnionFind::new(0),
             comparisons: 0,
+            batches_applied: 0,
         }
     }
 
@@ -95,6 +137,8 @@ impl IncrementalMergePurge {
             window,
             keys: Vec::new(),
             order: Vec::new(),
+            pairs_found: 0,
+            pairs_first_found: 0,
         });
         self
     }
@@ -114,6 +158,24 @@ impl IncrementalMergePurge {
         self.comparisons
     }
 
+    /// Number of batches folded in so far.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
+    }
+
+    /// Per-pass attribution counters, in pass order.
+    pub fn pass_counters(&self) -> Vec<PassCounters> {
+        self.passes
+            .iter()
+            .map(|p| PassCounters {
+                key_name: p.key.name().to_string(),
+                window: p.window,
+                pairs_found: p.pairs_found,
+                pairs_first_found: p.pairs_first_found,
+            })
+            .collect()
+    }
+
     /// Ingests a batch: renumbers its records to follow the base, merges
     /// it into every pass's order, and scans only new-involving pairs.
     ///
@@ -130,6 +192,8 @@ impl IncrementalMergePurge {
             r.id = RecordId(old_len + i as u32);
         }
         self.records.append(&mut batch);
+        self.closure.grow(self.records.len());
+        self.batches_applied += 1;
 
         for p in 0..self.passes.len() {
             self.scan_pass(p, old_len, theory);
@@ -183,7 +247,11 @@ impl IncrementalMergePurge {
                 self.comparisons += 1;
                 let (a, b) = (&records[prev as usize], &records[new_id as usize]);
                 if theory.matches(a, b) {
-                    self.pairs.insert(prev, new_id);
+                    pass.pairs_found += 1;
+                    if self.pairs.insert(prev, new_id) {
+                        pass.pairs_first_found += 1;
+                        self.closure.union(prev, new_id);
+                    }
                 }
             }
         }
@@ -192,12 +260,295 @@ impl IncrementalMergePurge {
 
     /// Transitive closure over everything found so far.
     pub fn classes(&self) -> Vec<Vec<u32>> {
-        let mut uf = UnionFind::new(self.records.len());
-        for (a, b) in self.pairs.iter() {
-            uf.union(a, b);
-        }
-        uf.classes()
+        self.closure.clone().classes()
     }
+
+    /// Converts the full engine state into a storable [`Snapshot`].
+    pub fn to_snapshot(&self) -> Snapshot {
+        Snapshot {
+            records: self.records.clone(),
+            passes: self
+                .passes
+                .iter()
+                .map(|p| PassSnapshot {
+                    key_name: p.key.name().to_string(),
+                    window: p.window as u32,
+                    pairs_found: p.pairs_found,
+                    pairs_first_found: p.pairs_first_found,
+                    keys: p.keys.clone(),
+                    order: p.order.clone(),
+                })
+                .collect(),
+            pairs: self.pairs.sorted(),
+            closure: self.closure.clone(),
+            comparisons: self.comparisons,
+            batches_applied: self.batches_applied,
+        }
+    }
+
+    /// Restores engine state from a snapshot into a configured-but-empty
+    /// pipeline. The configured passes must match the snapshot's passes
+    /// (same count, key names, and windows, in order): the snapshot stores
+    /// key *names*, not key functions, so the caller supplies the same
+    /// [`KeySpec`]s the snapshot was built with.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first mismatch between the configured passes
+    /// and the snapshot, or `"records already added"` when `self` is not
+    /// empty.
+    pub fn restore(mut self, snap: Snapshot) -> Result<Self, String> {
+        if !self.records.is_empty() {
+            return Err("restore requires an empty engine (records already added)".into());
+        }
+        if self.passes.len() != snap.passes.len() {
+            return Err(format!(
+                "configured {} passes but snapshot has {}",
+                self.passes.len(),
+                snap.passes.len()
+            ));
+        }
+        for (i, (p, s)) in self.passes.iter_mut().zip(snap.passes).enumerate() {
+            if p.key.name() != s.key_name {
+                return Err(format!(
+                    "pass {i}: configured key {:?} but snapshot has {:?}",
+                    p.key.name(),
+                    s.key_name
+                ));
+            }
+            if p.window as u32 != s.window {
+                return Err(format!(
+                    "pass {i}: configured window {} but snapshot has {}",
+                    p.window, s.window
+                ));
+            }
+            p.keys = s.keys;
+            p.order = s.order;
+            p.pairs_found = s.pairs_found;
+            p.pairs_first_found = s.pairs_first_found;
+        }
+        self.records = snap.records;
+        let mut pairs = PairSet::with_capacity(snap.pairs.len());
+        for &(a, b) in &snap.pairs {
+            pairs.insert(a, b);
+        }
+        self.pairs = pairs;
+        self.closure = snap.closure;
+        self.comparisons = snap.comparisons;
+        self.batches_applied = snap.batches_applied;
+        Ok(self)
+    }
+}
+
+/// What [`DurableIncremental::open`] recovered from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was found and restored.
+    pub snapshot_loaded: bool,
+    /// Batches the snapshot had already absorbed.
+    pub batches_in_snapshot: u64,
+    /// Journaled batches replayed through [`IncrementalMergePurge::add_batch`].
+    pub batches_replayed: u64,
+    /// Bytes chopped off a torn/corrupt journal tail (0 when clean).
+    pub truncated_bytes: u64,
+    /// Why the tail was truncated, when it was.
+    pub truncation_reason: Option<String>,
+}
+
+/// An [`IncrementalMergePurge`] engine wired to a durable
+/// [`MatchStore`]: every ingested batch is journaled (fsync'd) before it
+/// is applied, and checkpoints write an atomic snapshot.
+///
+/// The replay contract: reopening a store directory reconstructs *exactly*
+/// the state of the process that wrote it, because recovery replays the
+/// journal's unabsorbed batches through the same deterministic
+/// [`IncrementalMergePurge::add_batch`] fold the original process ran.
+///
+/// ```
+/// use merge_purge::{incremental::DurableIncremental, KeySpec};
+/// use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+/// use mp_metrics::NoopObserver;
+/// use mp_rules::NativeEmployeeTheory;
+///
+/// let dir = std::env::temp_dir().join(format!("mp-inc-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let theory = NativeEmployeeTheory::new();
+/// let obs = NoopObserver;
+/// let passes = |e: merge_purge::incremental::IncrementalMergePurge| {
+///     e.pass(KeySpec::last_name_key(), 10)
+/// };
+/// let db = DatabaseGenerator::new(GeneratorConfig::new(200).seed(7)).generate();
+/// let mid = db.records.len() / 2;
+///
+/// // First process: ingest two batches — journaled, but never checkpointed.
+/// let (mut d, _) = DurableIncremental::open(&dir, passes, &theory, &obs).unwrap();
+/// d.ingest(db.records[..mid].to_vec(), &theory, &obs).unwrap();
+/// d.ingest(db.records[mid..].to_vec(), &theory, &obs).unwrap();
+/// let classes = d.engine().classes();
+/// let comparisons = d.engine().comparisons();
+/// drop(d); // "kill -9": no snapshot was written
+///
+/// // Restart: the journal replays both batches deterministically.
+/// let (d2, report) = DurableIncremental::open(&dir, passes, &theory, &obs).unwrap();
+/// assert_eq!(report.batches_replayed, 2);
+/// assert!(!report.snapshot_loaded);
+/// assert_eq!(d2.engine().classes(), classes);
+/// assert_eq!(d2.engine().comparisons(), comparisons);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct DurableIncremental {
+    engine: IncrementalMergePurge,
+    store: MatchStore,
+    batches_since_checkpoint: u64,
+}
+
+impl DurableIncremental {
+    /// Opens (creating if needed) the store at `dir`, restores the last
+    /// snapshot, and replays journaled batches the snapshot missed.
+    ///
+    /// `configure` adds the pass configuration to an empty engine; it must
+    /// configure the same passes every time the same store is opened (the
+    /// snapshot records key names and windows and restore validates them).
+    ///
+    /// Observer wiring: `Counter::JournalReplays` counts replayed batches,
+    /// `Counter::CorruptTailTruncations` increments when a torn tail was
+    /// chopped (also reported via `eprintln!` — never silent), and the
+    /// whole recovery runs under a `load` span.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, corrupt snapshot, or a pass-configuration mismatch
+    /// against the stored snapshot (as [`StoreError::Corrupt`]).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        configure: impl FnOnce(IncrementalMergePurge) -> IncrementalMergePurge,
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> Result<(DurableIncremental, RecoveryReport), StoreError> {
+        let _load = span(observer, "load");
+        let (store, loaded) = MatchStore::open(dir)?;
+
+        if loaded.recovery.truncated() {
+            observer.add(Counter::CorruptTailTruncations, 1);
+            eprintln!(
+                "mp-store: truncated {} corrupt journal byte(s) at {}: {}",
+                loaded.recovery.truncated_bytes,
+                store.dir().display(),
+                loaded
+                    .recovery
+                    .truncation_reason
+                    .as_deref()
+                    .unwrap_or("unknown"),
+            );
+        }
+
+        let mut engine = configure(IncrementalMergePurge::new());
+        let mut report = RecoveryReport {
+            snapshot_loaded: false,
+            batches_in_snapshot: 0,
+            batches_replayed: 0,
+            truncated_bytes: loaded.recovery.truncated_bytes,
+            truncation_reason: loaded.recovery.truncation_reason.clone(),
+        };
+        if let Some(snap) = loaded.snapshot {
+            report.snapshot_loaded = true;
+            report.batches_in_snapshot = snap.batches_applied;
+            engine = engine.restore(snap).map_err(StoreError::Corrupt)?;
+        }
+        for (_seq, batch) in loaded.replayable {
+            apply_observed(&mut engine, batch, theory, observer);
+            report.batches_replayed += 1;
+        }
+        observer.add(Counter::JournalReplays, report.batches_replayed);
+
+        Ok((
+            DurableIncremental {
+                engine,
+                store,
+                batches_since_checkpoint: report.batches_replayed,
+            },
+            report,
+        ))
+    }
+
+    /// Ingests one batch durably: journal append + fsync first, then the
+    /// in-memory fold. Returns the batch's journal sequence number.
+    ///
+    /// Increments `Counter::BatchesIngested` (plus the comparison/match
+    /// counters for the scan work) and runs under an `ingest` span.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure appending to the journal; the batch is then *not*
+    /// applied (it was never acknowledged, so no state diverges).
+    pub fn ingest(
+        &mut self,
+        batch: Vec<Record>,
+        theory: &dyn EquationalTheory,
+        observer: &dyn PipelineObserver,
+    ) -> Result<u64, StoreError> {
+        let _ingest = span(observer, "ingest");
+        let seq = self.store.append_batch(&batch)?;
+        apply_observed(&mut self.engine, batch, theory, observer);
+        observer.add(Counter::BatchesIngested, 1);
+        self.batches_since_checkpoint += 1;
+        Ok(seq)
+    }
+
+    /// Writes an atomic snapshot of the current engine state and resets
+    /// the journal. Returns the snapshot size in bytes (also added to
+    /// `Counter::SnapshotBytes`); runs under a `snapshot` span.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing the snapshot; the store still recovers from the
+    /// previous snapshot + journal.
+    pub fn checkpoint(&mut self, observer: &dyn PipelineObserver) -> Result<u64, StoreError> {
+        let _snap = span(observer, "snapshot");
+        let bytes = self.store.write_snapshot(&self.engine.to_snapshot())?;
+        observer.add(Counter::SnapshotBytes, bytes);
+        self.batches_since_checkpoint = 0;
+        Ok(bytes)
+    }
+
+    /// The in-memory engine (records, pairs, closure, counters).
+    pub fn engine(&self) -> &IncrementalMergePurge {
+        &self.engine
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &MatchStore {
+        &self.store
+    }
+
+    /// Batches applied since the last checkpoint (replayed ones count:
+    /// they live only in the journal until the next checkpoint).
+    pub fn batches_since_checkpoint(&self) -> u64 {
+        self.batches_since_checkpoint
+    }
+}
+
+/// Applies a batch and reports the comparison/match deltas to `observer`,
+/// so durable ingest and journal replay feed `--stats` identically.
+fn apply_observed(
+    engine: &mut IncrementalMergePurge,
+    batch: Vec<Record>,
+    theory: &dyn EquationalTheory,
+    observer: &dyn PipelineObserver,
+) {
+    let comparisons0 = engine.comparisons;
+    let found0: u64 = engine.passes.iter().map(|p| p.pairs_found).sum();
+    let keyed0: u64 = engine.passes.iter().map(|p| p.keys.len() as u64).sum();
+    engine.add_batch(batch, theory);
+    let d_cmp = engine.comparisons - comparisons0;
+    let found1: u64 = engine.passes.iter().map(|p| p.pairs_found).sum();
+    let keyed1: u64 = engine.passes.iter().map(|p| p.keys.len() as u64).sum();
+    observer.add(Counter::RecordsKeyed, keyed1 - keyed0);
+    observer.add(Counter::Comparisons, d_cmp);
+    // Incremental scans invoke the theory on every comparison (no pruning).
+    observer.add(Counter::RuleInvocations, d_cmp);
+    observer.add(Counter::Matches, found1 - found0);
 }
 
 #[cfg(test)]
@@ -205,7 +556,10 @@ mod tests {
     use super::*;
     use crate::multipass::MultiPass;
     use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+    use mp_metrics::NoopObserver;
     use mp_rules::NativeEmployeeTheory;
+    use mp_store::JOURNAL_FILE;
+    use std::path::PathBuf;
 
     fn batches(seed: u64, n: usize, parts: usize) -> Vec<Vec<Record>> {
         let db = DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.5).seed(seed))
@@ -325,5 +679,163 @@ mod tests {
     fn batch_without_passes_rejected() {
         let theory = NativeEmployeeTheory::new();
         IncrementalMergePurge::new().add_batch(vec![], &theory);
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mp-inc-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn two_pass(e: IncrementalMergePurge) -> IncrementalMergePurge {
+        e.pass(KeySpec::last_name_key(), 8)
+            .pass(KeySpec::first_name_key(), 8)
+    }
+
+    /// Everything that must be identical across crash/recovery paths.
+    fn fingerprint(e: &IncrementalMergePurge) -> (Vec<(u32, u32)>, u64, u64, Vec<PassCounters>) {
+        (
+            e.pairs().sorted(),
+            e.comparisons(),
+            e.batches_applied(),
+            e.pass_counters(),
+        )
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_then_diverge_identically() {
+        let theory = NativeEmployeeTheory::new();
+        let parts = batches(9005, 500, 4);
+        let mut a = two_pass(IncrementalMergePurge::new());
+        for b in &parts[..3] {
+            a.add_batch(b.clone(), &theory);
+        }
+        let mut b = two_pass(IncrementalMergePurge::new())
+            .restore(a.to_snapshot())
+            .unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(a.classes(), b.classes());
+        // The restored engine folds the next batch exactly like the original.
+        a.add_batch(parts[3].clone(), &theory);
+        b.add_batch(parts[3].clone(), &theory);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(a.classes(), b.classes());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_passes() {
+        let theory = NativeEmployeeTheory::new();
+        let mut a = two_pass(IncrementalMergePurge::new());
+        a.add_batch(batches(9006, 100, 1).remove(0), &theory);
+        let snap = a.to_snapshot();
+        // Wrong pass count.
+        let err = IncrementalMergePurge::new()
+            .pass(KeySpec::last_name_key(), 8)
+            .restore(snap.clone())
+            .unwrap_err();
+        assert!(err.contains("1 passes"), "{err}");
+        // Wrong key in slot 1.
+        let err = IncrementalMergePurge::new()
+            .pass(KeySpec::last_name_key(), 8)
+            .pass(KeySpec::address_key(), 8)
+            .restore(snap.clone())
+            .unwrap_err();
+        assert!(err.contains("pass 1"), "{err}");
+        // Wrong window.
+        let err = IncrementalMergePurge::new()
+            .pass(KeySpec::last_name_key(), 8)
+            .pass(KeySpec::first_name_key(), 4)
+            .restore(snap)
+            .unwrap_err();
+        assert!(err.contains("window"), "{err}");
+    }
+
+    #[test]
+    fn kill_restart_between_every_batch_is_deterministic() {
+        let theory = NativeEmployeeTheory::new();
+        let obs = NoopObserver;
+        let parts = batches(9007, 500, 4);
+
+        // Golden: one uninterrupted process, never checkpointing.
+        let dir_a = tmp_dir("golden");
+        let (mut a, _) = DurableIncremental::open(&dir_a, two_pass, &theory, &obs).unwrap();
+        for b in &parts {
+            a.ingest(b.clone(), &theory, &obs).unwrap();
+        }
+        let want = fingerprint(a.engine());
+        let want_classes = a.engine().classes();
+
+        // Kill -9 (drop without checkpoint) and reopen between every batch.
+        let dir_b = tmp_dir("killer");
+        for (i, b) in parts.iter().enumerate() {
+            let (mut d, report) =
+                DurableIncremental::open(&dir_b, two_pass, &theory, &obs).unwrap();
+            assert_eq!(report.batches_replayed, i as u64);
+            d.ingest(b.clone(), &theory, &obs).unwrap();
+        }
+        let (d, _) = DurableIncremental::open(&dir_b, two_pass, &theory, &obs).unwrap();
+        assert_eq!(fingerprint(d.engine()), want);
+        assert_eq!(d.engine().classes(), want_classes);
+
+        // Checkpoint mid-way, kill, reopen, finish: same answer again.
+        let dir_c = tmp_dir("checkpointed");
+        let (mut d, _) = DurableIncremental::open(&dir_c, two_pass, &theory, &obs).unwrap();
+        d.ingest(parts[0].clone(), &theory, &obs).unwrap();
+        d.ingest(parts[1].clone(), &theory, &obs).unwrap();
+        d.checkpoint(&obs).unwrap();
+        assert_eq!(d.batches_since_checkpoint(), 0);
+        d.ingest(parts[2].clone(), &theory, &obs).unwrap();
+        drop(d);
+        let (mut d, report) = DurableIncremental::open(&dir_c, two_pass, &theory, &obs).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.batches_in_snapshot, 2);
+        assert_eq!(report.batches_replayed, 1);
+        d.ingest(parts[3].clone(), &theory, &obs).unwrap();
+        assert_eq!(fingerprint(d.engine()), want);
+        assert_eq!(d.engine().classes(), want_classes);
+
+        for dir in [dir_a, dir_b, dir_c] {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn mid_journal_truncation_recovers_and_reingest_converges() {
+        let theory = NativeEmployeeTheory::new();
+        let obs = NoopObserver;
+        let parts = batches(9008, 400, 3);
+
+        let dir = tmp_dir("torn");
+        let (mut d, _) = DurableIncremental::open(&dir, two_pass, &theory, &obs).unwrap();
+        let mut journal_len_after = Vec::new();
+        for b in &parts {
+            d.ingest(b.clone(), &theory, &obs).unwrap();
+            journal_len_after.push(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len());
+        }
+        drop(d);
+
+        // Tear the last frame mid-payload, as a crash during append would.
+        let journal = dir.join(JOURNAL_FILE);
+        let torn = (journal_len_after[1] + journal_len_after[2]) / 2;
+        let data = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &data[..torn as usize]).unwrap();
+
+        let (mut d, report) = DurableIncremental::open(&dir, two_pass, &theory, &obs).unwrap();
+        assert!(report.truncated_bytes > 0, "torn tail must be reported");
+        assert!(report.truncation_reason.is_some());
+        assert_eq!(report.batches_replayed, 2, "intact prefix replays");
+
+        // The torn batch was never acknowledged; the client re-sends it and
+        // the result matches an uninterrupted 3-batch run.
+        d.ingest(parts[2].clone(), &theory, &obs).unwrap();
+        let mut golden = two_pass(IncrementalMergePurge::new());
+        for b in &parts {
+            golden.add_batch(b.clone(), &theory);
+        }
+        assert_eq!(fingerprint(d.engine()), fingerprint(&golden));
+        assert_eq!(d.engine().classes(), golden.classes());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -99,11 +99,22 @@ pub enum Counter {
     /// Comparisons crossing a fragment boundary in the band-replicated
     /// parallel window scan (the overlap work replication costs).
     BandOverlapComparisons,
+    /// Batches ingested by the incremental engine in this process (journal
+    /// replay does not count — see [`Counter::JournalReplays`]).
+    BatchesIngested,
+    /// Journaled batches replayed during store recovery (crash/restart).
+    JournalReplays,
+    /// Bytes written by match-store snapshot checkpoints.
+    SnapshotBytes,
+    /// Corrupt or torn journal tails detected and truncated during store
+    /// recovery. Nonzero means a crash landed mid-append and the store
+    /// dropped the unacknowledged tail — by design, never silently loaded.
+    CorruptTailTruncations,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::RecordsKeyed,
         Counter::Comparisons,
         Counter::RuleInvocations,
@@ -117,6 +128,10 @@ impl Counter {
         Counter::MergeFanIn,
         Counter::WorkerFragments,
         Counter::BandOverlapComparisons,
+        Counter::BatchesIngested,
+        Counter::JournalReplays,
+        Counter::SnapshotBytes,
+        Counter::CorruptTailTruncations,
     ];
 
     /// Stable snake_case name used in reports.
@@ -135,6 +150,10 @@ impl Counter {
             Counter::MergeFanIn => "merge_fan_in",
             Counter::WorkerFragments => "worker_fragments",
             Counter::BandOverlapComparisons => "band_overlap_comparisons",
+            Counter::BatchesIngested => "batches_ingested",
+            Counter::JournalReplays => "journal_replays",
+            Counter::SnapshotBytes => "snapshot_bytes",
+            Counter::CorruptTailTruncations => "corrupt_tail_truncations",
         }
     }
 

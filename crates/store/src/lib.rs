@@ -1,0 +1,347 @@
+#![warn(missing_docs)]
+
+//! Durable match-store for incremental merge/purge.
+//!
+//! The paper's §1 motivating workload is a *monthly cycle*: each month a
+//! new batch of records is merged against the ever-growing cleaned base.
+//! The natural production shape is therefore a long-lived service holding
+//! accumulated state — records, per-pass sorted key indexes, the matched
+//! pair set, and the union-find closure — that must survive process
+//! restarts and crashes mid-batch. This crate is that persistence layer:
+//!
+//! * [`Snapshot`] — a versioned binary checkpoint of the full state, every
+//!   section CRC-32-protected ([`snapshot`] documents the layout);
+//! * [`Journal`] — an append-only batch log with torn-tail detection and
+//!   truncation ([`journal`] documents the recovery semantics);
+//! * [`MatchStore`] — the directory-level API tying them together:
+//!   `state = last snapshot + journal replayed`.
+//!
+//! # Crash safety
+//!
+//! Batches are `fsync`ed to the journal before they are acknowledged or
+//! applied. Snapshots are written to a temporary file, `fsync`ed, and
+//! atomically renamed into place (then the directory is `fsync`ed), so a
+//! reader sees either the old snapshot or the new one — never a torn
+//! write. A corrupt or torn journal tail is detected (CRC / framing),
+//! truncated, and surfaced in [`LoadedState::recovery`]; a corrupt
+//! snapshot is a hard [`StoreError::Corrupt`], never silently loaded.
+//!
+//! ```
+//! use mp_store::{MatchStore, Snapshot};
+//! use mp_closure::UnionFind;
+//! use mp_record::{Record, RecordId};
+//!
+//! let dir = std::env::temp_dir().join(format!("mp-store-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let (mut store, loaded) = MatchStore::open(&dir).unwrap();
+//! assert!(loaded.snapshot.is_none());
+//!
+//! // Journal a batch (durable once this returns), then checkpoint.
+//! let batch = vec![Record::empty(RecordId(0))];
+//! let seq = store.append_batch(&batch).unwrap();
+//! assert_eq!(seq, 1);
+//! let snap = Snapshot {
+//!     records: batch,
+//!     passes: vec![],
+//!     pairs: vec![],
+//!     closure: UnionFind::new(1),
+//!     comparisons: 0,
+//!     batches_applied: 1,
+//! };
+//! store.write_snapshot(&snap).unwrap();
+//!
+//! // Reopen: the snapshot loads, and the journal has nothing to replay.
+//! drop(store);
+//! let (_store, loaded) = MatchStore::open(&dir).unwrap();
+//! assert_eq!(loaded.snapshot.unwrap().batches_applied, 1);
+//! assert!(loaded.replayable.is_empty());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod codec;
+pub mod journal;
+pub mod snapshot;
+
+pub use journal::{Journal, JournalRecovery, JOURNAL_VERSION};
+pub use snapshot::{PassSnapshot, Snapshot, SNAPSHOT_VERSION};
+
+use mp_record::Record;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.mps";
+/// File name of the batch journal inside a store directory.
+pub const JOURNAL_FILE: &str = "journal.mpj";
+
+/// Errors produced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// On-disk data failed validation (bad magic, CRC mismatch, structural
+    /// inconsistency). The message names the file and section.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// `fsync` on a directory, making a just-renamed file durable.
+pub(crate) fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Everything [`MatchStore::open`] found on disk.
+#[derive(Debug)]
+pub struct LoadedState {
+    /// The last checkpoint, if one has ever been written.
+    pub snapshot: Option<Snapshot>,
+    /// Journaled batches the snapshot has not absorbed, in sequence order;
+    /// replay these (oldest first) to reconstruct the pre-crash state.
+    pub replayable: Vec<(u64, Vec<Record>)>,
+    /// Journal scan outcome, including any torn-tail truncation.
+    pub recovery: JournalRecovery,
+}
+
+/// A durable match-store directory: `snapshot.mps` + `journal.mpj`.
+///
+/// The store itself is engine-agnostic — it persists and recovers bytes
+/// with strong integrity checking; the incremental engine in the core
+/// crate decides what the state means and how to replay a batch.
+#[derive(Debug)]
+pub struct MatchStore {
+    dir: PathBuf,
+    journal: Journal,
+}
+
+impl MatchStore {
+    /// Opens (creating if needed) the store at `dir` and loads its state.
+    ///
+    /// Stale temporary files from interrupted snapshot writes are removed.
+    /// The journal is scanned and torn tails truncated (see
+    /// [`journal`]); frames already covered by the snapshot are filtered
+    /// out of [`LoadedState::replayable`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a corrupt snapshot, or a snapshot/journal sequence gap.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(MatchStore, LoadedState), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // A crash during a snapshot write can leave a temp file; it was
+        // never renamed into place, so it is dead weight.
+        for stale in [
+            dir.join(format!("{SNAPSHOT_FILE}.tmp")),
+            dir.join(format!("{JOURNAL_FILE}.tmp")),
+        ] {
+            let _ = std::fs::remove_file(stale);
+        }
+
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let snapshot = match File::open(&snap_path) {
+            Ok(mut f) => {
+                let mut data = Vec::new();
+                f.read_to_end(&mut data)?;
+                Some(Snapshot::decode(&data)?)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+
+        let (mut journal, mut recovery) = Journal::open(&dir.join(JOURNAL_FILE))?;
+        let batches_applied = snapshot.as_ref().map_or(0, |s| s.batches_applied);
+        Journal::filter_replayable(&mut recovery, batches_applied)?;
+        journal.bump_next_seq(batches_applied + recovery.batches.len() as u64 + 1);
+
+        let replayable = std::mem::take(&mut recovery.batches);
+        Ok((
+            MatchStore { dir, journal },
+            LoadedState {
+                snapshot,
+                replayable,
+                recovery,
+            },
+        ))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number the next appended batch will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.journal.next_seq()
+    }
+
+    /// Journals one batch (fsync'd; durable when this returns) and returns
+    /// its sequence number. Append *before* applying the batch in memory:
+    /// on a crash the journal replays it, and an unjournaled batch was
+    /// never acknowledged.
+    pub fn append_batch(&mut self, records: &[Record]) -> Result<u64, StoreError> {
+        self.journal.append(records)
+    }
+
+    /// Atomically replaces the snapshot with `snap` (write-temp + fsync +
+    /// rename + directory fsync) and resets the journal, whose batches the
+    /// snapshot now covers. Returns the snapshot size in bytes.
+    ///
+    /// Crash-ordering: the snapshot rename is the commit point. A crash
+    /// before it keeps the old snapshot + full journal; a crash after it
+    /// but before the journal reset leaves old frames whose sequence
+    /// numbers the next [`MatchStore::open`] filters out.
+    pub fn write_snapshot(&mut self, snap: &Snapshot) -> Result<u64, StoreError> {
+        let bytes = snap.encode();
+        let path = self.dir.join(SNAPSHOT_FILE);
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        fsync_dir(&self.dir)?;
+        self.journal.reset(snap.batches_applied + 1)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_closure::UnionFind;
+    use mp_record::RecordId;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mp-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch(tag: u32, n: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let mut r = Record::empty(RecordId(i));
+                r.last_name = format!("B{tag}R{i}");
+                r
+            })
+            .collect()
+    }
+
+    fn snap_of(records: Vec<Record>, batches_applied: u64) -> Snapshot {
+        let n = records.len();
+        Snapshot {
+            records,
+            passes: vec![],
+            pairs: vec![],
+            closure: UnionFind::new(n),
+            comparisons: 0,
+            batches_applied,
+        }
+    }
+
+    #[test]
+    fn journal_then_snapshot_then_journal() {
+        let dir = tmp_dir("cycle");
+        let (mut store, loaded) = MatchStore::open(&dir).unwrap();
+        assert!(loaded.snapshot.is_none() && loaded.replayable.is_empty());
+        store.append_batch(&batch(1, 2)).unwrap();
+        store.append_batch(&batch(2, 2)).unwrap();
+        drop(store);
+
+        // Crash before any snapshot: both batches replay.
+        let (mut store, loaded) = MatchStore::open(&dir).unwrap();
+        assert!(loaded.snapshot.is_none());
+        assert_eq!(loaded.replayable.len(), 2);
+        assert_eq!(store.next_seq(), 3);
+
+        // Snapshot absorbs them; journal resets.
+        let mut all = batch(1, 2);
+        all.extend(batch(2, 2));
+        store.write_snapshot(&snap_of(all, 2)).unwrap();
+        store.append_batch(&batch(3, 1)).unwrap();
+        drop(store);
+
+        let (_, loaded) = MatchStore::open(&dir).unwrap();
+        assert_eq!(loaded.snapshot.as_ref().unwrap().batches_applied, 2);
+        assert_eq!(loaded.replayable.len(), 1);
+        assert_eq!(loaded.replayable[0].0, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_snapshot_rename_and_journal_reset_is_handled() {
+        let dir = tmp_dir("rename-crash");
+        let (mut store, _) = MatchStore::open(&dir).unwrap();
+        store.append_batch(&batch(1, 2)).unwrap();
+        store.append_batch(&batch(2, 2)).unwrap();
+        drop(store);
+        // Simulate the crash window: write the snapshot file directly
+        // without touching the journal (as if we died mid-write_snapshot).
+        let mut all = batch(1, 2);
+        all.extend(batch(2, 2));
+        std::fs::write(dir.join(SNAPSHOT_FILE), snap_of(all, 2).encode()).unwrap();
+
+        let (store, loaded) = MatchStore::open(&dir).unwrap();
+        assert_eq!(loaded.snapshot.as_ref().unwrap().batches_applied, 2);
+        assert!(
+            loaded.replayable.is_empty(),
+            "stale journal frames must be filtered by sequence number"
+        );
+        assert_eq!(store.next_seq(), 3, "seq resumes above the watermark");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let dir = tmp_dir("corrupt-snap");
+        let (mut store, _) = MatchStore::open(&dir).unwrap();
+        store.write_snapshot(&snap_of(batch(1, 3), 1)).unwrap();
+        drop(store);
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        match MatchStore::open(&dir) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("snapshot"), "{msg}"),
+            other => panic!("corrupt snapshot must not load: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_cleaned_up() {
+        let dir = tmp_dir("stale-tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{SNAPSHOT_FILE}.tmp")), b"half a snapshot").unwrap();
+        let (_store, loaded) = MatchStore::open(&dir).unwrap();
+        assert!(loaded.snapshot.is_none());
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -37,6 +37,8 @@ fn main() -> ExitCode {
         "dedupe" => dedupe(&flags, false),
         "purge" => dedupe(&flags, true),
         "explain" => explain(&flags),
+        "serve" => serve_cmd(&flags),
+        "send" => send_cmd(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -64,6 +66,10 @@ commands:
             [--stats FILE|-] [--trace FILE] [--progress] [--kernel-stats]
             [--no-prune]
   explain   --input FILE --a ID --b ID [--rules FILE]
+  serve     --socket PATH --store DIR [--window W] [--keys a,b,c]
+            [--rules FILE] [--queue-depth N] [--snapshot-every N]
+            [--stats FILE] [--trace FILE]
+  send      --socket PATH --cmd CMD [--input FILE] [--id N] [--json RAW]
 
 --stats FILE writes a JSON pipeline report (comparison, match, and closure
 counters, per-pass attribution, per-rule firing counts, per-phase timings,
@@ -86,7 +92,14 @@ pairs, so the final groups are identical either way.
 keys: comma-separated from {last_name, first_name, address, ssn};
       default last_name,first_name,address (the paper's three runs).
 rules: a rule-DSL program file; default is the built-in 26-rule employee
-       theory (hand-recoded native version for speed).";
+       theory (hand-recoded native version for speed).
+
+serve runs the batch-ingest daemon on a Unix socket, backed by the durable
+match-store at --store (crash-safe snapshots + batch journal; see
+docs/SERVING.md and docs/INCREMENTAL.md). send is the matching client:
+--cmd is one of ingest-batch (reads --input), query-matches (needs --id),
+stats, snapshot, shutdown; --json RAW sends a raw request instead. serve's
+--stats/--trace write the pipeline report / Chrome trace on shutdown.";
 
 /// Minimal `--flag value` parser.
 struct Flags(Vec<String>);
@@ -406,6 +419,94 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn serve_cmd(flags: &Flags) -> Result<(), String> {
+    use merge_purge_repro::serve::{serve, ServeConfig};
+    let socket = flags.require("socket")?;
+    let store = flags.require("store")?;
+    let window: usize = flags.get_parsed("window", 10)?;
+    if window < 2 {
+        return Err("--window must be at least 2".into());
+    }
+    let mut config = ServeConfig::new(socket, store);
+    config.window = window;
+    config.keys = parse_keys(flags)?;
+    config.queue_depth = flags.get_parsed("queue-depth", 4)?;
+    if config.queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    config.snapshot_every = flags.get_parsed("snapshot-every", 0)?;
+    let stats_path = flags.get("stats").map(str::to_string);
+    let trace_path = flags.get("trace").map(str::to_string);
+
+    let theory = Theory::load(flags)?;
+    let theory: &(dyn EquationalTheory + Sync) = match &theory {
+        Theory::Native(t) => t,
+        Theory::Program(p) => p,
+    };
+    let mut recorder = MetricsRecorder::new();
+    if stats_path.is_some() || trace_path.is_some() {
+        recorder = recorder.with_tracing();
+    }
+    serve(&config, theory, &recorder)?;
+
+    // The daemon has drained; attach the observability artifacts.
+    let tracks = recorder.drain_spans();
+    if let Some(path) = &trace_path {
+        std::fs::write(path, chrome_trace_json(&tracks))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &stats_path {
+        let mut report = recorder.report();
+        report.span_tree = tracks.into_iter().map(SpanTreeTrack::from).collect();
+        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote pipeline stats to {path}");
+    }
+    Ok(())
+}
+
+fn send_cmd(flags: &Flags) -> Result<(), String> {
+    use merge_purge_repro::serve::{ingest_request, request};
+    let socket = std::path::PathBuf::from(flags.require("socket")?);
+    let payload = if let Some(raw) = flags.get("json") {
+        raw.to_string()
+    } else {
+        match flags.require("cmd")? {
+            "ingest-batch" => {
+                let batch = load_records(flags)?;
+                ingest_request(&batch)
+            }
+            "query-matches" => {
+                let id: u32 = flags
+                    .require("id")?
+                    .parse()
+                    .map_err(|_| "invalid --id value")?;
+                format!("{{\"cmd\":\"query-matches\",\"id\":{id}}}")
+            }
+            cmd @ ("stats" | "snapshot" | "shutdown") => format!("{{\"cmd\":\"{cmd}\"}}"),
+            other => {
+                return Err(format!(
+                    "unknown --cmd {other:?} (expected ingest-batch, query-matches, stats, snapshot, or shutdown)"
+                ))
+            }
+        }
+    };
+    let response =
+        request(&socket, &payload).map_err(|e| format!("request to {}: {e}", socket.display()))?;
+    println!("{response}");
+    // Mirror the daemon's verdict in the exit code so shell scripts can
+    // branch on `send` directly.
+    let ok = merge_purge_repro::serve::json::Json::parse(&response)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(|o| o.as_bool()))
+        .unwrap_or(false);
+    if ok {
+        Ok(())
+    } else {
+        Err("daemon reported failure (see response above)".into())
+    }
 }
 
 fn explain(flags: &Flags) -> Result<(), String> {

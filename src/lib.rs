@@ -4,6 +4,8 @@
 //! subsystem crate so examples and integration tests have a single import
 //! root.
 
+pub mod serve;
+
 pub use merge_purge as core;
 pub use mp_closure as closure;
 pub use mp_cluster as cluster;
@@ -13,4 +15,5 @@ pub use mp_metrics as metrics;
 pub use mp_parallel as parallel;
 pub use mp_record as record;
 pub use mp_rules as rules;
+pub use mp_store as store;
 pub use mp_strsim as strsim;

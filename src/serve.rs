@@ -1,0 +1,630 @@
+//! Batch-serving daemon for incremental merge/purge.
+//!
+//! The paper's monthly cycle (§1) wants a *standing service*: the cleaned
+//! base lives in memory, new batches arrive on a socket, and the state
+//! survives restarts through the durable match-store. This module is that
+//! daemon: a Unix-domain-socket server speaking a tiny length-prefixed
+//! JSON protocol (see `docs/SERVING.md` for the wire format), backed by
+//! [`merge_purge::incremental::DurableIncremental`].
+//!
+//! # Protocol
+//!
+//! Every frame is a 4-byte little-endian length followed by that many
+//! bytes of UTF-8 JSON. Requests are objects with a `"cmd"` key:
+//!
+//! * `ingest-batch` — `{"cmd":"ingest-batch","records":[<line>, ...]}`
+//!   where each line is the pipe-separated flat format of
+//!   `mp_record::io`. Replies `{"ok":true,"seq":S,...}` only after the
+//!   batch is fsync'd to the journal *and* folded into the engine.
+//! * `query-matches` — `{"cmd":"query-matches","id":N}` replies with the
+//!   record's duplicate class (including itself).
+//! * `snapshot` — forces a checkpoint; replies with the byte count.
+//! * `stats` — replies with a deterministic `store` section (identical
+//!   across kill/restart for the same acknowledged batches) and a
+//!   process-local `process` section.
+//! * `shutdown` — graceful drain: in-flight batches complete, a final
+//!   snapshot is written, the socket is unlinked, the process exits 0.
+//!
+//! Ingest goes through a *bounded* queue; when it is full the daemon
+//! replies `{"ok":false,"error":"busy"}` immediately instead of buffering
+//! unboundedly — the client retries. `SIGTERM`/`SIGINT` trigger the same
+//! graceful drain as the `shutdown` command.
+
+use merge_purge::incremental::{DurableIncremental, IncrementalMergePurge};
+use merge_purge::KeySpec;
+use mp_metrics::{span, span_labeled, MetricsRecorder};
+use mp_record::{io as rio, Record};
+use mp_rules::EquationalTheory;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::time::Duration;
+
+pub mod json;
+
+use json::Json;
+
+/// Frames larger than this are rejected (protocol error, not a panic).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// How long a serving thread blocks on a socket read before re-checking
+/// the shutdown flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path to bind (unlinked on graceful shutdown).
+    pub socket: PathBuf,
+    /// Durable match-store directory.
+    pub store_dir: PathBuf,
+    /// Sorted-neighborhood window, shared by all passes.
+    pub window: usize,
+    /// Pass keys, in order. Must match the store's snapshot when reopening.
+    pub keys: Vec<KeySpec>,
+    /// Bound of the ingest queue; a full queue replies `busy`.
+    pub queue_depth: usize,
+    /// Checkpoint automatically after this many ingested batches
+    /// (0 = only on `snapshot`/`shutdown`).
+    pub snapshot_every: u64,
+}
+
+impl ServeConfig {
+    /// A config with the paper's default three passes and window 10.
+    pub fn new(socket: impl Into<PathBuf>, store_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            store_dir: store_dir.into(),
+            window: 10,
+            keys: vec![
+                KeySpec::last_name_key(),
+                KeySpec::first_name_key(),
+                KeySpec::address_key(),
+            ],
+            queue_depth: 4,
+            snapshot_every: 0,
+        }
+    }
+}
+
+/// Process-wide shutdown flag, shared with the C signal handler.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs `SIGTERM`/`SIGINT` handlers that set the shutdown flag. The
+/// handler only stores an atomic, which is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_term_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// One queued unit of work for the single engine-owning worker thread.
+/// FIFO order is the serialization point: replies are sent only after the
+/// worker has durably processed the job.
+enum Job {
+    Ingest(Vec<Record>, mpsc::Sender<String>),
+    Query(u32, mpsc::Sender<String>),
+    Stats(mpsc::Sender<String>),
+    Snapshot(mpsc::Sender<String>),
+    Shutdown(mpsc::Sender<String>),
+}
+
+fn err_json(msg: &str) -> String {
+    let mut obj = vec![("ok".to_string(), Json::Bool(false))];
+    obj.push(("error".to_string(), Json::Str(msg.to_string())));
+    Json::Obj(obj).to_string()
+}
+
+/// Runs the daemon until `shutdown` (command or signal). Blocks.
+///
+/// `theory` decides record equivalence; `recorder` collects counters and
+/// (when tracing is enabled) the `serve > batch > ingest/snapshot` span
+/// tree. Returns after the final snapshot is written and the socket
+/// unlinked.
+///
+/// # Errors
+///
+/// Socket bind/store-open failures, or a pass-configuration mismatch
+/// against the stored snapshot.
+pub fn serve(
+    config: &ServeConfig,
+    theory: &(dyn EquationalTheory + Sync),
+    recorder: &MetricsRecorder,
+) -> Result<(), String> {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    install_signal_handlers();
+    let _serve_span = span(recorder, "serve");
+
+    let configure = |mut e: IncrementalMergePurge| {
+        for key in &config.keys {
+            e = e.pass(key.clone(), config.window);
+        }
+        e
+    };
+    let (mut durable, recovery) =
+        DurableIncremental::open(&config.store_dir, configure, theory, recorder)
+            .map_err(|e| format!("open store {}: {e}", config.store_dir.display()))?;
+    eprintln!(
+        "mergepurge serve: {} records, {} batches applied ({} replayed from journal{})",
+        durable.engine().records().len(),
+        durable.engine().batches_applied(),
+        recovery.batches_replayed,
+        if recovery.truncated_bytes > 0 {
+            ", corrupt tail truncated"
+        } else {
+            ""
+        },
+    );
+
+    // Stale socket file from an unclean previous run: remove, then bind.
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)
+        .map_err(|e| format!("bind {}: {e}", config.socket.display()))?;
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    eprintln!("mergepurge serve: listening on {}", config.socket.display());
+
+    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+    let snapshot_every = config.snapshot_every;
+
+    std::thread::scope(|scope| {
+        // The worker owns the engine; jobs are applied strictly in FIFO
+        // order, which is what makes the journal replayable.
+        let worker = scope.spawn(move || {
+            let mut clean = false;
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Ingest(batch, reply) => {
+                        let n = batch.len();
+                        let _batch_span = span_labeled(recorder, "batch", || {
+                            format!("seq={}", durable.store().next_seq())
+                        });
+                        let msg = match durable.ingest(batch, theory, recorder) {
+                            Ok(seq) => {
+                                if snapshot_every > 0
+                                    && durable.batches_since_checkpoint() >= snapshot_every
+                                {
+                                    if let Err(e) = durable.checkpoint(recorder) {
+                                        eprintln!("mergepurge serve: checkpoint failed: {e}");
+                                    }
+                                }
+                                Json::Obj(vec![
+                                    ("ok".into(), Json::Bool(true)),
+                                    ("seq".into(), Json::Num(seq as f64)),
+                                    ("records".into(), Json::Num(n as f64)),
+                                    (
+                                        "total_records".into(),
+                                        Json::Num(durable.engine().records().len() as f64),
+                                    ),
+                                ])
+                                .to_string()
+                            }
+                            Err(e) => err_json(&format!("ingest failed: {e}")),
+                        };
+                        let _ = reply.send(msg);
+                    }
+                    Job::Query(id, reply) => {
+                        let msg = if (id as usize) < durable.engine().records().len() {
+                            let class = durable
+                                .engine()
+                                .classes()
+                                .into_iter()
+                                .find(|c| c.contains(&id))
+                                .unwrap_or_else(|| vec![id]);
+                            Json::Obj(vec![
+                                ("ok".into(), Json::Bool(true)),
+                                ("id".into(), Json::Num(id as f64)),
+                                (
+                                    "class".into(),
+                                    Json::Arr(class.iter().map(|&r| Json::Num(r as f64)).collect()),
+                                ),
+                            ])
+                            .to_string()
+                        } else {
+                            err_json(&format!(
+                                "record id {id} out of range ({} records)",
+                                durable.engine().records().len()
+                            ))
+                        };
+                        let _ = reply.send(msg);
+                    }
+                    Job::Stats(reply) => {
+                        let _ = reply.send(stats_json(&durable, recorder));
+                    }
+                    Job::Snapshot(reply) => {
+                        let _snap_span = span_labeled(recorder, "batch", || "snapshot".into());
+                        let msg = match durable.checkpoint(recorder) {
+                            Ok(bytes) => Json::Obj(vec![
+                                ("ok".into(), Json::Bool(true)),
+                                ("bytes".into(), Json::Num(bytes as f64)),
+                            ])
+                            .to_string(),
+                            Err(e) => err_json(&format!("snapshot failed: {e}")),
+                        };
+                        let _ = reply.send(msg);
+                    }
+                    Job::Shutdown(reply) => {
+                        SHUTDOWN.store(true, Ordering::SeqCst);
+                        // Jobs accepted after the shutdown request sit
+                        // behind it in the queue; refuse them.
+                        while let Ok(late) = rx.try_recv() {
+                            let sender = match late {
+                                Job::Ingest(_, s)
+                                | Job::Query(_, s)
+                                | Job::Stats(s)
+                                | Job::Snapshot(s)
+                                | Job::Shutdown(s) => s,
+                            };
+                            let _ = sender.send(err_json("shutting-down"));
+                        }
+                        let msg = match durable.checkpoint(recorder) {
+                            Ok(bytes) => Json::Obj(vec![
+                                ("ok".into(), Json::Bool(true)),
+                                ("bytes".into(), Json::Num(bytes as f64)),
+                            ])
+                            .to_string(),
+                            Err(e) => err_json(&format!("final snapshot failed: {e}")),
+                        };
+                        let _ = reply.send(msg);
+                        clean = true;
+                        break;
+                    }
+                }
+            }
+            if !clean {
+                // Channel closed without an explicit shutdown job (signal
+                // path): still leave a snapshot behind.
+                if let Err(e) = durable.checkpoint(recorder) {
+                    eprintln!("mergepurge serve: final checkpoint failed: {e}");
+                }
+            }
+        });
+
+        // Accept loop: poll so the shutdown flag is honored promptly.
+        while !SHUTDOWN.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let tx = tx.clone();
+                    scope.spawn(move || handle_conn(stream, &tx));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    eprintln!("mergepurge serve: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+
+        // Drain: ask the worker to snapshot and stop (no-op if a client
+        // shutdown already did), then let connection threads time out.
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if tx.send(Job::Shutdown(ack_tx)).is_ok() {
+            let _ = ack_rx.recv_timeout(Duration::from_secs(30));
+        }
+        drop(tx);
+        let _ = worker.join();
+    });
+
+    let _ = std::fs::remove_file(&config.socket);
+    eprintln!("mergepurge serve: drained, snapshot written, socket removed");
+    Ok(())
+}
+
+/// Serves one client connection until EOF or shutdown.
+fn handle_conn(mut stream: UnixStream, tx: &SyncSender<Job>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    loop {
+        let frame = match read_frame_with_shutdown(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean EOF or shutdown
+            Err(_) => return,
+        };
+        let response = dispatch(&frame, tx);
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Parses one request frame and routes it through the job queue.
+fn dispatch(frame: &str, tx: &SyncSender<Job>) -> String {
+    let req = match Json::parse(frame) {
+        Ok(v) => v,
+        Err(e) => return err_json(&format!("bad json: {e}")),
+    };
+    let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
+        return err_json("missing \"cmd\"");
+    };
+    match cmd {
+        "ingest-batch" => {
+            let Some(lines) = req.get("records").and_then(Json::as_array) else {
+                return err_json("ingest-batch needs a \"records\" array");
+            };
+            let mut text = String::new();
+            for l in lines {
+                let Some(s) = l.as_str() else {
+                    return err_json("\"records\" entries must be strings");
+                };
+                text.push_str(s);
+                text.push('\n');
+            }
+            let batch = match rio::read_records(text.as_bytes()) {
+                Ok(b) => b,
+                Err(e) => return err_json(&format!("bad record line: {e}")),
+            };
+            if batch.is_empty() {
+                return err_json("empty batch");
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            // Bounded backpressure: a full queue is an immediate `busy`,
+            // never an unbounded buffer.
+            match tx.try_send(Job::Ingest(batch, reply_tx)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => return err_json("busy"),
+                Err(TrySendError::Disconnected(_)) => return err_json("shutting-down"),
+            }
+            reply_rx
+                .recv()
+                .unwrap_or_else(|_| err_json("shutting-down"))
+        }
+        "query-matches" => {
+            let Some(id) = req.get("id").and_then(Json::as_u64) else {
+                return err_json("query-matches needs a numeric \"id\"");
+            };
+            if id > u64::from(u32::MAX) {
+                return err_json("id out of range");
+            }
+            enqueue_and_wait(tx, |reply| Job::Query(id as u32, reply))
+        }
+        "stats" => enqueue_and_wait(tx, Job::Stats),
+        "snapshot" => enqueue_and_wait(tx, Job::Snapshot),
+        "shutdown" => {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+            enqueue_and_wait(tx, Job::Shutdown)
+        }
+        other => err_json(&format!("unknown cmd {other:?}")),
+    }
+}
+
+/// Sends a (non-ingest) job, blocking for queue space, and awaits the
+/// worker's reply. These serialize behind any queued ingests.
+fn enqueue_and_wait(tx: &SyncSender<Job>, job: impl FnOnce(mpsc::Sender<String>) -> Job) -> String {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if tx.send(job(reply_tx)).is_err() {
+        return err_json("shutting-down");
+    }
+    reply_rx
+        .recv()
+        .unwrap_or_else(|_| err_json("shutting-down"))
+}
+
+/// The `stats` response. The `store` object is **deterministic**: it is a
+/// pure function of the acknowledged batch sequence, so it compares equal
+/// across single-process and kill/restart runs (CI enforces this). The
+/// `process` object is local to this daemon process.
+fn stats_json(durable: &DurableIncremental, recorder: &MetricsRecorder) -> String {
+    let engine = durable.engine();
+    let classes = engine.classes();
+    let duplicates: usize = classes.iter().map(|c| c.len() - 1).sum();
+    let passes = engine
+        .pass_counters()
+        .into_iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("key".into(), Json::Str(p.key_name)),
+                ("window".into(), Json::Num(p.window as f64)),
+                ("pairs_found".into(), Json::Num(p.pairs_found as f64)),
+                (
+                    "pairs_first_found".into(),
+                    Json::Num(p.pairs_first_found as f64),
+                ),
+            ])
+        })
+        .collect();
+    let store = Json::Obj(vec![
+        ("records".into(), Json::Num(engine.records().len() as f64)),
+        (
+            "batches_applied".into(),
+            Json::Num(engine.batches_applied() as f64),
+        ),
+        ("comparisons".into(), Json::Num(engine.comparisons() as f64)),
+        (
+            "distinct_pairs".into(),
+            Json::Num(engine.pairs().len() as f64),
+        ),
+        ("duplicate_groups".into(), Json::Num(classes.len() as f64)),
+        ("duplicate_records".into(), Json::Num(duplicates as f64)),
+        ("passes".into(), Json::Arr(passes)),
+    ]);
+    let report = recorder.report();
+    let counter = |name: &str| Json::Num(report.counter(name).unwrap_or(0) as f64);
+    let process = Json::Obj(vec![
+        ("batches_ingested".into(), counter("batches_ingested")),
+        ("journal_replays".into(), counter("journal_replays")),
+        ("snapshot_bytes".into(), counter("snapshot_bytes")),
+        (
+            "corrupt_tail_truncations".into(),
+            counter("corrupt_tail_truncations"),
+        ),
+        (
+            "batches_since_checkpoint".into(),
+            Json::Num(durable.batches_since_checkpoint() as f64),
+        ),
+    ]);
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("store".into(), store),
+        ("process".into(), process),
+    ])
+    .to_string()
+}
+
+// ---- framing ---------------------------------------------------------
+
+/// Writes one `u32`-little-endian-length-prefixed UTF-8 frame.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_frame(stream: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF before a length prefix.
+///
+/// # Errors
+///
+/// Socket failures, oversized frames (> [`MAX_FRAME`]), or invalid UTF-8.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Like [`read_frame`], but treats read timeouts as "check the shutdown
+/// flag and keep waiting" so idle connections drain promptly on shutdown.
+fn read_frame_with_shutdown(stream: &mut UnixStream) -> io::Result<Option<String>> {
+    loop {
+        let mut len_buf = [0u8; 4];
+        match stream.read_exact(&mut len_buf) {
+            Ok(()) => {
+                let len = u32::from_le_bytes(len_buf);
+                if len > MAX_FRAME {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized frame",
+                    ));
+                }
+                let mut payload = vec![0u8; len as usize];
+                stream.read_exact(&mut payload)?;
+                return String::from_utf8(payload)
+                    .map(Some)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if SHUTDOWN.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ---- client helpers --------------------------------------------------
+
+/// Sends one request frame to a running daemon and returns the response.
+///
+/// # Errors
+///
+/// Connection or framing failures, or a connection the daemon closed
+/// without replying.
+pub fn request(socket: &Path, payload: &str) -> io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, payload)?;
+    read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed without replying",
+        )
+    })
+}
+
+/// Builds an `ingest-batch` request from records (serialized to the flat
+/// pipe format line-by-line).
+pub fn ingest_request(records: &[Record]) -> String {
+    let mut buf = Vec::new();
+    rio::write_records(&mut buf, records).expect("in-memory write cannot fail");
+    let lines = String::from_utf8(buf).expect("flat format is UTF-8");
+    Json::Obj(vec![
+        ("cmd".into(), Json::Str("ingest-batch".into())),
+        (
+            "records".into(),
+            Json::Arr(lines.lines().map(|l| Json::Str(l.to_string())).collect()),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"cmd\":\"stats\"}").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"cmd\":\"stats\"}")
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn ingest_request_round_trips_records() {
+        use mp_record::RecordId;
+        let mut r = Record::empty(RecordId(0));
+        r.last_name = "O'BRIEN \"q\"".into(); // quotes exercise JSON escaping
+        r.first_name = "ANA".into();
+        let req = ingest_request(std::slice::from_ref(&r));
+        let parsed = Json::parse(&req).unwrap();
+        assert_eq!(
+            parsed.get("cmd").and_then(Json::as_str),
+            Some("ingest-batch")
+        );
+        assert_eq!(
+            parsed
+                .get("records")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! End-to-end serve-protocol tests against the real `mergepurge` binary:
+//! ingest batches over the Unix socket, query, shut down gracefully,
+//! restart, and check the daemon answers — and its deterministic `store`
+//! stats section — are identical. A second scenario kills the daemon with
+//! SIGKILL mid-stream and verifies journal replay restores the state.
+
+#![cfg(unix)]
+
+use merge_purge_repro::serve::{ingest_request, json::Json, request};
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_record::Record;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mp-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn batches(seed: u64, n: usize, parts: usize) -> Vec<Vec<Record>> {
+    let db = DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.4).seed(seed))
+        .generate();
+    let chunk = db.records.len().div_ceil(parts);
+    db.records.chunks(chunk).map(<[Record]>::to_vec).collect()
+}
+
+fn spawn_daemon(socket: &Path, store: &Path) -> Child {
+    let child = Command::new(env!("CARGO_BIN_EXE_mergepurge"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--window",
+            "8",
+            "--keys",
+            "last_name,first_name",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mergepurge serve");
+    // The socket appearing is the readiness signal.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+fn ask(socket: &Path, payload: &str) -> Json {
+    // The daemon may momentarily lag between binding and accepting.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match request(socket, payload) {
+            Ok(response) => return Json::parse(&response).expect("daemon speaks json"),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
+}
+
+fn expect_ok(v: &Json) {
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+}
+
+/// The deterministic part of `stats`: the whole `store` object.
+fn store_section(socket: &Path) -> Json {
+    let stats = ask(socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    stats
+        .get("store")
+        .expect("stats has a store section")
+        .clone()
+}
+
+fn shutdown_and_wait(socket: &Path, child: &mut Child) {
+    let bye = ask(socket, r#"{"cmd":"shutdown"}"#);
+    expect_ok(&bye);
+    let status = child.wait().expect("daemon exit status");
+    assert!(status.success(), "graceful shutdown exits 0: {status:?}");
+    assert!(!socket.exists(), "socket unlinked on graceful shutdown");
+}
+
+#[test]
+fn ingest_query_shutdown_restart_gives_identical_answers() {
+    let dir = tmp_dir("basic");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let parts = batches(4242, 400, 2);
+
+    let mut child = spawn_daemon(&socket, &store);
+    for (i, part) in parts.iter().enumerate() {
+        let reply = ask(&socket, &ingest_request(part));
+        expect_ok(&reply);
+        assert_eq!(
+            reply.get("seq").and_then(Json::as_u64),
+            Some(i as u64 + 1),
+            "journal sequence numbers are contiguous"
+        );
+    }
+    let total: usize = parts.iter().map(Vec::len).sum();
+
+    // Query every record once; remember each answer.
+    let stats_before = store_section(&socket);
+    assert_eq!(
+        stats_before.get("records").and_then(Json::as_u64),
+        Some(total as u64)
+    );
+    let probe: Vec<u64> = (0..total as u64).step_by(17).collect();
+    let answers_before: Vec<Json> = probe
+        .iter()
+        .map(|id| ask(&socket, &format!(r#"{{"cmd":"query-matches","id":{id}}}"#)))
+        .collect();
+    for a in &answers_before {
+        expect_ok(a);
+    }
+    shutdown_and_wait(&socket, &mut child);
+
+    // Restart on the same store: same stats, same classes.
+    let mut child = spawn_daemon(&socket, &store);
+    assert_eq!(
+        store_section(&socket),
+        stats_before,
+        "store stats survive restart"
+    );
+    let answers_after: Vec<Json> = probe
+        .iter()
+        .map(|id| ask(&socket, &format!(r#"{{"cmd":"query-matches","id":{id}}}"#)))
+        .collect();
+    assert_eq!(
+        answers_after, answers_before,
+        "query answers survive restart"
+    );
+    shutdown_and_wait(&socket, &mut child);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sigkill_mid_run_replays_the_journal_to_the_same_stats() {
+    let dir = tmp_dir("kill9");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let parts = batches(5151, 450, 3);
+
+    // Golden run: all three batches in one uninterrupted daemon.
+    let golden_store = dir.join("store-golden");
+    let mut child = spawn_daemon(&socket, &golden_store);
+    for part in &parts {
+        expect_ok(&ask(&socket, &ingest_request(part)));
+    }
+    let want = store_section(&socket);
+    shutdown_and_wait(&socket, &mut child);
+
+    // Crash run: two batches acknowledged, then SIGKILL — no graceful
+    // drain, no snapshot (the store only has the journal).
+    let mut child = spawn_daemon(&socket, &store);
+    expect_ok(&ask(&socket, &ingest_request(&parts[0])));
+    expect_ok(&ask(&socket, &ingest_request(&parts[1])));
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().unwrap();
+    let _ = std::fs::remove_file(&socket);
+
+    // Restart: the journal replays both batches; finish the third.
+    let mut child = spawn_daemon(&socket, &store);
+    let stats = ask(&socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    assert_eq!(
+        stats
+            .get("process")
+            .and_then(|p| p.get("journal_replays"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "both acknowledged batches replay: {stats}"
+    );
+    expect_ok(&ask(&socket, &ingest_request(&parts[2])));
+    assert_eq!(
+        store_section(&socket),
+        want,
+        "kill/restart reaches the exact single-process stats"
+    );
+    shutdown_and_wait(&socket, &mut child);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let dir = tmp_dir("errors");
+    let socket = dir.join("mp.sock");
+    let mut child = spawn_daemon(&socket, &dir.join("store"));
+
+    let bad = ask(&socket, "{not json");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    let unknown = ask(&socket, r#"{"cmd":"frobnicate"}"#);
+    assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+    let out_of_range = ask(&socket, r#"{"cmd":"query-matches","id":999999}"#);
+    assert_eq!(out_of_range.get("ok").and_then(Json::as_bool), Some(false));
+    let empty = ask(&socket, r#"{"cmd":"ingest-batch","records":[]}"#);
+    assert_eq!(empty.get("ok").and_then(Json::as_bool), Some(false));
+
+    // The daemon is still healthy after every error.
+    let stats = ask(&socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    shutdown_and_wait(&socket, &mut child);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
