@@ -42,10 +42,16 @@
 //! because their records were already in the same equivalence class:
 //! `comparisons == rule_invocations + pairs_pruned` on pruned scans.
 
+pub mod prom;
+pub mod rolling;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use serde::Serialize;
+
+pub use prom::PromWriter;
+pub use rolling::{RollingRing, WindowCounter, WindowSnapshot};
 
 pub use mp_trace::{
     chrome_trace_json, HistogramSnapshot, LatencyHistogram, ProgressMeter, SpanGuard, SpanNode,

@@ -1,0 +1,447 @@
+//! Rolling time-window aggregates for the serving daemon.
+//!
+//! A one-shot counter snapshot answers "how much work since start?", but
+//! operating a long-running service needs *rates*: records ingested per
+//! second over the last minute, the p99 batch latency over the last five.
+//! [`RollingRing`] provides those as a lock-light ring of fixed-width
+//! time buckets: writers bump relaxed atomics in the bucket owned by the
+//! current time slice, readers sum the buckets that fall inside a query
+//! window. Buckets age out at bucket granularity — an expired slot is
+//! lazily re-zeroed when the ring wraps back onto it.
+//!
+//! All methods take the current time as an explicit `now_secs` argument
+//! (any monotonic second counter, e.g. seconds since daemon start).
+//! Nothing inside reads a clock, which makes window semantics exactly
+//! testable with a virtual clock:
+//!
+//! ```
+//! use mp_metrics::rolling::{RollingRing, WindowCounter};
+//!
+//! let ring = RollingRing::new(5, 900); // 5 s buckets spanning 15 min
+//! ring.add(2, WindowCounter::Records, 100);
+//! ring.add(3, WindowCounter::Batches, 1);
+//! ring.record_latency(3, 2_000_000); // 2 ms batch ingest
+//! let w = ring.window(4, 60);
+//! assert_eq!(w.count(WindowCounter::Records), 100);
+//! assert!(w.rate(WindowCounter::Records) > 1.0);
+//! assert_eq!(w.latency_count, 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets per ring slot (same scheme as
+/// `mp_trace::LatencyHistogram`: bucket `i` holds samples with
+/// `floor(log2(ns)) == i`).
+pub const LAT_BUCKETS: usize = 48;
+
+/// The standard reporting windows: (label, seconds).
+pub const WINDOWS: [(&str, u64); 3] = [("1m", 60), ("5m", 300), ("15m", 900)];
+
+/// Event kinds a [`RollingRing`] tracks per bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowCounter {
+    /// Records ingested.
+    Records,
+    /// Batches ingested.
+    Batches,
+    /// Window-scan pair comparisons.
+    Comparisons,
+    /// Equational-theory (rule) invocations.
+    RuleInvocations,
+    /// Matching pairs found.
+    Matches,
+}
+
+impl WindowCounter {
+    /// Every window counter, in stable report order.
+    pub const ALL: [WindowCounter; 5] = [
+        WindowCounter::Records,
+        WindowCounter::Batches,
+        WindowCounter::Comparisons,
+        WindowCounter::RuleInvocations,
+        WindowCounter::Matches,
+    ];
+
+    /// Stable snake_case name used in reports and exposition labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WindowCounter::Records => "records",
+            WindowCounter::Batches => "batches",
+            WindowCounter::Comparisons => "comparisons",
+            WindowCounter::RuleInvocations => "rule_invocations",
+            WindowCounter::Matches => "matches",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Log2 bucket index for a nanosecond latency (bucket 0 also holds 0 ns).
+#[inline]
+pub fn log2_bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(LAT_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound in nanoseconds of log2 bucket `i`.
+pub fn log2_bucket_upper(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// One time slice of the ring. `epoch` is the absolute bucket number
+/// (`now_secs / width_secs`) the slot currently represents; a slot whose
+/// epoch is outside the queried window is simply skipped by readers, so
+/// stale slots never need eager cleanup.
+struct Slot {
+    epoch: AtomicU64,
+    counts: [AtomicU64; WindowCounter::ALL.len()],
+    lat: [AtomicU64; LAT_BUCKETS],
+    lat_count: AtomicU64,
+    lat_sum_ns: AtomicU64,
+    lat_max_ns: AtomicU64,
+}
+
+/// Sentinel epoch for a slot that has never been written.
+const EMPTY: u64 = u64::MAX;
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            epoch: AtomicU64::new(EMPTY),
+            counts: [const { AtomicU64::new(0) }; WindowCounter::ALL.len()],
+            lat: [const { AtomicU64::new(0) }; LAT_BUCKETS],
+            lat_count: AtomicU64::new(0),
+            lat_sum_ns: AtomicU64::new(0),
+            lat_max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn zero(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        for b in &self.lat {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.lat_count.store(0, Ordering::Relaxed);
+        self.lat_sum_ns.store(0, Ordering::Relaxed);
+        self.lat_max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A ring of fixed-width time buckets yielding rolling-window rates and
+/// latency quantiles. See the [module docs](self) for semantics.
+///
+/// Thread-safety: recording is relaxed atomics only. The intended shape
+/// is a single writer (the daemon's engine worker) with any number of
+/// concurrent readers (scrape threads); concurrent writers are safe but
+/// a reader racing a slot-rollover may observe a partially-reset bucket —
+/// rates are operational telemetry, not accounting.
+pub struct RollingRing {
+    width_secs: u64,
+    slots: Vec<Slot>,
+}
+
+impl RollingRing {
+    /// A ring of `span_secs / width_secs + 1` buckets, each `width_secs`
+    /// wide. `span_secs` is the largest window the ring can answer (the
+    /// extra slot keeps the current partial bucket from evicting the
+    /// oldest one still inside the span).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width_secs` is 0 or `span_secs < width_secs`.
+    pub fn new(width_secs: u64, span_secs: u64) -> Self {
+        assert!(width_secs > 0, "bucket width must be positive");
+        assert!(
+            span_secs >= width_secs,
+            "span must cover at least one bucket"
+        );
+        let n = (span_secs / width_secs) as usize + 1;
+        RollingRing {
+            width_secs,
+            slots: (0..n).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// The standard daemon ring: 5-second buckets spanning the largest
+    /// window in [`WINDOWS`].
+    pub fn standard() -> Self {
+        Self::new(5, WINDOWS[WINDOWS.len() - 1].1)
+    }
+
+    /// Bucket width in seconds (the resolution at which samples age out).
+    pub fn width_secs(&self) -> u64 {
+        self.width_secs
+    }
+
+    /// The slot for `now_secs`, lazily re-zeroed if the ring has wrapped
+    /// past its previous tenant.
+    fn slot(&self, now_secs: u64) -> &Slot {
+        let epoch = now_secs / self.width_secs;
+        let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        if slot.epoch.load(Ordering::Relaxed) != epoch {
+            slot.zero();
+            slot.epoch.store(epoch, Ordering::Relaxed);
+        }
+        slot
+    }
+
+    /// Adds `n` events of kind `counter` at time `now_secs`.
+    pub fn add(&self, now_secs: u64, counter: WindowCounter, n: u64) {
+        self.slot(now_secs).counts[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one latency sample (e.g. a batch-ingest duration) at
+    /// `now_secs`.
+    pub fn record_latency(&self, now_secs: u64, ns: u64) {
+        let slot = self.slot(now_secs);
+        slot.lat[log2_bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        slot.lat_count.fetch_add(1, Ordering::Relaxed);
+        slot.lat_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        slot.lat_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Aggregates the last `window_secs` seconds ending at `now_secs`.
+    ///
+    /// The window covers the current (partial) bucket plus the previous
+    /// `window_secs / width − 1` buckets, so a sample ages out when its
+    /// bucket's start falls more than `window_secs` before the current
+    /// bucket's end — resolution is one bucket width.
+    pub fn window(&self, now_secs: u64, window_secs: u64) -> WindowSnapshot {
+        let now_epoch = now_secs / self.width_secs;
+        let span = (window_secs / self.width_secs)
+            .max(1)
+            .min(self.slots.len() as u64 - 1);
+        let oldest = now_epoch.saturating_sub(span - 1);
+        let mut snap = WindowSnapshot {
+            window_secs,
+            counts: [0; WindowCounter::ALL.len()],
+            latency_count: 0,
+            latency_sum_ns: 0,
+            latency_max_ns: 0,
+            latency_buckets: [0; LAT_BUCKETS],
+        };
+        for slot in &self.slots {
+            let epoch = slot.epoch.load(Ordering::Relaxed);
+            if epoch == EMPTY || epoch < oldest || epoch > now_epoch {
+                continue;
+            }
+            for (i, c) in slot.counts.iter().enumerate() {
+                snap.counts[i] += c.load(Ordering::Relaxed);
+            }
+            snap.latency_count += slot.lat_count.load(Ordering::Relaxed);
+            snap.latency_sum_ns += slot.lat_sum_ns.load(Ordering::Relaxed);
+            snap.latency_max_ns = snap
+                .latency_max_ns
+                .max(slot.lat_max_ns.load(Ordering::Relaxed));
+            for (i, b) in slot.lat.iter().enumerate() {
+                snap.latency_buckets[i] += b.load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for RollingRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollingRing")
+            .field("width_secs", &self.width_secs)
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+/// Aggregated view of one rolling window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// The window length the query asked for, in seconds.
+    pub window_secs: u64,
+    /// Event totals inside the window, indexed by [`WindowCounter::ALL`].
+    pub counts: [u64; WindowCounter::ALL.len()],
+    /// Latency samples inside the window.
+    pub latency_count: u64,
+    /// Sum of those samples, in nanoseconds.
+    pub latency_sum_ns: u64,
+    /// Largest sample inside the window, in nanoseconds.
+    pub latency_max_ns: u64,
+    /// Log2 latency buckets (index `i` holds samples with
+    /// `floor(log2(ns)) == i`).
+    pub latency_buckets: [u64; LAT_BUCKETS],
+}
+
+impl WindowSnapshot {
+    /// Total events of kind `c` inside the window.
+    pub fn count(&self, c: WindowCounter) -> u64 {
+        self.counts[c.index()]
+    }
+
+    /// Events of kind `c` per second, averaged over the full window
+    /// length (an empty window rates 0).
+    pub fn rate(&self, c: WindowCounter) -> f64 {
+        if self.window_secs == 0 {
+            return 0.0;
+        }
+        self.count(c) as f64 / self.window_secs as f64
+    }
+
+    /// Latency at quantile `q` in `[0, 1]`: the upper bound of the log2
+    /// bucket containing the `ceil(q · count)`-th sample, clamped to the
+    /// window's observed maximum. Returns 0 for an empty window.
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        if self.latency_count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.latency_count as f64).ceil() as u64).clamp(1, self.latency_count);
+        let mut seen = 0u64;
+        for (i, &n) in self.latency_buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return log2_bucket_upper(i).min(self.latency_max_ns);
+            }
+        }
+        self.latency_max_ns
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn latency_mean_ns(&self) -> u64 {
+        self.latency_sum_ns
+            .checked_div(self.latency_count)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_the_queried_window() {
+        let ring = RollingRing::new(10, 60);
+        ring.add(5, WindowCounter::Records, 10);
+        ring.add(15, WindowCounter::Records, 20);
+        // At t=19, a 60 s window sees both buckets.
+        assert_eq!(ring.window(19, 60).count(WindowCounter::Records), 30);
+        // A 10 s window at t=19 covers only the current bucket [10, 20).
+        assert_eq!(ring.window(19, 10).count(WindowCounter::Records), 20);
+    }
+
+    #[test]
+    fn samples_age_out_at_bucket_granularity() {
+        let ring = RollingRing::new(10, 120);
+        ring.add(5, WindowCounter::Batches, 1);
+        // Window [6..65]: bucket 0 (epoch 0) is 6 buckets back from epoch
+        // 6 — outside a 60 s (6-bucket) window ending at t=65.
+        assert_eq!(ring.window(65, 60).count(WindowCounter::Batches), 0);
+        // A 120 s window still sees it.
+        assert_eq!(ring.window(65, 120).count(WindowCounter::Batches), 1);
+    }
+
+    #[test]
+    fn ring_wraparound_rezeroes_expired_slots() {
+        // 3 slots: width 10, span 20.
+        let ring = RollingRing::new(10, 20);
+        ring.add(0, WindowCounter::Records, 7);
+        // t=30 maps onto the same slot as t=0 (epoch 3 ≡ 0 mod 3); the
+        // stale count must not leak into the new epoch.
+        ring.add(30, WindowCounter::Records, 1);
+        assert_eq!(ring.window(30, 10).count(WindowCounter::Records), 1);
+        assert_eq!(ring.window(30, 20).count(WindowCounter::Records), 1);
+    }
+
+    #[test]
+    fn empty_window_rates_and_quantiles_are_zero() {
+        let ring = RollingRing::new(5, 900);
+        let w = ring.window(1_000, 60);
+        assert_eq!(w.count(WindowCounter::Records), 0);
+        assert_eq!(w.rate(WindowCounter::Comparisons), 0.0);
+        assert_eq!(w.latency_quantile_ns(0.99), 0);
+        assert_eq!(w.latency_mean_ns(), 0);
+    }
+
+    #[test]
+    fn rates_average_over_the_window_length() {
+        let ring = RollingRing::new(5, 900);
+        for t in 0..60 {
+            ring.add(t, WindowCounter::Records, 2);
+        }
+        let w = ring.window(59, 60);
+        assert_eq!(w.count(WindowCounter::Records), 120);
+        assert!((w.rate(WindowCounter::Records) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_from_sparse_samples() {
+        let ring = RollingRing::new(5, 900);
+        // 99 fast samples and one slow outlier: p50 stays in the fast
+        // bucket, p99 does not reach the outlier, p100 is exact.
+        for _ in 0..99 {
+            ring.record_latency(10, 1_000);
+        }
+        ring.record_latency(10, 1_000_000);
+        let w = ring.window(12, 60);
+        assert_eq!(w.latency_count, 100);
+        assert_eq!(
+            w.latency_quantile_ns(0.50),
+            log2_bucket_upper(log2_bucket_index(1_000))
+        );
+        assert_eq!(
+            w.latency_quantile_ns(0.99),
+            log2_bucket_upper(log2_bucket_index(1_000))
+        );
+        assert_eq!(w.latency_quantile_ns(1.0), 1_000_000);
+        // A single sample: every quantile is that sample (clamped to max).
+        let ring2 = RollingRing::new(5, 900);
+        ring2.record_latency(0, 12_345);
+        let w2 = ring2.window(0, 60);
+        assert_eq!(w2.latency_quantile_ns(0.5), 12_345);
+        assert_eq!(w2.latency_quantile_ns(0.99), 12_345);
+    }
+
+    #[test]
+    fn latency_sums_and_max_accumulate_across_buckets() {
+        let ring = RollingRing::new(10, 120);
+        ring.record_latency(5, 100);
+        ring.record_latency(15, 300);
+        let w = ring.window(19, 120);
+        assert_eq!(w.latency_count, 2);
+        assert_eq!(w.latency_sum_ns, 400);
+        assert_eq!(w.latency_max_ns, 300);
+        assert_eq!(w.latency_mean_ns(), 200);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let ring = RollingRing::new(5, 900);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for t in 0..1_000u64 {
+                        ring.add(t % 60, WindowCounter::Comparisons, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.window(59, 60).count(WindowCounter::Comparisons), 4_000);
+    }
+
+    #[test]
+    fn standard_ring_answers_every_reporting_window() {
+        let ring = RollingRing::standard();
+        ring.add(0, WindowCounter::Records, 1);
+        for (label, secs) in WINDOWS {
+            let w = ring.window(0, secs);
+            assert_eq!(w.count(WindowCounter::Records), 1, "window {label}");
+        }
+    }
+}

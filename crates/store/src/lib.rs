@@ -198,6 +198,16 @@ impl MatchStore {
         self.journal.next_seq()
     }
 
+    /// Size in bytes and modification time of the current snapshot file,
+    /// or `None` when no checkpoint has ever been written. The
+    /// modification time is the wall-clock moment of the last atomic
+    /// snapshot rename, so `now − mtime` is the snapshot's *staleness* —
+    /// the serving daemon exports it as the `snapshot_age_seconds` gauge.
+    pub fn snapshot_meta(&self) -> Option<(u64, std::time::SystemTime)> {
+        let md = std::fs::metadata(self.dir.join(SNAPSHOT_FILE)).ok()?;
+        Some((md.len(), md.modified().ok()?))
+    }
+
     /// Journals one batch (fsync'd; durable when this returns) and returns
     /// its sequence number. Append *before* applying the batch in memory:
     /// on a crash the journal replays it, and an unjournaled batch was
@@ -331,6 +341,18 @@ mod tests {
             Err(StoreError::Corrupt(msg)) => assert!(msg.contains("snapshot"), "{msg}"),
             other => panic!("corrupt snapshot must not load: {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_meta_tracks_the_checkpoint_file() {
+        let dir = tmp_dir("meta");
+        let (mut store, _) = MatchStore::open(&dir).unwrap();
+        assert!(store.snapshot_meta().is_none(), "no checkpoint yet");
+        let written = store.write_snapshot(&snap_of(batch(1, 3), 1)).unwrap();
+        let (bytes, mtime) = store.snapshot_meta().expect("checkpoint exists");
+        assert_eq!(bytes, written);
+        assert!(mtime <= std::time::SystemTime::now());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

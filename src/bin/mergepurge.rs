@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "explain" => explain(&flags),
         "serve" => serve_cmd(&flags),
         "send" => send_cmd(&flags),
+        "top" => top_cmd(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -68,8 +69,11 @@ commands:
   explain   --input FILE --a ID --b ID [--rules FILE]
   serve     --socket PATH --store DIR [--window W] [--keys a,b,c]
             [--rules FILE] [--queue-depth N] [--snapshot-every N]
-            [--stats FILE] [--trace FILE]
+            [--stats FILE] [--trace FILE] [--metrics-addr HOST:PORT]
+            [--log FILE] [--log-level error|warn|info|debug]
+            [--log-max-bytes N] [--progress] [--quiet]
   send      --socket PATH --cmd CMD [--input FILE] [--id N] [--json RAW]
+  top       --socket PATH [--interval-ms N] [--iterations N]
 
 --stats FILE writes a JSON pipeline report (comparison, match, and closure
 counters, per-pass attribution, per-rule firing counts, per-phase timings,
@@ -98,8 +102,18 @@ serve runs the batch-ingest daemon on a Unix socket, backed by the durable
 match-store at --store (crash-safe snapshots + batch journal; see
 docs/SERVING.md and docs/INCREMENTAL.md). send is the matching client:
 --cmd is one of ingest-batch (reads --input), query-matches (needs --id),
-stats, snapshot, shutdown; --json RAW sends a raw request instead. serve's
---stats/--trace write the pipeline report / Chrome trace on shutdown.";
+stats, snapshot, metrics, healthz, readyz, shutdown; --json RAW sends a
+raw request instead. serve's --stats/--trace write the pipeline report /
+Chrome trace on shutdown.
+
+serve observability (docs/OBSERVABILITY.md): --metrics-addr serves
+Prometheus text /metrics plus /healthz and /readyz over HTTP; --log
+writes a leveled JSONL event log (rotated past --log-max-bytes, one .1
+generation kept); --progress prints a periodic heartbeat line to stderr;
+--quiet suppresses all serve status/heartbeat stderr output. top polls a
+running daemon's stats and renders an in-place refreshing terminal view
+of rolling 1m/5m/15m rates, batch-latency quantiles, queue pressure, and
+snapshot staleness (--iterations 0 = run until interrupted).";
 
 /// Minimal `--flag value` parser.
 struct Flags(Vec<String>);
@@ -437,6 +451,23 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         return Err("--queue-depth must be at least 1".into());
     }
     config.snapshot_every = flags.get_parsed("snapshot-every", 0)?;
+    config.metrics_addr = flags.get("metrics-addr").map(str::to_string);
+    config.log_file = flags.get("log").map(std::path::PathBuf::from);
+    if let Some(level) = flags.get("log-level") {
+        config.log_level =
+            merge_purge_repro::serve::eventlog::Level::parse(level).ok_or_else(|| {
+                format!("invalid --log-level {level:?} (expected error, warn, info, or debug)")
+            })?;
+    }
+    config.log_max_bytes = flags.get_parsed(
+        "log-max-bytes",
+        merge_purge_repro::serve::eventlog::DEFAULT_MAX_BYTES,
+    )?;
+    if config.log_max_bytes == 0 {
+        return Err("--log-max-bytes must be at least 1".into());
+    }
+    config.quiet = flags.has("quiet");
+    config.progress = flags.has("progress");
     let stats_path = flags.get("stats").map(str::to_string);
     let trace_path = flags.get("trace").map(str::to_string);
 
@@ -485,21 +516,33 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
                     .map_err(|_| "invalid --id value")?;
                 format!("{{\"cmd\":\"query-matches\",\"id\":{id}}}")
             }
-            cmd @ ("stats" | "snapshot" | "shutdown") => format!("{{\"cmd\":\"{cmd}\"}}"),
+            cmd @ ("stats" | "snapshot" | "metrics" | "healthz" | "readyz" | "shutdown") => {
+                format!("{{\"cmd\":\"{cmd}\"}}")
+            }
             other => {
                 return Err(format!(
-                    "unknown --cmd {other:?} (expected ingest-batch, query-matches, stats, snapshot, or shutdown)"
+                    "unknown --cmd {other:?} (expected ingest-batch, query-matches, stats, \
+                     snapshot, metrics, healthz, readyz, or shutdown)"
                 ))
             }
         }
     };
     let response =
         request(&socket, &payload).map_err(|e| format!("request to {}: {e}", socket.display()))?;
-    println!("{response}");
+    let parsed = merge_purge_repro::serve::json::Json::parse(&response).ok();
+    // A `metrics` reply embeds the Prometheus text; print it raw so the
+    // output pipes straight into promtool and scrapers.
+    match parsed
+        .as_ref()
+        .and_then(|v| v.get("exposition"))
+        .and_then(|e| e.as_str())
+    {
+        Some(exposition) => print!("{exposition}"),
+        None => println!("{response}"),
+    }
     // Mirror the daemon's verdict in the exit code so shell scripts can
     // branch on `send` directly.
-    let ok = merge_purge_repro::serve::json::Json::parse(&response)
-        .ok()
+    let ok = parsed
         .and_then(|v| v.get("ok").and_then(|o| o.as_bool()))
         .unwrap_or(false);
     if ok {
@@ -507,6 +550,120 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
     } else {
         Err("daemon reported failure (see response above)".into())
     }
+}
+
+/// `mergepurge top` — poll a running daemon's `stats` and render an
+/// in-place refreshing operational view (rates, queue, latency
+/// quantiles, snapshot staleness).
+fn top_cmd(flags: &Flags) -> Result<(), String> {
+    use merge_purge_repro::serve::json::Json;
+    use merge_purge_repro::serve::request;
+    let socket = std::path::PathBuf::from(flags.require("socket")?);
+    let interval_ms: u64 = flags.get_parsed("interval-ms", 2000)?;
+    let iterations: u64 = flags.get_parsed("iterations", 0)?; // 0 = forever
+    let mut frame = 0u64;
+    loop {
+        let reply = request(&socket, "{\"cmd\":\"stats\"}")
+            .map_err(|e| format!("request to {}: {e}", socket.display()))?;
+        let stats = Json::parse(&reply).map_err(|e| format!("bad stats reply: {e}"))?;
+        if stats.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("daemon error: {reply}"));
+        }
+        if frame > 0 {
+            // Clear and home between frames only, so single-shot output
+            // (--iterations 1, as used in tests and CI) stays plain text.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&stats, &socket.display().to_string()));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        frame += 1;
+        if iterations > 0 && frame >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Formats a nanosecond latency for humans (µs/ms/s).
+fn human_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders one `top` frame from a schema-3 `stats` reply.
+fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> String {
+    use merge_purge_repro::serve::json::Json;
+    let num = |v: Option<&Json>| v.and_then(Json::as_u64).unwrap_or(0);
+    let health = stats.get("health");
+    let store = stats.get("store");
+    let h = |key: &str| num(health.and_then(|h| h.get(key)));
+    let yn = |key: &str| {
+        if health.and_then(|o| o.get(key)).and_then(Json::as_bool) == Some(true) {
+            "yes"
+        } else {
+            "NO"
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "mergepurge top — {socket}\n\
+         up {}s   ready {}   alive {}   seq {}\n\
+         records {}   groups {}   duplicates {}   queue {}/{}   journal lag {}   busy rejects {}\n",
+        h("uptime_secs"),
+        yn("ready"),
+        yn("alive"),
+        num(stats.get("seq")),
+        num(store.and_then(|s| s.get("records"))),
+        num(store.and_then(|s| s.get("duplicate_groups"))),
+        num(store.and_then(|s| s.get("duplicate_records"))),
+        h("queue_depth"),
+        h("queue_capacity"),
+        h("journal_lag"),
+        h("busy_rejections"),
+    ));
+    match health
+        .and_then(|o| o.get("snapshot_age_secs"))
+        .and_then(Json::as_u64)
+    {
+        Some(age) => out.push_str(&format!(
+            "snapshot {} bytes, {age}s old\n",
+            h("snapshot_bytes")
+        )),
+        None => out.push_str("snapshot none yet\n"),
+    }
+    out.push_str(&format!(
+        "\n{:<8}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}{:>10}\n",
+        "window", "records/s", "cmp/s", "rules/s", "matches/s", "p50", "p95", "p99"
+    ));
+    if let Some(windows) = stats.get("windows").and_then(Json::as_array) {
+        for w in windows {
+            let rate = |key: &str| {
+                w.get(&format!("{key}_per_sec"))
+                    .map(|v| match v {
+                        Json::Num(n) => format!("{n:.1}"),
+                        _ => "0.0".into(),
+                    })
+                    .unwrap_or_else(|| "0.0".into())
+            };
+            out.push_str(&format!(
+                "{:<8}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}{:>10}\n",
+                w.get("window").and_then(Json::as_str).unwrap_or("?"),
+                rate("records"),
+                rate("comparisons"),
+                rate("rule_invocations"),
+                rate("matches"),
+                human_ns(num(w.get("batch_p50_ns"))),
+                human_ns(num(w.get("batch_p95_ns"))),
+                human_ns(num(w.get("batch_p99_ns"))),
+            ));
+        }
+    }
+    out
 }
 
 fn explain(flags: &Flags) -> Result<(), String> {

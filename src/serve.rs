@@ -20,8 +20,13 @@
 //!   record's duplicate class (including itself).
 //! * `snapshot` — forces a checkpoint; replies with the byte count.
 //! * `stats` — replies with a deterministic `store` section (identical
-//!   across kill/restart for the same acknowledged batches) and a
-//!   process-local `process` section.
+//!   across kill/restart for the same acknowledged batches), a
+//!   process-local `process` section, and (reply schema 3) the `seq`
+//!   watermark plus live `health`/`windows` sections.
+//! * `metrics` — the Prometheus text exposition, embedded in a JSON
+//!   reply; also served raw over HTTP via `--metrics-addr`.
+//! * `healthz` / `readyz` — liveness and readiness probes (answered from
+//!   shared state, never queued behind the engine).
 //! * `shutdown` — graceful drain: in-flight batches complete, a final
 //!   snapshot is written, the socket is unlinked, the process exits 0.
 //!
@@ -29,10 +34,14 @@
 //! replies `{"ok":false,"error":"busy"}` immediately instead of buffering
 //! unboundedly — the client retries. `SIGTERM`/`SIGINT` trigger the same
 //! graceful drain as the `shutdown` command.
+//!
+//! Observability: `--metrics-addr` serves `/metrics`, `/healthz`, and
+//! `/readyz` over HTTP; `--log` writes a leveled JSONL event log; see
+//! [`obs`], [`eventlog`], [`http`], and `docs/OBSERVABILITY.md`.
 
 use merge_purge::incremental::{DurableIncremental, IncrementalMergePurge};
 use merge_purge::KeySpec;
-use mp_metrics::{span, span_labeled, MetricsRecorder};
+use mp_metrics::{span, span_labeled, Counter, MetricsRecorder};
 use mp_record::{io as rio, Record};
 use mp_rules::EquationalTheory;
 use std::io::{self, Read, Write};
@@ -42,9 +51,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::time::Duration;
 
+pub mod eventlog;
+pub mod http;
 pub mod json;
+pub mod obs;
 
+use eventlog::{EventLog, Level};
 use json::Json;
+use obs::ObsState;
 
 /// Frames larger than this are rejected (protocol error, not a panic).
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
@@ -69,6 +83,20 @@ pub struct ServeConfig {
     /// Checkpoint automatically after this many ingested batches
     /// (0 = only on `snapshot`/`shutdown`).
     pub snapshot_every: u64,
+    /// `host:port` to serve Prometheus `/metrics` (plus `/healthz` and
+    /// `/readyz`) over HTTP; `None` disables the listener.
+    pub metrics_addr: Option<String>,
+    /// Structured JSONL event-log path (`None` disables the log).
+    pub log_file: Option<PathBuf>,
+    /// Minimum event level written to the log.
+    pub log_level: Level,
+    /// Event-log rotation threshold in bytes.
+    pub log_max_bytes: u64,
+    /// Suppresses all status/heartbeat stderr output.
+    pub quiet: bool,
+    /// Prints a periodic throughput heartbeat line to stderr
+    /// (suppressed by `quiet`).
+    pub progress: bool,
 }
 
 impl ServeConfig {
@@ -85,6 +113,12 @@ impl ServeConfig {
             ],
             queue_depth: 4,
             snapshot_every: 0,
+            metrics_addr: None,
+            log_file: None,
+            log_level: Level::Info,
+            log_max_bytes: eventlog::DEFAULT_MAX_BYTES,
+            quiet: false,
+            progress: false,
         }
     }
 }
@@ -148,184 +182,497 @@ pub fn serve(
     install_signal_handlers();
     let _serve_span = span(recorder, "serve");
 
-    let configure = |mut e: IncrementalMergePurge| {
-        for key in &config.keys {
-            e = e.pass(key.clone(), config.window);
-        }
-        e
+    let log = match &config.log_file {
+        Some(path) => Some(EventLog::open(
+            path,
+            config.log_level,
+            config.log_max_bytes,
+        )?),
+        None => None,
     };
-    let (mut durable, recovery) =
-        DurableIncremental::open(&config.store_dir, configure, theory, recorder)
-            .map_err(|e| format!("open store {}: {e}", config.store_dir.display()))?;
-    eprintln!(
-        "mergepurge serve: {} records, {} batches applied ({} replayed from journal{})",
-        durable.engine().records().len(),
-        durable.engine().batches_applied(),
-        recovery.batches_replayed,
-        if recovery.truncated_bytes > 0 {
-            ", corrupt tail truncated"
-        } else {
-            ""
-        },
+    let obs = ObsState::new(config.queue_depth, log);
+    obs.beat();
+    obs.event(
+        Level::Info,
+        "starting",
+        vec![
+            (
+                "store".into(),
+                Json::Str(config.store_dir.display().to_string()),
+            ),
+            (
+                "socket".into(),
+                Json::Str(config.socket.display().to_string()),
+            ),
+        ],
     );
 
-    // Stale socket file from an unclean previous run: remove, then bind.
-    let _ = std::fs::remove_file(&config.socket);
-    let listener = UnixListener::bind(&config.socket)
-        .map_err(|e| format!("bind {}: {e}", config.socket.display()))?;
-    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
-    eprintln!("mergepurge serve: listening on {}", config.socket.display());
+    // Bind the metrics listener *before* opening the store: journal
+    // replay can take a while, and `readyz` must be able to answer 503
+    // (not connection-refused) during it.
+    let metrics_listener = match &config.metrics_addr {
+        Some(addr) => {
+            let l = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("bind metrics addr {addr}: {e}"))?;
+            let bound = l.local_addr().map_err(|e| e.to_string())?;
+            if !config.quiet {
+                eprintln!("mergepurge serve: metrics on http://{bound}/metrics");
+            }
+            obs.event(
+                Level::Info,
+                "metrics_listening",
+                vec![("addr".into(), Json::Str(bound.to_string()))],
+            );
+            Some(l)
+        }
+        None => None,
+    };
 
-    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
-    let snapshot_every = config.snapshot_every;
+    let result = std::thread::scope(|scope| {
+        let obs = &obs;
+        if let Some(l) = metrics_listener {
+            scope.spawn(move || http::serve_http(l, obs, recorder, &SHUTDOWN));
+        }
+        let out = (|| -> Result<(), String> {
+            let configure = |mut e: IncrementalMergePurge| {
+                for key in &config.keys {
+                    e = e.pass(key.clone(), config.window);
+                }
+                e
+            };
+            let (mut durable, recovery) =
+                DurableIncremental::open(&config.store_dir, configure, theory, recorder)
+                    .map_err(|e| format!("open store {}: {e}", config.store_dir.display()))?;
+            if !config.quiet {
+                eprintln!(
+                    "mergepurge serve: {} records, {} batches applied ({} replayed from journal{})",
+                    durable.engine().records().len(),
+                    durable.engine().batches_applied(),
+                    recovery.batches_replayed,
+                    if recovery.truncated_bytes > 0 {
+                        ", corrupt tail truncated"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            obs.event(
+                Level::Info,
+                "journal_replayed",
+                vec![
+                    (
+                        "snapshot_loaded".into(),
+                        Json::Bool(recovery.snapshot_loaded),
+                    ),
+                    (
+                        "batches_in_snapshot".into(),
+                        Json::Num(recovery.batches_in_snapshot as f64),
+                    ),
+                    (
+                        "batches_replayed".into(),
+                        Json::Num(recovery.batches_replayed as f64),
+                    ),
+                ],
+            );
+            if recovery.truncated_bytes > 0 || recovery.truncation_reason.is_some() {
+                obs.event(
+                    Level::Warn,
+                    "corrupt_tail_truncated",
+                    vec![
+                        (
+                            "truncated_bytes".into(),
+                            Json::Num(recovery.truncated_bytes as f64),
+                        ),
+                        (
+                            "reason".into(),
+                            Json::Str(
+                                recovery
+                                    .truncation_reason
+                                    .clone()
+                                    .unwrap_or_else(|| "unknown".into()),
+                            ),
+                        ),
+                    ],
+                );
+            }
+            publish_gauges(&durable, obs);
+            obs.set_replay_complete();
 
-    std::thread::scope(|scope| {
-        // The worker owns the engine; jobs are applied strictly in FIFO
-        // order, which is what makes the journal replayable.
-        let worker = scope.spawn(move || {
-            let mut clean = false;
-            while let Ok(job) = rx.recv() {
-                match job {
-                    Job::Ingest(batch, reply) => {
-                        let n = batch.len();
-                        let _batch_span = span_labeled(recorder, "batch", || {
-                            format!("seq={}", durable.store().next_seq())
-                        });
-                        let msg = match durable.ingest(batch, theory, recorder) {
-                            Ok(seq) => {
-                                if snapshot_every > 0
-                                    && durable.batches_since_checkpoint() >= snapshot_every
-                                {
-                                    if let Err(e) = durable.checkpoint(recorder) {
-                                        eprintln!("mergepurge serve: checkpoint failed: {e}");
+            // Stale socket file from an unclean previous run: remove,
+            // then bind.
+            let _ = std::fs::remove_file(&config.socket);
+            let listener = UnixListener::bind(&config.socket)
+                .map_err(|e| format!("bind {}: {e}", config.socket.display()))?;
+            listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+            if !config.quiet {
+                eprintln!("mergepurge serve: listening on {}", config.socket.display());
+            }
+            obs.set_accepting(true);
+            obs.event(
+                Level::Info,
+                "listening",
+                vec![(
+                    "socket".into(),
+                    Json::Str(config.socket.display().to_string()),
+                )],
+            );
+
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+            let snapshot_every = config.snapshot_every;
+            let (quiet, progress) = (config.quiet, config.progress);
+
+            // The worker owns the engine; jobs are applied strictly in
+            // FIFO order, which is what makes the journal replayable.
+            let worker = scope.spawn(move || {
+                let mut clean = false;
+                let mut last_heartbeat_line = 0u64;
+                loop {
+                    // Bounded wait so the worker heartbeat stays fresh
+                    // while idle (healthz liveness).
+                    let job = match rx.recv_timeout(Duration::from_millis(250)) {
+                        Ok(job) => job,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            obs.beat();
+                            if progress && !quiet {
+                                heartbeat_line(obs, &mut last_heartbeat_line);
+                            }
+                            continue;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    };
+                    obs.job_dequeued();
+                    obs.beat();
+                    match job {
+                        Job::Ingest(batch, reply) => {
+                            let n = batch.len();
+                            let _batch_span = span_labeled(recorder, "batch", || {
+                                format!("seq={}", durable.store().next_seq())
+                            });
+                            let started = std::time::Instant::now();
+                            let before = [
+                                recorder.get(Counter::Comparisons),
+                                recorder.get(Counter::RuleInvocations),
+                                recorder.get(Counter::Matches),
+                            ];
+                            let msg = match durable.ingest(batch, theory, recorder) {
+                                Ok(seq) => {
+                                    let dur_ns = started.elapsed().as_nanos() as u64;
+                                    let matches =
+                                        recorder.get(Counter::Matches).saturating_sub(before[2]);
+                                    obs.record_batch(
+                                        n as u64,
+                                        recorder
+                                            .get(Counter::Comparisons)
+                                            .saturating_sub(before[0]),
+                                        recorder
+                                            .get(Counter::RuleInvocations)
+                                            .saturating_sub(before[1]),
+                                        matches,
+                                        dur_ns,
+                                    );
+                                    obs.event(
+                                        Level::Info,
+                                        "batch_ingested",
+                                        vec![
+                                            ("batch_seq".into(), Json::Num(seq as f64)),
+                                            ("records".into(), Json::Num(n as f64)),
+                                            ("matches".into(), Json::Num(matches as f64)),
+                                            (
+                                                "total_records".into(),
+                                                Json::Num(durable.engine().records().len() as f64),
+                                            ),
+                                            (
+                                                "duration_ms".into(),
+                                                Json::Num((dur_ns / 1_000_000) as f64),
+                                            ),
+                                        ],
+                                    );
+                                    if snapshot_every > 0
+                                        && durable.batches_since_checkpoint() >= snapshot_every
+                                    {
+                                        match durable.checkpoint(recorder) {
+                                            Ok(bytes) => obs.event(
+                                                Level::Info,
+                                                "checkpoint_written",
+                                                vec![
+                                                    ("bytes".into(), Json::Num(bytes as f64)),
+                                                    (
+                                                        "trigger".into(),
+                                                        Json::Str("snapshot-every".into()),
+                                                    ),
+                                                ],
+                                            ),
+                                            Err(e) => {
+                                                eprintln!(
+                                                    "mergepurge serve: checkpoint failed: {e}"
+                                                );
+                                                obs.event(
+                                                    Level::Error,
+                                                    "checkpoint_failed",
+                                                    vec![(
+                                                        "error".into(),
+                                                        Json::Str(e.to_string()),
+                                                    )],
+                                                );
+                                            }
+                                        }
                                     }
+                                    Json::Obj(vec![
+                                        ("ok".into(), Json::Bool(true)),
+                                        ("seq".into(), Json::Num(seq as f64)),
+                                        ("records".into(), Json::Num(n as f64)),
+                                        (
+                                            "total_records".into(),
+                                            Json::Num(durable.engine().records().len() as f64),
+                                        ),
+                                    ])
+                                    .to_string()
                                 }
+                                Err(e) => {
+                                    obs.event(
+                                        Level::Error,
+                                        "ingest_failed",
+                                        vec![("error".into(), Json::Str(e.to_string()))],
+                                    );
+                                    err_json(&format!("ingest failed: {e}"))
+                                }
+                            };
+                            publish_gauges(&durable, obs);
+                            let _ = reply.send(msg);
+                        }
+                        Job::Query(id, reply) => {
+                            obs.event(
+                                Level::Debug,
+                                "query_matches",
+                                vec![("id".into(), Json::Num(id as f64))],
+                            );
+                            let msg = if (id as usize) < durable.engine().records().len() {
+                                let class = durable
+                                    .engine()
+                                    .classes()
+                                    .into_iter()
+                                    .find(|c| c.contains(&id))
+                                    .unwrap_or_else(|| vec![id]);
                                 Json::Obj(vec![
                                     ("ok".into(), Json::Bool(true)),
-                                    ("seq".into(), Json::Num(seq as f64)),
-                                    ("records".into(), Json::Num(n as f64)),
+                                    ("id".into(), Json::Num(id as f64)),
                                     (
-                                        "total_records".into(),
-                                        Json::Num(durable.engine().records().len() as f64),
+                                        "class".into(),
+                                        Json::Arr(
+                                            class.iter().map(|&r| Json::Num(r as f64)).collect(),
+                                        ),
                                     ),
+                                    ("seq".into(), Json::Num(last_seq(&durable) as f64)),
                                 ])
                                 .to_string()
-                            }
-                            Err(e) => err_json(&format!("ingest failed: {e}")),
-                        };
-                        let _ = reply.send(msg);
-                    }
-                    Job::Query(id, reply) => {
-                        let msg = if (id as usize) < durable.engine().records().len() {
-                            let class = durable
-                                .engine()
-                                .classes()
-                                .into_iter()
-                                .find(|c| c.contains(&id))
-                                .unwrap_or_else(|| vec![id]);
-                            Json::Obj(vec![
-                                ("ok".into(), Json::Bool(true)),
-                                ("id".into(), Json::Num(id as f64)),
-                                (
-                                    "class".into(),
-                                    Json::Arr(class.iter().map(|&r| Json::Num(r as f64)).collect()),
-                                ),
-                            ])
-                            .to_string()
-                        } else {
-                            err_json(&format!(
-                                "record id {id} out of range ({} records)",
-                                durable.engine().records().len()
-                            ))
-                        };
-                        let _ = reply.send(msg);
-                    }
-                    Job::Stats(reply) => {
-                        let _ = reply.send(stats_json(&durable, recorder));
-                    }
-                    Job::Snapshot(reply) => {
-                        let _snap_span = span_labeled(recorder, "batch", || "snapshot".into());
-                        let msg = match durable.checkpoint(recorder) {
-                            Ok(bytes) => Json::Obj(vec![
-                                ("ok".into(), Json::Bool(true)),
-                                ("bytes".into(), Json::Num(bytes as f64)),
-                            ])
-                            .to_string(),
-                            Err(e) => err_json(&format!("snapshot failed: {e}")),
-                        };
-                        let _ = reply.send(msg);
-                    }
-                    Job::Shutdown(reply) => {
-                        SHUTDOWN.store(true, Ordering::SeqCst);
-                        // Jobs accepted after the shutdown request sit
-                        // behind it in the queue; refuse them.
-                        while let Ok(late) = rx.try_recv() {
-                            let sender = match late {
-                                Job::Ingest(_, s)
-                                | Job::Query(_, s)
-                                | Job::Stats(s)
-                                | Job::Snapshot(s)
-                                | Job::Shutdown(s) => s,
+                            } else {
+                                err_json(&format!(
+                                    "record id {id} out of range ({} records)",
+                                    durable.engine().records().len()
+                                ))
                             };
-                            let _ = sender.send(err_json("shutting-down"));
+                            let _ = reply.send(msg);
                         }
-                        let msg = match durable.checkpoint(recorder) {
-                            Ok(bytes) => Json::Obj(vec![
-                                ("ok".into(), Json::Bool(true)),
+                        Job::Stats(reply) => {
+                            obs.event(Level::Debug, "stats", vec![]);
+                            let _ = reply.send(stats_json(&durable, recorder, obs));
+                        }
+                        Job::Snapshot(reply) => {
+                            let _snap_span = span_labeled(recorder, "batch", || "snapshot".into());
+                            let msg = match durable.checkpoint(recorder) {
+                                Ok(bytes) => {
+                                    obs.event(
+                                        Level::Info,
+                                        "checkpoint_written",
+                                        vec![
+                                            ("bytes".into(), Json::Num(bytes as f64)),
+                                            ("trigger".into(), Json::Str("snapshot-cmd".into())),
+                                        ],
+                                    );
+                                    Json::Obj(vec![
+                                        ("ok".into(), Json::Bool(true)),
+                                        ("bytes".into(), Json::Num(bytes as f64)),
+                                    ])
+                                    .to_string()
+                                }
+                                Err(e) => {
+                                    obs.event(
+                                        Level::Error,
+                                        "checkpoint_failed",
+                                        vec![("error".into(), Json::Str(e.to_string()))],
+                                    );
+                                    err_json(&format!("snapshot failed: {e}"))
+                                }
+                            };
+                            publish_gauges(&durable, obs);
+                            let _ = reply.send(msg);
+                        }
+                        Job::Shutdown(reply) => {
+                            SHUTDOWN.store(true, Ordering::SeqCst);
+                            obs.set_accepting(false);
+                            obs.event(Level::Info, "shutdown_begun", vec![]);
+                            // Jobs accepted after the shutdown request sit
+                            // behind it in the queue; refuse them.
+                            while let Ok(late) = rx.try_recv() {
+                                obs.job_dequeued();
+                                let sender = match late {
+                                    Job::Ingest(_, s)
+                                    | Job::Query(_, s)
+                                    | Job::Stats(s)
+                                    | Job::Snapshot(s)
+                                    | Job::Shutdown(s) => s,
+                                };
+                                let _ = sender.send(err_json("shutting-down"));
+                            }
+                            let msg = match durable.checkpoint(recorder) {
+                                Ok(bytes) => {
+                                    obs.event(
+                                        Level::Info,
+                                        "checkpoint_written",
+                                        vec![
+                                            ("bytes".into(), Json::Num(bytes as f64)),
+                                            ("trigger".into(), Json::Str("shutdown".into())),
+                                        ],
+                                    );
+                                    Json::Obj(vec![
+                                        ("ok".into(), Json::Bool(true)),
+                                        ("bytes".into(), Json::Num(bytes as f64)),
+                                    ])
+                                    .to_string()
+                                }
+                                Err(e) => {
+                                    obs.event(
+                                        Level::Error,
+                                        "checkpoint_failed",
+                                        vec![("error".into(), Json::Str(e.to_string()))],
+                                    );
+                                    err_json(&format!("final snapshot failed: {e}"))
+                                }
+                            };
+                            publish_gauges(&durable, obs);
+                            let _ = reply.send(msg);
+                            clean = true;
+                            break;
+                        }
+                    }
+                }
+                if !clean {
+                    // Channel closed without an explicit shutdown job
+                    // (signal path): still leave a snapshot behind.
+                    obs.set_accepting(false);
+                    match durable.checkpoint(recorder) {
+                        Ok(bytes) => obs.event(
+                            Level::Info,
+                            "checkpoint_written",
+                            vec![
                                 ("bytes".into(), Json::Num(bytes as f64)),
-                            ])
-                            .to_string(),
-                            Err(e) => err_json(&format!("final snapshot failed: {e}")),
-                        };
-                        let _ = reply.send(msg);
-                        clean = true;
+                                ("trigger".into(), Json::Str("signal".into())),
+                            ],
+                        ),
+                        Err(e) => {
+                            eprintln!("mergepurge serve: final checkpoint failed: {e}");
+                            obs.event(
+                                Level::Error,
+                                "checkpoint_failed",
+                                vec![("error".into(), Json::Str(e.to_string()))],
+                            );
+                        }
+                    }
+                }
+            });
+
+            // Accept loop: poll so the shutdown flag is honored promptly.
+            while !SHUTDOWN.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let tx = tx.clone();
+                        scope.spawn(move || handle_conn(stream, &tx, obs, recorder));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => {
+                        eprintln!("mergepurge serve: accept failed: {e}");
                         break;
                     }
                 }
             }
-            if !clean {
-                // Channel closed without an explicit shutdown job (signal
-                // path): still leave a snapshot behind.
-                if let Err(e) = durable.checkpoint(recorder) {
-                    eprintln!("mergepurge serve: final checkpoint failed: {e}");
-                }
-            }
-        });
+            obs.set_accepting(false);
 
-        // Accept loop: poll so the shutdown flag is honored promptly.
-        while !SHUTDOWN.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let tx = tx.clone();
-                    scope.spawn(move || handle_conn(stream, &tx));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
-                }
-                Err(e) => {
-                    eprintln!("mergepurge serve: accept failed: {e}");
-                    break;
-                }
+            // Drain: ask the worker to snapshot and stop (no-op if a
+            // client shutdown already did), then let connection threads
+            // time out.
+            let (ack_tx, ack_rx) = mpsc::channel();
+            obs.job_enqueued();
+            if tx.send(Job::Shutdown(ack_tx)).is_ok() {
+                let _ = ack_rx.recv_timeout(Duration::from_secs(30));
+            } else {
+                obs.job_dequeued();
             }
-        }
-
-        // Drain: ask the worker to snapshot and stop (no-op if a client
-        // shutdown already did), then let connection threads time out.
-        let (ack_tx, ack_rx) = mpsc::channel();
-        if tx.send(Job::Shutdown(ack_tx)).is_ok() {
-            let _ = ack_rx.recv_timeout(Duration::from_secs(30));
-        }
-        drop(tx);
-        let _ = worker.join();
+            drop(tx);
+            let _ = worker.join();
+            Ok(())
+        })();
+        // The HTTP thread (if any) polls this flag; set it on every exit
+        // path so the scope can close.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+        out
     });
+    result?;
 
     let _ = std::fs::remove_file(&config.socket);
-    eprintln!("mergepurge serve: drained, snapshot written, socket removed");
+    if !config.quiet {
+        eprintln!("mergepurge serve: drained, snapshot written, socket removed");
+    }
+    obs.event(Level::Info, "stopped", vec![]);
     Ok(())
 }
 
+/// The last acknowledged journal sequence number (0 before any batch):
+/// the watermark `stats` and `query-matches` replies carry so clients can
+/// correlate answers with journal position.
+fn last_seq(durable: &DurableIncremental) -> u64 {
+    durable.store().next_seq().saturating_sub(1)
+}
+
+/// Copies the engine-owned gauges into the shared observability state.
+fn publish_gauges(durable: &DurableIncremental, obs: &ObsState) {
+    obs.publish_engine(
+        durable.engine().records().len() as u64,
+        last_seq(durable),
+        durable.batches_since_checkpoint(),
+        durable.store().snapshot_meta(),
+    );
+}
+
+/// Prints the `--progress` heartbeat line (at most every 10 s; called
+/// from the worker's idle ticks).
+fn heartbeat_line(obs: &ObsState, last: &mut u64) {
+    let now = obs.now_secs();
+    if now < *last + 10 {
+        return;
+    }
+    *last = now;
+    let w = obs.ring.window(now, 60);
+    eprintln!(
+        "mergepurge serve: up {}s, {} records, seq {}, queue {}/{}, 1m {:.1} rec/s, p99 {:.1} ms",
+        obs.uptime_secs(),
+        obs.records(),
+        obs.last_seq(),
+        obs.queue_depth(),
+        obs.queue_capacity(),
+        w.rate(mp_metrics::rolling::WindowCounter::Records),
+        w.latency_quantile_ns(0.99) as f64 / 1e6,
+    );
+}
+
 /// Serves one client connection until EOF or shutdown.
-fn handle_conn(mut stream: UnixStream, tx: &SyncSender<Job>) {
+fn handle_conn(
+    mut stream: UnixStream,
+    tx: &SyncSender<Job>,
+    obs: &ObsState,
+    recorder: &MetricsRecorder,
+) {
     let _ = stream.set_read_timeout(Some(POLL));
     loop {
         let frame = match read_frame_with_shutdown(&mut stream) {
@@ -333,15 +680,22 @@ fn handle_conn(mut stream: UnixStream, tx: &SyncSender<Job>) {
             Ok(None) => return, // clean EOF or shutdown
             Err(_) => return,
         };
-        let response = dispatch(&frame, tx);
+        let response = dispatch(&frame, tx, obs, recorder);
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
     }
 }
 
-/// Parses one request frame and routes it through the job queue.
-fn dispatch(frame: &str, tx: &SyncSender<Job>) -> String {
+/// Parses one request frame and routes it: probe/scrape commands answer
+/// from shared state immediately; everything else goes through the job
+/// queue to the engine worker.
+fn dispatch(
+    frame: &str,
+    tx: &SyncSender<Job>,
+    obs: &ObsState,
+    recorder: &MetricsRecorder,
+) -> String {
     let req = match Json::parse(frame) {
         Ok(v) => v,
         Err(e) => return err_json(&format!("bad json: {e}")),
@@ -372,10 +726,18 @@ fn dispatch(frame: &str, tx: &SyncSender<Job>) -> String {
             let (reply_tx, reply_rx) = mpsc::channel();
             // Bounded backpressure: a full queue is an immediate `busy`,
             // never an unbounded buffer.
+            obs.job_enqueued();
             match tx.try_send(Job::Ingest(batch, reply_tx)) {
                 Ok(()) => {}
-                Err(TrySendError::Full(_)) => return err_json("busy"),
-                Err(TrySendError::Disconnected(_)) => return err_json("shutting-down"),
+                Err(TrySendError::Full(_)) => {
+                    obs.job_dequeued();
+                    obs.busy_rejected();
+                    return err_json("busy");
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    obs.job_dequeued();
+                    return err_json("shutting-down");
+                }
             }
             reply_rx
                 .recv()
@@ -388,13 +750,23 @@ fn dispatch(frame: &str, tx: &SyncSender<Job>) -> String {
             if id > u64::from(u32::MAX) {
                 return err_json("id out of range");
             }
-            enqueue_and_wait(tx, |reply| Job::Query(id as u32, reply))
+            enqueue_and_wait(tx, obs, |reply| Job::Query(id as u32, reply))
         }
-        "stats" => enqueue_and_wait(tx, Job::Stats),
-        "snapshot" => enqueue_and_wait(tx, Job::Snapshot),
+        "stats" => enqueue_and_wait(tx, obs, Job::Stats),
+        "snapshot" => enqueue_and_wait(tx, obs, Job::Snapshot),
+        // Probes and scrapes never touch the worker queue: they must
+        // answer even when the engine is busy or backed up.
+        "metrics" => Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("format".into(), Json::Str("prometheus-0.0.4".into())),
+            ("exposition".into(), Json::Str(obs.exposition(recorder))),
+        ])
+        .to_string(),
+        "healthz" => obs.healthz_json(),
+        "readyz" => obs.readyz_json(),
         "shutdown" => {
             SHUTDOWN.store(true, Ordering::SeqCst);
-            enqueue_and_wait(tx, Job::Shutdown)
+            enqueue_and_wait(tx, obs, Job::Shutdown)
         }
         other => err_json(&format!("unknown cmd {other:?}")),
     }
@@ -402,9 +774,15 @@ fn dispatch(frame: &str, tx: &SyncSender<Job>) -> String {
 
 /// Sends a (non-ingest) job, blocking for queue space, and awaits the
 /// worker's reply. These serialize behind any queued ingests.
-fn enqueue_and_wait(tx: &SyncSender<Job>, job: impl FnOnce(mpsc::Sender<String>) -> Job) -> String {
+fn enqueue_and_wait(
+    tx: &SyncSender<Job>,
+    obs: &ObsState,
+    job: impl FnOnce(mpsc::Sender<String>) -> Job,
+) -> String {
     let (reply_tx, reply_rx) = mpsc::channel();
+    obs.job_enqueued();
     if tx.send(job(reply_tx)).is_err() {
+        obs.job_dequeued();
         return err_json("shutting-down");
     }
     reply_rx
@@ -412,11 +790,14 @@ fn enqueue_and_wait(tx: &SyncSender<Job>, job: impl FnOnce(mpsc::Sender<String>)
         .unwrap_or_else(|_| err_json("shutting-down"))
 }
 
-/// The `stats` response. The `store` object is **deterministic**: it is a
-/// pure function of the acknowledged batch sequence, so it compares equal
-/// across single-process and kill/restart runs (CI enforces this). The
-/// `process` object is local to this daemon process.
-fn stats_json(durable: &DurableIncremental, recorder: &MetricsRecorder) -> String {
+/// The `stats` response (reply schema 3). The `store` object is
+/// **deterministic**: it is a pure function of the acknowledged batch
+/// sequence, so it compares equal across single-process and kill/restart
+/// runs (CI enforces this) — schema 3 only *adds* sections around it.
+/// `seq` is the acknowledged-journal watermark; `process` is local to
+/// this daemon process; `health` and `windows` are live observability
+/// views (see `docs/OBSERVABILITY.md`).
+fn stats_json(durable: &DurableIncremental, recorder: &MetricsRecorder, obs: &ObsState) -> String {
     let engine = durable.engine();
     let classes = engine.classes();
     let duplicates: usize = classes.iter().map(|c| c.len() - 1).sum();
@@ -467,8 +848,12 @@ fn stats_json(durable: &DurableIncremental, recorder: &MetricsRecorder) -> Strin
     ]);
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
+        ("schema".into(), Json::Num(3.0)),
+        ("seq".into(), Json::Num(last_seq(durable) as f64)),
         ("store".into(), store),
         ("process".into(), process),
+        ("health".into(), obs.health_json()),
+        ("windows".into(), obs.windows_json()),
     ])
     .to_string()
 }

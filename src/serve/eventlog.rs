@@ -1,0 +1,269 @@
+//! Structured, leveled JSONL event log for the serving daemon.
+//!
+//! `mergepurge serve --log FILE` appends one JSON object per line:
+//!
+//! ```json
+//! {"seq":7,"ts_ms":1723036800123,"level":"info","event":"batch_ingested","batch_seq":3,"records":3334,"total_records":10000,"duration_ms":412}
+//! ```
+//!
+//! * `seq` is a per-process monotonic sequence number (gap-free, so a
+//!   log shipper can detect drops);
+//! * `ts_ms` is wall-clock Unix milliseconds;
+//! * `level` is one of `error` / `warn` / `info` / `debug`, filtered at
+//!   emit time by the configured minimum level;
+//! * `event` names the event; remaining keys are event-specific fields.
+//!
+//! Rotation is size-based with a single kept generation: when a write
+//! would push the file past the configured limit, the file is renamed to
+//! `FILE.1` (replacing any previous generation) and a fresh `FILE` is
+//! started. Sequence numbers continue across rotations.
+
+use super::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// A failure the operator must look at (ingest/checkpoint errors).
+    Error,
+    /// Degraded but self-healing conditions (backpressure, truncated
+    /// journal tails).
+    Warn,
+    /// Lifecycle and per-batch summaries (the default level).
+    Info,
+    /// Per-request detail (queries, stats calls).
+    Debug,
+}
+
+impl Level {
+    /// Stable lowercase name used in log lines and `--log-level`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `--log-level` value.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Default rotation threshold: 1 MiB.
+pub const DEFAULT_MAX_BYTES: u64 = 1024 * 1024;
+
+struct Inner {
+    file: File,
+    bytes: u64,
+    seq: u64,
+}
+
+/// A thread-safe JSONL event sink with size-based rotation. See the
+/// [module docs](self) for the line format.
+pub struct EventLog {
+    path: PathBuf,
+    max_bytes: u64,
+    min_level: Level,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("path", &self.path)
+            .field("max_bytes", &self.max_bytes)
+            .field("min_level", &self.min_level.name())
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// Opens (appending to) the event log at `path`. Events below
+    /// `min_level` are dropped at emit time; the file rotates to
+    /// `path.1` when it would exceed `max_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open/stat failure, stringified for the daemon's
+    /// startup error path.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        min_level: Level,
+        max_bytes: u64,
+    ) -> Result<Self, String> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("open log {}: {e}", path.display()))?;
+        let bytes = file
+            .metadata()
+            .map_err(|e| format!("stat log {}: {e}", path.display()))?
+            .len();
+        Ok(EventLog {
+            path,
+            max_bytes: max_bytes.max(1),
+            min_level,
+            inner: Mutex::new(Inner {
+                file,
+                bytes,
+                seq: 0,
+            }),
+        })
+    }
+
+    /// The rotated generation's path (`FILE.1`).
+    pub fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(".1");
+        PathBuf::from(name)
+    }
+
+    /// Whether `level` passes the configured filter.
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.min_level
+    }
+
+    /// Emits one event line with `fields` appended after the standard
+    /// `seq`/`ts_ms`/`level`/`event` keys. Write failures are swallowed
+    /// (the log is telemetry; the serving path must not die for it).
+    pub fn event(&self, level: Level, event: &str, fields: Vec<(String, Json)>) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.seq += 1;
+        let mut obj = vec![
+            ("seq".to_string(), Json::Num(inner.seq as f64)),
+            ("ts_ms".to_string(), Json::Num(ts_ms as f64)),
+            ("level".to_string(), Json::Str(level.name().to_string())),
+            ("event".to_string(), Json::Str(event.to_string())),
+        ];
+        obj.extend(fields);
+        let mut line = Json::Obj(obj).to_string();
+        line.push('\n');
+
+        if inner.bytes + line.len() as u64 > self.max_bytes && inner.bytes > 0 {
+            if let Err(e) = self.rotate(&mut inner) {
+                eprintln!("mergepurge serve: log rotation failed: {e}");
+            }
+        }
+        if inner.file.write_all(line.as_bytes()).is_ok() {
+            inner.bytes += line.len() as u64;
+            let _ = inner.file.flush();
+        }
+    }
+
+    fn rotate(&self, inner: &mut Inner) -> std::io::Result<()> {
+        inner.file.flush()?;
+        std::fs::rename(&self.path, self.rotated_path())?;
+        inner.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        inner.bytes = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn tmp_log(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("mp-evlog-{}-{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(format!("{}.1", p.display()));
+        p
+    }
+
+    fn lines(path: &Path) -> Vec<Json> {
+        std::fs::read_to_string(path)
+            .unwrap_or_default()
+            .lines()
+            .map(|l| Json::parse(l).expect("log lines are valid JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn events_are_sequenced_and_leveled() {
+        let path = tmp_log("seq");
+        let log = EventLog::open(&path, Level::Info, DEFAULT_MAX_BYTES).unwrap();
+        log.event(Level::Info, "a", vec![]);
+        log.event(Level::Debug, "dropped", vec![]); // below min level
+        log.event(Level::Warn, "b", vec![("records".into(), Json::Num(7.0))]);
+        let got = lines(&path);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].get("event").and_then(Json::as_str), Some("a"));
+        assert_eq!(got[0].get("seq").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            got[1].get("seq").and_then(Json::as_u64),
+            Some(2),
+            "filtered events do not burn sequence numbers"
+        );
+        assert_eq!(got[1].get("level").and_then(Json::as_str), Some("warn"));
+        assert_eq!(got[1].get("records").and_then(Json::as_u64), Some(7));
+        assert!(got[0].get("ts_ms").and_then(Json::as_u64).unwrap() > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_keeps_one_generation_and_sequence_continues() {
+        let path = tmp_log("rotate");
+        let log = EventLog::open(&path, Level::Debug, 300).unwrap();
+        for i in 0..20 {
+            log.event(Level::Info, "fill", vec![("i".into(), Json::Num(i as f64))]);
+        }
+        let rotated = log.rotated_path();
+        assert!(rotated.exists(), "log rotated at the size threshold");
+        let head = lines(&rotated);
+        let tail = lines(&path);
+        assert!(!head.is_empty() && !tail.is_empty());
+        // Sequence numbers are gap-free across the rotation boundary
+        // (earlier generations are deleted — only `.1` is kept — so the
+        // surviving run is contiguous and ends at the last event).
+        let all: Vec<u64> = head
+            .iter()
+            .chain(tail.iter())
+            .map(|l| l.get("seq").and_then(Json::as_u64).unwrap())
+            .collect();
+        let want: Vec<u64> = (all[0]..all[0] + all.len() as u64).collect();
+        assert_eq!(all, want);
+        assert_eq!(*all.last().unwrap(), 20, "last event survives in place");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+    }
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Debug);
+        let path = tmp_log("levels");
+        let log = EventLog::open(&path, Level::Error, DEFAULT_MAX_BYTES).unwrap();
+        assert!(log.enabled(Level::Error));
+        assert!(!log.enabled(Level::Warn));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,591 @@
+//! Live operational state of the serving daemon: rolling-window rates,
+//! health/readiness, queue pressure, snapshot staleness, and the
+//! Prometheus exposition that surfaces all of it.
+//!
+//! One [`ObsState`] is shared (by reference, under the daemon's thread
+//! scope) between the engine worker (which records batch work and
+//! publishes engine gauges), connection threads (which count `busy`
+//! rejections), and the scrape paths — the `metrics`/`healthz`/`readyz`
+//! wire commands and the `--metrics-addr` HTTP listener. Everything is
+//! atomics; nothing on the serving path takes a lock (the event log has
+//! its own mutex and is only touched when `--log` is set).
+//!
+//! `docs/OBSERVABILITY.md` documents every exported metric name, the
+//! window semantics, and the probe contracts.
+
+use super::eventlog::{EventLog, Level};
+use super::json::Json;
+use mp_metrics::rolling::{RollingRing, WindowCounter, WINDOWS};
+use mp_metrics::{Counter, LatencyHistogram, MetricsRecorder, PipelineObserver, PromWriter};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The worker heartbeat age past which `healthz` reports the daemon
+/// dead. The worker beats at least every 250 ms when idle, so a stale
+/// heartbeat means the engine thread is wedged (or grinding through a
+/// single enormous batch — see `docs/OBSERVABILITY.md`).
+pub const HEARTBEAT_STALE_SECS: u64 = 30;
+
+/// Shared observability state for one daemon process.
+#[derive(Debug)]
+pub struct ObsState {
+    start: Instant,
+    /// Rolling-window event ring (5 s buckets, 15 m span).
+    pub ring: RollingRing,
+    /// Cumulative batch-ingest latency histogram (journal append +
+    /// engine fold, per acknowledged batch).
+    pub batch_latency: LatencyHistogram,
+    /// Jobs currently queued for the engine worker.
+    queue_depth: AtomicU64,
+    queue_capacity: u64,
+    replay_complete: AtomicBool,
+    accepting: AtomicBool,
+    heartbeat_ms: AtomicU64,
+    busy_rejections: AtomicU64,
+    // Engine gauges, published by the worker after every job.
+    records: AtomicU64,
+    last_seq: AtomicU64,
+    journal_lag: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    snapshot_mtime_ms: AtomicU64, // Unix ms of the last checkpoint; 0 = none
+    /// Structured event log (`--log`), if configured.
+    pub log: Option<EventLog>,
+}
+
+impl ObsState {
+    /// Fresh state for a daemon with the given ingest-queue capacity.
+    pub fn new(queue_capacity: usize, log: Option<EventLog>) -> Self {
+        ObsState {
+            start: Instant::now(),
+            ring: RollingRing::standard(),
+            batch_latency: LatencyHistogram::new(),
+            queue_depth: AtomicU64::new(0),
+            queue_capacity: queue_capacity as u64,
+            replay_complete: AtomicBool::new(false),
+            accepting: AtomicBool::new(false),
+            heartbeat_ms: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            last_seq: AtomicU64::new(0),
+            journal_lag: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(0),
+            snapshot_mtime_ms: AtomicU64::new(0),
+            log,
+        }
+    }
+
+    /// Seconds since the daemon process started (the ring's clock).
+    pub fn now_secs(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// Daemon uptime in whole seconds.
+    pub fn uptime_secs(&self) -> u64 {
+        self.now_secs()
+    }
+
+    /// Emits a structured event when `--log` is configured.
+    pub fn event(&self, level: Level, event: &str, fields: Vec<(String, Json)>) {
+        if let Some(log) = &self.log {
+            log.event(level, event, fields);
+        }
+    }
+
+    // ---- worker heartbeat / probes -----------------------------------
+
+    /// Marks the engine worker as alive *now*. Called on every job and
+    /// idle tick.
+    pub fn beat(&self) {
+        self.heartbeat_ms
+            .store(self.start.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Seconds since the engine worker last beat.
+    pub fn heartbeat_age_secs(&self) -> u64 {
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        now_ms.saturating_sub(self.heartbeat_ms.load(Ordering::Relaxed)) / 1000
+    }
+
+    /// Liveness: has the engine worker made progress recently?
+    pub fn worker_alive(&self) -> bool {
+        self.heartbeat_age_secs() < HEARTBEAT_STALE_SECS
+    }
+
+    /// Marks journal replay finished (readiness precondition).
+    pub fn set_replay_complete(&self) {
+        self.replay_complete.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether startup journal replay has finished.
+    pub fn replay_complete(&self) -> bool {
+        self.replay_complete.load(Ordering::SeqCst)
+    }
+
+    /// Flips whether the daemon is accepting work (false during startup
+    /// and once shutdown begins).
+    pub fn set_accepting(&self, accepting: bool) {
+        self.accepting.store(accepting, Ordering::SeqCst);
+    }
+
+    /// Readiness verdict: `Ok(())` when the daemon should receive
+    /// traffic, `Err(reason)` otherwise. Ready means journal replay is
+    /// complete, the daemon is accepting (not shutting down), and the
+    /// ingest queue is below its high-watermark (capacity).
+    pub fn readiness(&self) -> Result<(), &'static str> {
+        if !self.replay_complete() {
+            return Err("journal replay in progress");
+        }
+        if !self.accepting.load(Ordering::SeqCst) {
+            return Err("not accepting (starting up or shutting down)");
+        }
+        if self.queue_depth() >= self.queue_capacity {
+            return Err("ingest queue at high-watermark");
+        }
+        Ok(())
+    }
+
+    // ---- queue & backpressure ----------------------------------------
+
+    /// Notes a job enqueued for the worker.
+    pub fn job_enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a job dequeued by the worker.
+    pub fn job_dequeued(&self) {
+        // Saturating: a drain path that consumes jobs it never counted
+        // must not underflow the gauge.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The ingest queue's capacity (the `busy` threshold).
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity
+    }
+
+    /// Counts one fast-fail `busy` rejection (and logs it at warn).
+    pub fn busy_rejected(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        self.event(
+            Level::Warn,
+            "busy_rejected",
+            vec![
+                ("queue_depth".into(), Json::Num(self.queue_depth() as f64)),
+                (
+                    "queue_capacity".into(),
+                    Json::Num(self.queue_capacity as f64),
+                ),
+            ],
+        );
+    }
+
+    /// Total `busy` rejections so far.
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    // ---- engine gauges (published by the worker) ---------------------
+
+    /// Publishes the engine-owned gauges: record count, last
+    /// acknowledged sequence, journal lag (batches since checkpoint),
+    /// and snapshot size/mtime.
+    pub fn publish_engine(
+        &self,
+        records: u64,
+        last_seq: u64,
+        journal_lag: u64,
+        snapshot_meta: Option<(u64, std::time::SystemTime)>,
+    ) {
+        self.records.store(records, Ordering::Relaxed);
+        self.last_seq.store(last_seq, Ordering::Relaxed);
+        self.journal_lag.store(journal_lag, Ordering::Relaxed);
+        if let Some((bytes, mtime)) = snapshot_meta {
+            self.snapshot_bytes.store(bytes, Ordering::Relaxed);
+            let ms = mtime
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            self.snapshot_mtime_ms.store(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Records in the engine (gauge copy).
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Last acknowledged journal sequence number (0 before any batch).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq.load(Ordering::Relaxed)
+    }
+
+    /// Batches journaled but not yet absorbed by a checkpoint.
+    pub fn journal_lag(&self) -> u64 {
+        self.journal_lag.load(Ordering::Relaxed)
+    }
+
+    /// Size of the last checkpoint in bytes (0 before any checkpoint).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the last checkpoint was written, or `None` when no
+    /// checkpoint exists yet.
+    pub fn snapshot_age_secs(&self) -> Option<u64> {
+        let ms = self.snapshot_mtime_ms.load(Ordering::Relaxed);
+        if ms == 0 {
+            return None;
+        }
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Some(now_ms.saturating_sub(ms) / 1000)
+    }
+
+    // ---- batch accounting --------------------------------------------
+
+    /// Records one acknowledged batch: feeds the rolling ring (records,
+    /// batch, comparison/rule/match deltas) and the cumulative latency
+    /// histogram.
+    pub fn record_batch(
+        &self,
+        records: u64,
+        comparisons: u64,
+        rule_invocations: u64,
+        matches: u64,
+        duration_ns: u64,
+    ) {
+        let now = self.now_secs();
+        self.ring.add(now, WindowCounter::Records, records);
+        self.ring.add(now, WindowCounter::Batches, 1);
+        self.ring.add(now, WindowCounter::Comparisons, comparisons);
+        self.ring
+            .add(now, WindowCounter::RuleInvocations, rule_invocations);
+        self.ring.add(now, WindowCounter::Matches, matches);
+        self.ring.record_latency(now, duration_ns);
+        self.batch_latency.record(duration_ns);
+    }
+
+    // ---- JSON views (wire commands & extended stats) -----------------
+
+    /// The `healthz` reply: liveness of the engine worker.
+    pub fn healthz_json(&self) -> String {
+        let alive = self.worker_alive();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(alive)),
+            ("alive".into(), Json::Bool(alive)),
+            (
+                "heartbeat_age_secs".into(),
+                Json::Num(self.heartbeat_age_secs() as f64),
+            ),
+            ("uptime_secs".into(), Json::Num(self.uptime_secs() as f64)),
+        ])
+        .to_string()
+    }
+
+    /// The `readyz` reply: readiness to receive traffic.
+    pub fn readyz_json(&self) -> String {
+        let verdict = self.readiness();
+        let mut obj = vec![
+            ("ok".into(), Json::Bool(verdict.is_ok())),
+            ("ready".into(), Json::Bool(verdict.is_ok())),
+            ("replay_complete".into(), Json::Bool(self.replay_complete())),
+            ("queue_depth".into(), Json::Num(self.queue_depth() as f64)),
+            (
+                "queue_capacity".into(),
+                Json::Num(self.queue_capacity as f64),
+            ),
+        ];
+        if let Err(reason) = verdict {
+            obj.push(("reason".into(), Json::Str(reason.to_string())));
+        }
+        Json::Obj(obj).to_string()
+    }
+
+    /// The `health` section of the extended `stats` reply.
+    pub fn health_json(&self) -> Json {
+        let mut obj = vec![
+            ("ready".into(), Json::Bool(self.readiness().is_ok())),
+            ("alive".into(), Json::Bool(self.worker_alive())),
+            ("uptime_secs".into(), Json::Num(self.uptime_secs() as f64)),
+            (
+                "heartbeat_age_secs".into(),
+                Json::Num(self.heartbeat_age_secs() as f64),
+            ),
+            ("queue_depth".into(), Json::Num(self.queue_depth() as f64)),
+            (
+                "queue_capacity".into(),
+                Json::Num(self.queue_capacity as f64),
+            ),
+            ("journal_lag".into(), Json::Num(self.journal_lag() as f64)),
+            (
+                "busy_rejections".into(),
+                Json::Num(self.busy_rejections() as f64),
+            ),
+            (
+                "snapshot_bytes".into(),
+                Json::Num(self.snapshot_bytes() as f64),
+            ),
+        ];
+        if let Some(age) = self.snapshot_age_secs() {
+            obj.push(("snapshot_age_secs".into(), Json::Num(age as f64)));
+        }
+        Json::Obj(obj)
+    }
+
+    /// The `windows` section of the extended `stats` reply: one object
+    /// per standard window with event totals, per-second rates, and
+    /// batch-ingest latency quantiles.
+    pub fn windows_json(&self) -> Json {
+        let now = self.now_secs();
+        Json::Arr(
+            WINDOWS
+                .iter()
+                .map(|&(label, secs)| {
+                    let w = self.ring.window(now, secs);
+                    let mut obj = vec![
+                        ("window".into(), Json::Str(label.to_string())),
+                        ("secs".into(), Json::Num(secs as f64)),
+                    ];
+                    for c in WindowCounter::ALL {
+                        obj.push((c.name().to_string(), Json::Num(w.count(c) as f64)));
+                        obj.push((
+                            format!("{}_per_sec", c.name()),
+                            Json::Num((w.rate(c) * 1000.0).round() / 1000.0),
+                        ));
+                    }
+                    obj.push((
+                        "batch_p50_ns".into(),
+                        Json::Num(w.latency_quantile_ns(0.50) as f64),
+                    ));
+                    obj.push((
+                        "batch_p95_ns".into(),
+                        Json::Num(w.latency_quantile_ns(0.95) as f64),
+                    ));
+                    obj.push((
+                        "batch_p99_ns".into(),
+                        Json::Num(w.latency_quantile_ns(0.99) as f64),
+                    ));
+                    obj.push((
+                        "batch_mean_ns".into(),
+                        Json::Num(w.latency_mean_ns() as f64),
+                    ));
+                    Json::Obj(obj)
+                })
+                .collect(),
+        )
+    }
+
+    // ---- Prometheus exposition ---------------------------------------
+
+    /// Renders the full Prometheus text exposition: every mp-metrics
+    /// counter, the serving gauges, rolling-window rate/quantile
+    /// families, and the cumulative batch-ingest latency histogram
+    /// (plus the rule-eval histogram when tracing is enabled).
+    pub fn exposition(&self, recorder: &MetricsRecorder) -> String {
+        let mut w = PromWriter::new();
+        for c in Counter::ALL {
+            w.counter(
+                &format!("mergepurge_{}_total", c.name()),
+                &format!("Cumulative mp-metrics counter `{}`.", c.name()),
+                recorder.get(c),
+            );
+        }
+        w.counter(
+            "mergepurge_busy_rejections_total",
+            "Ingest requests fast-failed with `busy` (queue full).",
+            self.busy_rejections(),
+        );
+        w.gauge(
+            "mergepurge_uptime_seconds",
+            "Seconds since the daemon started.",
+            self.uptime_secs() as f64,
+        );
+        w.gauge(
+            "mergepurge_records",
+            "Records resident in the incremental engine.",
+            self.records() as f64,
+        );
+        w.gauge(
+            "mergepurge_sequence",
+            "Last acknowledged journal sequence number.",
+            self.last_seq() as f64,
+        );
+        w.gauge(
+            "mergepurge_queue_depth",
+            "Jobs queued for the engine worker.",
+            self.queue_depth() as f64,
+        );
+        w.gauge(
+            "mergepurge_queue_capacity",
+            "Ingest queue capacity (the `busy` threshold).",
+            self.queue_capacity as f64,
+        );
+        w.gauge(
+            "mergepurge_journal_lag_batches",
+            "Batches journaled but not yet absorbed by a checkpoint.",
+            self.journal_lag() as f64,
+        );
+        w.gauge(
+            "mergepurge_snapshot_size_bytes",
+            "Size of the last checkpoint (0 before the first).",
+            self.snapshot_bytes() as f64,
+        );
+        if let Some(age) = self.snapshot_age_secs() {
+            w.gauge(
+                "mergepurge_snapshot_age_seconds",
+                "Seconds since the last checkpoint was written.",
+                age as f64,
+            );
+        }
+        w.gauge(
+            "mergepurge_ready",
+            "1 when the daemon is ready for traffic (see readyz).",
+            if self.readiness().is_ok() { 1.0 } else { 0.0 },
+        );
+        w.gauge(
+            "mergepurge_worker_alive",
+            "1 when the engine worker heartbeat is fresh (see healthz).",
+            if self.worker_alive() { 1.0 } else { 0.0 },
+        );
+        w.gauge(
+            "mergepurge_worker_heartbeat_age_seconds",
+            "Seconds since the engine worker last made progress.",
+            self.heartbeat_age_secs() as f64,
+        );
+
+        let now = self.now_secs();
+        let snaps: Vec<_> = WINDOWS
+            .iter()
+            .map(|&(label, secs)| (label, self.ring.window(now, secs)))
+            .collect();
+        let mut rate_samples = Vec::new();
+        for (label, snap) in &snaps {
+            for c in WindowCounter::ALL {
+                rate_samples.push((
+                    vec![("counter", c.name()), ("window", *label)],
+                    snap.rate(c),
+                ));
+            }
+        }
+        w.gauge_family(
+            "mergepurge_window_rate",
+            "Rolling-window event rate per second (counter x window).",
+            &rate_samples,
+        );
+        let mut q_samples = Vec::new();
+        let quantile_labels = [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)];
+        for (label, snap) in &snaps {
+            for (qname, q) in quantile_labels {
+                q_samples.push((
+                    vec![("window", *label), ("quantile", qname)],
+                    snap.latency_quantile_ns(q) as f64 / 1e9,
+                ));
+            }
+        }
+        w.gauge_family(
+            "mergepurge_window_batch_latency_seconds",
+            "Rolling-window batch-ingest latency quantiles.",
+            &q_samples,
+        );
+
+        w.histogram_ns(
+            "mergepurge_batch_ingest_duration_seconds",
+            "Batch ingest latency (journal append + engine fold).",
+            &self.batch_latency.snapshot(),
+        );
+        if let Some(h) = recorder.rule_latency() {
+            w.histogram_ns(
+                "mergepurge_rule_eval_duration_seconds",
+                "Sampled rule-evaluation latency (tracing enabled).",
+                &h.snapshot(),
+            );
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readiness_requires_replay_accepting_and_queue_headroom() {
+        let obs = ObsState::new(2, None);
+        assert!(obs.readiness().is_err(), "not ready before replay");
+        obs.set_replay_complete();
+        assert!(obs.readiness().is_err(), "not ready before accepting");
+        obs.set_accepting(true);
+        assert!(obs.readiness().is_ok());
+        obs.job_enqueued();
+        obs.job_enqueued();
+        assert!(obs.readiness().is_err(), "full queue is not ready");
+        obs.job_dequeued();
+        assert!(obs.readiness().is_ok());
+        obs.set_accepting(false);
+        assert!(obs.readiness().is_err(), "draining is not ready");
+    }
+
+    #[test]
+    fn queue_depth_never_underflows() {
+        let obs = ObsState::new(4, None);
+        obs.job_dequeued();
+        assert_eq!(obs.queue_depth(), 0);
+    }
+
+    #[test]
+    fn exposition_contains_every_counter_and_parses_line_by_line() {
+        let recorder = MetricsRecorder::new();
+        recorder.add(Counter::Comparisons, 123);
+        let obs = ObsState::new(4, None);
+        obs.set_replay_complete();
+        obs.set_accepting(true);
+        obs.record_batch(100, 5_000, 5_000, 12, 2_000_000);
+        let text = obs.exposition(&recorder);
+        for c in Counter::ALL {
+            assert!(
+                text.contains(&format!("mergepurge_{}_total", c.name())),
+                "missing counter {}",
+                c.name()
+            );
+        }
+        assert!(text.contains("mergepurge_comparisons_total 123\n"));
+        assert!(text.contains("mergepurge_ready 1\n"));
+        assert!(text.contains("mergepurge_window_rate{counter=\"records\",window=\"1m\"}"));
+        assert!(text.contains("mergepurge_batch_ingest_duration_seconds_count 1\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(!name.is_empty());
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_json_has_all_three_windows_with_rates() {
+        let obs = ObsState::new(4, None);
+        obs.record_batch(60, 600, 600, 6, 1_000_000);
+        let windows = obs.windows_json();
+        let arr = windows.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        for w in arr {
+            assert!(w.get("records").and_then(Json::as_u64) == Some(60));
+            assert!(w.get("batch_p99_ns").and_then(Json::as_u64).unwrap() > 0);
+            assert!(w.get("records_per_sec").is_some());
+        }
+    }
+}

@@ -27,7 +27,7 @@ fn batches(seed: u64, n: usize, parts: usize) -> Vec<Vec<Record>> {
     db.records.chunks(chunk).map(<[Record]>::to_vec).collect()
 }
 
-fn spawn_daemon(socket: &Path, store: &Path) -> Child {
+fn spawn_daemon_with(socket: &Path, store: &Path, extra: &[&str], capture_stderr: bool) -> Child {
     let child = Command::new(env!("CARGO_BIN_EXE_mergepurge"))
         .args([
             "serve",
@@ -40,8 +40,13 @@ fn spawn_daemon(socket: &Path, store: &Path) -> Child {
             "--keys",
             "last_name,first_name",
         ])
+        .args(extra)
         .stdout(Stdio::null())
-        .stderr(Stdio::null())
+        .stderr(if capture_stderr {
+            Stdio::piped()
+        } else {
+            Stdio::null()
+        })
         .spawn()
         .expect("spawn mergepurge serve");
     // The socket appearing is the readiness signal.
@@ -51,6 +56,10 @@ fn spawn_daemon(socket: &Path, store: &Path) -> Child {
         std::thread::sleep(Duration::from_millis(20));
     }
     child
+}
+
+fn spawn_daemon(socket: &Path, store: &Path) -> Child {
+    spawn_daemon_with(socket, store, &[], false)
 }
 
 fn ask(socket: &Path, payload: &str) -> Json {
@@ -210,5 +219,314 @@ fn protocol_errors_are_reported_not_fatal() {
     let stats = ask(&socket, r#"{"cmd":"stats"}"#);
     expect_ok(&stats);
     shutdown_and_wait(&socket, &mut child);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---- observability ---------------------------------------------------
+
+/// Picks a TCP port that was free a moment ago (good enough for a test).
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+/// Plain HTTP/1.1 GET; returns (status line, body).
+fn http_get(port: u16, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut stream = loop {
+        match std::net::TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => break s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "metrics port never opened: {e}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    };
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http response head");
+    (
+        head.lines().next().unwrap_or("").to_string(),
+        body.to_string(),
+    )
+}
+
+/// Parses exposition text into (name-with-labels, value) samples.
+fn prom_samples(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| {
+            let (name, value) = l.rsplit_once(' ').expect("sample line");
+            let v = if value == "+Inf" {
+                f64::INFINITY
+            } else {
+                value.parse().unwrap_or_else(|_| panic!("bad value: {l}"))
+            };
+            (name.to_string(), v)
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_probes_windows_and_event_log_work_end_to_end() {
+    let dir = tmp_dir("obs");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let log = dir.join("events.jsonl");
+    let port = free_port();
+    let parts = batches(7777, 400, 2);
+
+    let mut child = spawn_daemon_with(
+        &socket,
+        &store,
+        &[
+            "--metrics-addr",
+            &format!("127.0.0.1:{port}"),
+            "--log",
+            log.to_str().unwrap(),
+            "--log-level",
+            "debug",
+            "--quiet",
+        ],
+        true,
+    );
+
+    // Probes answer over both transports once the socket is up.
+    let ready = ask(&socket, r#"{"cmd":"readyz"}"#);
+    expect_ok(&ready);
+    assert_eq!(ready.get("ready").and_then(Json::as_bool), Some(true));
+    let health = ask(&socket, r#"{"cmd":"healthz"}"#);
+    expect_ok(&health);
+    assert_eq!(health.get("alive").and_then(Json::as_bool), Some(true));
+    let (status, _) = http_get(port, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    let (status, body) = http_get(port, "/readyz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"ready\":true"), "{body}");
+    let (status, _) = http_get(port, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    // First scrape, then ingest, then scrape again: counters must be
+    // monotonic and the exposition parseable throughout.
+    let (status, scrape1) = http_get(port, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    let before = prom_samples(&scrape1);
+    assert!(
+        before.iter().any(|(n, _)| n == "mergepurge_ready"),
+        "gauges present"
+    );
+
+    for part in &parts {
+        expect_ok(&ask(&socket, &ingest_request(part)));
+    }
+    let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
+
+    let (_, scrape2) = http_get(port, "/metrics");
+    let after = prom_samples(&scrape2);
+    for (name, v1) in &before {
+        if name.ends_with("_total") || name.contains("_bucket") || name.ends_with("_count") {
+            let v2 = after
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("counter {name} vanished"))
+                .1;
+            assert!(v2 >= *v1, "counter {name} decreased: {v1} -> {v2}");
+        }
+    }
+    let records_gauge = after
+        .iter()
+        .find(|(n, _)| n == "mergepurge_records")
+        .expect("records gauge")
+        .1;
+    assert_eq!(records_gauge as u64, total);
+    assert!(
+        after
+            .iter()
+            .any(|(n, _)| n.starts_with("mergepurge_window_rate{")),
+        "window rate family present"
+    );
+    assert_eq!(
+        after
+            .iter()
+            .find(|(n, _)| n == "mergepurge_batch_ingest_duration_seconds_count")
+            .expect("batch latency histogram")
+            .1 as u64,
+        parts.len() as u64
+    );
+
+    // The `metrics` wire command carries the same exposition.
+    let wire = ask(&socket, r#"{"cmd":"metrics"}"#);
+    expect_ok(&wire);
+    let exposition = wire
+        .get("exposition")
+        .and_then(Json::as_str)
+        .expect("exposition text");
+    assert!(exposition.contains("mergepurge_records_keyed_total"));
+
+    // Schema-3 stats: seq watermark, health, and windows that reflect
+    // the batches just ingested (1m window, well inside resolution).
+    let stats = ask(&socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    assert_eq!(stats.get("schema").and_then(Json::as_u64), Some(3));
+    assert_eq!(stats.get("seq").and_then(Json::as_u64), Some(2));
+    let windows = stats
+        .get("windows")
+        .and_then(Json::as_array)
+        .expect("windows section");
+    assert_eq!(windows.len(), 3);
+    let one_min = &windows[0];
+    assert_eq!(one_min.get("window").and_then(Json::as_str), Some("1m"));
+    assert_eq!(one_min.get("records").and_then(Json::as_u64), Some(total));
+    assert_eq!(one_min.get("batches").and_then(Json::as_u64), Some(2));
+    assert!(one_min.get("batch_p99_ns").and_then(Json::as_u64).unwrap() > 0);
+    let health = stats.get("health").expect("health section");
+    assert_eq!(health.get("ready").and_then(Json::as_bool), Some(true));
+    // The window totals agree with the cumulative store counters (the
+    // whole run fits in one window).
+    assert_eq!(
+        one_min.get("comparisons").and_then(Json::as_u64),
+        stats
+            .get("store")
+            .and_then(|s| s.get("comparisons"))
+            .and_then(Json::as_u64),
+    );
+
+    // query-matches carries the same watermark.
+    let q = ask(&socket, r#"{"cmd":"query-matches","id":0}"#);
+    expect_ok(&q);
+    assert_eq!(q.get("seq").and_then(Json::as_u64), Some(2));
+
+    shutdown_and_wait(&socket, &mut child);
+
+    // --quiet: no status lines on stderr.
+    let mut stderr = String::new();
+    use std::io::Read as _;
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        stderr.is_empty(),
+        "--quiet daemon wrote to stderr: {stderr:?}"
+    );
+
+    // Event log: every line is JSON with monotonically increasing seq,
+    // and the expected lifecycle + per-batch events are present.
+    let text = std::fs::read_to_string(&log).unwrap();
+    let events: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).expect("event lines are JSON"))
+        .collect();
+    assert!(!events.is_empty());
+    let seqs: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("seq").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "gap-free seqs");
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("event").and_then(Json::as_str).unwrap())
+        .collect();
+    for expected in [
+        "starting",
+        "metrics_listening",
+        "journal_replayed",
+        "listening",
+        "batch_ingested",
+        "shutdown_begun",
+        "checkpoint_written",
+        "stopped",
+    ] {
+        assert!(names.contains(&expected), "missing event {expected}");
+    }
+    assert_eq!(
+        names.iter().filter(|n| **n == "batch_ingested").count(),
+        2,
+        "one summary per batch"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn event_log_rotates_and_top_renders() {
+    let dir = tmp_dir("toplog");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let log = dir.join("ev.jsonl");
+    let parts = batches(8888, 300, 3);
+
+    // A 700-byte cap forces rotation within a few events.
+    let mut child = spawn_daemon_with(
+        &socket,
+        &store,
+        &[
+            "--log",
+            log.to_str().unwrap(),
+            "--log-level",
+            "debug",
+            "--log-max-bytes",
+            "700",
+            "--quiet",
+        ],
+        false,
+    );
+    for part in &parts {
+        expect_ok(&ask(&socket, &ingest_request(part)));
+    }
+
+    // `mergepurge top --iterations 1` renders one plain-text frame.
+    let out = Command::new(env!("CARGO_BIN_EXE_mergepurge"))
+        .args([
+            "top",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--iterations",
+            "1",
+        ])
+        .output()
+        .expect("run mergepurge top");
+    assert!(out.status.success(), "top exits 0: {out:?}");
+    let frame = String::from_utf8(out.stdout).unwrap();
+    assert!(frame.contains("mergepurge top"), "{frame}");
+    assert!(frame.contains("ready yes"), "{frame}");
+    assert!(frame.contains("records "), "{frame}");
+    assert!(frame.contains("queue 0/"), "{frame}");
+    assert!(frame.contains("1m"), "{frame}");
+    assert!(frame.contains("p99"), "{frame}");
+    assert!(!frame.contains('\u{1b}'), "single frame has no ANSI codes");
+
+    shutdown_and_wait(&socket, &mut child);
+
+    let rotated = dir.join("ev.jsonl.1");
+    assert!(rotated.exists(), "log rotated at 700 bytes");
+    // Both generations hold valid JSONL; the rotation boundary is
+    // seq-contiguous.
+    let head: Vec<Json> = std::fs::read_to_string(&rotated)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    let tail: Vec<Json> = std::fs::read_to_string(&log)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    assert!(!head.is_empty() && !tail.is_empty());
+    let last_head = head.last().unwrap().get("seq").and_then(Json::as_u64);
+    let first_tail = tail.first().unwrap().get("seq").and_then(Json::as_u64);
+    assert_eq!(
+        first_tail,
+        last_head.map(|s| s + 1),
+        "seq continues across rotation"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
