@@ -35,7 +35,7 @@
 
 use crate::key::KeySpec;
 use mp_closure::{PairSet, UnionFind};
-use mp_metrics::{span, Counter, PipelineObserver};
+use mp_metrics::{span, span_labeled, Counter, PipelineObserver};
 use mp_record::{Record, RecordId};
 use mp_rules::EquationalTheory;
 use mp_store::{MatchStore, PassSnapshot, Snapshot, StoreError};
@@ -200,7 +200,101 @@ impl IncrementalMergePurge {
         }
     }
 
+    /// Like [`add_batch`](Self::add_batch), but splits every pass's window
+    /// scan across `shards` contiguous key bands evaluated on scoped
+    /// threads, then folds the banded results back in band order — the
+    /// cross-shard reconciliation step.
+    ///
+    /// **Equivalence**: a window pair `(prev, i)` is owned by the band that
+    /// contains the *later* position `i`; the scan's backward window
+    /// reaches across the left band boundary (band replication, as in
+    /// `mp-parallel`), so boundary pairs are evaluated exactly once by
+    /// exactly one band. Because the incremental scan never mutates the
+    /// merged order while scanning, a band's comparisons are independent of
+    /// every other band, and folding results in band order reproduces the
+    /// serial scan's discovery sequence bit for bit: same comparisons,
+    /// same `pairs_found` attribution, same closure. Tests enforce this
+    /// for arbitrary shard counts.
+    ///
+    /// `shards == 1` degenerates to the serial scan without spawning.
+    /// Opens a `shard_scan` span per band and a `closure_reconcile` span
+    /// around the fold (worker spans land on their thread's track).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no passes are configured or `shards` is 0.
+    pub fn add_batch_sharded(
+        &mut self,
+        mut batch: Vec<Record>,
+        theory: &dyn EquationalTheory,
+        shards: usize,
+        observer: &dyn PipelineObserver,
+    ) {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            !self.passes.is_empty(),
+            "configure passes before adding batches"
+        );
+        let old_len = self.records.len() as u32;
+        for (i, r) in batch.iter_mut().enumerate() {
+            r.id = RecordId(old_len + i as u32);
+        }
+        self.records.append(&mut batch);
+        self.closure.grow(self.records.len());
+        self.batches_applied += 1;
+
+        for p in 0..self.passes.len() {
+            let merged = self.merge_pass(p, old_len);
+            let w = self.passes[p].window;
+            let records = &self.records;
+            let results: Vec<(u64, Vec<(u32, u32)>)> = if shards == 1 {
+                vec![scan_band(
+                    records,
+                    &merged,
+                    w,
+                    old_len,
+                    1,
+                    merged.len(),
+                    theory,
+                )]
+            } else {
+                let merged = &merged;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = band_ranges(merged.len(), shards)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, (from, to))| {
+                            s.spawn(move || {
+                                let _scan =
+                                    span_labeled(observer, "shard_scan", || format!("shard={k}"));
+                                scan_band(records, merged, w, old_len, from, to, theory)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
+            let _reconcile = span(observer, "closure_reconcile");
+            for (comparisons, found) in &results {
+                self.fold_scan(p, *comparisons, found);
+            }
+            self.passes[p].order = merged;
+        }
+    }
+
     fn scan_pass(&mut self, p: usize, old_len: u32, theory: &dyn EquationalTheory) {
+        let merged = self.merge_pass(p, old_len);
+        let w = self.passes[p].window;
+        let (comparisons, found) =
+            scan_band(&self.records, &merged, w, old_len, 1, merged.len(), theory);
+        self.fold_scan(p, comparisons, &found);
+        self.passes[p].order = merged;
+    }
+
+    /// Extracts keys for the new records `old_len..` and merges the sorted
+    /// batch into pass `p`'s existing order. Returns the merged order
+    /// without installing it (the caller installs after scanning).
+    fn merge_pass(&mut self, p: usize, old_len: u32) -> Vec<u32> {
         let pass = &mut self.passes[p];
         let records = &self.records;
 
@@ -217,45 +311,36 @@ impl IncrementalMergePurge {
         // keys tie, matching a from-scratch stable sort).
         let keys = &pass.keys;
         let mut merged: Vec<u32> = Vec::with_capacity(pass.order.len() + batch_order.len());
-        {
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < pass.order.len() && j < batch_order.len() {
-                let a = pass.order[i];
-                let b = batch_order[j];
-                // Old record ids are always smaller, so ties keep old first.
-                if keys[a as usize] <= keys[b as usize] {
-                    merged.push(a);
-                    i += 1;
-                } else {
-                    merged.push(b);
-                    j += 1;
-                }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < pass.order.len() && j < batch_order.len() {
+            let a = pass.order[i];
+            let b = batch_order[j];
+            // Old record ids are always smaller, so ties keep old first.
+            if keys[a as usize] <= keys[b as usize] {
+                merged.push(a);
+                i += 1;
+            } else {
+                merged.push(b);
+                j += 1;
             }
-            merged.extend_from_slice(&pass.order[i..]);
-            merged.extend_from_slice(&batch_order[j..]);
         }
+        merged.extend_from_slice(&pass.order[i..]);
+        merged.extend_from_slice(&batch_order[j..]);
+        merged
+    }
 
-        // Window scan, skipping old-old pairs (decided in earlier cycles).
-        let w = pass.window;
-        for i in 1..merged.len() {
-            let lo = i.saturating_sub(w - 1);
-            let new_id = merged[i];
-            for &prev in &merged[lo..i] {
-                if new_id < old_len && prev < old_len {
-                    continue; // both old: already compared when closer
-                }
-                self.comparisons += 1;
-                let (a, b) = (&records[prev as usize], &records[new_id as usize]);
-                if theory.matches(a, b) {
-                    pass.pairs_found += 1;
-                    if self.pairs.insert(prev, new_id) {
-                        pass.pairs_first_found += 1;
-                        self.closure.union(prev, new_id);
-                    }
-                }
+    /// Folds one band's scan result into pass `p`'s counters, the global
+    /// pair set, and the closure, preserving the band's discovery order.
+    fn fold_scan(&mut self, p: usize, comparisons: u64, found: &[(u32, u32)]) {
+        self.comparisons += comparisons;
+        let pass = &mut self.passes[p];
+        for &(prev, new_id) in found {
+            pass.pairs_found += 1;
+            if self.pairs.insert(prev, new_id) {
+                pass.pairs_first_found += 1;
+                self.closure.union(prev, new_id);
             }
         }
-        pass.order = merged;
     }
 
     /// Transitive closure over everything found so far.
@@ -338,6 +423,58 @@ impl IncrementalMergePurge {
         self.batches_applied = snap.batches_applied;
         Ok(self)
     }
+}
+
+/// Scans window positions `from..to` of `merged` read-only: position `i`
+/// compares `records[merged[i]]` against its up-to-`w-1` predecessors,
+/// skipping old-old pairs (both ids `< old_len`, decided in earlier
+/// cycles). Returns the comparison count and the matching `(prev, new)`
+/// pairs in exact scan order, so a coordinator can fold several bands'
+/// results in band order and reproduce the serial scan's discovery
+/// sequence exactly.
+fn scan_band(
+    records: &[Record],
+    merged: &[u32],
+    w: usize,
+    old_len: u32,
+    from: usize,
+    to: usize,
+    theory: &dyn EquationalTheory,
+) -> (u64, Vec<(u32, u32)>) {
+    let mut comparisons = 0u64;
+    let mut found = Vec::new();
+    for i in from.max(1)..to {
+        let lo = i.saturating_sub(w - 1);
+        let new_id = merged[i];
+        for &prev in &merged[lo..i] {
+            if new_id < old_len && prev < old_len {
+                continue; // both old: already compared when closer
+            }
+            comparisons += 1;
+            if theory.matches(&records[prev as usize], &records[new_id as usize]) {
+                found.push((prev, new_id));
+            }
+        }
+    }
+    (comparisons, found)
+}
+
+/// Splits scan positions `1..n` into `shards` contiguous bands (earlier
+/// bands take the remainder). A band owns the window pairs whose *later*
+/// element falls inside it; [`scan_band`]'s backward window reaches across
+/// the left boundary — the band-replication seam — so every boundary pair
+/// is still evaluated exactly once. Bands may be empty when `shards`
+/// exceeds the position count.
+fn band_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let positions = n.saturating_sub(1); // window scan covers 1..n
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 1usize;
+    for k in 0..shards {
+        let len = positions / shards + usize::from(k < positions % shards);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
 }
 
 /// What [`DurableIncremental::open`] recovered from disk.
@@ -537,13 +674,45 @@ fn apply_observed(
     theory: &dyn EquationalTheory,
     observer: &dyn PipelineObserver,
 ) {
-    let comparisons0 = engine.comparisons;
-    let found0: u64 = engine.passes.iter().map(|p| p.pairs_found).sum();
-    let keyed0: u64 = engine.passes.iter().map(|p| p.keys.len() as u64).sum();
+    let (comparisons0, found0, keyed0) = observed_totals(engine);
     engine.add_batch(batch, theory);
+    report_deltas(engine, observer, comparisons0, found0, keyed0);
+}
+
+/// Sharded twin of `apply_observed`: same counter deltas, with the
+/// window scans banded across `shards` via
+/// [`IncrementalMergePurge::add_batch_sharded`]. Sharded daemon ingest and
+/// sharded journal replay both route through this so observability is
+/// identical on either path.
+pub fn apply_observed_sharded(
+    engine: &mut IncrementalMergePurge,
+    batch: Vec<Record>,
+    theory: &dyn EquationalTheory,
+    observer: &dyn PipelineObserver,
+    shards: usize,
+) {
+    let (comparisons0, found0, keyed0) = observed_totals(engine);
+    engine.add_batch_sharded(batch, theory, shards, observer);
+    report_deltas(engine, observer, comparisons0, found0, keyed0);
+}
+
+fn observed_totals(engine: &IncrementalMergePurge) -> (u64, u64, u64) {
+    (
+        engine.comparisons,
+        engine.passes.iter().map(|p| p.pairs_found).sum(),
+        engine.passes.iter().map(|p| p.keys.len() as u64).sum(),
+    )
+}
+
+fn report_deltas(
+    engine: &IncrementalMergePurge,
+    observer: &dyn PipelineObserver,
+    comparisons0: u64,
+    found0: u64,
+    keyed0: u64,
+) {
     let d_cmp = engine.comparisons - comparisons0;
-    let found1: u64 = engine.passes.iter().map(|p| p.pairs_found).sum();
-    let keyed1: u64 = engine.passes.iter().map(|p| p.keys.len() as u64).sum();
+    let (_, found1, keyed1) = observed_totals(engine);
     observer.add(Counter::RecordsKeyed, keyed1 - keyed0);
     observer.add(Counter::Comparisons, d_cmp);
     // Incremental scans invoke the theory on every comparison (no pruning).
@@ -663,6 +832,49 @@ mod tests {
             last = classes.len();
         }
         assert!(last > 0);
+    }
+
+    #[test]
+    fn sharded_scan_is_bit_identical_to_serial() {
+        let theory = NativeEmployeeTheory::new();
+        let obs = NoopObserver;
+        let parts = batches(9009, 600, 4);
+        let mut serial = two_pass(IncrementalMergePurge::new());
+        for b in &parts {
+            serial.add_batch(b.clone(), &theory);
+        }
+        for shards in [1usize, 2, 3, 5, 8] {
+            let mut sharded = two_pass(IncrementalMergePurge::new());
+            for b in &parts {
+                sharded.add_batch_sharded(b.clone(), &theory, shards, &obs);
+            }
+            assert_eq!(
+                fingerprint(&sharded),
+                fingerprint(&serial),
+                "shards={shards}"
+            );
+            assert_eq!(sharded.classes(), serial.classes(), "shards={shards}");
+            for (sp, pp) in sharded.passes.iter().zip(serial.passes.iter()) {
+                assert_eq!(sp.order, pp.order, "pass order diverged at shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_ranges_cover_scan_positions_exactly_once() {
+        for n in [0usize, 1, 2, 3, 10, 97] {
+            for shards in 1..=8usize {
+                let ranges = band_ranges(n, shards);
+                assert_eq!(ranges.len(), shards);
+                let mut next = 1usize;
+                for &(from, to) in &ranges {
+                    assert_eq!(from, next, "gap/overlap at n={n} shards={shards}");
+                    assert!(to >= from);
+                    next = to;
+                }
+                assert_eq!(next, n.max(1), "positions 1..{n} not covered");
+            }
+        }
     }
 
     #[test]

@@ -109,6 +109,15 @@ impl PromWriter {
         }
     }
 
+    /// Emits a counter family: one sample per label set (e.g. one per
+    /// shard), one shared `HELP`/`TYPE` header.
+    pub fn counter_family(&mut self, name: &str, help: &str, samples: &[(Vec<(&str, &str)>, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in samples {
+            self.sample(name, labels, *value as f64);
+        }
+    }
+
     /// Emits a Prometheus `histogram` re-bucketed from a log2 nanosecond
     /// [`HistogramSnapshot`]: cumulative `_bucket{le="<seconds>"}` lines
     /// for every non-empty log2 bucket, the mandatory `le="+Inf"` bucket,
@@ -169,6 +178,23 @@ mod tests {
         assert_eq!(text.matches("# TYPE rate gauge").count(), 1);
         assert!(text.contains("rate{window=\"1m\"} 2\n"));
         assert!(text.contains("rate{window=\"5m\",counter=\"records\"} 0.5\n"));
+    }
+
+    #[test]
+    fn counter_family_shares_one_header() {
+        let mut w = PromWriter::new();
+        w.counter_family(
+            "shard_replays_total",
+            "Per-shard replays.",
+            &[(vec![("shard", "0")], 3), (vec![("shard", "1")], 0)],
+        );
+        let text = w.finish();
+        assert_eq!(
+            text.matches("# TYPE shard_replays_total counter").count(),
+            1
+        );
+        assert!(text.contains("shard_replays_total{shard=\"0\"} 3\n"));
+        assert!(text.contains("shard_replays_total{shard=\"1\"} 0\n"));
     }
 
     #[test]

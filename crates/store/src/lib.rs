@@ -60,9 +60,14 @@
 
 pub mod codec;
 pub mod journal;
+pub mod sharded;
 pub mod snapshot;
 
 pub use journal::{Journal, JournalRecovery, JOURNAL_VERSION};
+pub use sharded::{
+    merge_shard_snapshots, split_snapshot, write_shard_snapshot, ShardSnapshot, ShardedLoaded,
+    ShardedStore, MANIFEST_FILE,
+};
 pub use snapshot::{PassSnapshot, Snapshot, SNAPSHOT_VERSION};
 
 use mp_record::Record;

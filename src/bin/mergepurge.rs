@@ -68,12 +68,15 @@ commands:
             [--no-prune]
   explain   --input FILE --a ID --b ID [--rules FILE]
   serve     --socket PATH --store DIR [--window W] [--keys a,b,c]
-            [--rules FILE] [--queue-depth N] [--snapshot-every N]
+            [--rules FILE] [--shards N] [--listen HOST:PORT]
+            [--queue-depth N] [--snapshot-every N]
             [--stats FILE] [--trace FILE] [--metrics-addr HOST:PORT]
             [--log FILE] [--log-level error|warn|info|debug]
             [--log-max-bytes N] [--progress] [--quiet]
-  send      --socket PATH --cmd CMD [--input FILE] [--id N] [--json RAW]
-  top       --socket PATH [--interval-ms N] [--iterations N]
+  send      (--socket PATH | --addr HOST:PORT) --cmd CMD
+            [--input FILE] [--id N] [--json RAW]
+  top       (--socket PATH | --addr HOST:PORT) [--interval-ms N]
+            [--iterations N]
 
 --stats FILE writes a JSON pipeline report (comparison, match, and closure
 counters, per-pass attribution, per-rule firing counts, per-phase timings,
@@ -98,13 +101,16 @@ keys: comma-separated from {last_name, first_name, address, ssn};
 rules: a rule-DSL program file; default is the built-in 26-rule employee
        theory (hand-recoded native version for speed).
 
-serve runs the batch-ingest daemon on a Unix socket, backed by the durable
-match-store at --store (crash-safe snapshots + batch journal; see
-docs/SERVING.md and docs/INCREMENTAL.md). send is the matching client:
---cmd is one of ingest-batch (reads --input), query-matches (needs --id),
-stats, snapshot, metrics, healthz, readyz, shutdown; --json RAW sends a
-raw request instead. serve's --stats/--trace write the pipeline report /
-Chrome trace on shutdown.
+serve runs the batch-ingest daemon on a Unix socket (plus TCP with
+--listen; same wire protocol), backed by the durable match-store at
+--store (crash-safe snapshots + batch journal; see docs/SERVING.md and
+docs/INCREMENTAL.md). --shards N partitions the store by key band into N
+journaling shard workers (fixed at store creation; the merged match set
+stays identical to --shards 1). send is the matching client over either
+transport: --cmd is one of ingest-batch (reads --input), query-matches
+(needs --id), stats, snapshot, metrics, healthz, readyz, shutdown;
+--json RAW sends a raw request instead. serve's --stats/--trace write
+the pipeline report / Chrome trace on shutdown.
 
 serve observability (docs/OBSERVABILITY.md): --metrics-addr serves
 Prometheus text /metrics plus /healthz and /readyz over HTTP; --log
@@ -112,8 +118,9 @@ writes a leveled JSONL event log (rotated past --log-max-bytes, one .1
 generation kept); --progress prints a periodic heartbeat line to stderr;
 --quiet suppresses all serve status/heartbeat stderr output. top polls a
 running daemon's stats and renders an in-place refreshing terminal view
-of rolling 1m/5m/15m rates, batch-latency quantiles, queue pressure, and
-snapshot staleness (--iterations 0 = run until interrupted).";
+of rolling 1m/5m/15m rates, batch-latency quantiles, queue pressure,
+snapshot staleness, and (sharded daemons) a per-shard table
+(--iterations 0 = run until interrupted).";
 
 /// Minimal `--flag value` parser.
 struct Flags(Vec<String>);
@@ -446,6 +453,11 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
     let mut config = ServeConfig::new(socket, store);
     config.window = window;
     config.keys = parse_keys(flags)?;
+    config.shards = flags.get_parsed("shards", 1)?;
+    if config.shards == 0 || config.shards > 27 {
+        return Err("--shards must be 1..=27 (key bands by first letter)".into());
+    }
+    config.listen = flags.get("listen").map(str::to_string);
     config.queue_depth = flags.get_parsed("queue-depth", 4)?;
     if config.queue_depth == 0 {
         return Err("--queue-depth must be at least 1".into());
@@ -498,9 +510,43 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Where `send`/`top` talk to: the daemon's Unix socket or its TCP
+/// listener. Same framing either way.
+enum Target {
+    Unix(std::path::PathBuf),
+    Tcp(String),
+}
+
+impl Target {
+    fn parse(flags: &Flags) -> Result<Target, String> {
+        match (flags.get("socket"), flags.get("addr")) {
+            (Some(s), None) => Ok(Target::Unix(s.into())),
+            (None, Some(a)) => Ok(Target::Tcp(a.to_string())),
+            (Some(_), Some(_)) => Err("--socket and --addr are mutually exclusive".into()),
+            (None, None) => Err("need --socket PATH or --addr HOST:PORT".into()),
+        }
+    }
+
+    fn request(&self, payload: &str) -> Result<String, String> {
+        match self {
+            Target::Unix(socket) => merge_purge_repro::serve::request(socket, payload)
+                .map_err(|e| format!("request to {}: {e}", socket.display())),
+            Target::Tcp(addr) => merge_purge_repro::serve::request_tcp(addr, payload)
+                .map_err(|e| format!("request to {addr}: {e}")),
+        }
+    }
+
+    fn display(&self) -> String {
+        match self {
+            Target::Unix(socket) => socket.display().to_string(),
+            Target::Tcp(addr) => format!("tcp://{addr}"),
+        }
+    }
+}
+
 fn send_cmd(flags: &Flags) -> Result<(), String> {
-    use merge_purge_repro::serve::{ingest_request, request};
-    let socket = std::path::PathBuf::from(flags.require("socket")?);
+    use merge_purge_repro::serve::ingest_request;
+    let target = Target::parse(flags)?;
     let payload = if let Some(raw) = flags.get("json") {
         raw.to_string()
     } else {
@@ -527,8 +573,7 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
             }
         }
     };
-    let response =
-        request(&socket, &payload).map_err(|e| format!("request to {}: {e}", socket.display()))?;
+    let response = target.request(&payload)?;
     let parsed = merge_purge_repro::serve::json::Json::parse(&response).ok();
     // A `metrics` reply embeds the Prometheus text; print it raw so the
     // output pipes straight into promtool and scrapers.
@@ -557,14 +602,12 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
 /// quantiles, snapshot staleness).
 fn top_cmd(flags: &Flags) -> Result<(), String> {
     use merge_purge_repro::serve::json::Json;
-    use merge_purge_repro::serve::request;
-    let socket = std::path::PathBuf::from(flags.require("socket")?);
+    let target = Target::parse(flags)?;
     let interval_ms: u64 = flags.get_parsed("interval-ms", 2000)?;
     let iterations: u64 = flags.get_parsed("iterations", 0)?; // 0 = forever
     let mut frame = 0u64;
     loop {
-        let reply = request(&socket, "{\"cmd\":\"stats\"}")
-            .map_err(|e| format!("request to {}: {e}", socket.display()))?;
+        let reply = target.request("{\"cmd\":\"stats\"}")?;
         let stats = Json::parse(&reply).map_err(|e| format!("bad stats reply: {e}"))?;
         if stats.get("ok").and_then(Json::as_bool) != Some(true) {
             return Err(format!("daemon error: {reply}"));
@@ -574,7 +617,7 @@ fn top_cmd(flags: &Flags) -> Result<(), String> {
             // (--iterations 1, as used in tests and CI) stays plain text.
             print!("\x1b[2J\x1b[H");
         }
-        print!("{}", render_top(&stats, &socket.display().to_string()));
+        print!("{}", render_top(&stats, &target.display()));
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
         frame += 1;
@@ -595,7 +638,7 @@ fn human_ns(ns: u64) -> String {
     }
 }
 
-/// Renders one `top` frame from a schema-3 `stats` reply.
+/// Renders one `top` frame from a schema-4 `stats` reply.
 fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> String {
     use merge_purge_repro::serve::json::Json;
     let num = |v: Option<&Json>| v.and_then(Json::as_u64).unwrap_or(0);
@@ -613,7 +656,7 @@ fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Str
     out.push_str(&format!(
         "mergepurge top — {socket}\n\
          up {}s   ready {}   alive {}   seq {}\n\
-         records {}   groups {}   duplicates {}   queue {}/{}   journal lag {}   busy rejects {}\n",
+         records {}   groups {}   duplicates {}   queue {}/{}   journal lag {}   backpressure {}\n",
         h("uptime_secs"),
         yn("ready"),
         yn("alive"),
@@ -624,7 +667,7 @@ fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Str
         h("queue_depth"),
         h("queue_capacity"),
         h("journal_lag"),
-        h("busy_rejections"),
+        h("backpressure_waits"),
     ));
     match health
         .and_then(|o| o.get("snapshot_age_secs"))
@@ -660,6 +703,26 @@ fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Str
                 human_ns(num(w.get("batch_p50_ns"))),
                 human_ns(num(w.get("batch_p95_ns"))),
                 human_ns(num(w.get("batch_p99_ns"))),
+            ));
+        }
+    }
+    if let Some(shards) = stats.get("shards").and_then(Json::as_array) {
+        out.push_str(&format!(
+            "\n{:<8}{:>12}{:>16}{:>12}{:>10}\n",
+            "shard", "records", "journal replays", "queue", "replayed"
+        ));
+        for s in shards {
+            out.push_str(&format!(
+                "{:<8}{:>12}{:>16}{:>12}{:>10}\n",
+                num(s.get("shard")),
+                num(s.get("records")),
+                num(s.get("journal_replays")),
+                num(s.get("queue_depth")),
+                if s.get("replay_complete").and_then(Json::as_bool) == Some(true) {
+                    "yes"
+                } else {
+                    "NO"
+                },
             ));
         }
     }

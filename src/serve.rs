@@ -3,9 +3,11 @@
 //! The paper's monthly cycle (§1) wants a *standing service*: the cleaned
 //! base lives in memory, new batches arrive on a socket, and the state
 //! survives restarts through the durable match-store. This module is that
-//! daemon: a Unix-domain-socket server speaking a tiny length-prefixed
-//! JSON protocol (see `docs/SERVING.md` for the wire format), backed by
-//! [`merge_purge::incremental::DurableIncremental`].
+//! daemon: a server speaking a tiny length-prefixed JSON protocol over a
+//! Unix domain socket and (with `--listen`) TCP — both transports share
+//! the same framing and dispatch (see `docs/SERVING.md` for the wire
+//! format) — backed by [`merge_purge::incremental::DurableIncremental`],
+//! or, with `--shards N`, by the sharded coordinator in [`shard`].
 //!
 //! # Protocol
 //!
@@ -21,8 +23,9 @@
 //! * `snapshot` — forces a checkpoint; replies with the byte count.
 //! * `stats` — replies with a deterministic `store` section (identical
 //!   across kill/restart for the same acknowledged batches), a
-//!   process-local `process` section, and (reply schema 3) the `seq`
-//!   watermark plus live `health`/`windows` sections.
+//!   process-local `process` section, the `seq` watermark, live
+//!   `health`/`windows` sections, and (reply schema 4) a per-shard
+//!   `shards` section when the daemon runs sharded.
 //! * `metrics` — the Prometheus text exposition, embedded in a JSON
 //!   reply; also served raw over HTTP via `--metrics-addr`.
 //! * `healthz` / `readyz` — liveness and readiness probes (answered from
@@ -30,10 +33,18 @@
 //! * `shutdown` — graceful drain: in-flight batches complete, a final
 //!   snapshot is written, the socket is unlinked, the process exits 0.
 //!
-//! Ingest goes through a *bounded* queue; when it is full the daemon
-//! replies `{"ok":false,"error":"busy"}` immediately instead of buffering
-//! unboundedly — the client retries. `SIGTERM`/`SIGINT` trigger the same
-//! graceful drain as the `shutdown` command.
+//! Ingest goes through a *bounded* queue; when it is full the connection
+//! thread blocks until the engine drains a slot (backpressure — counted
+//! in `mergepurge_backpressure_waits_total` and visible as a not-ready
+//! `readyz`) instead of buffering unboundedly or failing fast.
+//! `SIGTERM`/`SIGINT` trigger the same graceful drain as the `shutdown`
+//! command.
+//!
+//! Sharding: `--shards N` partitions the durable store by key band into
+//! N shard workers, each owning its own journal + snapshot under
+//! `store/shard-k/`, with bounded per-shard queues, per-shard metrics
+//! (`shard="k"` labels), and a cross-shard reconciliation step that keeps
+//! the merged match set bit-identical to the single-worker engine.
 //!
 //! Observability: `--metrics-addr` serves `/metrics`, `/healthz`, and
 //! `/readyz` over HTTP; `--log` writes a leveled JSONL event log; see
@@ -45,6 +56,7 @@ use mp_metrics::{span, span_labeled, Counter, MetricsRecorder};
 use mp_record::{io as rio, Record};
 use mp_rules::EquationalTheory;
 use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,6 +67,7 @@ pub mod eventlog;
 pub mod http;
 pub mod json;
 pub mod obs;
+pub mod shard;
 
 use eventlog::{EventLog, Level};
 use json::Json;
@@ -78,7 +91,14 @@ pub struct ServeConfig {
     pub window: usize,
     /// Pass keys, in order. Must match the store's snapshot when reopening.
     pub keys: Vec<KeySpec>,
-    /// Bound of the ingest queue; a full queue replies `busy`.
+    /// Shard workers for the durable store (1 = single-worker layout;
+    /// fixed at store creation). Capped by the 27-bin key alphabet.
+    pub shards: usize,
+    /// `host:port` to additionally serve the wire protocol over TCP
+    /// (same framing as the Unix socket); `None` disables it.
+    pub listen: Option<String>,
+    /// Bound of the ingest queue (and of each shard worker's queue); a
+    /// full queue blocks the sender (backpressure), never drops.
     pub queue_depth: usize,
     /// Checkpoint automatically after this many ingested batches
     /// (0 = only on `snapshot`/`shutdown`).
@@ -111,6 +131,8 @@ impl ServeConfig {
                 KeySpec::first_name_key(),
                 KeySpec::address_key(),
             ],
+            shards: 1,
+            listen: None,
             queue_depth: 4,
             snapshot_every: 0,
             metrics_addr: None,
@@ -162,6 +184,74 @@ fn err_json(msg: &str) -> String {
     Json::Obj(obj).to_string()
 }
 
+/// The durable state the engine worker drives: either the single-worker
+/// store or the sharded coordinator. Same observable behavior either
+/// way — the `store` stats section is bit-identical for the same
+/// acknowledged batches (the shard-equivalence tests pin this down).
+enum Backend {
+    Single(DurableIncremental),
+    Sharded(shard::ShardedDurable),
+}
+
+impl Backend {
+    fn engine(&self) -> &IncrementalMergePurge {
+        match self {
+            Backend::Single(d) => d.engine(),
+            Backend::Sharded(s) => s.engine(),
+        }
+    }
+
+    fn next_seq(&self) -> u64 {
+        match self {
+            Backend::Single(d) => d.store().next_seq(),
+            Backend::Sharded(s) => s.next_seq(),
+        }
+    }
+
+    fn batches_since_checkpoint(&self) -> u64 {
+        match self {
+            Backend::Single(d) => d.batches_since_checkpoint(),
+            Backend::Sharded(s) => s.batches_since_checkpoint(),
+        }
+    }
+
+    fn snapshot_meta(&self) -> Option<(u64, std::time::SystemTime)> {
+        match self {
+            Backend::Single(d) => d.store().snapshot_meta(),
+            Backend::Sharded(s) => s.snapshot_meta(),
+        }
+    }
+
+    /// Whether a partial shard append left this process unable to ingest
+    /// (always false for the single-worker backend).
+    fn poisoned(&self) -> bool {
+        match self {
+            Backend::Single(_) => false,
+            Backend::Sharded(s) => s.poisoned(),
+        }
+    }
+
+    fn ingest(
+        &mut self,
+        batch: Vec<Record>,
+        theory: &dyn EquationalTheory,
+        recorder: &MetricsRecorder,
+        obs: &ObsState,
+    ) -> Result<u64, String> {
+        match self {
+            Backend::Single(d) => d.ingest(batch, theory, recorder).map_err(|e| e.to_string()),
+            Backend::Sharded(s) => s.ingest(batch, theory, recorder, obs),
+        }
+    }
+
+    fn checkpoint(&mut self, recorder: &MetricsRecorder, obs: &ObsState) -> Result<u64, String> {
+        match self {
+            Backend::Single(d) => d.checkpoint(recorder).map_err(|e| e.to_string()),
+            Backend::Sharded(s) => s.checkpoint(recorder, obs),
+        }
+    }
+}
+
 /// Runs the daemon until `shutdown` (command or signal). Blocks.
 ///
 /// `theory` decides record equivalence; `recorder` collects counters and
@@ -181,6 +271,12 @@ pub fn serve(
     SHUTDOWN.store(false, Ordering::SeqCst);
     install_signal_handlers();
     let _serve_span = span(recorder, "serve");
+    if config.shards == 0 || config.shards > 27 {
+        return Err(format!(
+            "--shards must be 1..=27 (got {}): routing bands by key first letter",
+            config.shards
+        ));
+    }
 
     let log = match &config.log_file {
         Some(path) => Some(EventLog::open(
@@ -191,6 +287,11 @@ pub fn serve(
         None => None,
     };
     let obs = ObsState::new(config.queue_depth, log);
+    if config.shards > 1 {
+        // Allocated before the store opens so `readyz` can report
+        // per-shard replay progress (503 until *every* shard finishes).
+        obs.init_shards(config.shards);
+    }
     obs.beat();
     obs.event(
         Level::Info,
@@ -240,62 +341,148 @@ pub fn serve(
                 }
                 e
             };
-            let (mut durable, recovery) =
-                DurableIncremental::open(&config.store_dir, configure, theory, recorder)
-                    .map_err(|e| format!("open store {}: {e}", config.store_dir.display()))?;
-            if !config.quiet {
-                eprintln!(
-                    "mergepurge serve: {} records, {} batches applied ({} replayed from journal{})",
-                    durable.engine().records().len(),
-                    durable.engine().batches_applied(),
-                    recovery.batches_replayed,
-                    if recovery.truncated_bytes > 0 {
-                        ", corrupt tail truncated"
-                    } else {
-                        ""
-                    },
-                );
-            }
-            obs.event(
-                Level::Info,
-                "journal_replayed",
-                vec![
-                    (
-                        "snapshot_loaded".into(),
-                        Json::Bool(recovery.snapshot_loaded),
-                    ),
-                    (
-                        "batches_in_snapshot".into(),
-                        Json::Num(recovery.batches_in_snapshot as f64),
-                    ),
-                    (
-                        "batches_replayed".into(),
-                        Json::Num(recovery.batches_replayed as f64),
-                    ),
-                ],
-            );
-            if recovery.truncated_bytes > 0 || recovery.truncation_reason.is_some() {
+            let mut backend = if config.shards <= 1 {
+                let (durable, recovery) =
+                    DurableIncremental::open(&config.store_dir, configure, theory, recorder)
+                        .map_err(|e| format!("open store {}: {e}", config.store_dir.display()))?;
+                if !config.quiet {
+                    eprintln!(
+                        "mergepurge serve: {} records, {} batches applied ({} replayed from journal{})",
+                        durable.engine().records().len(),
+                        durable.engine().batches_applied(),
+                        recovery.batches_replayed,
+                        if recovery.truncated_bytes > 0 {
+                            ", corrupt tail truncated"
+                        } else {
+                            ""
+                        },
+                    );
+                }
                 obs.event(
-                    Level::Warn,
-                    "corrupt_tail_truncated",
+                    Level::Info,
+                    "journal_replayed",
                     vec![
                         (
-                            "truncated_bytes".into(),
-                            Json::Num(recovery.truncated_bytes as f64),
+                            "snapshot_loaded".into(),
+                            Json::Bool(recovery.snapshot_loaded),
                         ),
                         (
-                            "reason".into(),
-                            Json::Str(
-                                recovery
-                                    .truncation_reason
-                                    .clone()
-                                    .unwrap_or_else(|| "unknown".into()),
-                            ),
+                            "batches_in_snapshot".into(),
+                            Json::Num(recovery.batches_in_snapshot as f64),
+                        ),
+                        (
+                            "batches_replayed".into(),
+                            Json::Num(recovery.batches_replayed as f64),
                         ),
                     ],
                 );
-            }
-            publish_gauges(&durable, obs);
+                if recovery.truncated_bytes > 0 || recovery.truncation_reason.is_some() {
+                    obs.event(
+                        Level::Warn,
+                        "corrupt_tail_truncated",
+                        vec![
+                            (
+                                "truncated_bytes".into(),
+                                Json::Num(recovery.truncated_bytes as f64),
+                            ),
+                            (
+                                "reason".into(),
+                                Json::Str(
+                                    recovery
+                                        .truncation_reason
+                                        .clone()
+                                        .unwrap_or_else(|| "unknown".into()),
+                                ),
+                            ),
+                        ],
+                    );
+                }
+                Backend::Single(durable)
+            } else {
+                let first_key = config
+                    .keys
+                    .first()
+                    .cloned()
+                    .ok_or("at least one pass key is required")?;
+                let mut prep = shard::open_sharded(
+                    &config.store_dir,
+                    config.shards,
+                    configure,
+                    theory,
+                    recorder,
+                )
+                .map_err(|e| format!("open store {}: {e}", config.store_dir.display()))?;
+                if !config.quiet {
+                    eprintln!(
+                        "mergepurge serve: {} records across {} shards, {} batches applied ({} replayed from journal{})",
+                        prep.engine.records().len(),
+                        config.shards,
+                        prep.engine.batches_applied(),
+                        prep.batches_replayed,
+                        if prep.truncated_bytes > 0 {
+                            ", corrupt tail truncated"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+                obs.event(
+                    Level::Info,
+                    "journal_replayed",
+                    vec![
+                        ("snapshot_loaded".into(), Json::Bool(prep.snapshot_loaded)),
+                        ("shards".into(), Json::Num(config.shards as f64)),
+                        (
+                            "batches_replayed".into(),
+                            Json::Num(prep.batches_replayed as f64),
+                        ),
+                    ],
+                );
+                if !prep.truncation_reasons.is_empty() {
+                    obs.event(
+                        Level::Warn,
+                        "corrupt_tail_truncated",
+                        vec![
+                            (
+                                "truncated_bytes".into(),
+                                Json::Num(prep.truncated_bytes as f64),
+                            ),
+                            (
+                                "reason".into(),
+                                Json::Str(prep.truncation_reasons.join("; ")),
+                            ),
+                        ],
+                    );
+                }
+                // Hand each shard its journal and mark it replayed; the
+                // readiness probe stays 503 until every shard flips.
+                let journals = std::mem::take(&mut prep.journals);
+                let mut senders = Vec::with_capacity(journals.len());
+                for (k, journal) in journals.into_iter().enumerate() {
+                    let (stx, srx) = mpsc::sync_channel::<shard::ShardMsg>(config.queue_depth);
+                    let shard_dir = prep.store.shard_dir(k);
+                    scope.spawn(move || {
+                        shard::run_worker(k, journal, shard_dir, srx, obs, recorder)
+                    });
+                    obs.set_shard_journal_replays(k, prep.shard_replays[k]);
+                    obs.event(
+                        Level::Info,
+                        "shard_replayed",
+                        vec![
+                            ("shard".into(), Json::Num(k as f64)),
+                            (
+                                "journal_replays".into(),
+                                Json::Num(prep.shard_replays[k] as f64),
+                            ),
+                        ],
+                    );
+                    obs.set_shard_replay_complete(k);
+                    senders.push(stx);
+                }
+                let router = shard::ShardRouter::new(first_key, config.shards);
+                Backend::Sharded(shard::ShardedDurable::new(prep, router, senders))
+            };
+            publish_gauges(&backend, obs);
             obs.set_replay_complete();
 
             // Stale socket file from an unclean previous run: remove,
@@ -307,6 +494,26 @@ pub fn serve(
             if !config.quiet {
                 eprintln!("mergepurge serve: listening on {}", config.socket.display());
             }
+            // The optional TCP transport shares framing and dispatch with
+            // the Unix socket; it gets its own accept thread below.
+            let tcp_listener = match &config.listen {
+                Some(addr) => {
+                    let l = TcpListener::bind(addr)
+                        .map_err(|e| format!("bind tcp listener {addr}: {e}"))?;
+                    l.set_nonblocking(true).map_err(|e| e.to_string())?;
+                    let bound = l.local_addr().map_err(|e| e.to_string())?;
+                    if !config.quiet {
+                        eprintln!("mergepurge serve: listening on tcp://{bound}");
+                    }
+                    obs.event(
+                        Level::Info,
+                        "listening_tcp",
+                        vec![("addr".into(), Json::Str(bound.to_string()))],
+                    );
+                    Some(l)
+                }
+                None => None,
+            };
             obs.set_accepting(true);
             obs.event(
                 Level::Info,
@@ -346,7 +553,7 @@ pub fn serve(
                         Job::Ingest(batch, reply) => {
                             let n = batch.len();
                             let _batch_span = span_labeled(recorder, "batch", || {
-                                format!("seq={}", durable.store().next_seq())
+                                format!("seq={}", backend.next_seq())
                             });
                             let started = std::time::Instant::now();
                             let before = [
@@ -354,7 +561,7 @@ pub fn serve(
                                 recorder.get(Counter::RuleInvocations),
                                 recorder.get(Counter::Matches),
                             ];
-                            let msg = match durable.ingest(batch, theory, recorder) {
+                            let msg = match backend.ingest(batch, theory, recorder, obs) {
                                 Ok(seq) => {
                                     let dur_ns = started.elapsed().as_nanos() as u64;
                                     let matches =
@@ -370,27 +577,35 @@ pub fn serve(
                                         matches,
                                         dur_ns,
                                     );
-                                    obs.event(
-                                        Level::Info,
-                                        "batch_ingested",
-                                        vec![
-                                            ("batch_seq".into(), Json::Num(seq as f64)),
-                                            ("records".into(), Json::Num(n as f64)),
-                                            ("matches".into(), Json::Num(matches as f64)),
-                                            (
-                                                "total_records".into(),
-                                                Json::Num(durable.engine().records().len() as f64),
+                                    let mut fields = vec![
+                                        ("batch_seq".into(), Json::Num(seq as f64)),
+                                        ("records".into(), Json::Num(n as f64)),
+                                        ("matches".into(), Json::Num(matches as f64)),
+                                        (
+                                            "total_records".into(),
+                                            Json::Num(backend.engine().records().len() as f64),
+                                        ),
+                                        (
+                                            "duration_ms".into(),
+                                            Json::Num((dur_ns / 1_000_000) as f64),
+                                        ),
+                                    ];
+                                    if let Backend::Sharded(s) = &backend {
+                                        fields.push((
+                                            "shard_records".into(),
+                                            Json::Arr(
+                                                s.last_scatter()
+                                                    .iter()
+                                                    .map(|&c| Json::Num(c as f64))
+                                                    .collect(),
                                             ),
-                                            (
-                                                "duration_ms".into(),
-                                                Json::Num((dur_ns / 1_000_000) as f64),
-                                            ),
-                                        ],
-                                    );
+                                        ));
+                                    }
+                                    obs.event(Level::Info, "batch_ingested", fields);
                                     if snapshot_every > 0
-                                        && durable.batches_since_checkpoint() >= snapshot_every
+                                        && backend.batches_since_checkpoint() >= snapshot_every
                                     {
-                                        match durable.checkpoint(recorder) {
+                                        match backend.checkpoint(recorder, obs) {
                                             Ok(bytes) => obs.event(
                                                 Level::Info,
                                                 "checkpoint_written",
@@ -423,7 +638,7 @@ pub fn serve(
                                         ("records".into(), Json::Num(n as f64)),
                                         (
                                             "total_records".into(),
-                                            Json::Num(durable.engine().records().len() as f64),
+                                            Json::Num(backend.engine().records().len() as f64),
                                         ),
                                     ])
                                     .to_string()
@@ -434,10 +649,22 @@ pub fn serve(
                                         "ingest_failed",
                                         vec![("error".into(), Json::Str(e.to_string()))],
                                     );
+                                    if backend.poisoned() {
+                                        // A partial shard append: disk and
+                                        // memory may disagree on sequence
+                                        // alignment. Stop taking traffic;
+                                        // recovery discards the partial
+                                        // scatter on restart.
+                                        eprintln!(
+                                            "mergepurge serve: store poisoned, shutting down: {e}"
+                                        );
+                                        obs.event(Level::Error, "store_poisoned", vec![]);
+                                        SHUTDOWN.store(true, Ordering::SeqCst);
+                                    }
                                     err_json(&format!("ingest failed: {e}"))
                                 }
                             };
-                            publish_gauges(&durable, obs);
+                            publish_gauges(&backend, obs);
                             let _ = reply.send(msg);
                         }
                         Job::Query(id, reply) => {
@@ -446,8 +673,8 @@ pub fn serve(
                                 "query_matches",
                                 vec![("id".into(), Json::Num(id as f64))],
                             );
-                            let msg = if (id as usize) < durable.engine().records().len() {
-                                let class = durable
+                            let msg = if (id as usize) < backend.engine().records().len() {
+                                let class = backend
                                     .engine()
                                     .classes()
                                     .into_iter()
@@ -462,24 +689,24 @@ pub fn serve(
                                             class.iter().map(|&r| Json::Num(r as f64)).collect(),
                                         ),
                                     ),
-                                    ("seq".into(), Json::Num(last_seq(&durable) as f64)),
+                                    ("seq".into(), Json::Num(last_seq(&backend) as f64)),
                                 ])
                                 .to_string()
                             } else {
                                 err_json(&format!(
                                     "record id {id} out of range ({} records)",
-                                    durable.engine().records().len()
+                                    backend.engine().records().len()
                                 ))
                             };
                             let _ = reply.send(msg);
                         }
                         Job::Stats(reply) => {
                             obs.event(Level::Debug, "stats", vec![]);
-                            let _ = reply.send(stats_json(&durable, recorder, obs));
+                            let _ = reply.send(stats_json(&backend, recorder, obs));
                         }
                         Job::Snapshot(reply) => {
                             let _snap_span = span_labeled(recorder, "batch", || "snapshot".into());
-                            let msg = match durable.checkpoint(recorder) {
+                            let msg = match backend.checkpoint(recorder, obs) {
                                 Ok(bytes) => {
                                     obs.event(
                                         Level::Info,
@@ -504,7 +731,7 @@ pub fn serve(
                                     err_json(&format!("snapshot failed: {e}"))
                                 }
                             };
-                            publish_gauges(&durable, obs);
+                            publish_gauges(&backend, obs);
                             let _ = reply.send(msg);
                         }
                         Job::Shutdown(reply) => {
@@ -524,7 +751,7 @@ pub fn serve(
                                 };
                                 let _ = sender.send(err_json("shutting-down"));
                             }
-                            let msg = match durable.checkpoint(recorder) {
+                            let msg = match backend.checkpoint(recorder, obs) {
                                 Ok(bytes) => {
                                     obs.event(
                                         Level::Info,
@@ -549,7 +776,7 @@ pub fn serve(
                                     err_json(&format!("final snapshot failed: {e}"))
                                 }
                             };
-                            publish_gauges(&durable, obs);
+                            publish_gauges(&backend, obs);
                             let _ = reply.send(msg);
                             clean = true;
                             break;
@@ -560,7 +787,7 @@ pub fn serve(
                     // Channel closed without an explicit shutdown job
                     // (signal path): still leave a snapshot behind.
                     obs.set_accepting(false);
-                    match durable.checkpoint(recorder) {
+                    match backend.checkpoint(recorder, obs) {
                         Ok(bytes) => obs.event(
                             Level::Info,
                             "checkpoint_written",
@@ -581,10 +808,35 @@ pub fn serve(
                 }
             });
 
+            // TCP accept thread: same poll loop as the Unix one below,
+            // same per-connection threads, same dispatch.
+            if let Some(tcp) = tcp_listener {
+                let tcp_tx = tx.clone();
+                scope.spawn(move || {
+                    while !SHUTDOWN.load(Ordering::SeqCst) {
+                        match tcp.accept() {
+                            Ok((stream, _)) => {
+                                let _ = stream.set_read_timeout(Some(POLL));
+                                let tx = tcp_tx.clone();
+                                scope.spawn(move || handle_conn(stream, &tx, obs, recorder));
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(25));
+                            }
+                            Err(e) => {
+                                eprintln!("mergepurge serve: tcp accept failed: {e}");
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+
             // Accept loop: poll so the shutdown flag is honored promptly.
             while !SHUTDOWN.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        let _ = stream.set_read_timeout(Some(POLL));
                         let tx = tx.clone();
                         scope.spawn(move || handle_conn(stream, &tx, obs, recorder));
                     }
@@ -631,18 +883,23 @@ pub fn serve(
 /// The last acknowledged journal sequence number (0 before any batch):
 /// the watermark `stats` and `query-matches` replies carry so clients can
 /// correlate answers with journal position.
-fn last_seq(durable: &DurableIncremental) -> u64 {
-    durable.store().next_seq().saturating_sub(1)
+fn last_seq(backend: &Backend) -> u64 {
+    backend.next_seq().saturating_sub(1)
 }
 
 /// Copies the engine-owned gauges into the shared observability state.
-fn publish_gauges(durable: &DurableIncremental, obs: &ObsState) {
+fn publish_gauges(backend: &Backend, obs: &ObsState) {
     obs.publish_engine(
-        durable.engine().records().len() as u64,
-        last_seq(durable),
-        durable.batches_since_checkpoint(),
-        durable.store().snapshot_meta(),
+        backend.engine().records().len() as u64,
+        last_seq(backend),
+        backend.batches_since_checkpoint(),
+        backend.snapshot_meta(),
     );
+    if let Backend::Sharded(s) = backend {
+        for (k, &n) in s.shard_records().iter().enumerate() {
+            obs.set_shard_records(k, n);
+        }
+    }
 }
 
 /// Prints the `--progress` heartbeat line (at most every 10 s; called
@@ -666,14 +923,14 @@ fn heartbeat_line(obs: &ObsState, last: &mut u64) {
     );
 }
 
-/// Serves one client connection until EOF or shutdown.
+/// Serves one client connection (Unix or TCP — the caller has already
+/// armed a read timeout of [`POLL`]) until EOF or shutdown.
 fn handle_conn(
-    mut stream: UnixStream,
+    mut stream: impl Read + Write,
     tx: &SyncSender<Job>,
     obs: &ObsState,
     recorder: &MetricsRecorder,
 ) {
-    let _ = stream.set_read_timeout(Some(POLL));
     loop {
         let frame = match read_frame_with_shutdown(&mut stream) {
             Ok(Some(f)) => f,
@@ -724,15 +981,19 @@ fn dispatch(
                 return err_json("empty batch");
             }
             let (reply_tx, reply_rx) = mpsc::channel();
-            // Bounded backpressure: a full queue is an immediate `busy`,
-            // never an unbounded buffer.
+            // Bounded backpressure: a full queue blocks this connection
+            // thread (counted, and visible as a not-ready `readyz`)
+            // until the engine drains a slot — never an unbounded
+            // buffer, never a dropped batch.
             obs.job_enqueued();
             match tx.try_send(Job::Ingest(batch, reply_tx)) {
                 Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    obs.job_dequeued();
-                    obs.busy_rejected();
-                    return err_json("busy");
+                Err(TrySendError::Full(job)) => {
+                    obs.backpressure_waited();
+                    if tx.send(job).is_err() {
+                        obs.job_dequeued();
+                        return err_json("shutting-down");
+                    }
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     obs.job_dequeued();
@@ -790,15 +1051,17 @@ fn enqueue_and_wait(
         .unwrap_or_else(|_| err_json("shutting-down"))
 }
 
-/// The `stats` response (reply schema 3). The `store` object is
+/// The `stats` response (reply schema 4). The `store` object is
 /// **deterministic**: it is a pure function of the acknowledged batch
-/// sequence, so it compares equal across single-process and kill/restart
-/// runs (CI enforces this) — schema 3 only *adds* sections around it.
-/// `seq` is the acknowledged-journal watermark; `process` is local to
-/// this daemon process; `health` and `windows` are live observability
-/// views (see `docs/OBSERVABILITY.md`).
-fn stats_json(durable: &DurableIncremental, recorder: &MetricsRecorder, obs: &ObsState) -> String {
-    let engine = durable.engine();
+/// sequence, so it compares equal across single-process, kill/restart,
+/// *and* single-vs-sharded runs (CI enforces this) — schemas 3 and 4
+/// only *add* sections around it. `seq` is the acknowledged-journal
+/// watermark; `process` is local to this daemon process; `health` and
+/// `windows` are live observability views; `shards` (schema 4, sharded
+/// daemons only) reports per-shard ownership and replay state (see
+/// `docs/OBSERVABILITY.md`).
+fn stats_json(backend: &Backend, recorder: &MetricsRecorder, obs: &ObsState) -> String {
+    let engine = backend.engine();
     let classes = engine.classes();
     let duplicates: usize = classes.iter().map(|c| c.len() - 1).sum();
     let passes = engine
@@ -843,19 +1106,22 @@ fn stats_json(durable: &DurableIncremental, recorder: &MetricsRecorder, obs: &Ob
         ),
         (
             "batches_since_checkpoint".into(),
-            Json::Num(durable.batches_since_checkpoint() as f64),
+            Json::Num(backend.batches_since_checkpoint() as f64),
         ),
     ]);
-    Json::Obj(vec![
+    let mut reply = vec![
         ("ok".into(), Json::Bool(true)),
-        ("schema".into(), Json::Num(3.0)),
-        ("seq".into(), Json::Num(last_seq(durable) as f64)),
+        ("schema".into(), Json::Num(4.0)),
+        ("seq".into(), Json::Num(last_seq(backend) as f64)),
         ("store".into(), store),
         ("process".into(), process),
         ("health".into(), obs.health_json()),
         ("windows".into(), obs.windows_json()),
-    ])
-    .to_string()
+    ];
+    if let Some(shards) = obs.shards_json() {
+        reply.push(("shards".into(), shards));
+    }
+    Json::Obj(reply).to_string()
 }
 
 // ---- framing ---------------------------------------------------------
@@ -901,7 +1167,9 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<String>> {
 
 /// Like [`read_frame`], but treats read timeouts as "check the shutdown
 /// flag and keep waiting" so idle connections drain promptly on shutdown.
-fn read_frame_with_shutdown(stream: &mut UnixStream) -> io::Result<Option<String>> {
+/// Works over any transport whose reads time out (Unix or TCP sockets
+/// with a read timeout armed).
+fn read_frame_with_shutdown(stream: &mut impl Read) -> io::Result<Option<String>> {
     loop {
         let mut len_buf = [0u8; 4];
         match stream.read_exact(&mut len_buf) {
@@ -942,6 +1210,24 @@ fn read_frame_with_shutdown(stream: &mut UnixStream) -> io::Result<Option<String
 /// without replying.
 pub fn request(socket: &Path, payload: &str) -> io::Result<String> {
     let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, payload)?;
+    read_frame(&mut stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed without replying",
+        )
+    })
+}
+
+/// Sends one request frame over TCP to a daemon started with `--listen`
+/// and returns the response. Same framing as [`request`].
+///
+/// # Errors
+///
+/// Connection or framing failures, or a connection the daemon closed
+/// without replying.
+pub fn request_tcp(addr: &str, payload: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
     write_frame(&mut stream, payload)?;
     read_frame(&mut stream)?.ok_or_else(|| {
         io::Error::new(

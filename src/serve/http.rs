@@ -158,6 +158,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let obs = ObsState::new(4, None);
+        obs.init_shards(2);
         obs.beat();
         let recorder = MetricsRecorder::new();
         let shutdown = AtomicBool::new(false);
@@ -174,8 +175,16 @@ mod tests {
             assert!(body.contains("\"ready\":false"));
             obs.set_replay_complete();
             obs.set_accepting(true);
-            let (head, _) = get(addr, "/readyz");
+
+            // Still not ready: one shard has not finished its replay.
+            obs.set_shard_replay_complete(0);
+            let (head, body) = get(addr, "/readyz");
+            assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+            assert!(body.contains("shard journal replay"), "{body}");
+            obs.set_shard_replay_complete(1);
+            let (head, body) = get(addr, "/readyz");
             assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert!(body.contains("\"shards_replayed\":2"), "{body}");
 
             let (head, body) = get(addr, "/healthz");
             assert!(head.starts_with("HTTP/1.1 200"), "{head}");

@@ -4,8 +4,9 @@
 //!
 //! One [`ObsState`] is shared (by reference, under the daemon's thread
 //! scope) between the engine worker (which records batch work and
-//! publishes engine gauges), connection threads (which count `busy`
-//! rejections), and the scrape paths — the `metrics`/`healthz`/`readyz`
+//! publishes engine gauges), connection threads (which count
+//! backpressure waits), shard workers (per-shard gauges, when running
+//! `--shards`), and the scrape paths — the `metrics`/`healthz`/`readyz`
 //! wire commands and the `--metrics-addr` HTTP listener. Everything is
 //! atomics; nothing on the serving path takes a lock (the event log has
 //! its own mutex and is only touched when `--log` is set).
@@ -18,6 +19,7 @@ use super::json::Json;
 use mp_metrics::rolling::{RollingRing, WindowCounter, WINDOWS};
 use mp_metrics::{Counter, LatencyHistogram, MetricsRecorder, PipelineObserver, PromWriter};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// The worker heartbeat age past which `healthz` reports the daemon
@@ -25,6 +27,17 @@ use std::time::Instant;
 /// heartbeat means the engine thread is wedged (or grinding through a
 /// single enormous batch — see `docs/OBSERVABILITY.md`).
 pub const HEARTBEAT_STALE_SECS: u64 = 30;
+
+/// Per-shard observability: one slot per shard worker when the daemon
+/// runs with `--shards N` (N >= 2). All atomics; read by the scrape
+/// paths, written by the coordinator and shard workers.
+#[derive(Debug, Default)]
+pub struct ShardObs {
+    replay_complete: AtomicBool,
+    journal_replays: AtomicU64,
+    records: AtomicU64,
+    queue_depth: AtomicU64,
+}
 
 /// Shared observability state for one daemon process.
 #[derive(Debug)]
@@ -41,7 +54,10 @@ pub struct ObsState {
     replay_complete: AtomicBool,
     accepting: AtomicBool,
     heartbeat_ms: AtomicU64,
-    busy_rejections: AtomicU64,
+    backpressure_waits: AtomicU64,
+    /// Per-shard slots; empty until [`ObsState::init_shards`] runs
+    /// (single-worker daemons never initialise it).
+    shards: OnceLock<Vec<ShardObs>>,
     // Engine gauges, published by the worker after every job.
     records: AtomicU64,
     last_seq: AtomicU64,
@@ -64,7 +80,8 @@ impl ObsState {
             replay_complete: AtomicBool::new(false),
             accepting: AtomicBool::new(false),
             heartbeat_ms: AtomicU64::new(0),
-            busy_rejections: AtomicU64::new(0),
+            backpressure_waits: AtomicU64::new(0),
+            shards: OnceLock::new(),
             records: AtomicU64::new(0),
             last_seq: AtomicU64::new(0),
             journal_lag: AtomicU64::new(0),
@@ -129,11 +146,20 @@ impl ObsState {
 
     /// Readiness verdict: `Ok(())` when the daemon should receive
     /// traffic, `Err(reason)` otherwise. Ready means journal replay is
-    /// complete, the daemon is accepting (not shutting down), and the
-    /// ingest queue is below its high-watermark (capacity).
+    /// complete (on *every* shard when sharded), the daemon is accepting
+    /// (not shutting down), and the ingest queue is below its
+    /// high-watermark (capacity).
     pub fn readiness(&self) -> Result<(), &'static str> {
         if !self.replay_complete() {
             return Err("journal replay in progress");
+        }
+        if let Some(shards) = self.shards.get() {
+            if shards
+                .iter()
+                .any(|s| !s.replay_complete.load(Ordering::SeqCst))
+            {
+                return Err("shard journal replay in progress");
+            }
         }
         if !self.accepting.load(Ordering::SeqCst) {
             return Err("not accepting (starting up or shutting down)");
@@ -142,6 +168,117 @@ impl ObsState {
             return Err("ingest queue at high-watermark");
         }
         Ok(())
+    }
+
+    // ---- shards ------------------------------------------------------
+
+    /// Allocates per-shard observability slots. Called once at startup
+    /// by sharded daemons, before journal replay begins; single-worker
+    /// daemons never call it.
+    pub fn init_shards(&self, n: usize) {
+        let _ = self
+            .shards
+            .set((0..n).map(|_| ShardObs::default()).collect());
+    }
+
+    /// Number of shard slots (0 for single-worker daemons).
+    pub fn shard_count(&self) -> usize {
+        self.shards.get().map_or(0, Vec::len)
+    }
+
+    fn shard(&self, k: usize) -> Option<&ShardObs> {
+        self.shards.get().and_then(|s| s.get(k))
+    }
+
+    /// Marks shard `k`'s journal replay finished. Readiness requires
+    /// *all* shards to have replayed.
+    pub fn set_shard_replay_complete(&self, k: usize) {
+        if let Some(s) = self.shard(k) {
+            s.replay_complete.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether shard `k` has finished replaying its journal.
+    pub fn shard_replay_complete(&self, k: usize) -> bool {
+        self.shard(k)
+            .is_some_and(|s| s.replay_complete.load(Ordering::SeqCst))
+    }
+
+    /// Publishes shard `k`'s replayed-frame count (non-empty journal
+    /// frames applied at startup).
+    pub fn set_shard_journal_replays(&self, k: usize, n: u64) {
+        if let Some(s) = self.shard(k) {
+            s.journal_replays.store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Non-empty journal frames shard `k` replayed at startup.
+    pub fn shard_journal_replays(&self, k: usize) -> u64 {
+        self.shard(k)
+            .map_or(0, |s| s.journal_replays.load(Ordering::Relaxed))
+    }
+
+    /// Publishes the number of records owned by shard `k`.
+    pub fn set_shard_records(&self, k: usize, n: u64) {
+        if let Some(s) = self.shard(k) {
+            s.records.store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records owned by shard `k` (gauge copy).
+    pub fn shard_records(&self, k: usize) -> u64 {
+        self.shard(k)
+            .map_or(0, |s| s.records.load(Ordering::Relaxed))
+    }
+
+    /// Notes a message enqueued for shard `k`'s worker.
+    pub fn shard_job_enqueued(&self, k: usize) {
+        if let Some(s) = self.shard(k) {
+            s.queue_depth.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Notes a message dequeued by shard `k`'s worker.
+    pub fn shard_job_dequeued(&self, k: usize) {
+        if let Some(s) = self.shard(k) {
+            let _ = s
+                .queue_depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+        }
+    }
+
+    /// Messages currently queued for shard `k`'s worker.
+    pub fn shard_queue_depth(&self, k: usize) -> u64 {
+        self.shard(k)
+            .map_or(0, |s| s.queue_depth.load(Ordering::Relaxed))
+    }
+
+    /// The `shards` section of the extended `stats` reply: one object
+    /// per shard, or `None` for single-worker daemons.
+    pub fn shards_json(&self) -> Option<Json> {
+        let shards = self.shards.get()?;
+        Some(Json::Arr(
+            (0..shards.len())
+                .map(|k| {
+                    Json::Obj(vec![
+                        ("shard".into(), Json::Num(k as f64)),
+                        ("records".into(), Json::Num(self.shard_records(k) as f64)),
+                        (
+                            "journal_replays".into(),
+                            Json::Num(self.shard_journal_replays(k) as f64),
+                        ),
+                        (
+                            "queue_depth".into(),
+                            Json::Num(self.shard_queue_depth(k) as f64),
+                        ),
+                        (
+                            "replay_complete".into(),
+                            Json::Bool(self.shard_replay_complete(k)),
+                        ),
+                    ])
+                })
+                .collect(),
+        ))
     }
 
     // ---- queue & backpressure ----------------------------------------
@@ -165,17 +302,18 @@ impl ObsState {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
-    /// The ingest queue's capacity (the `busy` threshold).
+    /// The ingest queue's capacity (the backpressure threshold).
     pub fn queue_capacity(&self) -> u64 {
         self.queue_capacity
     }
 
-    /// Counts one fast-fail `busy` rejection (and logs it at warn).
-    pub fn busy_rejected(&self) {
-        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    /// Counts one ingest request that found the queue full and fell
+    /// back to a blocking enqueue (and logs it at debug).
+    pub fn backpressure_waited(&self) {
+        self.backpressure_waits.fetch_add(1, Ordering::Relaxed);
         self.event(
-            Level::Warn,
-            "busy_rejected",
+            Level::Debug,
+            "backpressure_wait",
             vec![
                 ("queue_depth".into(), Json::Num(self.queue_depth() as f64)),
                 (
@@ -186,9 +324,9 @@ impl ObsState {
         );
     }
 
-    /// Total `busy` rejections so far.
-    pub fn busy_rejections(&self) -> u64 {
-        self.busy_rejections.load(Ordering::Relaxed)
+    /// Total backpressure waits so far.
+    pub fn backpressure_waits(&self) -> u64 {
+        self.backpressure_waits.load(Ordering::Relaxed)
     }
 
     // ---- engine gauges (published by the worker) ---------------------
@@ -304,6 +442,13 @@ impl ObsState {
                 Json::Num(self.queue_capacity as f64),
             ),
         ];
+        if let Some(shards) = self.shards.get() {
+            let replayed = (0..shards.len())
+                .filter(|&k| self.shard_replay_complete(k))
+                .count();
+            obj.push(("shards".into(), Json::Num(shards.len() as f64)));
+            obj.push(("shards_replayed".into(), Json::Num(replayed as f64)));
+        }
         if let Err(reason) = verdict {
             obj.push(("reason".into(), Json::Str(reason.to_string())));
         }
@@ -327,8 +472,8 @@ impl ObsState {
             ),
             ("journal_lag".into(), Json::Num(self.journal_lag() as f64)),
             (
-                "busy_rejections".into(),
-                Json::Num(self.busy_rejections() as f64),
+                "backpressure_waits".into(),
+                Json::Num(self.backpressure_waits() as f64),
             ),
             (
                 "snapshot_bytes".into(),
@@ -400,9 +545,9 @@ impl ObsState {
             );
         }
         w.counter(
-            "mergepurge_busy_rejections_total",
-            "Ingest requests fast-failed with `busy` (queue full).",
-            self.busy_rejections(),
+            "mergepurge_backpressure_waits_total",
+            "Ingest requests that blocked on a full queue before enqueueing.",
+            self.backpressure_waits(),
         );
         w.gauge(
             "mergepurge_uptime_seconds",
@@ -426,7 +571,7 @@ impl ObsState {
         );
         w.gauge(
             "mergepurge_queue_capacity",
-            "Ingest queue capacity (the `busy` threshold).",
+            "Ingest queue capacity (the backpressure threshold).",
             self.queue_capacity as f64,
         );
         w.gauge(
@@ -461,6 +606,64 @@ impl ObsState {
             "Seconds since the engine worker last made progress.",
             self.heartbeat_age_secs() as f64,
         );
+
+        if let Some(shards) = self.shards.get() {
+            let labels: Vec<String> = (0..shards.len()).map(|k| k.to_string()).collect();
+            let replays: Vec<_> = labels
+                .iter()
+                .enumerate()
+                .map(|(k, l)| (vec![("shard", l.as_str())], self.shard_journal_replays(k)))
+                .collect();
+            w.counter_family(
+                "mergepurge_shard_journal_replays_total",
+                "Non-empty journal frames each shard replayed at startup.",
+                &replays,
+            );
+            let records: Vec<_> = labels
+                .iter()
+                .enumerate()
+                .map(|(k, l)| (vec![("shard", l.as_str())], self.shard_records(k) as f64))
+                .collect();
+            w.gauge_family(
+                "mergepurge_shard_records",
+                "Records owned by each shard.",
+                &records,
+            );
+            let depths: Vec<_> = labels
+                .iter()
+                .enumerate()
+                .map(|(k, l)| {
+                    (
+                        vec![("shard", l.as_str())],
+                        self.shard_queue_depth(k) as f64,
+                    )
+                })
+                .collect();
+            w.gauge_family(
+                "mergepurge_shard_queue_depth",
+                "Messages queued for each shard worker.",
+                &depths,
+            );
+            let ready: Vec<_> = labels
+                .iter()
+                .enumerate()
+                .map(|(k, l)| {
+                    (
+                        vec![("shard", l.as_str())],
+                        if self.shard_replay_complete(k) {
+                            1.0
+                        } else {
+                            0.0
+                        },
+                    )
+                })
+                .collect();
+            w.gauge_family(
+                "mergepurge_shard_ready",
+                "1 when the shard has finished journal replay.",
+                &ready,
+            );
+        }
 
         let now = self.now_secs();
         let snaps: Vec<_> = WINDOWS
@@ -539,6 +742,77 @@ mod tests {
         let obs = ObsState::new(4, None);
         obs.job_dequeued();
         assert_eq!(obs.queue_depth(), 0);
+    }
+
+    #[test]
+    fn readiness_requires_every_shard_to_finish_replay() {
+        let obs = ObsState::new(4, None);
+        obs.init_shards(4);
+        obs.set_replay_complete();
+        obs.set_accepting(true);
+        for k in 0..3 {
+            obs.set_shard_replay_complete(k);
+        }
+        assert_eq!(
+            obs.readiness(),
+            Err("shard journal replay in progress"),
+            "3 of 4 shards replayed is not ready"
+        );
+        obs.set_shard_replay_complete(3);
+        assert!(obs.readiness().is_ok(), "all shards replayed is ready");
+        let ready = obs.readyz_json();
+        assert!(
+            ready.contains("\"shards\":4"),
+            "readyz shard count: {ready}"
+        );
+        assert!(ready.contains("\"shards_replayed\":4"));
+    }
+
+    #[test]
+    fn shard_slots_track_replays_records_and_queue_depth() {
+        let obs = ObsState::new(4, None);
+        obs.init_shards(2);
+        assert_eq!(obs.shard_count(), 2);
+        obs.set_shard_journal_replays(1, 7);
+        obs.set_shard_records(0, 40);
+        obs.shard_job_enqueued(0);
+        obs.shard_job_enqueued(0);
+        obs.shard_job_dequeued(0);
+        obs.shard_job_dequeued(1); // saturates at zero
+        assert_eq!(obs.shard_journal_replays(1), 7);
+        assert_eq!(obs.shard_records(0), 40);
+        assert_eq!(obs.shard_queue_depth(0), 1);
+        assert_eq!(obs.shard_queue_depth(1), 0);
+        let shards = obs.shards_json().expect("shards configured");
+        let arr = shards.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[1].get("journal_replays").and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(arr[0].get("records").and_then(Json::as_u64), Some(40));
+        assert_eq!(arr[0].get("queue_depth").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            ObsState::new(4, None).shards_json(),
+            None,
+            "single-worker daemons have no shards section"
+        );
+    }
+
+    #[test]
+    fn exposition_labels_shard_families_by_shard_number() {
+        let recorder = MetricsRecorder::new();
+        let obs = ObsState::new(4, None);
+        obs.init_shards(3);
+        obs.set_shard_journal_replays(2, 5);
+        obs.set_shard_records(1, 11);
+        obs.set_shard_replay_complete(0);
+        let text = obs.exposition(&recorder);
+        assert!(text.contains("mergepurge_shard_journal_replays_total{shard=\"2\"} 5\n"));
+        assert!(text.contains("mergepurge_shard_records{shard=\"1\"} 11\n"));
+        assert!(text.contains("mergepurge_shard_ready{shard=\"0\"} 1\n"));
+        assert!(text.contains("mergepurge_shard_ready{shard=\"1\"} 0\n"));
+        assert!(text.contains("mergepurge_shard_queue_depth{shard=\"0\"} 0\n"));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 #![cfg(unix)]
 
-use merge_purge_repro::serve::{ingest_request, json::Json, request};
+use merge_purge::KeySpec;
+use merge_purge_repro::serve::shard::ShardRouter;
+use merge_purge_repro::serve::{ingest_request, json::Json, request, request_tcp};
 use mp_datagen::{DatabaseGenerator, GeneratorConfig};
 use mp_record::Record;
 use std::path::{Path, PathBuf};
@@ -370,11 +372,11 @@ fn metrics_probes_windows_and_event_log_work_end_to_end() {
         .expect("exposition text");
     assert!(exposition.contains("mergepurge_records_keyed_total"));
 
-    // Schema-3 stats: seq watermark, health, and windows that reflect
+    // Schema-4 stats: seq watermark, health, and windows that reflect
     // the batches just ingested (1m window, well inside resolution).
     let stats = ask(&socket, r#"{"cmd":"stats"}"#);
     expect_ok(&stats);
-    assert_eq!(stats.get("schema").and_then(Json::as_u64), Some(3));
+    assert_eq!(stats.get("schema").and_then(Json::as_u64), Some(4));
     assert_eq!(stats.get("seq").and_then(Json::as_u64), Some(2));
     let windows = stats
         .get("windows")
@@ -528,5 +530,234 @@ fn event_log_rotates_and_top_renders() {
         last_head.map(|s| s + 1),
         "seq continues across rotation"
     );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---- sharding --------------------------------------------------------
+
+/// How a hammer client reaches the daemon: Unix socket or TCP, sharing
+/// the same length-prefixed JSON framing.
+#[derive(Clone)]
+enum Transport {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Transport {
+    /// Like [`ask`], retrying while the daemon finishes binding.
+    fn ask(&self, payload: &str) -> Json {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let reply = match self {
+                Transport::Unix(socket) => request(socket, payload),
+                Transport::Tcp(addr) => request_tcp(addr, payload),
+            };
+            match reply {
+                Ok(response) => return Json::parse(&response).expect("daemon speaks json"),
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => panic!("request failed: {e}"),
+            }
+        }
+    }
+}
+
+/// 24 concurrent clients hammer a `--shards 4` daemon with disjoint
+/// seeded batches. No batch may be lost, every client's acked seq
+/// watermark must be monotone, and the final deterministic store section
+/// must be byte-identical to a serial single-worker daemon fed the same
+/// batches in acked-seq order.
+fn hammer_sharded_daemon(name: &str, use_tcp: bool) {
+    let dir = tmp_dir(name);
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let addr = format!("127.0.0.1:{}", free_port());
+
+    // A deliberately shallow queue so the hammer exercises backpressure
+    // blocking (not just the happy path).
+    let mut extra = vec!["--shards", "4", "--queue-depth", "2"];
+    if use_tcp {
+        extra.push("--listen");
+        extra.push(&addr);
+    }
+    let mut child = spawn_daemon_with(&socket, &store, &extra, false);
+
+    const CLIENTS: usize = 24;
+    const BATCHES_PER_CLIENT: usize = 3;
+    // Disjoint seeded batches: client i owns the records of seed 9000+i.
+    let client_batches: Vec<Vec<Vec<Record>>> = (0..CLIENTS)
+        .map(|i| batches(9_000 + i as u64, 30, BATCHES_PER_CLIENT))
+        .collect();
+
+    let transport = if use_tcp {
+        Transport::Tcp(addr)
+    } else {
+        Transport::Unix(socket.clone())
+    };
+
+    // Every client ingests its batches in order, recording acked seqs.
+    let acked: Vec<Vec<(u64, usize, usize)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = client_batches
+            .iter()
+            .enumerate()
+            .map(|(i, parts)| {
+                let transport = transport.clone();
+                s.spawn(move || {
+                    let mut seqs: Vec<(u64, usize, usize)> = Vec::new();
+                    for (j, part) in parts.iter().enumerate() {
+                        let reply = transport.ask(&ingest_request(part));
+                        expect_ok(&reply);
+                        let seq = reply
+                            .get("seq")
+                            .and_then(Json::as_u64)
+                            .expect("ack carries the journal seq");
+                        if let Some((prev, _, _)) = seqs.last() {
+                            assert!(seq > *prev, "client {i}: watermark is monotone");
+                        }
+                        seqs.push((seq, i, j));
+                    }
+                    seqs
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Zero lost batches: acked seqs are exactly 1..=72, gap- and dup-free.
+    let mut all: Vec<(u64, usize, usize)> = acked.into_iter().flatten().collect();
+    all.sort_unstable();
+    let got: Vec<u64> = all.iter().map(|&(s, _, _)| s).collect();
+    let want: Vec<u64> = (1..=(CLIENTS * BATCHES_PER_CLIENT) as u64).collect();
+    assert_eq!(got, want, "every batch acked exactly once, gap-free");
+
+    // Schema-4 stats carry a per-shard section; records are spread over
+    // all four shards and sum to the engine total.
+    let stats = transport.ask(r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    let shard_stats = stats
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("schema-4 shards section");
+    assert_eq!(shard_stats.len(), 4);
+    let per_shard: u64 = shard_stats
+        .iter()
+        .map(|s| s.get("records").and_then(Json::as_u64).unwrap())
+        .sum();
+    let engine_records = stats
+        .get("store")
+        .and_then(|s| s.get("records"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(per_shard, engine_records, "shard records sum to the total");
+
+    let sharded_section = stats.get("store").unwrap().clone();
+    shutdown_and_wait(&socket, &mut child);
+
+    // Golden: a single-worker daemon fed the reconstructed batch stream
+    // serially, in acked-seq order.
+    let golden_socket = dir.join("golden.sock");
+    let mut child = spawn_daemon(&golden_socket, &dir.join("store-golden"));
+    for &(_, i, j) in &all {
+        expect_ok(&ask(&golden_socket, &ingest_request(&client_batches[i][j])));
+    }
+    assert_eq!(
+        store_section(&golden_socket).to_string(),
+        sharded_section.to_string(),
+        "sharded daemon matches the serial single-worker engine byte for byte"
+    );
+    shutdown_and_wait(&golden_socket, &mut child);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn hammer_24_clients_over_unix_socket_matches_serial_golden() {
+    hammer_sharded_daemon("hammer-unix", false);
+}
+
+#[test]
+fn hammer_24_clients_over_tcp_matches_serial_golden() {
+    hammer_sharded_daemon("hammer-tcp", true);
+}
+
+#[test]
+fn sigkill_sharded_daemon_replays_only_the_written_shard() {
+    let dir = tmp_dir("kill9-shard");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+
+    // Craft batches that land entirely in one shard by routing every
+    // generated record through the daemon's own router (first key, 4
+    // shards) and keeping one shard's records.
+    let router = ShardRouter::new(KeySpec::last_name_key(), 4);
+    let all: Vec<Record> = batches(6161, 600, 1).remove(0);
+    let target = router.shard_of(&all[0]);
+    let owned: Vec<Record> = all
+        .iter()
+        .filter(|r| router.shard_of(r) == target)
+        .cloned()
+        .collect();
+    assert!(owned.len() >= 40, "single-shard records: {}", owned.len());
+    let chunk = owned.len().div_ceil(2);
+    let parts: Vec<Vec<Record>> = owned.chunks(chunk).map(<[Record]>::to_vec).collect();
+    let shards_flag = ["--shards", "4"];
+
+    // Golden: the same batches in one uninterrupted sharded daemon.
+    let golden_store = dir.join("store-golden");
+    let mut child = spawn_daemon_with(&socket, &golden_store, &shards_flag, false);
+    for part in &parts {
+        expect_ok(&ask(&socket, &ingest_request(part)));
+    }
+    let want = store_section(&socket);
+    shutdown_and_wait(&socket, &mut child);
+
+    // Crash run: both batches acked, then SIGKILL — the store holds only
+    // the per-shard journals, no snapshot.
+    let mut child = spawn_daemon_with(&socket, &store, &shards_flag, false);
+    for part in &parts {
+        expect_ok(&ask(&socket, &ingest_request(part)));
+    }
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().unwrap();
+    let _ = std::fs::remove_file(&socket);
+
+    // Restart: only the owning shard replays non-empty frames; the other
+    // shards' journals hold the seq-aligning empty frames.
+    let mut child = spawn_daemon_with(&socket, &store, &shards_flag, false);
+    let stats = ask(&socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    let shard_stats = stats
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("shards section");
+    assert_eq!(shard_stats.len(), 4);
+    for s in shard_stats {
+        let k = s.get("shard").and_then(Json::as_u64).unwrap() as usize;
+        let replays = s.get("journal_replays").and_then(Json::as_u64).unwrap();
+        let expected = if k == target { 2 } else { 0 };
+        assert_eq!(replays, expected, "shard {k} replay count: {stats}");
+        assert_eq!(
+            s.get("replay_complete").and_then(Json::as_bool),
+            Some(true),
+            "shard {k} finished replay"
+        );
+    }
+    // The global replay counter still counts whole batches.
+    assert_eq!(
+        stats
+            .get("process")
+            .and_then(|p| p.get("journal_replays"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    // readyz rolls up per-shard replay once every shard has finished.
+    let ready = ask(&socket, r#"{"cmd":"readyz"}"#);
+    expect_ok(&ready);
+    assert_eq!(ready.get("shards").and_then(Json::as_u64), Some(4));
+    assert_eq!(ready.get("shards_replayed").and_then(Json::as_u64), Some(4));
+    // Cross-shard fingerprint identical to the uninterrupted golden.
+    assert_eq!(store_section(&socket), want, "replay matches golden");
+    shutdown_and_wait(&socket, &mut child);
     std::fs::remove_dir_all(&dir).unwrap();
 }
