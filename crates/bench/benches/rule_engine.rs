@@ -1,11 +1,14 @@
 //! The OPS5-vs-C ablation (§2.3 footnote 2): interpreted rule-DSL program
-//! vs the hand-recoded native theory, on the same record-pair stream. The
-//! paper recoded its rules in C because the interpreter was "simply too
-//! slow"; this bench quantifies our equivalent gap.
+//! vs the bytecode VM (with and without a plan) vs the hand-recoded native
+//! theory, on the same record-pair stream. The paper recoded its rules in C
+//! because the interpreter was "simply too slow"; this bench quantifies our
+//! equivalent gap and how much of it the compiler closes.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mp_datagen::{DatabaseGenerator, GeneratorConfig};
-use mp_rules::{employee_program, EquationalTheory, NativeEmployeeTheory};
+use mp_rules::{
+    employee_program, CompiledTheory, EquationalTheory, NativeEmployeeTheory, EMPLOYEE_RULES_SRC,
+};
 
 fn bench_theories(c: &mut Criterion) {
     let db = DatabaseGenerator::new(GeneratorConfig::new(500).duplicate_fraction(0.5).seed(1234))
@@ -19,6 +22,8 @@ fn bench_theories(c: &mut Criterion) {
     }
 
     let dsl = employee_program();
+    let compiled = CompiledTheory::compile_unplanned(EMPLOYEE_RULES_SRC).unwrap();
+    let planned = CompiledTheory::compile(EMPLOYEE_RULES_SRC).unwrap();
     let native = NativeEmployeeTheory::new();
 
     let mut g = c.benchmark_group("rule_engine");
@@ -27,6 +32,28 @@ fn bench_theories(c: &mut Criterion) {
             let mut matched = 0usize;
             for &(i, j) in &pairs {
                 if dsl.matches(black_box(&db.records[i]), black_box(&db.records[j])) {
+                    matched += 1;
+                }
+            }
+            black_box(matched)
+        });
+    });
+    g.bench_function("dsl_compiled_vm", |b| {
+        b.iter(|| {
+            let mut matched = 0usize;
+            for &(i, j) in &pairs {
+                if compiled.matches(black_box(&db.records[i]), black_box(&db.records[j])) {
+                    matched += 1;
+                }
+            }
+            black_box(matched)
+        });
+    });
+    g.bench_function("dsl_compiled_planned", |b| {
+        b.iter(|| {
+            let mut matched = 0usize;
+            for &(i, j) in &pairs {
+                if planned.matches(black_box(&db.records[i]), black_box(&db.records[j])) {
                     matched += 1;
                 }
             }

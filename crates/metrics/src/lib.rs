@@ -116,11 +116,17 @@ pub enum Counter {
     /// recovery. Nonzero means a crash landed mid-append and the store
     /// dropped the unacknowledged tail — by design, never silently loaded.
     CorruptTailTruncations,
+    /// DSL rules lowered to bytecode by the rule compiler (one increment
+    /// per rule per compiled theory; zero for interpreted or native runs).
+    RulesCompiled,
+    /// Common-subexpression memo hits inside the rule VM: kernel
+    /// evaluations answered from the per-pair memo instead of recomputed.
+    SubexprHits,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::RecordsKeyed,
         Counter::Comparisons,
         Counter::RuleInvocations,
@@ -138,6 +144,8 @@ impl Counter {
         Counter::JournalReplays,
         Counter::SnapshotBytes,
         Counter::CorruptTailTruncations,
+        Counter::RulesCompiled,
+        Counter::SubexprHits,
     ];
 
     /// Stable snake_case name used in reports.
@@ -160,6 +168,8 @@ impl Counter {
             Counter::JournalReplays => "journal_replays",
             Counter::SnapshotBytes => "snapshot_bytes",
             Counter::CorruptTailTruncations => "corrupt_tail_truncations",
+            Counter::RulesCompiled => "rules_compiled",
+            Counter::SubexprHits => "subexpr_hits",
         }
     }
 

@@ -16,6 +16,46 @@ pub struct Ctx {
     pub nicknames: NicknameTable,
 }
 
+/// Relative evaluation cost of a builtin — the static input to the rule
+/// planner's cost model (see `crate::plan`) and the "cost" column of
+/// `docs/RULE_LANGUAGE.md`. Ordered cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CostClass {
+    /// O(1)-ish: emptiness/length checks, prefix/suffix slicing.
+    Trivial,
+    /// One linear scan over the inputs: `initials_match`, `contains`, …
+    Cheap,
+    /// Phonetic codes and table lookups that hash or encode the inputs:
+    /// `soundex_eq`, `nysiis_eq`, `nickname_eq`.
+    Moderate,
+    /// Quadratic dynamic programs and q-gram multiset kernels: the edit/
+    /// Jaro/keyboard/n-gram distance family.
+    Expensive,
+}
+
+impl CostClass {
+    /// Stable lowercase name used in docs and disassembly.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Trivial => "trivial",
+            CostClass::Cheap => "cheap",
+            CostClass::Moderate => "moderate",
+            CostClass::Expensive => "expensive",
+        }
+    }
+
+    /// Abstract cost units the planner assigns to one evaluation. The exact
+    /// numbers only matter relative to each other.
+    pub fn weight(self) -> f64 {
+        match self {
+            CostClass::Trivial => 1.0,
+            CostClass::Cheap => 4.0,
+            CostClass::Moderate => 16.0,
+            CostClass::Expensive => 64.0,
+        }
+    }
+}
+
 /// Signature and implementation of one builtin.
 pub struct Builtin {
     /// Function name as written in rule source.
@@ -24,6 +64,8 @@ pub struct Builtin {
     pub params: &'static [Type],
     /// Return type.
     pub ret: Type,
+    /// Cost class for the planner and documentation.
+    pub cost: CostClass,
     /// Implementation. Arguments are guaranteed (by the type checker) to
     /// match `params`.
     pub eval: for<'a> fn(&[Value<'a>], &Ctx) -> Value<'a>,
@@ -91,42 +133,49 @@ pub const BUILTINS: &[Builtin] = &[
         name: "edit_distance",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::levenshtein(a[0].as_str(), a[1].as_str()) as f64),
     },
     Builtin {
         name: "edit_sim",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::normalized_levenshtein(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "damerau",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::damerau_levenshtein(a[0].as_str(), a[1].as_str()) as f64),
     },
     Builtin {
         name: "jaro",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::jaro(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "jaro_winkler",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::jaro_winkler(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "keyboard_dist",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::keyboard_distance(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "ngram_sim",
         params: &[Type::Str, Type::Str, Type::Num],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| {
             let n = (a[2].as_num().max(1.0)) as usize;
             Value::Num(ss::ngram_similarity(a[0].as_str(), a[1].as_str(), n))
@@ -136,24 +185,28 @@ pub const BUILTINS: &[Builtin] = &[
         name: "trigram_sim",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::trigram_similarity(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "lcs_sim",
         params: &[Type::Str, Type::Str],
         ret: Type::Num,
+        cost: CostClass::Expensive,
         eval: |a, _| Value::Num(ss::lcs_similarity(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "soundex_eq",
         params: &[Type::Str, Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Moderate,
         eval: |a, _| Value::Bool(ss::soundex_eq(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "nysiis_eq",
         params: &[Type::Str, Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Moderate,
         eval: |a, _| {
             let (x, y) = (a[0].as_str(), a[1].as_str());
             let cx = ss::nysiis(x);
@@ -164,6 +217,7 @@ pub const BUILTINS: &[Builtin] = &[
         name: "differ_slightly",
         params: &[Type::Str, Type::Str, Type::Num],
         ret: Type::Bool,
+        cost: CostClass::Expensive,
         eval: |a, _| {
             Value::Bool(ss::differ_slightly(
                 a[0].as_str(),
@@ -176,24 +230,28 @@ pub const BUILTINS: &[Builtin] = &[
         name: "nickname_eq",
         params: &[Type::Str, Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Moderate,
         eval: |a, ctx| Value::Bool(ctx.nicknames.equivalent(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "initials_match",
         params: &[Type::Str, Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Cheap,
         eval: |a, _| Value::Bool(initials_match(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "digits_transposed",
         params: &[Type::Str, Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Cheap,
         eval: |a, _| Value::Bool(digits_transposed(a[0].as_str(), a[1].as_str())),
     },
     Builtin {
         name: "prefix",
         params: &[Type::Str, Type::Num],
         ret: Type::Str,
+        cost: CostClass::Trivial,
         eval: |a, _| {
             let n = a[1].as_num().max(0.0) as usize;
             Value::owned_str(char_prefix(a[0].as_str(), n).to_string())
@@ -203,6 +261,7 @@ pub const BUILTINS: &[Builtin] = &[
         name: "suffix",
         params: &[Type::Str, Type::Num],
         ret: Type::Str,
+        cost: CostClass::Trivial,
         eval: |a, _| {
             let n = a[1].as_num().max(0.0) as usize;
             Value::owned_str(char_suffix(a[0].as_str(), n).to_string())
@@ -212,24 +271,28 @@ pub const BUILTINS: &[Builtin] = &[
         name: "len",
         params: &[Type::Str],
         ret: Type::Num,
+        cost: CostClass::Trivial,
         eval: |a, _| Value::Num(a[0].as_str().chars().count() as f64),
     },
     Builtin {
         name: "is_empty",
         params: &[Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Trivial,
         eval: |a, _| Value::Bool(a[0].as_str().is_empty()),
     },
     Builtin {
         name: "contains",
         params: &[Type::Str, Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Cheap,
         eval: |a, _| Value::Bool(a[0].as_str().contains(a[1].as_str())),
     },
     Builtin {
         name: "starts_with",
         params: &[Type::Str, Type::Str],
         ret: Type::Bool,
+        cost: CostClass::Cheap,
         eval: |a, _| Value::Bool(a[0].as_str().starts_with(a[1].as_str())),
     },
 ];
@@ -255,6 +318,11 @@ pub mod shared {
     /// Character-count prefix, mirroring the `prefix` builtin.
     pub fn char_prefix(s: &str, n: usize) -> &str {
         super::char_prefix(s, n)
+    }
+
+    /// Character-count suffix, mirroring the `suffix` builtin.
+    pub fn char_suffix(s: &str, n: usize) -> &str {
+        super::char_suffix(s, n)
     }
 
     /// NYSIIS equality mirroring the `nysiis_eq` builtin (empty codes never

@@ -26,7 +26,7 @@ struct CompiledRule {
 }
 
 /// Expression with calls resolved to `&'static Builtin`.
-enum CExpr {
+pub(crate) enum CExpr {
     Or(Vec<CExpr>),
     And(Vec<CExpr>),
     Not(Box<CExpr>),
@@ -80,6 +80,11 @@ impl RuleProgram {
         self.resolved.len()
     }
 
+    /// The evaluation context (nickname table) this program runs with.
+    pub(crate) fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
     /// The name of the first rule that fires for this pair, if any —
     /// the "explain" entry point.
     pub fn matching_rule(&self, a: &Record, b: &Record) -> Option<&str> {
@@ -112,7 +117,7 @@ impl EquationalTheory for RuleProgram {
     }
 }
 
-fn resolve(e: &Expr) -> CExpr {
+pub(crate) fn resolve(e: &Expr) -> CExpr {
     match e {
         Expr::Or(parts, _) => CExpr::Or(parts.iter().map(resolve).collect()),
         Expr::And(parts, _) => CExpr::And(parts.iter().map(resolve).collect()),
@@ -129,7 +134,7 @@ fn resolve(e: &Expr) -> CExpr {
     }
 }
 
-fn eval<'a>(e: &'a CExpr, r1: &'a Record, r2: &'a Record, ctx: &Ctx) -> Value<'a> {
+pub(crate) fn eval<'a>(e: &'a CExpr, r1: &'a Record, r2: &'a Record, ctx: &Ctx) -> Value<'a> {
     match e {
         CExpr::Bool(b) => Value::Bool(*b),
         CExpr::Num(n) => Value::Num(*n),

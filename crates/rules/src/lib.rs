@@ -9,10 +9,16 @@
 //!
 //! * a small rule DSL — lexer → parser → type checker → tree-walking
 //!   evaluator — for experimentation ([`RuleProgram`]);
+//! * a compiler from the same checked AST to a planned, register-based
+//!   bytecode VM ([`CompiledTheory`]): field names resolve to slots at
+//!   compile time, predicates are reordered cheapest-and-most-selective
+//!   first ([`Plan`]), and shared kernel calls are memoized per record
+//!   pair — same decisions as the interpreter, most of the native theory's
+//!   speed (see `docs/RULE_COMPILER.md`);
 //! * a hand-coded native Rust implementation of the identical theory for
 //!   production throughput ([`native::NativeEmployeeTheory`]);
-//! * the [`EquationalTheory`] trait both implement, which the window-scan
-//!   phase calls for every candidate pair.
+//! * the [`EquationalTheory`] trait all three implement, which the
+//!   window-scan phase calls for every candidate pair.
 //!
 //! # The language
 //!
@@ -44,17 +50,23 @@
 //!
 //! # Example
 //!
+//! Compile a program once, then evaluate record pairs. [`RuleProgram`] is
+//! the tree-walking interpreter; [`CompiledTheory`] lowers the same source
+//! to planned bytecode and makes bit-identical decisions, faster:
+//!
 //! ```
-//! use mp_rules::{EquationalTheory, RuleProgram};
+//! use mp_rules::{CompiledTheory, EquationalTheory, RuleProgram};
 //! use mp_record::{Record, RecordId};
 //!
-//! let program = RuleProgram::compile(r#"
+//! let src = r#"
 //!     rule same_person {
 //!         when r1.ssn == r2.ssn
 //!          and differ_slightly(r1.last_name, r2.last_name, 0.3)
 //!         then match
 //!     }
-//! "#).unwrap();
+//! "#;
+//! let interpreted = RuleProgram::compile(src).unwrap();
+//! let compiled = CompiledTheory::compile(src).unwrap();
 //!
 //! let mut a = Record::empty(RecordId(0));
 //! a.ssn = "123456789".into();
@@ -62,12 +74,15 @@
 //! let mut b = a.clone();
 //! b.id = RecordId(1);
 //! b.last_name = "HERNANDES".into();
-//! assert!(program.matches(&a, &b));
+//! assert!(interpreted.matches(&a, &b));
+//! assert!(compiled.matches(&a, &b));
+//! assert_eq!(compiled.matching_rule(&a, &b), Some("same_person"));
 //! ```
 
 pub mod ast;
 pub mod baseline;
 pub mod builtins;
+pub(crate) mod compile;
 pub mod display;
 pub mod employee;
 pub mod eval;
@@ -75,19 +90,24 @@ pub mod lexer;
 pub mod native;
 pub mod observe;
 pub mod parser;
+pub mod plan;
 pub mod semantic;
 pub mod token;
 pub mod value;
+pub mod vm;
 
 pub use ast::{Expr, Program, PurgeSpec, Rule, Survivorship};
 pub use baseline::AllocatingEmployeeTheory;
+pub use builtins::CostClass;
 pub use display::{print_program, programs_equivalent};
 pub use employee::{employee_program, EMPLOYEE_RULES_SRC};
 pub use eval::RuleProgram;
 pub use native::NativeEmployeeTheory;
 pub use observe::RuleFiringCounter;
 pub use parser::ParseError;
+pub use plan::{Plan, PlanStats};
 pub use semantic::TypeError;
+pub use vm::CompiledTheory;
 
 use mp_record::Record;
 

@@ -2,6 +2,7 @@
 
 use crate::damerau::damerau_impl;
 use crate::jaro::jaro_impl;
+use crate::keyboard::keyboard_substitution_cost;
 use crate::lcs::lcs_impl;
 use crate::levenshtein::{bounded_impl, distance_impl, normalize};
 use crate::timing::{Kernel, KernelTimer};
@@ -53,6 +54,8 @@ pub struct ScratchBuffers {
     row_a: Vec<usize>,
     row_b: Vec<usize>,
     row_c: Vec<usize>,
+    frow_a: Vec<f64>,
+    frow_b: Vec<f64>,
     b_used: Vec<bool>,
     match_a: Vec<char>,
     match_b: Vec<char>,
@@ -176,14 +179,100 @@ impl ScratchBuffers {
             l as f64 / max as f64
         }
     }
+
+    /// Allocation-free [`crate::keyboard_distance`].
+    pub fn keyboard_distance(&mut self, a: &str, b: &str) -> f64 {
+        let _t = KernelTimer::start(Kernel::Keyboard);
+        self.decode(a, b);
+        if self.a_chars.is_empty() {
+            return self.b_chars.len() as f64;
+        }
+        if self.b_chars.is_empty() {
+            return self.a_chars.len() as f64;
+        }
+        let w = self.b_chars.len() + 1;
+        self.frow_a.clear();
+        self.frow_a.extend((0..w).map(|j| j as f64));
+        self.frow_b.resize(w, 0.0);
+        let ScratchBuffers {
+            a_chars,
+            b_chars,
+            frow_a: prev,
+            frow_b: cur,
+            ..
+        } = self;
+        for (i, &ca) in a_chars.iter().enumerate() {
+            cur[0] = (i + 1) as f64;
+            for (j, &cb) in b_chars.iter().enumerate() {
+                let sub = prev[j] + keyboard_substitution_cost(ca, cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1.0).min(cur[j] + 1.0);
+            }
+            std::mem::swap(prev, cur);
+        }
+        prev[b_chars.len()]
+    }
+
+    /// Allocation-free [`crate::ngram_similarity`].
+    ///
+    /// Counts the shared q-gram multiset with a used-mark sweep over the
+    /// padded windows instead of materializing gram vectors; greedy
+    /// exact-equality matching yields the same multiset-intersection size as
+    /// the free function's `swap_remove` loop, so results are bit-identical.
+    pub fn ngram_similarity(&mut self, a: &str, b: &str, n: usize) -> f64 {
+        let _t = KernelTimer::start(Kernel::Ngram);
+        assert!(n >= 1, "n-gram size must be at least 1");
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let pad = n - 1;
+        self.a_chars.clear();
+        self.a_chars.extend(std::iter::repeat_n('\u{1}', pad));
+        self.a_chars.extend(a.chars());
+        self.a_chars.extend(std::iter::repeat_n('\u{2}', pad));
+        self.b_chars.clear();
+        self.b_chars.extend(std::iter::repeat_n('\u{1}', pad));
+        self.b_chars.extend(b.chars());
+        self.b_chars.extend(std::iter::repeat_n('\u{2}', pad));
+        let na = self.a_chars.len() + 1 - n;
+        let nb = self.b_chars.len() + 1 - n;
+        self.b_used.clear();
+        self.b_used.resize(nb, false);
+        let ScratchBuffers {
+            a_chars,
+            b_chars,
+            b_used,
+            ..
+        } = self;
+        let mut shared = 0usize;
+        for i in 0..na {
+            let wa = &a_chars[i..i + n];
+            for (j, used) in b_used.iter_mut().enumerate() {
+                if !*used && &b_chars[j..j + n] == wa {
+                    *used = true;
+                    shared += 1;
+                    break;
+                }
+            }
+        }
+        2.0 * shared as f64 / (na + nb) as f64
+    }
+
+    /// Allocation-free [`crate::trigram_similarity`].
+    pub fn trigram_similarity(&mut self, a: &str, b: &str) -> f64 {
+        self.ngram_similarity(a, b, 3)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{
-        damerau_levenshtein, differ_slightly, jaro, jaro_winkler, lcs_length, lcs_similarity,
-        levenshtein, levenshtein_bounded, normalized_levenshtein,
+        damerau_levenshtein, differ_slightly, jaro, jaro_winkler, keyboard_distance, lcs_length,
+        lcs_similarity, levenshtein, levenshtein_bounded, ngram_similarity, normalized_levenshtein,
+        trigram_similarity,
     };
 
     /// Name pairs spanning the interesting shapes: equal, empty, unicode,
@@ -242,6 +331,23 @@ mod tests {
             assert_eq!(
                 s.differ_slightly(a, b, 0.25),
                 differ_slightly(a, b, 0.25),
+                "{a:?} {b:?}"
+            );
+            assert_eq!(
+                s.keyboard_distance(a, b).to_bits(),
+                keyboard_distance(a, b).to_bits(),
+                "{a:?} {b:?}"
+            );
+            for n in 1..4 {
+                assert_eq!(
+                    s.ngram_similarity(a, b, n).to_bits(),
+                    ngram_similarity(a, b, n).to_bits(),
+                    "{a:?} {b:?} n={n}"
+                );
+            }
+            assert_eq!(
+                s.trigram_similarity(a, b).to_bits(),
+                trigram_similarity(a, b).to_bits(),
                 "{a:?} {b:?}"
             );
         }

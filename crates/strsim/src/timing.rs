@@ -36,11 +36,16 @@ pub enum Kernel {
     /// [`crate::ScratchBuffers::lcs_length`] /
     /// [`crate::ScratchBuffers::lcs_similarity`]
     Lcs,
+    /// [`crate::ScratchBuffers::keyboard_distance`]
+    Keyboard,
+    /// [`crate::ScratchBuffers::ngram_similarity`] /
+    /// [`crate::ScratchBuffers::trigram_similarity`]
+    Ngram,
 }
 
 impl Kernel {
     /// Every kernel, in stable report order.
-    pub const ALL: [Kernel; 7] = [
+    pub const ALL: [Kernel; 9] = [
         Kernel::Levenshtein,
         Kernel::LevenshteinBounded,
         Kernel::NormalizedLevenshtein,
@@ -48,6 +53,8 @@ impl Kernel {
         Kernel::Jaro,
         Kernel::JaroWinkler,
         Kernel::Lcs,
+        Kernel::Keyboard,
+        Kernel::Ngram,
     ];
 
     /// Stable snake_case name used in reports.
@@ -60,6 +67,8 @@ impl Kernel {
             Kernel::Jaro => "jaro",
             Kernel::JaroWinkler => "jaro_winkler",
             Kernel::Lcs => "lcs",
+            Kernel::Keyboard => "keyboard",
+            Kernel::Ngram => "ngram",
         }
     }
 }

@@ -14,12 +14,13 @@
 use merge_purge::{Evaluation, KeySpec, MergePurge, MergePurgeResult, Purger};
 use mp_datagen::{DatabaseGenerator, GeneratorConfig, GroundTruth};
 use mp_metrics::{
-    chrome_trace_json, KernelTime, MetricsRecorder, PipelineObserver, RuleFiringReport,
+    chrome_trace_json, Counter, KernelTime, MetricsRecorder, PipelineObserver, RuleFiringReport,
     SpanTreeTrack,
 };
 use mp_record::{io as rio, Record};
 use mp_rules::{
-    EquationalTheory, NativeEmployeeTheory, RuleFiringCounter, RuleProgram, Survivorship,
+    CompiledTheory, EquationalTheory, NativeEmployeeTheory, Plan, RuleFiringCounter, RuleProgram,
+    Survivorship,
 };
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -60,15 +61,16 @@ mergepurge — sorted-neighborhood merge/purge (Hernandez & Stolfo, SIGMOD 1995)
 
 commands:
   generate  --out FILE [--records N] [--duplicates F] [--max-dups K] [--seed S]
-  dedupe    --input FILE [--rules FILE] [--window W] [--keys a,b,c]
-            [--pairs-out FILE] [--classes-out FILE] [--eval] [--stats FILE|-]
-            [--trace FILE] [--progress] [--kernel-stats] [--no-prune]
-  purge     --input FILE --out FILE [--rules FILE] [--window W] [--keys a,b,c]
+  dedupe    --input FILE [--rules FILE] [--theory T] [--no-plan] [--window W]
+            [--keys a,b,c] [--pairs-out FILE] [--classes-out FILE] [--eval]
             [--stats FILE|-] [--trace FILE] [--progress] [--kernel-stats]
             [--no-prune]
-  explain   --input FILE --a ID --b ID [--rules FILE]
+  purge     --input FILE --out FILE [--rules FILE] [--theory T] [--no-plan]
+            [--window W] [--keys a,b,c] [--stats FILE|-] [--trace FILE]
+            [--progress] [--kernel-stats] [--no-prune]
+  explain   --input FILE --a ID --b ID [--rules FILE] [--theory T]
   serve     --socket PATH --store DIR [--window W] [--keys a,b,c]
-            [--rules FILE] [--shards N] [--listen HOST:PORT]
+            [--rules FILE] [--theory T] [--shards N] [--listen HOST:PORT]
             [--queue-depth N] [--snapshot-every N]
             [--stats FILE] [--trace FILE] [--metrics-addr HOST:PORT]
             [--log FILE] [--log-level error|warn|info|debug]
@@ -98,8 +100,21 @@ pairs, so the final groups are identical either way.
 
 keys: comma-separated from {last_name, first_name, address, ssn};
       default last_name,first_name,address (the paper's three runs).
-rules: a rule-DSL program file; default is the built-in 26-rule employee
-       theory (hand-recoded native version for speed).
+rules: a rule-DSL program file; without one the DSL theories fall back to
+       the built-in 26-rule employee theory source.
+
+--theory T picks the equational-theory implementation:
+  native        hand-coded Rust employee theory (default without --rules;
+                rejects --rules)
+  dsl           tree-walking rule interpreter
+  dsl-compiled  the rule DSL lowered to a planned bytecode VM (default when
+                --rules is given) — same decisions as dsl, close to native
+                speed; see docs/RULE_COMPILER.md
+dedupe/purge calibrate the dsl-compiled planner on a sample of input pairs;
+serve uses the static cost-model plan. --no-plan compiles without predicate
+reordering or common-subexpression memoization (bit-identical results,
+slower). Compiled runs add the rules_compiled and subexpr_hits counters to
+--stats reports.
 
 serve runs the batch-ingest daemon on a Unix socket (plus TCP with
 --listen; same wire protocol), backed by the durable match-store at
@@ -213,21 +228,82 @@ fn parse_keys(flags: &Flags) -> Result<Vec<KeySpec>, String> {
         .collect()
 }
 
-/// The theory selected by `--rules`, or the built-in native theory.
+/// Adjacent input pairs sampled to calibrate the rule planner.
+const CALIBRATION_PAIRS: usize = 2_048;
+
+/// The theory selected by `--theory`/`--rules`: the hand-coded native
+/// implementation, the DSL interpreter, or the planned bytecode VM.
 enum Theory {
     Native(NativeEmployeeTheory),
     Program(RuleProgram),
+    Compiled(CompiledTheory),
 }
 
 impl Theory {
-    fn load(flags: &Flags) -> Result<Self, String> {
-        match flags.get("rules") {
-            None => Ok(Theory::Native(NativeEmployeeTheory::new())),
-            Some(path) => {
-                let src = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-                let program = RuleProgram::compile(&src).map_err(|e| format!("{path}: {e}"))?;
-                Ok(Theory::Program(program))
+    /// Resolves `--theory` (default: `dsl-compiled` when `--rules` is
+    /// given, `native` otherwise) and loads the rule source — `--rules
+    /// FILE`, or the built-in 26-rule employee theory for the DSL theories
+    /// without one. With `calibrate` records, the compiled theory's plan is
+    /// calibrated on up to [`CALIBRATION_PAIRS`] adjacent input pairs;
+    /// `--no-plan` compiles in source order with no memoization.
+    fn load(flags: &Flags, calibrate: Option<&[Record]>) -> Result<Self, String> {
+        let has_rules = flags.get("rules").is_some();
+        let kind = match flags.get("theory") {
+            Some(k) => k,
+            None if has_rules => "dsl-compiled",
+            None => "native",
+        };
+        if flags.has("no-plan") && kind != "dsl-compiled" {
+            return Err("--no-plan only applies to --theory dsl-compiled".into());
+        }
+        match kind {
+            "native" => {
+                if has_rules {
+                    return Err(
+                        "--theory native ignores --rules (the native theory is built in); \
+                         drop one of the two flags"
+                            .into(),
+                    );
+                }
+                Ok(Theory::Native(NativeEmployeeTheory::new()))
             }
+            "dsl" | "dsl-compiled" => {
+                let (src, origin) = match flags.get("rules") {
+                    Some(path) => (
+                        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?,
+                        path.to_string(),
+                    ),
+                    None => (
+                        mp_rules::EMPLOYEE_RULES_SRC.to_string(),
+                        "built-in employee theory".to_string(),
+                    ),
+                };
+                let program = RuleProgram::compile(&src).map_err(|e| format!("{origin}: {e}"))?;
+                if kind == "dsl" {
+                    return Ok(Theory::Program(program));
+                }
+                if flags.has("no-plan") {
+                    return Ok(Theory::Compiled(CompiledTheory::from_program(
+                        &program, None,
+                    )));
+                }
+                let plan = match calibrate {
+                    Some(records) if records.len() >= 2 => {
+                        let n = (records.len() - 1).min(CALIBRATION_PAIRS);
+                        let pairs: Vec<(&Record, &Record)> =
+                            (0..n).map(|i| (&records[i], &records[i + 1])).collect();
+                        Plan::calibrated(&program, &pairs)
+                    }
+                    _ => Plan::of(program.ast()),
+                };
+                Ok(Theory::Compiled(CompiledTheory::from_program(
+                    &program,
+                    Some(&plan),
+                )))
+            }
+            other => Err(format!(
+                "unknown --theory {other:?} (expected native, dsl, or dsl-compiled)"
+            )),
         }
     }
 
@@ -235,16 +311,26 @@ impl Theory {
         match self {
             Theory::Native(t) => t,
             Theory::Program(p) => p,
+            Theory::Compiled(c) => c,
         }
     }
 
     fn purger(&self) -> Purger {
-        match self {
-            Theory::Program(p) => p
-                .purge_spec()
-                .map(|spec| Purger::from_spec(spec, Survivorship::Longest))
-                .unwrap_or_default(),
-            Theory::Native(_) => Purger::default(),
+        let spec = match self {
+            Theory::Program(p) => p.purge_spec(),
+            Theory::Compiled(c) => c.purge_spec(),
+            Theory::Native(_) => None,
+        };
+        spec.map(|spec| Purger::from_spec(spec, Survivorship::Longest))
+            .unwrap_or_default()
+    }
+
+    /// Adds the compiler counters to the pipeline report (zeros stay
+    /// absent-by-value for the native and interpreted theories).
+    fn record_compiler_counters(&self, recorder: &MetricsRecorder) {
+        if let Theory::Compiled(c) = self {
+            recorder.add(Counter::RulesCompiled, c.rules_compiled());
+            recorder.add(Counter::SubexprHits, c.subexpr_hits());
         }
     }
 }
@@ -260,7 +346,7 @@ fn run_passes(
         return Err("--window must be at least 2".into());
     }
     let keys = parse_keys(flags)?;
-    let theory = Theory::load(flags)?;
+    let theory = Theory::load(flags, Some(records))?;
     let counter = count_rules.then(|| RuleFiringCounter::new(theory.as_dyn()));
     let run = |t: &dyn EquationalTheory| {
         let mut pipeline = MergePurge::new(t);
@@ -320,6 +406,7 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
     if kernel_stats {
         mp_strsim::timing::set_enabled(false);
     }
+    theory.record_compiler_counters(&recorder);
     if let Some(pm) = recorder.progress() {
         pm.finish();
     }
@@ -483,16 +570,20 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
     let stats_path = flags.get("stats").map(str::to_string);
     let trace_path = flags.get("trace").map(str::to_string);
 
-    let theory = Theory::load(flags)?;
-    let theory: &(dyn EquationalTheory + Sync) = match &theory {
+    // The daemon sees records incrementally, so the compiled plan is the
+    // static one (no calibration sample exists up front).
+    let theory = Theory::load(flags, None)?;
+    let theory_dyn: &(dyn EquationalTheory + Sync) = match &theory {
         Theory::Native(t) => t,
         Theory::Program(p) => p,
+        Theory::Compiled(c) => c,
     };
     let mut recorder = MetricsRecorder::new();
     if stats_path.is_some() || trace_path.is_some() {
         recorder = recorder.with_tracing();
     }
-    serve(&config, theory, &recorder)?;
+    serve(&config, theory_dyn, &recorder)?;
+    theory.record_compiler_counters(&recorder);
 
     // The daemon has drained; attach the observability artifacts.
     let tracks = recorder.drain_spans();
@@ -740,12 +831,16 @@ fn explain(flags: &Flags) -> Result<(), String> {
         ));
     }
     mp_record::normalize::condition_all(&mut records, &mp_record::NicknameTable::standard());
-    let theory = Theory::load(flags)?;
+    let theory = Theory::load(flags, None)?;
     let (ra, rb) = (&records[a], &records[b]);
     println!("record {a}: {ra:?}");
     println!("record {b}: {rb:?}");
     match &theory {
         Theory::Program(p) => match p.matching_rule(ra, rb) {
+            Some(rule) => println!("MATCH via rule `{rule}`"),
+            None => println!("no rule fires for this pair"),
+        },
+        Theory::Compiled(c) => match c.matching_rule(ra, rb) {
             Some(rule) => println!("MATCH via rule `{rule}`"),
             None => println!("no rule fires for this pair"),
         },
