@@ -1,7 +1,7 @@
 //! Tracing overhead measurement: structured tracing must cost <3% on the
 //! multi-pass hot path.
 //!
-//! Runs the paper's three standard passes over one seeded database in three
+//! Runs the paper's three standard passes over one seeded database in four
 //! observer configurations:
 //!
 //! 1. `noop`    — [`mp_metrics::NoopObserver`]: every observer hook is a
@@ -11,10 +11,14 @@
 //! 3. `traced`  — the recorder with tracing enabled: timed spans around
 //!    every phase plus the sampled rule-evaluation latency histogram
 //!    (every `LATENCY_SAMPLE_MASK + 1`-th evaluation is timed).
+//! 4. `flight`  — the traced recorder drained into a
+//!    [`mp_metrics::FlightRecorder`] after every run: the serving
+//!    daemon's steady state (per-batch drain + bounded span ring).
 //!
-//! The closed pairs of all three runs are asserted identical; the headline
-//! number is the noop → traced wall-clock overhead, asserted under the
-//! bound and written to `BENCH_tracing.json`.
+//! The closed pairs of the noop and traced runs are asserted identical;
+//! the headline numbers are the noop → traced and noop → flight
+//! wall-clock overheads, both asserted under the bound and written to
+//! `BENCH_tracing.json`.
 //!
 //! Usage: `cargo run --release -p mp-bench --bin tracing
 //!         [--records N] [--window W] [--duplicates F] [--max-dups K]
@@ -23,25 +27,36 @@
 use merge_purge::{MultiPass, MultiPassResult};
 use mp_bench::Args;
 use mp_datagen::{DatabaseGenerator, GeneratorConfig};
-use mp_metrics::{MetricsRecorder, NoopObserver, PipelineObserver, LATENCY_SAMPLE_MASK};
+use mp_metrics::{
+    FlightRecorder, MetricsRecorder, NoopObserver, PipelineObserver, LATENCY_SAMPLE_MASK,
+};
 use mp_record::Record;
 use mp_rules::NativeEmployeeTheory;
 use std::time::{Duration, Instant};
 
 /// One timed multi-pass run; span draining is included in the timed region
-/// (it is part of what a traced run pays at run end).
+/// (it is part of what a traced run pays at run end). When a flight
+/// recorder is given, the drained tracks are pushed into it — the
+/// daemon's per-batch retention path — also inside the timed region.
 fn timed(
     passes: &MultiPass,
     records: &[Record],
     theory: &NativeEmployeeTheory,
     observer: &dyn PipelineObserver,
+    flight: Option<(&FlightRecorder, u64)>,
 ) -> (Duration, MultiPassResult, usize) {
     let t = Instant::now();
     let r = passes.run_observed(records, theory, observer);
-    let spans: usize = observer
-        .tracer()
-        .map(|tr| tr.drain().iter().map(|t| t.spans.len()).sum())
-        .unwrap_or(0);
+    let spans = match (observer.tracer(), flight) {
+        (Some(tr), Some((fr, seq))) => {
+            let tracks = tr.drain();
+            let n = tracks.iter().map(|t| t.spans.len()).sum();
+            fr.record(format!("bench-{seq:08x}"), seq, false, tracks);
+            n
+        }
+        (Some(tr), None) => tr.drain().iter().map(|t| t.spans.len()).sum(),
+        (None, _) => 0,
+    };
     (t.elapsed(), r, spans)
 }
 
@@ -73,29 +88,44 @@ fn main() {
     let theory = NativeEmployeeTheory::new();
     let passes = MultiPass::standard_three(window);
     let counters = MetricsRecorder::new();
+    // One long-lived ring across all flight-leg iterations, like the
+    // daemon's: eviction of old entries is part of the measured cost.
+    let flight = FlightRecorder::default();
 
-    // Interleave the three configurations within each iteration — and
+    // Interleave the four configurations within each iteration — and
     // rotate their order every iteration — so slow drift in machine load
     // or clock speed hits all of them equally. The overhead estimate is
-    // the *median of per-iteration ratios*: the three legs of one
-    // iteration run back to back, so a load spike inflates numerator and
+    // the *median of per-iteration ratios*: the legs of one iteration
+    // run back to back, so a load spike inflates numerator and
     // denominator together and cancels, where a ratio of overall bests
     // would compare timings taken seconds apart.
-    let mut best = [Duration::MAX; 3];
-    let mut results: [Option<MultiPassResult>; 3] = [None, None, None];
+    const LEGS: usize = 4;
+    let mut best = [Duration::MAX; LEGS];
+    let mut results: [Option<MultiPassResult>; LEGS] = [None, None, None, None];
     let mut ratios_counters = Vec::with_capacity(iters);
     let mut ratios_traced = Vec::with_capacity(iters);
+    let mut ratios_flight = Vec::with_capacity(iters);
     let mut span_count = 0usize;
     for i in 0..iters.max(1) {
-        let mut leg_time = [Duration::ZERO; 3];
-        for leg in 0..3 {
-            let leg = (leg + i) % 3;
+        let mut leg_time = [Duration::ZERO; LEGS];
+        for leg in 0..LEGS {
+            let leg = (leg + i) % LEGS;
             let (t, r, spans) = match leg {
-                0 => timed(&passes, &db.records, &theory, &NoopObserver),
-                1 => timed(&passes, &db.records, &theory, &counters),
+                0 => timed(&passes, &db.records, &theory, &NoopObserver, None),
+                1 => timed(&passes, &db.records, &theory, &counters, None),
+                2 => {
+                    let traced = MetricsRecorder::new().with_tracing();
+                    timed(&passes, &db.records, &theory, &traced, None)
+                }
                 _ => {
                     let traced = MetricsRecorder::new().with_tracing();
-                    timed(&passes, &db.records, &theory, &traced)
+                    timed(
+                        &passes,
+                        &db.records,
+                        &theory,
+                        &traced,
+                        Some((&flight, i as u64)),
+                    )
                 }
             };
             span_count = span_count.max(spans);
@@ -105,14 +135,24 @@ fn main() {
         }
         ratios_counters.push(leg_time[1].as_secs_f64() / leg_time[0].as_secs_f64());
         ratios_traced.push(leg_time[2].as_secs_f64() / leg_time[0].as_secs_f64());
+        ratios_flight.push(leg_time[3].as_secs_f64() / leg_time[0].as_secs_f64());
     }
-    let [best_noop, best_counters, best_traced] = best;
-    let [noop, _, traced] = results.map(|r| r.expect("at least one iteration"));
+    let [best_noop, best_counters, best_traced, best_flight] = best;
+    let [noop, _, traced, flighted] = results.map(|r| r.expect("at least one iteration"));
 
     assert_eq!(
         noop.closed_pairs.sorted(),
         traced.closed_pairs.sorted(),
         "tracing changed the closed pairs"
+    );
+    assert_eq!(
+        noop.closed_pairs.sorted(),
+        flighted.closed_pairs.sorted(),
+        "the flight recorder changed the closed pairs"
+    );
+    assert!(
+        !flight.is_empty(),
+        "flight leg retained no entries — the drain path was not exercised"
     );
 
     fn median(v: &mut [f64]) -> f64 {
@@ -121,6 +161,7 @@ fn main() {
     }
     let overhead_counters = 100.0 * (median(&mut ratios_counters) - 1.0);
     let overhead_traced = 100.0 * (median(&mut ratios_traced) - 1.0);
+    let overhead_flight = 100.0 * (median(&mut ratios_flight) - 1.0);
     let evaluations: u64 = traced.passes.iter().map(|p| p.stats.rule_evaluations).sum();
     let sampled = evaluations / (LATENCY_SAMPLE_MASK + 1);
 
@@ -130,24 +171,41 @@ fn main() {
         "counters + spans + hist:  {best_traced:>12.3?}  ({overhead_traced:+.2}%, \
          {span_count} spans, ~{sampled} latency samples)"
     );
+    println!(
+        "  + flight recorder:      {best_flight:>12.3?}  ({overhead_flight:+.2}%, \
+         {} entries retained)",
+        flight.len()
+    );
     assert!(
         overhead_traced < bound_pct,
         "tracing overhead {overhead_traced:.2}% exceeds the {bound_pct}% bound"
     );
-    println!("tracing overhead {overhead_traced:.2}% < {bound_pct}% bound");
+    assert!(
+        overhead_flight < bound_pct,
+        "flight-recorder overhead {overhead_flight:.2}% exceeds the {bound_pct}% bound"
+    );
+    println!(
+        "tracing overhead {overhead_traced:.2}% and flight-recorder overhead \
+         {overhead_flight:.2}% < {bound_pct}% bound"
+    );
 
     let json = format!(
         "{{\n  \"records\": {},\n  \"window\": {window},\n  \"passes\": 3,\n  \"iters\": {iters},\n  \
          \"noop_best_ns\": {},\n  \"counters_best_ns\": {},\n  \"traced_best_ns\": {},\n  \
+         \"flight_best_ns\": {},\n  \
          \"overhead_counters_pct\": {overhead_counters:.4},\n  \
-         \"overhead_traced_pct\": {overhead_traced:.4},\n  \"bound_pct\": {bound_pct},\n  \
+         \"overhead_traced_pct\": {overhead_traced:.4},\n  \
+         \"overhead_flight_pct\": {overhead_flight:.4},\n  \"bound_pct\": {bound_pct},\n  \
          \"spans_per_run\": {span_count},\n  \"rule_evaluations\": {evaluations},\n  \
-         \"latency_samples_per_run\": {sampled},\n  \"closed_pairs\": {},\n  \
+         \"latency_samples_per_run\": {sampled},\n  \"flight_entries_retained\": {},\n  \
+         \"closed_pairs\": {},\n  \
          \"closed_pairs_identical\": true\n}}\n",
         db.records.len(),
         best_noop.as_nanos(),
         best_counters.as_nanos(),
         best_traced.as_nanos(),
+        best_flight.as_nanos(),
+        flight.len(),
         noop.closed_pairs.len(),
     );
     std::fs::write(&out, json).expect("write bench report");

@@ -264,11 +264,17 @@ impl IncrementalMergePurge {
                         .into_iter()
                         .enumerate()
                         .map(|(k, (from, to))| {
-                            s.spawn(move || {
-                                let _scan =
-                                    span_labeled(observer, "shard_scan", || format!("shard={k}"));
-                                scan_band(records, merged, w, old_len, from, to, theory)
-                            })
+                            // Named so repeated batches land on one
+                            // flight-recorder lane per band.
+                            std::thread::Builder::new()
+                                .name(format!("band-{k}"))
+                                .spawn_scoped(s, move || {
+                                    let _scan = span_labeled(observer, "shard_scan", || {
+                                        format!("shard={k}")
+                                    });
+                                    scan_band(records, merged, w, old_len, from, to, theory)
+                                })
+                                .expect("spawn band scan thread")
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()

@@ -54,8 +54,9 @@ pub use prom::PromWriter;
 pub use rolling::{RollingRing, WindowCounter, WindowSnapshot};
 
 pub use mp_trace::{
-    chrome_trace_json, HistogramSnapshot, LatencyHistogram, ProgressMeter, SpanGuard, SpanNode,
-    TraceCollector, TrackSpans, LATENCY_SAMPLE_MASK,
+    chrome_trace_json, FlightEntry, FlightRecorder, HistogramSnapshot, LatencyHistogram,
+    ProgressMeter, SpanGuard, SpanNode, SpanRecord, TraceCollector, TrackSpans,
+    LATENCY_SAMPLE_MASK,
 };
 
 /// Version of the `--stats` JSON report layout. Bumped to 2 when the span

@@ -436,6 +436,91 @@ mod tests {
     }
 
     #[test]
+    fn standard_ring_survives_a_full_fifteen_minute_wrap() {
+        // The standard ring is 181 slots of 5 s spanning 900 s. Drive a
+        // virtual clock through well over one complete revolution,
+        // recording one batch (and one latency sample) per bucket, and
+        // check every reporting window at every step: lazily re-zeroed
+        // slots must never leak a previous revolution's samples into a
+        // window, and never lose current ones.
+        let ring = RollingRing::standard();
+        let width = ring.width_secs();
+        let slots = 900 / width + 1; // 181
+        let two_revolutions = 2 * slots * width + 3 * width;
+        let mut t = 0u64;
+        while t <= two_revolutions {
+            ring.add(t, WindowCounter::Batches, 1);
+            ring.record_latency(t, 1_000_000);
+            for (label, secs) in WINDOWS {
+                let w = ring.window(t, secs);
+                // One sample per bucket: a window of `secs` covers the
+                // current partial bucket plus secs/width − 1 full ones.
+                let expect = (secs / width).min(t / width + 1);
+                assert_eq!(
+                    w.count(WindowCounter::Batches),
+                    expect,
+                    "window {label} at t={t}"
+                );
+                assert_eq!(w.latency_count, expect, "latency {label} at t={t}");
+            }
+            t += width;
+        }
+    }
+
+    #[test]
+    fn slot_reuse_after_a_full_wrap_rezeroes_lazily() {
+        // Epoch 0 and epoch 181 map to the same physical slot of the
+        // standard ring. The stale slot must be invisible to reads at
+        // the far edge of the 15m window *before* it is re-zeroed, and
+        // must drop its old samples once rewritten.
+        let ring = RollingRing::standard();
+        let slots = 900 / ring.width_secs() + 1; // 181
+        let wrap_t = slots * ring.width_secs(); // 905: epoch 181
+        ring.add(0, WindowCounter::Records, 1_000);
+        ring.record_latency(0, 5_000_000_000); // 5 s outlier in epoch 0
+                                               // At t=904 (epoch 180) the 15m window spans epochs 1..=180, so
+                                               // epoch 0's slot is out of range even though it still holds data.
+        let w = ring.window(wrap_t - 1, 900);
+        assert_eq!(w.count(WindowCounter::Records), 0, "aged out, not leaked");
+        assert_eq!(w.latency_count, 0);
+        // Writing at t=905 reuses the slot: old tenant's counts must not
+        // survive the lazy re-zero.
+        ring.add(wrap_t, WindowCounter::Records, 7);
+        let w = ring.window(wrap_t, 900);
+        assert_eq!(w.count(WindowCounter::Records), 7);
+        assert_eq!(w.latency_max_ns, 0, "stale 5 s outlier was re-zeroed");
+        // Untouched slots from the first revolution stay EMPTY-or-stale
+        // without polluting any later window.
+        let w = ring.window(wrap_t + 450, 900);
+        assert_eq!(w.count(WindowCounter::Records), 7);
+    }
+
+    #[test]
+    fn sparse_writes_across_revolutions_never_leak() {
+        // Write only every third bucket, sweep three revolutions, and
+        // assert the 15m total matches exactly the live buckets: slots
+        // skipped by the writer keep their stale epoch and are filtered
+        // by the reader's range check instead of a re-zero.
+        let ring = RollingRing::standard();
+        let width = ring.width_secs();
+        let slots = 900 / width + 1;
+        let end = 3 * slots * width;
+        let mut t = 0u64;
+        while t <= end {
+            if (t / width).is_multiple_of(3) {
+                ring.add(t, WindowCounter::Matches, 2);
+            }
+            t += width;
+        }
+        let last = end - (end / width % 3) * width; // last written bucket
+        let w = ring.window(end, 900);
+        // Buckets in [end-895, end] with epoch % 3 == 0.
+        let oldest = end / width - (900 / width - 1);
+        let expect = (oldest..=end / width).filter(|e| e % 3 == 0).count() as u64;
+        assert_eq!(w.count(WindowCounter::Matches), expect * 2, "last={last}");
+    }
+
+    #[test]
     fn standard_ring_answers_every_reporting_window() {
         let ring = RollingRing::standard();
         ring.add(0, WindowCounter::Records, 1);

@@ -17,6 +17,9 @@
 //! - [`chrome_trace_json`] — export of the drained spans as Chrome
 //!   trace-event JSON, loadable in Perfetto / `chrome://tracing`, with one
 //!   track (tid) per registered thread.
+//! - [`FlightRecorder`] — a bounded in-memory ring of recent per-batch
+//!   span sets for long-running processes, dumpable as one merged Chrome
+//!   trace while the process is live.
 //! - [`ProgressMeter`] — throttled records/s + ETA heartbeat lines for long
 //!   runs.
 //!
@@ -26,11 +29,13 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod flight;
 mod histogram;
 mod progress;
 mod span;
 
 pub use chrome::chrome_trace_json;
+pub use flight::{FlightEntry, FlightRecorder, DEFAULT_CAPACITY as FLIGHT_DEFAULT_CAPACITY};
 pub use histogram::{HistogramSnapshot, LatencyHistogram, LATENCY_SAMPLE_MASK};
 pub use progress::ProgressMeter;
 pub use span::{SpanGuard, SpanNode, SpanRecord, TraceCollector, TrackSpans};

@@ -151,6 +151,10 @@ impl TrackSpans {
 pub struct TraceCollector {
     id: u64,
     epoch: Instant,
+    /// Monotonic track-id source. Ids are never reused even after a dead
+    /// thread's buffer is garbage-collected by [`drain`](Self::drain), so
+    /// spans drained earlier can never alias a later thread's lane.
+    next_track: AtomicU32,
     tracks: Mutex<Vec<Arc<TrackBuffer>>>,
 }
 
@@ -166,6 +170,7 @@ impl TraceCollector {
         TraceCollector {
             id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
             epoch: Instant::now(),
+            next_track: AtomicU32::new(0),
             tracks: Mutex::new(Vec::new()),
         }
     }
@@ -178,7 +183,7 @@ impl TraceCollector {
                 return Arc::clone(buf);
             }
             let mut tracks = self.tracks.lock().expect("trace registry poisoned");
-            let track = tracks.len() as u32;
+            let track = self.next_track.fetch_add(1, Ordering::Relaxed);
             let thread_name = std::thread::current()
                 .name()
                 .map(str::to_owned)
@@ -227,8 +232,15 @@ impl TraceCollector {
     /// guarantee this structurally). Spans still open on the *calling*
     /// thread are unaffected; they record when their guards drop, and a
     /// later drain picks them up.
+    ///
+    /// Buffers whose owner thread has exited (nothing outside the
+    /// registry holds them — no thread-local, no open guard) are
+    /// unregistered after their spans are taken, so a long-running
+    /// process draining per-batch with short-lived worker threads keeps
+    /// a bounded registry instead of accreting one dead buffer per
+    /// thread ever spawned.
     pub fn drain(&self) -> Vec<TrackSpans> {
-        let tracks = self.tracks.lock().expect("trace registry poisoned");
+        let mut tracks = self.tracks.lock().expect("trace registry poisoned");
         let mut out: Vec<TrackSpans> = tracks
             .iter()
             .map(|buf| {
@@ -243,8 +255,15 @@ impl TraceCollector {
             })
             .filter(|t| !t.spans.is_empty())
             .collect();
+        tracks.retain(|buf| Arc::strong_count(buf) > 1);
         out.sort_by_key(|t| t.track);
         out
+    }
+
+    /// Currently registered per-thread buffers (live threads plus dead
+    /// ones not yet garbage-collected by [`drain`](Self::drain)).
+    pub fn registered_tracks(&self) -> usize {
+        self.tracks.lock().expect("trace registry poisoned").len()
     }
 }
 
@@ -372,6 +391,44 @@ mod tests {
         }
         assert_eq!(tracer.drain().len(), 1);
         assert!(tracer.drain().is_empty(), "drain consumes the buffers");
+    }
+
+    #[test]
+    fn drain_unregisters_buffers_of_dead_threads() {
+        let tracer = TraceCollector::new();
+        let mut track_ids = Vec::new();
+        for _ in 0..3 {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _s = tracer.span("work");
+                });
+            });
+            let tracks = tracer.drain();
+            assert_eq!(tracks.len(), 1);
+            track_ids.push(tracks[0].track);
+        }
+        // A scope can unblock before the dead thread's TLS destructor
+        // releases its buffer Arc; collection then happens on the next
+        // drain. Allow that lag, but require it to converge to empty.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while tracer.registered_tracks() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            tracer.drain();
+        }
+        assert_eq!(
+            tracer.registered_tracks(),
+            0,
+            "dead threads' buffers are collected by drain"
+        );
+        let mut unique = track_ids.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "track ids are never reused: {track_ids:?}");
+        // A long-lived thread (this one) survives the collection.
+        {
+            let _s = tracer.span("still_here");
+        }
+        tracer.drain();
+        assert_eq!(tracer.registered_tracks(), 1);
     }
 
     #[test]

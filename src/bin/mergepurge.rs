@@ -14,8 +14,8 @@
 use merge_purge::{Evaluation, KeySpec, MergePurge, MergePurgeResult, Purger};
 use mp_datagen::{DatabaseGenerator, GeneratorConfig, GroundTruth};
 use mp_metrics::{
-    chrome_trace_json, Counter, KernelTime, MetricsRecorder, PipelineObserver, RuleFiringReport,
-    SpanTreeTrack,
+    chrome_trace_json, Counter, FlightRecorder, KernelTime, MetricsRecorder, PipelineObserver,
+    RuleFiringReport, SpanTreeTrack,
 };
 use mp_record::{io as rio, Record};
 use mp_rules::{
@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "serve" => serve_cmd(&flags),
         "send" => send_cmd(&flags),
         "top" => top_cmd(&flags),
+        "trace" => trace_cmd(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -71,14 +72,15 @@ commands:
   explain   --input FILE --a ID --b ID [--rules FILE] [--theory T]
   serve     --socket PATH --store DIR [--window W] [--keys a,b,c]
             [--rules FILE] [--theory T] [--shards N] [--listen HOST:PORT]
-            [--queue-depth N] [--snapshot-every N]
+            [--queue-depth N] [--snapshot-every N] [--slow-batch-ms T]
             [--stats FILE] [--trace FILE] [--metrics-addr HOST:PORT]
             [--log FILE] [--log-level error|warn|info|debug]
-            [--log-max-bytes N] [--progress] [--quiet]
+            [--log-max-bytes N] [--log-keep N] [--progress] [--quiet]
   send      (--socket PATH | --addr HOST:PORT) --cmd CMD
             [--input FILE] [--id N] [--json RAW]
   top       (--socket PATH | --addr HOST:PORT) [--interval-ms N]
-            [--iterations N]
+            [--iterations N] [--json]
+  trace     (--socket PATH | --addr HOST:PORT) [--out FILE]
 
 --stats FILE writes a JSON pipeline report (comparison, match, and closure
 counters, per-pass attribution, per-rule firing counts, per-phase timings,
@@ -123,19 +125,30 @@ docs/INCREMENTAL.md). --shards N partitions the store by key band into N
 journaling shard workers (fixed at store creation; the merged match set
 stays identical to --shards 1). send is the matching client over either
 transport: --cmd is one of ingest-batch (reads --input), query-matches
-(needs --id), stats, snapshot, metrics, healthz, readyz, shutdown;
---json RAW sends a raw request instead. serve's --stats/--trace write
-the pipeline report / Chrome trace on shutdown.
+(needs --id), stats, snapshot, metrics, trace, healthz, readyz,
+shutdown; --json RAW sends a raw request instead. serve's
+--stats/--trace write the pipeline report / Chrome trace on shutdown.
+
+serve tracing (docs/TRACING.md): every acked batch carries a
+process-unique trace_id (on the wire ack, the batch_ingested event, and
+its spans); the daemon keeps the last batches' spans in an in-memory
+flight recorder, dumpable live via the trace command, `send --cmd
+trace`, or GET /trace on --metrics-addr. --slow-batch-ms T pins batches
+slower than T ms in the recorder and logs slow_batch events with a
+per-phase critical-path breakdown.
 
 serve observability (docs/OBSERVABILITY.md): --metrics-addr serves
-Prometheus text /metrics plus /healthz and /readyz over HTTP; --log
-writes a leveled JSONL event log (rotated past --log-max-bytes, one .1
-generation kept); --progress prints a periodic heartbeat line to stderr;
---quiet suppresses all serve status/heartbeat stderr output. top polls a
-running daemon's stats and renders an in-place refreshing terminal view
-of rolling 1m/5m/15m rates, batch-latency quantiles, queue pressure,
-snapshot staleness, and (sharded daemons) a per-shard table
-(--iterations 0 = run until interrupted).";
+Prometheus text /metrics plus /healthz, /readyz, and /trace over HTTP;
+--log writes a leveled JSONL event log (rotated past --log-max-bytes
+through --log-keep generations, default 1); --progress prints a periodic
+heartbeat line to stderr; --quiet suppresses all serve status/heartbeat
+stderr output. top polls a running daemon's stats and renders an
+in-place refreshing terminal view of rolling 1m/5m/15m rates,
+batch-latency quantiles, queue pressure, snapshot staleness, tracing
+state, and (sharded daemons) a per-shard table with scan-latency
+quantiles (--iterations 0 = run until interrupted); top --json prints
+the same data as machine-readable JSON frames (one by default). trace
+fetches the flight-recorder dump into a Perfetto-loadable file.";
 
 /// Minimal `--flag value` parser.
 struct Flags(Vec<String>);
@@ -565,6 +578,12 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
     if config.log_max_bytes == 0 {
         return Err("--log-max-bytes must be at least 1".into());
     }
+    config.log_keep =
+        flags.get_parsed("log-keep", merge_purge_repro::serve::eventlog::DEFAULT_KEEP)?;
+    if config.log_keep == 0 {
+        return Err("--log-keep must be at least 1".into());
+    }
+    config.slow_batch_ms = flags.get_parsed("slow-batch-ms", 0)?;
     config.quiet = flags.has("quiet");
     config.progress = flags.has("progress");
     let stats_path = flags.get("stats").map(str::to_string);
@@ -578,18 +597,22 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         Theory::Program(p) => p,
         Theory::Compiled(c) => c,
     };
-    let mut recorder = MetricsRecorder::new();
-    if stats_path.is_some() || trace_path.is_some() {
-        recorder = recorder.with_tracing();
-    }
-    serve(&config, theory_dyn, &recorder)?;
+    // Tracing is always on for serve: the flight recorder is what the
+    // live `trace` command and GET /trace answer from, and the per-batch
+    // drain keeps the span buffers from accumulating.
+    let recorder = MetricsRecorder::new().with_tracing();
+    let flight = FlightRecorder::default();
+    serve(&config, theory_dyn, &recorder, &flight)?;
     theory.record_compiler_counters(&recorder);
 
-    // The daemon has drained; attach the observability artifacts.
+    // The daemon has drained; attach the observability artifacts. The
+    // per-batch spans already sit in the flight recorder — whatever
+    // recorded after its last in-daemon sweep (the `serve` root span)
+    // joins them as one final entry so the dump covers the whole run.
     let tracks = recorder.drain_spans();
     if let Some(path) = &trace_path {
-        std::fs::write(path, chrome_trace_json(&tracks))
-            .map_err(|e| format!("write {path}: {e}"))?;
+        flight.record("serve", 0, false, tracks.clone());
+        std::fs::write(path, flight.chrome_json()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote Chrome trace to {path}");
     }
     if let Some(path) = &stats_path {
@@ -653,27 +676,30 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
                     .map_err(|_| "invalid --id value")?;
                 format!("{{\"cmd\":\"query-matches\",\"id\":{id}}}")
             }
-            cmd @ ("stats" | "snapshot" | "metrics" | "healthz" | "readyz" | "shutdown") => {
+            cmd @ ("stats" | "snapshot" | "metrics" | "trace" | "healthz" | "readyz"
+            | "shutdown") => {
                 format!("{{\"cmd\":\"{cmd}\"}}")
             }
             other => {
                 return Err(format!(
                     "unknown --cmd {other:?} (expected ingest-batch, query-matches, stats, \
-                     snapshot, metrics, healthz, readyz, or shutdown)"
+                     snapshot, metrics, trace, healthz, readyz, or shutdown)"
                 ))
             }
         }
     };
     let response = target.request(&payload)?;
     let parsed = merge_purge_repro::serve::json::Json::parse(&response).ok();
-    // A `metrics` reply embeds the Prometheus text; print it raw so the
-    // output pipes straight into promtool and scrapers.
-    match parsed
-        .as_ref()
-        .and_then(|v| v.get("exposition"))
-        .and_then(|e| e.as_str())
-    {
-        Some(exposition) => print!("{exposition}"),
+    // A `metrics` reply embeds the Prometheus text and a `trace` reply
+    // the Chrome trace JSON; print those raw so the output pipes
+    // straight into promtool / Perfetto without unwrapping.
+    let embedded = parsed.as_ref().and_then(|v| {
+        v.get("exposition")
+            .or_else(|| v.get("trace"))
+            .and_then(|e| e.as_str())
+    });
+    match embedded {
+        Some(raw) => print!("{raw}"),
         None => println!("{response}"),
     }
     // Mirror the daemon's verdict in the exit code so shell scripts can
@@ -694,8 +720,11 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
 fn top_cmd(flags: &Flags) -> Result<(), String> {
     use merge_purge_repro::serve::json::Json;
     let target = Target::parse(flags)?;
+    let json_mode = flags.has("json");
     let interval_ms: u64 = flags.get_parsed("interval-ms", 2000)?;
-    let iterations: u64 = flags.get_parsed("iterations", 0)?; // 0 = forever
+    // 0 = forever; --json defaults to a single frame so scripts get one
+    // document per invocation unless they ask for a stream.
+    let iterations: u64 = flags.get_parsed("iterations", if json_mode { 1 } else { 0 })?;
     let mut frame = 0u64;
     loop {
         let reply = target.request("{\"cmd\":\"stats\"}")?;
@@ -703,12 +732,18 @@ fn top_cmd(flags: &Flags) -> Result<(), String> {
         if stats.get("ok").and_then(Json::as_bool) != Some(true) {
             return Err(format!("daemon error: {reply}"));
         }
-        if frame > 0 {
-            // Clear and home between frames only, so single-shot output
-            // (--iterations 1, as used in tests and CI) stays plain text.
-            print!("\x1b[2J\x1b[H");
+        if json_mode {
+            // One machine-readable digest per line; no ANSI control
+            // sequences, so the stream pipes cleanly into jq.
+            println!("{}", top_json(&stats, &target.display()));
+        } else {
+            if frame > 0 {
+                // Clear and home between frames only, so single-shot output
+                // (--iterations 1, as used in tests and CI) stays plain text.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_top(&stats, &target.display()));
         }
-        print!("{}", render_top(&stats, &target.display()));
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
         frame += 1;
@@ -717,6 +752,27 @@ fn top_cmd(flags: &Flags) -> Result<(), String> {
         }
         std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
+}
+
+/// Builds the `top --json` digest frame: the daemon's `stats` sections
+/// that matter operationally, re-keyed under a stable envelope with the
+/// polled target, so each line is a self-describing sample.
+fn top_json(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> String {
+    use merge_purge_repro::serve::json::Json;
+    let section = |key: &str| stats.get(key).cloned().unwrap_or(Json::Null);
+    let mut fields = vec![
+        ("target".to_string(), Json::Str(socket.to_string())),
+        ("schema".to_string(), section("schema")),
+        ("seq".to_string(), section("seq")),
+        ("health".to_string(), section("health")),
+        ("store".to_string(), section("store")),
+        ("windows".to_string(), section("windows")),
+        ("tracing".to_string(), section("tracing")),
+    ];
+    if let Some(shards) = stats.get("shards") {
+        fields.push(("shards".to_string(), shards.clone()));
+    }
+    Json::Obj(fields).to_string()
 }
 
 /// Formats a nanosecond latency for humans (µs/ms/s).
@@ -729,7 +785,7 @@ fn human_ns(ns: u64) -> String {
     }
 }
 
-/// Renders one `top` frame from a schema-4 `stats` reply.
+/// Renders one `top` frame from a schema-5 `stats` reply.
 fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> String {
     use merge_purge_repro::serve::json::Json;
     let num = |v: Option<&Json>| v.and_then(Json::as_u64).unwrap_or(0);
@@ -770,6 +826,23 @@ fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Str
         )),
         None => out.push_str("snapshot none yet\n"),
     }
+    if let Some(tracing) = stats.get("tracing") {
+        let fnum = |key: &str| match tracing.get(key) {
+            Some(Json::Num(n)) => *n,
+            _ => 0.0,
+        };
+        out.push_str(&format!(
+            "trace {}   flight {}/{} pinned   imbalance(1m) {:.2}   reconcile p99 {}\n",
+            tracing
+                .get("last_trace_id")
+                .and_then(Json::as_str)
+                .unwrap_or("-"),
+            num(tracing.get("flight_entries")),
+            num(tracing.get("flight_pinned")),
+            fnum("imbalance_1m"),
+            human_ns(fnum("reconcile_p99_ns") as u64),
+        ));
+    }
     out.push_str(&format!(
         "\n{:<8}{:>12}{:>12}{:>12}{:>12}{:>10}{:>10}{:>10}\n",
         "window", "records/s", "cmp/s", "rules/s", "matches/s", "p50", "p95", "p99"
@@ -799,12 +872,12 @@ fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Str
     }
     if let Some(shards) = stats.get("shards").and_then(Json::as_array) {
         out.push_str(&format!(
-            "\n{:<8}{:>12}{:>16}{:>12}{:>10}\n",
-            "shard", "records", "journal replays", "queue", "replayed"
+            "\n{:<8}{:>12}{:>16}{:>12}{:>10}{:>10}{:>10}\n",
+            "shard", "records", "journal replays", "queue", "replayed", "scan p50", "scan p99"
         ));
         for s in shards {
             out.push_str(&format!(
-                "{:<8}{:>12}{:>16}{:>12}{:>10}\n",
+                "{:<8}{:>12}{:>16}{:>12}{:>10}{:>10}{:>10}\n",
                 num(s.get("shard")),
                 num(s.get("records")),
                 num(s.get("journal_replays")),
@@ -814,10 +887,38 @@ fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Str
                 } else {
                     "NO"
                 },
+                human_ns(num(s.get("scan_p50_ns"))),
+                human_ns(num(s.get("scan_p99_ns"))),
             ));
         }
     }
     out
+}
+
+/// `mergepurge trace` — pull the flight recorder's retained batch spans
+/// from a running daemon and write them as a Chrome trace JSON file that
+/// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+fn trace_cmd(flags: &Flags) -> Result<(), String> {
+    use merge_purge_repro::serve::json::Json;
+    let target = Target::parse(flags)?;
+    let out = flags.get("out").unwrap_or("flight.trace.json");
+    let reply = target.request("{\"cmd\":\"trace\"}")?;
+    let parsed = Json::parse(&reply).map_err(|e| format!("bad trace reply: {e}"))?;
+    if parsed.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("daemon error: {reply}"));
+    }
+    let dump = parsed
+        .get("trace")
+        .and_then(Json::as_str)
+        .ok_or("trace reply missing the `trace` document")?;
+    std::fs::write(out, dump).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: {} retained batches ({} pinned slow) from {}",
+        parsed.get("entries").and_then(Json::as_u64).unwrap_or(0),
+        parsed.get("pinned").and_then(Json::as_u64).unwrap_or(0),
+        target.display(),
+    );
+    Ok(())
 }
 
 fn explain(flags: &Flags) -> Result<(), String> {

@@ -24,10 +24,13 @@
 //! * `stats` — replies with a deterministic `store` section (identical
 //!   across kill/restart for the same acknowledged batches), a
 //!   process-local `process` section, the `seq` watermark, live
-//!   `health`/`windows` sections, and (reply schema 4) a per-shard
-//!   `shards` section when the daemon runs sharded.
+//!   `health`/`windows`/`tracing` sections (reply schema 5), and a
+//!   per-shard `shards` section when the daemon runs sharded.
 //! * `metrics` — the Prometheus text exposition, embedded in a JSON
 //!   reply; also served raw over HTTP via `--metrics-addr`.
+//! * `trace` — the flight recorder's retained batch spans as one
+//!   Chrome trace-event JSON document (also raw at `GET /trace` on the
+//!   metrics listener).
 //! * `healthz` / `readyz` — liveness and readiness probes (answered from
 //!   shared state, never queued behind the engine).
 //! * `shutdown` — graceful drain: in-flight batches complete, a final
@@ -46,13 +49,24 @@
 //! (`shard="k"` labels), and a cross-shard reconciliation step that keeps
 //! the merged match set bit-identical to the single-worker engine.
 //!
-//! Observability: `--metrics-addr` serves `/metrics`, `/healthz`, and
-//! `/readyz` over HTTP; `--log` writes a leveled JSONL event log; see
-//! [`obs`], [`eventlog`], [`http`], and `docs/OBSERVABILITY.md`.
+//! Observability: `--metrics-addr` serves `/metrics`, `/healthz`,
+//! `/readyz`, and `/trace` over HTTP; `--log` writes a leveled JSONL
+//! event log rotated through `--log-keep` generations; see [`obs`],
+//! [`eventlog`], [`http`], and `docs/OBSERVABILITY.md`.
+//!
+//! Tracing: every ingested batch is assigned a process-unique
+//! `trace_id`, stamped on the wire ack, the `batch_ingested` event, and
+//! the span set the batch leaves behind. After each batch the worker
+//! drains the span collector and deposits the batch's spans in the
+//! [`FlightRecorder`] (bounded ring, last-K batches), from which the
+//! `trace` command and `GET /trace` serve a live Perfetto-loadable
+//! dump. Batches slower than `--slow-batch-ms` are *pinned* in the ring
+//! and logged as `slow_batch` events with a per-phase critical-path
+//! breakdown ([`obs::PhaseBreakdown`]). See `docs/TRACING.md`.
 
 use merge_purge::incremental::{DurableIncremental, IncrementalMergePurge};
 use merge_purge::KeySpec;
-use mp_metrics::{span, span_labeled, Counter, MetricsRecorder};
+use mp_metrics::{span, span_labeled, Counter, FlightRecorder, MetricsRecorder};
 use mp_record::{io as rio, Record};
 use mp_rules::EquationalTheory;
 use std::io::{self, Read, Write};
@@ -71,7 +85,7 @@ pub mod shard;
 
 use eventlog::{EventLog, Level};
 use json::Json;
-use obs::ObsState;
+use obs::{ObsState, PhaseBreakdown};
 
 /// Frames larger than this are rejected (protocol error, not a panic).
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
@@ -112,6 +126,13 @@ pub struct ServeConfig {
     pub log_level: Level,
     /// Event-log rotation threshold in bytes.
     pub log_max_bytes: u64,
+    /// Rotated event-log generations retained (`FILE.1` … `FILE.N`;
+    /// clamped to at least 1).
+    pub log_keep: usize,
+    /// Batches slower than this many milliseconds are pinned in the
+    /// flight recorder and logged as `slow_batch` events (0 disables
+    /// the threshold; batches still enter the unpinned ring).
+    pub slow_batch_ms: u64,
     /// Suppresses all status/heartbeat stderr output.
     pub quiet: bool,
     /// Prints a periodic throughput heartbeat line to stderr
@@ -139,6 +160,8 @@ impl ServeConfig {
             log_file: None,
             log_level: Level::Info,
             log_max_bytes: eventlog::DEFAULT_MAX_BYTES,
+            log_keep: eventlog::DEFAULT_KEEP,
+            slow_batch_ms: 0,
             quiet: false,
             progress: false,
         }
@@ -234,13 +257,14 @@ impl Backend {
     fn ingest(
         &mut self,
         batch: Vec<Record>,
+        trace_id: &str,
         theory: &dyn EquationalTheory,
         recorder: &MetricsRecorder,
         obs: &ObsState,
     ) -> Result<u64, String> {
         match self {
             Backend::Single(d) => d.ingest(batch, theory, recorder).map_err(|e| e.to_string()),
-            Backend::Sharded(s) => s.ingest(batch, theory, recorder, obs),
+            Backend::Sharded(s) => s.ingest(batch, trace_id, theory, recorder, obs),
         }
     }
 
@@ -256,8 +280,10 @@ impl Backend {
 ///
 /// `theory` decides record equivalence; `recorder` collects counters and
 /// (when tracing is enabled) the `serve > batch > ingest/snapshot` span
-/// tree. Returns after the final snapshot is written and the socket
-/// unlinked.
+/// tree, which the worker drains per batch into `flight` — the caller
+/// keeps the recorder so it can dump the retained spans after exit
+/// (`mergepurge serve --trace`). Returns after the final snapshot is
+/// written and the socket unlinked.
 ///
 /// # Errors
 ///
@@ -267,6 +293,7 @@ pub fn serve(
     config: &ServeConfig,
     theory: &(dyn EquationalTheory + Sync),
     recorder: &MetricsRecorder,
+    flight: &FlightRecorder,
 ) -> Result<(), String> {
     SHUTDOWN.store(false, Ordering::SeqCst);
     install_signal_handlers();
@@ -283,6 +310,7 @@ pub fn serve(
             path,
             config.log_level,
             config.log_max_bytes,
+            config.log_keep,
         )?),
         None => None,
     };
@@ -332,7 +360,7 @@ pub fn serve(
     let result = std::thread::scope(|scope| {
         let obs = &obs;
         if let Some(l) = metrics_listener {
-            scope.spawn(move || http::serve_http(l, obs, recorder, &SHUTDOWN));
+            scope.spawn(move || http::serve_http(l, obs, recorder, flight, &SHUTDOWN));
         }
         let out = (|| -> Result<(), String> {
             let configure = |mut e: IncrementalMergePurge| {
@@ -461,9 +489,14 @@ pub fn serve(
                 for (k, journal) in journals.into_iter().enumerate() {
                     let (stx, srx) = mpsc::sync_channel::<shard::ShardMsg>(config.queue_depth);
                     let shard_dir = prep.store.shard_dir(k);
-                    scope.spawn(move || {
-                        shard::run_worker(k, journal, shard_dir, srx, obs, recorder)
-                    });
+                    // Named so each worker keeps one stable lane in the
+                    // flight-recorder dump.
+                    std::thread::Builder::new()
+                        .name(format!("shard-{k}"))
+                        .spawn_scoped(scope, move || {
+                            shard::run_worker(k, journal, shard_dir, srx, obs, recorder)
+                        })
+                        .expect("spawn shard worker");
                     obs.set_shard_journal_replays(k, prep.shard_replays[k]);
                     obs.event(
                         Level::Info,
@@ -484,6 +517,10 @@ pub fn serve(
             };
             publish_gauges(&backend, obs);
             obs.set_replay_complete();
+            // Sweep the startup spans (load + journal replay) into their
+            // own flight entry so the first batch's entry holds only its
+            // own spans.
+            flight.record("startup", 0, false, recorder.drain_spans());
 
             // Stale socket file from an unclean previous run: remove,
             // then bind.
@@ -527,286 +564,394 @@ pub fn serve(
             let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
             let snapshot_every = config.snapshot_every;
             let (quiet, progress) = (config.quiet, config.progress);
+            let slow_batch_ms = config.slow_batch_ms;
+            // Process-unique trace-id prefix (wall millis XOR pid), so
+            // ids from successive daemon runs over the same store never
+            // collide in shipped logs.
+            let trace_nonce = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0)
+                ^ u64::from(std::process::id());
 
             // The worker owns the engine; jobs are applied strictly in
             // FIFO order, which is what makes the journal replayable.
-            let worker = scope.spawn(move || {
-                let mut clean = false;
-                let mut last_heartbeat_line = 0u64;
-                loop {
-                    // Bounded wait so the worker heartbeat stays fresh
-                    // while idle (healthz liveness).
-                    let job = match rx.recv_timeout(Duration::from_millis(250)) {
-                        Ok(job) => job,
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            obs.beat();
-                            if progress && !quiet {
-                                heartbeat_line(obs, &mut last_heartbeat_line);
-                            }
-                            continue;
-                        }
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            let worker = std::thread::Builder::new()
+                .name("engine".into())
+                .spawn_scoped(scope, move || {
+                    let mut clean = false;
+                    let mut last_heartbeat_line = 0u64;
+                    let mut trace_seq = 0u64;
+                    let mut last_trace_id: Option<String> = None;
+                    let mut mint_trace_id = move || {
+                        let id = format!("{trace_nonce:08x}-{trace_seq:08x}");
+                        trace_seq += 1;
+                        id
                     };
-                    obs.job_dequeued();
-                    obs.beat();
-                    match job {
-                        Job::Ingest(batch, reply) => {
-                            let n = batch.len();
-                            let _batch_span = span_labeled(recorder, "batch", || {
-                                format!("seq={}", backend.next_seq())
-                            });
-                            let started = std::time::Instant::now();
-                            let before = [
-                                recorder.get(Counter::Comparisons),
-                                recorder.get(Counter::RuleInvocations),
-                                recorder.get(Counter::Matches),
-                            ];
-                            let msg = match backend.ingest(batch, theory, recorder, obs) {
-                                Ok(seq) => {
-                                    let dur_ns = started.elapsed().as_nanos() as u64;
-                                    let matches =
-                                        recorder.get(Counter::Matches).saturating_sub(before[2]);
-                                    obs.record_batch(
-                                        n as u64,
-                                        recorder
-                                            .get(Counter::Comparisons)
-                                            .saturating_sub(before[0]),
-                                        recorder
-                                            .get(Counter::RuleInvocations)
-                                            .saturating_sub(before[1]),
-                                        matches,
-                                        dur_ns,
+                    loop {
+                        // Bounded wait so the worker heartbeat stays fresh
+                        // while idle (healthz liveness).
+                        let job = match rx.recv_timeout(Duration::from_millis(250)) {
+                            Ok(job) => job,
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                obs.beat();
+                                if progress && !quiet {
+                                    heartbeat_line(obs, &mut last_heartbeat_line);
+                                }
+                                continue;
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        };
+                        obs.job_dequeued();
+                        obs.beat();
+                        match job {
+                            Job::Ingest(batch, reply) => {
+                                let n = batch.len();
+                                let trace_id = mint_trace_id();
+                                let started = std::time::Instant::now();
+                                let before = [
+                                    recorder.get(Counter::Comparisons),
+                                    recorder.get(Counter::RuleInvocations),
+                                    recorder.get(Counter::Matches),
+                                ];
+                                // The batch span is scoped so its guard
+                                // records before the per-batch drain below.
+                                let msg = {
+                                    let _batch_span = span_labeled(recorder, "batch", || {
+                                        format!("trace={trace_id} seq={}", backend.next_seq())
+                                    });
+                                    match backend.ingest(batch, &trace_id, theory, recorder, obs) {
+                                        Ok(seq) => {
+                                            let dur_ns = started.elapsed().as_nanos() as u64;
+                                            let matches = recorder
+                                                .get(Counter::Matches)
+                                                .saturating_sub(before[2]);
+                                            obs.record_batch(
+                                                n as u64,
+                                                recorder
+                                                    .get(Counter::Comparisons)
+                                                    .saturating_sub(before[0]),
+                                                recorder
+                                                    .get(Counter::RuleInvocations)
+                                                    .saturating_sub(before[1]),
+                                                matches,
+                                                dur_ns,
+                                            );
+                                            let mut fields = vec![
+                                                ("batch_seq".into(), Json::Num(seq as f64)),
+                                                ("trace_id".into(), Json::Str(trace_id.clone())),
+                                                ("records".into(), Json::Num(n as f64)),
+                                                ("matches".into(), Json::Num(matches as f64)),
+                                                (
+                                                    "total_records".into(),
+                                                    Json::Num(
+                                                        backend.engine().records().len() as f64
+                                                    ),
+                                                ),
+                                                (
+                                                    "duration_ms".into(),
+                                                    Json::Num((dur_ns / 1_000_000) as f64),
+                                                ),
+                                            ];
+                                            if let Backend::Sharded(s) = &backend {
+                                                fields.push((
+                                                    "shard_records".into(),
+                                                    Json::Arr(
+                                                        s.last_scatter()
+                                                            .iter()
+                                                            .map(|&c| Json::Num(c as f64))
+                                                            .collect(),
+                                                    ),
+                                                ));
+                                            }
+                                            obs.event(Level::Info, "batch_ingested", fields);
+                                            if snapshot_every > 0
+                                                && backend.batches_since_checkpoint()
+                                                    >= snapshot_every
+                                            {
+                                                match backend.checkpoint(recorder, obs) {
+                                                    Ok(bytes) => obs.event(
+                                                        Level::Info,
+                                                        "checkpoint_written",
+                                                        vec![
+                                                            (
+                                                                "bytes".into(),
+                                                                Json::Num(bytes as f64),
+                                                            ),
+                                                            (
+                                                                "trigger".into(),
+                                                                Json::Str("snapshot-every".into()),
+                                                            ),
+                                                        ],
+                                                    ),
+                                                    Err(e) => {
+                                                        eprintln!(
+                                                    "mergepurge serve: checkpoint failed: {e}"
+                                                );
+                                                        obs.event(
+                                                            Level::Error,
+                                                            "checkpoint_failed",
+                                                            vec![(
+                                                                "error".into(),
+                                                                Json::Str(e.to_string()),
+                                                            )],
+                                                        );
+                                                    }
+                                                }
+                                            }
+                                            Json::Obj(vec![
+                                                ("ok".into(), Json::Bool(true)),
+                                                ("seq".into(), Json::Num(seq as f64)),
+                                                ("trace_id".into(), Json::Str(trace_id.clone())),
+                                                ("records".into(), Json::Num(n as f64)),
+                                                (
+                                                    "total_records".into(),
+                                                    Json::Num(
+                                                        backend.engine().records().len() as f64
+                                                    ),
+                                                ),
+                                            ])
+                                            .to_string()
+                                        }
+                                        Err(e) => {
+                                            obs.event(
+                                                Level::Error,
+                                                "ingest_failed",
+                                                vec![
+                                                    ("error".into(), Json::Str(e.to_string())),
+                                                    (
+                                                        "trace_id".into(),
+                                                        Json::Str(trace_id.clone()),
+                                                    ),
+                                                ],
+                                            );
+                                            if backend.poisoned() {
+                                                // A partial shard append: disk and
+                                                // memory may disagree on sequence
+                                                // alignment. Stop taking traffic;
+                                                // recovery discards the partial
+                                                // scatter on restart.
+                                                eprintln!(
+                                            "mergepurge serve: store poisoned, shutting down: {e}"
+                                        );
+                                                obs.event(Level::Error, "store_poisoned", vec![]);
+                                                SHUTDOWN.store(true, Ordering::SeqCst);
+                                            }
+                                            err_json(&format!("ingest failed: {e}"))
+                                        }
+                                    }
+                                };
+                                // All of the batch's spans are closed now
+                                // (band threads joined, shard workers acked
+                                // before their guards dropped, batch guard
+                                // dropped above): sweep them into one flight
+                                // entry and decompose the critical path.
+                                let total_ns = started.elapsed().as_nanos() as u64;
+                                let tracks = recorder.drain_spans();
+                                if !tracks.is_empty() {
+                                    let phases = PhaseBreakdown::from_tracks(&tracks);
+                                    obs.record_batch_phases(&phases);
+                                    let slow = slow_batch_ms > 0
+                                        && total_ns >= slow_batch_ms.saturating_mul(1_000_000);
+                                    if slow {
+                                        let mut fields = vec![
+                                            ("trace_id".into(), Json::Str(trace_id.clone())),
+                                            (
+                                                "duration_ms".into(),
+                                                Json::Num(total_ns as f64 / 1e6),
+                                            ),
+                                            (
+                                                "threshold_ms".into(),
+                                                Json::Num(slow_batch_ms as f64),
+                                            ),
+                                        ];
+                                        fields.extend(phases.event_fields());
+                                        obs.event(Level::Warn, "slow_batch", fields);
+                                    }
+                                    flight.record(
+                                        trace_id.clone(),
+                                        last_seq(&backend),
+                                        slow,
+                                        tracks,
                                     );
-                                    let mut fields = vec![
-                                        ("batch_seq".into(), Json::Num(seq as f64)),
-                                        ("records".into(), Json::Num(n as f64)),
-                                        ("matches".into(), Json::Num(matches as f64)),
+                                }
+                                last_trace_id = Some(trace_id);
+                                publish_gauges(&backend, obs);
+                                let _ = reply.send(msg);
+                            }
+                            Job::Query(id, reply) => {
+                                obs.event(
+                                    Level::Debug,
+                                    "query_matches",
+                                    vec![("id".into(), Json::Num(id as f64))],
+                                );
+                                let msg = if (id as usize) < backend.engine().records().len() {
+                                    let class = backend
+                                        .engine()
+                                        .classes()
+                                        .into_iter()
+                                        .find(|c| c.contains(&id))
+                                        .unwrap_or_else(|| vec![id]);
+                                    Json::Obj(vec![
+                                        ("ok".into(), Json::Bool(true)),
+                                        ("id".into(), Json::Num(id as f64)),
                                         (
-                                            "total_records".into(),
-                                            Json::Num(backend.engine().records().len() as f64),
-                                        ),
-                                        (
-                                            "duration_ms".into(),
-                                            Json::Num((dur_ns / 1_000_000) as f64),
-                                        ),
-                                    ];
-                                    if let Backend::Sharded(s) = &backend {
-                                        fields.push((
-                                            "shard_records".into(),
+                                            "class".into(),
                                             Json::Arr(
-                                                s.last_scatter()
+                                                class
                                                     .iter()
-                                                    .map(|&c| Json::Num(c as f64))
+                                                    .map(|&r| Json::Num(r as f64))
                                                     .collect(),
                                             ),
-                                        ));
-                                    }
-                                    obs.event(Level::Info, "batch_ingested", fields);
-                                    if snapshot_every > 0
-                                        && backend.batches_since_checkpoint() >= snapshot_every
-                                    {
-                                        match backend.checkpoint(recorder, obs) {
-                                            Ok(bytes) => obs.event(
+                                        ),
+                                        ("seq".into(), Json::Num(last_seq(&backend) as f64)),
+                                    ])
+                                    .to_string()
+                                } else {
+                                    err_json(&format!(
+                                        "record id {id} out of range ({} records)",
+                                        backend.engine().records().len()
+                                    ))
+                                };
+                                let _ = reply.send(msg);
+                            }
+                            Job::Stats(reply) => {
+                                obs.event(Level::Debug, "stats", vec![]);
+                                let _ = reply.send(stats_json(
+                                    &backend,
+                                    recorder,
+                                    obs,
+                                    flight,
+                                    last_trace_id.as_deref(),
+                                ));
+                            }
+                            Job::Snapshot(reply) => {
+                                let trace_id = mint_trace_id();
+                                let msg = {
+                                    let _snap_span = span_labeled(recorder, "batch", || {
+                                        format!("trace={trace_id} snapshot")
+                                    });
+                                    match backend.checkpoint(recorder, obs) {
+                                        Ok(bytes) => {
+                                            obs.event(
                                                 Level::Info,
                                                 "checkpoint_written",
                                                 vec![
                                                     ("bytes".into(), Json::Num(bytes as f64)),
                                                     (
                                                         "trigger".into(),
-                                                        Json::Str("snapshot-every".into()),
+                                                        Json::Str("snapshot-cmd".into()),
                                                     ),
                                                 ],
-                                            ),
-                                            Err(e) => {
-                                                eprintln!(
-                                                    "mergepurge serve: checkpoint failed: {e}"
-                                                );
-                                                obs.event(
-                                                    Level::Error,
-                                                    "checkpoint_failed",
-                                                    vec![(
-                                                        "error".into(),
-                                                        Json::Str(e.to_string()),
-                                                    )],
-                                                );
-                                            }
+                                            );
+                                            Json::Obj(vec![
+                                                ("ok".into(), Json::Bool(true)),
+                                                ("bytes".into(), Json::Num(bytes as f64)),
+                                            ])
+                                            .to_string()
+                                        }
+                                        Err(e) => {
+                                            obs.event(
+                                                Level::Error,
+                                                "checkpoint_failed",
+                                                vec![("error".into(), Json::Str(e.to_string()))],
+                                            );
+                                            err_json(&format!("snapshot failed: {e}"))
                                         }
                                     }
-                                    Json::Obj(vec![
-                                        ("ok".into(), Json::Bool(true)),
-                                        ("seq".into(), Json::Num(seq as f64)),
-                                        ("records".into(), Json::Num(n as f64)),
-                                        (
-                                            "total_records".into(),
-                                            Json::Num(backend.engine().records().len() as f64),
-                                        ),
-                                    ])
-                                    .to_string()
-                                }
-                                Err(e) => {
-                                    obs.event(
-                                        Level::Error,
-                                        "ingest_failed",
-                                        vec![("error".into(), Json::Str(e.to_string()))],
-                                    );
-                                    if backend.poisoned() {
-                                        // A partial shard append: disk and
-                                        // memory may disagree on sequence
-                                        // alignment. Stop taking traffic;
-                                        // recovery discards the partial
-                                        // scatter on restart.
-                                        eprintln!(
-                                            "mergepurge serve: store poisoned, shutting down: {e}"
-                                        );
-                                        obs.event(Level::Error, "store_poisoned", vec![]);
-                                        SHUTDOWN.store(true, Ordering::SeqCst);
-                                    }
-                                    err_json(&format!("ingest failed: {e}"))
-                                }
-                            };
-                            publish_gauges(&backend, obs);
-                            let _ = reply.send(msg);
-                        }
-                        Job::Query(id, reply) => {
-                            obs.event(
-                                Level::Debug,
-                                "query_matches",
-                                vec![("id".into(), Json::Num(id as f64))],
-                            );
-                            let msg = if (id as usize) < backend.engine().records().len() {
-                                let class = backend
-                                    .engine()
-                                    .classes()
-                                    .into_iter()
-                                    .find(|c| c.contains(&id))
-                                    .unwrap_or_else(|| vec![id]);
-                                Json::Obj(vec![
-                                    ("ok".into(), Json::Bool(true)),
-                                    ("id".into(), Json::Num(id as f64)),
-                                    (
-                                        "class".into(),
-                                        Json::Arr(
-                                            class.iter().map(|&r| Json::Num(r as f64)).collect(),
-                                        ),
-                                    ),
-                                    ("seq".into(), Json::Num(last_seq(&backend) as f64)),
-                                ])
-                                .to_string()
-                            } else {
-                                err_json(&format!(
-                                    "record id {id} out of range ({} records)",
-                                    backend.engine().records().len()
-                                ))
-                            };
-                            let _ = reply.send(msg);
-                        }
-                        Job::Stats(reply) => {
-                            obs.event(Level::Debug, "stats", vec![]);
-                            let _ = reply.send(stats_json(&backend, recorder, obs));
-                        }
-                        Job::Snapshot(reply) => {
-                            let _snap_span = span_labeled(recorder, "batch", || "snapshot".into());
-                            let msg = match backend.checkpoint(recorder, obs) {
-                                Ok(bytes) => {
-                                    obs.event(
-                                        Level::Info,
-                                        "checkpoint_written",
-                                        vec![
-                                            ("bytes".into(), Json::Num(bytes as f64)),
-                                            ("trigger".into(), Json::Str("snapshot-cmd".into())),
-                                        ],
-                                    );
-                                    Json::Obj(vec![
-                                        ("ok".into(), Json::Bool(true)),
-                                        ("bytes".into(), Json::Num(bytes as f64)),
-                                    ])
-                                    .to_string()
-                                }
-                                Err(e) => {
-                                    obs.event(
-                                        Level::Error,
-                                        "checkpoint_failed",
-                                        vec![("error".into(), Json::Str(e.to_string()))],
-                                    );
-                                    err_json(&format!("snapshot failed: {e}"))
-                                }
-                            };
-                            publish_gauges(&backend, obs);
-                            let _ = reply.send(msg);
-                        }
-                        Job::Shutdown(reply) => {
-                            SHUTDOWN.store(true, Ordering::SeqCst);
-                            obs.set_accepting(false);
-                            obs.event(Level::Info, "shutdown_begun", vec![]);
-                            // Jobs accepted after the shutdown request sit
-                            // behind it in the queue; refuse them.
-                            while let Ok(late) = rx.try_recv() {
-                                obs.job_dequeued();
-                                let sender = match late {
-                                    Job::Ingest(_, s)
-                                    | Job::Query(_, s)
-                                    | Job::Stats(s)
-                                    | Job::Snapshot(s)
-                                    | Job::Shutdown(s) => s,
                                 };
-                                let _ = sender.send(err_json("shutting-down"));
+                                flight.record(
+                                    trace_id.clone(),
+                                    last_seq(&backend),
+                                    false,
+                                    recorder.drain_spans(),
+                                );
+                                last_trace_id = Some(trace_id);
+                                publish_gauges(&backend, obs);
+                                let _ = reply.send(msg);
                             }
-                            let msg = match backend.checkpoint(recorder, obs) {
-                                Ok(bytes) => {
-                                    obs.event(
-                                        Level::Info,
-                                        "checkpoint_written",
-                                        vec![
+                            Job::Shutdown(reply) => {
+                                SHUTDOWN.store(true, Ordering::SeqCst);
+                                obs.set_accepting(false);
+                                obs.event(Level::Info, "shutdown_begun", vec![]);
+                                // Jobs accepted after the shutdown request sit
+                                // behind it in the queue; refuse them.
+                                while let Ok(late) = rx.try_recv() {
+                                    obs.job_dequeued();
+                                    let sender = match late {
+                                        Job::Ingest(_, s)
+                                        | Job::Query(_, s)
+                                        | Job::Stats(s)
+                                        | Job::Snapshot(s)
+                                        | Job::Shutdown(s) => s,
+                                    };
+                                    let _ = sender.send(err_json("shutting-down"));
+                                }
+                                let msg = match backend.checkpoint(recorder, obs) {
+                                    Ok(bytes) => {
+                                        obs.event(
+                                            Level::Info,
+                                            "checkpoint_written",
+                                            vec![
+                                                ("bytes".into(), Json::Num(bytes as f64)),
+                                                ("trigger".into(), Json::Str("shutdown".into())),
+                                            ],
+                                        );
+                                        Json::Obj(vec![
+                                            ("ok".into(), Json::Bool(true)),
                                             ("bytes".into(), Json::Num(bytes as f64)),
-                                            ("trigger".into(), Json::Str("shutdown".into())),
-                                        ],
-                                    );
-                                    Json::Obj(vec![
-                                        ("ok".into(), Json::Bool(true)),
-                                        ("bytes".into(), Json::Num(bytes as f64)),
-                                    ])
-                                    .to_string()
-                                }
-                                Err(e) => {
-                                    obs.event(
-                                        Level::Error,
-                                        "checkpoint_failed",
-                                        vec![("error".into(), Json::Str(e.to_string()))],
-                                    );
-                                    err_json(&format!("final snapshot failed: {e}"))
-                                }
-                            };
-                            publish_gauges(&backend, obs);
-                            let _ = reply.send(msg);
-                            clean = true;
-                            break;
+                                        ])
+                                        .to_string()
+                                    }
+                                    Err(e) => {
+                                        obs.event(
+                                            Level::Error,
+                                            "checkpoint_failed",
+                                            vec![("error".into(), Json::Str(e.to_string()))],
+                                        );
+                                        err_json(&format!("final snapshot failed: {e}"))
+                                    }
+                                };
+                                publish_gauges(&backend, obs);
+                                let _ = reply.send(msg);
+                                clean = true;
+                                break;
+                            }
                         }
                     }
-                }
-                if !clean {
-                    // Channel closed without an explicit shutdown job
-                    // (signal path): still leave a snapshot behind.
-                    obs.set_accepting(false);
-                    match backend.checkpoint(recorder, obs) {
-                        Ok(bytes) => obs.event(
-                            Level::Info,
-                            "checkpoint_written",
-                            vec![
-                                ("bytes".into(), Json::Num(bytes as f64)),
-                                ("trigger".into(), Json::Str("signal".into())),
-                            ],
-                        ),
-                        Err(e) => {
-                            eprintln!("mergepurge serve: final checkpoint failed: {e}");
-                            obs.event(
-                                Level::Error,
-                                "checkpoint_failed",
-                                vec![("error".into(), Json::Str(e.to_string()))],
-                            );
+                    if !clean {
+                        // Channel closed without an explicit shutdown job
+                        // (signal path): still leave a snapshot behind.
+                        obs.set_accepting(false);
+                        match backend.checkpoint(recorder, obs) {
+                            Ok(bytes) => obs.event(
+                                Level::Info,
+                                "checkpoint_written",
+                                vec![
+                                    ("bytes".into(), Json::Num(bytes as f64)),
+                                    ("trigger".into(), Json::Str("signal".into())),
+                                ],
+                            ),
+                            Err(e) => {
+                                eprintln!("mergepurge serve: final checkpoint failed: {e}");
+                                obs.event(
+                                    Level::Error,
+                                    "checkpoint_failed",
+                                    vec![("error".into(), Json::Str(e.to_string()))],
+                                );
+                            }
                         }
                     }
-                }
-            });
+                    // Final sweep so a `--trace` dump written after exit
+                    // includes the shutdown checkpoint's spans.
+                    flight.record(
+                        mint_trace_id(),
+                        last_seq(&backend),
+                        false,
+                        recorder.drain_spans(),
+                    );
+                })
+                .expect("spawn engine worker");
 
             // TCP accept thread: same poll loop as the Unix one below,
             // same per-connection threads, same dispatch.
@@ -818,7 +963,8 @@ pub fn serve(
                             Ok((stream, _)) => {
                                 let _ = stream.set_read_timeout(Some(POLL));
                                 let tx = tcp_tx.clone();
-                                scope.spawn(move || handle_conn(stream, &tx, obs, recorder));
+                                scope
+                                    .spawn(move || handle_conn(stream, &tx, obs, recorder, flight));
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(25));
@@ -838,7 +984,7 @@ pub fn serve(
                     Ok((stream, _)) => {
                         let _ = stream.set_read_timeout(Some(POLL));
                         let tx = tx.clone();
-                        scope.spawn(move || handle_conn(stream, &tx, obs, recorder));
+                        scope.spawn(move || handle_conn(stream, &tx, obs, recorder, flight));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(25));
@@ -930,6 +1076,7 @@ fn handle_conn(
     tx: &SyncSender<Job>,
     obs: &ObsState,
     recorder: &MetricsRecorder,
+    flight: &FlightRecorder,
 ) {
     loop {
         let frame = match read_frame_with_shutdown(&mut stream) {
@@ -937,7 +1084,7 @@ fn handle_conn(
             Ok(None) => return, // clean EOF or shutdown
             Err(_) => return,
         };
-        let response = dispatch(&frame, tx, obs, recorder);
+        let response = dispatch(&frame, tx, obs, recorder, flight);
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
@@ -952,6 +1099,7 @@ fn dispatch(
     tx: &SyncSender<Job>,
     obs: &ObsState,
     recorder: &MetricsRecorder,
+    flight: &FlightRecorder,
 ) -> String {
     let req = match Json::parse(frame) {
         Ok(v) => v,
@@ -1023,6 +1171,14 @@ fn dispatch(
             ("exposition".into(), Json::Str(obs.exposition(recorder))),
         ])
         .to_string(),
+        "trace" => Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("format".into(), Json::Str("chrome-trace-json".into())),
+            ("entries".into(), Json::Num(flight.len() as f64)),
+            ("pinned".into(), Json::Num(flight.pinned_len() as f64)),
+            ("trace".into(), Json::Str(flight.chrome_json())),
+        ])
+        .to_string(),
         "healthz" => obs.healthz_json(),
         "readyz" => obs.readyz_json(),
         "shutdown" => {
@@ -1051,16 +1207,23 @@ fn enqueue_and_wait(
         .unwrap_or_else(|_| err_json("shutting-down"))
 }
 
-/// The `stats` response (reply schema 4). The `store` object is
+/// The `stats` response (reply schema 5). The `store` object is
 /// **deterministic**: it is a pure function of the acknowledged batch
 /// sequence, so it compares equal across single-process, kill/restart,
-/// *and* single-vs-sharded runs (CI enforces this) — schemas 3 and 4
+/// *and* single-vs-sharded runs (CI enforces this) — schemas 3 through 5
 /// only *add* sections around it. `seq` is the acknowledged-journal
 /// watermark; `process` is local to this daemon process; `health` and
-/// `windows` are live observability views; `shards` (schema 4, sharded
-/// daemons only) reports per-shard ownership and replay state (see
-/// `docs/OBSERVABILITY.md`).
-fn stats_json(backend: &Backend, recorder: &MetricsRecorder, obs: &ObsState) -> String {
+/// `windows` are live observability views; `tracing` (schema 5) reports
+/// the last minted trace id and the flight recorder's fill; `shards`
+/// (sharded daemons only) reports per-shard ownership, replay state,
+/// and scan-latency quantiles (see `docs/OBSERVABILITY.md`).
+fn stats_json(
+    backend: &Backend,
+    recorder: &MetricsRecorder,
+    obs: &ObsState,
+    flight: &FlightRecorder,
+    last_trace_id: Option<&str>,
+) -> String {
     let engine = backend.engine();
     let classes = engine.classes();
     let duplicates: usize = classes.iter().map(|c| c.len() - 1).sum();
@@ -1109,14 +1272,34 @@ fn stats_json(backend: &Backend, recorder: &MetricsRecorder, obs: &ObsState) -> 
             Json::Num(backend.batches_since_checkpoint() as f64),
         ),
     ]);
+    let tracing = Json::Obj(vec![
+        (
+            "last_trace_id".into(),
+            match last_trace_id {
+                Some(id) => Json::Str(id.to_string()),
+                None => Json::Null,
+            },
+        ),
+        ("flight_entries".into(), Json::Num(flight.len() as f64)),
+        (
+            "flight_pinned".into(),
+            Json::Num(flight.pinned_len() as f64),
+        ),
+        ("imbalance_1m".into(), Json::Num(obs.imbalance_mean(60))),
+        (
+            "reconcile_p99_ns".into(),
+            Json::Num(obs.reconcile.snapshot().p99_ns as f64),
+        ),
+    ]);
     let mut reply = vec![
         ("ok".into(), Json::Bool(true)),
-        ("schema".into(), Json::Num(4.0)),
+        ("schema".into(), Json::Num(5.0)),
         ("seq".into(), Json::Num(last_seq(backend) as f64)),
         ("store".into(), store),
         ("process".into(), process),
         ("health".into(), obs.health_json()),
         ("windows".into(), obs.windows_json()),
+        ("tracing".into(), tracing),
     ];
     if let Some(shards) = obs.shards_json() {
         reply.push(("shards".into(), shards));

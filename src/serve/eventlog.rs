@@ -13,10 +13,13 @@
 //!   emit time by the configured minimum level;
 //! * `event` names the event; remaining keys are event-specific fields.
 //!
-//! Rotation is size-based with a single kept generation: when a write
-//! would push the file past the configured limit, the file is renamed to
-//! `FILE.1` (replacing any previous generation) and a fresh `FILE` is
-//! started. Sequence numbers continue across rotations.
+//! Rotation is size-based with `keep` retained generations (default 1):
+//! when a write would push the file past the configured limit, the
+//! existing generations shift (`FILE.keep-1` → `FILE.keep`, …, `FILE.1`
+//! → `FILE.2`), the file is renamed to `FILE.1`, and a fresh `FILE` is
+//! started — the generation past `keep` falls off. Sequence numbers
+//! continue across rotations. `mergepurge serve --log-keep N` raises the
+//! retention so slow-batch forensics are not rotated away under traffic.
 
 use super::json::Json;
 use std::fs::{File, OpenOptions};
@@ -64,6 +67,9 @@ impl Level {
 /// Default rotation threshold: 1 MiB.
 pub const DEFAULT_MAX_BYTES: u64 = 1024 * 1024;
 
+/// Default number of rotated generations kept (`FILE.1` only).
+pub const DEFAULT_KEEP: usize = 1;
+
 struct Inner {
     file: File,
     bytes: u64,
@@ -75,6 +81,7 @@ struct Inner {
 pub struct EventLog {
     path: PathBuf,
     max_bytes: u64,
+    keep: usize,
     min_level: Level,
     inner: Mutex<Inner>,
 }
@@ -84,6 +91,7 @@ impl std::fmt::Debug for EventLog {
         f.debug_struct("EventLog")
             .field("path", &self.path)
             .field("max_bytes", &self.max_bytes)
+            .field("keep", &self.keep)
             .field("min_level", &self.min_level.name())
             .finish()
     }
@@ -91,8 +99,9 @@ impl std::fmt::Debug for EventLog {
 
 impl EventLog {
     /// Opens (appending to) the event log at `path`. Events below
-    /// `min_level` are dropped at emit time; the file rotates to
-    /// `path.1` when it would exceed `max_bytes`.
+    /// `min_level` are dropped at emit time; the file rotates through
+    /// `path.1` … `path.keep` when it would exceed `max_bytes` (`keep`
+    /// is clamped to at least 1).
     ///
     /// # Errors
     ///
@@ -102,6 +111,7 @@ impl EventLog {
         path: impl Into<PathBuf>,
         min_level: Level,
         max_bytes: u64,
+        keep: usize,
     ) -> Result<Self, String> {
         let path = path.into();
         let file = OpenOptions::new()
@@ -116,6 +126,7 @@ impl EventLog {
         Ok(EventLog {
             path,
             max_bytes: max_bytes.max(1),
+            keep: keep.max(1),
             min_level,
             inner: Mutex::new(Inner {
                 file,
@@ -125,11 +136,16 @@ impl EventLog {
         })
     }
 
-    /// The rotated generation's path (`FILE.1`).
-    pub fn rotated_path(&self) -> PathBuf {
+    /// The path of rotated generation `n` (`FILE.n`).
+    pub fn generation_path(&self, n: usize) -> PathBuf {
         let mut name = self.path.as_os_str().to_os_string();
-        name.push(".1");
+        name.push(format!(".{n}"));
         PathBuf::from(name)
+    }
+
+    /// The newest rotated generation's path (`FILE.1`).
+    pub fn rotated_path(&self) -> PathBuf {
+        self.generation_path(1)
     }
 
     /// Whether `level` passes the configured filter.
@@ -176,6 +192,14 @@ impl EventLog {
 
     fn rotate(&self, inner: &mut Inner) -> std::io::Result<()> {
         inner.file.flush()?;
+        // Shift the retained generations up (the one past `keep` falls
+        // off via the rename onto it), oldest first.
+        for n in (1..self.keep).rev() {
+            let from = self.generation_path(n);
+            if from.exists() {
+                std::fs::rename(&from, self.generation_path(n + 1))?;
+            }
+        }
         std::fs::rename(&self.path, self.rotated_path())?;
         inner.file = OpenOptions::new()
             .create(true)
@@ -194,7 +218,9 @@ mod tests {
     fn tmp_log(name: &str) -> PathBuf {
         let p = std::env::temp_dir().join(format!("mp-evlog-{}-{name}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&p);
-        let _ = std::fs::remove_file(format!("{}.1", p.display()));
+        for n in 1..=4 {
+            let _ = std::fs::remove_file(format!("{}.{n}", p.display()));
+        }
         p
     }
 
@@ -209,7 +235,7 @@ mod tests {
     #[test]
     fn events_are_sequenced_and_leveled() {
         let path = tmp_log("seq");
-        let log = EventLog::open(&path, Level::Info, DEFAULT_MAX_BYTES).unwrap();
+        let log = EventLog::open(&path, Level::Info, DEFAULT_MAX_BYTES, DEFAULT_KEEP).unwrap();
         log.event(Level::Info, "a", vec![]);
         log.event(Level::Debug, "dropped", vec![]); // below min level
         log.event(Level::Warn, "b", vec![("records".into(), Json::Num(7.0))]);
@@ -231,7 +257,7 @@ mod tests {
     #[test]
     fn rotation_keeps_one_generation_and_sequence_continues() {
         let path = tmp_log("rotate");
-        let log = EventLog::open(&path, Level::Debug, 300).unwrap();
+        let log = EventLog::open(&path, Level::Debug, 300, DEFAULT_KEEP).unwrap();
         for i in 0..20 {
             log.event(Level::Info, "fill", vec![("i".into(), Json::Num(i as f64))]);
         }
@@ -256,12 +282,49 @@ mod tests {
     }
 
     #[test]
+    fn keep_three_retains_three_generations_in_order() {
+        let path = tmp_log("keep3");
+        // ~95-byte lines against a 150-byte cap: every second event
+        // rotates, so 10 events produce well over 4 generations' worth.
+        let log = EventLog::open(&path, Level::Debug, 150, 3).unwrap();
+        for i in 0..10 {
+            log.event(Level::Info, "fill", vec![("i".into(), Json::Num(i as f64))]);
+        }
+        for n in 1..=3 {
+            assert!(
+                log.generation_path(n).exists(),
+                "generation .{n} is retained"
+            );
+        }
+        assert!(
+            !log.generation_path(4).exists(),
+            "generation past --log-keep falls off"
+        );
+        // Oldest-to-newest read order is .3, .2, .1, FILE; sequence
+        // numbers must be contiguous across every surviving boundary.
+        let all: Vec<u64> = [3usize, 2, 1]
+            .iter()
+            .map(|&n| log.generation_path(n))
+            .chain(std::iter::once(path.clone()))
+            .flat_map(|p| lines(&p))
+            .map(|l| l.get("seq").and_then(Json::as_u64).unwrap())
+            .collect();
+        let want: Vec<u64> = (all[0]..all[0] + all.len() as u64).collect();
+        assert_eq!(all, want, "gap-free across 3 retained generations");
+        assert_eq!(*all.last().unwrap(), 10);
+        let _ = std::fs::remove_file(&path);
+        for n in 1..=3 {
+            let _ = std::fs::remove_file(log.generation_path(n));
+        }
+    }
+
+    #[test]
     fn level_parse_and_order() {
         assert_eq!(Level::parse("debug"), Some(Level::Debug));
         assert_eq!(Level::parse("nope"), None);
         assert!(Level::Error < Level::Debug);
         let path = tmp_log("levels");
-        let log = EventLog::open(&path, Level::Error, DEFAULT_MAX_BYTES).unwrap();
+        let log = EventLog::open(&path, Level::Error, DEFAULT_MAX_BYTES, DEFAULT_KEEP).unwrap();
         assert!(log.enabled(Level::Error));
         assert!(!log.enabled(Level::Warn));
         let _ = std::fs::remove_file(&path);

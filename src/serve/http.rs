@@ -9,14 +9,17 @@
 //! * `GET /healthz` — engine-worker liveness (200, or 503 when the
 //!   heartbeat is stale);
 //! * `GET /readyz`  — traffic readiness (200, or 503 during journal
-//!   replay, backpressure, or shutdown).
+//!   replay, backpressure, or shutdown);
+//! * `GET /trace`   — the flight recorder's retained batch spans as
+//!   Chrome trace-event JSON (always 200; an empty document before the
+//!   first batch), loadable directly in Perfetto.
 //!
 //! Everything else is 404. Connections are `Connection: close`; the
 //! accept loop is nonblocking and polls the daemon's shutdown flag, so
 //! the thread exits promptly on SIGTERM.
 
 use super::obs::ObsState;
-use mp_metrics::MetricsRecorder;
+use mp_metrics::{FlightRecorder, MetricsRecorder};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,6 +32,7 @@ pub fn serve_http(
     listener: TcpListener,
     obs: &ObsState,
     recorder: &MetricsRecorder,
+    flight: &FlightRecorder,
     shutdown: &AtomicBool,
 ) {
     if listener.set_nonblocking(true).is_err() {
@@ -40,7 +44,7 @@ pub fn serve_http(
             Ok((stream, _)) => {
                 // Serve inline: scrapes are small, rare (seconds apart),
                 // and must not outlive the daemon's thread scope.
-                let _ = handle(stream, obs, recorder);
+                let _ = handle(stream, obs, recorder, flight);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -99,6 +103,7 @@ fn handle(
     mut stream: TcpStream,
     obs: &ObsState,
     recorder: &MetricsRecorder,
+    flight: &FlightRecorder,
 ) -> std::io::Result<()> {
     let target = match read_target(&mut stream) {
         Ok(t) => t,
@@ -134,6 +139,12 @@ fn handle(
             };
             respond(&mut stream, status, "application/json", &obs.readyz_json())
         }
+        "/trace" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &flight.chrome_json(),
+        ),
         _ => respond(&mut stream, "404 Not Found", "text/plain", "unknown path\n"),
     }
 }
@@ -160,10 +171,15 @@ mod tests {
         let obs = ObsState::new(4, None);
         obs.init_shards(2);
         obs.beat();
-        let recorder = MetricsRecorder::new();
+        let recorder = MetricsRecorder::new().with_tracing();
+        let flight = FlightRecorder::default();
+        {
+            let _s = mp_metrics::span_labeled(&recorder, "batch", || "trace=http-test".into());
+        }
+        flight.record("http-test", 1, false, recorder.drain_spans());
         let shutdown = AtomicBool::new(false);
         std::thread::scope(|s| {
-            s.spawn(|| serve_http(listener, &obs, &recorder, &shutdown));
+            s.spawn(|| serve_http(listener, &obs, &recorder, &flight, &shutdown));
 
             let (head, body) = get(addr, "/metrics");
             assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
@@ -189,6 +205,12 @@ mod tests {
             let (head, body) = get(addr, "/healthz");
             assert!(head.starts_with("HTTP/1.1 200"), "{head}");
             assert!(body.contains("\"alive\":true"));
+
+            let (head, body) = get(addr, "/trace");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert!(head.contains("application/json"), "{head}");
+            assert!(body.contains("\"traceEvents\""), "{body}");
+            assert!(body.contains("trace=http-test"), "{body}");
 
             let (head, _) = get(addr, "/nope");
             assert!(head.starts_with("HTTP/1.1 404"), "{head}");

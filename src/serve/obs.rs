@@ -17,7 +17,9 @@
 use super::eventlog::{EventLog, Level};
 use super::json::Json;
 use mp_metrics::rolling::{RollingRing, WindowCounter, WINDOWS};
-use mp_metrics::{Counter, LatencyHistogram, MetricsRecorder, PipelineObserver, PromWriter};
+use mp_metrics::{
+    Counter, LatencyHistogram, MetricsRecorder, PipelineObserver, PromWriter, TrackSpans,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -37,6 +39,111 @@ pub struct ShardObs {
     journal_replays: AtomicU64,
     records: AtomicU64,
     queue_depth: AtomicU64,
+    /// Cumulative per-shard window-scan latency (`shard_scan` span
+    /// durations, recorded from each batch's drained trace).
+    scan: LatencyHistogram,
+}
+
+/// Per-batch critical-path decomposition, extracted from the batch's
+/// drained spans: where did the wall-clock go — the slowest shard's
+/// window scan, the cross-shard reconcile fold, or the slowest shard
+/// journal fsync?
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Total `shard_scan` time per shard band, as `(shard, ns)`.
+    pub scan_ns: Vec<(usize, u64)>,
+    /// The slowest band's total scan time (0 when unsharded).
+    pub scan_max_ns: u64,
+    /// The band that took `scan_max_ns`.
+    pub slowest_shard: Option<usize>,
+    /// Total `closure_reconcile` time (the cross-shard fold).
+    pub reconcile_ns: u64,
+    /// The slowest shard worker's `shard_ingest` (journal append +
+    /// fsync) time.
+    pub journal_max_ns: u64,
+    /// `1000 · max/mean` of the per-band scan times — the batch's shard
+    /// imbalance as a milli-ratio (0 with fewer than two active bands).
+    pub imbalance_milli: u64,
+}
+
+/// Parses the shard index out of a `shard=K …` span label.
+fn label_shard(label: &str) -> Option<usize> {
+    let rest = label.strip_prefix("shard=")?;
+    let digits = rest.split(|c: char| !c.is_ascii_digit()).next()?;
+    digits.parse().ok()
+}
+
+impl PhaseBreakdown {
+    /// Decomposes one batch's drained tracks by span name: `shard_scan`
+    /// durations per band, `closure_reconcile` total, and the slowest
+    /// `shard_ingest` (the journal-fsync leg).
+    pub fn from_tracks(tracks: &[TrackSpans]) -> Self {
+        let mut out = PhaseBreakdown::default();
+        for t in tracks {
+            for s in &t.spans {
+                match s.name {
+                    "shard_scan" => {
+                        let k = s.label.as_deref().and_then(label_shard).unwrap_or(0);
+                        match out.scan_ns.iter_mut().find(|(shard, _)| *shard == k) {
+                            Some((_, ns)) => *ns += s.dur_ns(),
+                            None => out.scan_ns.push((k, s.dur_ns())),
+                        }
+                    }
+                    "closure_reconcile" => out.reconcile_ns += s.dur_ns(),
+                    "shard_ingest" => out.journal_max_ns = out.journal_max_ns.max(s.dur_ns()),
+                    _ => {}
+                }
+            }
+        }
+        out.scan_ns.sort_by_key(|&(k, _)| k);
+        if let Some(&(k, ns)) = out.scan_ns.iter().max_by_key(|&&(_, ns)| ns) {
+            out.scan_max_ns = ns;
+            out.slowest_shard = Some(k);
+        }
+        if out.scan_ns.len() >= 2 {
+            let sum: u64 = out.scan_ns.iter().map(|&(_, ns)| ns).sum();
+            let mean = sum as f64 / out.scan_ns.len() as f64;
+            if mean > 0.0 {
+                out.imbalance_milli = (out.scan_max_ns as f64 / mean * 1000.0).round() as u64;
+            }
+        }
+        out
+    }
+
+    /// Which phase dominated the batch: `"shard_scan"`, `"reconcile"`,
+    /// or `"journal_fsync"` (ties go to the earlier phase).
+    pub fn critical_phase(&self) -> &'static str {
+        if self.scan_max_ns >= self.reconcile_ns && self.scan_max_ns >= self.journal_max_ns {
+            "shard_scan"
+        } else if self.reconcile_ns >= self.journal_max_ns {
+            "reconcile"
+        } else {
+            "journal_fsync"
+        }
+    }
+
+    /// The event-log/`slow_batch` field list for this breakdown, in
+    /// milliseconds (trace durations are ns; events report ms).
+    pub fn event_fields(&self) -> Vec<(String, Json)> {
+        let ms = |ns: u64| Json::Num(ns as f64 / 1e6);
+        let mut fields = vec![
+            (
+                "critical_phase".into(),
+                Json::Str(self.critical_phase().into()),
+            ),
+            ("scan_max_ms".into(), ms(self.scan_max_ns)),
+            ("reconcile_ms".into(), ms(self.reconcile_ns)),
+            ("journal_max_ms".into(), ms(self.journal_max_ns)),
+            (
+                "imbalance".into(),
+                Json::Num(self.imbalance_milli as f64 / 1000.0),
+            ),
+        ];
+        if let Some(k) = self.slowest_shard {
+            fields.push(("slowest_shard".into(), Json::Num(k as f64)));
+        }
+        fields
+    }
 }
 
 /// Shared observability state for one daemon process.
@@ -48,6 +155,13 @@ pub struct ObsState {
     /// Cumulative batch-ingest latency histogram (journal append +
     /// engine fold, per acknowledged batch).
     pub batch_latency: LatencyHistogram,
+    /// Cumulative cross-shard reconciliation latency
+    /// (`closure_reconcile` span durations; sharded daemons only).
+    pub reconcile: LatencyHistogram,
+    /// Rolling shard-imbalance ring: each batch's `max/mean` shard-scan
+    /// ratio recorded as a milli-ratio "latency" sample, so the standard
+    /// windows answer mean imbalance over 1m/5m/15m.
+    imbalance_ring: RollingRing,
     /// Jobs currently queued for the engine worker.
     queue_depth: AtomicU64,
     queue_capacity: u64,
@@ -75,6 +189,8 @@ impl ObsState {
             start: Instant::now(),
             ring: RollingRing::standard(),
             batch_latency: LatencyHistogram::new(),
+            reconcile: LatencyHistogram::new(),
+            imbalance_ring: RollingRing::standard(),
             queue_depth: AtomicU64::new(0),
             queue_capacity: queue_capacity as u64,
             replay_complete: AtomicBool::new(false),
@@ -275,6 +391,14 @@ impl ObsState {
                             "replay_complete".into(),
                             Json::Bool(self.shard_replay_complete(k)),
                         ),
+                        (
+                            "scan_p50_ns".into(),
+                            Json::Num(self.shard_scan_quantile_ns(k, 0.50) as f64),
+                        ),
+                        (
+                            "scan_p99_ns".into(),
+                            Json::Num(self.shard_scan_quantile_ns(k, 0.99) as f64),
+                        ),
                     ])
                 })
                 .collect(),
@@ -410,6 +534,44 @@ impl ObsState {
         self.ring.add(now, WindowCounter::Matches, matches);
         self.ring.record_latency(now, duration_ns);
         self.batch_latency.record(duration_ns);
+    }
+
+    /// Feeds one batch's per-phase decomposition (from its drained
+    /// trace) into the per-shard scan histograms, the reconcile
+    /// histogram, and the rolling imbalance ring.
+    pub fn record_batch_phases(&self, phases: &PhaseBreakdown) {
+        for &(k, ns) in &phases.scan_ns {
+            if let Some(s) = self.shard(k) {
+                s.scan.record(ns);
+            }
+        }
+        if phases.reconcile_ns > 0 {
+            self.reconcile.record(phases.reconcile_ns);
+        }
+        if phases.imbalance_milli > 0 {
+            self.imbalance_ring
+                .record_latency(self.now_secs(), phases.imbalance_milli);
+        }
+    }
+
+    /// Shard `k`'s cumulative scan-latency quantile in nanoseconds
+    /// (0 when no scans recorded).
+    pub fn shard_scan_quantile_ns(&self, k: usize, q: f64) -> u64 {
+        self.shard(k).map_or(0, |s| s.scan.quantile_ns(q))
+    }
+
+    /// Mean shard-imbalance ratio (`max/mean` scan time per batch) over
+    /// the last `window_secs` seconds; 0 when no sharded batch landed in
+    /// the window.
+    pub fn imbalance_mean(&self, window_secs: u64) -> f64 {
+        let w = self.imbalance_ring.window(self.now_secs(), window_secs);
+        w.latency_mean_ns() as f64 / 1000.0
+    }
+
+    /// Worst shard-imbalance ratio inside the window (0 when empty).
+    pub fn imbalance_max(&self, window_secs: u64) -> f64 {
+        let w = self.imbalance_ring.window(self.now_secs(), window_secs);
+        w.latency_max_ns as f64 / 1000.0
     }
 
     // ---- JSON views (wire commands & extended stats) -----------------
@@ -663,6 +825,35 @@ impl ObsState {
                 "1 when the shard has finished journal replay.",
                 &ready,
             );
+            let quantile_labels = [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)];
+            let mut scan_samples = Vec::new();
+            for (k, l) in labels.iter().enumerate() {
+                for (qname, q) in quantile_labels {
+                    scan_samples.push((
+                        vec![("shard", l.as_str()), ("quantile", qname)],
+                        self.shard_scan_quantile_ns(k, q) as f64 / 1e9,
+                    ));
+                }
+            }
+            w.gauge_family(
+                "mergepurge_shard_scan_seconds",
+                "Cumulative per-shard window-scan latency quantiles (from batch traces).",
+                &scan_samples,
+            );
+            let imbalance_samples: Vec<_> = WINDOWS
+                .iter()
+                .map(|&(label, secs)| (vec![("window", label)], self.imbalance_mean(secs)))
+                .collect();
+            w.gauge_family(
+                "mergepurge_shard_imbalance_ratio",
+                "Mean max/mean shard-scan time ratio per batch over the rolling window.",
+                &imbalance_samples,
+            );
+            w.histogram_ns(
+                "mergepurge_reconcile_seconds",
+                "Cross-shard reconciliation (closure_reconcile) latency per batch.",
+                &self.reconcile.snapshot(),
+            );
         }
 
         let now = self.now_secs();
@@ -847,6 +1038,111 @@ mod tests {
                 "unparseable value in {line:?}"
             );
         }
+    }
+
+    fn span(
+        name: &'static str,
+        label: Option<&str>,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> mp_metrics::SpanRecord {
+        mp_metrics::SpanRecord {
+            name,
+            label: label.map(str::to_owned),
+            depth: 0,
+            start_ns,
+            end_ns: start_ns + dur_ns,
+        }
+    }
+
+    fn track(track: u32, spans: Vec<mp_metrics::SpanRecord>) -> TrackSpans {
+        TrackSpans {
+            track,
+            thread_name: format!("t{track}"),
+            spans,
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_decomposes_scan_reconcile_and_fsync() {
+        let tracks = vec![
+            track(
+                0,
+                vec![
+                    span("batch", Some("trace=x seq=1"), 0, 10_000),
+                    span("shard_scan", Some("shard=0"), 100, 3_000),
+                    span("closure_reconcile", None, 4_000, 1_500),
+                ],
+            ),
+            track(1, vec![span("shard_scan", Some("shard=1"), 100, 1_000)]),
+            track(
+                2,
+                vec![span("shard_ingest", Some("shard=1 seq=1"), 50, 2_200)],
+            ),
+        ];
+        let bd = PhaseBreakdown::from_tracks(&tracks);
+        assert_eq!(bd.scan_ns, vec![(0, 3_000), (1, 1_000)]);
+        assert_eq!(bd.scan_max_ns, 3_000);
+        assert_eq!(bd.slowest_shard, Some(0));
+        assert_eq!(bd.reconcile_ns, 1_500);
+        assert_eq!(bd.journal_max_ns, 2_200);
+        // max/mean = 3000/2000 = 1.5 → 1500 milli.
+        assert_eq!(bd.imbalance_milli, 1_500);
+        assert_eq!(bd.critical_phase(), "shard_scan");
+        let fields = bd.event_fields();
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "imbalance" && *v == Json::Num(1.5)));
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "slowest_shard" && *v == Json::Num(0.0)));
+
+        // Reconcile-dominated batch.
+        let bd2 = PhaseBreakdown::from_tracks(&[track(
+            0,
+            vec![
+                span("shard_scan", Some("shard=0"), 0, 100),
+                span("closure_reconcile", None, 200, 5_000),
+            ],
+        )]);
+        assert_eq!(bd2.critical_phase(), "reconcile");
+        assert_eq!(bd2.imbalance_milli, 0, "one band has no imbalance");
+    }
+
+    #[test]
+    fn batch_phases_feed_histograms_ring_and_exposition() {
+        let recorder = MetricsRecorder::new();
+        let obs = ObsState::new(4, None);
+        obs.init_shards(2);
+        obs.record_batch_phases(&PhaseBreakdown {
+            scan_ns: vec![(0, 4_000_000), (1, 1_000_000)],
+            scan_max_ns: 4_000_000,
+            slowest_shard: Some(0),
+            reconcile_ns: 700_000,
+            journal_max_ns: 2_000_000,
+            imbalance_milli: 1_600,
+        });
+        assert_eq!(obs.shard_scan_quantile_ns(0, 1.0), 4_000_000);
+        assert_eq!(obs.shard_scan_quantile_ns(1, 1.0), 1_000_000);
+        assert!((obs.imbalance_mean(60) - 1.6).abs() < 1e-9);
+        assert!((obs.imbalance_max(60) - 1.6).abs() < 1e-9);
+        let shards = obs.shards_json().unwrap();
+        let arr = shards.as_array().unwrap();
+        assert_eq!(
+            arr[0].get("scan_p99_ns").and_then(Json::as_u64),
+            Some(4_000_000)
+        );
+        let text = obs.exposition(&recorder);
+        assert!(
+            text.contains("mergepurge_shard_scan_seconds{shard=\"0\",quantile=\"0.99\"} 0.004\n"),
+            "{text}"
+        );
+        assert!(text.contains("mergepurge_shard_imbalance_ratio{window=\"1m\"} 1.6\n"));
+        assert!(text.contains("mergepurge_reconcile_seconds_count 1\n"));
+        // Single-worker daemons expose none of the shard families.
+        let solo = ObsState::new(4, None).exposition(&recorder);
+        assert!(!solo.contains("mergepurge_shard_imbalance_ratio"));
+        assert!(!solo.contains("mergepurge_reconcile_seconds"));
     }
 
     #[test]

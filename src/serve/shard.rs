@@ -76,6 +76,9 @@ pub enum ShardMsg {
     Append {
         /// Global batch sequence number; must match the journal's next.
         seq: u64,
+        /// The batch's trace id, carried into the worker's span label so
+        /// the flight-recorder dump ties every shard lane to its batch.
+        trace_id: String,
         /// The records routed to this shard (global ids already assigned).
         records: Vec<Record>,
         /// Acknowledged after the frame is fsync'd.
@@ -115,24 +118,36 @@ pub fn run_worker(
     while let Ok(msg) = rx.recv() {
         obs.shard_job_dequeued(k);
         match msg {
-            ShardMsg::Append { seq, records, done } => {
-                let _span =
-                    span_labeled(recorder, "shard_ingest", || format!("shard={k} seq={seq}"));
-                let res = match journal.append(&records) {
-                    Ok(got) if got == seq => Ok(()),
-                    Ok(got) => Err(format!(
-                        "journal assigned seq {got}, coordinator expected {seq}"
-                    )),
-                    Err(e) => Err(e.to_string()),
+            ShardMsg::Append {
+                seq,
+                trace_id,
+                records,
+                done,
+            } => {
+                // The span guard must drop before the ack is sent: the
+                // coordinator drains the collector right after the last
+                // ack, and a still-open span would miss that drain.
+                let res = {
+                    let _span = span_labeled(recorder, "shard_ingest", || {
+                        format!("shard={k} seq={seq} trace={trace_id}")
+                    });
+                    match journal.append(&records) {
+                        Ok(got) if got == seq => Ok(()),
+                        Ok(got) => Err(format!(
+                            "journal assigned seq {got}, coordinator expected {seq}"
+                        )),
+                        Err(e) => Err(e.to_string()),
+                    }
                 };
                 let _ = done.send(res);
             }
             ShardMsg::Snapshot { epoch, bytes, done } => {
-                let _span = span_labeled(recorder, "shard_snapshot", || {
-                    format!("shard={k} epoch={epoch}")
-                });
-                let res =
-                    write_shard_snapshot(&shard_dir, epoch, &bytes).map_err(|e| e.to_string());
+                let res = {
+                    let _span = span_labeled(recorder, "shard_snapshot", || {
+                        format!("shard={k} epoch={epoch}")
+                    });
+                    write_shard_snapshot(&shard_dir, epoch, &bytes).map_err(|e| e.to_string())
+                };
                 let _ = done.send(res);
             }
             ShardMsg::Reset { next_seq, done } => {
@@ -313,6 +328,7 @@ impl ShardedDurable {
     pub fn ingest(
         &mut self,
         mut batch: Vec<Record>,
+        trace_id: &str,
         theory: &dyn EquationalTheory,
         recorder: &MetricsRecorder,
         obs: &ObsState,
@@ -322,7 +338,7 @@ impl ShardedDurable {
                 "store poisoned by an earlier partial shard append; restart to recover".into(),
             );
         }
-        let _ingest = span(recorder, "ingest");
+        let _ingest = span_labeled(recorder, "ingest", || format!("trace={trace_id}"));
         let shards = self.senders.len();
         let old_len = self.engine.records().len() as u32;
         for (i, r) in batch.iter_mut().enumerate() {
@@ -339,7 +355,13 @@ impl ShardedDurable {
         for (k, (tx, records)) in self.senders.iter().zip(frames).enumerate() {
             let (done, ack) = mpsc::channel();
             obs.shard_job_enqueued(k);
-            if tx.send(ShardMsg::Append { seq, records, done }).is_err() {
+            let msg = ShardMsg::Append {
+                seq,
+                trace_id: trace_id.to_string(),
+                records,
+                done,
+            };
+            if tx.send(msg).is_err() {
                 self.poisoned = true;
                 return Err(format!("shard {k} worker is gone"));
             }

@@ -372,11 +372,11 @@ fn metrics_probes_windows_and_event_log_work_end_to_end() {
         .expect("exposition text");
     assert!(exposition.contains("mergepurge_records_keyed_total"));
 
-    // Schema-4 stats: seq watermark, health, and windows that reflect
+    // Schema-5 stats: seq watermark, health, and windows that reflect
     // the batches just ingested (1m window, well inside resolution).
     let stats = ask(&socket, r#"{"cmd":"stats"}"#);
     expect_ok(&stats);
-    assert_eq!(stats.get("schema").and_then(Json::as_u64), Some(4));
+    assert_eq!(stats.get("schema").and_then(Json::as_u64), Some(5));
     assert_eq!(stats.get("seq").and_then(Json::as_u64), Some(2));
     let windows = stats
         .get("windows")
@@ -533,6 +533,290 @@ fn event_log_rotates_and_top_renders() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+// ---- tracing ---------------------------------------------------------
+
+/// The one trace_id per batch must be the same string on the wire ack,
+/// the `batch_ingested` event-log line, the flight-recorder span dump
+/// (wire `trace` command, HTTP `/trace`, and the `mergepurge trace`
+/// client), and the `stats` tracing section — on a live `--shards 4`
+/// daemon whose dump shows one lane per shard worker.
+#[test]
+fn trace_ids_flow_from_ack_to_event_log_and_flight_dump() {
+    let dir = tmp_dir("tracing");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let log = dir.join("events.jsonl");
+    let port = free_port();
+    let parts = batches(3434, 400, 3);
+
+    let mut child = spawn_daemon_with(
+        &socket,
+        &store,
+        &[
+            "--shards",
+            "4",
+            "--metrics-addr",
+            &format!("127.0.0.1:{port}"),
+            "--log",
+            log.to_str().unwrap(),
+            "--quiet",
+        ],
+        false,
+    );
+
+    // Every ack carries a distinct trace id.
+    let mut acked_ids: Vec<String> = Vec::new();
+    for part in &parts {
+        let reply = ask(&socket, &ingest_request(part));
+        expect_ok(&reply);
+        let id = reply
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .expect("ack carries trace_id")
+            .to_string();
+        assert!(!acked_ids.contains(&id), "trace ids are unique: {id}");
+        acked_ids.push(id);
+    }
+
+    // stats: the tracing section names the last batch's trace id and the
+    // recorder retains one entry per batch (plus the startup sweep).
+    let stats = ask(&socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    let tracing = stats.get("tracing").expect("schema-5 tracing section");
+    assert_eq!(
+        tracing.get("last_trace_id").and_then(Json::as_str),
+        Some(acked_ids.last().unwrap().as_str()),
+        "{stats}"
+    );
+    assert!(
+        tracing
+            .get("flight_entries")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= parts.len() as u64,
+        "{stats}"
+    );
+
+    // Wire `trace` command: a Chrome trace document containing every
+    // acked trace id and one named lane per shard worker.
+    let wire = ask(&socket, r#"{"cmd":"trace"}"#);
+    expect_ok(&wire);
+    assert_eq!(
+        wire.get("format").and_then(Json::as_str),
+        Some("chrome-trace-json")
+    );
+    let dump = wire
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("trace document");
+    let parsed = Json::parse(dump).expect("trace document is valid JSON");
+    assert!(
+        parsed.get("traceEvents").and_then(Json::as_array).is_some(),
+        "chrome trace shape"
+    );
+    for id in &acked_ids {
+        assert!(dump.contains(id.as_str()), "dump misses trace id {id}");
+    }
+    for lane in ["shard-0", "shard-1", "shard-2", "shard-3", "engine"] {
+        assert!(dump.contains(lane), "dump misses worker lane {lane}");
+    }
+    for span in ["batch", "shard_ingest", "shard_scan", "closure_reconcile"] {
+        assert!(dump.contains(span), "dump misses span {span}");
+    }
+
+    // HTTP `/trace` serves the same document.
+    let (status, body) = http_get(port, "/trace");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"traceEvents\""), "{body}");
+    for id in &acked_ids {
+        assert!(body.contains(id.as_str()), "/trace misses trace id {id}");
+    }
+
+    // `mergepurge trace` writes the dump to a file.
+    let out_file = dir.join("flight.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_mergepurge"))
+        .args([
+            "trace",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mergepurge trace");
+    assert!(out.status.success(), "trace exits 0: {out:?}");
+    let written = std::fs::read_to_string(&out_file).unwrap();
+    Json::parse(&written).expect("written trace file is valid JSON");
+    assert!(written.contains(acked_ids[0].as_str()));
+
+    // `mergepurge top --json` emits one machine-readable digest frame.
+    let out = Command::new(env!("CARGO_BIN_EXE_mergepurge"))
+        .args(["top", "--socket", socket.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run mergepurge top --json");
+    assert!(out.status.success(), "top --json exits 0: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 1, "one frame per line: {text}");
+    assert!(!text.contains('\u{1b}'), "no ANSI codes in --json output");
+    let frame = Json::parse(text.trim()).expect("top --json frame is JSON");
+    assert_eq!(frame.get("schema").and_then(Json::as_u64), Some(5));
+    assert_eq!(
+        frame.get("seq").and_then(Json::as_u64),
+        Some(parts.len() as u64)
+    );
+    assert_eq!(
+        frame
+            .get("tracing")
+            .and_then(|t| t.get("last_trace_id"))
+            .and_then(Json::as_str),
+        Some(acked_ids.last().unwrap().as_str())
+    );
+    assert_eq!(
+        frame
+            .get("shards")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(4)
+    );
+
+    shutdown_and_wait(&socket, &mut child);
+
+    // Event log: the batch_ingested lines carry the acked trace ids, in
+    // ingest order.
+    let text = std::fs::read_to_string(&log).unwrap();
+    let logged_ids: Vec<String> = text
+        .lines()
+        .map(|l| Json::parse(l).expect("event lines are JSON"))
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("batch_ingested"))
+        .map(|e| {
+            e.get("trace_id")
+                .and_then(Json::as_str)
+                .expect("batch_ingested carries trace_id")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(logged_ids, acked_ids, "event log matches wire acks");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--slow-batch-ms 1` pins over-threshold batches in the flight
+/// recorder and emits a `slow_batch` event with the per-phase breakdown.
+#[test]
+fn slow_batches_are_pinned_and_logged_with_phase_breakdown() {
+    let dir = tmp_dir("slowbatch");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let log = dir.join("events.jsonl");
+    // One big batch through a 4-shard scatter + journal fsync takes well
+    // over 1ms on any real machine.
+    let big = batches(2727, 2000, 1).remove(0);
+
+    let mut child = spawn_daemon_with(
+        &socket,
+        &store,
+        &[
+            "--shards",
+            "4",
+            "--slow-batch-ms",
+            "1",
+            "--log",
+            log.to_str().unwrap(),
+            "--quiet",
+        ],
+        false,
+    );
+    let reply = ask(&socket, &ingest_request(&big));
+    expect_ok(&reply);
+    let trace_id = reply
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    let stats = ask(&socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    let pinned = stats
+        .get("tracing")
+        .and_then(|t| t.get("flight_pinned"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(pinned >= 1, "slow batch pinned in the recorder: {stats}");
+
+    shutdown_and_wait(&socket, &mut child);
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let slow: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("slow_batch"))
+        .collect();
+    assert!(!slow.is_empty(), "slow_batch event emitted:\n{text}");
+    let ev = &slow[0];
+    assert_eq!(
+        ev.get("trace_id").and_then(Json::as_str),
+        Some(trace_id.as_str())
+    );
+    for key in ["duration_ms", "threshold_ms", "critical_phase"] {
+        assert!(ev.get(key).is_some(), "slow_batch misses {key}: {ev}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--log-keep 3` retains three rotated generations (plus the live
+/// file), oldest dropped, seqs contiguous across the surviving chain.
+#[test]
+fn log_keep_three_retains_three_generations() {
+    let dir = tmp_dir("logkeep");
+    let socket = dir.join("mp.sock");
+    let store = dir.join("store");
+    let log = dir.join("ev.jsonl");
+    let parts = batches(9898, 360, 6);
+
+    let mut child = spawn_daemon_with(
+        &socket,
+        &store,
+        &[
+            "--log",
+            log.to_str().unwrap(),
+            "--log-level",
+            "debug",
+            "--log-max-bytes",
+            "250",
+            "--log-keep",
+            "3",
+            "--quiet",
+        ],
+        false,
+    );
+    for part in &parts {
+        expect_ok(&ask(&socket, &ingest_request(part)));
+    }
+    shutdown_and_wait(&socket, &mut child);
+
+    assert!(log.exists());
+    assert!(dir.join("ev.jsonl.1").exists(), "generation 1 kept");
+    assert!(dir.join("ev.jsonl.2").exists(), "generation 2 kept");
+    assert!(dir.join("ev.jsonl.3").exists(), "generation 3 kept");
+    assert!(
+        !dir.join("ev.jsonl.4").exists(),
+        "generations past --log-keep are dropped"
+    );
+    // Oldest-to-newest chain is valid JSONL with contiguous seqs.
+    let mut seqs: Vec<u64> = Vec::new();
+    for gen in ["ev.jsonl.3", "ev.jsonl.2", "ev.jsonl.1", "ev.jsonl"] {
+        for line in std::fs::read_to_string(dir.join(gen)).unwrap().lines() {
+            let e = Json::parse(line).expect("event lines are JSON");
+            seqs.push(e.get("seq").and_then(Json::as_u64).unwrap());
+        }
+    }
+    assert!(seqs.len() >= 4, "events span the four surviving files");
+    assert!(
+        seqs.windows(2).all(|w| w[1] == w[0] + 1),
+        "seqs contiguous across generations: {seqs:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // ---- sharding --------------------------------------------------------
 
 /// How a hammer client reaches the daemon: Unix socket or TCP, sharing
@@ -632,14 +916,14 @@ fn hammer_sharded_daemon(name: &str, use_tcp: bool) {
     let want: Vec<u64> = (1..=(CLIENTS * BATCHES_PER_CLIENT) as u64).collect();
     assert_eq!(got, want, "every batch acked exactly once, gap-free");
 
-    // Schema-4 stats carry a per-shard section; records are spread over
+    // Schema-5 stats carry a per-shard section; records are spread over
     // all four shards and sum to the engine total.
     let stats = transport.ask(r#"{"cmd":"stats"}"#);
     expect_ok(&stats);
     let shard_stats = stats
         .get("shards")
         .and_then(Json::as_array)
-        .expect("schema-4 shards section");
+        .expect("schema-5 shards section");
     assert_eq!(shard_stats.len(), 4);
     let per_shard: u64 = shard_stats
         .iter()
