@@ -66,6 +66,7 @@ fn main() {
         let config = ExternalConfig {
             memory_records: m,
             fan_in: 16,
+            ..ExternalConfig::default()
         };
         let t0 = Instant::now();
         let snm = ExternalSnm::new(KeySpec::last_name_key(), w, config)

@@ -1,0 +1,271 @@
+//! Scale benchmark: records/second for the full multi-pass merge/purge
+//! at 100k / 1M / 10M records, across execution engines and sort
+//! strategies.
+//!
+//! Legs per size:
+//!
+//! * `serial/comparison`   — in-memory [`MultiPass`], stable comparison sort
+//! * `serial/radix`        — same, LSD radix sort over key prefixes
+//! * `parallel/comparison` — banded [`mp_parallel`] passes (all cores)
+//! * `extsort/comparison`  — disk-spilling [`BulkLoader`] under a memory
+//!   budget (the `mergepurge load` pipeline)
+//! * `extsort/radix`       — same, radix run formation
+//!
+//! Every leg must close the *identical* pair set at every size it runs —
+//! the benchmark asserts this, so a run doubles as an equivalence check
+//! (the property docs/SCALING.md leans on when it says strategy choice
+//! is a pure performance knob).
+//!
+//! Usage:
+//!   cargo run --release -p mp-bench --bin scale -- \
+//!     [--sizes 100000,1000000,10000000] [--window 10] [--seed 11] \
+//!     [--memory-budget 1000000] [--out BENCH_scale.json] [--append]
+//!
+//! `--sizes` takes *total* record counts (originals + duplicates are
+//! derived to land near each total). `--append` merges new entries into
+//! an existing report instead of overwriting — the CI scale-smoke job
+//! uses it to keep the 100k leg fresh without discarding the big runs.
+
+use merge_purge::{KeySpec, MultiPass, SortStrategy};
+use mp_bench::Args;
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_extsort::{BulkLoader, ExternalConfig};
+use mp_parallel::{parallel_multipass, ParallelPass, ParallelSnm};
+use mp_rules::NativeEmployeeTheory;
+use std::path::Path;
+use std::time::Instant;
+
+fn keys() -> Vec<KeySpec> {
+    vec![KeySpec::last_name_key(), KeySpec::first_name_key()]
+}
+
+struct Leg {
+    engine: &'static str,
+    strategy: SortStrategy,
+}
+
+struct Outcome {
+    wall_secs: f64,
+    pairs: Vec<(u32, u32)>,
+    comparisons: u64,
+    data_passes: u32,
+}
+
+fn run_leg(
+    leg: &Leg,
+    records: &[mp_record::Record],
+    input: &Path,
+    work: &Path,
+    window: usize,
+    budget: usize,
+    theory: &NativeEmployeeTheory,
+) -> Outcome {
+    let t0 = Instant::now();
+    match leg.engine {
+        "serial" => {
+            let mut mp = MultiPass::new().with_strategy(leg.strategy);
+            for key in keys() {
+                mp = mp.sorted(key, window);
+            }
+            let r = mp.run(records, theory);
+            Outcome {
+                wall_secs: t0.elapsed().as_secs_f64(),
+                pairs: r.closed_pairs.sorted(),
+                comparisons: r.passes.iter().map(|p| p.stats.comparisons).sum(),
+                data_passes: 0,
+            }
+        }
+        "parallel" => {
+            let procs = std::thread::available_parallelism().map_or(1, |p| p.get());
+            let passes: Vec<ParallelPass> = keys()
+                .into_iter()
+                .map(|k| ParallelPass::Snm(ParallelSnm::new(k, window, procs)))
+                .collect();
+            let r = parallel_multipass(&passes, records, theory);
+            Outcome {
+                wall_secs: t0.elapsed().as_secs_f64(),
+                pairs: r.closed_pairs.sorted(),
+                comparisons: r.passes.iter().map(|p| p.stats.comparisons).sum(),
+                data_passes: 0,
+            }
+        }
+        "extsort" => {
+            let config = ExternalConfig {
+                memory_records: budget,
+                strategy: leg.strategy,
+                ..ExternalConfig::default()
+            };
+            let mut loader = BulkLoader::new(config);
+            for key in keys() {
+                loader = loader.pass(key, window);
+            }
+            let mut r = loader.load(input, work, theory).expect("extsort leg");
+            // BulkOutcome carries the *matched* pairs; expand the closure
+            // into closed pairs so the identity check compares like with
+            // like (MultiPassResult::closed_pairs is post-closure).
+            let mut pairs = Vec::new();
+            for class in r.closure.classes() {
+                for i in 0..class.len() {
+                    for j in i + 1..class.len() {
+                        pairs.push((class[i], class[j]));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            Outcome {
+                wall_secs: t0.elapsed().as_secs_f64(),
+                pairs,
+                comparisons: r.comparisons,
+                data_passes: r.stats.io.data_passes(),
+            }
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+/// One report entry, rendered as a single JSON object line.
+fn entry_json(total: usize, leg: &Leg, o: &Outcome, window: usize, budget: usize) -> String {
+    format!(
+        "  {{\"records\": {total}, \"engine\": \"{}\", \"strategy\": \"{}\", \
+         \"window\": {window}, \"memory_budget\": {budget}, \
+         \"wall_secs\": {:.3}, \"records_per_sec\": {:.0}, \
+         \"closed_pairs\": {}, \"comparisons\": {}, \"data_passes\": {}}}",
+        leg.engine,
+        leg.strategy.name(),
+        o.wall_secs,
+        total as f64 / o.wall_secs.max(1e-9),
+        o.pairs.len(),
+        o.comparisons,
+        o.data_passes,
+    )
+}
+
+/// Writes `entries` as a JSON array; with `append`, merges before the
+/// closing bracket of an existing array file.
+fn write_report(out: &str, entries: &[String], append: bool) {
+    let body = entries.join(",\n");
+    let existing = append.then(|| std::fs::read_to_string(out).ok()).flatten();
+    let doc = match existing {
+        Some(text) => {
+            let trimmed = text.trim_end();
+            let head = trimmed
+                .strip_suffix(']')
+                .expect("existing report must be a JSON array")
+                .trim_end()
+                .trim_end_matches(',');
+            if head.trim() == "[" {
+                format!("[\n{body}\n]\n")
+            } else {
+                format!("{head},\n{body}\n]\n")
+            }
+        }
+        None => format!("[\n{body}\n]\n"),
+    };
+    std::fs::write(out, doc).expect("write bench report");
+    println!("wrote {out}");
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sizes_raw: String = args.get("sizes", "100000,1000000,10000000".to_string());
+    let sizes: Vec<usize> = sizes_raw
+        .split(',')
+        .map(|s| s.trim().parse().expect("--sizes takes record counts"))
+        .collect();
+    let window: usize = args.get("window", 10);
+    let seed: u64 = args.get("seed", 11);
+    let budget: usize = args.get("memory-budget", 1_000_000);
+    let out: String = args.get("out", "BENCH_scale.json".to_string());
+    let append = args.has("append");
+
+    let legs = [
+        Leg {
+            engine: "serial",
+            strategy: SortStrategy::Comparison,
+        },
+        Leg {
+            engine: "serial",
+            strategy: SortStrategy::Radix,
+        },
+        Leg {
+            engine: "parallel",
+            strategy: SortStrategy::Comparison,
+        },
+        Leg {
+            engine: "extsort",
+            strategy: SortStrategy::Comparison,
+        },
+        Leg {
+            engine: "extsort",
+            strategy: SortStrategy::Radix,
+        },
+    ];
+    let theory = NativeEmployeeTheory::new();
+    let work_root = std::env::temp_dir().join(format!("mp-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&work_root).expect("create work root");
+    let mut entries = Vec::new();
+
+    for &total in &sizes {
+        // duplicate_fraction 0.4 with max 5 per original lands the
+        // generated total ~1.36x the originals; solve for the originals.
+        let originals = (total as f64 / 1.36) as usize;
+        let t0 = Instant::now();
+        let db = DatabaseGenerator::new(
+            GeneratorConfig::new(originals)
+                .duplicate_fraction(0.4)
+                .seed(seed),
+        )
+        .generate();
+        let n = db.records.len();
+        let input = work_root.join(format!("db-{total}.mp"));
+        mp_record::io::write_records(
+            std::fs::File::create(&input).expect("create input"),
+            &db.records,
+        )
+        .expect("write input");
+        println!(
+            "\n# scale {n} records (asked {total}), generated + written in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+        println!(
+            "{:<22} {:>12} {:>14} {:>14} {:>12}",
+            "leg", "wall", "records/s", "comparisons", "data passes"
+        );
+
+        let mut reference: Option<Vec<(u32, u32)>> = None;
+        for leg in &legs {
+            let work = work_root.join(format!(
+                "work-{total}-{}-{}",
+                leg.engine,
+                leg.strategy.name()
+            ));
+            std::fs::create_dir_all(&work).expect("create leg work dir");
+            let o = run_leg(leg, &db.records, &input, &work, window, budget, &theory);
+            let _ = std::fs::remove_dir_all(&work);
+            println!(
+                "{:<22} {:>11.2}s {:>14.0} {:>14} {:>12}",
+                format!("{}/{}", leg.engine, leg.strategy.name()),
+                o.wall_secs,
+                n as f64 / o.wall_secs.max(1e-9),
+                o.comparisons,
+                o.data_passes,
+            );
+            match &reference {
+                None => reference = Some(o.pairs.clone()),
+                Some(want) => assert_eq!(
+                    want,
+                    &o.pairs,
+                    "{}/{} closed different pairs at {n} records",
+                    leg.engine,
+                    leg.strategy.name()
+                ),
+            }
+            entries.push(entry_json(n, leg, &o, window, budget));
+        }
+        println!("closed pairs identical across all {} legs", legs.len());
+        let _ = std::fs::remove_file(&input);
+    }
+
+    let _ = std::fs::remove_dir_all(&work_root);
+    write_report(&out, &entries, append);
+}

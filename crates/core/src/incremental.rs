@@ -34,6 +34,7 @@
 //! closure classes as an uninterrupted run (tests enforce this too).
 
 use crate::key::KeySpec;
+use crate::radix::chunked_str_cmp;
 use mp_closure::{PairSet, UnionFind};
 use mp_metrics::{span, span_labeled, Counter, PipelineObserver};
 use mp_record::{Record, RecordId};
@@ -311,7 +312,8 @@ impl IncrementalMergePurge {
             pass.keys.push(buf.clone());
         }
         let mut batch_order: Vec<u32> = (old_len..records.len() as u32).collect();
-        batch_order.sort_by(|&a, &b| pass.keys[a as usize].cmp(&pass.keys[b as usize]));
+        batch_order
+            .sort_by(|&a, &b| chunked_str_cmp(&pass.keys[a as usize], &pass.keys[b as usize]));
 
         // Merge old order and batch order (both sorted; stable by id when
         // keys tie, matching a from-scratch stable sort).
@@ -322,7 +324,7 @@ impl IncrementalMergePurge {
             let a = pass.order[i];
             let b = batch_order[j];
             // Old record ids are always smaller, so ties keep old first.
-            if keys[a as usize] <= keys[b as usize] {
+            if chunked_str_cmp(&keys[a as usize], &keys[b as usize]).is_le() {
                 merged.push(a);
                 i += 1;
             } else {
@@ -467,11 +469,15 @@ fn scan_band(
 
 /// Splits scan positions `1..n` into `shards` contiguous bands (earlier
 /// bands take the remainder). A band owns the window pairs whose *later*
-/// element falls inside it; [`scan_band`]'s backward window reaches across
+/// element falls inside it; `scan_band`'s backward window reaches across
 /// the left boundary — the band-replication seam — so every boundary pair
 /// is still evaluated exactly once. Bands may be empty when `shards`
 /// exceeds the position count.
-fn band_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+///
+/// Public because the external sorter reuses the same contiguous
+/// partition (shifted to 0-based offsets) to fan run formation out across
+/// worker threads.
+pub fn band_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
     let positions = n.saturating_sub(1); // window scan covers 1..n
     let mut out = Vec::with_capacity(shards);
     let mut start = 1usize;
@@ -651,6 +657,48 @@ impl DurableIncremental {
         let _snap = span(observer, "snapshot");
         let bytes = self.store.write_snapshot(&self.engine.to_snapshot())?;
         observer.add(Counter::SnapshotBytes, bytes);
+        self.batches_since_checkpoint = 0;
+        Ok(bytes)
+    }
+
+    /// Installs a bulk-loaded state (see `mp-extsort`'s `BulkLoader`) as
+    /// the store's first batch: writes `snap` as the committed snapshot
+    /// (resetting the journal to the `batches_applied + 1` watermark,
+    /// like any checkpoint) and restores the engine from it. Only legal
+    /// on a cold store — the engine must be empty and the journal must
+    /// hold no acknowledged batches. Returns the snapshot size in bytes
+    /// (added to `Counter::SnapshotBytes`); runs under a `snapshot` span.
+    ///
+    /// # Errors
+    ///
+    /// A non-empty engine or journal, a pass-configuration mismatch
+    /// between `snap` and the configured engine, or I/O failure writing
+    /// the snapshot (the store then still looks empty).
+    pub fn bulk_restore(
+        &mut self,
+        snap: Snapshot,
+        observer: &dyn PipelineObserver,
+    ) -> Result<u64, StoreError> {
+        if self.engine.batches_applied() != 0 || !self.engine.records().is_empty() {
+            return Err(StoreError::Corrupt(format!(
+                "bulk restore requires an empty engine (found {} records, {} batches)",
+                self.engine.records().len(),
+                self.engine.batches_applied()
+            )));
+        }
+        if self.store.next_seq() != 1 {
+            return Err(StoreError::Corrupt(format!(
+                "bulk restore requires an empty journal (next seq is {})",
+                self.store.next_seq()
+            )));
+        }
+        let _snap_span = span(observer, "snapshot");
+        // Durability first, exactly like ingest: the snapshot commit is
+        // the acknowledgment; only then does memory adopt the state.
+        let bytes = self.store.write_snapshot(&snap)?;
+        observer.add(Counter::SnapshotBytes, bytes);
+        let configured = std::mem::take(&mut self.engine);
+        self.engine = configured.restore(snap).map_err(StoreError::Corrupt)?;
         self.batches_since_checkpoint = 0;
         Ok(bytes)
     }

@@ -47,17 +47,19 @@ pub mod mergescan;
 pub mod multipass;
 pub mod pipeline;
 pub mod purge;
+pub mod radix;
 pub mod snm;
 pub mod window;
 
 pub use clustering::{ClusteringConfig, ClusteringMethod};
 pub use costmodel::CostModel;
 pub use eval::Evaluation;
-pub use incremental::IncrementalMergePurge;
+pub use incremental::{band_ranges, IncrementalMergePurge};
 pub use key::{KeyArena, KeyPart, KeySpec};
 pub use mergescan::MergeScanSnm;
 pub use multipass::{MultiPass, MultiPassResult, PassConfig};
 pub use pipeline::{MergePurge, MergePurgeResult};
 pub use purge::Purger;
+pub use radix::{chunked_str_cmp, radix_order_by, sorted_order_radix, SortStrategy};
 pub use snm::{PassResult, PassStats, SortedNeighborhood};
 pub use window::window_scan;

@@ -3,6 +3,7 @@
 
 use crate::clustering::{ClusteringConfig, ClusteringMethod};
 use crate::key::KeySpec;
+use crate::radix::SortStrategy;
 use crate::snm::{PassResult, SortedNeighborhood};
 use mp_closure::{PairSet, UnionFind};
 use mp_metrics::{
@@ -37,16 +38,19 @@ impl PassConfig {
         &self,
         records: &[Record],
         theory: &dyn EquationalTheory,
+        strategy: SortStrategy,
         uf: Option<&mut UnionFind>,
         observer: &dyn PipelineObserver,
     ) -> PassResult {
         match (self, uf) {
             (PassConfig::Sorted { key, window }, None) => {
                 SortedNeighborhood::new(key.clone(), *window)
+                    .with_strategy(strategy)
                     .run_observed(records, theory, observer)
             }
             (PassConfig::Sorted { key, window }, Some(uf)) => {
                 SortedNeighborhood::new(key.clone(), *window)
+                    .with_strategy(strategy)
                     .run_pruned_observed(records, theory, uf, observer)
             }
             (PassConfig::Clustered { key, config }, None) => {
@@ -125,6 +129,7 @@ impl MultiPassResult {
 pub struct MultiPass {
     passes: Vec<PassConfig>,
     prune: bool,
+    strategy: SortStrategy,
 }
 
 impl MultiPass {
@@ -155,6 +160,16 @@ impl MultiPass {
     /// Whether closure-aware pruning is enabled.
     pub fn pruning(&self) -> bool {
         self.prune
+    }
+
+    /// Selects the key-ordering algorithm for every sorted pass (default
+    /// [`SortStrategy::Comparison`]; clustering passes are unaffected).
+    /// Strategies are permutation-identical, so the closed result is
+    /// bit-for-bit the same either way.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SortStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Adds a pass.
@@ -218,7 +233,7 @@ impl MultiPass {
         let passes: Vec<PassResult> = self
             .passes
             .iter()
-            .map(|p| p.run(records, theory, uf.as_mut(), observer))
+            .map(|p| p.run(records, theory, self.strategy, uf.as_mut(), observer))
             .collect();
         let result = Self::close_observed(records.len(), passes, observer);
         observer.run_complete();

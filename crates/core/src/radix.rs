@@ -1,0 +1,333 @@
+//! LSD radix sort over fixed-width key prefixes, plus the chunked key
+//! comparator shared by the sort fallbacks and merge paths.
+//!
+//! "On the Complexity of Sorted Neighborhood" observes that the sort
+//! dominates SNM cost asymptotically, so this module attacks it directly:
+//! conditioned sort keys are uppercase ASCII alphanumerics (see
+//! `KeyPart::append`), which makes bytewise order identical to `str::cmp`
+//! order and makes a zero byte sort *before* every legal key byte. Both
+//! facts together let us radix-sort the first [`RADIX_PREFIX_WIDTH`] bytes
+//! of every key — zero-padded, so a short key sorts exactly where
+//! lexicographic order puts it — and fall back to a comparison sort only
+//! inside runs whose prefixes tie *and* contain a key longer than the
+//! prefix.
+//!
+//! The sort is stable (LSD counting sort is stable per digit and the
+//! fallback breaks ties by input index), so it produces the *exact*
+//! permutation of the stable comparison sort it replaces — verified by a
+//! property test below and relied on for the bit-identical closed-pair
+//! guarantee across sort strategies.
+//!
+//! A histogram pre-pass computes all per-digit histograms in one sweep and
+//! skips scatter passes for constant-byte columns (common when every key in
+//! a pass is shorter than the prefix, leaving whole padding columns zero).
+//! Executed scatter passes are reported as [`Counter::RadixPasses`].
+
+use crate::key::KeyArena;
+use mp_metrics::{Counter, PipelineObserver};
+use std::cmp::Ordering;
+
+/// Bytes of each key covered by radix passes; ties beyond this width fall
+/// back to a comparison sort of the run. The standard paper keys
+/// (`OBRIENM123456`-shaped) are 13–22 bytes, so 16 covers most keys
+/// entirely and leaves only genuine near-duplicates to the fallback.
+pub const RADIX_PREFIX_WIDTH: usize = 16;
+
+/// Which algorithm orders the extracted keys of a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortStrategy {
+    /// Stable comparison sort (`slice::sort_by` over `str::cmp`), the
+    /// original engine behavior.
+    #[default]
+    Comparison,
+    /// LSD radix sort over zero-padded [`RADIX_PREFIX_WIDTH`]-byte
+    /// prefixes with comparison fallback on prefix ties. Produces the
+    /// identical permutation.
+    Radix,
+}
+
+impl SortStrategy {
+    /// Stable lowercase name used in span labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SortStrategy::Comparison => "comparison",
+            SortStrategy::Radix => "radix",
+        }
+    }
+
+    /// Parses `"comparison"` or `"radix"` (CLI flag values).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "comparison" => Ok(SortStrategy::Comparison),
+            "radix" => Ok(SortStrategy::Radix),
+            other => Err(format!(
+                "unknown sort strategy {other:?} (expected \"comparison\" or \"radix\")"
+            )),
+        }
+    }
+}
+
+/// Compares two keys bytewise in 8-byte big-endian chunks.
+///
+/// Equivalent to `a.cmp(b)` for any strings (UTF-8 bytewise order equals
+/// `str::cmp` order), but walks the common prefix a word at a time instead
+/// of a byte at a time — the batched comparison used by the sort fallback,
+/// the external-merge heap, and the incremental key merge.
+#[inline]
+pub fn chunked_str_cmp(a: &str, b: &str) -> Ordering {
+    let (ab, bb) = (a.as_bytes(), b.as_bytes());
+    let n = ab.len().min(bb.len());
+    let mut i = 0;
+    while i + 8 <= n {
+        // Big-endian load: the numerically larger word is the
+        // lexicographically larger chunk.
+        let x = u64::from_be_bytes(ab[i..i + 8].try_into().unwrap());
+        let y = u64::from_be_bytes(bb[i..i + 8].try_into().unwrap());
+        if x != y {
+            return x.cmp(&y);
+        }
+        i += 8;
+    }
+    match ab[i..n].cmp(&bb[i..n]) {
+        Ordering::Equal => ab.len().cmp(&bb.len()),
+        ne => ne,
+    }
+}
+
+/// Outcome of one radix-ordered sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RadixOrder {
+    /// Indices `0..n` in stable sorted key order.
+    pub order: Vec<u32>,
+    /// Scatter passes executed (constant-byte columns skipped).
+    pub passes: u32,
+    /// Tied-prefix runs that needed the comparison fallback.
+    pub fallback_runs: u64,
+}
+
+/// Radix-sorts indices `0..n` by the keys `key_of` yields, producing the
+/// exact permutation of a stable comparison sort over `str::cmp`.
+///
+/// `key_of(i)` must be pure (same `&str` every call). Keys may be any
+/// length; only runs that tie on the whole [`RADIX_PREFIX_WIDTH`]-byte
+/// prefix *and* contain a key longer than the prefix are comparison-sorted.
+pub fn radix_order_by<'a>(n: usize, key_of: impl Fn(usize) -> &'a str) -> RadixOrder {
+    const W: usize = RADIX_PREFIX_WIDTH;
+    if n <= 1 {
+        return RadixOrder {
+            order: (0..n as u32).collect(),
+            passes: 0,
+            fallback_runs: 0,
+        };
+    }
+
+    // Pack zero-padded prefixes contiguously: one cache-friendly buffer the
+    // scatter passes stride through, and one histogram sweep for all W
+    // digit positions at once.
+    let mut prefixes = vec![0u8; n * W];
+    let mut histograms = vec![[0u32; 256]; W];
+    let mut any_long = false;
+    for i in 0..n {
+        let key = key_of(i).as_bytes();
+        let take = key.len().min(W);
+        prefixes[i * W..i * W + take].copy_from_slice(&key[..take]);
+        any_long |= key.len() > W;
+        let row = &prefixes[i * W..(i + 1) * W];
+        for (d, &b) in row.iter().enumerate() {
+            histograms[d][b as usize] += 1;
+        }
+    }
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut scratch = vec![0u32; n];
+    let mut passes = 0u32;
+    // Least-significant digit first: after the pass for digit d, `order` is
+    // stably sorted by bytes d..W, so after the final (d = 0) pass it is
+    // sorted by the whole prefix with ties in input-index order.
+    for d in (0..W).rev() {
+        let hist = &histograms[d];
+        if hist.iter().any(|&c| c as usize == n) {
+            continue; // constant column: scatter would be the identity
+        }
+        let mut starts = [0u32; 256];
+        let mut acc = 0u32;
+        for (b, &c) in hist.iter().enumerate() {
+            starts[b] = acc;
+            acc += c;
+        }
+        for &i in &order {
+            let byte = prefixes[i as usize * W + d];
+            let slot = &mut starts[byte as usize];
+            scratch[*slot as usize] = i;
+            *slot += 1;
+        }
+        std::mem::swap(&mut order, &mut scratch);
+        passes += 1;
+    }
+
+    // Fallback: comparison-sort runs whose prefixes tie, but only when some
+    // key extends past the prefix (otherwise tied prefixes are tied keys
+    // and stability already ordered them by index).
+    let mut fallback_runs = 0u64;
+    if any_long {
+        let mut start = 0;
+        while start < n {
+            let mut end = start + 1;
+            let p = &prefixes[order[start] as usize * W..(order[start] as usize + 1) * W];
+            while end < n && prefixes[order[end] as usize * W..(order[end] as usize + 1) * W] == *p
+            {
+                end += 1;
+            }
+            if end - start > 1
+                && order[start..end]
+                    .iter()
+                    .any(|&i| key_of(i as usize).len() > W)
+            {
+                // Stable sort keeps equal full keys in index order, exactly
+                // like the global stable comparison sort.
+                order[start..end]
+                    .sort_by(|&a, &b| chunked_str_cmp(key_of(a as usize), key_of(b as usize)));
+                fallback_runs += 1;
+            }
+            start = end;
+        }
+    }
+
+    RadixOrder {
+        order,
+        passes,
+        fallback_runs,
+    }
+}
+
+/// Returns record indices sorted by their key: the radix counterpart of
+/// the comparison `sorted_order`, reporting [`Counter::RadixPasses`].
+pub fn sorted_order_radix(keys: &KeyArena, observer: &dyn PipelineObserver) -> Vec<u32> {
+    let out = radix_order_by(keys.len(), |i| keys.get(i));
+    observer.add(Counter::RadixPasses, out.passes as u64);
+    out.order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeySpec;
+    use crate::snm::sorted_order;
+    use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+    use mp_metrics::NoopObserver;
+    use proptest::prelude::*;
+
+    fn arena_of(keys: &[&str]) -> KeyArena {
+        let mut arena = KeyArena::new();
+        for k in keys {
+            arena.push_str(k);
+        }
+        arena
+    }
+
+    #[test]
+    fn chunked_cmp_matches_str_cmp_on_edges() {
+        let cases = [
+            ("", ""),
+            ("", "A"),
+            ("ABCDEFGH", "ABCDEFGH"),
+            ("ABCDEFGH", "ABCDEFGHI"),
+            ("ABCDEFGHIJKLMNOPQ", "ABCDEFGHIJKLMNOPZ"),
+            ("SAME16BYTESXXXXX", "SAME16BYTESXXXXX0"),
+            ("Z", "AAAAAAAAAAAAAAAAAAAA"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(chunked_str_cmp(a, b), a.cmp(b), "{a:?} vs {b:?}");
+            assert_eq!(chunked_str_cmp(b, a), b.cmp(a), "{b:?} vs {a:?}");
+        }
+    }
+
+    #[test]
+    fn radix_matches_comparison_on_generated_keys() {
+        let db =
+            DatabaseGenerator::new(GeneratorConfig::new(2_000).duplicate_fraction(0.5).seed(9))
+                .generate();
+        for key in KeySpec::standard_three() {
+            let keys = KeyArena::extract(&key, &db.records);
+            assert_eq!(
+                sorted_order_radix(&keys, &NoopObserver),
+                sorted_order(&keys),
+                "strategy divergence on key {}",
+                key.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(radix_order_by(0, |_| "").order, Vec::<u32>::new());
+        assert_eq!(radix_order_by(1, |_| "ANY").order, vec![0]);
+    }
+
+    #[test]
+    fn all_equal_keys_keep_input_order() {
+        let arena = arena_of(&["SAME"; 7]);
+        let out = radix_order_by(arena.len(), |i| arena.get(i));
+        assert_eq!(out.order, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(out.fallback_runs, 0, "short tied keys need no fallback");
+    }
+
+    #[test]
+    fn long_tied_prefixes_hit_the_fallback() {
+        // 16 identical bytes, divergence only in the suffix.
+        let arena = arena_of(&[
+            "PPPPPPPPPPPPPPPPZZ",
+            "PPPPPPPPPPPPPPPPAA",
+            "PPPPPPPPPPPPPPPP",
+        ]);
+        let out = radix_order_by(arena.len(), |i| arena.get(i));
+        assert_eq!(out.order, vec![2, 1, 0]);
+        assert_eq!(out.fallback_runs, 1);
+    }
+
+    #[test]
+    fn constant_columns_are_skipped() {
+        // Keys of length 2: columns 2..16 are all zero padding and column 0
+        // is constant, so at most one scatter pass runs.
+        let arena = arena_of(&["AB", "AA", "AC"]);
+        let out = radix_order_by(arena.len(), |i| arena.get(i));
+        assert_eq!(out.order, vec![1, 0, 2]);
+        assert_eq!(out.passes, 1);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in [SortStrategy::Comparison, SortStrategy::Radix] {
+            assert_eq!(SortStrategy::parse(s.name()), Ok(s));
+        }
+        assert!(SortStrategy::parse("quantum").is_err());
+    }
+
+    proptest! {
+        /// The tentpole guarantee: radix order is the *exact permutation*
+        /// of the stable comparison sort, ties included, for arbitrary
+        /// key-shaped strings (including empties, shared prefixes longer
+        /// than the radix width, and duplicates).
+        #[test]
+        fn radix_is_exact_permutation_of_comparison(
+            keys in proptest::collection::vec("[A-Z0-9]{0,24}", 0..200)
+        ) {
+            let mut arena = KeyArena::new();
+            for k in &keys {
+                arena.push_str(k);
+            }
+            prop_assert_eq!(
+                sorted_order_radix(&arena, &NoopObserver),
+                sorted_order(&arena)
+            );
+        }
+
+        #[test]
+        fn chunked_cmp_agrees_with_str_cmp(
+            a in "[A-Z0-9]{0,40}",
+            b in "[A-Z0-9]{0,40}",
+        ) {
+            prop_assert_eq!(chunked_str_cmp(&a, &b), a.cmp(&b));
+        }
+    }
+}

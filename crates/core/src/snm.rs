@@ -1,6 +1,7 @@
 //! The sorted-neighborhood method (§2.2): create keys → sort → window scan.
 
 use crate::key::{KeyArena, KeySpec};
+use crate::radix::{sorted_order_radix, SortStrategy};
 use crate::window::{window_scan_hooked, window_scan_pruned_hooked};
 use mp_closure::{PairSet, UnionFind};
 use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver, ScanHooks};
@@ -72,6 +73,7 @@ pub struct PassResult {
 pub struct SortedNeighborhood {
     key: KeySpec,
     window: usize,
+    strategy: SortStrategy,
 }
 
 impl SortedNeighborhood {
@@ -82,7 +84,21 @@ impl SortedNeighborhood {
     /// Panics when `window < 2`.
     pub fn new(key: KeySpec, window: usize) -> Self {
         assert!(window >= 2, "window must hold at least two records");
-        SortedNeighborhood { key, window }
+        SortedNeighborhood {
+            key,
+            window,
+            strategy: SortStrategy::default(),
+        }
+    }
+
+    /// Selects the key-ordering algorithm (default
+    /// [`SortStrategy::Comparison`]). Both strategies produce the exact
+    /// same permutation — and therefore bit-identical pairs — so this
+    /// only changes how fast the sort phase runs.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SortStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// The key specification.
@@ -160,7 +176,13 @@ impl SortedNeighborhood {
         let t1 = Instant::now();
         let order = {
             let _s = span(observer, "sort");
-            sorted_order(&keys)
+            let _strategy = span_labeled(observer, "sort_strategy", || {
+                self.strategy.name().to_string()
+            });
+            match self.strategy {
+                SortStrategy::Comparison => sorted_order(&keys),
+                SortStrategy::Radix => sorted_order_radix(&keys, observer),
+            }
         };
         stats.sort = t1.elapsed();
         observer.phase_ns(Phase::Sort, stats.sort.as_nanos() as u64);

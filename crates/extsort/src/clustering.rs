@@ -204,6 +204,7 @@ mod tests {
                 ExternalConfig {
                     memory_records: 1_000,
                     fan_in: 16,
+                    ..ExternalConfig::default()
                 },
             );
             let outcome = xc.run(&input, &dir, &theory).unwrap();
@@ -240,6 +241,7 @@ mod tests {
             ExternalConfig {
                 memory_records: 5_000,
                 fan_in: 16,
+                ..ExternalConfig::default()
             },
         )
         .run(&input, &dir, &theory)
@@ -266,6 +268,7 @@ mod tests {
             ExternalConfig {
                 memory_records: 50,
                 fan_in: 16,
+                ..ExternalConfig::default()
             }, // ...but only 50 fit
         );
         let err = xc.run(&input, &dir, &theory).unwrap_err();

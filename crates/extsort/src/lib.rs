@@ -1,9 +1,13 @@
 #![warn(missing_docs)]
 
-//! External-memory (disk-resident) merge/purge with I/O pass accounting.
+//! External-memory (disk-resident) merge/purge: spill-aware sorting, the
+//! streaming sorted-neighborhood scan, and the bulk-load path that feeds
+//! the durable store, with exact I/O pass accounting throughout.
 //!
-//! §2.2 and §3.5 analyze the case where "the dominant cost will be disk
-//! I/O, i.e., the number of passes over the data set":
+//! # Why external
+//!
+//! §2.2 and §3.5 of the paper analyze the case where "the dominant cost
+//! will be disk I/O, i.e., the number of passes over the data set":
 //!
 //! * the **sorted-neighborhood method** needs "at least three passes: one
 //!   pass for conditioning the data and preparing keys, at least a second
@@ -20,24 +24,94 @@
 //! asserted. Results are bit-identical to the in-memory engines (tested):
 //! the same pairs come out whether the data fits in RAM or not.
 //!
-//! ```no_run
-//! use mp_extsort::{ExternalConfig, ExternalSnm};
-//! use merge_purge::KeySpec;
-//! use mp_rules::NativeEmployeeTheory;
-//! use std::path::Path;
+//! # Pipeline and spill format
 //!
-//! let config = ExternalConfig { memory_records: 10_000, fan_in: 16 };
-//! let snm = ExternalSnm::new(KeySpec::last_name_key(), 10, config);
-//! let theory = NativeEmployeeTheory::new();
-//! let outcome = snm.run(Path::new("db.mp"), Path::new("/tmp/work"), &theory).unwrap();
-//! println!("{} pairs in {} passes", outcome.pairs.len(), outcome.io.data_passes());
+//! [`ExternalSorter`] streams the input in chunks of at most
+//! `memory_records` records. Each chunk is conditioned (optionally),
+//! key-extracted, sorted, and written as one *run file*; runs are then
+//! merged `fan_in` at a time until a single sorted run remains. A run file
+//! is a plain text spill: one `key|id|field…` line per record (see
+//! [`runfile`]), always written fully sorted — a run file is either
+//! complete and sorted or it is garbage from a crashed process, never a
+//! partially meaningful state. Temporary names embed the owning process id
+//! (`run-{n}-{pid}.tmp`, `merge-{level}-{group}-{pid}.tmp`) so a crashed
+//! sort can never be confused with a live one and stale files are swept on
+//! the next open.
+//!
+//! # Run-merge invariants
+//!
+//! The global order produced by the sorter is **(key, record id)**,
+//! bytewise on the key. Three facts make every configuration — any memory
+//! budget, any fan-in, any thread count, either sort strategy — produce
+//! the *identical* final run:
+//!
+//! 1. record ids ascend in input order, so the records of a chunk (and of
+//!    any contiguous sub-chunk a worker thread sorts) already ascend by id;
+//! 2. each run is written sorted by (key, id) — a stable sort by key over
+//!    an id-ascending slice is exactly that;
+//! 3. the merge heap breaks key ties by smaller id, which is a stable
+//!    F-way merge of runs that are themselves (key, id)-sorted.
+//!
+//! Any split of the input into contiguous runs therefore merges to the
+//! same total order an in-memory stable sort would produce, which is why
+//! [`ExternalSnm`] is bit-identical to the in-memory engines and why run
+//! formation can fan out across threads freely.
+//!
+//! # Sort strategies
+//!
+//! Runs are sorted either by a stable comparison sort or by an LSD radix
+//! sort over fixed-width key prefixes (`merge_purge::SortStrategy`); the
+//! two are permutation-identical by construction (property-tested in the
+//! core crate), so the choice affects throughput only — see
+//! `docs/SCALING.md` for the decision table.
+//!
+//! # Example
+//!
+//! Sort a generated record file and verify it comes back in key order:
+//!
+//! ```
+//! use merge_purge::KeySpec;
+//! use mp_extsort::{ExternalConfig, ExternalSorter};
+//! use mp_record::io as rio;
+//!
+//! let dir = std::env::temp_dir().join(format!("mp-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let db = mp_datagen::DatabaseGenerator::new(
+//!     mp_datagen::GeneratorConfig::new(100).seed(42),
+//! )
+//! .generate();
+//! let n = db.records.len(); // base records plus generated duplicates
+//! let input = dir.join("db.mp");
+//! rio::write_records(std::fs::File::create(&input).unwrap(), &db.records).unwrap();
+//!
+//! // A deliberately tiny budget so the 100-record input spills into runs.
+//! let config = ExternalConfig {
+//!     memory_records: 32,
+//!     ..ExternalConfig::default()
+//! };
+//! let sorted = ExternalSorter::new(KeySpec::last_name_key(), config)
+//!     .sort(&input, &dir, false)
+//!     .unwrap();
+//! assert_eq!(sorted.records, n);
+//! assert!(sorted.io.data_passes() >= 2, "run formation plus merging");
+//!
+//! let mut reader = mp_extsort::runfile::RunReader::open(&sorted.path).unwrap();
+//! let mut prev = String::new();
+//! while let Some((key, _)) = reader.next_entry().unwrap() {
+//!     assert!(prev <= key, "sorted output");
+//!     prev = key;
+//! }
+//! sorted.cleanup();
+//! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod bulkload;
 pub mod clustering;
 pub mod runfile;
 pub mod snm;
 pub mod sorter;
 
+pub use bulkload::{BulkLoadStats, BulkLoader, BulkOutcome, BulkPass};
 pub use clustering::ExternalClustering;
 pub use snm::ExternalSnm;
 pub use sorter::ExternalSorter;
@@ -45,6 +119,10 @@ pub use sorter::ExternalSorter;
 use mp_closure::PairSet;
 
 /// Resource limits for external processing.
+///
+/// Construct with functional-update syntax so new knobs keep old call
+/// sites compiling: `ExternalConfig { memory_records: 50_000,
+/// ..ExternalConfig::default() }`.
 #[derive(Debug, Clone, Copy)]
 pub struct ExternalConfig {
     /// Maximum records held in memory at once (`M`). Run formation sorts
@@ -54,6 +132,14 @@ pub struct ExternalConfig {
     /// Merge fan-in `F` (the paper's experiments "used merge sort ... which
     /// used a 16-way merge algorithm").
     pub fan_in: usize,
+    /// Worker threads for run formation. Each memory-budget chunk is split
+    /// into this many contiguous sub-chunks, sorted and spilled on scoped
+    /// threads (the band-partition machinery of the sharded engine). More
+    /// threads mean more, smaller initial runs — the merge invariants make
+    /// the final order identical regardless.
+    pub threads: usize,
+    /// How each run's keys are ordered; permutation-identical either way.
+    pub strategy: merge_purge::SortStrategy,
 }
 
 impl Default for ExternalConfig {
@@ -61,6 +147,8 @@ impl Default for ExternalConfig {
         ExternalConfig {
             memory_records: 100_000,
             fan_in: 16,
+            threads: 1,
+            strategy: merge_purge::SortStrategy::Comparison,
         }
     }
 }

@@ -147,6 +147,7 @@ mod tests {
                 ExternalConfig {
                     memory_records: memory,
                     fan_in: 3,
+                    ..ExternalConfig::default()
                 },
             );
             let outcome = xsnm.run(&input, &dir, &theory).unwrap();
@@ -176,6 +177,7 @@ mod tests {
             ExternalConfig {
                 memory_records: n + 1,
                 fan_in: 16,
+                ..ExternalConfig::default()
             },
         );
         assert_eq!(fits.run(&input, &dir, &theory).unwrap().io.data_passes(), 2);
@@ -189,6 +191,7 @@ mod tests {
             ExternalConfig {
                 memory_records: m,
                 fan_in: 2,
+                ..ExternalConfig::default()
             },
         );
         let expect = 2 + (runs as f64).log2().ceil() as u32;

@@ -1,8 +1,15 @@
 //! External merge sort over keyed run files.
+//!
+//! See the crate docs for the spill format and the run-merge invariants;
+//! the short version is that every run is written sorted by **(key,
+//! record id)** and the F-way merge breaks key ties by smaller id, so any
+//! partition of the input into contiguous runs — one per memory-budget
+//! chunk, or several per chunk when run formation fans out across threads
+//! — merges to the exact order an in-memory stable sort would produce.
 
 use crate::runfile::{RunReader, RunWriter};
 use crate::{ExternalConfig, IoStats};
-use merge_purge::KeySpec;
+use merge_purge::{band_ranges, chunked_str_cmp, radix_order_by, KeySpec, SortStrategy};
 use mp_metrics::{span, span_labeled, Counter, NoopObserver, Phase, PipelineObserver};
 use mp_record::{io as rio, Record};
 use std::cmp::Ordering;
@@ -47,15 +54,29 @@ impl SortedRun {
     }
 }
 
+/// What one run-formation worker produced: its run file plus the
+/// accounting folded back into the chunk totals.
+struct FormedRun {
+    path: PathBuf,
+    records_written: u64,
+    bytes: u64,
+    radix_passes: u64,
+}
+
 impl ExternalSorter {
     /// A sorter for the given key and resource limits.
     ///
     /// # Panics
     ///
-    /// Panics when the memory budget is zero or the fan-in is below 2.
+    /// Panics when the memory budget is zero, the fan-in is below 2, or
+    /// the thread count is zero.
     pub fn new(key: KeySpec, config: ExternalConfig) -> Self {
         assert!(config.memory_records >= 1, "memory budget must be positive");
         assert!(config.fan_in >= 2, "fan-in must be at least 2");
+        assert!(
+            config.threads >= 1,
+            "need at least one run-formation thread"
+        );
         ExternalSorter { key, config }
     }
 
@@ -68,10 +89,13 @@ impl ExternalSorter {
     }
 
     /// Like [`ExternalSorter::sort`], reporting external-sort statistics to
-    /// `observer`: initial run count ([`Counter::SortRuns`]), bytes written
-    /// to run and merge files ([`Counter::BytesSpilled`]), total runs fed
-    /// into merge steps ([`Counter::MergeFanIn`]), and run-formation /
-    /// run-merge phase times.
+    /// `observer`: initial run count ([`Counter::SortRuns`]), runs formed
+    /// from full memory-budget chunks ([`Counter::SpillRuns`]), bytes
+    /// written to run and merge files ([`Counter::BytesSpilled`]), total
+    /// runs fed into merge steps ([`Counter::MergeFanIn`]), radix scatter
+    /// passes when the radix strategy is selected
+    /// ([`Counter::RadixPasses`]), and run-formation / run-merge phase
+    /// times.
     pub fn sort_observed(
         &self,
         input: &Path,
@@ -81,25 +105,32 @@ impl ExternalSorter {
     ) -> io::Result<SortedRun> {
         std::fs::create_dir_all(work_dir)?;
         let _ext_span = span(observer, "extsort");
+        let _strategy_span = span_labeled(observer, "sort_strategy", || {
+            format!(
+                "{} threads={}",
+                self.config.strategy.name(),
+                self.config.threads
+            )
+        });
         let mut io_stats = IoStats::default();
         let mut temp_files = Vec::new();
 
         // Pass 1: run formation. Stream M records at a time, condition,
-        // extract keys, sort in memory, write a run. At no point do more
-        // than M records live in memory.
+        // extract keys, sort in memory, write a run (or one run per worker
+        // thread). At no point do more than M records live in memory.
         let nicknames = mp_record::NicknameTable::standard();
         let mut stream = rio::RecordStream::new(BufReader::new(File::open(input)?));
         io_stats.add_sweep();
 
         let t_runs = Instant::now();
         let mut bytes_spilled = 0u64;
+        let mut radix_passes = 0u64;
+        let mut spill_runs = 0u64;
         let mut total = 0usize;
         let mut runs: Vec<PathBuf> = Vec::new();
-        let mut buf = String::new();
         let mut chunk: Vec<Record> = Vec::with_capacity(self.config.memory_records);
         let mut done = false;
         while !done {
-            let run_span = span_labeled(observer, "run_gen", || format!("run {}", runs.len()));
             chunk.clear();
             while chunk.len() < self.config.memory_records {
                 match stream.next() {
@@ -118,31 +149,28 @@ impl ExternalSorter {
             }
             total += chunk.len();
             io_stats.records_read += chunk.len() as u64;
-            if condition {
-                mp_record::normalize::condition_all(&mut chunk, &nicknames);
-            }
-            let mut keyed: Vec<(String, usize)> = chunk
-                .iter()
-                .enumerate()
-                .map(|(i, r)| {
-                    self.key.extract_into(r, &mut buf);
-                    (buf.clone(), i)
-                })
-                .collect();
-            keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-            drop(run_span);
+            let budget_full = chunk.len() == self.config.memory_records;
 
-            let _spill_span = span_labeled(observer, "spill", || format!("run {}", runs.len()));
-            let path = work_dir.join(format!("run-{}-{}.tmp", runs.len(), std::process::id()));
-            let mut w = RunWriter::create(&path)?;
-            for (key, i) in &keyed {
-                w.write(key, &chunk[*i])?;
+            let formed = self.form_runs(
+                &mut chunk,
+                runs.len(),
+                work_dir,
+                condition.then_some(&nicknames),
+                observer,
+            )?;
+            for run in formed {
+                io_stats.records_written += run.records_written;
+                bytes_spilled += run.bytes;
+                radix_passes += run.radix_passes;
+                spill_runs += u64::from(budget_full);
+                runs.push(run.path);
             }
-            io_stats.records_written += w.finish()?;
-            bytes_spilled += std::fs::metadata(&path)?.len();
-            runs.push(path);
         }
         observer.add(Counter::SortRuns, runs.len() as u64);
+        observer.add(Counter::SpillRuns, spill_runs);
+        if self.config.strategy == SortStrategy::Radix {
+            observer.add(Counter::RadixPasses, radix_passes);
+        }
         observer.phase_ns(Phase::RunFormation, t_runs.elapsed().as_nanos() as u64);
 
         // Merge levels: F runs at a time until one remains.
@@ -185,6 +213,103 @@ impl ExternalSorter {
         })
     }
 
+    /// Conditions, keys, sorts, and spills one memory-budget chunk as
+    /// `threads` contiguous sub-runs (one when `threads == 1`). Worker `k`
+    /// owns `chunk[bands[k]]`; because record ids ascend in input order,
+    /// each sub-run is (key, id)-sorted and the merge invariants make the
+    /// final order independent of the split.
+    fn form_runs(
+        &self,
+        chunk: &mut [Record],
+        first_run: usize,
+        work_dir: &Path,
+        nicknames: Option<&mp_record::NicknameTable>,
+        observer: &dyn PipelineObserver,
+    ) -> io::Result<Vec<FormedRun>> {
+        let threads = self.config.threads.min(chunk.len()).max(1);
+        // band_ranges splits 1-based scan positions; shift to 0-based
+        // slice offsets to carve the chunk.
+        let bands: Vec<(usize, usize)> = band_ranges(chunk.len() + 1, threads)
+            .into_iter()
+            .map(|(a, b)| (a - 1, b - 1))
+            .collect();
+
+        let run_one = |slice: &mut [Record], run_idx: usize| -> io::Result<FormedRun> {
+            let gen_span = span_labeled(observer, "run_gen", || format!("run {run_idx}"));
+            if let Some(table) = nicknames {
+                mp_record::normalize::condition_all(slice, table);
+            }
+            let mut buf = String::new();
+            let keyed: Vec<(String, usize)> = slice
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    self.key.extract_into(r, &mut buf);
+                    (buf.clone(), i)
+                })
+                .collect();
+            let (order, passes) = match self.config.strategy {
+                SortStrategy::Comparison => {
+                    let mut order: Vec<u32> = (0..keyed.len() as u32).collect();
+                    order.sort_by(|&a, &b| {
+                        chunked_str_cmp(&keyed[a as usize].0, &keyed[b as usize].0)
+                    });
+                    (order, 0u64)
+                }
+                SortStrategy::Radix => {
+                    let out = radix_order_by(keyed.len(), |i| keyed[i].0.as_str());
+                    (out.order, out.passes as u64)
+                }
+            };
+            drop(gen_span);
+
+            let _spill_span = span_labeled(observer, "spill", || format!("run {run_idx}"));
+            let path = work_dir.join(format!("run-{run_idx}-{}.tmp", std::process::id()));
+            let mut w = RunWriter::create(&path)?;
+            for &i in &order {
+                let (key, local) = &keyed[i as usize];
+                w.write(key, &slice[*local])?;
+            }
+            let records_written = w.finish()?;
+            let bytes = std::fs::metadata(&path)?.len();
+            Ok(FormedRun {
+                path,
+                records_written,
+                bytes,
+                radix_passes: passes,
+            })
+        };
+
+        if threads == 1 {
+            return Ok(vec![run_one(chunk, first_run)?]);
+        }
+
+        // Carve the chunk into disjoint mutable bands and form each band's
+        // run on its own scoped thread.
+        let mut slices: Vec<&mut [Record]> = Vec::with_capacity(threads);
+        let mut rest = chunk;
+        let mut offset = 0usize;
+        for &(from, to) in &bands {
+            let (band, tail) = rest.split_at_mut(to - offset);
+            debug_assert_eq!(offset, from);
+            slices.push(band);
+            rest = tail;
+            offset = to;
+        }
+        let results: Vec<io::Result<FormedRun>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slices
+                .into_iter()
+                .enumerate()
+                .map(|(k, band)| {
+                    let run_one = &run_one;
+                    scope.spawn(move || run_one(band, first_run + k))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        results.into_iter().collect()
+    }
+
     /// The configured key.
     pub fn key(&self) -> &KeySpec {
         &self.key
@@ -213,10 +338,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap: reverse. Ties by record id keep the order identical to
         // the in-memory stable sort (ids are positional in the input).
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.id.cmp(&self.id))
+        chunked_str_cmp(&other.key, &self.key).then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -275,6 +397,15 @@ mod tests {
         (path, db)
     }
 
+    fn read_ids(path: &Path) -> Vec<u32> {
+        let mut reader = RunReader::open(path).unwrap();
+        let mut got = Vec::new();
+        while let Some((_, r)) = reader.next_entry().unwrap() {
+            got.push(r.id.0);
+        }
+        got
+    }
+
     #[test]
     fn external_sort_order_matches_in_memory_stable_sort() {
         let dir = work_dir("order");
@@ -285,6 +416,7 @@ mod tests {
             ExternalConfig {
                 memory_records: 64,
                 fan_in: 4,
+                ..ExternalConfig::default()
             },
         );
         let sorted = sorter.sort(&input, &dir, false).unwrap();
@@ -294,13 +426,49 @@ mod tests {
         let mut expect: Vec<u32> = (0..db.records.len() as u32).collect();
         expect.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
 
-        let mut reader = RunReader::open(&sorted.path).unwrap();
-        let mut got = Vec::new();
-        while let Some((_, r)) = reader.next_entry().unwrap() {
-            got.push(r.id.0);
-        }
-        assert_eq!(got, expect);
+        assert_eq!(read_ids(&sorted.path), expect);
         sorted.cleanup();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_strategy_and_thread_count_produces_the_identical_run() {
+        let dir = work_dir("matrix");
+        let (input, db) = write_db(700, 5005, &dir);
+        let key = KeySpec::last_name_key();
+
+        let reference = {
+            let sorter = ExternalSorter::new(key.clone(), ExternalConfig::default());
+            let sorted = sorter.sort(&input, &dir, false).unwrap();
+            let ids = read_ids(&sorted.path);
+            sorted.cleanup();
+            ids
+        };
+        assert_eq!(reference.len(), db.records.len());
+
+        for strategy in [SortStrategy::Comparison, SortStrategy::Radix] {
+            for threads in [1usize, 2, 3] {
+                for memory in [48usize, 701] {
+                    let sorter = ExternalSorter::new(
+                        key.clone(),
+                        ExternalConfig {
+                            memory_records: memory,
+                            fan_in: 4,
+                            threads,
+                            strategy,
+                        },
+                    );
+                    let sorted = sorter.sort(&input, &dir, false).unwrap();
+                    assert_eq!(
+                        read_ids(&sorted.path),
+                        reference,
+                        "strategy={} threads={threads} memory={memory}",
+                        strategy.name()
+                    );
+                    sorted.cleanup();
+                }
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -315,6 +483,7 @@ mod tests {
                 ExternalConfig {
                     memory_records: m,
                     fan_in: f,
+                    ..ExternalConfig::default()
                 },
             );
             let sorted = sorter.sort(&input, &dir, false).unwrap();
@@ -331,6 +500,61 @@ mod tests {
             );
             sorted.cleanup();
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_runs_counts_full_budget_chunks() {
+        use mp_metrics::MetricsRecorder;
+        let dir = work_dir("spill");
+        let (input, db) = write_db(250, 5003, &dir);
+        let n = db.records.len();
+        let m = 100usize;
+        let sorter = ExternalSorter::new(
+            KeySpec::last_name_key(),
+            ExternalConfig {
+                memory_records: m,
+                fan_in: 16,
+                ..ExternalConfig::default()
+            },
+        );
+        let recorder = MetricsRecorder::new();
+        let sorted = sorter
+            .sort_observed(&input, &dir, false, &recorder)
+            .unwrap();
+        assert_eq!(recorder.get(Counter::SortRuns), n.div_ceil(m) as u64);
+        // Full chunks spill; the final short chunk does not.
+        assert_eq!(recorder.get(Counter::SpillRuns), (n / m) as u64);
+        sorted.cleanup();
+
+        // An input that fits in one chunk forms one non-spill run.
+        let recorder = MetricsRecorder::new();
+        let roomy = ExternalSorter::new(KeySpec::last_name_key(), ExternalConfig::default());
+        let sorted = roomy.sort_observed(&input, &dir, false, &recorder).unwrap();
+        assert_eq!(recorder.get(Counter::SortRuns), 1);
+        assert_eq!(recorder.get(Counter::SpillRuns), 0);
+        sorted.cleanup();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn radix_strategy_reports_scatter_passes() {
+        use mp_metrics::MetricsRecorder;
+        let dir = work_dir("radixcnt");
+        let (input, _) = write_db(200, 5004, &dir);
+        let sorter = ExternalSorter::new(
+            KeySpec::last_name_key(),
+            ExternalConfig {
+                strategy: SortStrategy::Radix,
+                ..ExternalConfig::default()
+            },
+        );
+        let recorder = MetricsRecorder::new();
+        let sorted = sorter
+            .sort_observed(&input, &dir, false, &recorder)
+            .unwrap();
+        assert!(recorder.get(Counter::RadixPasses) > 0);
+        sorted.cleanup();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -71,6 +71,7 @@ fn corruption_beyond_first_chunk_still_detected() {
         ExternalConfig {
             memory_records: 32,
             fan_in: 2,
+            ..ExternalConfig::default()
         },
     );
     assert!(snm.run(&input, &dir, &theory).is_err());
@@ -119,6 +120,7 @@ fn temporaries_are_cleaned_up_after_success() {
         ExternalConfig {
             memory_records: 16,
             fan_in: 2,
+            ..ExternalConfig::default()
         },
     );
     let _ = snm.run(&input, &work, &theory).unwrap();

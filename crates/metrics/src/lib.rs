@@ -96,6 +96,12 @@ pub enum Counter {
     ClosedPairs,
     /// Sorted runs formed by the external sorter.
     SortRuns,
+    /// Of those, runs whose formation *spilled*: the chunk filled the
+    /// memory budget before the input was exhausted, so the sorter was
+    /// genuinely external for that run (a run covering the whole input
+    /// never spilled). `spill_runs < sort_runs` means the final,
+    /// short run fit in memory.
+    SpillRuns,
     /// Bytes spilled to run files by the external sorter.
     BytesSpilled,
     /// Total inputs across external merge steps (sum of each merge's
@@ -123,11 +129,15 @@ pub enum Counter {
     /// Common-subexpression memo hits inside the rule VM: kernel
     /// evaluations answered from the per-pair memo instead of recomputed.
     SubexprHits,
+    /// Scatter passes executed by the LSD radix key sort (constant-byte
+    /// columns are detected by the histogram pre-pass and skipped, so this
+    /// is ≤ the prefix width per sort).
+    RadixPasses,
 }
 
 impl Counter {
     /// Every counter, in stable report order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::RecordsKeyed,
         Counter::Comparisons,
         Counter::RuleInvocations,
@@ -137,6 +147,7 @@ impl Counter {
         Counter::ClosureDedupedPairs,
         Counter::ClosedPairs,
         Counter::SortRuns,
+        Counter::SpillRuns,
         Counter::BytesSpilled,
         Counter::MergeFanIn,
         Counter::WorkerFragments,
@@ -147,6 +158,7 @@ impl Counter {
         Counter::CorruptTailTruncations,
         Counter::RulesCompiled,
         Counter::SubexprHits,
+        Counter::RadixPasses,
     ];
 
     /// Stable snake_case name used in reports.
@@ -161,6 +173,7 @@ impl Counter {
             Counter::ClosureDedupedPairs => "closure_deduped_pairs",
             Counter::ClosedPairs => "closed_pairs",
             Counter::SortRuns => "sort_runs",
+            Counter::SpillRuns => "spill_runs",
             Counter::BytesSpilled => "bytes_spilled",
             Counter::MergeFanIn => "merge_fan_in",
             Counter::WorkerFragments => "worker_fragments",
@@ -171,6 +184,7 @@ impl Counter {
             Counter::CorruptTailTruncations => "corrupt_tail_truncations",
             Counter::RulesCompiled => "rules_compiled",
             Counter::SubexprHits => "subexpr_hits",
+            Counter::RadixPasses => "radix_passes",
         }
     }
 

@@ -139,12 +139,44 @@ pub fn take_records(r: &mut Reader<'_>) -> Result<Vec<Record>, String> {
 /// Every snapshot section and journal frame carries the CRC of its payload;
 /// a mismatch on load is treated as corruption, never silently accepted.
 pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental CRC-32 over a byte stream; feeding chunks through
+/// [`Crc32::update`] yields the same digest [`crc32`] computes over their
+/// concatenation, so streamed writers (the bulk-load snapshot path) can
+/// checksum payloads they never hold in one buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    crc: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { crc: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the running digest.
+    pub fn update(&mut self, data: &[u8]) {
+        const TABLE: [u32; 256] = crc32_table();
+        for &b in data {
+            self.crc = (self.crc >> 8) ^ TABLE[((self.crc ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The digest of everything fed so far.
+    pub fn finalize(self) -> u32 {
+        !self.crc
+    }
 }
 
 const fn crc32_table() -> [u32; 256] {
@@ -177,6 +209,19 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn incremental_crc_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let want = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 999, 1000] {
+            let mut h = Crc32::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), want, "chunk size {chunk}");
+        }
     }
 
     #[test]

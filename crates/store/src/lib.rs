@@ -68,7 +68,9 @@ pub use sharded::{
     merge_shard_snapshots, split_snapshot, write_shard_snapshot, ShardSnapshot, ShardedLoaded,
     ShardedStore, MANIFEST_FILE,
 };
-pub use snapshot::{PassSnapshot, Snapshot, SNAPSHOT_VERSION};
+pub use snapshot::{
+    write_streamed, PassSnapshot, Snapshot, SnapshotStream, SnapshotWriter, SNAPSHOT_VERSION,
+};
 
 use mp_record::Record;
 use std::fmt;
@@ -243,6 +245,42 @@ impl MatchStore {
         self.journal.reset(snap.batches_applied + 1)?;
         Ok(bytes.len() as u64)
     }
+
+    /// [`MatchStore::write_snapshot`] for state too large to materialize:
+    /// the snapshot streams to disk via [`SnapshotWriter`] (records pulled
+    /// one at a time from `records`), with the same commit choreography —
+    /// temp file, `fsync`, atomic rename, directory `fsync`, journal reset
+    /// to `batches_applied + 1`. The bytes on disk are identical to what
+    /// [`MatchStore::write_snapshot`] would have written for the
+    /// equivalent in-memory [`Snapshot`]. Returns the snapshot size.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a record-iterator error, or a record-count mismatch
+    /// against [`SnapshotStream::n_records`]; the old snapshot (if any)
+    /// stays in place on every error path.
+    pub fn write_snapshot_streamed(
+        &mut self,
+        state: &SnapshotStream<'_>,
+        records: impl Iterator<Item = io::Result<Record>>,
+    ) -> Result<u64, StoreError> {
+        let path = self.dir.join(SNAPSHOT_FILE);
+        let tmp = self.dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+        let total = {
+            let f = File::create(&tmp)?;
+            let mut w = io::BufWriter::new(f);
+            let total = snapshot::write_streamed(&mut w, state, records)?;
+            w.flush()?;
+            w.into_inner()
+                .map_err(|e| StoreError::Io(io::Error::other(e.to_string())))?
+                .sync_all()?;
+            total
+        };
+        std::fs::rename(&tmp, &path)?;
+        fsync_dir(&self.dir)?;
+        self.journal.reset(state.batches_applied + 1)?;
+        Ok(total)
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +367,47 @@ mod tests {
         );
         assert_eq!(store.next_seq(), 3, "seq resumes above the watermark");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_commit_matches_buffered_commit() {
+        let dir_a = tmp_dir("streamed-a");
+        let dir_b = tmp_dir("streamed-b");
+        let records = batch(1, 5);
+        let snap = snap_of(records.clone(), 1);
+
+        let (mut a, _) = MatchStore::open(&dir_a).unwrap();
+        a.append_batch(&records).unwrap();
+        let bytes_a = a.write_snapshot(&snap).unwrap();
+
+        let (mut b, _) = MatchStore::open(&dir_b).unwrap();
+        b.append_batch(&records).unwrap();
+        let state = SnapshotStream {
+            n_records: records.len() as u64,
+            passes: &snap.passes,
+            pairs: &snap.pairs,
+            closure: &snap.closure,
+            comparisons: snap.comparisons,
+            batches_applied: snap.batches_applied,
+        };
+        let bytes_b = b
+            .write_snapshot_streamed(&state, records.iter().cloned().map(Ok))
+            .unwrap();
+
+        assert_eq!(bytes_a, bytes_b);
+        assert_eq!(
+            std::fs::read(dir_a.join(SNAPSHOT_FILE)).unwrap(),
+            std::fs::read(dir_b.join(SNAPSHOT_FILE)).unwrap(),
+            "streamed and buffered snapshot files must be byte-identical"
+        );
+        assert_eq!(a.next_seq(), b.next_seq(), "journal watermark preserved");
+        drop(b);
+        let (_, loaded) = MatchStore::open(&dir_b).unwrap();
+        assert_eq!(loaded.snapshot.unwrap().batches_applied, 1);
+        assert!(loaded.replayable.is_empty(), "journal reset at commit");
+        for dir in [dir_a, dir_b] {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

@@ -24,10 +24,11 @@
 //! *reported*, never silently loaded. Unknown section tags are skipped so
 //! newer writers can add sections without breaking older readers.
 
-use crate::codec::{self, Reader};
+use crate::codec::{self, Crc32, Reader};
 use crate::StoreError;
 use mp_closure::UnionFind;
 use mp_record::Record;
+use std::io::{self, Seek, SeekFrom, Write};
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"MPSTORE\0";
 /// Snapshot format version written into the header.
@@ -306,6 +307,253 @@ impl Snapshot {
     }
 }
 
+/// Streaming writer producing byte-identical output to
+/// [`Snapshot::encode`] without buffering whole sections.
+///
+/// [`Snapshot::encode`] builds every section in memory — fine for
+/// checkpoints of a running daemon (the records are resident anyway), but
+/// wrong for the bulk-load path, where the whole point is never holding
+/// 10M records at once. The writer streams instead: each section's header
+/// is written with a 12-byte length/CRC placeholder, the payload streams
+/// through an incremental [`Crc32`], and on section close the writer seeks
+/// back and patches the real length and digest in. Readers cannot tell the
+/// difference (a test enforces bit-identity with `encode`).
+///
+/// Sections must be written in the same order `encode` emits them
+/// (`META`, `RECS`, `PASS`, `PAIR`, `CLOS`) for the outputs to be
+/// identical; the writer itself only enforces the declared section count.
+pub struct SnapshotWriter<W: Write + Seek> {
+    out: W,
+    declared: u32,
+    written: u32,
+    current: Option<OpenSection>,
+}
+
+struct OpenSection {
+    /// Stream offset of the 12-byte len+crc placeholder.
+    patch_at: u64,
+    len: u64,
+    crc: Crc32,
+}
+
+impl<W: Write + Seek> SnapshotWriter<W> {
+    /// Writes the snapshot header and prepares for `sections` sections.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    pub fn new(mut out: W, sections: u32) -> io::Result<Self> {
+        out.write_all(SNAPSHOT_MAGIC)?;
+        out.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        out.write_all(&sections.to_le_bytes())?;
+        Ok(SnapshotWriter {
+            out,
+            declared: sections,
+            written: 0,
+            current: None,
+        })
+    }
+
+    /// Opens a section: writes the tag and reserves the length/CRC slots.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a section is already open or all declared sections have
+    /// been written.
+    pub fn begin_section(&mut self, tag: &[u8; 4]) -> io::Result<()> {
+        assert!(self.current.is_none(), "close the previous section first");
+        assert!(
+            self.written < self.declared,
+            "all {} declared sections already written",
+            self.declared
+        );
+        self.out.write_all(tag)?;
+        let patch_at = self.out.stream_position()?;
+        self.out.write_all(&[0u8; 12])?; // len u64 + crc u32, patched later
+        self.current = Some(OpenSection {
+            patch_at,
+            len: 0,
+            crc: Crc32::new(),
+        });
+        Ok(())
+    }
+
+    /// Appends payload bytes to the open section.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no section is open.
+    pub fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let sec = self.current.as_mut().expect("no open section");
+        sec.crc.update(bytes);
+        sec.len += bytes.len() as u64;
+        self.out.write_all(bytes)
+    }
+
+    /// Closes the open section, seeking back to patch its length and CRC.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no section is open.
+    pub fn end_section(&mut self) -> io::Result<()> {
+        let sec = self.current.take().expect("no open section");
+        let end = self.out.stream_position()?;
+        self.out.seek(SeekFrom::Start(sec.patch_at))?;
+        self.out.write_all(&sec.len.to_le_bytes())?;
+        self.out.write_all(&sec.crc.finalize().to_le_bytes())?;
+        self.out.seek(SeekFrom::Start(end))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer and total bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a section is still open or fewer sections than declared
+    /// were written.
+    pub fn finish(mut self) -> io::Result<(W, u64)> {
+        assert!(self.current.is_none(), "close the open section first");
+        assert_eq!(
+            self.written, self.declared,
+            "declared {} sections but wrote {}",
+            self.declared, self.written
+        );
+        self.out.flush()?;
+        let total = self.out.stream_position()?;
+        Ok((self.out, total))
+    }
+}
+
+/// Borrowed view of everything a snapshot stores *except* the records,
+/// which [`write_streamed`] pulls from an iterator so a bulk load never
+/// materializes them.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotStream<'a> {
+    /// Number of records the iterator will yield (ids `0..n_records`).
+    pub n_records: u64,
+    /// Per-pass state, in pass order.
+    pub passes: &'a [PassSnapshot],
+    /// Distinct matched pairs, sorted ascending.
+    pub pairs: &'a [(u32, u32)],
+    /// Union-find closure over `0..n_records`.
+    pub closure: &'a UnionFind,
+    /// Pair comparisons performed.
+    pub comparisons: u64,
+    /// Batches the snapshot absorbs (1 for a cold bulk load).
+    pub batches_applied: u64,
+}
+
+/// Streams a complete snapshot to `out`, byte-identical to
+/// [`Snapshot::encode`] on the equivalent in-memory state.
+///
+/// `records` must yield exactly [`SnapshotStream::n_records`] records with
+/// positional ids; each is encoded and dropped, so peak memory is one
+/// record regardless of database size.
+///
+/// # Errors
+///
+/// Underlying I/O failure, an error from the record iterator, or
+/// [`StoreError::Corrupt`] when the iterator yields a different number of
+/// records than declared (the snapshot would fail its own validation on
+/// load, so it is never written silently).
+pub fn write_streamed<W: Write + Seek>(
+    out: W,
+    state: &SnapshotStream<'_>,
+    records: impl Iterator<Item = io::Result<Record>>,
+) -> Result<u64, StoreError> {
+    let mut w = SnapshotWriter::new(out, 5)?;
+    let mut buf = Vec::new();
+
+    w.begin_section(b"META")?;
+    codec::put_u64(&mut buf, state.comparisons);
+    codec::put_u64(&mut buf, state.batches_applied);
+    codec::put_u64(&mut buf, state.n_records);
+    codec::put_u64(&mut buf, state.pairs.len() as u64);
+    w.write(&buf)?;
+    w.end_section()?;
+
+    w.begin_section(b"RECS")?;
+    buf.clear();
+    codec::put_u32(&mut buf, state.n_records as u32);
+    w.write(&buf)?;
+    let mut yielded = 0u64;
+    for record in records {
+        buf.clear();
+        codec::put_record(&mut buf, &record?);
+        w.write(&buf)?;
+        yielded += 1;
+    }
+    if yielded != state.n_records {
+        return Err(StoreError::Corrupt(format!(
+            "streamed snapshot: declared {} records but the source yielded {yielded}",
+            state.n_records
+        )));
+    }
+    w.end_section()?;
+
+    w.begin_section(b"PASS")?;
+    buf.clear();
+    codec::put_u32(&mut buf, state.passes.len() as u32);
+    w.write(&buf)?;
+    for p in state.passes {
+        buf.clear();
+        codec::put_str(&mut buf, &p.key_name);
+        codec::put_u32(&mut buf, p.window);
+        codec::put_u64(&mut buf, p.pairs_found);
+        codec::put_u64(&mut buf, p.pairs_first_found);
+        codec::put_u32(&mut buf, p.keys.len() as u32);
+        w.write(&buf)?;
+        for k in &p.keys {
+            buf.clear();
+            codec::put_str(&mut buf, k);
+            w.write(&buf)?;
+        }
+        buf.clear();
+        codec::put_u32(&mut buf, p.order.len() as u32);
+        for &o in &p.order {
+            codec::put_u32(&mut buf, o);
+        }
+        w.write(&buf)?;
+    }
+    w.end_section()?;
+
+    w.begin_section(b"PAIR")?;
+    buf.clear();
+    codec::put_u64(&mut buf, state.pairs.len() as u64);
+    for &(a, b) in state.pairs {
+        codec::put_u32(&mut buf, a);
+        codec::put_u32(&mut buf, b);
+    }
+    w.write(&buf)?;
+    w.end_section()?;
+
+    w.begin_section(b"CLOS")?;
+    buf.clear();
+    state.closure.encode_into(&mut buf);
+    w.write(&buf)?;
+    w.end_section()?;
+
+    let (_, total) = w.finish()?;
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +635,47 @@ mod tests {
                 "truncation to {cut} bytes went undetected"
             );
         }
+    }
+
+    #[test]
+    fn streamed_write_is_byte_identical_to_encode() {
+        let snap = sample();
+        let want = snap.encode();
+        let state = SnapshotStream {
+            n_records: snap.records.len() as u64,
+            passes: &snap.passes,
+            pairs: &snap.pairs,
+            closure: &snap.closure,
+            comparisons: snap.comparisons,
+            batches_applied: snap.batches_applied,
+        };
+        let mut cursor = io::Cursor::new(Vec::new());
+        let total =
+            write_streamed(&mut cursor, &state, snap.records.iter().cloned().map(Ok)).unwrap();
+        let got = cursor.into_inner();
+        assert_eq!(total as usize, got.len());
+        assert_eq!(got, want, "streamed bytes diverge from encode()");
+        // And it round-trips through the validating decoder.
+        let back = Snapshot::decode(&got).unwrap();
+        assert_eq!(back.records, snap.records);
+        assert_eq!(back.passes, snap.passes);
+    }
+
+    #[test]
+    fn streamed_write_rejects_record_count_mismatch() {
+        let snap = sample();
+        let state = SnapshotStream {
+            n_records: snap.records.len() as u64 + 1, // lie
+            passes: &snap.passes,
+            pairs: &snap.pairs,
+            closure: &snap.closure,
+            comparisons: snap.comparisons,
+            batches_applied: snap.batches_applied,
+        };
+        let mut cursor = io::Cursor::new(Vec::new());
+        let err =
+            write_streamed(&mut cursor, &state, snap.records.iter().cloned().map(Ok)).unwrap_err();
+        assert!(err.to_string().contains("yielded"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "generate" => generate(&flags),
         "dedupe" => dedupe(&flags, false),
         "purge" => dedupe(&flags, true),
+        "load" => load_cmd(&flags),
         "explain" => explain(&flags),
         "serve" => serve_cmd(&flags),
         "send" => send_cmd(&flags),
@@ -70,9 +71,15 @@ commands:
             [--window W] [--keys a,b,c] [--stats FILE|-] [--trace FILE]
             [--progress] [--kernel-stats] [--no-prune]
   explain   --input FILE --a ID --b ID [--rules FILE] [--theory T]
+  load      --input FILE --store DIR [--window W] [--keys a,b,c]
+            [--rules FILE] [--theory T] [--shards N] [--work-dir DIR]
+            [--memory-budget N] [--fan-in N] [--sort-threads N]
+            [--sort-strategy comparison|radix]
   serve     --socket PATH --store DIR [--window W] [--keys a,b,c]
             [--rules FILE] [--theory T] [--shards N] [--listen HOST:PORT]
             [--queue-depth N] [--snapshot-every N] [--slow-batch-ms T]
+            [--bulk-load FILE] [--memory-budget N] [--fan-in N]
+            [--sort-threads N] [--sort-strategy comparison|radix]
             [--stats FILE] [--trace FILE] [--metrics-addr HOST:PORT]
             [--log FILE] [--log-level error|warn|info|debug]
             [--log-max-bytes N] [--log-keep N] [--progress] [--quiet]
@@ -118,14 +125,30 @@ reordering or common-subexpression memoization (bit-identical results,
 slower). Compiled runs add the rules_compiled and subexpr_hits counters to
 --stats reports.
 
+load cold-loads a record file into an empty durable store through the
+external-sort bulk pipeline (mp-extsort): the full database is never
+materialized, so a 10M-record file loads under the --memory-budget
+record cap (default 100000 records in memory; spill runs go to
+--work-dir, default STORE/bulk-tmp). --sort-strategy radix switches run
+formation to the LSD radix sort over fixed-width key prefixes; the
+committed store is bit-identical either way. A non-empty store is left
+untouched (exit failure). See docs/SCALING.md for the tuning model.
+
+serve --bulk-load FILE runs the same cold load before the store opens
+(readyz stays 503 throughout) and skips it harmlessly when the store
+already has state, so a restart is safe. The same external-sort flags
+apply. A running daemon with an empty store also accepts `send --cmd
+bulk-load --input FILE`, where FILE is a *daemon-local* path.
+
 serve runs the batch-ingest daemon on a Unix socket (plus TCP with
 --listen; same wire protocol), backed by the durable match-store at
 --store (crash-safe snapshots + batch journal; see docs/SERVING.md and
 docs/INCREMENTAL.md). --shards N partitions the store by key band into N
 journaling shard workers (fixed at store creation; the merged match set
 stays identical to --shards 1). send is the matching client over either
-transport: --cmd is one of ingest-batch (reads --input), query-matches
-(needs --id), stats, snapshot, metrics, trace, healthz, readyz,
+transport: --cmd is one of ingest-batch (reads --input), bulk-load
+(sends --input as a daemon-local path), query-matches (needs --id),
+stats, snapshot, metrics, trace, healthz, readyz,
 shutdown; --json RAW sends a raw request instead. serve's
 --stats/--trace write the pipeline report / Chrome trace on shutdown.
 
@@ -239,6 +262,89 @@ fn parse_keys(flags: &Flags) -> Result<Vec<KeySpec>, String> {
             )),
         })
         .collect()
+}
+
+/// Parses the external-sort resource flags shared by `load` and
+/// `serve --bulk-load`: `--memory-budget` (records resident in the sort),
+/// `--fan-in` (runs merged at once), `--sort-threads` (run-formation
+/// threads), `--sort-strategy` (comparison | radix).
+fn parse_external(flags: &Flags) -> Result<mp_extsort::ExternalConfig, String> {
+    let mut ext = mp_extsort::ExternalConfig::default();
+    ext.memory_records = flags.get_parsed("memory-budget", ext.memory_records)?;
+    if ext.memory_records < 2 {
+        return Err("--memory-budget must be at least 2 records".into());
+    }
+    ext.fan_in = flags.get_parsed("fan-in", ext.fan_in)?;
+    if ext.fan_in < 2 {
+        return Err("--fan-in must be at least 2".into());
+    }
+    ext.threads = flags.get_parsed("sort-threads", ext.threads)?;
+    if ext.threads == 0 {
+        return Err("--sort-threads must be at least 1".into());
+    }
+    if let Some(s) = flags.get("sort-strategy") {
+        ext.strategy = merge_purge::SortStrategy::parse(s)?;
+    }
+    Ok(ext)
+}
+
+/// `mergepurge load` — cold-load a record file into an empty durable
+/// store through the external-sort bulk pipeline. The store comes up
+/// exactly as if a daemon had ingested the whole file as batch 1.
+fn load_cmd(flags: &Flags) -> Result<(), String> {
+    use merge_purge_repro::bulk::{bulk_load_store, BulkStoreConfig};
+    let input = flags.require("input")?;
+    let store = flags.require("store")?;
+    let window: usize = flags.get_parsed("window", 10)?;
+    if window < 2 {
+        return Err("--window must be at least 2".into());
+    }
+    let shards: usize = flags.get_parsed("shards", 1)?;
+    let cfg = BulkStoreConfig {
+        window,
+        keys: parse_keys(flags)?,
+        shards,
+        external: parse_external(flags)?,
+    };
+    let work = flags
+        .get("work-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(store).join("bulk-tmp"));
+    let theory = Theory::load(flags, None)?;
+    let recorder = MetricsRecorder::new();
+    let started = std::time::Instant::now();
+    let report = bulk_load_store(
+        std::path::Path::new(store),
+        std::path::Path::new(input),
+        &work,
+        &cfg,
+        theory.as_dyn(),
+        &recorder,
+    )?;
+    let _ = std::fs::remove_dir_all(&work);
+    let Some(report) = report else {
+        return Err(format!(
+            "store {store} is not empty; load only cold-starts empty stores \
+             (use `serve` + ingest-batch for increments)"
+        ));
+    };
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "loaded {} records -> {store} in {secs:.1}s ({:.0} records/s)",
+        report.records,
+        report.records as f64 / secs.max(1e-9),
+    );
+    println!(
+        "  {} pairs, {} comparisons, {} snapshot bytes, {} data passes \
+         ({} records read, {} spilled)",
+        report.pairs,
+        report.comparisons,
+        report.snapshot_bytes,
+        report.io.data_passes(),
+        report.io.records_read,
+        report.io.records_written,
+    );
+    Ok(())
 }
 
 /// Adjacent input pairs sampled to calibrate the rule planner.
@@ -584,6 +690,8 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         return Err("--log-keep must be at least 1".into());
     }
     config.slow_batch_ms = flags.get_parsed("slow-batch-ms", 0)?;
+    config.bulk_load = flags.get("bulk-load").map(std::path::PathBuf::from);
+    config.bulk = parse_external(flags)?;
     config.quiet = flags.has("quiet");
     config.progress = flags.has("progress");
     let stats_path = flags.get("stats").map(str::to_string);
@@ -669,6 +777,19 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
                 let batch = load_records(flags)?;
                 ingest_request(&batch)
             }
+            "bulk-load" => {
+                // The path travels to the daemon, which opens it locally —
+                // absolutize so a relative client path still resolves there.
+                let input = flags.require("input")?;
+                let path =
+                    std::fs::canonicalize(input).map_err(|e| format!("resolve {input}: {e}"))?;
+                use merge_purge_repro::serve::json::Json;
+                Json::Obj(vec![
+                    ("cmd".into(), Json::Str("bulk-load".into())),
+                    ("path".into(), Json::Str(path.display().to_string())),
+                ])
+                .to_string()
+            }
             "query-matches" => {
                 let id: u32 = flags
                     .require("id")?
@@ -682,8 +803,9 @@ fn send_cmd(flags: &Flags) -> Result<(), String> {
             }
             other => {
                 return Err(format!(
-                    "unknown --cmd {other:?} (expected ingest-batch, query-matches, stats, \
-                     snapshot, metrics, trace, healthz, readyz, or shutdown)"
+                    "unknown --cmd {other:?} (expected ingest-batch, bulk-load, \
+                     query-matches, stats, snapshot, metrics, trace, healthz, readyz, \
+                     or shutdown)"
                 ))
             }
         }

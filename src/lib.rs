@@ -4,6 +4,7 @@
 //! subsystem crate so examples and integration tests have a single import
 //! root.
 
+pub mod bulk;
 pub mod serve;
 
 pub use merge_purge as core;

@@ -18,6 +18,15 @@
 //!   where each line is the pipe-separated flat format of
 //!   `mp_record::io`. Replies `{"ok":true,"seq":S,...}` only after the
 //!   batch is fsync'd to the journal *and* folded into the engine.
+//! * `bulk-load` — `{"cmd":"bulk-load","path":"/path/on/daemon.mp"}`:
+//!   cold-loads a *daemon-local* flat record file through the
+//!   external-sort pipeline (`mp_extsort::BulkLoader`, spilling under
+//!   the store directory) and commits it as the store's first batch.
+//!   Refused unless the store is empty; the state is fingerprint-
+//!   identical to ingesting the whole file as one `ingest-batch`. For
+//!   loading *before* the daemon starts accepting traffic (readyz held
+//!   503 throughout), use `serve --bulk-load` or `mergepurge load`
+//!   instead — see `docs/SCALING.md`.
 //! * `query-matches` — `{"cmd":"query-matches","id":N}` replies with the
 //!   record's duplicate class (including itself).
 //! * `snapshot` — forces a checkpoint; replies with the byte count.
@@ -66,7 +75,7 @@
 
 use merge_purge::incremental::{DurableIncremental, IncrementalMergePurge};
 use merge_purge::KeySpec;
-use mp_metrics::{span, span_labeled, Counter, FlightRecorder, MetricsRecorder};
+use mp_metrics::{span, span_labeled, Counter, FlightRecorder, MetricsRecorder, PipelineObserver};
 use mp_record::{io as rio, Record};
 use mp_rules::EquationalTheory;
 use std::io::{self, Read, Write};
@@ -138,6 +147,15 @@ pub struct ServeConfig {
     /// Prints a periodic throughput heartbeat line to stderr
     /// (suppressed by `quiet`).
     pub progress: bool,
+    /// Flat record file to cold-load through the external-sort pipeline
+    /// before the store opens (`--bulk-load`). Runs only when the store
+    /// is empty — a restart over a committed load skips it — and holds
+    /// `readyz` at 503 until the load and the subsequent open finish.
+    pub bulk_load: Option<PathBuf>,
+    /// External-sort limits (memory budget, fan-in, threads, sort
+    /// strategy) for the bulk-load paths: `--bulk-load` and the
+    /// `bulk-load` wire command.
+    pub bulk: mp_extsort::ExternalConfig,
 }
 
 impl ServeConfig {
@@ -164,6 +182,8 @@ impl ServeConfig {
             slow_batch_ms: 0,
             quiet: false,
             progress: false,
+            bulk_load: None,
+            bulk: mp_extsort::ExternalConfig::default(),
         }
     }
 }
@@ -195,6 +215,7 @@ fn install_signal_handlers() {
 /// worker has durably processed the job.
 enum Job {
     Ingest(Vec<Record>, mpsc::Sender<String>),
+    BulkLoad(PathBuf, mpsc::Sender<String>),
     Query(u32, mpsc::Sender<String>),
     Stats(mpsc::Sender<String>),
     Snapshot(mpsc::Sender<String>),
@@ -274,6 +295,92 @@ impl Backend {
             Backend::Sharded(s) => s.checkpoint(recorder, obs),
         }
     }
+
+    /// Installs a bulk-loaded state as the store's first batch (cold
+    /// stores only); see `DurableIncremental::bulk_restore` and its
+    /// sharded twin.
+    fn bulk_restore(
+        &mut self,
+        snap: mp_store::Snapshot,
+        recorder: &MetricsRecorder,
+        obs: &ObsState,
+    ) -> Result<u64, String> {
+        match self {
+            Backend::Single(d) => d.bulk_restore(snap, recorder).map_err(|e| e.to_string()),
+            Backend::Sharded(s) => s.bulk_restore(snap, recorder, obs),
+        }
+    }
+}
+
+/// The engine worker's `bulk-load` handler: runs the external-sort bulk
+/// pipeline over a daemon-local flat record file and installs the result
+/// as the (empty) store's first batch. Returns
+/// `(records, pairs, snapshot_bytes)`.
+fn bulk_ingest(
+    backend: &mut Backend,
+    input: &Path,
+    config: &ServeConfig,
+    theory: &dyn EquationalTheory,
+    recorder: &MetricsRecorder,
+    obs: &ObsState,
+) -> Result<(usize, u64, u64), String> {
+    if backend.engine().batches_applied() != 0 || !backend.engine().records().is_empty() {
+        return Err(format!(
+            "bulk-load requires an empty store (this one holds {} records from {} batches); \
+             use ingest-batch for increments",
+            backend.engine().records().len(),
+            backend.engine().batches_applied()
+        ));
+    }
+    let mut loader = mp_extsort::BulkLoader::new(config.bulk);
+    for key in &config.keys {
+        loader = loader.pass(key.clone(), config.window);
+    }
+    let work = config.store_dir.join("bulk-tmp");
+    std::fs::create_dir_all(&work).map_err(|e| format!("create {}: {e}", work.display()))?;
+    let outcome = loader
+        .load_observed(input, &work, theory, recorder)
+        .map_err(|e| format!("bulk load {}: {e}", input.display()))?;
+    let _ = std::fs::remove_dir_all(&work);
+
+    // The serving engine answers queries from memory, so the records are
+    // materialized here — the bulk pipeline bounded the *sort and scan*,
+    // which is where cold-load memory otherwise multiplies.
+    let file = std::fs::File::open(input).map_err(|e| format!("open {}: {e}", input.display()))?;
+    let records = rio::read_records(std::io::BufReader::new(file))
+        .map_err(|e| format!("parse {}: {e}", input.display()))?;
+    if records.len() != outcome.records {
+        return Err(format!(
+            "input changed during load: sorted {} records, reread {}",
+            outcome.records,
+            records.len()
+        ));
+    }
+    let n_records = records.len();
+    let pairs = outcome.pairs.sorted();
+    let n_pairs = pairs.len() as u64;
+    let snap = mp_store::Snapshot {
+        records,
+        passes: outcome
+            .passes
+            .into_iter()
+            .map(|p| mp_store::PassSnapshot {
+                key_name: p.key_name,
+                window: p.window,
+                pairs_found: p.pairs_found,
+                pairs_first_found: p.pairs_first_found,
+                keys: p.keys,
+                order: p.order,
+            })
+            .collect(),
+        pairs,
+        closure: outcome.closure,
+        comparisons: outcome.comparisons,
+        batches_applied: 1,
+    };
+    let bytes = backend.bulk_restore(snap, recorder, obs)?;
+    recorder.add(Counter::BatchesIngested, 1);
+    Ok((n_records, n_pairs, bytes))
 }
 
 /// Runs the daemon until `shutdown` (command or signal). Blocks.
@@ -363,6 +470,78 @@ pub fn serve(
             scope.spawn(move || http::serve_http(l, obs, recorder, flight, &SHUTDOWN));
         }
         let out = (|| -> Result<(), String> {
+            // Cold load, before the store opens and long before
+            // `set_replay_complete`: `readyz` answers 503 for the whole
+            // load + open, exactly like a long journal replay.
+            if let Some(input) = &config.bulk_load {
+                let bulk_cfg = crate::bulk::BulkStoreConfig {
+                    window: config.window,
+                    keys: config.keys.clone(),
+                    shards: config.shards,
+                    external: config.bulk,
+                };
+                let work = config.store_dir.join("bulk-tmp");
+                obs.event(
+                    Level::Info,
+                    "bulk_load_started",
+                    vec![("input".into(), Json::Str(input.display().to_string()))],
+                );
+                match crate::bulk::bulk_load_store(
+                    &config.store_dir,
+                    input,
+                    &work,
+                    &bulk_cfg,
+                    theory,
+                    recorder,
+                ) {
+                    Ok(Some(report)) => {
+                        let _ = std::fs::remove_dir_all(&work);
+                        if !config.quiet {
+                            eprintln!(
+                                "mergepurge serve: bulk-loaded {} records ({} pairs, {} snapshot bytes, {} data passes) from {}",
+                                report.records,
+                                report.pairs,
+                                report.snapshot_bytes,
+                                report.io.data_passes(),
+                                input.display(),
+                            );
+                        }
+                        obs.event(
+                            Level::Info,
+                            "bulk_load_complete",
+                            vec![
+                                ("records".into(), Json::Num(report.records as f64)),
+                                ("pairs".into(), Json::Num(report.pairs as f64)),
+                                ("comparisons".into(), Json::Num(report.comparisons as f64)),
+                                (
+                                    "snapshot_bytes".into(),
+                                    Json::Num(report.snapshot_bytes as f64),
+                                ),
+                                (
+                                    "data_passes".into(),
+                                    Json::Num(report.io.data_passes() as f64),
+                                ),
+                            ],
+                        );
+                    }
+                    Ok(None) => {
+                        if !config.quiet {
+                            eprintln!(
+                                "mergepurge serve: bulk load skipped (store already holds state)"
+                            );
+                        }
+                        obs.event(
+                            Level::Info,
+                            "bulk_load_skipped",
+                            vec![(
+                                "reason".into(),
+                                Json::Str("store already holds state".into()),
+                            )],
+                        );
+                    }
+                    Err(e) => return Err(format!("bulk load {}: {e}", input.display())),
+                }
+            }
             let configure = |mut e: IncrementalMergePurge| {
                 for key in &config.keys {
                     e = e.pass(key.clone(), config.window);
@@ -779,6 +958,100 @@ pub fn serve(
                                 publish_gauges(&backend, obs);
                                 let _ = reply.send(msg);
                             }
+                            Job::BulkLoad(path, reply) => {
+                                let trace_id = mint_trace_id();
+                                let started = std::time::Instant::now();
+                                let msg = {
+                                    let _batch_span = span_labeled(recorder, "batch", || {
+                                        format!("trace={trace_id} bulk-load")
+                                    });
+                                    match bulk_ingest(
+                                        &mut backend,
+                                        &path,
+                                        config,
+                                        theory,
+                                        recorder,
+                                        obs,
+                                    ) {
+                                        Ok((records, pairs, bytes)) => {
+                                            obs.event(
+                                                Level::Info,
+                                                "bulk_loaded",
+                                                vec![
+                                                    (
+                                                        "trace_id".into(),
+                                                        Json::Str(trace_id.clone()),
+                                                    ),
+                                                    (
+                                                        "input".into(),
+                                                        Json::Str(path.display().to_string()),
+                                                    ),
+                                                    ("records".into(), Json::Num(records as f64)),
+                                                    ("pairs".into(), Json::Num(pairs as f64)),
+                                                    (
+                                                        "snapshot_bytes".into(),
+                                                        Json::Num(bytes as f64),
+                                                    ),
+                                                    (
+                                                        "duration_ms".into(),
+                                                        Json::Num(
+                                                            started.elapsed().as_millis() as f64
+                                                        ),
+                                                    ),
+                                                ],
+                                            );
+                                            Json::Obj(vec![
+                                                ("ok".into(), Json::Bool(true)),
+                                                (
+                                                    "seq".into(),
+                                                    Json::Num(last_seq(&backend) as f64),
+                                                ),
+                                                ("trace_id".into(), Json::Str(trace_id.clone())),
+                                                ("records".into(), Json::Num(records as f64)),
+                                                ("pairs".into(), Json::Num(pairs as f64)),
+                                                ("snapshot_bytes".into(), Json::Num(bytes as f64)),
+                                                (
+                                                    "total_records".into(),
+                                                    Json::Num(
+                                                        backend.engine().records().len() as f64
+                                                    ),
+                                                ),
+                                            ])
+                                            .to_string()
+                                        }
+                                        Err(e) => {
+                                            obs.event(
+                                                Level::Error,
+                                                "bulk_load_failed",
+                                                vec![
+                                                    ("error".into(), Json::Str(e.to_string())),
+                                                    (
+                                                        "trace_id".into(),
+                                                        Json::Str(trace_id.clone()),
+                                                    ),
+                                                ],
+                                            );
+                                            if backend.poisoned() {
+                                                eprintln!(
+                                            "mergepurge serve: store poisoned, shutting down: {e}"
+                                        );
+                                                obs.event(Level::Error, "store_poisoned", vec![]);
+                                                SHUTDOWN.store(true, Ordering::SeqCst);
+                                            }
+                                            err_json(&format!("bulk load failed: {e}"))
+                                        }
+                                    }
+                                };
+                                flight.record(
+                                    trace_id.clone(),
+                                    last_seq(&backend),
+                                    false,
+                                    recorder.drain_spans(),
+                                );
+                                last_trace_id = Some(trace_id);
+                                publish_gauges(&backend, obs);
+                                let _ = reply.send(msg);
+                            }
                             Job::Query(id, reply) => {
                                 obs.event(
                                     Level::Debug,
@@ -880,6 +1153,7 @@ pub fn serve(
                                     obs.job_dequeued();
                                     let sender = match late {
                                         Job::Ingest(_, s)
+                                        | Job::BulkLoad(_, s)
                                         | Job::Query(_, s)
                                         | Job::Stats(s)
                                         | Job::Snapshot(s)
@@ -1160,6 +1434,12 @@ fn dispatch(
                 return err_json("id out of range");
             }
             enqueue_and_wait(tx, obs, |reply| Job::Query(id as u32, reply))
+        }
+        "bulk-load" => {
+            let Some(path) = req.get("path").and_then(Json::as_str) else {
+                return err_json("bulk-load needs a \"path\" string (daemon-local file)");
+            };
+            enqueue_and_wait(tx, obs, |reply| Job::BulkLoad(PathBuf::from(path), reply))
         }
         "stats" => enqueue_and_wait(tx, obs, Job::Stats),
         "snapshot" => enqueue_and_wait(tx, obs, Job::Snapshot),

@@ -1,0 +1,397 @@
+//! Bulk cold-load equivalence: the extsort-backed pipeline
+//! (`mergepurge load`, `serve --bulk-load`, and the `bulk-load` wire
+//! command) must commit a store byte-identical to one `add_batch` of the
+//! whole file — across store layouts (single / sharded) and sort
+//! strategies (comparison / radix) — and a SIGKILL mid-load must leave a
+//! store that reruns to the same bytes.
+
+#![cfg(unix)]
+
+use merge_purge::{IncrementalMergePurge, KeySpec, SortStrategy};
+use merge_purge_repro::bulk::{bulk_load_store, BulkStoreConfig};
+use merge_purge_repro::serve::{ingest_request, json::Json, request};
+use mp_datagen::{DatabaseGenerator, GeneratorConfig};
+use mp_extsort::ExternalConfig;
+use mp_metrics::MetricsRecorder;
+use mp_record::{io as rio, Record};
+use mp_rules::NativeEmployeeTheory;
+use mp_store::{MatchStore, ShardedStore, Snapshot};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mp-bulk-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(seed: u64, n: usize) -> Vec<Record> {
+    DatabaseGenerator::new(GeneratorConfig::new(n).duplicate_fraction(0.4).seed(seed))
+        .generate()
+        .records
+}
+
+fn write_file(dir: &Path, name: &str, records: &[Record]) -> PathBuf {
+    let path = dir.join(name);
+    let file = std::fs::File::create(&path).unwrap();
+    rio::write_records(file, records).unwrap();
+    path
+}
+
+fn keys() -> Vec<KeySpec> {
+    vec![KeySpec::last_name_key(), KeySpec::first_name_key()]
+}
+
+/// What one in-memory ingest of the whole file commits: the reference
+/// snapshot every bulk path must reproduce bit for bit.
+fn reference_snapshot(records: &[Record], window: usize) -> Snapshot {
+    let mut engine = IncrementalMergePurge::new();
+    for key in keys() {
+        engine = engine.pass(key, window);
+    }
+    engine.add_batch(records.to_vec(), &NativeEmployeeTheory::new());
+    engine.to_snapshot()
+}
+
+fn config(shards: usize, external: ExternalConfig) -> BulkStoreConfig {
+    BulkStoreConfig {
+        window: 8,
+        keys: keys(),
+        shards,
+        external,
+    }
+}
+
+fn load(store: &Path, input: &Path, work: &Path, cfg: &BulkStoreConfig) -> Option<u64> {
+    let recorder = MetricsRecorder::new();
+    bulk_load_store(
+        store,
+        input,
+        work,
+        cfg,
+        &NativeEmployeeTheory::new(),
+        &recorder,
+    )
+    .expect("bulk load")
+    .map(|r| r.snapshot_bytes)
+}
+
+#[test]
+fn single_store_bulk_load_matches_one_shot_ingest() {
+    let dir = tmp_dir("single");
+    let records = generate(9001, 3_000);
+    let input = write_file(&dir, "db.mp", &records);
+    let store = dir.join("store");
+
+    // Tiny budget: force spill runs and multi-level merges.
+    let external = ExternalConfig {
+        memory_records: 257,
+        ..ExternalConfig::default()
+    };
+    let report = load(&store, &input, &dir.join("work"), &config(1, external));
+    assert!(report.is_some(), "empty store must accept the load");
+
+    let (_store, loaded) = MatchStore::open(&store).unwrap();
+    let committed = loaded.snapshot.expect("bulk load committed a snapshot");
+    assert_eq!(committed.batches_applied, 1);
+    let expected = reference_snapshot(&records, 8);
+    assert_eq!(
+        committed.encode(),
+        expected.encode(),
+        "bulk-loaded snapshot must be byte-identical to one add_batch"
+    );
+
+    // A second load over the now-populated store must refuse (Ok(None))
+    // and leave the committed bytes untouched.
+    let again = load(&store, &input, &dir.join("work2"), &config(1, external));
+    assert!(again.is_none(), "non-empty store must be left alone");
+    let (_store, reloaded) = MatchStore::open(&store).unwrap();
+    assert_eq!(reloaded.snapshot.unwrap().encode(), expected.encode());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_bulk_load_merges_to_the_same_state_and_watermark() {
+    let dir = tmp_dir("sharded");
+    let records = generate(9002, 2_000);
+    let input = write_file(&dir, "db.mp", &records);
+    let store = dir.join("store");
+
+    let external = ExternalConfig {
+        memory_records: 311,
+        ..ExternalConfig::default()
+    };
+    let report = load(&store, &input, &dir.join("work"), &config(3, external));
+    assert!(report.is_some());
+
+    let (_s, loaded) = ShardedStore::open(&store, 3).unwrap();
+    let mut merged = loaded.snapshot.expect("committed shard snapshots merge");
+    let mut expected = reference_snapshot(&records, 8);
+    // The merge rebuilds the union-find from the sorted pair list, so the
+    // forest shape (and its bytes) can differ from the engine's
+    // discovery-order forest; everything observable must agree — exactly
+    // the bar a daemon checkpoint's restart meets.
+    assert_eq!(merged.records, expected.records);
+    assert_eq!(merged.pairs, expected.pairs);
+    assert_eq!(merged.comparisons, expected.comparisons);
+    assert_eq!(merged.closure.classes(), expected.closure.classes());
+    assert_eq!(merged.passes.len(), expected.passes.len());
+    for (m, e) in merged.passes.iter().zip(&expected.passes) {
+        assert_eq!(m.key_name, e.key_name);
+        assert_eq!(m.window, e.window);
+        assert_eq!(m.pairs_found, e.pairs_found);
+        assert_eq!(m.pairs_first_found, e.pairs_first_found);
+        assert_eq!(m.keys, e.keys);
+        assert_eq!(m.order, e.order, "merged pass order must be the engine's");
+    }
+    assert_eq!(merged.batches_applied, 1);
+    assert_eq!(
+        loaded.next_seq, 2,
+        "bulk load is batch 1; the journal watermark must follow"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn radix_and_comparison_strategies_commit_identical_bytes() {
+    let dir = tmp_dir("strategies");
+    let records = generate(9003, 2_500);
+    let input = write_file(&dir, "db.mp", &records);
+
+    let mut snapshots = Vec::new();
+    for (name, strategy, budget, threads) in [
+        ("cmp-spill", SortStrategy::Comparison, 301, 1),
+        ("radix-spill", SortStrategy::Radix, 301, 1),
+        ("radix-ram", SortStrategy::Radix, 1_000_000, 2),
+    ] {
+        let store = dir.join(format!("store-{name}"));
+        let external = ExternalConfig {
+            memory_records: budget,
+            threads,
+            strategy,
+            ..ExternalConfig::default()
+        };
+        load(
+            &store,
+            &input,
+            &dir.join(format!("work-{name}")),
+            &config(1, external),
+        )
+        .expect("load commits");
+        let (_s, loaded) = MatchStore::open(&store).unwrap();
+        snapshots.push(loaded.snapshot.unwrap().encode());
+    }
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "radix must not change the bytes"
+    );
+    assert_eq!(snapshots[0], snapshots[2], "budget/threads must not either");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon integration: serve --bulk-load and the bulk-load wire command.
+// ---------------------------------------------------------------------------
+
+fn spawn_daemon(socket: &Path, store: &Path, extra: &[&str]) -> Child {
+    let child = Command::new(env!("CARGO_BIN_EXE_mergepurge"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--window",
+            "8",
+            "--keys",
+            "last_name,first_name",
+        ])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mergepurge serve");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+fn ask(socket: &Path, payload: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match request(socket, payload) {
+            Ok(response) => return Json::parse(&response).expect("daemon speaks json"),
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(25)),
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
+}
+
+fn expect_ok(v: &Json) {
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+}
+
+fn store_section(socket: &Path) -> Json {
+    let stats = ask(socket, r#"{"cmd":"stats"}"#);
+    expect_ok(&stats);
+    stats.get("store").expect("stats has store section").clone()
+}
+
+fn shutdown(socket: &Path, child: &mut Child) {
+    expect_ok(&ask(socket, r#"{"cmd":"shutdown"}"#));
+    assert!(child.wait().expect("daemon exit").success());
+}
+
+#[test]
+fn serve_bulk_load_answers_like_an_ingest_daemon() {
+    let dir = tmp_dir("serve");
+    let records = generate(9004, 1_200);
+    let input = write_file(&dir, "db.mp", &records);
+
+    // Reference daemon: one ingest-batch of the same records.
+    let ref_socket = dir.join("ref.sock");
+    let mut ref_child = spawn_daemon(&ref_socket, &dir.join("ref-store"), &[]);
+    expect_ok(&ask(&ref_socket, &ingest_request(&records)));
+    let want = store_section(&ref_socket);
+    let want_match = ask(&ref_socket, r#"{"cmd":"query-matches","id":7}"#);
+    shutdown(&ref_socket, &mut ref_child);
+
+    // Cold-load daemon: same records through serve --bulk-load.
+    let socket = dir.join("bulk.sock");
+    let store = dir.join("bulk-store");
+    let extra = [
+        "--bulk-load",
+        input.to_str().unwrap(),
+        "--memory-budget",
+        "389",
+    ];
+    let mut child = spawn_daemon(&socket, &store, &extra);
+    assert_eq!(store_section(&socket), want, "store stats must agree");
+    assert_eq!(
+        ask(&socket, r#"{"cmd":"query-matches","id":7}"#),
+        want_match,
+        "query answers must agree"
+    );
+    shutdown(&socket, &mut child);
+
+    // Restart with the same --bulk-load: the skip path must come up on
+    // the committed snapshot with identical answers.
+    let mut child = spawn_daemon(&socket, &store, &extra);
+    assert_eq!(store_section(&socket), want, "restart skip keeps the state");
+    shutdown(&socket, &mut child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wire_bulk_load_fills_an_empty_daemon_once() {
+    let dir = tmp_dir("wire");
+    let records = generate(9005, 1_000);
+    let input = write_file(&dir, "db.mp", &records);
+    let socket = dir.join("mp.sock");
+    let mut child = spawn_daemon(&socket, &dir.join("store"), &[]);
+
+    let cmd = Json::Obj(vec![
+        ("cmd".into(), Json::Str("bulk-load".into())),
+        ("path".into(), Json::Str(input.display().to_string())),
+    ])
+    .to_string();
+    let reply = ask(&socket, &cmd);
+    expect_ok(&reply);
+    assert_eq!(
+        reply.get("records").and_then(Json::as_u64),
+        Some(records.len() as u64)
+    );
+    assert_eq!(reply.get("seq").and_then(Json::as_u64), Some(1));
+    assert!(reply.get("trace_id").and_then(Json::as_str).is_some());
+
+    let store = store_section(&socket);
+    assert_eq!(
+        store.get("records").and_then(Json::as_u64),
+        Some(records.len() as u64)
+    );
+
+    // The store now holds state: a second bulk-load must be refused but
+    // ordinary increments still work.
+    let again = ask(&socket, &cmd);
+    assert_eq!(
+        again.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{again}"
+    );
+    let more = generate(9006, 50);
+    expect_ok(&ask(&socket, &ingest_request(&more)));
+    shutdown(&socket, &mut child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety: SIGKILL mid-load leaves a store that reruns to the
+// reference bytes (the commit is one atomic rename at the very end).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sigkill_mid_load_then_rerun_commits_identical_bytes() {
+    let dir = tmp_dir("kill");
+    let records = generate(9007, 12_000);
+    let input = write_file(&dir, "db.mp", &records);
+
+    // Reference: a clean load in a separate store directory.
+    let ref_store = dir.join("ref-store");
+    let external = ExternalConfig {
+        memory_records: 127,
+        ..ExternalConfig::default()
+    };
+    load(
+        &ref_store,
+        &input,
+        &dir.join("ref-work"),
+        &config(1, external),
+    )
+    .expect("reference load");
+    let (_s, loaded) = MatchStore::open(&ref_store).unwrap();
+    let want = loaded.snapshot.unwrap().encode();
+
+    // Victim: the real binary with a tiny budget (lots of spill runs),
+    // killed shortly after it starts spilling.
+    let store = dir.join("store");
+    let work = dir.join("work");
+    let spawn_load = || {
+        Command::new(env!("CARGO_BIN_EXE_mergepurge"))
+            .args(["load", "--input", input.to_str().unwrap()])
+            .args(["--store", store.to_str().unwrap()])
+            .args(["--work-dir", work.to_str().unwrap()])
+            .args(["--window", "8", "--keys", "last_name,first_name"])
+            .args(["--memory-budget", "127"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn mergepurge load")
+    };
+    let mut victim = spawn_load();
+    // Give it long enough to be mid-spill, not long enough to finish a
+    // 12k-record debug-build load.
+    std::thread::sleep(Duration::from_millis(400));
+    let killed_in_flight = victim.try_wait().expect("poll victim").is_none();
+    let _ = victim.kill();
+    let _ = victim.wait();
+
+    // Rerun to completion. If the victim somehow finished, the rerun is
+    // the refused-non-empty path and must exit nonzero with the store
+    // intact; either way the final bytes equal the reference.
+    let rerun = spawn_load().wait().expect("rerun exit");
+    if killed_in_flight {
+        assert!(rerun.success(), "rerun over a killed load must commit");
+    }
+    let (_s, loaded) = MatchStore::open(&store).unwrap();
+    assert_eq!(
+        loaded.snapshot.expect("store committed").encode(),
+        want,
+        "post-crash rerun must commit the reference bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

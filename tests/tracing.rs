@@ -119,6 +119,7 @@ fn counter_invariant_holds_for_every_engine_configuration() {
         ExternalConfig {
             memory_records: 100,
             fan_in: 4,
+            ..ExternalConfig::default()
         },
     )
     .run_observed(&input, &dir, &theory, &recorder)
