@@ -19,15 +19,20 @@
 //! Usage:
 //!   cargo run --release -p mp-bench --bin scale -- \
 //!     [--sizes 100000,1000000,10000000] [--window 10] [--seed 11] \
-//!     [--memory-budget 1000000] [--out BENCH_scale.json] [--append]
+//!     [--memory-budget 1000000] [--out BENCH_scale.json] [--append] \
+//!     [--truth]
 //!
 //! `--sizes` takes *total* record counts (originals + duplicates are
 //! derived to land near each total). `--append` merges new entries into
 //! an existing report instead of overwriting — the CI scale-smoke job
 //! uses it to keep the 100k leg fresh without discarding the big runs.
+//! `--truth` scores the closed pairs against the generator's ground
+//! truth (the paper's Fig. 2 metrics) and adds the accuracy fields to
+//! every entry, so a scale run reports accuracy alongside throughput.
 
-use merge_purge::{KeySpec, MultiPass, SortStrategy};
+use merge_purge::{Evaluation, KeySpec, MultiPass, SortStrategy};
 use mp_bench::Args;
+use mp_closure::PairSet;
 use mp_datagen::{DatabaseGenerator, GeneratorConfig};
 use mp_extsort::{BulkLoader, ExternalConfig};
 use mp_parallel::{parallel_multipass, ParallelPass, ParallelSnm};
@@ -123,13 +128,31 @@ fn run_leg(
     }
 }
 
-/// One report entry, rendered as a single JSON object line.
-fn entry_json(total: usize, leg: &Leg, o: &Outcome, window: usize, budget: usize) -> String {
+/// One report entry, rendered as a single JSON object line. With
+/// `--truth` the entry also carries the Fig. 2 accuracy metrics (shared
+/// by all legs of a size: the pairs are asserted identical).
+fn entry_json(
+    total: usize,
+    leg: &Leg,
+    o: &Outcome,
+    window: usize,
+    budget: usize,
+    eval: Option<&Evaluation>,
+) -> String {
+    let accuracy = eval.map_or(String::new(), |e| {
+        format!(
+            ", \"percent_detected\": {:.2}, \"percent_false_positive\": {:.3}, \
+             \"percent_precision\": {:.2}",
+            e.percent_detected,
+            e.percent_false_positive,
+            e.percent_precision(),
+        )
+    });
     format!(
         "  {{\"records\": {total}, \"engine\": \"{}\", \"strategy\": \"{}\", \
          \"window\": {window}, \"memory_budget\": {budget}, \
          \"wall_secs\": {:.3}, \"records_per_sec\": {:.0}, \
-         \"closed_pairs\": {}, \"comparisons\": {}, \"data_passes\": {}}}",
+         \"closed_pairs\": {}, \"comparisons\": {}, \"data_passes\": {}{accuracy}}}",
         leg.engine,
         leg.strategy.name(),
         o.wall_secs,
@@ -177,6 +200,7 @@ fn main() {
     let budget: usize = args.get("memory-budget", 1_000_000);
     let out: String = args.get("out", "BENCH_scale.json".to_string());
     let append = args.has("append");
+    let score_truth = args.has("truth");
 
     let legs = [
         Leg {
@@ -233,6 +257,7 @@ fn main() {
         );
 
         let mut reference: Option<Vec<(u32, u32)>> = None;
+        let mut eval: Option<Evaluation> = None;
         for leg in &legs {
             let work = work_root.join(format!(
                 "work-{total}-{}-{}",
@@ -251,7 +276,16 @@ fn main() {
                 o.data_passes,
             );
             match &reference {
-                None => reference = Some(o.pairs.clone()),
+                None => {
+                    // Score once per size: every later leg is asserted to
+                    // close the identical pair set, so the accuracy is a
+                    // property of the size, not the leg.
+                    if score_truth {
+                        let found: PairSet = o.pairs.iter().copied().collect();
+                        eval = Some(Evaluation::score(&found, &db.truth));
+                    }
+                    reference = Some(o.pairs.clone());
+                }
                 Some(want) => assert_eq!(
                     want,
                     &o.pairs,
@@ -260,9 +294,19 @@ fn main() {
                     leg.strategy.name()
                 ),
             }
-            entries.push(entry_json(n, leg, &o, window, budget));
+            entries.push(entry_json(n, leg, &o, window, budget, eval.as_ref()));
         }
         println!("closed pairs identical across all {} legs", legs.len());
+        if let Some(e) = &eval {
+            println!(
+                "accuracy: detected {:.1}%   false-positive {:.3}%   precision {:.1}%   \
+                 ({} true pairs)",
+                e.percent_detected,
+                e.percent_false_positive,
+                e.percent_precision(),
+                e.true_pairs,
+            );
+        }
         let _ = std::fs::remove_file(&input);
     }
 

@@ -20,11 +20,20 @@
 //! wall-clock overheads, both asserted under the bound and written to
 //! `BENCH_tracing.json`.
 //!
+//! A second measurement, `provenance_overhead`, runs the *incremental*
+//! engine over the same database with the merge-lineage log (spanning
+//! forest + rule firings) on vs [`without_provenance`], asserts the
+//! matched pairs are identical and the overhead is under the same
+//! bound, and writes `BENCH_provenance.json`.
+//!
+//! [`without_provenance`]: merge_purge::IncrementalMergePurge::without_provenance
+//!
 //! Usage: `cargo run --release -p mp-bench --bin tracing
 //!         [--records N] [--window W] [--duplicates F] [--max-dups K]
-//!         [--seed S] [--iters K] [--bound PCT] [--out FILE]`
+//!         [--seed S] [--iters K] [--bound PCT] [--out FILE]
+//!         [--prov-out FILE]`
 
-use merge_purge::{MultiPass, MultiPassResult};
+use merge_purge::{IncrementalMergePurge, KeySpec, MultiPass, MultiPassResult};
 use mp_bench::Args;
 use mp_datagen::{DatabaseGenerator, GeneratorConfig};
 use mp_metrics::{
@@ -210,4 +219,77 @@ fn main() {
     );
     std::fs::write(&out, json).expect("write bench report");
     println!("wrote {out}");
+
+    // ------------------------------------------------------------------
+    // Provenance overhead: the incremental engine's merge-lineage log,
+    // on vs off, same interleave-and-median-of-ratios discipline as the
+    // tracing legs above. One `add_batch` of the whole database is the
+    // worst case for the log (every union is a recorded edge).
+    let prov_out: String = args.get("prov-out", "BENCH_provenance.json".to_string());
+    let run_incremental = |with_provenance: bool| {
+        let mut engine = IncrementalMergePurge::new();
+        if !with_provenance {
+            engine = engine.without_provenance();
+        }
+        for key in KeySpec::standard_three() {
+            engine = engine.pass(key, window);
+        }
+        let batch = db.records.clone();
+        let t = Instant::now();
+        engine.add_batch(batch, &theory);
+        (t.elapsed(), engine)
+    };
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    let mut ratios_prov = Vec::with_capacity(iters);
+    let mut pairs_off = Vec::new();
+    let mut pairs_on = Vec::new();
+    let mut edges = 0usize;
+    for i in 0..iters.max(1) {
+        let mut leg_time = [Duration::ZERO; 2];
+        for leg in 0..2 {
+            let leg = (leg + i) % 2;
+            let (t, engine) = run_incremental(leg == 1);
+            leg_time[leg] = t;
+            if leg == 1 {
+                best_on = best_on.min(t);
+                edges = engine.provenance().edges.len();
+                pairs_on = engine.pairs().sorted();
+            } else {
+                best_off = best_off.min(t);
+                pairs_off = engine.pairs().sorted();
+            }
+        }
+        ratios_prov.push(leg_time[1].as_secs_f64() / leg_time[0].as_secs_f64());
+    }
+    assert_eq!(
+        pairs_off, pairs_on,
+        "the provenance log changed the matched pairs"
+    );
+    let overhead_prov = 100.0 * (median(&mut ratios_prov) - 1.0);
+    println!("\n# provenance overhead — incremental engine, same database");
+    println!("provenance off:           {best_off:>12.3?}");
+    println!(
+        "provenance on:            {best_on:>12.3?}  ({overhead_prov:+.2}%, \
+         {edges} merge edges)"
+    );
+    assert!(
+        overhead_prov < bound_pct,
+        "provenance overhead {overhead_prov:.2}% exceeds the {bound_pct}% bound"
+    );
+    println!("provenance overhead {overhead_prov:.2}% < {bound_pct}% bound");
+
+    let json = format!(
+        "{{\n  \"records\": {},\n  \"window\": {window},\n  \"passes\": 3,\n  \"iters\": {iters},\n  \
+         \"off_best_ns\": {},\n  \"on_best_ns\": {},\n  \
+         \"overhead_provenance_pct\": {overhead_prov:.4},\n  \"bound_pct\": {bound_pct},\n  \
+         \"merge_edges\": {edges},\n  \"matched_pairs\": {},\n  \
+         \"pairs_identical\": true\n}}\n",
+        db.records.len(),
+        best_off.as_nanos(),
+        best_on.as_nanos(),
+        pairs_on.len(),
+    );
+    std::fs::write(&prov_out, json).expect("write provenance report");
+    println!("wrote {prov_out}");
 }

@@ -18,13 +18,18 @@
 //! * [`concurrent::ConcurrentUnionFind`] — a lock-striped variant that lets
 //!   the parallel engines merge pairs from many worker threads without a
 //!   global lock.
+//! * [`provenance::ProvenanceLog`] — the spanning-forest edge log keeping
+//!   the evidence (rule, pass, batch, trace) behind every merge, plus
+//!   [`provenance::ClusterSizes`] cluster-size telemetry.
 
 pub mod concurrent;
 pub mod pairs;
+pub mod provenance;
 pub mod unionfind;
 
 pub use concurrent::ConcurrentUnionFind;
 pub use pairs::PairSet;
+pub use provenance::{ClusterSizes, MergeEdge, ProvenanceLog};
 pub use unionfind::UnionFind;
 
 /// Computes the transitive closure of `pairs` over the id space `0..n` and

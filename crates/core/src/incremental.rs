@@ -35,7 +35,7 @@
 
 use crate::key::KeySpec;
 use crate::radix::chunked_str_cmp;
-use mp_closure::{PairSet, UnionFind};
+use mp_closure::{ClusterSizes, MergeEdge, PairSet, ProvenanceLog, UnionFind};
 use mp_metrics::{span, span_labeled, Counter, PipelineObserver};
 use mp_record::{Record, RecordId};
 use mp_rules::EquationalTheory;
@@ -95,6 +95,19 @@ pub struct IncrementalMergePurge {
     pairs: PairSet,
     /// Union-find closure maintained eagerly as pairs are found.
     closure: UnionFind,
+    /// Spanning-forest merge lineage: one edge per successful union, plus
+    /// the batch-trace table and per-rule firing counts. O(N) memory.
+    provenance: ProvenanceLog,
+    /// Cluster-size accounting (log2 histogram, largest, count), updated
+    /// on every union. Not persisted — rebuilt from the closure on restore.
+    cluster_sizes: ClusterSizes,
+    /// When false, scans skip rule attribution and no edges are recorded
+    /// (the overhead-bench baseline). Defaults to true.
+    record_provenance: bool,
+    /// Largest merged cluster of the most recent batch: `(a, b, combined
+    /// size)` of the union that produced it. `None` when the batch merged
+    /// nothing (or provenance was never consulted — it is always tracked).
+    last_batch_largest_merge: Option<(u32, u32, u32)>,
     /// Comparisons performed across all batches (for cost accounting).
     comparisons: u64,
     /// Number of batches folded in so far.
@@ -115,9 +128,22 @@ impl IncrementalMergePurge {
             records: Vec::new(),
             pairs: PairSet::new(),
             closure: UnionFind::new(0),
+            provenance: ProvenanceLog::new(),
+            cluster_sizes: ClusterSizes::new(0),
+            record_provenance: true,
+            last_batch_largest_merge: None,
             comparisons: 0,
             batches_applied: 0,
         }
+    }
+
+    /// Disables merge-lineage recording: scans skip rule attribution and
+    /// the edge log stays empty. Only the provenance-overhead bench wants
+    /// this; cluster-size accounting stays on either way.
+    #[must_use]
+    pub fn without_provenance(mut self) -> Self {
+        self.record_provenance = false;
+        self
     }
 
     /// Adds a sorted-neighborhood pass.
@@ -177,6 +203,65 @@ impl IncrementalMergePurge {
             .collect()
     }
 
+    /// The merge lineage accumulated so far: spanning-forest edges, the
+    /// batch-trace table, and per-rule firing counts.
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.provenance
+    }
+
+    /// Cluster-size accounting (log2 histogram, largest cluster, count of
+    /// multi-record clusters), current as of the last batch.
+    pub fn cluster_sizes(&self) -> &ClusterSizes {
+        &self.cluster_sizes
+    }
+
+    /// Largest merged cluster of the most recent batch, as `(a, b,
+    /// combined size)` of the union that produced it.
+    pub fn last_batch_largest_merge(&self) -> Option<(u32, u32, u32)> {
+        self.last_batch_largest_merge
+    }
+
+    /// Attaches an ingest trace id to the most recently applied batch, so
+    /// explain chains can point back at the request that merged a pair.
+    /// Call right after [`add_batch`](Self::add_batch); idempotent for the
+    /// same batch (first trace wins), no-op before the first batch or with
+    /// provenance recording off.
+    pub fn note_batch_trace(&mut self, trace: &str) {
+        if self.record_provenance && self.batches_applied > 0 {
+            self.provenance
+                .note_batch_trace(self.batches_applied, trace);
+        }
+    }
+
+    /// Walks the merge forest and returns the ordered evidence chain
+    /// proving `a` and `b` were merged: each hop names the record pair, the
+    /// rule (by id into the theory's [`rule_names`] table), the pass, the
+    /// batch sequence, and the ingest trace id when one was recorded.
+    ///
+    /// `Some(vec![])` when `a == b`; `None` when the two records are not
+    /// in the same closure class (or an id is out of range).
+    ///
+    /// [`rule_names`]: mp_rules::EquationalTheory::rule_names
+    pub fn explain(&self, a: u32, b: u32) -> Option<Vec<Evidence>> {
+        if a as usize >= self.records.len() || b as usize >= self.records.len() {
+            return None;
+        }
+        let chain = self.provenance.explain(a, b)?;
+        Some(
+            chain
+                .into_iter()
+                .map(|e| Evidence {
+                    a: e.a,
+                    b: e.b,
+                    pass: e.pass,
+                    rule_id: e.rule_id,
+                    batch_seq: e.batch_seq,
+                    trace_id: self.provenance.trace_for(e.batch_seq).map(String::from),
+                })
+                .collect(),
+        )
+    }
+
     /// Ingests a batch: renumbers its records to follow the base, merges
     /// it into every pass's order, and scans only new-involving pairs.
     ///
@@ -194,7 +279,9 @@ impl IncrementalMergePurge {
         }
         self.records.append(&mut batch);
         self.closure.grow(self.records.len());
+        self.cluster_sizes.grow(self.records.len());
         self.batches_applied += 1;
+        self.last_batch_largest_merge = None;
 
         for p in 0..self.passes.len() {
             self.scan_pass(p, old_len, theory);
@@ -242,13 +329,16 @@ impl IncrementalMergePurge {
         }
         self.records.append(&mut batch);
         self.closure.grow(self.records.len());
+        self.cluster_sizes.grow(self.records.len());
         self.batches_applied += 1;
+        self.last_batch_largest_merge = None;
 
         for p in 0..self.passes.len() {
             let merged = self.merge_pass(p, old_len);
             let w = self.passes[p].window;
             let records = &self.records;
-            let results: Vec<(u64, Vec<(u32, u32)>)> = if shards == 1 {
+            let attribute = self.record_provenance;
+            let results: Vec<BandScan> = if shards == 1 {
                 vec![scan_band(
                     records,
                     &merged,
@@ -257,6 +347,7 @@ impl IncrementalMergePurge {
                     1,
                     merged.len(),
                     theory,
+                    attribute,
                 )]
             } else {
                 let merged = &merged;
@@ -273,7 +364,9 @@ impl IncrementalMergePurge {
                                     let _scan = span_labeled(observer, "shard_scan", || {
                                         format!("shard={k}")
                                     });
-                                    scan_band(records, merged, w, old_len, from, to, theory)
+                                    scan_band(
+                                        records, merged, w, old_len, from, to, theory, attribute,
+                                    )
                                 })
                                 .expect("spawn band scan thread")
                         })
@@ -292,8 +385,16 @@ impl IncrementalMergePurge {
     fn scan_pass(&mut self, p: usize, old_len: u32, theory: &dyn EquationalTheory) {
         let merged = self.merge_pass(p, old_len);
         let w = self.passes[p].window;
-        let (comparisons, found) =
-            scan_band(&self.records, &merged, w, old_len, 1, merged.len(), theory);
+        let (comparisons, found) = scan_band(
+            &self.records,
+            &merged,
+            w,
+            old_len,
+            1,
+            merged.len(),
+            theory,
+            self.record_provenance,
+        );
         self.fold_scan(p, comparisons, &found);
         self.passes[p].order = merged;
     }
@@ -338,15 +439,43 @@ impl IncrementalMergePurge {
     }
 
     /// Folds one band's scan result into pass `p`'s counters, the global
-    /// pair set, and the closure, preserving the band's discovery order.
-    fn fold_scan(&mut self, p: usize, comparisons: u64, found: &[(u32, u32)]) {
+    /// pair set, the closure, and the merge lineage, preserving the band's
+    /// discovery order. An edge is recorded only for a *successful* union
+    /// (the spanning forest), so the log stays O(N); rule firings count
+    /// every match in discovery order so replay regenerates them exactly.
+    fn fold_scan(&mut self, p: usize, comparisons: u64, found: &[(u32, u32, u32)]) {
         self.comparisons += comparisons;
         let pass = &mut self.passes[p];
-        for &(prev, new_id) in found {
+        for &(prev, new_id, rule_id) in found {
             pass.pairs_found += 1;
+            if self.record_provenance {
+                self.provenance.note_firing(rule_id);
+            }
             if self.pairs.insert(prev, new_id) {
                 pass.pairs_first_found += 1;
-                self.closure.union(prev, new_id);
+                let ra = self.closure.find(prev);
+                let rb = self.closure.find(new_id);
+                if self.closure.union(prev, new_id) {
+                    if self.record_provenance {
+                        // The scan yields window order (prev may carry the
+                        // larger id); edges are stored low-high.
+                        self.provenance.record_edge(MergeEdge {
+                            a: prev.min(new_id),
+                            b: prev.max(new_id),
+                            pass: p as u32,
+                            rule_id,
+                            batch_seq: self.batches_applied,
+                        });
+                    }
+                    let root = self.closure.find(prev);
+                    let combined = self.cluster_sizes.merge(ra, rb, root);
+                    if self
+                        .last_batch_largest_merge
+                        .is_none_or(|(_, _, s)| combined > s)
+                    {
+                        self.last_batch_largest_merge = Some((prev, new_id, combined));
+                    }
+                }
             }
         }
     }
@@ -374,6 +503,7 @@ impl IncrementalMergePurge {
                 .collect(),
             pairs: self.pairs.sorted(),
             closure: self.closure.clone(),
+            provenance: self.provenance.clone(),
             comparisons: self.comparisons,
             batches_applied: self.batches_applied,
         }
@@ -427,19 +557,49 @@ impl IncrementalMergePurge {
         }
         self.pairs = pairs;
         self.closure = snap.closure;
+        self.provenance = snap.provenance;
+        // Sizes are a pure function of the closure; recomputing keeps the
+        // snapshot format free of derived state.
+        self.cluster_sizes = ClusterSizes::rebuild(&self.closure);
         self.comparisons = snap.comparisons;
         self.batches_applied = snap.batches_applied;
         Ok(self)
     }
 }
 
+/// One hop of an explain chain: the record pair a spanning-forest edge
+/// merged, with its full attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evidence {
+    /// Lower record id of the merged pair.
+    pub a: u32,
+    /// Higher record id of the merged pair.
+    pub b: u32,
+    /// Index of the pass whose window scan found the pair.
+    pub pass: u32,
+    /// Index into the theory's rule-name table of the rule that fired.
+    pub rule_id: u32,
+    /// Journal sequence number of the batch whose scan merged the pair.
+    pub batch_seq: u64,
+    /// Ingest trace id recorded for that batch, when one was.
+    pub trace_id: Option<String>,
+}
+
+/// One band's scan result: the comparison count and the matching
+/// `(prev, new, rule_id)` triples in exact scan order.
+type BandScan = (u64, Vec<(u32, u32, u32)>);
+
 /// Scans window positions `from..to` of `merged` read-only: position `i`
 /// compares `records[merged[i]]` against its up-to-`w-1` predecessors,
 /// skipping old-old pairs (both ids `< old_len`, decided in earlier
-/// cycles). Returns the comparison count and the matching `(prev, new)`
-/// pairs in exact scan order, so a coordinator can fold several bands'
-/// results in band order and reproduce the serial scan's discovery
-/// sequence exactly.
+/// cycles). Returns the comparison count and the matching `(prev, new,
+/// rule_id)` triples in exact scan order, so a coordinator can fold
+/// several bands' results in band order and reproduce the serial scan's
+/// discovery sequence exactly — including first-found rule attribution,
+/// which is therefore identical across serial, parallel, and sharded
+/// engines. With `attribute` off the rule id is always 0 and the cheaper
+/// boolean theory entry point is used.
+#[allow(clippy::too_many_arguments)] // one coherent scan descriptor
 fn scan_band(
     records: &[Record],
     merged: &[u32],
@@ -448,7 +608,8 @@ fn scan_band(
     from: usize,
     to: usize,
     theory: &dyn EquationalTheory,
-) -> (u64, Vec<(u32, u32)>) {
+    attribute: bool,
+) -> BandScan {
     let mut comparisons = 0u64;
     let mut found = Vec::new();
     for i in from.max(1)..to {
@@ -459,8 +620,13 @@ fn scan_band(
                 continue; // both old: already compared when closer
             }
             comparisons += 1;
-            if theory.matches(&records[prev as usize], &records[new_id as usize]) {
-                found.push((prev, new_id));
+            let (r1, r2) = (&records[prev as usize], &records[new_id as usize]);
+            if attribute {
+                if let Some(rule) = theory.matching_rule_id(r1, r2) {
+                    found.push((prev, new_id, rule as u32));
+                }
+            } else if theory.matches(r1, r2) {
+                found.push((prev, new_id, 0));
             }
         }
     }
@@ -531,8 +697,8 @@ pub struct RecoveryReport {
 ///
 /// // First process: ingest two batches — journaled, but never checkpointed.
 /// let (mut d, _) = DurableIncremental::open(&dir, passes, &theory, &obs).unwrap();
-/// d.ingest(db.records[..mid].to_vec(), &theory, &obs).unwrap();
-/// d.ingest(db.records[mid..].to_vec(), &theory, &obs).unwrap();
+/// d.ingest(db.records[..mid].to_vec(), None, &theory, &obs).unwrap();
+/// d.ingest(db.records[mid..].to_vec(), None, &theory, &obs).unwrap();
 /// let classes = d.engine().classes();
 /// let comparisons = d.engine().comparisons();
 /// drop(d); // "kill -9": no snapshot was written
@@ -605,8 +771,13 @@ impl DurableIncremental {
             report.batches_in_snapshot = snap.batches_applied;
             engine = engine.restore(snap).map_err(StoreError::Corrupt)?;
         }
-        for (_seq, batch) in loaded.replayable {
-            apply_observed(&mut engine, batch, theory, observer);
+        for b in loaded.replayable {
+            apply_observed(&mut engine, b.records, theory, observer);
+            // Re-attach the ingest trace the journal frame carried, so
+            // explain chains survive replay byte-identically.
+            if let Some(t) = &b.trace {
+                engine.note_batch_trace(t);
+            }
             report.batches_replayed += 1;
         }
         observer.add(Counter::JournalReplays, report.batches_replayed);
@@ -621,7 +792,8 @@ impl DurableIncremental {
         ))
     }
 
-    /// Ingests one batch durably: journal append + fsync first, then the
+    /// Ingests one batch durably: journal append + fsync first (the frame
+    /// carries `trace` so replay keeps lineage attribution), then the
     /// in-memory fold. Returns the batch's journal sequence number.
     ///
     /// Increments `Counter::BatchesIngested` (plus the comparison/match
@@ -634,12 +806,16 @@ impl DurableIncremental {
     pub fn ingest(
         &mut self,
         batch: Vec<Record>,
+        trace: Option<&str>,
         theory: &dyn EquationalTheory,
         observer: &dyn PipelineObserver,
     ) -> Result<u64, StoreError> {
         let _ingest = span(observer, "ingest");
-        let seq = self.store.append_batch(&batch)?;
+        let seq = self.store.append_batch(&batch, trace)?;
         apply_observed(&mut self.engine, batch, theory, observer);
+        if let Some(t) = trace {
+            self.engine.note_batch_trace(t);
+        }
         observer.add(Counter::BatchesIngested, 1);
         self.batches_since_checkpoint += 1;
         Ok(seq)
@@ -1028,7 +1204,7 @@ mod tests {
         let dir_a = tmp_dir("golden");
         let (mut a, _) = DurableIncremental::open(&dir_a, two_pass, &theory, &obs).unwrap();
         for b in &parts {
-            a.ingest(b.clone(), &theory, &obs).unwrap();
+            a.ingest(b.clone(), None, &theory, &obs).unwrap();
         }
         let want = fingerprint(a.engine());
         let want_classes = a.engine().classes();
@@ -1039,7 +1215,7 @@ mod tests {
             let (mut d, report) =
                 DurableIncremental::open(&dir_b, two_pass, &theory, &obs).unwrap();
             assert_eq!(report.batches_replayed, i as u64);
-            d.ingest(b.clone(), &theory, &obs).unwrap();
+            d.ingest(b.clone(), None, &theory, &obs).unwrap();
         }
         let (d, _) = DurableIncremental::open(&dir_b, two_pass, &theory, &obs).unwrap();
         assert_eq!(fingerprint(d.engine()), want);
@@ -1048,17 +1224,17 @@ mod tests {
         // Checkpoint mid-way, kill, reopen, finish: same answer again.
         let dir_c = tmp_dir("checkpointed");
         let (mut d, _) = DurableIncremental::open(&dir_c, two_pass, &theory, &obs).unwrap();
-        d.ingest(parts[0].clone(), &theory, &obs).unwrap();
-        d.ingest(parts[1].clone(), &theory, &obs).unwrap();
+        d.ingest(parts[0].clone(), None, &theory, &obs).unwrap();
+        d.ingest(parts[1].clone(), None, &theory, &obs).unwrap();
         d.checkpoint(&obs).unwrap();
         assert_eq!(d.batches_since_checkpoint(), 0);
-        d.ingest(parts[2].clone(), &theory, &obs).unwrap();
+        d.ingest(parts[2].clone(), None, &theory, &obs).unwrap();
         drop(d);
         let (mut d, report) = DurableIncremental::open(&dir_c, two_pass, &theory, &obs).unwrap();
         assert!(report.snapshot_loaded);
         assert_eq!(report.batches_in_snapshot, 2);
         assert_eq!(report.batches_replayed, 1);
-        d.ingest(parts[3].clone(), &theory, &obs).unwrap();
+        d.ingest(parts[3].clone(), None, &theory, &obs).unwrap();
         assert_eq!(fingerprint(d.engine()), want);
         assert_eq!(d.engine().classes(), want_classes);
 
@@ -1077,7 +1253,7 @@ mod tests {
         let (mut d, _) = DurableIncremental::open(&dir, two_pass, &theory, &obs).unwrap();
         let mut journal_len_after = Vec::new();
         for b in &parts {
-            d.ingest(b.clone(), &theory, &obs).unwrap();
+            d.ingest(b.clone(), None, &theory, &obs).unwrap();
             journal_len_after.push(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len());
         }
         drop(d);
@@ -1095,7 +1271,7 @@ mod tests {
 
         // The torn batch was never acknowledged; the client re-sends it and
         // the result matches an uninterrupted 3-batch run.
-        d.ingest(parts[2].clone(), &theory, &obs).unwrap();
+        d.ingest(parts[2].clone(), None, &theory, &obs).unwrap();
         let mut golden = two_pass(IncrementalMergePurge::new());
         for b in &parts {
             golden.add_batch(b.clone(), &theory);

@@ -9,13 +9,19 @@
 //!
 //! ```text
 //! header  : magic  b"MPJL"            (4 bytes)
-//!           version u32 = 1           (4 bytes)
+//!           version u32 = 2           (4 bytes)
 //! frame*  : magic  b"MPJF"            (4 bytes)
 //!           seq     u64               (batch sequence number, 1-based)
 //!           len     u64               (payload byte length)
 //!           crc     u32               (CRC-32 of payload)
-//!           payload                   (u32 count + encoded records)
+//!           payload                   (u32 count + encoded records,
+//!                                      then u32 trace flag [+ trace string])
 //! ```
+//!
+//! Version 2 appended the trace tail to the frame payload: the ingest
+//! trace id rides the journal so replay can re-annotate the provenance
+//! log with the *original* trace of each batch, keeping the merge
+//! lineage byte-identical across crash recovery.
 //!
 //! # Recovery semantics
 //!
@@ -37,15 +43,27 @@ use std::path::{Path, PathBuf};
 const JOURNAL_MAGIC: &[u8; 4] = b"MPJL";
 const FRAME_MAGIC: &[u8; 4] = b"MPJF";
 /// Journal format version written into the header.
-pub const JOURNAL_VERSION: u32 = 1;
+pub const JOURNAL_VERSION: u32 = 2;
 const HEADER_LEN: usize = 8;
 const FRAME_HEADER_LEN: usize = 4 + 8 + 8 + 4;
+
+/// One recovered journal frame: the batch, its sequence number, and the
+/// ingest trace id the frame carried (absent for untraced appends).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalBatch {
+    /// Batch sequence number (1-based, contiguous after filtering).
+    pub seq: u64,
+    /// The journaled records.
+    pub records: Vec<Record>,
+    /// Trace id of the ingest that journaled this batch, if any.
+    pub trace: Option<String>,
+}
 
 /// What [`Journal::open`] found on disk.
 #[derive(Debug, Default)]
 pub struct JournalRecovery {
     /// Every intact journaled batch, in sequence order.
-    pub batches: Vec<(u64, Vec<Record>)>,
+    pub batches: Vec<JournalBatch>,
     /// `(seq, file end offset)` of every intact frame, in scan order. Lets
     /// a coordinator chop *whole* trailing frames (e.g. orphans of an
     /// incomplete cross-shard scatter) with [`Journal::truncate_to`].
@@ -100,8 +118,9 @@ impl Journal {
                     break;
                 }
                 match Self::scan_frame(rest, last_seq) {
-                    Ok((seq, batch, frame_len)) => {
-                        recovery.batches.push((seq, batch));
+                    Ok((batch, frame_len)) => {
+                        let seq = batch.seq;
+                        recovery.batches.push(batch);
                         good_end += frame_len;
                         recovery.frame_ends.push((seq, good_end as u64));
                         last_seq = Some(seq);
@@ -146,11 +165,11 @@ impl Journal {
         ))
     }
 
-    /// Parses one frame from `rest`; returns `(seq, batch, total frame
-    /// bytes)` or the reason this frame starts a torn tail. The first frame
+    /// Parses one frame from `rest`; returns `(batch, total frame bytes)`
+    /// or the reason this frame starts a torn tail. The first frame
     /// of a file may carry any sequence number (a post-snapshot
     /// [`Journal::reset`] renumbers); later frames must be contiguous.
-    fn scan_frame(rest: &[u8], last_seq: Option<u64>) -> Result<(u64, Vec<Record>, usize), String> {
+    fn scan_frame(rest: &[u8], last_seq: Option<u64>) -> Result<(JournalBatch, usize), String> {
         if rest.len() < FRAME_HEADER_LEN {
             return Err(format!(
                 "partial frame header ({} of {FRAME_HEADER_LEN} bytes)",
@@ -180,9 +199,21 @@ impl Journal {
             return Err(format!("CRC mismatch on frame {seq}"));
         }
         let mut r = Reader::new(payload);
-        let batch = codec::take_records(&mut r).map_err(|e| format!("frame {seq}: {e}"))?;
+        let records = codec::take_records(&mut r).map_err(|e| format!("frame {seq}: {e}"))?;
+        let trace = match r.u32().map_err(|e| format!("frame {seq}: {e}"))? {
+            0 => None,
+            1 => Some(r.str().map_err(|e| format!("frame {seq}: {e}"))?),
+            other => return Err(format!("frame {seq}: bad trace flag {other}")),
+        };
         r.finish().map_err(|e| format!("frame {seq}: {e}"))?;
-        Ok((seq, batch, FRAME_HEADER_LEN + len))
+        Ok((
+            JournalBatch {
+                seq,
+                records,
+                trace,
+            },
+            FRAME_HEADER_LEN + len,
+        ))
     }
 
     /// Sequence number the next appended batch will receive.
@@ -199,13 +230,21 @@ impl Journal {
         self.next_seq = self.next_seq.max(min_next);
     }
 
-    /// Appends one batch as a CRC-protected frame and `fsync`s. The batch
-    /// is durable when this returns; the assigned sequence number is
-    /// returned.
-    pub fn append(&mut self, records: &[Record]) -> Result<u64, StoreError> {
+    /// Appends one batch as a CRC-protected frame and `fsync`s, carrying
+    /// the ingest `trace` id (if any) so replay can reproduce it. The
+    /// batch is durable when this returns; the assigned sequence number
+    /// is returned.
+    pub fn append(&mut self, records: &[Record], trace: Option<&str>) -> Result<u64, StoreError> {
         let seq = self.next_seq;
         let mut payload = Vec::new();
         codec::put_records(&mut payload, records);
+        match trace {
+            None => codec::put_u32(&mut payload, 0),
+            Some(t) => {
+                codec::put_u32(&mut payload, 1);
+                codec::put_str(&mut payload, t);
+            }
+        }
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
         frame.extend_from_slice(FRAME_MAGIC);
         frame.extend_from_slice(&seq.to_le_bytes());
@@ -262,12 +301,13 @@ impl Journal {
         recovery: &mut JournalRecovery,
         batches_applied: u64,
     ) -> Result<(), StoreError> {
-        recovery.batches.retain(|(seq, _)| *seq > batches_applied);
-        for (want, (seq, _)) in (batches_applied + 1..).zip(recovery.batches.iter()) {
-            if *seq != want {
+        recovery.batches.retain(|b| b.seq > batches_applied);
+        for (want, b) in (batches_applied + 1..).zip(recovery.batches.iter()) {
+            if b.seq != want {
                 return Err(StoreError::Corrupt(format!(
                     "journal gap: snapshot holds batches 1..={batches_applied} but the next \
-                     journal frame is {seq} (expected {want})"
+                     journal frame is {} (expected {want})",
+                    b.seq
                 )));
             }
         }
@@ -302,15 +342,17 @@ mod tests {
         let path = tmp("replay");
         let (mut j, rec) = Journal::open(&path).unwrap();
         assert!(rec.batches.is_empty() && !rec.truncated());
-        assert_eq!(j.append(&batch(1, 3)).unwrap(), 1);
-        assert_eq!(j.append(&batch(2, 2)).unwrap(), 2);
+        assert_eq!(j.append(&batch(1, 3), Some("trace-1")).unwrap(), 1);
+        assert_eq!(j.append(&batch(2, 2), None).unwrap(), 2);
         drop(j);
         let (j2, rec) = Journal::open(&path).unwrap();
         assert!(!rec.truncated());
         assert_eq!(rec.batches.len(), 2);
-        assert_eq!(rec.batches[0].0, 1);
-        assert_eq!(rec.batches[0].1, batch(1, 3));
-        assert_eq!(rec.batches[1].1, batch(2, 2));
+        assert_eq!(rec.batches[0].seq, 1);
+        assert_eq!(rec.batches[0].records, batch(1, 3));
+        assert_eq!(rec.batches[0].trace.as_deref(), Some("trace-1"));
+        assert_eq!(rec.batches[1].records, batch(2, 2));
+        assert_eq!(rec.batches[1].trace, None);
         assert_eq!(j2.next_seq(), 3);
     }
 
@@ -318,8 +360,8 @@ mod tests {
     fn torn_tail_is_truncated_and_journal_stays_appendable() {
         let path = tmp("torn");
         let (mut j, _) = Journal::open(&path).unwrap();
-        j.append(&batch(1, 4)).unwrap();
-        j.append(&batch(2, 4)).unwrap();
+        j.append(&batch(1, 4), Some("t1")).unwrap();
+        j.append(&batch(2, 4), Some("t2")).unwrap();
         drop(j);
         // Simulate a crash mid-append: chop 5 bytes off the last frame.
         let len = std::fs::metadata(&path).unwrap().len();
@@ -331,7 +373,7 @@ mod tests {
         assert!(rec.truncated_bytes > 0);
         assert_eq!(rec.batches.len(), 1, "only the intact frame survives");
         // The journal is clean again: appends resume at the right seq.
-        assert_eq!(j.append(&batch(9, 1)).unwrap(), 2);
+        assert_eq!(j.append(&batch(9, 1), None).unwrap(), 2);
         drop(j);
         let (_, rec) = Journal::open(&path).unwrap();
         assert!(!rec.truncated());
@@ -342,9 +384,9 @@ mod tests {
     fn flipped_payload_byte_fails_crc_and_truncates() {
         let path = tmp("crc");
         let (mut j, _) = Journal::open(&path).unwrap();
-        j.append(&batch(1, 4)).unwrap();
+        j.append(&batch(1, 4), None).unwrap();
         let after_first = std::fs::metadata(&path).unwrap().len();
-        j.append(&batch(2, 4)).unwrap();
+        j.append(&batch(2, 4), None).unwrap();
         drop(j);
         let mut data = std::fs::read(&path).unwrap();
         let flip = after_first as usize + FRAME_HEADER_LEN + 3;
@@ -365,15 +407,16 @@ mod tests {
     fn reset_empties_and_renumbers() {
         let path = tmp("reset");
         let (mut j, _) = Journal::open(&path).unwrap();
-        j.append(&batch(1, 2)).unwrap();
-        j.append(&batch(2, 2)).unwrap();
+        j.append(&batch(1, 2), None).unwrap();
+        j.append(&batch(2, 2), None).unwrap();
         j.reset(3).unwrap();
-        assert_eq!(j.append(&batch(3, 2)).unwrap(), 3);
+        assert_eq!(j.append(&batch(3, 2), Some("t3")).unwrap(), 3);
         drop(j);
         let (_, mut rec) = Journal::open(&path).unwrap();
         // Fresh journal holds only the post-reset batch, renumbered.
         assert_eq!(rec.batches.len(), 1);
-        assert_eq!(rec.batches[0].0, 3);
+        assert_eq!(rec.batches[0].seq, 3);
+        assert_eq!(rec.batches[0].trace.as_deref(), Some("t3"));
         // Replay filtering against the snapshot watermark keeps it.
         assert!(Journal::filter_replayable(&mut rec, 2).is_ok());
         assert_eq!(rec.batches.len(), 1);
@@ -383,9 +426,9 @@ mod tests {
     fn truncate_to_drops_whole_trailing_frames_and_reuses_seqs() {
         let path = tmp("chop");
         let (mut j, _) = Journal::open(&path).unwrap();
-        j.append(&batch(1, 2)).unwrap();
-        j.append(&batch(2, 2)).unwrap();
-        j.append(&batch(3, 2)).unwrap();
+        j.append(&batch(1, 2), None).unwrap();
+        j.append(&batch(2, 2), None).unwrap();
+        j.append(&batch(3, 2), None).unwrap();
         drop(j);
         let (mut j, rec) = Journal::open(&path).unwrap();
         assert_eq!(rec.frame_ends.len(), 3);
@@ -397,23 +440,28 @@ mod tests {
         let (seq2, end2) = rec.frame_ends[1];
         assert_eq!(seq2, 2);
         j.truncate_to(end2, 3).unwrap();
-        assert_eq!(j.append(&batch(9, 1)).unwrap(), 3, "seq 3 is reused");
+        assert_eq!(j.append(&batch(9, 1), None).unwrap(), 3, "seq 3 is reused");
         drop(j);
         let (_, rec) = Journal::open(&path).unwrap();
         assert!(!rec.truncated(), "boundary truncation leaves a clean file");
         assert_eq!(rec.batches.len(), 3);
-        assert_eq!(rec.batches[2].1, batch(9, 1));
+        assert_eq!(rec.batches[2].records, batch(9, 1));
     }
 
     #[test]
     fn filter_detects_gaps() {
+        let jb = |seq: u64| JournalBatch {
+            seq,
+            records: batch(seq as u32, 1),
+            trace: None,
+        };
         let mut rec = JournalRecovery {
-            batches: vec![(4, batch(4, 1)), (5, batch(5, 1))],
+            batches: vec![jb(4), jb(5)],
             ..Default::default()
         };
         assert!(Journal::filter_replayable(&mut rec, 2).is_err());
         let mut ok = JournalRecovery {
-            batches: vec![(3, batch(3, 1)), (4, batch(4, 1))],
+            batches: vec![jb(3), jb(4)],
             ..Default::default()
         };
         Journal::filter_replayable(&mut ok, 2).unwrap();

@@ -38,7 +38,7 @@
 //!
 //! // Journal a batch (durable once this returns), then checkpoint.
 //! let batch = vec![Record::empty(RecordId(0))];
-//! let seq = store.append_batch(&batch).unwrap();
+//! let seq = store.append_batch(&batch, None).unwrap();
 //! assert_eq!(seq, 1);
 //! let snap = Snapshot {
 //!     records: batch,
@@ -47,6 +47,7 @@
 //!     closure: UnionFind::new(1),
 //!     comparisons: 0,
 //!     batches_applied: 1,
+//!     provenance: mp_closure::ProvenanceLog::new(),
 //! };
 //! store.write_snapshot(&snap).unwrap();
 //!
@@ -63,7 +64,7 @@ pub mod journal;
 pub mod sharded;
 pub mod snapshot;
 
-pub use journal::{Journal, JournalRecovery, JOURNAL_VERSION};
+pub use journal::{Journal, JournalBatch, JournalRecovery, JOURNAL_VERSION};
 pub use sharded::{
     merge_shard_snapshots, split_snapshot, write_shard_snapshot, ShardSnapshot, ShardedLoaded,
     ShardedStore, MANIFEST_FILE,
@@ -129,7 +130,9 @@ pub struct LoadedState {
     pub snapshot: Option<Snapshot>,
     /// Journaled batches the snapshot has not absorbed, in sequence order;
     /// replay these (oldest first) to reconstruct the pre-crash state.
-    pub replayable: Vec<(u64, Vec<Record>)>,
+    /// Each carries the trace id of its original ingest, if one was
+    /// journaled, so provenance annotations replay identically.
+    pub replayable: Vec<JournalBatch>,
     /// Journal scan outcome, including any torn-tail truncation.
     pub recovery: JournalRecovery,
 }
@@ -218,9 +221,14 @@ impl MatchStore {
     /// Journals one batch (fsync'd; durable when this returns) and returns
     /// its sequence number. Append *before* applying the batch in memory:
     /// on a crash the journal replays it, and an unjournaled batch was
-    /// never acknowledged.
-    pub fn append_batch(&mut self, records: &[Record]) -> Result<u64, StoreError> {
-        self.journal.append(records)
+    /// never acknowledged. `trace` is the ingest trace id to persist with
+    /// the frame (replay re-annotates provenance with it).
+    pub fn append_batch(
+        &mut self,
+        records: &[Record],
+        trace: Option<&str>,
+    ) -> Result<u64, StoreError> {
+        self.journal.append(records, trace)
     }
 
     /// Atomically replaces the snapshot with `snap` (write-temp + fsync +
@@ -314,6 +322,7 @@ mod tests {
             closure: UnionFind::new(n),
             comparisons: 0,
             batches_applied,
+            provenance: mp_closure::ProvenanceLog::new(),
         }
     }
 
@@ -322,8 +331,8 @@ mod tests {
         let dir = tmp_dir("cycle");
         let (mut store, loaded) = MatchStore::open(&dir).unwrap();
         assert!(loaded.snapshot.is_none() && loaded.replayable.is_empty());
-        store.append_batch(&batch(1, 2)).unwrap();
-        store.append_batch(&batch(2, 2)).unwrap();
+        store.append_batch(&batch(1, 2), None).unwrap();
+        store.append_batch(&batch(2, 2), None).unwrap();
         drop(store);
 
         // Crash before any snapshot: both batches replay.
@@ -336,13 +345,13 @@ mod tests {
         let mut all = batch(1, 2);
         all.extend(batch(2, 2));
         store.write_snapshot(&snap_of(all, 2)).unwrap();
-        store.append_batch(&batch(3, 1)).unwrap();
+        store.append_batch(&batch(3, 1), None).unwrap();
         drop(store);
 
         let (_, loaded) = MatchStore::open(&dir).unwrap();
         assert_eq!(loaded.snapshot.as_ref().unwrap().batches_applied, 2);
         assert_eq!(loaded.replayable.len(), 1);
-        assert_eq!(loaded.replayable[0].0, 3);
+        assert_eq!(loaded.replayable[0].seq, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -350,8 +359,8 @@ mod tests {
     fn crash_between_snapshot_rename_and_journal_reset_is_handled() {
         let dir = tmp_dir("rename-crash");
         let (mut store, _) = MatchStore::open(&dir).unwrap();
-        store.append_batch(&batch(1, 2)).unwrap();
-        store.append_batch(&batch(2, 2)).unwrap();
+        store.append_batch(&batch(1, 2), None).unwrap();
+        store.append_batch(&batch(2, 2), None).unwrap();
         drop(store);
         // Simulate the crash window: write the snapshot file directly
         // without touching the journal (as if we died mid-write_snapshot).
@@ -377,16 +386,17 @@ mod tests {
         let snap = snap_of(records.clone(), 1);
 
         let (mut a, _) = MatchStore::open(&dir_a).unwrap();
-        a.append_batch(&records).unwrap();
+        a.append_batch(&records, None).unwrap();
         let bytes_a = a.write_snapshot(&snap).unwrap();
 
         let (mut b, _) = MatchStore::open(&dir_b).unwrap();
-        b.append_batch(&records).unwrap();
+        b.append_batch(&records, None).unwrap();
         let state = SnapshotStream {
             n_records: records.len() as u64,
             passes: &snap.passes,
             pairs: &snap.pairs,
             closure: &snap.closure,
+            provenance: &snap.provenance,
             comparisons: snap.comparisons,
             batches_applied: snap.batches_applied,
         };

@@ -50,10 +50,10 @@
 //! replay, exactly as in the single store).
 
 use crate::codec::{self, Reader};
-use crate::journal::{Journal, JournalRecovery};
+use crate::journal::{Journal, JournalBatch, JournalRecovery};
 use crate::snapshot::{PassSnapshot, Snapshot};
 use crate::{fsync_dir, StoreError, JOURNAL_FILE};
-use mp_closure::UnionFind;
+use mp_closure::{MergeEdge, ProvenanceLog, UnionFind};
 use mp_record::Record;
 use std::fs::File;
 use std::io::Write;
@@ -63,8 +63,10 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST_FILE: &str = "manifest.mpm";
 /// Manifest format version.
 pub const MANIFEST_VERSION: u32 = 1;
-/// Shard-snapshot format version.
-pub const SHARD_SNAPSHOT_VERSION: u32 = 1;
+/// Shard-snapshot format version. Version 2 added the provenance slice:
+/// ordinal-tagged merge edges (owned like pairs, by the shard of the
+/// larger id) plus the duplicated batch-trace and rule-firing tables.
+pub const SHARD_SNAPSHOT_VERSION: u32 = 2;
 
 const MANIFEST_MAGIC: &[u8; 4] = b"MPMF";
 const SHARD_SNAPSHOT_MAGIC: &[u8; 8] = b"MPSSHARD";
@@ -76,8 +78,9 @@ pub struct ShardedLoaded {
     /// The last committed checkpoint, merged back into a global snapshot.
     pub snapshot: Option<Snapshot>,
     /// Fully-scattered batches the snapshot has not absorbed, in sequence
-    /// order, each reassembled (id-sorted) across shards.
-    pub replayable: Vec<(u64, Vec<Record>)>,
+    /// order, each reassembled (id-sorted) across shards, carrying the
+    /// ingest trace id its scatter frames journaled (if any).
+    pub replayable: Vec<JournalBatch>,
     /// One open journal per shard, in shard order, positioned to append
     /// at the next sequence number. The caller hands each to its worker.
     pub journals: Vec<Journal>,
@@ -266,20 +269,20 @@ impl ShardedStore {
         // complete sequence is the minimum of the per-shard tails.
         let last_complete = recoveries
             .iter()
-            .map(|r| r.batches.last().map_or(watermark, |(s, _)| *s))
+            .map(|r| r.batches.last().map_or(watermark, |b| b.seq))
             .min()
             .unwrap_or(watermark);
 
         let mut shard_replays = vec![0u64; shards];
-        let mut replayable: Vec<(u64, Vec<Record>)> = (watermark + 1..=last_complete)
-            .map(|s| (s, Vec::new()))
+        let mut replayable: Vec<JournalBatch> = (watermark + 1..=last_complete)
+            .map(|s| JournalBatch {
+                seq: s,
+                records: Vec::new(),
+                trace: None,
+            })
             .collect();
         for (k, rec) in recoveries.iter_mut().enumerate() {
-            let orphans = rec
-                .batches
-                .iter()
-                .filter(|(s, _)| *s > last_complete)
-                .count();
+            let orphans = rec.batches.iter().filter(|b| b.seq > last_complete).count();
             if orphans > 0 {
                 let end = rec
                     .frame_ends
@@ -298,19 +301,25 @@ impl ShardedStore {
                     "shard {k}: dropped {orphans} orphan frame(s) of an incomplete scatter \
                      (batch never acknowledged)"
                 ));
-                rec.batches.retain(|(s, _)| *s <= last_complete);
+                rec.batches.retain(|b| b.seq <= last_complete);
             }
             journals[k].bump_next_seq(last_complete + 1);
-            for (seq, records) in std::mem::take(&mut rec.batches) {
-                if !records.is_empty() {
+            for b in std::mem::take(&mut rec.batches) {
+                if !b.records.is_empty() {
                     shard_replays[k] += 1;
                 }
-                replayable[(seq - watermark - 1) as usize].1.extend(records);
+                let slot = &mut replayable[(b.seq - watermark - 1) as usize];
+                slot.records.extend(b.records);
+                // Every scatter frame of a batch journals the same trace;
+                // the first one seen stands for all.
+                if slot.trace.is_none() {
+                    slot.trace = b.trace;
+                }
             }
         }
         // Scattered frames carry global ids; id order is the arrival order.
-        for (_, batch) in &mut replayable {
-            batch.sort_by_key(|r| r.id.0);
+        for b in &mut replayable {
+            b.records.sort_by_key(|r| r.id.0);
         }
 
         Ok((
@@ -469,6 +478,15 @@ pub struct ShardSnapshot {
     /// Matched pairs owned by this shard (the shard owning the pair's
     /// larger id), sorted ascending.
     pub pairs: Vec<(u32, u32)>,
+    /// Provenance edges owned by this shard (same ownership rule as
+    /// pairs: the shard of the edge's larger id), each tagged with its
+    /// global ordinal in the log so the merge restores the exact original
+    /// order — explain chains stay byte-identical across split/merge.
+    pub edges: Vec<(u64, MergeEdge)>,
+    /// Global batch-trace table (duplicated into every shard).
+    pub batch_traces: Vec<(u64, String)>,
+    /// Global per-rule firing counts (duplicated into every shard).
+    pub rule_firings: Vec<u64>,
 }
 
 impl ShardSnapshot {
@@ -496,6 +514,24 @@ impl ShardSnapshot {
         for &(a, b) in &self.pairs {
             codec::put_u32(&mut p, a);
             codec::put_u32(&mut p, b);
+        }
+        codec::put_u64(&mut p, self.edges.len() as u64);
+        for &(ord, e) in &self.edges {
+            codec::put_u64(&mut p, ord);
+            codec::put_u32(&mut p, e.a);
+            codec::put_u32(&mut p, e.b);
+            codec::put_u32(&mut p, e.pass);
+            codec::put_u32(&mut p, e.rule_id);
+            codec::put_u64(&mut p, e.batch_seq);
+        }
+        codec::put_u32(&mut p, self.batch_traces.len() as u32);
+        for (seq, trace) in &self.batch_traces {
+            codec::put_u64(&mut p, *seq);
+            codec::put_str(&mut p, trace);
+        }
+        codec::put_u32(&mut p, self.rule_firings.len() as u32);
+        for &f in &self.rule_firings {
+            codec::put_u64(&mut p, f);
         }
 
         let mut out = Vec::with_capacity(24 + p.len());
@@ -572,6 +608,32 @@ impl ShardSnapshot {
             for _ in 0..n {
                 pairs.push((r.u32()?, r.u32()?));
             }
+            let ne = r.u64()? as usize;
+            let mut edges = Vec::with_capacity(ne.min(r.remaining() / 32 + 1));
+            for _ in 0..ne {
+                let ord = r.u64()?;
+                edges.push((
+                    ord,
+                    MergeEdge {
+                        a: r.u32()?,
+                        b: r.u32()?,
+                        pass: r.u32()?,
+                        rule_id: r.u32()?,
+                        batch_seq: r.u64()?,
+                    },
+                ));
+            }
+            let nt = r.u32()? as usize;
+            let mut batch_traces = Vec::with_capacity(nt.min(r.remaining() / 12 + 1));
+            for _ in 0..nt {
+                let seq = r.u64()?;
+                batch_traces.push((seq, r.str()?));
+            }
+            let nf = r.u32()? as usize;
+            let mut rule_firings = Vec::with_capacity(nf.min(r.remaining() / 8 + 1));
+            for _ in 0..nf {
+                rule_firings.push(r.u64()?);
+            }
             r.finish()?;
             Ok::<_, String>(ShardSnapshot {
                 shard,
@@ -582,6 +644,9 @@ impl ShardSnapshot {
                 passes,
                 records,
                 pairs,
+                edges,
+                batch_traces,
+                rule_firings,
             })
         })()
         .map_err(corrupt)?;
@@ -614,6 +679,14 @@ impl ShardSnapshot {
             .any(|rec| rec.id.0 as u64 >= snap.total_records)
         {
             return Err(corrupt("record id out of range".into()));
+        }
+        if snap.edges.iter().any(|&(_, e)| {
+            e.a as u64 >= snap.total_records
+                || e.b as u64 >= snap.total_records
+                || e.batch_seq == 0
+                || e.batch_seq > snap.batches_applied
+        }) {
+            return Err(corrupt("provenance edge out of range".into()));
         }
         Ok(snap)
     }
@@ -664,6 +737,9 @@ pub fn split_snapshot(
                 .collect(),
             records: Vec::new(),
             pairs: Vec::new(),
+            edges: Vec::new(),
+            batch_traces: snap.provenance.batch_traces.clone(),
+            rule_firings: snap.provenance.rule_firings.clone(),
         })
         .collect();
 
@@ -676,6 +752,9 @@ pub fn split_snapshot(
     }
     for &(a, b) in &snap.pairs {
         out[owner[b as usize]].pairs.push((a, b));
+    }
+    for (i, e) in snap.provenance.edges.iter().enumerate() {
+        out[owner[e.a.max(e.b) as usize]].edges.push((i as u64, *e));
     }
     out
 }
@@ -714,6 +793,8 @@ pub fn merge_shard_snapshots(parts: &[ShardSnapshot]) -> Result<Snapshot, StoreE
             && p.comparisons == first.comparisons
             && p.batches_applied == first.batches_applied
             && p.total_records == first.total_records
+            && p.batch_traces == first.batch_traces
+            && p.rule_firings == first.rule_firings
             && p.passes.len() == first.passes.len()
             && p.passes.iter().zip(first.passes.iter()).all(|(a, b)| {
                 a.key_name == b.key_name
@@ -759,6 +840,25 @@ pub fn merge_shard_snapshots(parts: &[ShardSnapshot]) -> Result<Snapshot, StoreE
         closure.union(a, b);
     }
 
+    // Reassemble the edge log in its exact original order: every edge
+    // carries its global ordinal, and together the shards must hold the
+    // contiguous range 0..n with no duplicates.
+    let mut tagged: Vec<(u64, MergeEdge)> =
+        parts.iter().flat_map(|p| p.edges.iter().copied()).collect();
+    tagged.sort_unstable_by_key(|&(ord, _)| ord);
+    for (i, &(ord, _)) in tagged.iter().enumerate() {
+        if ord != i as u64 {
+            return Err(corrupt(format!(
+                "provenance edge ordinals are not contiguous (expected {i}, found {ord})"
+            )));
+        }
+    }
+    let provenance = ProvenanceLog {
+        edges: tagged.into_iter().map(|(_, e)| e).collect(),
+        batch_traces: first.batch_traces.clone(),
+        rule_firings: first.rule_firings.clone(),
+    };
+
     let passes = first
         .passes
         .iter()
@@ -785,6 +885,7 @@ pub fn merge_shard_snapshots(parts: &[ShardSnapshot]) -> Result<Snapshot, StoreE
         passes,
         pairs,
         closure,
+        provenance,
         comparisons: first.comparisons,
         batches_applied: first.batches_applied,
     })
@@ -824,6 +925,24 @@ mod tests {
         for &(a, b) in &pairs {
             closure.union(a, b);
         }
+        let mut provenance = ProvenanceLog::new();
+        provenance.record_edge(MergeEdge {
+            a: 0,
+            b: 3,
+            pass: 0,
+            rule_id: 1,
+            batch_seq: 1,
+        });
+        provenance.record_edge(MergeEdge {
+            a: 2,
+            b: 5,
+            pass: 0,
+            rule_id: 0,
+            batch_seq: 2,
+        });
+        provenance.note_batch_trace(1, "cafef00d-00000001");
+        provenance.note_firing(1);
+        provenance.note_firing(0);
         Snapshot {
             records,
             passes: vec![PassSnapshot {
@@ -836,6 +955,7 @@ mod tests {
             }],
             pairs,
             closure,
+            provenance,
             comparisons: 17,
             batches_applied: 2,
         }
@@ -859,6 +979,10 @@ mod tests {
             assert_eq!(merged.records, snap.records);
             assert_eq!(merged.passes, snap.passes);
             assert_eq!(merged.pairs, snap.pairs);
+            assert_eq!(
+                merged.provenance, snap.provenance,
+                "edge log must reassemble in its exact original order"
+            );
             assert_eq!(merged.comparisons, snap.comparisons);
             assert_eq!(merged.batches_applied, snap.batches_applied);
             assert_eq!(
@@ -915,7 +1039,7 @@ mod tests {
     fn scatter(journals: &mut [Journal], frames: &[Vec<Record>]) -> u64 {
         let mut seq = 0;
         for (j, frame) in journals.iter_mut().zip(frames) {
-            seq = j.append(frame).unwrap();
+            seq = j.append(frame, None).unwrap();
         }
         seq
     }
@@ -936,13 +1060,13 @@ mod tests {
 
         let (_store, loaded) = ShardedStore::open(&dir, 2).unwrap();
         assert_eq!(loaded.replayable.len(), 2);
-        assert_eq!(loaded.replayable[0].0, 1);
+        assert_eq!(loaded.replayable[0].seq, 1);
         assert_eq!(
-            loaded.replayable[0].1,
+            loaded.replayable[0].records,
             vec![rec(0, "A"), rec(1, "B"), rec(2, "C")],
             "reassembled in global id order"
         );
-        assert_eq!(loaded.replayable[1].1, vec![rec(3, "D")]);
+        assert_eq!(loaded.replayable[1].records, vec![rec(3, "D")]);
         // Non-empty frames only: shard 0 replayed 1, shard 1 replayed 2.
         assert_eq!(loaded.shard_replays, vec![1, 2]);
         assert_eq!(loaded.next_seq, 3);
@@ -958,7 +1082,7 @@ mod tests {
             &[vec![rec(0, "A")], vec![rec(1, "B")], vec![]],
         );
         // Crash mid-scatter of batch 2: only shard 0's frame landed.
-        loaded.journals[0].append(&[rec(2, "C")]).unwrap();
+        loaded.journals[0].append(&[rec(2, "C")], None).unwrap();
         drop(loaded);
 
         let (_store, loaded) = ShardedStore::open(&dir, 3).unwrap();
@@ -999,6 +1123,7 @@ mod tests {
             passes: vec![],
             pairs: vec![],
             closure: UnionFind::new(2),
+            provenance: ProvenanceLog::new(),
             comparisons: 1,
             batches_applied: 1,
         };

@@ -10,13 +10,18 @@
 //!
 //! ```text
 //! header   : magic   b"MPSTORE\0"     (8 bytes)
-//!            version u32 = 1
+//!            version u32 = 2
 //!            count   u32              (number of sections)
-//! section* : tag     [u8; 4]          ("META" "RECS" "PASS" "PAIR" "CLOS")
+//! section* : tag     [u8; 4]          ("META" "RECS" "PASS" "PAIR" "CLOS" "PROV")
 //!            len     u64              (payload byte length)
 //!            crc     u32              (CRC-32 of payload)
 //!            payload
 //! ```
+//!
+//! Version 2 added the `PROV` section: the merge-provenance log
+//! ([`mp_closure::ProvenanceLog`]) — spanning-forest edges, per-batch
+//! trace ids, and per-rule firing counts — so the evidence behind every
+//! merge survives checkpoints.
 //!
 //! Section CRCs are verified on load; any mismatch, unknown version, or
 //! structural inconsistency (e.g. a pass index referencing a record that
@@ -26,13 +31,13 @@
 
 use crate::codec::{self, Crc32, Reader};
 use crate::StoreError;
-use mp_closure::UnionFind;
+use mp_closure::{ProvenanceLog, UnionFind};
 use mp_record::Record;
 use std::io::{self, Seek, SeekFrom, Write};
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"MPSTORE\0";
 /// Snapshot format version written into the header.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One pass's persisted state: configuration (for validation on load),
 /// attribution counters, and the sorted key index that lets the next batch
@@ -71,6 +76,11 @@ pub struct Snapshot {
     /// Number of batches this snapshot has absorbed; journal frames with
     /// `seq <= batches_applied` are skipped on replay.
     pub batches_applied: u64,
+    /// Merge provenance: spanning-forest edges, batch trace ids, and
+    /// per-rule firing counts. Empty for states whose closure predates
+    /// the log (e.g. cold bulk loads, which union pairs without per-merge
+    /// evidence).
+    pub provenance: ProvenanceLog,
 }
 
 impl Snapshot {
@@ -112,12 +122,16 @@ impl Snapshot {
         let mut clos = Vec::new();
         self.closure.encode_into(&mut clos);
 
-        let sections: [(&[u8; 4], Vec<u8>); 5] = [
+        let mut prov = Vec::new();
+        self.provenance.encode_into(&mut prov);
+
+        let sections: [(&[u8; 4], Vec<u8>); 6] = [
             (b"META", meta),
             (b"RECS", recs),
             (b"PASS", pass),
             (b"PAIR", pair),
             (b"CLOS", clos),
+            (b"PROV", prov),
         ];
         let total: usize = sections.iter().map(|(_, p)| p.len() + 16).sum();
         let mut out = Vec::with_capacity(16 + total);
@@ -296,6 +310,20 @@ impl Snapshot {
             )));
         }
 
+        let provenance =
+            ProvenanceLog::decode(find(b"PROV")?).map_err(|e| corrupt(format!("PROV: {e}")))?;
+        for (i, e) in provenance.edges.iter().enumerate() {
+            if e.a as usize >= records.len() || e.b as usize >= records.len() {
+                return Err(corrupt(format!("PROV: edge {i} references missing record")));
+            }
+            if e.batch_seq == 0 || e.batch_seq > batches_applied {
+                return Err(corrupt(format!(
+                    "PROV: edge {i} from batch {} outside 1..={batches_applied}",
+                    e.batch_seq
+                )));
+            }
+        }
+
         Ok(Snapshot {
             records,
             passes,
@@ -303,6 +331,7 @@ impl Snapshot {
             closure,
             comparisons,
             batches_applied,
+            provenance,
         })
     }
 }
@@ -320,7 +349,7 @@ impl Snapshot {
 /// difference (a test enforces bit-identity with `encode`).
 ///
 /// Sections must be written in the same order `encode` emits them
-/// (`META`, `RECS`, `PASS`, `PAIR`, `CLOS`) for the outputs to be
+/// (`META`, `RECS`, `PASS`, `PAIR`, `CLOS`, `PROV`) for the outputs to be
 /// identical; the writer itself only enforces the declared section count.
 pub struct SnapshotWriter<W: Write + Seek> {
     out: W,
@@ -458,6 +487,9 @@ pub struct SnapshotStream<'a> {
     pub comparisons: u64,
     /// Batches the snapshot absorbs (1 for a cold bulk load).
     pub batches_applied: u64,
+    /// Merge provenance log (empty for bulk loads, whose closure is
+    /// rebuilt from pairs without per-merge evidence).
+    pub provenance: &'a ProvenanceLog,
 }
 
 /// Streams a complete snapshot to `out`, byte-identical to
@@ -478,7 +510,7 @@ pub fn write_streamed<W: Write + Seek>(
     state: &SnapshotStream<'_>,
     records: impl Iterator<Item = io::Result<Record>>,
 ) -> Result<u64, StoreError> {
-    let mut w = SnapshotWriter::new(out, 5)?;
+    let mut w = SnapshotWriter::new(out, 6)?;
     let mut buf = Vec::new();
 
     w.begin_section(b"META")?;
@@ -550,6 +582,12 @@ pub fn write_streamed<W: Write + Seek>(
     w.write(&buf)?;
     w.end_section()?;
 
+    w.begin_section(b"PROV")?;
+    buf.clear();
+    state.provenance.encode_into(&mut buf);
+    w.write(&buf)?;
+    w.end_section()?;
+
     let (_, total) = w.finish()?;
     Ok(total)
 }
@@ -570,6 +608,16 @@ mod tests {
             .collect();
         let mut closure = UnionFind::new(4);
         closure.union(0, 2);
+        let mut provenance = ProvenanceLog::new();
+        provenance.record_edge(mp_closure::MergeEdge {
+            a: 0,
+            b: 2,
+            pass: 0,
+            rule_id: 1,
+            batch_seq: 1,
+        });
+        provenance.note_batch_trace(1, "cafef00d-00000001");
+        provenance.note_firing(1);
         Snapshot {
             passes: vec![PassSnapshot {
                 key_name: "last-name".into(),
@@ -584,6 +632,7 @@ mod tests {
             closure,
             comparisons: 6,
             batches_applied: 2,
+            provenance,
         }
     }
 
@@ -598,6 +647,7 @@ mod tests {
         assert_eq!(back.comparisons, 6);
         assert_eq!(back.batches_applied, 2);
         assert_eq!(back.closure.clone().classes(), vec![vec![0, 2]]);
+        assert_eq!(back.provenance, snap.provenance);
     }
 
     #[test]
@@ -648,6 +698,7 @@ mod tests {
             closure: &snap.closure,
             comparisons: snap.comparisons,
             batches_applied: snap.batches_applied,
+            provenance: &snap.provenance,
         };
         let mut cursor = io::Cursor::new(Vec::new());
         let total =
@@ -671,6 +722,7 @@ mod tests {
             closure: &snap.closure,
             comparisons: snap.comparisons,
             batches_applied: snap.batches_applied,
+            provenance: &snap.provenance,
         };
         let mut cursor = io::Cursor::new(Vec::new());
         let err =

@@ -27,7 +27,7 @@ fn store_with_journaled_batches(name: &str) -> (PathBuf, Vec<Vec<Record>>, Vec<u
     {
         let (mut store, _) = MatchStore::open(&dir).unwrap();
         for b in &parts {
-            store.append_batch(b).unwrap();
+            store.append_batch(b, None).unwrap();
             offsets.push(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len());
         }
     }
@@ -52,9 +52,9 @@ fn flipped_byte_in_tail_truncates_to_last_good_frame() {
         parts.len() - 1,
         "all intact frames load"
     );
-    for (i, (seq, batch)) in loaded.replayable.iter().enumerate() {
-        assert_eq!(*seq, i as u64 + 1);
-        assert_eq!(*batch, parts[i], "intact batch {i} byte-identical");
+    for (i, b) in loaded.replayable.iter().enumerate() {
+        assert_eq!(b.seq, i as u64 + 1);
+        assert_eq!(b.records, parts[i], "intact batch {i} byte-identical");
     }
     // The truncation is physical: the tail is gone from disk and a second
     // open is clean.
@@ -81,7 +81,7 @@ fn mid_journal_corruption_drops_everything_from_the_damage_on() {
     let (_, loaded) = MatchStore::open(&dir).unwrap();
     assert!(loaded.recovery.truncated());
     assert_eq!(loaded.replayable.len(), 1);
-    assert_eq!(loaded.replayable[0].1, parts[0]);
+    assert_eq!(loaded.replayable[0].records, parts[0]);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -103,8 +103,8 @@ fn every_truncation_point_recovers_cleanly() {
             full_frames,
             "cut at {cut}: exactly the fully-written frames replay"
         );
-        for (i, (_, batch)) in loaded.replayable.iter().enumerate() {
-            assert_eq!(*batch, parts[i]);
+        for (i, b) in loaded.replayable.iter().enumerate() {
+            assert_eq!(b.records, parts[i]);
         }
         // A cut strictly inside data is a reported truncation (cutting at
         // a frame boundary or before the header leaves nothing torn).

@@ -2,7 +2,7 @@
 //! identity on records, pass indexes, pairs, and — the part the paper
 //! cares about — the transitive-closure classes.
 
-use mp_closure::UnionFind;
+use mp_closure::{MergeEdge, ProvenanceLog, UnionFind};
 use mp_record::{Record, RecordId};
 use mp_store::{MatchStore, PassSnapshot, Snapshot};
 use proptest::prelude::*;
@@ -42,6 +42,18 @@ fn build_snapshot(n: usize, raw_pairs: &[(u32, u32)], fields: &[String]) -> Snap
         closure.union(lo, hi);
     }
     pairs.sort_unstable();
+    let mut provenance = ProvenanceLog::new();
+    for (i, &(lo, hi)) in pairs.iter().enumerate() {
+        provenance.record_edge(MergeEdge {
+            a: lo,
+            b: hi,
+            pass: 0,
+            rule_id: (i % 3) as u32,
+            batch_seq: 1 + (i % 4) as u64,
+        });
+        provenance.note_firing((i % 3) as u32);
+    }
+    provenance.note_batch_trace(2, "0000beef-00000002");
     let mut keys: Vec<String> = records.iter().map(|r| r.last_name.clone()).collect();
     keys.iter_mut().for_each(|k| k.truncate(8));
     let mut order: Vec<u32> = (0..n as u32).collect();
@@ -58,6 +70,7 @@ fn build_snapshot(n: usize, raw_pairs: &[(u32, u32)], fields: &[String]) -> Snap
         records,
         pairs,
         closure,
+        provenance,
         comparisons: 123,
         batches_applied: 4,
     }
@@ -85,6 +98,7 @@ proptest! {
         prop_assert_eq!(&back.records, &snap.records);
         prop_assert_eq!(&back.passes, &snap.passes);
         prop_assert_eq!(&back.pairs, &snap.pairs);
+        prop_assert_eq!(&back.provenance, &snap.provenance);
         prop_assert_eq!(back.comparisons, snap.comparisons);
         prop_assert_eq!(back.batches_applied, snap.batches_applied);
         // The headline property: closure pairs and classes are identical.
@@ -106,6 +120,7 @@ fn generated_database_round_trips_through_the_store() {
         passes: vec![],
         pairs: vec![],
         closure: UnionFind::new(n),
+        provenance: ProvenanceLog::new(),
         comparisons: 0,
         batches_applied: 1,
     };

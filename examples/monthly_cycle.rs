@@ -70,7 +70,7 @@ fn main() {
 
         let t1 = Instant::now();
         durable
-            .ingest(batch.clone(), &theory, &obs)
+            .ingest(batch.clone(), None, &theory, &obs)
             .expect("durable ingest");
         let ingest_time = t1.elapsed();
 

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "generate" => generate(&flags),
         "dedupe" => dedupe(&flags, false),
         "purge" => dedupe(&flags, true),
+        "eval" => eval_cmd(&flags),
         "load" => load_cmd(&flags),
         "explain" => explain(&flags),
         "serve" => serve_cmd(&flags),
@@ -70,7 +71,10 @@ commands:
   purge     --input FILE --out FILE [--rules FILE] [--theory T] [--no-plan]
             [--window W] [--keys a,b,c] [--stats FILE|-] [--trace FILE]
             [--progress] [--kernel-stats] [--no-prune]
+  eval      --input FILE [--truth FILE] [--rules FILE] [--theory T]
+            [--window W] [--keys a,b,c] [--no-plan] [--no-prune]
   explain   --input FILE --a ID --b ID [--rules FILE] [--theory T]
+            | (--socket PATH | --addr HOST:PORT) --a ID --b ID
   load      --input FILE --store DIR [--window W] [--keys a,b,c]
             [--rules FILE] [--theory T] [--shards N] [--work-dir DIR]
             [--memory-budget N] [--fan-in N] [--sort-threads N]
@@ -78,6 +82,7 @@ commands:
   serve     --socket PATH --store DIR [--window W] [--keys a,b,c]
             [--rules FILE] [--theory T] [--shards N] [--listen HOST:PORT]
             [--queue-depth N] [--snapshot-every N] [--slow-batch-ms T]
+            [--large-cluster-threshold N]
             [--bulk-load FILE] [--memory-budget N] [--fan-in N]
             [--sort-threads N] [--sort-strategy comparison|radix]
             [--stats FILE] [--trace FILE] [--metrics-addr HOST:PORT]
@@ -106,6 +111,21 @@ rows). --progress prints a records/s + ETA heartbeat to stderr.
 known to be duplicates (transitively, across passes) skip rule evaluation,
 reported as the pairs_pruned counter. Pruning never changes the closed
 pairs, so the final groups are identical either way.
+
+eval scores the pipeline's closed pairs against ground truth (the
+paper's Fig. 2 metrics): recall, false-positive rate, and precision.
+Ground truth comes from --truth FILE (a record file whose entity column
+labels the true duplicates, e.g. a generate output) or, without it, from
+the entity column of --input itself.
+
+explain answers \"why are these two records duplicates?\". Offline
+(--input) it re-evaluates the pair against the theory and names the
+first rule that fires. Against a running daemon (--socket or --addr) it
+walks the durable provenance forest and prints the full evidence chain —
+every merge edge connecting the two records with its rule, pass, batch
+sequence, and trace id (docs/PROVENANCE.md). serve's
+--large-cluster-threshold N (default 100) raises the cluster_merged
+event to warn level when a batch merges a cluster of at least N records.
 
 keys: comma-separated from {last_name, first_name, address, ssn};
       default last_name,first_name,address (the paper's three runs).
@@ -168,7 +188,9 @@ heartbeat line to stderr; --quiet suppresses all serve status/heartbeat
 stderr output. top polls a running daemon's stats and renders an
 in-place refreshing terminal view of rolling 1m/5m/15m rates,
 batch-latency quantiles, queue pressure, snapshot staleness, tracing
-state, and (sharded daemons) a per-shard table with scan-latency
+state, a match-quality panel (cluster-size histogram, largest cluster,
+top rules by firings, rolling selectivity), and (sharded daemons) a
+per-shard table with scan-latency
 quantiles (--iterations 0 = run until interrupted); top --json prints
 the same data as machine-readable JSON frames (one by default). trace
 fetches the flight-recorder dump into a Perfetto-loadable file.";
@@ -648,6 +670,54 @@ fn dedupe(flags: &Flags, purge: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// `mergepurge eval` — run the pipeline and score its closed pairs
+/// against ground truth (the paper's Fig. 2 metrics). Truth comes from
+/// `--truth FILE` (a record file whose entity column labels the real
+/// duplicates) or, without it, from the input's own entity column.
+fn eval_cmd(flags: &Flags) -> Result<(), String> {
+    let mut records = load_records(flags)?;
+    let truth = match flags.get("truth") {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let truth_records = rio::read_records(BufReader::new(file))
+                .map_err(|e| format!("parse {path}: {e}"))?;
+            if truth_records.len() != records.len() {
+                return Err(format!(
+                    "--truth {path} holds {} records but the input holds {}; \
+                     both files must describe the same database",
+                    truth_records.len(),
+                    records.len()
+                ));
+            }
+            GroundTruth::from_records(&truth_records)
+        }
+        None => GroundTruth::from_records(&records),
+    };
+    if truth.true_pair_count() == 0 {
+        return Err("ground truth has no duplicate pairs (no entity ids?); \
+             pass --truth FILE with labeled records"
+            .into());
+    }
+    let recorder = MetricsRecorder::new();
+    let (result, _theory, _) = run_passes(flags, &mut records, &recorder, false)?;
+    let eval = Evaluation::score(&result.closed_pairs, &truth);
+    println!(
+        "{} records, {} true pairs, {} found ({} true + {} false)",
+        records.len(),
+        eval.true_pairs,
+        eval.found_pairs,
+        eval.true_found,
+        eval.false_found
+    );
+    println!(
+        "detected {:.1}%   false-positive {:.3}%   precision {:.1}%",
+        eval.percent_detected,
+        eval.percent_false_positive,
+        eval.percent_precision()
+    );
+    Ok(())
+}
+
 fn serve_cmd(flags: &Flags) -> Result<(), String> {
     use merge_purge_repro::serve::{serve, ServeConfig};
     let socket = flags.require("socket")?;
@@ -690,6 +760,7 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         return Err("--log-keep must be at least 1".into());
     }
     config.slow_batch_ms = flags.get_parsed("slow-batch-ms", 0)?;
+    config.large_cluster_threshold = flags.get_parsed("large-cluster-threshold", 100)?;
     config.bulk_load = flags.get("bulk-load").map(std::path::PathBuf::from);
     config.bulk = parse_external(flags)?;
     config.quiet = flags.has("quiet");
@@ -890,6 +961,7 @@ fn top_json(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Strin
         ("store".to_string(), section("store")),
         ("windows".to_string(), section("windows")),
         ("tracing".to_string(), section("tracing")),
+        ("quality".to_string(), section("quality")),
     ];
     if let Some(shards) = stats.get("shards") {
         fields.push(("shards".to_string(), shards.clone()));
@@ -907,7 +979,7 @@ fn human_ns(ns: u64) -> String {
     }
 }
 
-/// Renders one `top` frame from a schema-5 `stats` reply.
+/// Renders one `top` frame from a schema-6 `stats` reply.
 fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> String {
     use merge_purge_repro::serve::json::Json;
     let num = |v: Option<&Json>| v.and_then(Json::as_u64).unwrap_or(0);
@@ -992,6 +1064,42 @@ fn render_top(stats: &merge_purge_repro::serve::json::Json, socket: &str) -> Str
             ));
         }
     }
+    if let Some(quality) = stats.get("quality") {
+        let qnum = |key: &str| num(quality.get(key));
+        let fnum = |key: &str| match quality.get(key) {
+            Some(Json::Num(n)) => *n,
+            _ => 0.0,
+        };
+        out.push_str(&format!(
+            "\nquality: {} clusters   largest {}   merge edges {}   selectivity(1m) {:.4}\n",
+            qnum("clusters"),
+            qnum("largest_cluster"),
+            qnum("merge_edges"),
+            fnum("selectivity_1m"),
+        ));
+        if let Some(hist) = quality.get("cluster_size_hist").and_then(Json::as_array) {
+            let buckets: Vec<String> = hist
+                .iter()
+                .map(|b| format!("{}+:{}", num(b.get("size_min")), num(b.get("count"))))
+                .collect();
+            if !buckets.is_empty() {
+                out.push_str(&format!("cluster sizes  {}\n", buckets.join("  ")));
+            }
+        }
+        if let Some(rules) = quality.get("rules").and_then(Json::as_array) {
+            // Top five rules by firings — the theory's workhorses.
+            let mut by_firings: Vec<(&Json, u64)> =
+                rules.iter().map(|r| (r, num(r.get("firings")))).collect();
+            by_firings.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
+            for (r, firings) in by_firings.iter().take(5).filter(|&&(_, f)| f > 0) {
+                out.push_str(&format!(
+                    "  rule {:<32} {:>10} firings\n",
+                    r.get("rule").and_then(Json::as_str).unwrap_or("?"),
+                    firings,
+                ));
+            }
+        }
+    }
     if let Some(shards) = stats.get("shards").and_then(Json::as_array) {
         out.push_str(&format!(
             "\n{:<8}{:>12}{:>16}{:>12}{:>10}{:>10}{:>10}\n",
@@ -1043,7 +1151,59 @@ fn trace_cmd(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `mergepurge explain` against a running daemon: ask the engine worker
+/// for the provenance evidence chain between two record ids and render
+/// it hop by hop.
+fn explain_live(flags: &Flags) -> Result<(), String> {
+    use merge_purge_repro::serve::json::Json;
+    let target = Target::parse(flags)?;
+    let a: u32 = flags.require("a")?.parse().map_err(|_| "invalid --a id")?;
+    let b: u32 = flags.require("b")?.parse().map_err(|_| "invalid --b id")?;
+    let reply = target.request(&format!("{{\"cmd\":\"explain\",\"a\":{a},\"b\":{b}}}"))?;
+    let parsed = Json::parse(&reply).map_err(|e| format!("bad explain reply: {e}"))?;
+    if parsed.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("daemon error: {reply}"));
+    }
+    let seq = parsed.get("seq").and_then(Json::as_u64).unwrap_or(0);
+    if parsed.get("connected").and_then(Json::as_bool) != Some(true) {
+        println!("records {a} and {b} are in different duplicate classes (as of seq {seq})");
+        return Ok(());
+    }
+    let chain: &[Json] = parsed.get("chain").and_then(Json::as_array).unwrap_or(&[]);
+    if chain.is_empty() {
+        println!(
+            "records {a} and {b} are connected with no recorded merge edges \
+             (same id, or a bulk-loaded base — see docs/PROVENANCE.md)"
+        );
+        return Ok(());
+    }
+    println!(
+        "records {a} and {b} are duplicates: {} merge edge(s) connect them (as of seq {seq})",
+        chain.len()
+    );
+    for (i, e) in chain.iter().enumerate() {
+        let num = |key: &str| e.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "  {:>3}. {} ~ {}  rule `{}` (id {})  pass {}  batch {}  trace {}",
+            i + 1,
+            num("a"),
+            num("b"),
+            e.get("rule").and_then(Json::as_str).unwrap_or("?"),
+            num("rule_id"),
+            num("pass"),
+            num("batch_seq"),
+            e.get("trace_id").and_then(Json::as_str).unwrap_or("-"),
+        );
+    }
+    Ok(())
+}
+
 fn explain(flags: &Flags) -> Result<(), String> {
+    // With a daemon target, walk the live provenance forest; the offline
+    // path below re-evaluates the pair against the theory instead.
+    if flags.get("socket").is_some() || flags.get("addr").is_some() {
+        return explain_live(flags);
+    }
     let mut records = load_records(flags)?;
     let a: usize = flags.require("a")?.parse().map_err(|_| "invalid --a id")?;
     let b: usize = flags.require("b")?.parse().map_err(|_| "invalid --b id")?;

@@ -173,11 +173,16 @@ fn bulk_load_single(
     let outcome = run_loader(input, work_dir, cfg, theory, observer)?;
     let passes = to_pass_snapshots(&outcome);
     let pairs = outcome.pairs.sorted();
+    // Bulk loads carry no merge lineage: the external pipeline finds
+    // pairs out of scan order, so there is no well-defined edge log.
+    // Explain against a bulk-loaded base reports connectivity only.
+    let provenance = mp_closure::ProvenanceLog::new();
     let state = SnapshotStream {
         n_records: outcome.records as u64,
         passes: &passes,
         pairs: &pairs,
         closure: &outcome.closure,
+        provenance: &provenance,
         comparisons: outcome.comparisons,
         batches_applied: 1,
     };
@@ -277,6 +282,10 @@ fn bulk_load_sharded(
             passes,
             records,
             pairs: std::mem::take(owned_pairs),
+            // No merge lineage for bulk loads (see `bulk_load_single`).
+            edges: Vec::new(),
+            batch_traces: Vec::new(),
+            rule_firings: Vec::new(),
         };
         snapshot_bytes += write_shard_snapshot(&store.shard_dir(k), 1, &slice.encode())
             .map_err(|e| format!("write shard {k} snapshot: {e}"))?;

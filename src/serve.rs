@@ -29,12 +29,19 @@
 //!   instead — see `docs/SCALING.md`.
 //! * `query-matches` — `{"cmd":"query-matches","id":N}` replies with the
 //!   record's duplicate class (including itself).
+//! * `explain` — `{"cmd":"explain","a":N,"b":N}` walks the provenance
+//!   spanning forest and replies with the ordered evidence chain that
+//!   connects the two records: each hop names the record pair, the
+//!   equational-theory rule that matched it, the pass, the batch
+//!   sequence, and (when known) the batch's trace id. `connected:false`
+//!   with an empty chain when the records are in different classes.
+//!   See `docs/PROVENANCE.md`.
 //! * `snapshot` — forces a checkpoint; replies with the byte count.
 //! * `stats` — replies with a deterministic `store` section (identical
 //!   across kill/restart for the same acknowledged batches), a
 //!   process-local `process` section, the `seq` watermark, live
-//!   `health`/`windows`/`tracing` sections (reply schema 5), and a
-//!   per-shard `shards` section when the daemon runs sharded.
+//!   `health`/`windows`/`tracing`/`quality` sections (reply schema 6),
+//!   and a per-shard `shards` section when the daemon runs sharded.
 //! * `metrics` — the Prometheus text exposition, embedded in a JSON
 //!   reply; also served raw over HTTP via `--metrics-addr`.
 //! * `trace` — the flight recorder's retained batch spans as one
@@ -94,7 +101,7 @@ pub mod shard;
 
 use eventlog::{EventLog, Level};
 use json::Json;
-use obs::{ObsState, PhaseBreakdown};
+use obs::{ObsState, PhaseBreakdown, QualitySnapshot};
 
 /// Frames larger than this are rejected (protocol error, not a panic).
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
@@ -142,6 +149,11 @@ pub struct ServeConfig {
     /// flight recorder and logged as `slow_batch` events (0 disables
     /// the threshold; batches still enter the unpinned ring).
     pub slow_batch_ms: u64,
+    /// A batch whose largest merge produces a cluster of at least this
+    /// many records raises the `cluster_merged` event to warn level —
+    /// the early signal for a too-loose rule gluing the base together
+    /// (0 disables the warning; the event still logs at info).
+    pub large_cluster_threshold: u32,
     /// Suppresses all status/heartbeat stderr output.
     pub quiet: bool,
     /// Prints a periodic throughput heartbeat line to stderr
@@ -180,6 +192,7 @@ impl ServeConfig {
             log_max_bytes: eventlog::DEFAULT_MAX_BYTES,
             log_keep: eventlog::DEFAULT_KEEP,
             slow_batch_ms: 0,
+            large_cluster_threshold: 100,
             quiet: false,
             progress: false,
             bulk_load: None,
@@ -217,6 +230,7 @@ enum Job {
     Ingest(Vec<Record>, mpsc::Sender<String>),
     BulkLoad(PathBuf, mpsc::Sender<String>),
     Query(u32, mpsc::Sender<String>),
+    Explain(u32, u32, mpsc::Sender<String>),
     Stats(mpsc::Sender<String>),
     Snapshot(mpsc::Sender<String>),
     Shutdown(mpsc::Sender<String>),
@@ -284,7 +298,9 @@ impl Backend {
         obs: &ObsState,
     ) -> Result<u64, String> {
         match self {
-            Backend::Single(d) => d.ingest(batch, theory, recorder).map_err(|e| e.to_string()),
+            Backend::Single(d) => d
+                .ingest(batch, Some(trace_id), theory, recorder)
+                .map_err(|e| e.to_string()),
             Backend::Sharded(s) => s.ingest(batch, trace_id, theory, recorder, obs),
         }
     }
@@ -375,6 +391,8 @@ fn bulk_ingest(
             .collect(),
         pairs,
         closure: outcome.closure,
+        // Bulk loads carry no merge lineage (see `crate::bulk`).
+        provenance: mp_closure::ProvenanceLog::new(),
         comparisons: outcome.comparisons,
         batches_applied: 1,
     };
@@ -694,7 +712,11 @@ pub fn serve(
                 let router = shard::ShardRouter::new(first_key, config.shards);
                 Backend::Sharded(shard::ShardedDurable::new(prep, router, senders))
             };
-            publish_gauges(&backend, obs);
+            // Cached once: the theory's rule table is fixed for the
+            // daemon's lifetime, and `explain` replies and the quality
+            // stats name rules by id.
+            let rule_names = theory.rule_names();
+            publish_gauges(&backend, obs, &rule_names);
             obs.set_replay_complete();
             // Sweep the startup spans (load + journal replay) into their
             // own flight entry so the first batch's entry holds only its
@@ -744,6 +766,7 @@ pub fn serve(
             let snapshot_every = config.snapshot_every;
             let (quiet, progress) = (config.quiet, config.progress);
             let slow_batch_ms = config.slow_batch_ms;
+            let large_cluster_threshold = config.large_cluster_threshold;
             // Process-unique trace-id prefix (wall millis XOR pid), so
             // ids from successive daemon runs over the same store never
             // collide in shipped logs.
@@ -844,6 +867,37 @@ pub fn serve(
                                                 ));
                                             }
                                             obs.event(Level::Info, "batch_ingested", fields);
+                                            if let Some((ea, eb, size)) =
+                                                backend.engine().last_batch_largest_merge()
+                                            {
+                                                let level = if large_cluster_threshold > 0
+                                                    && size >= large_cluster_threshold
+                                                {
+                                                    Level::Warn
+                                                } else {
+                                                    Level::Info
+                                                };
+                                                obs.event(
+                                                    level,
+                                                    "cluster_merged",
+                                                    vec![
+                                                        ("a".into(), Json::Num(ea as f64)),
+                                                        ("b".into(), Json::Num(eb as f64)),
+                                                        ("size".into(), Json::Num(size as f64)),
+                                                        (
+                                                            "threshold".into(),
+                                                            Json::Num(
+                                                                large_cluster_threshold as f64,
+                                                            ),
+                                                        ),
+                                                        ("batch_seq".into(), Json::Num(seq as f64)),
+                                                        (
+                                                            "trace_id".into(),
+                                                            Json::Str(trace_id.clone()),
+                                                        ),
+                                                    ],
+                                                );
+                                            }
                                             if snapshot_every > 0
                                                 && backend.batches_since_checkpoint()
                                                     >= snapshot_every
@@ -955,7 +1009,7 @@ pub fn serve(
                                     );
                                 }
                                 last_trace_id = Some(trace_id);
-                                publish_gauges(&backend, obs);
+                                publish_gauges(&backend, obs, &rule_names);
                                 let _ = reply.send(msg);
                             }
                             Job::BulkLoad(path, reply) => {
@@ -1049,7 +1103,7 @@ pub fn serve(
                                     recorder.drain_spans(),
                                 );
                                 last_trace_id = Some(trace_id);
-                                publish_gauges(&backend, obs);
+                                publish_gauges(&backend, obs, &rule_names);
                                 let _ = reply.send(msg);
                             }
                             Job::Query(id, reply) => {
@@ -1088,6 +1142,66 @@ pub fn serve(
                                 };
                                 let _ = reply.send(msg);
                             }
+                            Job::Explain(a, b, reply) => {
+                                obs.event(
+                                    Level::Debug,
+                                    "explain",
+                                    vec![
+                                        ("a".into(), Json::Num(a as f64)),
+                                        ("b".into(), Json::Num(b as f64)),
+                                    ],
+                                );
+                                let n = backend.engine().records().len();
+                                let msg = if (a as usize) >= n || (b as usize) >= n {
+                                    err_json(&format!(
+                                        "record id out of range ({n} records): a={a} b={b}"
+                                    ))
+                                } else {
+                                    let chain = backend.engine().explain(a, b);
+                                    let evidence = chain
+                                        .as_deref()
+                                        .unwrap_or(&[])
+                                        .iter()
+                                        .map(|e| {
+                                            Json::Obj(vec![
+                                                ("a".into(), Json::Num(e.a as f64)),
+                                                ("b".into(), Json::Num(e.b as f64)),
+                                                (
+                                                    "rule".into(),
+                                                    Json::Str(
+                                                        rule_names
+                                                            .get(e.rule_id as usize)
+                                                            .cloned()
+                                                            .unwrap_or_else(|| {
+                                                                format!("rule-{}", e.rule_id)
+                                                            }),
+                                                    ),
+                                                ),
+                                                ("rule_id".into(), Json::Num(e.rule_id as f64)),
+                                                ("pass".into(), Json::Num(e.pass as f64)),
+                                                ("batch_seq".into(), Json::Num(e.batch_seq as f64)),
+                                                (
+                                                    "trace_id".into(),
+                                                    match &e.trace_id {
+                                                        Some(t) => Json::Str(t.clone()),
+                                                        None => Json::Null,
+                                                    },
+                                                ),
+                                            ])
+                                        })
+                                        .collect();
+                                    Json::Obj(vec![
+                                        ("ok".into(), Json::Bool(true)),
+                                        ("a".into(), Json::Num(a as f64)),
+                                        ("b".into(), Json::Num(b as f64)),
+                                        ("connected".into(), Json::Bool(chain.is_some())),
+                                        ("chain".into(), Json::Arr(evidence)),
+                                        ("seq".into(), Json::Num(last_seq(&backend) as f64)),
+                                    ])
+                                    .to_string()
+                                };
+                                let _ = reply.send(msg);
+                            }
                             Job::Stats(reply) => {
                                 obs.event(Level::Debug, "stats", vec![]);
                                 let _ = reply.send(stats_json(
@@ -1096,6 +1210,7 @@ pub fn serve(
                                     obs,
                                     flight,
                                     last_trace_id.as_deref(),
+                                    &rule_names,
                                 ));
                             }
                             Job::Snapshot(reply) => {
@@ -1140,7 +1255,7 @@ pub fn serve(
                                     recorder.drain_spans(),
                                 );
                                 last_trace_id = Some(trace_id);
-                                publish_gauges(&backend, obs);
+                                publish_gauges(&backend, obs, &rule_names);
                                 let _ = reply.send(msg);
                             }
                             Job::Shutdown(reply) => {
@@ -1155,6 +1270,7 @@ pub fn serve(
                                         Job::Ingest(_, s)
                                         | Job::BulkLoad(_, s)
                                         | Job::Query(_, s)
+                                        | Job::Explain(_, _, s)
                                         | Job::Stats(s)
                                         | Job::Snapshot(s)
                                         | Job::Shutdown(s) => s,
@@ -1186,7 +1302,7 @@ pub fn serve(
                                         err_json(&format!("final snapshot failed: {e}"))
                                     }
                                 };
-                                publish_gauges(&backend, obs);
+                                publish_gauges(&backend, obs, &rule_names);
                                 let _ = reply.send(msg);
                                 clean = true;
                                 break;
@@ -1307,8 +1423,9 @@ fn last_seq(backend: &Backend) -> u64 {
     backend.next_seq().saturating_sub(1)
 }
 
-/// Copies the engine-owned gauges into the shared observability state.
-fn publish_gauges(backend: &Backend, obs: &ObsState) {
+/// Copies the engine-owned gauges and the match-quality view into the
+/// shared observability state.
+fn publish_gauges(backend: &Backend, obs: &ObsState, rule_names: &[String]) {
     obs.publish_engine(
         backend.engine().records().len() as u64,
         last_seq(backend),
@@ -1320,6 +1437,26 @@ fn publish_gauges(backend: &Backend, obs: &ObsState) {
             obs.set_shard_records(k, n);
         }
     }
+    let engine = backend.engine();
+    let sizes = engine.cluster_sizes();
+    let firings = &engine.provenance().rule_firings;
+    obs.publish_quality(QualitySnapshot {
+        hist: sizes.histogram().to_vec(),
+        largest: sizes.largest() as u64,
+        clusters: sizes.cluster_count(),
+        edges: engine.provenance().edges.len() as u64,
+        rules: firings
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let name = rule_names
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("rule-{i}"));
+                (name, f)
+            })
+            .collect(),
+    });
 }
 
 /// Prints the `--progress` heartbeat line (at most every 10 s; called
@@ -1435,6 +1572,18 @@ fn dispatch(
             }
             enqueue_and_wait(tx, obs, |reply| Job::Query(id as u32, reply))
         }
+        "explain" => {
+            let (Some(a), Some(b)) = (
+                req.get("a").and_then(Json::as_u64),
+                req.get("b").and_then(Json::as_u64),
+            ) else {
+                return err_json("explain needs numeric \"a\" and \"b\"");
+            };
+            if a > u64::from(u32::MAX) || b > u64::from(u32::MAX) {
+                return err_json("id out of range");
+            }
+            enqueue_and_wait(tx, obs, |reply| Job::Explain(a as u32, b as u32, reply))
+        }
         "bulk-load" => {
             let Some(path) = req.get("path").and_then(Json::as_str) else {
                 return err_json("bulk-load needs a \"path\" string (daemon-local file)");
@@ -1487,14 +1636,16 @@ fn enqueue_and_wait(
         .unwrap_or_else(|_| err_json("shutting-down"))
 }
 
-/// The `stats` response (reply schema 5). The `store` object is
+/// The `stats` response (reply schema 6). The `store` object is
 /// **deterministic**: it is a pure function of the acknowledged batch
 /// sequence, so it compares equal across single-process, kill/restart,
-/// *and* single-vs-sharded runs (CI enforces this) — schemas 3 through 5
+/// *and* single-vs-sharded runs (CI enforces this) — schemas 3 through 6
 /// only *add* sections around it. `seq` is the acknowledged-journal
 /// watermark; `process` is local to this daemon process; `health` and
 /// `windows` are live observability views; `tracing` (schema 5) reports
-/// the last minted trace id and the flight recorder's fill; `shards`
+/// the last minted trace id and the flight recorder's fill; `quality`
+/// (schema 6) reports the cluster-size distribution, the provenance
+/// edge count, and per-rule firings with rolling selectivity; `shards`
 /// (sharded daemons only) reports per-shard ownership, replay state,
 /// and scan-latency quantiles (see `docs/OBSERVABILITY.md`).
 fn stats_json(
@@ -1503,6 +1654,7 @@ fn stats_json(
     obs: &ObsState,
     flight: &FlightRecorder,
     last_trace_id: Option<&str>,
+    rule_names: &[String],
 ) -> String {
     let engine = backend.engine();
     let classes = engine.classes();
@@ -1571,15 +1723,62 @@ fn stats_json(
             Json::Num(obs.reconcile.snapshot().p99_ns as f64),
         ),
     ]);
+    let sizes = engine.cluster_sizes();
+    let hist = sizes.histogram();
+    let hist_json: Vec<Json> = hist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &count)| count > 0)
+        .map(|(i, &count)| {
+            Json::Obj(vec![
+                ("size_min".into(), Json::Num((1u64 << i) as f64)),
+                ("count".into(), Json::Num(count as f64)),
+            ])
+        })
+        .collect();
+    let rules_json: Vec<Json> = engine
+        .provenance()
+        .rule_firings
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            Json::Obj(vec![
+                (
+                    "rule".into(),
+                    Json::Str(
+                        rule_names
+                            .get(i)
+                            .cloned()
+                            .unwrap_or_else(|| format!("rule-{i}")),
+                    ),
+                ),
+                ("rule_id".into(), Json::Num(i as f64)),
+                ("firings".into(), Json::Num(f as f64)),
+            ])
+        })
+        .collect();
+    let quality = Json::Obj(vec![
+        ("largest_cluster".into(), Json::Num(sizes.largest() as f64)),
+        ("clusters".into(), Json::Num(sizes.cluster_count() as f64)),
+        (
+            "merge_edges".into(),
+            Json::Num(engine.provenance().edges.len() as f64),
+        ),
+        ("cluster_size_hist".into(), Json::Arr(hist_json)),
+        ("rules".into(), Json::Arr(rules_json)),
+        ("selectivity_1m".into(), Json::Num(obs.selectivity(60))),
+        ("selectivity_5m".into(), Json::Num(obs.selectivity(300))),
+    ]);
     let mut reply = vec![
         ("ok".into(), Json::Bool(true)),
-        ("schema".into(), Json::Num(5.0)),
+        ("schema".into(), Json::Num(6.0)),
         ("seq".into(), Json::Num(last_seq(backend) as f64)),
         ("store".into(), store),
         ("process".into(), process),
         ("health".into(), obs.health_json()),
         ("windows".into(), obs.windows_json()),
         ("tracing".into(), tracing),
+        ("quality".into(), quality),
     ];
     if let Some(shards) = obs.shards_json() {
         reply.push(("shards".into(), shards));

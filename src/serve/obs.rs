@@ -21,7 +21,7 @@ use mp_metrics::{
     Counter, LatencyHistogram, MetricsRecorder, PipelineObserver, PromWriter, TrackSpans,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// The worker heartbeat age past which `healthz` reports the daemon
@@ -146,6 +146,26 @@ impl PhaseBreakdown {
     }
 }
 
+/// Match-quality view published by the engine worker after every batch:
+/// the cluster-size distribution and the per-rule firing counters from
+/// the provenance log. Everything here is a copy — the scrape paths
+/// never touch the engine.
+#[derive(Debug, Default, Clone)]
+pub struct QualitySnapshot {
+    /// Log2 cluster-size histogram: `hist[i]` counts clusters whose
+    /// size `s` satisfies `floor(log2(s)) == i` (bucket 0 = singletons).
+    pub hist: Vec<u64>,
+    /// Size of the largest duplicate cluster (1 when no merges yet).
+    pub largest: u64,
+    /// Clusters of size >= 2 (duplicate groups).
+    pub clusters: u64,
+    /// Merge edges in the provenance spanning forest.
+    pub edges: u64,
+    /// Per-rule firing counters, `(rule_name, firings)`, in rule-table
+    /// order.
+    pub rules: Vec<(String, u64)>,
+}
+
 /// Shared observability state for one daemon process.
 #[derive(Debug)]
 pub struct ObsState {
@@ -178,6 +198,10 @@ pub struct ObsState {
     journal_lag: AtomicU64,
     snapshot_bytes: AtomicU64,
     snapshot_mtime_ms: AtomicU64, // Unix ms of the last checkpoint; 0 = none
+    /// Match-quality copy (own mutex, like the event log: touched once
+    /// per batch by the worker and briefly by scrapes — never on the
+    /// per-comparison path).
+    quality: Mutex<QualitySnapshot>,
     /// Structured event log (`--log`), if configured.
     pub log: Option<EventLog>,
 }
@@ -203,6 +227,7 @@ impl ObsState {
             journal_lag: AtomicU64::new(0),
             snapshot_bytes: AtomicU64::new(0),
             snapshot_mtime_ms: AtomicU64::new(0),
+            quality: Mutex::new(QualitySnapshot::default()),
             log,
         }
     }
@@ -476,6 +501,31 @@ impl ObsState {
                 .unwrap_or(0);
             self.snapshot_mtime_ms.store(ms, Ordering::Relaxed);
         }
+    }
+
+    /// Publishes the engine's match-quality view (cluster-size
+    /// distribution + per-rule firings); called by the worker after
+    /// every batch, alongside the engine gauges.
+    pub fn publish_quality(&self, q: QualitySnapshot) {
+        if let Ok(mut slot) = self.quality.lock() {
+            *slot = q;
+        }
+    }
+
+    /// A copy of the last published match-quality view.
+    pub fn quality(&self) -> QualitySnapshot {
+        self.quality.lock().map(|q| q.clone()).unwrap_or_default()
+    }
+
+    /// Rolling rule selectivity: matches per rule invocation over the
+    /// last `window_secs` seconds (0 when no rule ran in the window).
+    pub fn selectivity(&self, window_secs: u64) -> f64 {
+        let w = self.ring.window(self.now_secs(), window_secs);
+        let invocations = w.count(WindowCounter::RuleInvocations);
+        if invocations == 0 {
+            return 0.0;
+        }
+        w.count(WindowCounter::Matches) as f64 / invocations as f64
     }
 
     /// Records in the engine (gauge copy).
@@ -767,6 +817,61 @@ impl ObsState {
             "mergepurge_worker_heartbeat_age_seconds",
             "Seconds since the engine worker last made progress.",
             self.heartbeat_age_secs() as f64,
+        );
+
+        // Match-quality families (from the worker's last published
+        // snapshot; see docs/PROVENANCE.md for the lineage they ride on).
+        let q = self.quality();
+        w.gauge(
+            "mergepurge_largest_cluster_size",
+            "Size of the largest duplicate cluster.",
+            q.largest as f64,
+        );
+        w.gauge(
+            "mergepurge_duplicate_clusters",
+            "Duplicate clusters (size >= 2) in the engine.",
+            q.clusters as f64,
+        );
+        // Cumulative le-buckets from the log2 histogram: bucket i covers
+        // sizes [2^i, 2^(i+1)-1], so its upper bound is 2^(i+1)-1.
+        let last_bucket = q.hist.iter().rposition(|&c| c > 0);
+        let le_labels: Vec<String> = (0..=last_bucket.unwrap_or(0))
+            .map(|i| ((1u64 << (i + 1)) - 1).to_string())
+            .collect();
+        let mut cluster_samples: Vec<(Vec<(&str, &str)>, u64)> = Vec::new();
+        let mut cumulative = 0u64;
+        if last_bucket.is_some() {
+            for (i, le) in le_labels.iter().enumerate() {
+                cumulative += q.hist.get(i).copied().unwrap_or(0);
+                cluster_samples.push((vec![("le", le.as_str())], cumulative));
+            }
+        }
+        cluster_samples.push((vec![("le", "+Inf")], q.hist.iter().sum()));
+        w.counter_family(
+            "mergepurge_cluster_size_bucket",
+            "Clusters with size <= le (log2-bucketed; singletons included).",
+            &cluster_samples,
+        );
+        if !q.rules.is_empty() {
+            let firings: Vec<(Vec<(&str, &str)>, u64)> = q
+                .rules
+                .iter()
+                .map(|(name, f)| (vec![("rule", name.as_str())], *f))
+                .collect();
+            w.counter_family(
+                "mergepurge_rule_firings_total",
+                "Matches attributed to each equational-theory rule.",
+                &firings,
+            );
+        }
+        let selectivity: Vec<(Vec<(&str, &str)>, f64)> = WINDOWS
+            .iter()
+            .map(|&(label, secs)| (vec![("window", label)], self.selectivity(secs)))
+            .collect();
+        w.gauge_family(
+            "mergepurge_rule_selectivity",
+            "Rolling matches per rule invocation (how selective the theory is).",
+            &selectivity,
         );
 
         if let Some(shards) = self.shards.get() {

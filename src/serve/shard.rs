@@ -131,7 +131,9 @@ pub fn run_worker(
                     let _span = span_labeled(recorder, "shard_ingest", || {
                         format!("shard={k} seq={seq} trace={trace_id}")
                     });
-                    match journal.append(&records) {
+                    // The frame carries the trace id so a replay after
+                    // kill -9 reconstructs the same explain chains.
+                    match journal.append(&records, Some(&trace_id)) {
                         Ok(got) if got == seq => Ok(()),
                         Ok(got) => Err(format!(
                             "journal assigned seq {got}, coordinator expected {seq}"
@@ -222,8 +224,11 @@ pub fn open_sharded(
         engine = engine.restore(snap).map_err(|e| format!("restore: {e}"))?;
     }
     let batches_replayed = loaded.replayable.len() as u64;
-    for (_seq, batch) in loaded.replayable {
-        apply_observed_sharded(&mut engine, batch, theory, observer, shards);
+    for b in loaded.replayable {
+        apply_observed_sharded(&mut engine, b.records, theory, observer, shards);
+        if let Some(t) = &b.trace {
+            engine.note_batch_trace(t);
+        }
     }
     observer.add(Counter::JournalReplays, batches_replayed);
 
@@ -385,6 +390,7 @@ impl ShardedDurable {
 
         self.next_seq += 1;
         apply_observed_sharded(&mut self.engine, batch, theory, recorder, shards);
+        self.engine.note_batch_trace(trace_id);
         recorder.add(Counter::BatchesIngested, 1);
         self.batches_since_checkpoint += 1;
         for (k, &c) in counts.iter().enumerate() {

@@ -6,11 +6,12 @@
 
 #![cfg(unix)]
 
-use merge_purge::KeySpec;
+use merge_purge::{IncrementalMergePurge, KeySpec};
 use merge_purge_repro::serve::shard::ShardRouter;
 use merge_purge_repro::serve::{ingest_request, json::Json, request, request_tcp};
 use mp_datagen::{DatabaseGenerator, GeneratorConfig};
 use mp_record::Record;
+use mp_rules::{EquationalTheory, NativeEmployeeTheory};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -372,11 +373,11 @@ fn metrics_probes_windows_and_event_log_work_end_to_end() {
         .expect("exposition text");
     assert!(exposition.contains("mergepurge_records_keyed_total"));
 
-    // Schema-5 stats: seq watermark, health, and windows that reflect
+    // Schema-6 stats: seq watermark, health, and windows that reflect
     // the batches just ingested (1m window, well inside resolution).
     let stats = ask(&socket, r#"{"cmd":"stats"}"#);
     expect_ok(&stats);
-    assert_eq!(stats.get("schema").and_then(Json::as_u64), Some(5));
+    assert_eq!(stats.get("schema").and_then(Json::as_u64), Some(6));
     assert_eq!(stats.get("seq").and_then(Json::as_u64), Some(2));
     let windows = stats
         .get("windows")
@@ -582,7 +583,7 @@ fn trace_ids_flow_from_ack_to_event_log_and_flight_dump() {
     // recorder retains one entry per batch (plus the startup sweep).
     let stats = ask(&socket, r#"{"cmd":"stats"}"#);
     expect_ok(&stats);
-    let tracing = stats.get("tracing").expect("schema-5 tracing section");
+    let tracing = stats.get("tracing").expect("schema-6 tracing section");
     assert_eq!(
         tracing.get("last_trace_id").and_then(Json::as_str),
         Some(acked_ids.last().unwrap().as_str()),
@@ -659,7 +660,7 @@ fn trace_ids_flow_from_ack_to_event_log_and_flight_dump() {
     assert_eq!(text.lines().count(), 1, "one frame per line: {text}");
     assert!(!text.contains('\u{1b}'), "no ANSI codes in --json output");
     let frame = Json::parse(text.trim()).expect("top --json frame is JSON");
-    assert_eq!(frame.get("schema").and_then(Json::as_u64), Some(5));
+    assert_eq!(frame.get("schema").and_then(Json::as_u64), Some(6));
     assert_eq!(
         frame.get("seq").and_then(Json::as_u64),
         Some(parts.len() as u64)
@@ -916,14 +917,14 @@ fn hammer_sharded_daemon(name: &str, use_tcp: bool) {
     let want: Vec<u64> = (1..=(CLIENTS * BATCHES_PER_CLIENT) as u64).collect();
     assert_eq!(got, want, "every batch acked exactly once, gap-free");
 
-    // Schema-5 stats carry a per-shard section; records are spread over
+    // Schema-6 stats carry a per-shard section; records are spread over
     // all four shards and sum to the engine total.
     let stats = transport.ask(r#"{"cmd":"stats"}"#);
     expect_ok(&stats);
     let shard_stats = stats
         .get("shards")
         .and_then(Json::as_array)
-        .expect("schema-5 shards section");
+        .expect("schema-6 shards section");
     assert_eq!(shard_stats.len(), 4);
     let per_shard: u64 = shard_stats
         .iter()
@@ -1042,6 +1043,137 @@ fn sigkill_sharded_daemon_replays_only_the_written_shard() {
     assert_eq!(ready.get("shards_replayed").and_then(Json::as_u64), Some(4));
     // Cross-shard fingerprint identical to the uninterrupted golden.
     assert_eq!(store_section(&socket), want, "replay matches golden");
+    shutdown_and_wait(&socket, &mut child);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---- decision provenance --------------------------------------------
+
+/// The `explain` wire command against a live 4-shard TCP daemon must
+/// return the exact evidence chain the serial in-process engine derives
+/// on the same data — rule id, pass, batch seq, and the acked trace ids
+/// — and the `mergepurge explain --addr` client must render it.
+#[test]
+fn explain_over_the_wire_matches_the_serial_engine() {
+    let dir = tmp_dir("explain");
+    let socket = dir.join("mp.sock");
+    let addr = format!("127.0.0.1:{}", free_port());
+    let parts = batches(3737, 400, 3);
+
+    let mut child = spawn_daemon_with(
+        &socket,
+        &dir.join("store"),
+        &["--shards", "4", "--listen", &addr],
+        false,
+    );
+    let tcp = Transport::Tcp(addr.clone());
+
+    // Serial reference engine, fed the identical batches and annotated
+    // with the trace ids the daemon acked — so even trace_id must agree.
+    let theory = NativeEmployeeTheory::new();
+    let rule_names = theory.rule_names();
+    let mut serial = IncrementalMergePurge::new()
+        .pass(KeySpec::last_name_key(), 8)
+        .pass(KeySpec::first_name_key(), 8);
+    for part in &parts {
+        let reply = tcp.ask(&ingest_request(part));
+        expect_ok(&reply);
+        serial.add_batch(part.clone(), &theory);
+        serial.note_batch_trace(
+            reply
+                .get("trace_id")
+                .and_then(Json::as_str)
+                .expect("ack carries trace id"),
+        );
+    }
+
+    // Probe pairs: near and far members of real duplicate classes.
+    let mut probes: Vec<(u32, u32)> = Vec::new();
+    for class in serial.classes() {
+        if class.len() >= 2 {
+            probes.push((class[0], *class.last().unwrap()));
+        }
+        if probes.len() >= 16 {
+            break;
+        }
+    }
+    assert!(!probes.is_empty(), "the seeded data has duplicate classes");
+
+    for &(a, b) in &probes {
+        let reply = tcp.ask(&format!(r#"{{"cmd":"explain","a":{a},"b":{b}}}"#));
+        expect_ok(&reply);
+        assert_eq!(reply.get("connected").and_then(Json::as_bool), Some(true));
+        let chain = reply
+            .get("chain")
+            .and_then(Json::as_array)
+            .expect("connected pairs carry a chain");
+        let want = serial.explain(a, b).expect("serial engine agrees");
+        assert_eq!(chain.len(), want.len(), "chain length for ({a}, {b})");
+        for (hop, evidence) in chain.iter().zip(&want) {
+            assert_eq!(hop.get("a").and_then(Json::as_u64), Some(evidence.a as u64));
+            assert_eq!(hop.get("b").and_then(Json::as_u64), Some(evidence.b as u64));
+            assert_eq!(
+                hop.get("rule_id").and_then(Json::as_u64),
+                Some(evidence.rule_id as u64)
+            );
+            assert_eq!(
+                hop.get("rule").and_then(Json::as_str),
+                Some(rule_names[evidence.rule_id as usize].as_str()),
+                "rule name resolves through the theory's table"
+            );
+            assert_eq!(
+                hop.get("pass").and_then(Json::as_u64),
+                Some(evidence.pass as u64)
+            );
+            assert_eq!(
+                hop.get("batch_seq").and_then(Json::as_u64),
+                Some(evidence.batch_seq)
+            );
+            assert_eq!(
+                hop.get("trace_id").and_then(Json::as_str),
+                evidence.trace_id.as_deref(),
+                "wire chain carries the acked ingest trace id"
+            );
+        }
+    }
+
+    // Negative cases: records in different classes connect to nothing;
+    // out-of-range ids are a protocol error, not a crash.
+    let singleton = {
+        let in_class: std::collections::HashSet<u32> =
+            serial.classes().into_iter().flatten().collect();
+        (0..serial.records().len() as u32)
+            .find(|id| !in_class.contains(id))
+            .expect("seeded data has singletons")
+    };
+    let other = probes[0].0;
+    let reply = tcp.ask(&format!(
+        r#"{{"cmd":"explain","a":{singleton},"b":{other}}}"#
+    ));
+    expect_ok(&reply);
+    assert_eq!(reply.get("connected").and_then(Json::as_bool), Some(false));
+    let oob = tcp.ask(r#"{"cmd":"explain","a":0,"b":999999}"#);
+    assert_eq!(oob.get("ok").and_then(Json::as_bool), Some(false), "{oob}");
+
+    // The client subcommand renders the same chain over TCP.
+    let (a, b) = probes[0];
+    let out = Command::new(env!("CARGO_BIN_EXE_mergepurge"))
+        .args(["explain", "--addr", &addr])
+        .args(["--a", &a.to_string(), "--b", &b.to_string()])
+        .output()
+        .expect("run mergepurge explain");
+    assert!(out.status.success(), "explain exits 0: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("duplicates"), "verdict line: {text}");
+    let want = serial.explain(a, b).unwrap();
+    for evidence in &want {
+        assert!(
+            text.contains(rule_names[evidence.rule_id as usize].as_str()),
+            "chain line names rule {}: {text}",
+            evidence.rule_id
+        );
+    }
+
     shutdown_and_wait(&socket, &mut child);
     std::fs::remove_dir_all(&dir).unwrap();
 }
